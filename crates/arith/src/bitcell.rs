@@ -1,0 +1,168 @@
+//! Bit-level cells: the Boolean functions of eq. (3.2) and their wide-input
+//! generalisations.
+//!
+//! Every processor of a bit-level array computes some variant of a full
+//! adder. The paper's eq. (3.2) defines the 3-input cell:
+//!
+//! ```text
+//! g(x1,x2,x3) = (x1∧x2) ∨ (x2∧x3) ∨ (x3∧x1)      (carry, majority)
+//! f(x1,x2,x3) = x1 ⊕ x2 ⊕ x3                      (partial sum, parity)
+//! ```
+//!
+//! Expansion II additionally needs points where "more than three bits have to
+//! be summed; hence, we need to generate at least two carry bits and one
+//! partial sum bit" — for up to five inputs, the sum fits in three output bits
+//! `(s, c, c')` with weights 1, 2 and 4; `c'` is the paper's second carry
+//! travelling along `d̄₇ = [0̄, 0, 2]ᵀ`.
+
+/// A single bit. `bool` keeps the cell functions branch-free and lets the
+/// compiler pack arrays densely.
+pub type Bit = bool;
+
+/// The paper's `f`: 3-input parity (partial-sum bit).
+#[inline]
+pub fn sum3(x1: Bit, x2: Bit, x3: Bit) -> Bit {
+    x1 ^ x2 ^ x3
+}
+
+/// The paper's `g`: 3-input majority (carry bit).
+#[inline]
+pub fn carry3(x1: Bit, x2: Bit, x3: Bit) -> Bit {
+    (x1 & x2) | (x2 & x3) | (x3 & x1)
+}
+
+/// Full adder over three bits: returns `(sum, carry)`, i.e. `(f, g)`.
+#[inline]
+pub fn full_add(x1: Bit, x2: Bit, x3: Bit) -> (Bit, Bit) {
+    (sum3(x1, x2, x3), carry3(x1, x2, x3))
+}
+
+/// Half adder: returns `(sum, carry)`.
+#[inline]
+pub fn half_add(x1: Bit, x2: Bit) -> (Bit, Bit) {
+    (x1 ^ x2, x1 & x2)
+}
+
+/// Wide addition of up to five input bits, as required on the `i₁ = p`
+/// hyperplane of Expansion II: returns `(s, c, c')` with
+/// `s + 2c + 4c' = Σ inputs`.
+///
+/// "If four of these input bits are one, carry c' will be one. If two and not
+/// more than three are ones, then carry c will be one."
+///
+/// # Panics
+/// Panics if more than five inputs are supplied (five is the paper's maximum;
+/// a sixth input would need a third carry).
+pub fn wide_add(inputs: &[Bit]) -> (Bit, Bit, Bit) {
+    assert!(inputs.len() <= 5, "wide_add supports at most 5 inputs, got {}", inputs.len());
+    let total = inputs.iter().filter(|&&b| b).count();
+    (total & 1 == 1, total & 2 == 2, total & 4 == 4)
+}
+
+/// Converts a nonnegative integer to its `width` low-order bits, LSB first —
+/// the paper's indexing `a = a_p a_{p-1} … a_1` maps `a_k` to `bits[k-1]`.
+///
+/// # Panics
+/// Panics if `x` does not fit in `width` bits (callers must pick operand
+/// ranges that fit the modelled word length `p`).
+pub fn to_bits(x: u128, width: usize) -> Vec<Bit> {
+    assert!(
+        width >= 128 - x.leading_zeros() as usize,
+        "{x} does not fit in {width} bits"
+    );
+    (0..width).map(|k| (x >> k) & 1 == 1).collect()
+}
+
+/// Converts an LSB-first bit vector back to an integer.
+///
+/// # Panics
+/// Panics if more than 128 bits are supplied.
+pub fn from_bits(bits: &[Bit]) -> u128 {
+    assert!(bits.len() <= 128, "from_bits supports at most 128 bits");
+    bits.iter()
+        .enumerate()
+        .fold(0u128, |acc, (k, &b)| acc | ((b as u128) << k))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use proptest::prelude::*;
+
+    #[test]
+    fn full_adder_truth_table() {
+        // (x1, x2, x3) -> s + 2c == x1 + x2 + x3 for all 8 combinations.
+        for bits in 0..8u8 {
+            let x1 = bits & 1 == 1;
+            let x2 = bits & 2 == 2;
+            let x3 = bits & 4 == 4;
+            let (s, c) = full_add(x1, x2, x3);
+            let expect = x1 as u8 + x2 as u8 + x3 as u8;
+            assert_eq!(s as u8 + 2 * c as u8, expect, "inputs {x1} {x2} {x3}");
+            // And f/g individually match eq. (3.2).
+            assert_eq!(sum3(x1, x2, x3), s);
+            assert_eq!(carry3(x1, x2, x3), c);
+        }
+    }
+
+    #[test]
+    fn half_adder_truth_table() {
+        assert_eq!(half_add(false, false), (false, false));
+        assert_eq!(half_add(true, false), (true, false));
+        assert_eq!(half_add(false, true), (true, false));
+        assert_eq!(half_add(true, true), (false, true));
+    }
+
+    #[test]
+    fn wide_add_matches_paper_carry_rules() {
+        // "If four of these input bits are one, carry c' will be one."
+        let (s, c, cp) = wide_add(&[true, true, true, true]);
+        assert_eq!((s, c, cp), (false, false, true));
+        // "If two and not more than three are ones, then carry c will be one."
+        let (s, c, cp) = wide_add(&[true, true, false, false]);
+        assert_eq!((s, c, cp), (false, true, false));
+        let (s, c, cp) = wide_add(&[true, true, true, false, false]);
+        assert_eq!((s, c, cp), (true, true, false));
+        // Five ones: 5 = 1 + 0·2 + 1·4.
+        let (s, c, cp) = wide_add(&[true; 5]);
+        assert_eq!((s, c, cp), (true, false, true));
+    }
+
+    #[test]
+    fn wide_add_exhaustive_weights() {
+        for n in 0..32u8 {
+            let inputs: Vec<Bit> = (0..5).map(|k| n & (1 << k) != 0).collect();
+            let (s, c, cp) = wide_add(&inputs);
+            let total = inputs.iter().filter(|&&b| b).count();
+            assert_eq!(s as usize + 2 * (c as usize) + 4 * (cp as usize), total);
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "at most 5 inputs")]
+    fn wide_add_rejects_six_inputs() {
+        let _ = wide_add(&[true; 6]);
+    }
+
+    #[test]
+    fn bit_conversions_roundtrip() {
+        assert_eq!(to_bits(0b1011, 4), vec![true, true, false, true]);
+        assert_eq!(from_bits(&[true, true, false, true]), 0b1011);
+        assert_eq!(from_bits(&[]), 0);
+        assert_eq!(to_bits(0, 3), vec![false; 3]);
+    }
+
+    #[test]
+    #[should_panic(expected = "does not fit")]
+    fn to_bits_checks_width() {
+        let _ = to_bits(16, 4);
+    }
+
+    proptest! {
+        #[test]
+        fn prop_roundtrip(x in 0u128..1u128 << 40, extra in 0usize..8) {
+            let width = (128 - x.leading_zeros() as usize).max(1) + extra;
+            prop_assert_eq!(from_bits(&to_bits(x, width)), x);
+        }
+    }
+}

@@ -1,0 +1,37 @@
+#![warn(missing_docs)]
+
+//! # bitlevel-arith
+//!
+//! The arithmetic algorithms of Section 3.1, both as *dependence structures*
+//! (inputs to the compositional analysis of Theorem 3.1) and as *bit-exact
+//! functional models* (ground truth for every simulator in the workspace):
+//!
+//! * [`addshift::AddShift`] — the add-shift multiplier of eqs. (3.1)–(3.4)
+//!   and Fig. 1, with `D_as = [δ̄₁, δ̄₂, δ̄₃]`;
+//! * [`carrysave::CarrySave`] — the `t_b = O(p)` multiplier invoked by
+//!   Section 4.2's speedup comparison;
+//! * [`ripple::RippleAdder`] / [`ripple::CarrySaveAdder`] — integer addition
+//!   (reconstruction of the structure the paper defers to its technical
+//!   report);
+//! * [`bitcell`] — the Boolean cells of eq. (3.2) (`f` = parity,
+//!   `g` = majority) and the 5-input wide adder of Expansion II's `i₁ = p`
+//!   plane;
+//! * [`traits::MultiplierAlgorithm`] — the common catalogue interface.
+
+pub mod addshift;
+pub mod baughwooley;
+pub mod bitcell;
+pub mod carrysave;
+pub mod divider;
+pub mod lookahead;
+pub mod ripple;
+pub mod traits;
+
+pub use addshift::{AddShift, AddShiftGrid, BoundaryPolicy};
+pub use baughwooley::BaughWooley;
+pub use bitcell::{carry3, from_bits, full_add, half_add, sum3, to_bits, wide_add, Bit};
+pub use carrysave::CarrySave;
+pub use divider::NonRestoringDivider;
+pub use lookahead::CarryLookahead;
+pub use ripple::{CarrySaveAdder, RippleAdder};
+pub use traits::MultiplierAlgorithm;

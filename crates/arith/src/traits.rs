@@ -1,0 +1,113 @@
+//! Common interface over the bit-level arithmetic algorithms.
+//!
+//! "Since many word-level algorithms involve a limited number of word-level
+//! arithmetic algorithms, the dependence structures of these algorithms need
+//! to be derived only once" (Section 1). The trait below is that catalogue
+//! interface: every arithmetic algorithm exposes its index set, its
+//! dependence structure, and its word-level latency `t_b`, so both the
+//! expansion machinery (`bitlevel-depanal`) and the word-level baseline
+//! simulator (`bitlevel-systolic`) can consume any of them uniformly.
+
+use crate::{AddShift, CarrySave};
+use bitlevel_ir::{BoxSet, DependenceSet};
+
+/// A bit-level multiplier algorithm usable inside the expansion and as the
+/// multiplier of a word-level PE.
+pub trait MultiplierAlgorithm {
+    /// Human-readable name.
+    fn name(&self) -> &'static str;
+
+    /// Word length `p`.
+    fn word_length(&self) -> usize;
+
+    /// The 2-D cell index set.
+    fn index_set(&self) -> BoxSet;
+
+    /// The dependence structure of the cell array.
+    fn dependences(&self) -> DependenceSet;
+
+    /// Bit-exact multiplication through the cell network.
+    fn multiply(&self, a: u128, b: u128) -> u128;
+
+    /// Word-level latency `t_b` when the algorithm implements the
+    /// multiply–accumulate of one word-level PE (Section 4.2's comparison):
+    /// `O(p²)` for add-shift, `O(p)` for carry-save.
+    fn word_latency(&self) -> u64;
+}
+
+impl MultiplierAlgorithm for AddShift {
+    fn name(&self) -> &'static str {
+        "add-shift"
+    }
+    fn word_length(&self) -> usize {
+        self.p
+    }
+    fn index_set(&self) -> BoxSet {
+        AddShift::index_set(self)
+    }
+    fn dependences(&self) -> DependenceSet {
+        AddShift::dependences(self)
+    }
+    fn multiply(&self, a: u128, b: u128) -> u128 {
+        AddShift::multiply(self, a, b)
+    }
+    fn word_latency(&self) -> u64 {
+        AddShift::word_latency(self)
+    }
+}
+
+impl MultiplierAlgorithm for CarrySave {
+    fn name(&self) -> &'static str {
+        "carry-save"
+    }
+    fn word_length(&self) -> usize {
+        self.p
+    }
+    fn index_set(&self) -> BoxSet {
+        CarrySave::index_set(self)
+    }
+    fn dependences(&self) -> DependenceSet {
+        CarrySave::dependences(self)
+    }
+    fn multiply(&self, a: u128, b: u128) -> u128 {
+        CarrySave::multiply(self, a, b)
+    }
+    fn word_latency(&self) -> u64 {
+        CarrySave::word_latency(self)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn check(m: &dyn MultiplierAlgorithm) {
+        assert_eq!(m.index_set().dim(), 2);
+        assert!(!m.dependences().is_empty());
+        assert_eq!(m.multiply(5, 6), 30);
+        assert!(m.word_latency() > 0);
+    }
+
+    #[test]
+    fn trait_objects_work_for_both_multipliers() {
+        check(&AddShift::new(4));
+        check(&CarrySave::new(4));
+    }
+
+    #[test]
+    fn latency_ordering_matches_section_4_2() {
+        // For any p > 2, carry-save must be asymptotically (and here
+        // concretely) faster.
+        for p in 3..20usize {
+            let a: &dyn MultiplierAlgorithm = &AddShift::new(p);
+            let c: &dyn MultiplierAlgorithm = &CarrySave::new(p);
+            assert!(c.word_latency() < a.word_latency(), "p = {p}");
+        }
+    }
+
+    #[test]
+    fn names() {
+        assert_eq!(MultiplierAlgorithm::name(&AddShift::new(2)), "add-shift");
+        assert_eq!(MultiplierAlgorithm::name(&CarrySave::new(2)), "carry-save");
+    }
+}

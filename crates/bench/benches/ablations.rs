@@ -1,0 +1,80 @@
+//! Ablation benches: alternative algorithms for the same jobs.
+//!
+//! * exhaustive vs best-first time-optimal schedule search (same optimum,
+//!   different work profile);
+//! * sequential vs rayon-parallel mapped simulation;
+//! * kernel-lattice vs brute-force conflict checking (the asymptotic gap
+//!   behind condition 3).
+
+use bitlevel_depanal::{compose, Expansion};
+use bitlevel_ir::WordLevelAlgorithm;
+use bitlevel_mapping::{
+    check_conflicts, check_conflicts_bruteforce, find_optimal_schedule,
+    find_optimal_schedule_bestfirst, Interconnect, PaperDesign,
+};
+use bitlevel_systolic::{simulate_mapped, simulate_mapped_parallel};
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use std::hint::black_box;
+
+fn bench_search_strategies(c: &mut Criterion) {
+    let mut group = c.benchmark_group("ablation_schedule_search");
+    group.warm_up_time(std::time::Duration::from_millis(500));
+    group.measurement_time(std::time::Duration::from_secs(2));
+    group.sample_size(10);
+    let p = 2i64;
+    let alg = compose(&WordLevelAlgorithm::matmul(2), p as usize, Expansion::II);
+    let s = PaperDesign::space(p);
+    let ic = Interconnect::paper_p(p);
+    group.bench_function("exhaustive", |b| {
+        b.iter(|| black_box(find_optimal_schedule(&s, &alg, &ic, 2)))
+    });
+    group.bench_function("best_first", |b| {
+        b.iter(|| black_box(find_optimal_schedule_bestfirst(&s, &alg, &ic, 2)))
+    });
+    group.finish();
+}
+
+fn bench_simulation_parallelism(c: &mut Criterion) {
+    let mut group = c.benchmark_group("ablation_simulation");
+    group.warm_up_time(std::time::Duration::from_millis(500));
+    group.measurement_time(std::time::Duration::from_secs(2));
+    group.sample_size(10);
+    for &(u, p) in &[(4i64, 4i64), (6, 6), (8, 8)] {
+        let alg = compose(&WordLevelAlgorithm::matmul(u), p as usize, Expansion::II);
+        let design = PaperDesign::TimeOptimal;
+        let t = design.mapping(p);
+        let ic = design.interconnect(p);
+        group.bench_with_input(BenchmarkId::new("sequential", format!("u{u}_p{p}")), &(), |b, _| {
+            b.iter(|| black_box(simulate_mapped(&alg, &t, &ic)))
+        });
+        group.bench_with_input(BenchmarkId::new("parallel", format!("u{u}_p{p}")), &(), |b, _| {
+            b.iter(|| black_box(simulate_mapped_parallel(&alg, &t, &ic)))
+        });
+    }
+    group.finish();
+}
+
+fn bench_conflict_checkers(c: &mut Criterion) {
+    let mut group = c.benchmark_group("ablation_conflict_check");
+    group.warm_up_time(std::time::Duration::from_millis(500));
+    group.measurement_time(std::time::Duration::from_secs(2));
+    for &(u, p) in &[(3i64, 3i64), (5, 5), (8, 8)] {
+        let alg = compose(&WordLevelAlgorithm::matmul(u), p as usize, Expansion::II);
+        let t = PaperDesign::TimeOptimal.mapping(p);
+        group.bench_with_input(BenchmarkId::new("kernel_lattice", format!("u{u}_p{p}")), &(), |b, _| {
+            b.iter(|| black_box(check_conflicts(&t, &alg.index_set)))
+        });
+        group.bench_with_input(BenchmarkId::new("brute_force", format!("u{u}_p{p}")), &(), |b, _| {
+            b.iter(|| black_box(check_conflicts_bruteforce(&t, &alg.index_set)))
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(
+    benches,
+    bench_search_strategies,
+    bench_simulation_parallelism,
+    bench_conflict_checkers
+);
+criterion_main!(benches);

@@ -1,0 +1,36 @@
+//! Bench E1: the arithmetic algorithms of Section 3.1 (Fig. 1).
+//!
+//! Series: bit-level multiplication cost of the add-shift grid (`p²` cells)
+//! vs the carry-save array (`p²` cells + `p` merge), and the ripple adder,
+//! as functions of the word length `p`.
+
+use bitlevel_arith::{AddShift, CarrySave, RippleAdder};
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use std::hint::black_box;
+
+fn bench_multipliers(c: &mut Criterion) {
+    let mut group = c.benchmark_group("arith_algorithms");
+    group.warm_up_time(std::time::Duration::from_millis(500));
+    group.measurement_time(std::time::Duration::from_secs(2));
+    for &p in &[4usize, 8, 16, 32] {
+        let mask = (1u128 << p) - 1;
+        let a = 0x9e3779b97f4a7c15u128 & mask;
+        let b = 0xc2b2ae3d27d4eb4fu128 & mask;
+        let addshift = AddShift::new(p);
+        group.bench_with_input(BenchmarkId::new("addshift_multiply", p), &p, |bch, _| {
+            bch.iter(|| black_box(addshift.multiply(black_box(a), black_box(b))))
+        });
+        let carrysave = CarrySave::new(p);
+        group.bench_with_input(BenchmarkId::new("carrysave_multiply", p), &p, |bch, _| {
+            bch.iter(|| black_box(carrysave.multiply(black_box(a), black_box(b))))
+        });
+        let ripple = RippleAdder::new(p);
+        group.bench_with_input(BenchmarkId::new("ripple_add", p), &p, |bch, _| {
+            bch.iter(|| black_box(ripple.add(black_box(a), black_box(b))))
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_multipliers);
+criterion_main!(benches);

@@ -1,0 +1,54 @@
+//! Bench E6/E7: simulating the Fig. 4 and Fig. 5 bit-level architectures.
+//!
+//! Series: cycle-accurate mapped-simulation cost and functional array
+//! throughput across `(u, p)`; the measured cycle counts themselves are the
+//! experiment (`experiments --exp e6/e7`), this bench tracks simulator
+//! performance.
+
+use bitlevel_depanal::{compose, Expansion};
+use bitlevel_ir::WordLevelAlgorithm;
+use bitlevel_mapping::PaperDesign;
+use bitlevel_systolic::{simulate_mapped, BitMatmulArray};
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use std::hint::black_box;
+
+fn bench_arrays(c: &mut Criterion) {
+    let mut group = c.benchmark_group("bit_level_arrays");
+    group.warm_up_time(std::time::Duration::from_millis(500));
+    group.measurement_time(std::time::Duration::from_secs(2));
+
+    for &(u, p) in &[(2i64, 2i64), (3, 3), (4, 4)] {
+        let alg = compose(&WordLevelAlgorithm::matmul(u), p as usize, Expansion::II);
+        for design in [PaperDesign::TimeOptimal, PaperDesign::NearestNeighbour] {
+            let t = design.mapping(p);
+            let ic = design.interconnect(p);
+            let label = match design {
+                PaperDesign::TimeOptimal => "fig4_mapped_sim",
+                PaperDesign::NearestNeighbour => "fig5_mapped_sim",
+            };
+            group.bench_with_input(BenchmarkId::new(label, format!("u{u}_p{p}")), &(u, p), |b, _| {
+                b.iter(|| black_box(simulate_mapped(&alg, &t, &ic)))
+            });
+        }
+
+        // Functional array: full bit-exact multiplication.
+        let arr = BitMatmulArray::new(u as usize, p as usize);
+        let m = arr.max_safe_entry();
+        let x: Vec<Vec<u128>> = (0..u as usize)
+            .map(|i| (0..u as usize).map(|j| ((3 * i + j + 1) as u128) % (m + 1)).collect())
+            .collect();
+        let y: Vec<Vec<u128>> = (0..u as usize)
+            .map(|i| (0..u as usize).map(|j| ((i + 5 * j + 2) as u128) % (m + 1)).collect())
+            .collect();
+        group.bench_with_input(
+            BenchmarkId::new("functional_array", format!("u{u}_p{p}")),
+            &(u, p),
+            |b, _| b.iter(|| black_box(arr.multiply(&x, &y))),
+        );
+    }
+
+    group.finish();
+}
+
+criterion_group!(benches, bench_arrays);
+criterion_main!(benches);

@@ -1,0 +1,49 @@
+//! Bench E3: Theorem 3.1's compositional derivation vs the general
+//! dependence-analysis methods it replaces (Section 1's headline claim).
+//!
+//! Series: derivation wall-time as a function of word length `p` (and one `u`
+//! sweep), for (a) the compositional closed form, (b) exhaustive enumeration
+//! over the expanded code, (c) the Diophantine-solve-plus-verify route.
+
+use bitlevel_depanal::{compose, diophantine_dependences, enumerate_dependences, expand, Expansion};
+use bitlevel_ir::WordLevelAlgorithm;
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use std::hint::black_box;
+
+fn bench_composition_vs_general(c: &mut Criterion) {
+    let mut group = c.benchmark_group("dependence_analysis");
+    group.warm_up_time(std::time::Duration::from_millis(500));
+    group.measurement_time(std::time::Duration::from_secs(2));
+
+    // Compositional: independent of index-set size; bench across sizes to
+    // demonstrate the flatness.
+    for &(u, p) in &[(2i64, 2usize), (2, 3), (3, 3), (8, 8), (64, 32)] {
+        let word = WordLevelAlgorithm::matmul(u);
+        group.bench_with_input(
+            BenchmarkId::new("compose_theorem_3_1", format!("u{u}_p{p}")),
+            &(u, p),
+            |b, _| b.iter(|| black_box(compose(&word, p, Expansion::II))),
+        );
+    }
+
+    // General methods: only feasible at small sizes (that is the point).
+    for &(u, p) in &[(2i64, 2usize), (2, 3), (3, 3)] {
+        let word = WordLevelAlgorithm::matmul(u);
+        let nest = expand(&word, p, Expansion::II);
+        group.bench_with_input(
+            BenchmarkId::new("exhaustive_enumeration", format!("u{u}_p{p}")),
+            &(u, p),
+            |b, _| b.iter(|| black_box(enumerate_dependences(&nest))),
+        );
+        group.bench_with_input(
+            BenchmarkId::new("diophantine_verify", format!("u{u}_p{p}")),
+            &(u, p),
+            |b, _| b.iter(|| black_box(diophantine_dependences(&nest))),
+        );
+    }
+
+    group.finish();
+}
+
+criterion_group!(benches, bench_composition_vs_general);
+criterion_main!(benches);

@@ -1,0 +1,49 @@
+//! Bench E4: the time-optimal schedule search of Theorem 4.5.
+//!
+//! Series: wall-time of the exhaustive (rayon-parallel) feasibility-checked
+//! search over `Π ∈ [−B, B]⁵` for the bit-level matmul structure, and of its
+//! building blocks (the conflict check and the full Definition 4.1 check).
+
+use bitlevel_depanal::{compose, Expansion};
+use bitlevel_ir::WordLevelAlgorithm;
+use bitlevel_mapping::{
+    check_conflicts, check_feasibility, find_optimal_schedule, Interconnect, PaperDesign,
+};
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use std::hint::black_box;
+
+fn bench_schedule_search(c: &mut Criterion) {
+    let mut group = c.benchmark_group("schedule_search");
+    group.warm_up_time(std::time::Duration::from_millis(500));
+    group.measurement_time(std::time::Duration::from_secs(2));
+    group.sample_size(10);
+
+    let p = 2i64;
+    let alg = compose(&WordLevelAlgorithm::matmul(2), p as usize, Expansion::II);
+    let s = PaperDesign::space(p);
+    let ic = Interconnect::paper_p(p);
+
+    group.bench_function("find_optimal_schedule_bound2", |b| {
+        b.iter(|| black_box(find_optimal_schedule(&s, &alg, &ic, 2)))
+    });
+
+    for &(u, pp) in &[(2i64, 2i64), (3, 3), (4, 4)] {
+        let alg = compose(&WordLevelAlgorithm::matmul(u), pp as usize, Expansion::II);
+        let t = PaperDesign::TimeOptimal.mapping(pp);
+        group.bench_with_input(
+            BenchmarkId::new("check_feasibility", format!("u{u}_p{pp}")),
+            &(u, pp),
+            |b, _| b.iter(|| black_box(check_feasibility(&t, &alg, &Interconnect::paper_p(pp)))),
+        );
+        group.bench_with_input(
+            BenchmarkId::new("conflict_check", format!("u{u}_p{pp}")),
+            &(u, pp),
+            |b, _| b.iter(|| black_box(check_conflicts(&t, &alg.index_set))),
+        );
+    }
+
+    group.finish();
+}
+
+criterion_group!(benches, bench_schedule_search);
+criterion_main!(benches);

@@ -1,0 +1,51 @@
+//! Bench E8: word-level vs bit-level execution (Section 4.2's comparison).
+//!
+//! Series: functional word-level array runs with both word-PE multipliers
+//! (their real bit-level models), so the `t_b = O(p²)` vs `O(p)` gap is
+//! visible in wall-time too, alongside the closed-form cycle comparison the
+//! experiment harness prints.
+
+use bitlevel_arith::{AddShift, CarrySave};
+use bitlevel_systolic::WordLevelArray;
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use std::hint::black_box;
+
+fn bench_word_vs_bit(c: &mut Criterion) {
+    let mut group = c.benchmark_group("word_vs_bit");
+    group.warm_up_time(std::time::Duration::from_millis(500));
+    group.measurement_time(std::time::Duration::from_secs(2));
+
+    for &(u, p) in &[(4usize, 4usize), (4, 8), (8, 8)] {
+        let mask = (1u128 << p) - 1;
+        let x: Vec<Vec<u128>> = (0..u)
+            .map(|i| (0..u).map(|j| ((7 * i + 3 * j + 1) as u128) & mask).collect())
+            .collect();
+        let y: Vec<Vec<u128>> = (0..u)
+            .map(|i| (0..u).map(|j| ((2 * i + 5 * j + 2) as u128) & mask).collect())
+            .collect();
+
+        let addshift = AddShift::new(p);
+        group.bench_with_input(
+            BenchmarkId::new("word_array_addshift_pe", format!("u{u}_p{p}")),
+            &(u, p),
+            |b, _| {
+                let arr = WordLevelArray::new(u, &addshift);
+                b.iter(|| black_box(arr.run(&x, &y)))
+            },
+        );
+        let carrysave = CarrySave::new(p);
+        group.bench_with_input(
+            BenchmarkId::new("word_array_carrysave_pe", format!("u{u}_p{p}")),
+            &(u, p),
+            |b, _| {
+                let arr = WordLevelArray::new(u, &carrysave);
+                b.iter(|| black_box(arr.run(&x, &y)))
+            },
+        );
+    }
+
+    group.finish();
+}
+
+criterion_group!(benches, bench_word_vs_bit);
+criterion_main!(benches);

@@ -1,0 +1,836 @@
+//! The experiment suite: every figure/equation-level result of the paper,
+//! regenerated and compared against the paper's claim (index E1–E9 in
+//! DESIGN.md).
+
+use crate::record::{Record, RecordTable};
+use bitlevel_arith::{AddShift, CarrySave};
+use bitlevel_core::DesignFlow;
+use bitlevel_depanal::{
+    compare_analyses, compose, enumerate_dependences, expand, instances_of_triplet, Expansion,
+};
+use bitlevel_ir::{BoxSet, WordLevelAlgorithm};
+use bitlevel_linalg::{IMat, IVec};
+use bitlevel_mapping::{find_optimal_schedule, word_level_total_time, Interconnect, PaperDesign};
+use bitlevel_systolic::{
+    critical_path, fanin_histogram, mean_producer_depth, simulate_mapped, WordLevelArray,
+};
+
+/// Result of one experiment: the record table plus pass/fail.
+#[derive(Debug, Clone)]
+pub struct ExperimentOutcome {
+    /// Experiment id, lowercase ("e1" … "e9").
+    pub id: String,
+    /// The paper-vs-measured table.
+    pub table: RecordTable,
+}
+
+impl ExperimentOutcome {
+    /// True iff every row confirms the paper.
+    pub fn passed(&self) -> bool {
+        self.table.all_ok()
+    }
+}
+
+/// The 1-D recurrence of program (3.7) with `h₁ = h₂ = h₃ = 1`.
+fn one_d_recurrence(u: i64) -> WordLevelAlgorithm {
+    WordLevelAlgorithm::new(
+        "1-D recurrence (3.7)",
+        BoxSet::cube(1, 1, u),
+        Some(IVec::from([1])),
+        Some(IVec::from([1])),
+        IVec::from([1]),
+    )
+}
+
+/// E1 — Fig. 1c / eqs. (3.1)–(3.4): the add-shift arithmetic algorithm.
+pub fn e1() -> ExperimentOutcome {
+    let mut t = RecordTable::new("E1: add-shift multiplier — Fig. 1c, eqs. (3.1)-(3.4)");
+    let p = 3;
+    let alg = AddShift::new(p);
+
+    // Dependence matrix D_as of (3.4).
+    let expected = IMat::from_rows(&[&[1, 0, 1], &[0, 1, -1]]);
+    t.push(Record::eq("D_as (p=3)", format!("{expected}"), format!("{}", alg.dependences().matrix())));
+    t.push(Record::eq("|J_as| (p=3, Fig. 1c)", 9u128, alg.index_set().cardinality()));
+    t.push(Record::check(
+        "uniform dependence algorithm",
+        "all δ̄ uniform over J_as",
+        alg.dependences().all_uniform_over(&alg.index_set()),
+    ));
+
+    // Broadcast elimination of (3.1) reproduces δ̄₁, δ̄₂ (the (3.1)→(3.3)
+    // rewrite).
+    let be = bitlevel_ir::eliminate_broadcasts(&broadcast_form_nest(p));
+    let dirs: Vec<IVec> = be.new_dependences.iter().map(|d| d.vector.clone()).collect();
+    t.push(Record::check(
+        "broadcast elimination (3.1)->(3.3)",
+        "pipelines a along δ̄₁=[1,0], b along δ̄₂=[0,1]",
+        dirs == vec![IVec::from([1, 0]), IVec::from([0, 1])],
+    ));
+
+    // Functional: all 64 products for p = 3 (the Fig. 1 example size).
+    let mut ok = true;
+    for a in 0..8u128 {
+        for b in 0..8u128 {
+            ok &= alg.multiply(a, b) == a * b;
+        }
+    }
+    t.push(Record::check("bit-level products, p=3 (exhaustive)", "s = a x b", ok));
+
+    // The documented deviation: the literal boundary values lose row-end
+    // carries (7 x 3 = 5 under the text as written).
+    t.push(Record::eq(
+        "paper-literal boundary: 7 x 3 (p=3)",
+        5u128,
+        AddShift::paper_literal(3).multiply(7, 3),
+    ));
+
+    ExperimentOutcome { id: "e1".into(), table: t }
+}
+
+/// The broadcast form of program (3.1) used by E1.
+fn broadcast_form_nest(p: usize) -> bitlevel_ir::LoopNest {
+    use bitlevel_ir::{Access, AffineFn, OpKind, Statement};
+    let n = 2;
+    bitlevel_ir::LoopNest::new(
+        BoxSet::cube(2, 1, p as i64),
+        vec![Statement::new(
+            Access::new("c", AffineFn::identity(n)),
+            vec![
+                Access::new("a", AffineFn::select_axes(n, &[1])),
+                Access::new("b", AffineFn::select_axes(n, &[0])),
+            ],
+            OpKind::CarryBit,
+        )],
+    )
+}
+
+/// E2 — Fig. 3 / eqs. (3.8)–(3.9): the 1-D expansions.
+pub fn e2() -> ExperimentOutcome {
+    let mut t = RecordTable::new("E2: 1-D expansions — Fig. 3, eqs. (3.8)-(3.9)");
+    let (u, p) = (4i64, 3usize);
+    let word = one_d_recurrence(u);
+
+    let expected_d = IMat::from_rows(&[
+        &[1, 1, 1, 0, 0, 0, 0],
+        &[0, 0, 0, 1, 0, 1, 0],
+        &[0, 0, 0, 0, 1, -1, 2],
+    ]);
+    for (expn, label) in [(Expansion::I, "D_I (3.8)"), (Expansion::II, "D_II (3.9)")] {
+        let alg = compose(&word, p, expn);
+        t.push(Record::eq(
+            &format!("{label} vectors"),
+            format!("{expected_d}"),
+            format!("{}", alg.dependence_matrix()),
+        ));
+        // Cross-check against ground truth on the expanded code.
+        let inst = instances_of_triplet(&alg);
+        let truth = enumerate_dependences(&expand(&word, p, expn));
+        t.push(Record::check(
+            &format!("{label} == exact analysis"),
+            "Theorem 3.1 equals ground truth",
+            inst == truth,
+        ));
+    }
+    // Uniformity flips between expansions exactly as the paper states:
+    // "Vector d̄₃ is uniform in Expansion I and d̄₆ is uniform in Expansion II."
+    let a_i = compose(&word, p, Expansion::I);
+    let a_ii = compose(&word, p, Expansion::II);
+    t.push(Record::check(
+        "d̄₃ uniform in I, not in II",
+        "per text below (3.9)",
+        a_i.deps.get(2).is_uniform_over(&a_i.index_set)
+            && !a_ii.deps.get(2).is_uniform_over(&a_ii.index_set),
+    ));
+    t.push(Record::check(
+        "d̄₆ uniform in II, not in I",
+        "per text below (3.9)",
+        a_ii.deps.get(5).is_uniform_over(&a_ii.index_set)
+            && !a_i.deps.get(5).is_uniform_over(&a_i.index_set),
+    ));
+
+    ExperimentOutcome { id: "e2".into(), table: t }
+}
+
+/// E3 — Example 3.1 / eqs. (3.12)–(3.13): bit-level matmul structure, and the
+/// headline "no time-consuming general analysis needed" timing comparison.
+pub fn e3() -> ExperimentOutcome {
+    let mut t = RecordTable::new("E3: bit-level matmul — Example 3.1, eqs. (3.12)-(3.13)");
+    let (u, p) = (3i64, 3usize);
+    let word = WordLevelAlgorithm::matmul(u);
+    let alg = compose(&word, p, Expansion::II);
+
+    // Eq. (3.13): the 5-D index set.
+    t.push(Record::eq(
+        "|J| (3.13), u=p=3",
+        (u as u128).pow(3) * (p as u128).pow(2),
+        alg.index_set.cardinality(),
+    ));
+    // Eq. (3.12): the dependence matrix (as a column set; the paper orders
+    // y,x,…, we emit x,y,…).
+    let expected = IMat::from_rows(&[
+        &[0, 1, 0, 0, 0, 0, 0],
+        &[1, 0, 0, 0, 0, 0, 0],
+        &[0, 0, 1, 0, 0, 0, 0],
+        &[0, 0, 0, 1, 0, 1, 0],
+        &[0, 0, 0, 0, 1, -1, 2],
+    ]);
+    t.push(Record::eq("D (3.12)", format!("{expected}"), format!("{}", alg.dependence_matrix())));
+
+    // Agreement and timing: compositional vs exhaustive vs Diophantine on a
+    // size the baselines can finish (u=2, p=2 and u=2, p=3).
+    for (uu, pp) in [(2i64, 2usize), (2, 3)] {
+        let rep = compare_analyses(&WordLevelAlgorithm::matmul(uu), pp, Expansion::II);
+        t.push(Record::check(
+            &format!("agreement u={uu} p={pp}"),
+            "Theorem 3.1 == enumeration == Diophantine",
+            rep.matches_enumeration && rep.diophantine_matches,
+        ));
+        t.push(Record::info(
+            &format!("derivation time u={uu} p={pp}"),
+            "compositional << general",
+            format!(
+                "compose {:.1?} vs enumerate {:.1?} ({:.0}x) vs diophantine {:.1?} ({:.0}x)",
+                rep.compose_time,
+                rep.enumerate_time,
+                rep.speedup_vs_enumeration(),
+                rep.diophantine_time,
+                rep.speedup_vs_diophantine()
+            ),
+            rep.speedup_vs_enumeration() > 1.0 && rep.speedup_vs_diophantine() > 1.0,
+        ));
+    }
+
+    // Scaling: composition time is independent of |J| (structure for a huge
+    // instance comes out without touching the index set).
+    let t0 = std::time::Instant::now();
+    let big = compose(&WordLevelAlgorithm::matmul(500), 64, Expansion::II);
+    let dt = t0.elapsed();
+    t.push(Record::info(
+        "compose(u=500, p=64)",
+        "O(n), independent of |J|",
+        format!("{dt:.1?} for |J| = {}", big.index_set.cardinality()),
+        dt.as_millis() < 100,
+    ));
+
+    ExperimentOutcome { id: "e3".into(), table: t }
+}
+
+/// E4 — Theorem 4.5 / eq. (4.2): the time-optimal schedule.
+pub fn e4() -> ExperimentOutcome {
+    let mut t = RecordTable::new("E4: time-optimal schedule — Theorem 4.5, eq. (4.2)");
+    let (u, p) = (2i64, 2i64);
+    let alg = compose(&WordLevelAlgorithm::matmul(u), p as usize, Expansion::II);
+    let s = PaperDesign::space(p);
+    let best = find_optimal_schedule(&s, &alg, &Interconnect::paper_p(p), 2);
+    match best {
+        Some(found) => {
+            t.push(Record::eq(
+                "optimal Π (search over [-2,2]^5)",
+                format!("{}", IVec::from([1, 1, 1, 2, 1])),
+                format!("{}", found.pi),
+            ));
+            t.push(Record::eq(
+                "optimal time",
+                3 * (u - 1) + 3 * (p - 1) + 1,
+                found.time,
+            ));
+            t.push(Record::info(
+                "search space",
+                "exhaustive over bounded schedules",
+                format!("{} candidates, {} feasible", found.examined, found.feasible_count),
+                found.feasible_count >= 1,
+            ));
+        }
+        None => t.push(Record::check("search", "a feasible schedule exists", false)),
+    }
+
+    // The five conditions of Definition 4.1 for T of (4.2) at the paper's
+    // size (u = p = 3).
+    let alg3 = compose(&WordLevelAlgorithm::matmul(3), 3, Expansion::II);
+    let rep = bitlevel_mapping::check_feasibility(
+        &PaperDesign::TimeOptimal.mapping(3),
+        &alg3,
+        &Interconnect::paper_p(3),
+    );
+    t.push(Record::check(
+        "Definition 4.1 conditions 1-5, u=p=3",
+        "T of (4.2) is feasible",
+        rep.is_feasible(),
+    ));
+
+    ExperimentOutcome { id: "e4".into(), table: t }
+}
+
+/// E5 — eqs. (4.3)–(4.4): routing (`SD = PK`), `TD`, and the Fig. 4 buffer.
+pub fn e5() -> ExperimentOutcome {
+    let mut t = RecordTable::new("E5: interconnection and timing matrices — eqs. (4.3)-(4.4)");
+    let p = 3i64;
+    let alg = compose(&WordLevelAlgorithm::matmul(3), p as usize, Expansion::II);
+    let d = alg.dependence_matrix();
+    let tm = PaperDesign::TimeOptimal.mapping(p);
+
+    // TD of (4.4) (our column order x,y,… = paper's with first two swapped).
+    let expected_td = IMat::from_rows(&[
+        &[0, p, 0, 1, 0, 1, 0],
+        &[p, 0, 0, 0, 1, -1, 2],
+        &[1, 1, 1, 2, 1, 1, 2],
+    ]);
+    t.push(Record::eq("TD (4.4)", format!("{expected_td}"), format!("{}", tm.td(&d))));
+
+    // SD = PK with the paper's P (4.3); Σk per column within Π·d̄.
+    let ic = Interconnect::paper_p(p);
+    let sd = tm.space.matmul(&d);
+    let budgets: Vec<i64> = (0..d.cols()).map(|i| d.col(i).dot(&tm.schedule)).collect();
+    match ic.solve_k(&sd, &budgets) {
+        Ok(sol) => {
+            t.push(Record::check("SD = PK", "eq. (4.3) routable", ic.p.matmul(&sol.k) == sd));
+            t.push(Record::check(
+                "inequality (4.1)",
+                "Σk ≤ Π·d̄ per column",
+                (0..sol.k.cols()).all(|i| sol.k.col(i).iter().sum::<i64>() <= budgets[i]),
+            ));
+            // The buffer of Fig. 4 sits on d̄₄ (our column 3): Σk = 1 < Π·d̄₄ = 2.
+            t.push(Record::eq("buffer on d̄₄ link (Fig. 4)", 1i64, sol.buffers[3]));
+        }
+        Err(col) => t.push(Record::check(
+            &format!("SD = PK (column {col} unroutable)"),
+            "routable",
+            false,
+        )),
+    }
+
+    ExperimentOutcome { id: "e5".into(), table: t }
+}
+
+/// E6 — Fig. 4 / eq. (4.5): the time-optimal architecture, measured.
+pub fn e6() -> ExperimentOutcome {
+    let mut t = RecordTable::new("E6: Fig. 4 architecture — eq. (4.5), measured");
+    for (u, p) in [(2i64, 2i64), (3, 3), (4, 3), (3, 4), (5, 2)] {
+        let alg = compose(&WordLevelAlgorithm::matmul(u), p as usize, Expansion::II);
+        let design = PaperDesign::TimeOptimal;
+        let run = simulate_mapped(&alg, &design.mapping(p), &design.interconnect(p));
+        t.push(Record::eq(
+            &format!("cycles u={u} p={p}"),
+            3 * (u - 1) + 3 * (p - 1) + 1,
+            run.cycles,
+        ));
+        t.push(Record::eq(&format!("PEs u={u} p={p}"), u * u * p * p, run.processors as i64));
+        t.push(Record::check(
+            &format!("legal u={u} p={p}"),
+            "conflict-free + causal",
+            run.conflict_free && run.causality_ok,
+        ));
+    }
+    // Functional: the array really multiplies matrices (bit-exact).
+    let flow = DesignFlow::matmul(4, 4);
+    flow.verify_matmul_functionally();
+    t.push(Record::check("functional, u=p=4", "Z = X·Y through full-adder cells", true));
+
+    ExperimentOutcome { id: "e6".into(), table: t }
+}
+
+/// E7 — Fig. 5 / eqs. (4.6)–(4.8): the nearest-neighbour architecture.
+pub fn e7() -> ExperimentOutcome {
+    let mut t = RecordTable::new("E7: Fig. 5 architecture — eqs. (4.6)-(4.8), measured");
+    for (u, p) in [(2i64, 2i64), (3, 3), (4, 3)] {
+        let alg = compose(&WordLevelAlgorithm::matmul(u), p as usize, Expansion::II);
+        let design = PaperDesign::NearestNeighbour;
+        let run = simulate_mapped(&alg, &design.mapping(p), &design.interconnect(p));
+        // NOTE: the paper prints t' = (2p-1)(u-1)+3(p-1)+1 in (4.8), but its
+        // own Π'(ū−l̄)+1 expansion gives (2p+1)(u-1)+3(p-1)+1; we measure the
+        // latter (see EXPERIMENTS.md).
+        t.push(Record::eq(
+            &format!("cycles u={u} p={p} (Π'-consistent)"),
+            (2 * p + 1) * (u - 1) + 3 * (p - 1) + 1,
+            run.cycles,
+        ));
+        t.push(Record::eq(&format!("PEs u={u} p={p}"), u * u * p * p, run.processors as i64));
+        t.push(Record::check(
+            &format!("legal u={u} p={p}"),
+            "conflict-free + causal",
+            run.conflict_free && run.causality_ok,
+        ));
+    }
+    t.push(Record::eq(
+        "longest wire (Fig. 5)",
+        1i64,
+        Interconnect::paper_p_prime().max_wire_length(),
+    ));
+    t.push(Record::check(
+        "t' > t (cost of avoiding long wires)",
+        "Fig. 5 slower than Fig. 4",
+        (2..6).all(|p: i64| {
+            (2..6).all(|u: i64| {
+                PaperDesign::NearestNeighbour.total_time(u, p)
+                    > PaperDesign::TimeOptimal.total_time(u, p)
+            })
+        }),
+    ));
+
+    ExperimentOutcome { id: "e7".into(), table: t }
+}
+
+/// E8 — Section 4.2: bit-level vs word-level speedup (`O(p²)` / `O(p)`).
+pub fn e8() -> ExperimentOutcome {
+    let mut t = RecordTable::new("E8: bit-level vs word-level speedup — Section 4.2");
+    // Measured speedups over a p sweep with u > p.
+    let mut last_addshift = 0.0f64;
+    let mut last_carrysave = 0.0f64;
+    for p in [2i64, 4, 8, 16] {
+        let u = 2 * p; // keep u > p as the paper assumes
+        let bit = PaperDesign::TimeOptimal.total_time(u, p);
+        let addshift = AddShift::new(p as usize);
+        let carrysave = CarrySave::new(p as usize);
+        let w_as = word_level_total_time(u, addshift.word_latency() as i64);
+        let w_cs = word_level_total_time(u, carrysave.word_latency() as i64);
+        let s_as = w_as as f64 / bit as f64;
+        let s_cs = w_cs as f64 / bit as f64;
+        t.push(Record::check(
+            &format!("bit-level wins, p={p} u={u}"),
+            "speedup > 1 for both word PEs",
+            s_as > 1.0 && s_cs > 1.0,
+        ));
+        if last_addshift > 0.0 {
+            // Doubling p: add-shift speedup should grow ~4x (Θ(p²)),
+            // carry-save ~2x (Θ(p)); allow generous slack for the +1 terms.
+            t.push(Record::info(
+                &format!("speedup growth p={}→{p}", p / 2),
+                "≈4x (add-shift), ≈2x (carry-save)",
+                format!("{:.2}x, {:.2}x", s_as / last_addshift, s_cs / last_carrysave),
+                (2.5..6.0).contains(&(s_as / last_addshift))
+                    && (1.4..3.0).contains(&(s_cs / last_carrysave)),
+            ));
+        }
+        last_addshift = s_as;
+        last_carrysave = s_cs;
+    }
+    // A fully simulated (not closed-form) instance: word-level array run
+    // functionally and the bit-level array measured by the mapped simulator.
+    let (u, p) = (4i64, 3i64);
+    let addshift = AddShift::new(p as usize);
+    let word = WordLevelArray::new(u as usize, &addshift);
+    let x: Vec<Vec<u128>> = (0..u).map(|i| (0..u).map(|j| ((i + j) % 4) as u128).collect()).collect();
+    let y: Vec<Vec<u128>> = (0..u).map(|i| (0..u).map(|j| ((2 * i + j) % 4) as u128).collect()).collect();
+    let wr = word.run(&x, &y);
+    let alg = compose(&WordLevelAlgorithm::matmul(u), p as usize, Expansion::II);
+    let br = simulate_mapped(
+        &alg,
+        &PaperDesign::TimeOptimal.mapping(p),
+        &PaperDesign::TimeOptimal.interconnect(p),
+    );
+    t.push(Record::info(
+        &format!("measured cycles u={u} p={p}"),
+        "bit-level << word-level (add-shift PE)",
+        format!("bit {} vs word {}", br.cycles, wr.bit_cycles),
+        br.cycles < wr.bit_cycles,
+    ));
+
+    ExperimentOutcome { id: "e8".into(), table: t }
+}
+
+/// E9 — Section 3.2 discussion: Expansion I vs Expansion II.
+pub fn e9() -> ExperimentOutcome {
+    let mut t = RecordTable::new("E9: Expansion I vs II — Section 3.2 discussion");
+    let (u, p) = (3i64, 3usize);
+    let word = one_d_recurrence(u);
+    let a_i = compose(&word, p, Expansion::I);
+    let a_ii = compose(&word, p, Expansion::II);
+
+    // "Expansion II is slower than Expansion I because the computation at j̄
+    // has to wait for the final results at j̄−h̄₃. In Expansion I, partial sum
+    // bits in j̄−h̄₃ are sent to j̄ and takes less time."
+    //
+    // Measured two ways: (a) DAG critical path (I never longer — at small
+    // sizes the tile-u drain dominates both and they can tie); (b) the mean
+    // ASAP depth of the data carried by d̄₃, which is the paper's actual
+    // argument: partial sums (I) are produced far shallower than final
+    // results (II).
+    let cp_i = critical_path(&a_i);
+    let cp_ii = critical_path(&a_ii);
+    t.push(Record::info(
+        "critical path (1-D, u=3, p=3)",
+        "Expansion I never longer",
+        format!("I: {cp_i}, II: {cp_ii}"),
+        cp_i <= cp_ii,
+    ));
+    let depth_i = mean_producer_depth(&a_i, 2).expect("d̄₃ active somewhere");
+    let depth_ii = mean_producer_depth(&a_ii, 2).expect("d̄₃ active somewhere");
+    t.push(Record::info(
+        "mean ASAP depth of d̄₃ producers",
+        "partial sums (I) ready earlier than final bits (II)",
+        format!("I: {depth_i:.2}, II: {depth_ii:.2}"),
+        depth_i < depth_ii,
+    ));
+
+    // "Expansion I is more computationally uniform because at all points,
+    // except when j = u, at most three bits are to be summed; in contrast, in
+    // Expansion II, four or five bits have to be summed on the hyperplane
+    // i₁ = p."
+    let h_i = fanin_histogram(&a_i);
+    let h_ii = fanin_histogram(&a_ii);
+    let wide = |h: &[u64]| h.iter().skip(4).sum::<u64>();
+    t.push(Record::info(
+        "points with ≥4 summed inputs",
+        "fewer in Expansion I",
+        format!("I: {}, II: {} (histograms I {:?}, II {:?})", wide(&h_i), wide(&h_ii), h_i, h_ii),
+        wide(&h_i) < wide(&h_ii),
+    ));
+
+    // Wide points of Expansion I are confined to the jₙ = uₙ hyperplane.
+    let set = &a_i.index_set;
+    let confined = set.iter_points().all(|q| {
+        let k = a_i.deps.active_at(&q, set).count();
+        k < 4 || q[0] == set.upper()[0]
+    });
+    t.push(Record::check(
+        "Expansion I wide points",
+        "only on jₙ = uₙ",
+        confined,
+    ));
+
+    // And for the matmul structure too (the paper's general claim).
+    let m_i = compose(&WordLevelAlgorithm::matmul(2), 3, Expansion::I);
+    let m_ii = compose(&WordLevelAlgorithm::matmul(2), 3, Expansion::II);
+    t.push(Record::info(
+        "critical path (matmul u=2, p=3)",
+        "Expansion I never longer",
+        format!("I: {}, II: {}", critical_path(&m_i), critical_path(&m_ii)),
+        critical_path(&m_i) <= critical_path(&m_ii),
+    ));
+    let md_i = mean_producer_depth(&m_i, 2).expect("d̄₃ active");
+    let md_ii = mean_producer_depth(&m_ii, 2).expect("d̄₃ active");
+    t.push(Record::info(
+        "mean d̄₃ producer depth (matmul)",
+        "I shallower than II",
+        format!("I: {md_i:.2}, II: {md_ii:.2}"),
+        md_i < md_ii,
+    ));
+
+    ExperimentOutcome { id: "e9".into(), table: t }
+}
+
+/// E10 — extension: lower-dimensional (linear) array synthesis, per the
+/// design method the paper builds on ([5,6,10] map onto *lower dimensional*
+/// arrays; Definition 4.1 already supports any `k`).
+pub fn e10() -> ExperimentOutcome {
+    use bitlevel_mapping::{
+        check_feasibility, find_linear_array_mapping, linear_interconnect, processor_count,
+        total_time, MappingMatrix,
+    };
+    let mut t = RecordTable::new("E10 (extension): linear bit-level array synthesis");
+    let (u, p) = (2i64, 2usize);
+    let alg = compose(&WordLevelAlgorithm::matmul(u), p, Expansion::II);
+    let ic = linear_interconnect(Some(2));
+
+    // The joint (S, Π) search is release-speed work; under debug builds the
+    // known optimum is verified instead (same assertions, no search).
+    let (s_row, pi, searched) = if cfg!(debug_assertions) {
+        (IVec::from([0, 1, 2, -2, -1]), IVec::from([1, 1, 2, 2, 1]), false)
+    } else {
+        match find_linear_array_mapping(&alg, &ic, 2, 3) {
+            Some(d) => (IVec(d.mapping.space.row(0).to_vec()), d.mapping.schedule, true),
+            None => {
+                t.push(Record::check("search", "a feasible linear design exists", false));
+                return ExperimentOutcome { id: "e10".into(), table: t };
+            }
+        }
+    };
+    let tmap = MappingMatrix::new(
+        IMat::from_flat(1, 5, s_row.as_slice().to_vec()),
+        pi.clone(),
+    );
+    let rep = check_feasibility(&tmap, &alg, &ic);
+    t.push(Record::check(
+        "Definition 4.1 on the linear design",
+        "feasible on a 1-D machine",
+        rep.is_feasible(),
+    ));
+    let time = total_time(&pi, &alg.index_set);
+    let pes = processor_count(&tmap.space, &alg.index_set);
+    t.push(Record::info(
+        "linear design (u=p=2)",
+        "time 8, 7 PEs (S=[0,1,2,-2,-1], Pi=[1,1,2,2,1])",
+        format!("time {time}, {pes} PEs, searched={searched}"),
+        time == 8 && pes == 7,
+    ));
+    // Fundamental work bound and the dimension trade-off.
+    t.push(Record::check(
+        "work bound",
+        "time x PEs >= |J| = 32",
+        time as usize * pes >= 32,
+    ));
+    t.push(Record::check(
+        "dimension trade-off",
+        "1-D array slower than the 2-D time-optimal design (7 cycles)",
+        time > 3 * (u - 1) + 3 * (p as i64 - 1) + 1,
+    ));
+    // Within |S| <= 1 nothing is feasible: the search must be honest.
+    t.push(Record::check(
+        "tight bound honesty",
+        "no design with |S| <= 1",
+        find_linear_array_mapping(&alg, &ic, 1, 2).is_none(),
+    ));
+
+    ExperimentOutcome { id: "e10".into(), table: t }
+}
+
+/// E11 — ablation: which machine features the Fig. 4 design actually needs.
+pub fn e11() -> ExperimentOutcome {
+    use bitlevel_mapping::{dependence_only_bound, find_optimal_schedule};
+    let mut t = RecordTable::new("E11 (ablation): machine features vs optimal schedule");
+    let (u, p) = (2i64, 2i64);
+    let alg = compose(&WordLevelAlgorithm::matmul(u), p as usize, Expansion::II);
+    let s = PaperDesign::space(p);
+
+    // The dependence-only lower bound: no machine can schedule faster.
+    let lb = dependence_only_bound(&alg, 2).expect("positive schedules exist");
+    t.push(Record::eq("dependence-only lower bound", 7i64, lb));
+
+    let machines: [(&str, Interconnect, Option<i64>); 4] = [
+        (
+            "full P (long wires + diagonal)",
+            Interconnect::paper_p(p),
+            Some(7),
+        ),
+        (
+            "P' (units + diagonal, no long wires)",
+            Interconnect::paper_p_prime(),
+            Some(9),
+        ),
+        (
+            // No diagonal: d̄₆ = [1,−1] costs two mesh hops, pushing π₄ to 3.
+            "4-mesh + static (no diagonal)",
+            Interconnect::new(IMat::from_rows(&[&[0, 0, 1, -1, 0], &[1, -1, 0, 0, 0]])),
+            Some(10),
+        ),
+        (
+            // The paper's P has no negative unit links: without the diagonal
+            // the drain d̄₆ = [1,−1] becomes unroutable entirely.
+            "paper P minus the diagonal",
+            Interconnect::new(IMat::from_rows(&[&[p, 0, 0, 1, 0], &[0, p, 0, 0, 1]])),
+            None,
+        ),
+    ];
+    for (name, ic, expect) in machines {
+        let found = find_optimal_schedule(&s, &alg, &ic, 3);
+        match expect {
+            Some(time) => match found {
+                Some(best) => t.push(Record::eq(&format!("optimal time: {name}"), time, best.time)),
+                None => t.push(Record::check(&format!("optimal time: {name}"), "feasible", false)),
+            },
+            None => t.push(Record::check(
+                name,
+                "infeasible (d̄₆ unroutable)",
+                found.is_none(),
+            )),
+        }
+    }
+    // The full machine achieves the dependence-only bound: Theorem 4.5's
+    // "time optimal" is optimal among all linear schedules, not merely all
+    // schedules this machine admits.
+    t.push(Record::check(
+        "Fig. 4 meets the schedule lower bound",
+        "machine features cost nothing",
+        lb == 7,
+    ));
+
+    ExperimentOutcome { id: "e11".into(), table: t }
+}
+
+/// E12 — extension: exact carry accounting for the literal Expansion I
+/// structure (the quantitative counterpart of the eq. (3.1) boundary note).
+pub fn e12() -> ExperimentOutcome {
+    use bitlevel_systolic::ExpansionIMatmul;
+    let mut t = RecordTable::new("E12 (extension): Expansion I literal semantics, carry accounting");
+    let (u, p) = (3usize, 3usize);
+    let sim = ExpansionIMatmul::new(u, p);
+
+    // Sparse operands chosen so every accumulation adds disjoint bits
+    // (x(i,k) = 2^k, y = 1): no carries arise anywhere, the literal
+    // structure is exact.
+    let x_sparse: Vec<Vec<u128>> = (0..u).map(|_| (0..u).map(|k| 1u128 << (k % p)).collect()).collect();
+    let y_sparse: Vec<Vec<u128>> = (0..u).map(|_| (0..u).map(|_| 1u128).collect()).collect();
+    let run = sim.run(&x_sparse, &y_sparse);
+    t.push(Record::check(
+        "sparse operands",
+        "literal structure exact (no dropped carries)",
+        run.is_exact() && sim.accounting_holds(&x_sparse, &y_sparse, &run),
+    ));
+
+    // Dense operands: carries drop, but every lost bit is accounted for
+    // exactly: result + Σ 2^weight == true product (mod 2^{2p−1}).
+    let x_dense: Vec<Vec<u128>> = (0..u).map(|i| (0..u).map(|j| ((3 * i + 2 * j + 5) % 8) as u128).collect()).collect();
+    let y_dense: Vec<Vec<u128>> = (0..u).map(|i| (0..u).map(|j| ((5 * i + j + 3) % 8) as u128).collect()).collect();
+    let run = sim.run(&x_dense, &y_dense);
+    t.push(Record::info(
+        "dense operands",
+        "drops occur; accounting identity exact",
+        format!("{} carries dropped, identity holds = {}", run.dropped.len(), sim.accounting_holds(&x_dense, &y_dense, &run)),
+        !run.dropped.is_empty() && sim.accounting_holds(&x_dense, &y_dense, &run),
+    ));
+
+    // Uniformity (the Section 3.2 claim, counted): wide cells only on the
+    // drain plane j₃ = u.
+    t.push(Record::eq(
+        "wide cells (only the drain plane)",
+        (u * u * p * p) as u64,
+        run.wide_cells,
+    ));
+    t.push(Record::eq(
+        "narrow (3-input) cells",
+        (u * u * (u - 1) * p * p) as u64,
+        run.narrow_cells,
+    ));
+
+    ExperimentOutcome { id: "e12".into(), table: t }
+}
+
+/// E13 — extension: the generic model-(3.5) architecture flow — convolution
+/// and matrix–vector product run clocked (RTL) on searched schedules.
+pub fn e13() -> ExperimentOutcome {
+    use bitlevel_mapping::{check_feasibility, MappingMatrix};
+    use bitlevel_systolic::{run_clocked, Model35Cells};
+    let mut t = RecordTable::new("E13 (extension): generic model-(3.5) architectures, clocked");
+
+    // Convolution.
+    {
+        let (outputs, taps, p) = (4i64, 3i64, 3usize);
+        let word = WordLevelAlgorithm::convolution(outputs, taps);
+        let alg = compose(&word, p, Expansion::II);
+        let xs: Vec<u128> = (0..(outputs + taps - 1)).map(|k| (k as u128 % 3) + 1).collect();
+        let ws: Vec<u128> = (0..taps).map(|k| (k as u128 % 2) + 1).collect();
+        let s = IMat::from_rows(&[&[p as i64, 0, 1, 0], &[0, 0, 0, 1]]);
+        let ic = Interconnect::new(IMat::from_rows(&[
+            &[p as i64, 0, 1, 0, 1],
+            &[0, 0, 0, 1, -1],
+        ]));
+        let found = find_optimal_schedule(&s, &alg, &ic, 3);
+        match found {
+            Some(best) => {
+                let tmap = MappingMatrix::new(s, best.pi.clone());
+                let feas = check_feasibility(&tmap, &alg, &ic).is_feasible();
+                let (xs2, ws2) = (xs.clone(), ws.clone());
+                let mut cells = Model35Cells::new(
+                    &word,
+                    p,
+                    &alg,
+                    move |j| xs2[(j[0] + j[1] - 2) as usize],
+                    move |j| ws2[(j[1] - 1) as usize],
+                );
+                let run = run_clocked(&alg, &tmap, &ic, &mut cells);
+                let results = cells.extract_results(&run);
+                let all_correct = results.iter().all(|(tail, &value)| {
+                    let j1 = tail[0];
+                    let want: u128 = (1..=taps)
+                        .map(|j2| xs[(j1 + j2 - 2) as usize] * ws[(j2 - 1) as usize])
+                        .sum();
+                    value == want
+                });
+                t.push(Record::info(
+                    "convolution (4 outputs, 3 taps, p=3)",
+                    "searched schedule, legal run, correct samples",
+                    format!("Pi = {}, {} cycles, legal = {}, correct = {all_correct}", best.pi, run.cycles, run.is_legal()),
+                    feas && run.is_legal() && all_correct,
+                ));
+            }
+            None => t.push(Record::check("convolution", "feasible schedule exists", false)),
+        }
+    }
+
+    // Matrix–vector product (no word-level reuse of the matrix operand).
+    {
+        let (m, k, p) = (3i64, 3i64, 3usize);
+        let word = WordLevelAlgorithm::matvec(m, k);
+        let alg = compose(&word, p, Expansion::II);
+        t.push(Record::eq("matvec structure columns (no d̄₂)", 6usize, alg.deps.len()));
+        let a: Vec<Vec<u128>> = (0..m).map(|i| (0..k).map(|j| ((i + 2 * j) % 4) as u128).collect()).collect();
+        let v: Vec<u128> = (0..k).map(|kk| ((kk % 3) + 1) as u128).collect();
+        let s = IMat::from_rows(&[&[p as i64, 0, 1, 0], &[0, 0, 0, 1]]);
+        let ic = Interconnect::new(IMat::from_rows(&[
+            &[p as i64, 0, 1, 0, 1],
+            &[0, 0, 0, 1, -1],
+        ]));
+        match find_optimal_schedule(&s, &alg, &ic, 3) {
+            Some(best) => {
+                let tmap = MappingMatrix::new(s, best.pi);
+                let (a2, v2) = (a.clone(), v.clone());
+                let mut cells = Model35Cells::new(
+                    &word,
+                    p,
+                    &alg,
+                    move |j| v2[(j[1] - 1) as usize],
+                    move |j| a2[(j[0] - 1) as usize][(j[1] - 1) as usize],
+                );
+                let run = run_clocked(&alg, &tmap, &ic, &mut cells);
+                let all_correct = cells.extract_results(&run).iter().all(|(tail, &value)| {
+                    let i = (tail[0] - 1) as usize;
+                    let want: u128 = (0..k as usize).map(|kk| a[i][kk] * v[kk]).sum();
+                    value == want
+                });
+                t.push(Record::check(
+                    "matvec (3x3, p=3) clocked run",
+                    "legal and bit-correct",
+                    run.is_legal() && all_correct,
+                ));
+            }
+            None => t.push(Record::check("matvec", "feasible schedule exists", false)),
+        }
+    }
+
+    ExperimentOutcome { id: "e13".into(), table: t }
+}
+
+const ALL_IDS: [&str; 13] = [
+    "e1", "e2", "e3", "e4", "e5", "e6", "e7", "e8", "e9", "e10", "e11", "e12", "e13",
+];
+
+/// Runs one experiment by id ("e1" … "e13").
+pub fn run_experiment(id: &str) -> Option<ExperimentOutcome> {
+    match id.to_ascii_lowercase().as_str() {
+        "e1" => Some(e1()),
+        "e2" => Some(e2()),
+        "e3" => Some(e3()),
+        "e4" => Some(e4()),
+        "e5" => Some(e5()),
+        "e6" => Some(e6()),
+        "e7" => Some(e7()),
+        "e8" => Some(e8()),
+        "e9" => Some(e9()),
+        "e10" => Some(e10()),
+        "e11" => Some(e11()),
+        "e12" => Some(e12()),
+        "e13" => Some(e13()),
+        _ => None,
+    }
+}
+
+/// Runs the whole suite in order.
+pub fn run_all() -> Vec<ExperimentOutcome> {
+    ALL_IDS
+        .iter()
+        .map(|id| run_experiment(id).expect("known id"))
+        .collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn every_experiment_confirms_the_paper() {
+        for outcome in run_all() {
+            assert!(
+                outcome.passed(),
+                "experiment {} failed:\n{}",
+                outcome.id,
+                outcome.table.render_text()
+            );
+        }
+    }
+
+    #[test]
+    fn unknown_id_is_none() {
+        assert!(run_experiment("e42").is_none());
+    }
+}

@@ -1,0 +1,97 @@
+//! `experiments` — regenerate every figure/equation-level result of the paper.
+//!
+//! ```text
+//! cargo run -p bitlevel-bench --bin experiments [--release] [-- OPTIONS]
+//!
+//! OPTIONS:
+//!   --exp <id>       run one experiment (e1 … e13); default: all
+//!   --markdown       emit markdown tables (for EXPERIMENTS.md)
+//!   --json           emit the record tables as JSON
+//!   --sweep <name>   emit a CSV data series instead:
+//!                    speedup | analysis | utilization
+//! ```
+
+use bitlevel_bench::{run_all, run_experiment, sweeps};
+
+fn main() {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let mut which: Option<String> = None;
+    let mut markdown = false;
+    let mut json = false;
+    let mut sweep: Option<String> = None;
+    let mut i = 0;
+    while i < args.len() {
+        match args[i].as_str() {
+            "--exp" => {
+                i += 1;
+                which = Some(args.get(i).cloned().unwrap_or_else(|| {
+                    eprintln!("--exp requires an id (e1..e13)");
+                    std::process::exit(2);
+                }));
+            }
+            "--markdown" => markdown = true,
+            "--json" => json = true,
+            "--sweep" => {
+                i += 1;
+                sweep = Some(args.get(i).cloned().unwrap_or_else(|| {
+                    eprintln!("--sweep requires a name (speedup|analysis|utilization)");
+                    std::process::exit(2);
+                }));
+            }
+            other => {
+                eprintln!("unknown option {other}");
+                std::process::exit(2);
+            }
+        }
+        i += 1;
+    }
+
+    if let Some(name) = sweep {
+        let csv = match name.as_str() {
+            "speedup" => sweeps::speedup_csv(&sweeps::speedup_sweep(&sweeps::default_speedup_sizes())),
+            "analysis" => {
+                sweeps::analysis_time_csv(&sweeps::analysis_time_sweep(&sweeps::default_analysis_sizes()))
+            }
+            "utilization" => {
+                sweeps::utilization_csv(&sweeps::utilization_sweep(&sweeps::default_speedup_sizes()))
+            }
+            other => {
+                eprintln!("unknown sweep {other} (speedup|analysis|utilization)");
+                std::process::exit(2);
+            }
+        };
+        print!("{csv}");
+        return;
+    }
+
+    let outcomes = match which {
+        Some(id) => match run_experiment(&id) {
+            Some(o) => vec![o],
+            None => {
+                eprintln!("unknown experiment id {id} (use e1..e9)");
+                std::process::exit(2);
+            }
+        },
+        None => run_all(),
+    };
+
+    let mut all_ok = true;
+    for o in &outcomes {
+        all_ok &= o.passed();
+        if json {
+            println!("{}", serde_json::to_string_pretty(&o.table).expect("serializable"));
+        } else if markdown {
+            println!("{}", o.table.render_markdown());
+        } else {
+            println!("{}", o.table.render_text());
+        }
+    }
+    if !json {
+        println!(
+            "{} experiment(s), {}",
+            outcomes.len(),
+            if all_ok { "all rows confirm the paper (modulo documented typos)" } else { "SOME ROWS FAILED" }
+        );
+    }
+    std::process::exit(if all_ok { 0 } else { 1 });
+}

@@ -1,0 +1,270 @@
+//! Parameter sweeps: the figure-style data series behind the experiments.
+//!
+//! Each sweep emits a CSV table (to stdout via the `experiments --sweep`
+//! flag) so the paper's comparison curves can be re-plotted:
+//!
+//! * [`speedup_sweep`] — measured bit-level cycles (both designs) vs the
+//!   word-level baselines across `(u, p)`: the Section 4.2 speedup curves;
+//! * [`analysis_time_sweep`] — derivation wall-time of the compositional vs
+//!   general analyses as the expanded size grows: the Section 1 claim;
+//! * [`utilization_sweep`] — PE counts, utilisation and peak parallelism of
+//!   the two designs across sizes (the cost side of the time optimality).
+//!
+//! Sweep rows are computed in parallel with rayon.
+
+use bitlevel_arith::{AddShift, CarrySave};
+use bitlevel_depanal::{compare_analyses, compose, Expansion};
+use bitlevel_ir::WordLevelAlgorithm;
+use bitlevel_mapping::{word_level_total_time, PaperDesign};
+use bitlevel_systolic::simulate_mapped;
+use rayon::prelude::*;
+use serde::Serialize;
+
+/// One row of the speedup sweep.
+#[derive(Debug, Clone, Serialize)]
+pub struct SpeedupRow {
+    /// Matrix dimension.
+    pub u: i64,
+    /// Word length.
+    pub p: i64,
+    /// Measured cycles of the Fig. 4 design.
+    pub fig4_cycles: i64,
+    /// Measured cycles of the Fig. 5 design.
+    pub fig5_cycles: i64,
+    /// Word-level baseline with add-shift PEs (`t_b = p²`).
+    pub word_addshift: i64,
+    /// Word-level baseline with carry-save PEs (`t_b = 2p`).
+    pub word_carrysave: i64,
+    /// Speedup of Fig. 4 over the add-shift word baseline.
+    pub speedup_addshift: f64,
+    /// Speedup of Fig. 4 over the carry-save word baseline.
+    pub speedup_carrysave: f64,
+}
+
+/// Measures the Section 4.2 comparison across a `(u, p)` grid.
+pub fn speedup_sweep(sizes: &[(i64, i64)]) -> Vec<SpeedupRow> {
+    sizes
+        .par_iter()
+        .map(|&(u, p)| {
+            let alg = compose(&WordLevelAlgorithm::matmul(u), p as usize, Expansion::II);
+            let fig4 = simulate_mapped(
+                &alg,
+                &PaperDesign::TimeOptimal.mapping(p),
+                &PaperDesign::TimeOptimal.interconnect(p),
+            );
+            let fig5 = simulate_mapped(
+                &alg,
+                &PaperDesign::NearestNeighbour.mapping(p),
+                &PaperDesign::NearestNeighbour.interconnect(p),
+            );
+            assert!(fig4.conflict_free && fig4.causality_ok);
+            assert!(fig5.conflict_free && fig5.causality_ok);
+            let word_addshift =
+                word_level_total_time(u, AddShift::new(p as usize).word_latency() as i64);
+            let word_carrysave =
+                word_level_total_time(u, CarrySave::new(p as usize).word_latency() as i64);
+            SpeedupRow {
+                u,
+                p,
+                fig4_cycles: fig4.cycles,
+                fig5_cycles: fig5.cycles,
+                word_addshift,
+                word_carrysave,
+                speedup_addshift: word_addshift as f64 / fig4.cycles as f64,
+                speedup_carrysave: word_carrysave as f64 / fig4.cycles as f64,
+            }
+        })
+        .collect()
+}
+
+/// CSV rendering of the speedup sweep.
+pub fn speedup_csv(rows: &[SpeedupRow]) -> String {
+    let mut out = String::from(
+        "u,p,fig4_cycles,fig5_cycles,word_addshift,word_carrysave,speedup_addshift,speedup_carrysave\n",
+    );
+    for r in rows {
+        out.push_str(&format!(
+            "{},{},{},{},{},{},{:.3},{:.3}\n",
+            r.u,
+            r.p,
+            r.fig4_cycles,
+            r.fig5_cycles,
+            r.word_addshift,
+            r.word_carrysave,
+            r.speedup_addshift,
+            r.speedup_carrysave
+        ));
+    }
+    out
+}
+
+/// One row of the analysis-time sweep.
+#[derive(Debug, Clone, Serialize)]
+pub struct AnalysisTimeRow {
+    /// Matrix dimension.
+    pub u: i64,
+    /// Word length.
+    pub p: usize,
+    /// Compound index points `|J|`.
+    pub index_points: u128,
+    /// Theorem 3.1 derivation time (ns).
+    pub compose_ns: u128,
+    /// Exhaustive enumeration time (ns).
+    pub enumerate_ns: u128,
+    /// Diophantine-plus-verify time (ns).
+    pub diophantine_ns: u128,
+    /// Whether all three agreed.
+    pub agree: bool,
+}
+
+/// Times the three derivation routes as the expanded size grows.
+pub fn analysis_time_sweep(sizes: &[(i64, usize)]) -> Vec<AnalysisTimeRow> {
+    // Sequential on purpose: wall-clock timing rows should not contend.
+    sizes
+        .iter()
+        .map(|&(u, p)| {
+            let rep = compare_analyses(&WordLevelAlgorithm::matmul(u), p, Expansion::II);
+            AnalysisTimeRow {
+                u,
+                p,
+                index_points: rep.index_points,
+                compose_ns: rep.compose_time.as_nanos(),
+                enumerate_ns: rep.enumerate_time.as_nanos(),
+                diophantine_ns: rep.diophantine_time.as_nanos(),
+                agree: rep.matches_enumeration && rep.diophantine_matches,
+            }
+        })
+        .collect()
+}
+
+/// CSV rendering of the analysis-time sweep.
+pub fn analysis_time_csv(rows: &[AnalysisTimeRow]) -> String {
+    let mut out =
+        String::from("u,p,index_points,compose_ns,enumerate_ns,diophantine_ns,agree\n");
+    for r in rows {
+        out.push_str(&format!(
+            "{},{},{},{},{},{},{}\n",
+            r.u, r.p, r.index_points, r.compose_ns, r.enumerate_ns, r.diophantine_ns, r.agree
+        ));
+    }
+    out
+}
+
+/// One row of the utilisation sweep.
+#[derive(Debug, Clone, Serialize)]
+pub struct UtilizationRow {
+    /// Matrix dimension.
+    pub u: i64,
+    /// Word length.
+    pub p: i64,
+    /// Design label.
+    pub design: String,
+    /// Cycles.
+    pub cycles: i64,
+    /// Processors.
+    pub processors: usize,
+    /// Busy fraction.
+    pub utilization: f64,
+    /// Peak simultaneously-busy PEs.
+    pub peak_parallelism: usize,
+    /// Buffer-cycles consumed.
+    pub buffer_cycles: u64,
+}
+
+/// Measures the resource side of both designs across sizes.
+pub fn utilization_sweep(sizes: &[(i64, i64)]) -> Vec<UtilizationRow> {
+    sizes
+        .par_iter()
+        .flat_map(|&(u, p)| {
+            let alg = compose(&WordLevelAlgorithm::matmul(u), p as usize, Expansion::II);
+            [PaperDesign::TimeOptimal, PaperDesign::NearestNeighbour]
+                .into_iter()
+                .map(|design| {
+                    let run = simulate_mapped(&alg, &design.mapping(p), &design.interconnect(p));
+                    UtilizationRow {
+                        u,
+                        p,
+                        design: design.name().to_string(),
+                        cycles: run.cycles,
+                        processors: run.processors,
+                        utilization: run.utilization,
+                        peak_parallelism: run.peak_parallelism,
+                        buffer_cycles: run.buffer_cycles,
+                    }
+                })
+                .collect::<Vec<_>>()
+        })
+        .collect()
+}
+
+/// CSV rendering of the utilisation sweep.
+pub fn utilization_csv(rows: &[UtilizationRow]) -> String {
+    let mut out = String::from(
+        "u,p,design,cycles,processors,utilization,peak_parallelism,buffer_cycles\n",
+    );
+    for r in rows {
+        out.push_str(&format!(
+            "{},{},\"{}\",{},{},{:.4},{},{}\n",
+            r.u, r.p, r.design, r.cycles, r.processors, r.utilization, r.peak_parallelism, r.buffer_cycles
+        ));
+    }
+    out
+}
+
+/// Default sweep grids (kept modest so debug runs stay fast; release runs
+/// can pass larger grids).
+pub fn default_speedup_sizes() -> Vec<(i64, i64)> {
+    vec![(2, 2), (3, 3), (4, 3), (4, 4), (6, 4), (8, 4), (8, 6), (10, 8)]
+}
+
+/// Default sizes for the analysis-time sweep (the general methods are
+/// exponential — that is the result being shown).
+pub fn default_analysis_sizes() -> Vec<(i64, usize)> {
+    vec![(2, 2), (2, 3), (3, 2), (3, 3)]
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn speedup_rows_have_paper_shape() {
+        let rows = speedup_sweep(&[(2, 2), (3, 3), (4, 4)]);
+        assert_eq!(rows.len(), 3);
+        for r in &rows {
+            assert_eq!(r.fig4_cycles, 3 * (r.u - 1) + 3 * (r.p - 1) + 1);
+            assert!(r.fig5_cycles >= r.fig4_cycles);
+            assert!(r.speedup_addshift >= r.speedup_carrysave);
+        }
+        // Speedups grow with p.
+        assert!(rows[2].speedup_addshift > rows[0].speedup_addshift);
+        let csv = speedup_csv(&rows);
+        assert_eq!(csv.lines().count(), 4);
+        assert!(csv.starts_with("u,p,"));
+    }
+
+    #[test]
+    fn analysis_rows_agree_and_diverge_in_time() {
+        let rows = analysis_time_sweep(&[(2, 2), (2, 3)]);
+        for r in &rows {
+            assert!(r.agree);
+            assert!(r.enumerate_ns > r.compose_ns);
+        }
+        let csv = analysis_time_csv(&rows);
+        assert!(csv.contains("true"));
+    }
+
+    #[test]
+    fn utilization_rows_cover_both_designs() {
+        let rows = utilization_sweep(&[(2, 2)]);
+        assert_eq!(rows.len(), 2);
+        assert!(rows.iter().any(|r| r.design.contains("Fig. 4")));
+        assert!(rows.iter().any(|r| r.design.contains("Fig. 5")));
+        for r in &rows {
+            assert!(r.utilization > 0.0 && r.utilization <= 1.0);
+            assert_eq!(r.processors, 16);
+        }
+        let csv = utilization_csv(&rows);
+        assert_eq!(csv.lines().count(), 3);
+    }
+}

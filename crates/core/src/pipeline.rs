@@ -1,0 +1,283 @@
+//! The end-to-end design flow of the paper's Section 1:
+//!
+//! 1. take a word-level algorithm of model (3.5);
+//! 2. **expand** it to bit level (conceptually — the dependence structure is
+//!    derived compositionally by Theorem 3.1, never materialising the
+//!    expanded code);
+//! 3. **map** the bit-level structure to a processor array (Definition 4.1),
+//!    either by verifying a given design or by searching for a time-optimal
+//!    schedule;
+//! 4. **simulate** the resulting architecture cycle-accurately and, for
+//!    matmul, bit-exactly.
+
+use bitlevel_depanal::{compose, Expansion};
+use bitlevel_ir::{AlgorithmTriplet, WordLevelAlgorithm};
+use bitlevel_linalg::IMat;
+use bitlevel_mapping::{
+    check_feasibility, find_optimal_schedule, total_time, Interconnect, MappingMatrix,
+    OptimalSchedule, PaperDesign,
+};
+use bitlevel_systolic::{simulate_mapped, BitMatmulArray, MappedRunReport};
+use serde::Serialize;
+
+/// A configured design flow: one word-level algorithm, one word length, one
+/// expansion.
+#[derive(Debug, Clone)]
+pub struct DesignFlow {
+    /// The word-level algorithm.
+    pub word: WordLevelAlgorithm,
+    /// Word length `p`.
+    pub p: usize,
+    /// Algorithm expansion.
+    pub expansion: Expansion,
+}
+
+/// Everything known about one concrete architecture for the flow.
+#[derive(Debug, Clone, Serialize)]
+pub struct ArchitectureReport {
+    /// Design label.
+    pub name: String,
+    /// Whether all five Definition 4.1 conditions hold.
+    pub feasible: bool,
+    /// Violations, rendered (empty when feasible).
+    pub violations: Vec<String>,
+    /// Measured simulation results.
+    pub run: MappedRunReport,
+    /// Closed-form execution time for cross-checking (when known).
+    pub closed_form_cycles: Option<i64>,
+    /// Longest wire length of the machine.
+    pub max_wire_length: i64,
+}
+
+impl DesignFlow {
+    /// Creates the flow.
+    pub fn new(word: WordLevelAlgorithm, p: usize, expansion: Expansion) -> Self {
+        DesignFlow { word, p, expansion }
+    }
+
+    /// Convenience: the paper's running example (u×u matmul, word length p,
+    /// Expansion II).
+    pub fn matmul(u: i64, p: usize) -> Self {
+        DesignFlow::new(WordLevelAlgorithm::matmul(u), p, Expansion::II)
+    }
+
+    /// Step 2: the bit-level dependence structure via Theorem 3.1.
+    pub fn bit_level_structure(&self) -> AlgorithmTriplet {
+        compose(&self.word, self.p, self.expansion)
+    }
+
+    /// Step 3+4 for an arbitrary mapping: feasibility check plus simulation.
+    pub fn evaluate(
+        &self,
+        name: &str,
+        t: &MappingMatrix,
+        ic: &Interconnect,
+        closed_form_cycles: Option<i64>,
+    ) -> ArchitectureReport {
+        let alg = self.bit_level_structure();
+        let rep = check_feasibility(t, &alg, ic);
+        let run = simulate_mapped(&alg, t, ic);
+        ArchitectureReport {
+            name: name.to_string(),
+            feasible: rep.is_feasible(),
+            violations: rep.violations.iter().map(|v| v.to_string()).collect(),
+            run,
+            closed_form_cycles,
+            max_wire_length: ic.max_wire_length(),
+        }
+    }
+
+    /// Step 3+4 for one of the paper's Section 4.2 matmul designs.
+    ///
+    /// # Panics
+    /// Panics if the flow is not a matmul flow (the designs are specific to
+    /// the 5-dimensional matmul structure).
+    pub fn evaluate_paper_design(&self, design: PaperDesign) -> ArchitectureReport {
+        assert_eq!(
+            self.word.dim(),
+            3,
+            "the Section 4 designs target the 3-D matmul word-level algorithm"
+        );
+        let p = self.p as i64;
+        let u = self.word.bounds.upper()[0];
+        self.evaluate(
+            design.name(),
+            &design.mapping(p),
+            &design.interconnect(p),
+            Some(design.total_time(u, p)),
+        )
+    }
+
+    /// Searches for a time-optimal schedule for a fixed space mapping
+    /// (Theorem 4.5 reproduced when applied to `S` of (4.2)).
+    pub fn optimize_schedule(
+        &self,
+        space: &IMat,
+        ic: &Interconnect,
+        bound: i64,
+    ) -> Option<OptimalSchedule> {
+        find_optimal_schedule(space, &self.bit_level_structure(), ic, bound)
+    }
+
+    /// The execution time a schedule would give on this flow's index set.
+    pub fn schedule_time(&self, pi: &bitlevel_linalg::IVec) -> i64 {
+        total_time(pi, &self.bit_level_structure().index_set)
+    }
+
+    /// The deepest verification available for matmul flows: executes the
+    /// chosen paper design on the **clocked RTL engine** (value-carrying
+    /// tokens, per-token route timing) with deterministic safe operands and
+    /// checks every product entry. Returns the measured cycle count.
+    ///
+    /// # Panics
+    /// Panics if the run is illegal (timing/routing/conflict violations) or
+    /// any product bit is wrong — with a message saying which.
+    pub fn run_clocked_matmul(&self, design: PaperDesign) -> i64 {
+        use bitlevel_systolic::{run_clocked, Model35Cells};
+        assert_eq!(self.word.dim(), 3, "clocked matmul verification targets matmul");
+        assert_eq!(self.expansion, Expansion::II, "the clocked cells implement Expansion II");
+        let u = self.word.bounds.upper()[0] as usize;
+        let p = self.p;
+        let alg = self.bit_level_structure();
+
+        let m = BitMatmulArray::new(u, p).max_safe_entry();
+        let x: Vec<Vec<u128>> = (0..u)
+            .map(|i| (0..u).map(|j| ((7 * i + 2 * j + 1) as u128) % (m + 1)).collect())
+            .collect();
+        let y: Vec<Vec<u128>> = (0..u)
+            .map(|i| (0..u).map(|j| ((i + 5 * j + 3) as u128) % (m + 1)).collect())
+            .collect();
+
+        let (xo, yo) = (x.clone(), y.clone());
+        let mut cells = Model35Cells::new(
+            &self.word,
+            p,
+            &alg,
+            move |j| xo[(j[0] - 1) as usize][(j[2] - 1) as usize],
+            move |j| yo[(j[2] - 1) as usize][(j[1] - 1) as usize],
+        );
+        let run = run_clocked(
+            &alg,
+            &design.mapping(p as i64),
+            &design.interconnect(p as i64),
+            &mut cells,
+        );
+        assert!(run.is_legal(), "clocked violations: {:?}", run.violations);
+        for (tail, value) in cells.extract_results(&run) {
+            let (i, j) = ((tail[0] - 1) as usize, (tail[1] - 1) as usize);
+            let want: u128 = (0..u).map(|k| x[i][k] * y[k][j]).sum();
+            assert_eq!(value, want, "clocked Z[{i}][{j}] wrong");
+        }
+        run.cycles
+    }
+
+    /// Bit-exact functional verification for matmul flows: runs the
+    /// Expansion II array on deterministic safe operands and compares with
+    /// native arithmetic. Returns the tested matrix size.
+    ///
+    /// # Panics
+    /// Panics (with a descriptive message) if the array miscomputes — this is
+    /// the "does the architecture actually multiply matrices" check.
+    pub fn verify_matmul_functionally(&self) -> usize {
+        assert_eq!(self.word.dim(), 3, "functional verification targets matmul");
+        let u = self.word.bounds.upper()[0] as usize;
+        let arr = BitMatmulArray::new(u, self.p);
+        let m = arr.max_safe_entry();
+        let x: Vec<Vec<u128>> = (0..u)
+            .map(|i| (0..u).map(|j| ((3 * i + 7 * j + 1) as u128) % (m + 1)).collect())
+            .collect();
+        let y: Vec<Vec<u128>> = (0..u)
+            .map(|i| (0..u).map(|j| ((5 * i + 2 * j + 3) as u128) % (m + 1)).collect())
+            .collect();
+        let got = arr.multiply(&x, &y);
+        for i in 0..u {
+            for j in 0..u {
+                let want: u128 = (0..u).map(|k| x[i][k] * y[k][j]).sum();
+                assert_eq!(
+                    got[i][j], want,
+                    "bit-level array miscomputed Z[{i}][{j}] for u={u}, p={}",
+                    self.p
+                );
+            }
+        }
+        u
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn end_to_end_matmul_fig4() {
+        let flow = DesignFlow::matmul(3, 3);
+        let rep = flow.evaluate_paper_design(PaperDesign::TimeOptimal);
+        assert!(rep.feasible, "{:?}", rep.violations);
+        assert_eq!(Some(rep.run.cycles), rep.closed_form_cycles);
+        assert_eq!(rep.run.cycles, 13);
+        assert_eq!(rep.run.processors, 81);
+        assert_eq!(rep.max_wire_length, 3);
+        flow.verify_matmul_functionally();
+    }
+
+    #[test]
+    fn end_to_end_matmul_fig5() {
+        let flow = DesignFlow::matmul(3, 3);
+        let rep = flow.evaluate_paper_design(PaperDesign::NearestNeighbour);
+        assert!(rep.feasible, "{:?}", rep.violations);
+        assert_eq!(Some(rep.run.cycles), rep.closed_form_cycles);
+        assert_eq!(rep.max_wire_length, 1);
+    }
+
+    #[test]
+    fn clocked_rtl_matches_closed_forms_for_both_designs() {
+        let flow = DesignFlow::matmul(3, 3);
+        assert_eq!(flow.run_clocked_matmul(PaperDesign::TimeOptimal), 13);
+        assert_eq!(flow.run_clocked_matmul(PaperDesign::NearestNeighbour), 21);
+    }
+
+    #[test]
+    fn optimizer_recovers_theorem_4_5() {
+        let flow = DesignFlow::matmul(2, 2);
+        let s = PaperDesign::space(2);
+        let best = flow
+            .optimize_schedule(&s, &Interconnect::paper_p(2), 2)
+            .expect("feasible");
+        assert_eq!(best.pi, bitlevel_linalg::IVec::from([1, 1, 1, 2, 1]));
+        assert_eq!(best.time, flow.schedule_time(&best.pi));
+    }
+
+    #[test]
+    fn expansion_choice_flows_through() {
+        let f1 = DesignFlow::new(WordLevelAlgorithm::matmul(2), 2, Expansion::I);
+        let f2 = DesignFlow::new(WordLevelAlgorithm::matmul(2), 2, Expansion::II);
+        let a1 = f1.bit_level_structure();
+        let a2 = f2.bit_level_structure();
+        assert_eq!(a1.dependence_matrix(), a2.dependence_matrix());
+        assert_ne!(a1.deps, a2.deps); // validity regions differ
+    }
+
+    #[test]
+    fn non_matmul_flow_works_generically() {
+        // Convolution through the generic evaluate() path with a hand-built
+        // 4-D mapping: S projects onto (i1, i2), Π serialises outer loops.
+        let flow = DesignFlow::new(WordLevelAlgorithm::convolution(3, 2), 2, Expansion::I);
+        let alg = flow.bit_level_structure();
+        assert_eq!(alg.dim(), 4);
+        let s = IMat::from_rows(&[&[0, 0, 1, 0], &[0, 0, 0, 1]]);
+        // Conv deps: x [1,-1,0,0] (i1=1), y [1,0,0,0] (i2=1), z [0,1,0,0],
+        // d4..d7. Π must order them all positively.
+        let pi = bitlevel_linalg::IVec::from([7, 3, 2, 1]);
+        let t = MappingMatrix::new(s, pi);
+        // Machine: mesh + static + diagonal (+[0,2] routing for c').
+        let ic = Interconnect::new(IMat::from_rows(&[
+            &[0, 0, 1, -1, 1, 0],
+            &[1, -1, 0, 0, -1, 0],
+        ]));
+        let rep = flow.evaluate("conv-seq", &t, &ic, None);
+        // The mapping may or may not be conflict-free; the report must be
+        // internally consistent either way.
+        assert_eq!(rep.feasible, rep.violations.is_empty());
+        assert!(rep.run.cycles > 0);
+    }
+}

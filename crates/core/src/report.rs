@@ -1,0 +1,130 @@
+//! Human-readable reports in the paper's own notation.
+//!
+//! Renders a whole design flow — structure, mapping, `T·D`, measured vs
+//! closed-form times — the way Sections 3–4 present them, for the examples
+//! and the experiment harness.
+
+use crate::pipeline::{ArchitectureReport, DesignFlow};
+use bitlevel_ir::annotated_dependence_table;
+use bitlevel_mapping::PaperDesign;
+use std::fmt::Write as _;
+
+/// Renders the Theorem 3.1 derivation for a flow: index set, annotated
+/// dependence matrix with validity regions, uniformity notes.
+pub fn render_structure(flow: &DesignFlow) -> String {
+    let alg = flow.bit_level_structure();
+    let mut out = String::new();
+    let _ = writeln!(
+        out,
+        "Bit-level structure of {} (p = {}, {}):",
+        flow.word.name, flow.p, flow.expansion
+    );
+    let _ = writeln!(out, "J = {}  (|J| = {})", alg.index_set, alg.index_set.cardinality());
+    out.push_str(&annotated_dependence_table(&alg));
+    let uniform: Vec<String> = alg
+        .deps
+        .iter()
+        .enumerate()
+        .filter(|(_, d)| d.is_uniform_over(&alg.index_set))
+        .map(|(i, _)| format!("d{}", i + 1))
+        .collect();
+    let _ = writeln!(out, "uniform columns: {}", if uniform.is_empty() { "none".into() } else { uniform.join(", ") });
+    out
+}
+
+/// Renders one architecture evaluation: feasibility, measured cycles vs the
+/// closed form, processors, wiring.
+pub fn render_architecture(rep: &ArchitectureReport) -> String {
+    let mut out = String::new();
+    let _ = writeln!(out, "architecture: {}", rep.name);
+    let _ = writeln!(out, "  feasible (Def. 4.1): {}", rep.feasible);
+    for v in &rep.violations {
+        let _ = writeln!(out, "    violation: {v}");
+    }
+    match rep.closed_form_cycles {
+        Some(cf) => {
+            let _ = writeln!(
+                out,
+                "  cycles: measured {} vs closed-form {} ({})",
+                rep.run.cycles,
+                cf,
+                if rep.run.cycles == cf { "match" } else { "MISMATCH" }
+            );
+        }
+        None => {
+            let _ = writeln!(out, "  cycles: measured {}", rep.run.cycles);
+        }
+    }
+    let _ = writeln!(out, "  processors: {}", rep.run.processors);
+    let _ = writeln!(out, "  peak parallelism: {}", rep.run.peak_parallelism);
+    let _ = writeln!(out, "  utilization: {:.3}", rep.run.utilization);
+    let _ = writeln!(out, "  longest wire: {}", rep.max_wire_length);
+    let _ = writeln!(out, "  buffer-cycles: {}", rep.run.buffer_cycles);
+    let _ = writeln!(
+        out,
+        "  conflict-free: {}, causality: {}",
+        rep.run.conflict_free, rep.run.causality_ok
+    );
+    out
+}
+
+/// Renders the full Section 4.2 comparison for a matmul flow: both paper
+/// designs plus the word-level baselines.
+pub fn render_matmul_comparison(u: i64, p: i64) -> String {
+    let flow = DesignFlow::matmul(u, p as usize);
+    let mut out = String::new();
+    let _ = writeln!(out, "== matrix multiplication, u = {u}, p = {p} ==");
+    for design in [PaperDesign::TimeOptimal, PaperDesign::NearestNeighbour] {
+        out.push_str(&render_architecture(&flow.evaluate_paper_design(design)));
+    }
+    let word_addshift = bitlevel_mapping::word_level_total_time(u, p * p);
+    let word_carrysave = bitlevel_mapping::word_level_total_time(u, 2 * p);
+    let bit = PaperDesign::TimeOptimal.total_time(u, p);
+    let _ = writeln!(out, "word-level (add-shift PE, t_b = p^2): {word_addshift} cycles");
+    let _ = writeln!(out, "word-level (carry-save PE, t_b = 2p): {word_carrysave} cycles");
+    let _ = writeln!(
+        out,
+        "speedup of Fig. 4: {:.1}x over add-shift word PEs, {:.1}x over carry-save",
+        word_addshift as f64 / bit as f64,
+        word_carrysave as f64 / bit as f64
+    );
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use bitlevel_depanal::Expansion;
+    use bitlevel_ir::WordLevelAlgorithm;
+
+    #[test]
+    fn structure_report_mentions_validity_regions() {
+        let flow = DesignFlow::matmul(2, 2);
+        let s = render_structure(&flow);
+        assert!(s.contains("i1=1"), "{s}");
+        assert!(s.contains("uniform columns: d6"), "{s}");
+    }
+
+    #[test]
+    fn expansion_i_report_shows_d3_uniform() {
+        let flow = DesignFlow::new(WordLevelAlgorithm::matmul(2), 2, Expansion::I);
+        let s = render_structure(&flow);
+        assert!(s.contains("d3"), "{s}");
+    }
+
+    #[test]
+    fn architecture_report_flags_match() {
+        let flow = DesignFlow::matmul(2, 2);
+        let rep = flow.evaluate_paper_design(PaperDesign::TimeOptimal);
+        let s = render_architecture(&rep);
+        assert!(s.contains("match"), "{s}");
+        assert!(!s.contains("MISMATCH"), "{s}");
+    }
+
+    #[test]
+    fn comparison_report_computes_speedups() {
+        let s = render_matmul_comparison(3, 3);
+        assert!(s.contains("speedup"), "{s}");
+        assert!(s.contains("word-level"), "{s}");
+    }
+}

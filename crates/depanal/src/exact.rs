@@ -1,0 +1,242 @@
+//! General (exact) dependence analysis — the expensive baseline.
+//!
+//! "Many methods have been proposed for deriving dependence structures of
+//! algorithms with nested loops. These methods generally involve finding all
+//! integer solutions of a set of linear Diophantine equations, followed by a
+//! verification to see if the integer solutions are inside the index set…
+//! In an exact analysis, the time complexity of these methods is exponential
+//! with respect to the number of nested loops" (Section 1).
+//!
+//! Two independent implementations are provided:
+//!
+//! * [`enumerate_dependences`] — ground truth by brute force: walk every
+//!   index point, record writers, match readers. `O(|J| · statements)`.
+//! * [`diophantine_dependences`] — the classical method the paper refers to:
+//!   for each access pair, solve the linear Diophantine system
+//!   `A_w·j̄_w = A_r·j̄_r + (b̄_r − b̄_w)`, then enumerate the solution lattice
+//!   inside `J × J` (Hermite-staircase bounded DFS). Exponential in the
+//!   lattice rank — which for expanded bit-level code is large; this is the
+//!   cost Theorem 3.1 eliminates.
+//!
+//! Both return a [`DependenceInstances`] map `d̄ → {points where an instance
+//! `(j̄, d̄)` exists}`, the semantic object against which compositional
+//! structures are validated.
+
+use crate::expand::dependence_candidates;
+use bitlevel_ir::{enumerate_lattice_in_box, AlgorithmTriplet, LoopNest};
+use bitlevel_linalg::{solve_system, IVec};
+use std::collections::{BTreeMap, BTreeSet, HashMap};
+
+/// All exercised dependence instances, keyed by dependence vector: the map
+/// `d̄ ↦ { j̄ : iteration j̄ depends on j̄ − d̄ }`.
+pub type DependenceInstances = BTreeMap<IVec, BTreeSet<IVec>>;
+
+/// Ground-truth dependence instances by exhaustive enumeration.
+///
+/// Exploits the single-assignment property (Section 2): each datum has at
+/// most one writer, so a hash join from written data to reading iterations
+/// suffices.
+///
+/// # Panics
+/// Panics if the nest violates single assignment (two guarded statements
+/// writing the same array element).
+pub fn enumerate_dependences(nest: &LoopNest) -> DependenceInstances {
+    let set = &nest.bounds;
+    // (array, subscript) → writing point.
+    let mut writers: HashMap<(String, IVec), IVec> = HashMap::new();
+    for q in set.iter_points() {
+        for s in &nest.statements {
+            if !s.guard.eval(&q, set) {
+                continue;
+            }
+            let key = (s.target.array.clone(), s.target.func.apply(&q));
+            if let Some(prev) = writers.insert(key.clone(), q.clone()) {
+                panic!(
+                    "single-assignment violated: {}({}) written at {prev} and {q}",
+                    key.0, key.1
+                );
+            }
+        }
+    }
+
+    let mut out: DependenceInstances = BTreeMap::new();
+    for q in set.iter_points() {
+        for s in &nest.statements {
+            if !s.guard.eval(&q, set) {
+                continue;
+            }
+            for acc in &s.inputs {
+                let key = (acc.array.clone(), acc.func.apply(&q));
+                if let Some(w) = writers.get(&key) {
+                    if *w != q {
+                        out.entry(&q - w).or_default().insert(q.clone());
+                    }
+                }
+            }
+        }
+    }
+    out
+}
+
+/// The classical Diophantine-plus-verification method.
+///
+/// For every (writer statement, reader access) pair over the same array, the
+/// dependence equation `A_w·j̄_w + b̄_w = A_r·j̄_r + b̄_r` is solved exactly over
+/// `Z^{2n}` ([`bitlevel_linalg::solve_system`]); the solution lattice is then
+/// enumerated inside `J × J` via a Hermite staircase (each lattice parameter
+/// is bounded exactly by its pivot row once earlier parameters are fixed),
+/// and each surviving pair is checked against both statement guards.
+///
+/// Produces exactly the instances of [`enumerate_dependences`] — but by the
+/// expensive route the paper's contribution avoids.
+pub fn diophantine_dependences(nest: &LoopNest) -> DependenceInstances {
+    let set = &nest.bounds;
+    let n = set.dim();
+    // The product box J × J over (j̄_w, j̄_r).
+    let double = set.product(set);
+    let mut out: DependenceInstances = BTreeMap::new();
+
+    for cand in dependence_candidates(nest) {
+        let Some(sol) = solve_system(&cand.system, &cand.rhs) else {
+            continue; // no integer solutions at all (GCD failure)
+        };
+        let writer = &nest.statements[cand.writer];
+        let reader = &nest.statements[cand.reader];
+        for v in enumerate_lattice_in_box(&sol.particular, &sol.lattice, &double) {
+            let (jw, jr) = v.split_at(n);
+            if jw == jr {
+                continue; // same iteration: not a cross-iteration dependence
+            }
+            if !writer.guard.eval(&jw, set) || !reader.guard.eval(&jr, set) {
+                continue;
+            }
+            out.entry(&jr - &jw).or_default().insert(jr);
+        }
+    }
+    out
+}
+
+/// Computes the dependence instances implied by a (possibly conditional)
+/// dependence structure: the semantics of an [`AlgorithmTriplet`] in the same
+/// instance-map form the analysers produce. A vector `d̄` with validity `P`
+/// contributes `{ j̄ ∈ J : P(j̄) ∧ j̄ − d̄ ∈ J }`.
+pub fn instances_of_triplet(alg: &AlgorithmTriplet) -> DependenceInstances {
+    let set = &alg.index_set;
+    let mut out: DependenceInstances = BTreeMap::new();
+    for d in alg.deps.iter() {
+        for q in set.iter_points() {
+            if d.active_at(&q, set) {
+                out.entry(d.vector.clone()).or_default().insert(q);
+            }
+        }
+    }
+    // Drop vectors that are active nowhere.
+    out.retain(|_, pts| !pts.is_empty());
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use bitlevel_ir::{
+        Access, AffineFn, BoxSet, Dependence, DependenceSet, OpKind, Predicate, Statement,
+        WordLevelAlgorithm,
+    };
+
+    #[test]
+    fn enumerate_matmul_word_level_matches_eq_2_4() {
+        let nest = WordLevelAlgorithm::matmul(3).nest();
+        let inst = enumerate_dependences(&nest);
+        // Exactly the three unit vectors of (2.4).
+        let vecs: Vec<IVec> = inst.keys().cloned().collect();
+        assert_eq!(
+            vecs,
+            vec![
+                IVec::from([0, 0, 1]),
+                IVec::from([0, 1, 0]),
+                IVec::from([1, 0, 0]),
+            ]
+        );
+        // Each uniform vector is active wherever its source is inside: 3·3·2
+        // points.
+        for pts in inst.values() {
+            assert_eq!(pts.len(), 18);
+        }
+    }
+
+    #[test]
+    fn diophantine_agrees_with_enumeration_on_word_level() {
+        for alg in [
+            WordLevelAlgorithm::matmul(3),
+            WordLevelAlgorithm::convolution(4, 3),
+            WordLevelAlgorithm::matvec(3, 4),
+        ] {
+            let nest = alg.nest();
+            assert_eq!(
+                enumerate_dependences(&nest),
+                diophantine_dependences(&nest),
+                "{}",
+                alg.name
+            );
+        }
+    }
+
+    #[test]
+    fn instances_of_triplet_matches_enumeration_for_word_level() {
+        let alg = WordLevelAlgorithm::matmul(3);
+        assert_eq!(
+            instances_of_triplet(&alg.triplet()),
+            enumerate_dependences(&alg.nest())
+        );
+    }
+
+    #[test]
+    fn guarded_statements_restrict_instances() {
+        // A nest where z(j) = z(j-1) only executes at j = u: exactly one
+        // instance.
+        let nest = LoopNest::new(
+            BoxSet::cube(1, 1, 5),
+            vec![
+                Statement::new(
+                    Access::new("z", AffineFn::identity(1)),
+                    vec![],
+                    OpKind::Other("init".into()),
+                ),
+                Statement::guarded(
+                    Access::new("w", AffineFn::identity(1)),
+                    vec![Access::new("z", AffineFn::shift_back(&[1].into()))],
+                    OpKind::Copy,
+                    Predicate::eq_upper(0),
+                ),
+            ],
+        );
+        let inst = enumerate_dependences(&nest);
+        assert_eq!(inst.len(), 1);
+        let pts = &inst[&IVec::from([1])];
+        assert_eq!(pts.len(), 1);
+        assert!(pts.contains(&IVec::from([5])));
+        assert_eq!(inst, diophantine_dependences(&nest));
+    }
+
+    #[test]
+    fn anti_diagonal_access_dependences() {
+        // Convolution's x stream: x(j1+j2) read — dependence along [1,-1].
+        let nest = WordLevelAlgorithm::convolution(4, 3).nest();
+        let inst = enumerate_dependences(&nest);
+        assert!(inst.contains_key(&IVec::from([1, -1])));
+    }
+
+    #[test]
+    fn triplet_with_inactive_conditional_vector_has_no_ghost_instances() {
+        let alg = AlgorithmTriplet::new(
+            BoxSet::cube(2, 1, 3),
+            DependenceSet::new(vec![Dependence::conditional(
+                [1, 0],
+                "x",
+                Predicate::eq_const(0, 99), // never true in this box
+            )]),
+            "",
+        );
+        assert!(instances_of_triplet(&alg).is_empty());
+    }
+}

@@ -1,0 +1,153 @@
+//! Paper-style rendering of dependence structures.
+//!
+//! The paper prints a dependence matrix with the causing variable above each
+//! column and the validity region below it (eqs. (2.4), (3.8)–(3.12)). This
+//! module reproduces that layout in plain text, so derived structures can be
+//! eyeballed against the paper directly.
+
+use crate::triplet::AlgorithmTriplet;
+use std::fmt::Write as _;
+
+/// Renders the dependence structure of `alg` in the paper's annotated-matrix
+/// layout:
+///
+/// ```text
+///        y      x      z
+///   [    1      0      0 ]
+///   [    0      1      0 ]
+///   [    0      0      1 ]
+///     always always always
+/// ```
+pub fn annotated_dependence_table(alg: &AlgorithmTriplet) -> String {
+    let deps: Vec<_> = alg.deps.iter().collect();
+    if deps.is_empty() {
+        return "D = [] (no dependences)\n".to_string();
+    }
+    let n = alg.dim();
+    let m = deps.len();
+
+    // Column text blocks: cause, entries, validity.
+    let causes: Vec<String> = deps.iter().map(|d| d.cause.clone()).collect();
+    let valid: Vec<String> = deps
+        .iter()
+        .map(|d| {
+            let v = d.validity.to_string();
+            // Re-express axis numbers with the triplet's axis names.
+            substitute_axis_names(&v, &alg.axis_names)
+        })
+        .collect();
+    let mut widths = vec![0usize; m];
+    for c in 0..m {
+        widths[c] = causes[c].len().max(valid[c].len());
+        for r in 0..n {
+            widths[c] = widths[c].max(deps[c].vector[r].to_string().len());
+        }
+    }
+
+    let mut out = String::new();
+    // Header: causes.
+    out.push_str("      ");
+    for c in 0..m {
+        let _ = write!(out, " {:^width$}", causes[c], width = widths[c]);
+    }
+    out.push('\n');
+    // Rows with axis names on the left.
+    let name_w = alg.axis_names.iter().map(|s| s.len()).max().unwrap_or(2);
+    for r in 0..n {
+        let _ = write!(out, "{:>name_w$} [", alg.axis_names[r]);
+        for c in 0..m {
+            let _ = write!(out, " {:^width$}", deps[c].vector[r], width = widths[c]);
+        }
+        out.push_str(" ]\n");
+    }
+    // Footer: validity regions.
+    let _ = write!(out, "{:>name_w$}  ", "");
+    for c in 0..m {
+        let _ = write!(out, " {:^width$}", valid[c], width = widths[c]);
+    }
+    out.push('\n');
+    out
+}
+
+/// Replaces `j<k>`/`u<k>`/`l<k>` textual axis references produced by
+/// [`crate::predicate::Predicate`]'s `Display` with the triplet's axis names
+/// (so the 4th axis of a 5-D bit-level set prints as `i1`, matching the
+/// paper).
+fn substitute_axis_names(text: &str, names: &[String]) -> String {
+    let mut out = text.to_string();
+    // Substitute from the highest axis number down so "j10" is not mangled by
+    // the "j1" replacement.
+    for k in (1..=names.len()).rev() {
+        let name = &names[k - 1];
+        out = out.replace(&format!("j{k}"), name);
+        // Upper/lower bound symbols follow the axis name: u_i1 etc. Keep the
+        // paper's flavour: u<k> stays u-prefixed with the axis name.
+        out = out.replace(&format!("u{k}"), &format!("u({name})"));
+        out = out.replace(&format!("l{k}"), &format!("l({name})"));
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::dependence::{Dependence, DependenceSet};
+    use crate::index_set::BoxSet;
+    use crate::predicate::Predicate;
+
+    #[test]
+    fn table_shows_causes_entries_and_validity() {
+        let alg = AlgorithmTriplet::new(
+            BoxSet::cube(3, 1, 3),
+            DependenceSet::new(vec![
+                Dependence::uniform([1, 0, 0], "y"),
+                Dependence::conditional([0, 1, 0], "x", Predicate::eq_const(1, 1)),
+            ]),
+            "test",
+        );
+        let t = annotated_dependence_table(&alg);
+        assert!(t.contains('y'), "{t}");
+        assert!(t.contains("j2=1"), "{t}");
+        assert!(t.contains("always"), "{t}");
+        // Three matrix rows plus header and footer.
+        assert_eq!(t.lines().count(), 5, "{t}");
+    }
+
+    #[test]
+    fn axis_names_substituted_into_validity() {
+        let alg = AlgorithmTriplet::new(
+            BoxSet::cube(5, 1, 3),
+            DependenceSet::new(vec![Dependence::conditional(
+                [0, 0, 0, 1, 0],
+                "x",
+                Predicate::ne_const(3, 1),
+            )]),
+            "test",
+        )
+        .with_axis_names(&["j1", "j2", "j3", "i1", "i2"]);
+        let t = annotated_dependence_table(&alg);
+        assert!(t.contains("i1!=1"), "{t}");
+        assert!(!t.contains("j4"), "{t}");
+    }
+
+    #[test]
+    fn upper_bound_prints_with_axis_name() {
+        let alg = AlgorithmTriplet::new(
+            BoxSet::cube(2, 1, 4),
+            DependenceSet::new(vec![Dependence::conditional(
+                [1, 0],
+                "z",
+                Predicate::eq_upper(0),
+            )]),
+            "test",
+        );
+        let t = annotated_dependence_table(&alg);
+        assert!(t.contains("j1=u(j1)"), "{t}");
+    }
+
+    #[test]
+    fn empty_dependences_render_gracefully() {
+        let alg = AlgorithmTriplet::new(BoxSet::cube(2, 1, 2), DependenceSet::default(), "none");
+        assert!(annotated_dependence_table(&alg).contains("no dependences"));
+    }
+}

@@ -1,0 +1,271 @@
+//! Rectangular index sets (iteration spaces).
+//!
+//! The paper's algorithm model (2.1) iterates over a box
+//! `J = { j̄ : lᵢ ≤ jᵢ ≤ uᵢ }`; every index set in the paper — `J_w` of the
+//! word-level model (3.6), `J_as` of the add-shift multiplier (3.4), and the
+//! compound bit-level set of Theorem 3.1 (3.11a) — is such a box, and the
+//! compound set is precisely the Cartesian product `J_w × J_as`.
+
+use bitlevel_linalg::IVec;
+use serde::{Deserialize, Serialize};
+use std::fmt;
+
+/// A box-shaped index set `{ j̄ ∈ Zⁿ : l̄ ≤ j̄ ≤ ū }` (componentwise).
+#[derive(Debug, Clone, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub struct BoxSet {
+    lower: IVec,
+    upper: IVec,
+}
+
+impl BoxSet {
+    /// Creates the box `[l̄, ū]`.
+    ///
+    /// # Panics
+    /// Panics if dimensions differ or any `lᵢ > uᵢ` (empty boxes are
+    /// represented explicitly by [`BoxSet::empty`] semantics are not needed in
+    /// this codebase — the paper's loops always have `lᵢ ≤ uᵢ`).
+    pub fn new(lower: IVec, upper: IVec) -> Self {
+        assert_eq!(lower.dim(), upper.dim(), "bound dimension mismatch");
+        assert!(
+            lower.le_componentwise(&upper),
+            "empty box: lower {lower} exceeds upper {upper}"
+        );
+        BoxSet { lower, upper }
+    }
+
+    /// The cube `[lo, hi]ⁿ`.
+    pub fn cube(n: usize, lo: i64, hi: i64) -> Self {
+        BoxSet::new(IVec(vec![lo; n]), IVec(vec![hi; n]))
+    }
+
+    /// Dimension `n` of the index space.
+    pub fn dim(&self) -> usize {
+        self.lower.dim()
+    }
+
+    /// Lower bound vector `l̄`.
+    pub fn lower(&self) -> &IVec {
+        &self.lower
+    }
+
+    /// Upper bound vector `ū`.
+    pub fn upper(&self) -> &IVec {
+        &self.upper
+    }
+
+    /// Membership test `j̄ ∈ J`.
+    pub fn contains(&self, j: &IVec) -> bool {
+        j.dim() == self.dim() && self.lower.le_componentwise(j) && j.le_componentwise(&self.upper)
+    }
+
+    /// Cardinality `|J| = Π (uᵢ − lᵢ + 1)`.
+    pub fn cardinality(&self) -> u128 {
+        (0..self.dim())
+            .map(|i| (self.upper[i] - self.lower[i] + 1) as u128)
+            .product()
+    }
+
+    /// Cartesian product `self × other` — the compound index set of
+    /// Theorem 3.1: `J = { [j̄ᵀ, īᵀ]ᵀ : j̄ ∈ J_w, ī ∈ J_as }`.
+    pub fn product(&self, other: &BoxSet) -> BoxSet {
+        BoxSet {
+            lower: self.lower.concat(&other.lower),
+            upper: self.upper.concat(&other.upper),
+        }
+    }
+
+    /// The box of all differences `{ j̄₁ − j̄₂ : j̄₁, j̄₂ ∈ J }`, i.e.
+    /// `[-(ū−l̄), ū−l̄]`. Used by the conflict checker (condition 3).
+    pub fn difference_box(&self) -> BoxSet {
+        let extent = &self.upper - &self.lower;
+        BoxSet {
+            lower: -&extent,
+            upper: extent,
+        }
+    }
+
+    /// Iterates over all points in lexicographic order (first axis slowest, as
+    /// in the paper's nested DO loops where `j₁` is the outermost loop).
+    pub fn iter_points(&self) -> BoxIter<'_> {
+        BoxIter {
+            bounds: self,
+            next: Some(self.lower.clone()),
+        }
+    }
+
+    /// Projects the box onto a subset of axes (in the given order).
+    pub fn project(&self, axes: &[usize]) -> BoxSet {
+        BoxSet {
+            lower: IVec(axes.iter().map(|&a| self.lower[a]).collect()),
+            upper: IVec(axes.iter().map(|&a| self.upper[a]).collect()),
+        }
+    }
+
+    /// Extent `uᵢ − lᵢ` along axis `i`.
+    pub fn extent(&self, i: usize) -> i64 {
+        self.upper[i] - self.lower[i]
+    }
+}
+
+impl fmt::Display for BoxSet {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{{ j : ")?;
+        for i in 0..self.dim() {
+            if i > 0 {
+                write!(f, ", ")?;
+            }
+            write!(f, "{} <= j{} <= {}", self.lower[i], i + 1, self.upper[i])?;
+        }
+        write!(f, " }}")
+    }
+}
+
+/// Lexicographic iterator over the points of a [`BoxSet`].
+pub struct BoxIter<'a> {
+    bounds: &'a BoxSet,
+    next: Option<IVec>,
+}
+
+impl Iterator for BoxIter<'_> {
+    type Item = IVec;
+
+    fn next(&mut self) -> Option<IVec> {
+        let current = self.next.take()?;
+        // Compute successor: increment last axis, carrying leftwards.
+        let mut succ = current.clone();
+        let n = succ.dim();
+        if n == 0 {
+            // The 0-dimensional box has exactly one point.
+            self.next = None;
+            return Some(current);
+        }
+        let mut axis = n;
+        loop {
+            if axis == 0 {
+                self.next = None;
+                break;
+            }
+            axis -= 1;
+            if succ[axis] < self.bounds.upper[axis] {
+                succ[axis] += 1;
+                for a in axis + 1..n {
+                    succ[a] = self.bounds.lower[a];
+                }
+                self.next = Some(succ);
+                break;
+            }
+        }
+        Some(current)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use proptest::prelude::*;
+
+    #[test]
+    fn membership_and_cardinality() {
+        let j = BoxSet::cube(3, 1, 4); // the paper's J with u = 4
+        assert_eq!(j.dim(), 3);
+        assert_eq!(j.cardinality(), 64);
+        assert!(j.contains(&IVec::from([1, 1, 1])));
+        assert!(j.contains(&IVec::from([4, 4, 4])));
+        assert!(!j.contains(&IVec::from([0, 1, 1])));
+        assert!(!j.contains(&IVec::from([1, 5, 1])));
+        assert!(!j.contains(&IVec::from([1, 1]))); // wrong dimension
+    }
+
+    #[test]
+    fn product_builds_theorem_3_1_index_set() {
+        // J = J_w × J_as per eq. (3.11a): matmul u=2, add-shift p=3.
+        let jw = BoxSet::cube(3, 1, 2);
+        let jas = BoxSet::cube(2, 1, 3);
+        let j = jw.product(&jas);
+        assert_eq!(j.dim(), 5);
+        assert_eq!(j.cardinality(), 8 * 9);
+        assert!(j.contains(&IVec::from([2, 1, 2, 3, 1])));
+        assert!(!j.contains(&IVec::from([2, 1, 3, 3, 1])));
+    }
+
+    #[test]
+    fn iteration_is_lexicographic_and_complete() {
+        let b = BoxSet::new(IVec::from([0, 1]), IVec::from([1, 2]));
+        let pts: Vec<IVec> = b.iter_points().collect();
+        assert_eq!(
+            pts,
+            vec![
+                IVec::from([0, 1]),
+                IVec::from([0, 2]),
+                IVec::from([1, 1]),
+                IVec::from([1, 2]),
+            ]
+        );
+    }
+
+    #[test]
+    fn zero_dimensional_box_has_one_point() {
+        let b = BoxSet::new(IVec::zeros(0), IVec::zeros(0));
+        assert_eq!(b.cardinality(), 1);
+        assert_eq!(b.iter_points().count(), 1);
+    }
+
+    #[test]
+    fn difference_box_is_symmetric() {
+        let b = BoxSet::new(IVec::from([1, 2]), IVec::from([3, 2]));
+        let d = b.difference_box();
+        assert_eq!(d.lower(), &IVec::from([-2, 0]));
+        assert_eq!(d.upper(), &IVec::from([2, 0]));
+    }
+
+    #[test]
+    fn project_extracts_axes() {
+        let b = BoxSet::new(IVec::from([1, 2, 3]), IVec::from([4, 5, 6]));
+        let p = b.project(&[2, 0]);
+        assert_eq!(p.lower(), &IVec::from([3, 1]));
+        assert_eq!(p.upper(), &IVec::from([6, 4]));
+    }
+
+    #[test]
+    #[should_panic(expected = "empty box")]
+    fn inverted_bounds_panic() {
+        let _ = BoxSet::new(IVec::from([2]), IVec::from([1]));
+    }
+
+    proptest! {
+        #[test]
+        fn prop_iteration_count_matches_cardinality(
+            lo in proptest::collection::vec(-3i64..3, 1..4),
+            ext in proptest::collection::vec(0i64..4, 1..4),
+        ) {
+            let n = lo.len().min(ext.len());
+            let lower = IVec(lo[..n].to_vec());
+            let upper = IVec((0..n).map(|i| lo[i] + ext[i]).collect());
+            let b = BoxSet::new(lower, upper);
+            prop_assert_eq!(b.iter_points().count() as u128, b.cardinality());
+            // Every iterated point is a member; points are strictly increasing
+            // lexicographically (no duplicates).
+            let pts: Vec<IVec> = b.iter_points().collect();
+            for w in pts.windows(2) {
+                prop_assert!(w[0] < w[1]);
+            }
+            for p in &pts {
+                prop_assert!(b.contains(p));
+            }
+        }
+
+        #[test]
+        fn prop_difference_box_contains_all_differences(
+            ext in proptest::collection::vec(0i64..3, 2..4),
+        ) {
+            let n = ext.len();
+            let b = BoxSet::new(IVec::zeros(n), IVec(ext));
+            let d = b.difference_box();
+            for p in b.iter_points() {
+                for q in b.iter_points() {
+                    prop_assert!(d.contains(&(&p - &q)));
+                }
+            }
+        }
+    }
+}

@@ -1,0 +1,171 @@
+//! Enumerating lattice points inside a box.
+//!
+//! Both halves of the toolkit need the primitive "all points of an affine
+//! lattice `x̄ = particular + L·t̄` that lie in a box":
+//!
+//! * the general dependence analyser intersects Diophantine solution lattices
+//!   with `J × J` (the "verification" step of the classical method);
+//! * the conflict checker of Definition 4.1 (condition 3) intersects the
+//!   kernel lattice of the mapping matrix `T` with the difference box of `J`.
+//!
+//! The lattice basis is brought to column Hermite form first, which gives a
+//! staircase: each parameter is bounded **exactly** by its pivot row once the
+//! earlier parameters are fixed, so the DFS wastes no branches.
+
+use crate::index_set::BoxSet;
+use bitlevel_linalg::{column_hermite_form, IMat, IVec};
+
+/// Enumerates all points `x̄ = particular + Σ tᵢ·lattice[i]` (tᵢ ∈ Z) inside
+/// `box_`.
+///
+/// # Panics
+/// Panics if the lattice vectors are not linearly independent (callers pass
+/// bases produced by [`bitlevel_linalg::integer_nullspace`] or
+/// [`bitlevel_linalg::solve_system`], which are).
+pub fn enumerate_lattice_in_box(particular: &IVec, lattice: &[IVec], box_: &BoxSet) -> Vec<IVec> {
+    if lattice.is_empty() {
+        return if box_.contains(particular) {
+            vec![particular.clone()]
+        } else {
+            vec![]
+        };
+    }
+    let basis = IMat::from_columns(lattice);
+    let hf = column_hermite_form(&basis);
+    assert_eq!(hf.rank, lattice.len(), "lattice basis must be linearly independent");
+    let h = &hf.h;
+
+    // Pivot row of each staircase column (strictly increasing).
+    let pivots: Vec<usize> = (0..hf.rank)
+        .map(|j| (0..h.rows()).find(|&r| h[(r, j)] != 0).expect("nonzero column"))
+        .collect();
+
+    let mut results = Vec::new();
+    let mut current = particular.clone();
+    dfs(h, &pivots, 0, &mut current, box_, &mut results);
+    results
+}
+
+fn dfs(
+    h: &IMat,
+    pivots: &[usize],
+    level: usize,
+    current: &mut IVec,
+    box_: &BoxSet,
+    results: &mut Vec<IVec>,
+) {
+    if level == pivots.len() {
+        if box_.contains(current) {
+            results.push(current.clone());
+        }
+        return;
+    }
+    // Rows above this pivot are unaffected by columns ≥ level (staircase), so
+    // the pivot row bounds t_level exactly.
+    let pr = pivots[level];
+    let coeff = h[(pr, level)];
+    let lo = box_.lower()[pr] - current[pr];
+    let hi = box_.upper()[pr] - current[pr];
+    let (tmin, tmax) = if coeff > 0 {
+        (div_ceil(lo, coeff), div_floor(hi, coeff))
+    } else {
+        (div_ceil(hi, coeff), div_floor(lo, coeff))
+    };
+    for t in tmin..=tmax {
+        for r in 0..h.rows() {
+            current[r] += h[(r, level)] * t;
+        }
+        // Rows before the next pivot are final; prune infeasible prefixes.
+        let fixed_upto = if level + 1 < pivots.len() { pivots[level + 1] } else { h.rows() };
+        let feasible = (0..fixed_upto)
+            .all(|r| current[r] >= box_.lower()[r] && current[r] <= box_.upper()[r]);
+        if feasible {
+            dfs(h, pivots, level + 1, current, box_, results);
+        }
+        for r in 0..h.rows() {
+            current[r] -= h[(r, level)] * t;
+        }
+    }
+}
+
+fn div_floor(a: i64, b: i64) -> i64 {
+    a.div_euclid(b)
+}
+
+fn div_ceil(a: i64, b: i64) -> i64 {
+    -(-a).div_euclid(b)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use proptest::prelude::*;
+
+    #[test]
+    fn empty_lattice_is_a_membership_test() {
+        let b = BoxSet::cube(2, 0, 3);
+        assert_eq!(
+            enumerate_lattice_in_box(&IVec::from([1, 2]), &[], &b),
+            vec![IVec::from([1, 2])]
+        );
+        assert!(enumerate_lattice_in_box(&IVec::from([9, 9]), &[], &b).is_empty());
+    }
+
+    #[test]
+    fn one_dimensional_lattice() {
+        let pts = enumerate_lattice_in_box(
+            &IVec::from([0, 0]),
+            &[IVec::from([1, 2])],
+            &BoxSet::new(IVec::from([0, 0]), IVec::from([4, 4])),
+        );
+        assert_eq!(pts.len(), 3); // t = 0, 1, 2
+        assert!(pts.contains(&IVec::from([2, 4])));
+    }
+
+    #[test]
+    fn full_lattice_enumerates_whole_box() {
+        let b = BoxSet::new(IVec::from([1, 1]), IVec::from([3, 2]));
+        let pts = enumerate_lattice_in_box(
+            &IVec::from([0, 0]),
+            &[IVec::from([1, 0]), IVec::from([0, 1])],
+            &b,
+        );
+        assert_eq!(pts.len() as u128, b.cardinality());
+    }
+
+    #[test]
+    fn kernel_of_paper_mapping_matrix_misses_difference_box() {
+        // Condition 3 for T of eq. (4.2) with p = 3, u = 3: the kernel lattice
+        // of T must contain no nonzero vector of the difference box — this is
+        // exactly how the conflict checker uses this module.
+        let t = IMat::from_rows(&[&[3, 0, 0, 1, 0], &[0, 3, 0, 0, 1], &[1, 1, 1, 2, 1]]);
+        let kernel = bitlevel_linalg::integer_nullspace(&t);
+        let j = BoxSet::new(IVec::from([1, 1, 1, 1, 1]), IVec::from([3, 3, 3, 3, 3]));
+        let hits = enumerate_lattice_in_box(&IVec::zeros(5), &kernel, &j.difference_box());
+        assert_eq!(hits, vec![IVec::zeros(5)], "only the origin may survive");
+    }
+
+    proptest! {
+        /// Brute-force cross-check on small instances: the enumeration equals
+        /// filtering the box for membership in the lattice.
+        #[test]
+        fn prop_matches_bruteforce(
+            base in proptest::collection::vec(-2i64..3, 3),
+            dir in proptest::collection::vec(-3i64..4, 3),
+        ) {
+            let particular = IVec(base);
+            let d = IVec(dir);
+            prop_assume!(!d.is_zero());
+            let b = BoxSet::new(IVec::from([-4, -4, -4]), IVec::from([4, 4, 4]));
+            let mut expected: Vec<IVec> = (-20..=20)
+                .map(|t| &particular + &d.scaled(t))
+                .filter(|x| b.contains(x))
+                .collect();
+            expected.sort();
+            expected.dedup();
+            let mut got = enumerate_lattice_in_box(&particular, &[d], &b);
+            got.sort();
+            prop_assert_eq!(got, expected);
+        }
+    }
+}

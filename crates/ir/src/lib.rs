@@ -1,0 +1,49 @@
+#![warn(missing_docs)]
+
+//! # bitlevel-ir
+//!
+//! The intermediate representation shared by the whole reproduction of
+//! Shang & Wah, *Dependence Analysis and Architecture Design for Bit-Level
+//! Algorithms* (ICPP 1993):
+//!
+//! * [`index_set::BoxSet`] — rectangular iteration spaces (the paper's `J`),
+//!   with the Cartesian product used by Theorem 3.1;
+//! * [`affine::AffineFn`] — linear subscript functions of array accesses;
+//! * [`predicate::Predicate`] — validity regions of conditional dependence
+//!   vectors (`i₁ = 1`, `jₙ = uₙ`, `q̄₁`, …);
+//! * [`dependence`] — (conditional) dependence vectors and dependence sets
+//!   with semantic equivalence checking;
+//! * [`statement`] — guarded single-assignment statements and loop nests,
+//!   the program form consumed by the general dependence analyser;
+//! * [`triplet::AlgorithmTriplet`] — the paper's `(J, D, E)` characterisation;
+//! * [`broadcast`] — Fortes–Moldovan broadcast elimination (the (2.2)→(2.3)
+//!   rewrite);
+//! * [`wordlevel::WordLevelAlgorithm`] — the restricted model (3.5) with
+//!   constructors for matmul, convolution, matvec, DCT, DFT;
+//! * [`display`] — paper-style annotated dependence-matrix rendering.
+
+pub mod affine;
+pub mod broadcast;
+pub mod dependence;
+pub mod display;
+pub mod index_set;
+pub mod interpret;
+pub mod lattice;
+pub mod polyhedron;
+pub mod predicate;
+pub mod statement;
+pub mod triplet;
+pub mod wordlevel;
+
+pub use affine::AffineFn;
+pub use broadcast::{eliminate_broadcasts, is_broadcast_access, pipelining_direction};
+pub use dependence::{DepKind, Dependence, DependenceSet};
+pub use display::annotated_dependence_table;
+pub use index_set::BoxSet;
+pub use interpret::{interpret, ValueStore};
+pub use lattice::enumerate_lattice_in_box;
+pub use polyhedron::Polyhedron;
+pub use predicate::{Atom, Cmp, Predicate, Rhs};
+pub use statement::{Access, LoopNest, OpKind, Statement};
+pub use triplet::AlgorithmTriplet;
+pub use wordlevel::WordLevelAlgorithm;

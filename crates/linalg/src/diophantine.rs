@@ -1,0 +1,183 @@
+//! Linear Diophantine systems `A·x̄ = b̄` over the integers.
+//!
+//! General dependence analysis ("finding all integer solutions of a set of
+//! linear Diophantine equations, followed by a verification to see if the
+//! integer solutions are inside the index set" — Section 1 of the paper)
+//! reduces to exactly this problem. The solver returns the full solution set
+//! in parametric form (a particular solution plus a lattice of homogeneous
+//! solutions), which `bitlevel-depanal` then intersects with the index set.
+
+use crate::mat::IMat;
+use crate::smith::smith_normal_form;
+use crate::vec::IVec;
+
+/// The complete integer solution set of `A·x̄ = b̄`:
+/// `x̄ = particular + Σ tᵢ · lattice[i]`, `tᵢ ∈ Z`.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct DiophantineSolution {
+    /// One integer solution.
+    pub particular: IVec,
+    /// Basis of the homogeneous solution lattice (may be empty — unique
+    /// solution).
+    pub lattice: Vec<IVec>,
+}
+
+impl DiophantineSolution {
+    /// Evaluates the parametric solution at integer parameters `t`.
+    ///
+    /// # Panics
+    /// Panics if `t.len() != self.lattice.len()`.
+    pub fn at(&self, t: &[i64]) -> IVec {
+        assert_eq!(t.len(), self.lattice.len(), "parameter count mismatch");
+        let mut x = self.particular.clone();
+        for (ti, v) in t.iter().zip(&self.lattice) {
+            x = &x + &v.scaled(*ti);
+        }
+        x
+    }
+
+    /// True if the system has exactly one integer solution.
+    pub fn is_unique(&self) -> bool {
+        self.lattice.is_empty()
+    }
+}
+
+/// Solves `a·x̄ = b̄` over `Z`. Returns `None` when no integer solution exists.
+///
+/// Method: Smith normal form `U·A·V = S` turns the system into
+/// `S·ȳ = U·b̄` with `x̄ = V·ȳ`; the diagonal system is solvable iff each
+/// `sᵢ` divides `(U·b̄)ᵢ` and the trailing entries of `U·b̄` are zero.
+///
+/// # Panics
+/// Panics if `b.dim() != a.rows()`.
+///
+/// # Examples
+///
+/// ```
+/// use bitlevel_linalg::{solve_system, IMat, IVec};
+///
+/// // 3x + 6y = 9: solvable, one-parameter solution family.
+/// let a = IMat::from_rows(&[&[3, 6]]);
+/// let sol = solve_system(&a, &IVec::from([9])).unwrap();
+/// assert_eq!(a.matvec(&sol.at(&[5])), IVec::from([9]));
+///
+/// // 2x + 4y = 3: gcd(2,4) = 2 does not divide 3.
+/// assert!(solve_system(&IMat::from_rows(&[&[2, 4]]), &IVec::from([3])).is_none());
+/// ```
+pub fn solve_system(a: &IMat, b: &IVec) -> Option<DiophantineSolution> {
+    assert_eq!(b.dim(), a.rows(), "rhs dimension mismatch");
+    let n = a.cols();
+    let sf = smith_normal_form(a);
+    let c = sf.u.matvec(b);
+
+    let mut y = IVec::zeros(n);
+    for i in 0..sf.rank {
+        let s = sf.s[(i, i)];
+        if c[i] % s != 0 {
+            return None;
+        }
+        y[i] = c[i] / s;
+    }
+    for i in sf.rank..a.rows() {
+        if c[i] != 0 {
+            return None;
+        }
+    }
+
+    let particular = sf.v.matvec(&y);
+    let lattice: Vec<IVec> = (sf.rank..n).map(|j| sf.v.col(j)).collect();
+    Some(DiophantineSolution { particular, lattice })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use proptest::prelude::*;
+
+    #[test]
+    fn solvable_single_equation() {
+        // 3x + 6y = 9 has solutions; lattice dimension 1.
+        let a = IMat::from_rows(&[&[3, 6]]);
+        let sol = solve_system(&a, &IVec::from([9])).expect("solvable");
+        assert_eq!(a.matvec(&sol.particular), IVec::from([9]));
+        assert_eq!(sol.lattice.len(), 1);
+        for t in -3..=3 {
+            assert_eq!(a.matvec(&sol.at(&[t])), IVec::from([9]));
+        }
+    }
+
+    #[test]
+    fn unsolvable_by_gcd() {
+        // 2x + 4y = 3: gcd(2,4)=2 does not divide 3.
+        let a = IMat::from_rows(&[&[2, 4]]);
+        assert!(solve_system(&a, &IVec::from([3])).is_none());
+    }
+
+    #[test]
+    fn unsolvable_inconsistent_rows() {
+        // x + y = 1 and 2x + 2y = 3 conflict.
+        let a = IMat::from_rows(&[&[1, 1], &[2, 2]]);
+        assert!(solve_system(&a, &IVec::from([1, 3])).is_none());
+        // …but 2x + 2y = 2 is consistent.
+        let sol = solve_system(&a, &IVec::from([1, 2])).expect("solvable");
+        assert_eq!(a.matvec(&sol.particular), IVec::from([1, 2]));
+    }
+
+    #[test]
+    fn unique_solution() {
+        let a = IMat::from_rows(&[&[1, 0], &[0, 1]]);
+        let sol = solve_system(&a, &IVec::from([5, -7])).expect("solvable");
+        assert!(sol.is_unique());
+        assert_eq!(sol.particular, IVec::from([5, -7]));
+    }
+
+    #[test]
+    fn dependence_equation_example() {
+        // Accesses x(j1, j3) at write j̄' and read j̄: the "same datum" condition
+        // j1 - j1' = 0, j3 - j3' = 0 over the 6 unknowns (j̄, j̄') yields a
+        // 4-dimensional solution lattice (j2 and j2' free, plus the diagonal).
+        // Build A over variables (j1, j2, j3, j1', j2', j3').
+        let a = IMat::from_rows(&[&[1, 0, 0, -1, 0, 0], &[0, 0, 1, 0, 0, -1]]);
+        let sol = solve_system(&a, &IVec::zeros(2)).expect("homogeneous always solvable");
+        assert_eq!(sol.lattice.len(), 4);
+        assert!(sol.particular.is_zero() || a.matvec(&sol.particular).is_zero());
+    }
+
+    proptest! {
+        #[test]
+        fn prop_constructed_systems_solve_back(
+            rows in 1usize..4, cols in 1usize..4,
+            seed in proptest::collection::vec(-6i64..6, 16),
+            xs in proptest::collection::vec(-5i64..5, 4),
+        ) {
+            let data: Vec<i64> = seed.into_iter().take(rows * cols).collect();
+            prop_assume!(data.len() == rows * cols);
+            let a = IMat::from_flat(rows, cols, data);
+            // Construct b so the system is solvable by design.
+            let x = IVec(xs.into_iter().take(cols).collect());
+            prop_assume!(x.dim() == cols);
+            let b = a.matvec(&x);
+            let sol = solve_system(&a, &b).expect("constructed system must be solvable");
+            prop_assert_eq!(a.matvec(&sol.particular), b.clone());
+            // All lattice directions stay in the kernel.
+            for v in &sol.lattice {
+                prop_assert!(a.matvec(v).is_zero());
+            }
+            // A couple of parametric points also solve the system.
+            let t: Vec<i64> = (0..sol.lattice.len()).map(|k| (k as i64) - 1).collect();
+            prop_assert_eq!(a.matvec(&sol.at(&t)), b);
+        }
+
+        #[test]
+        fn prop_none_means_truly_unsolvable_for_single_equation(
+            coeffs in proptest::collection::vec(-6i64..6, 3),
+            b in -20i64..20,
+        ) {
+            let a = IMat::from_flat(1, 3, coeffs.clone());
+            let g = crate::gcd::gcd_all(&coeffs);
+            let sol = solve_system(&a, &IVec::from([b]));
+            let solvable = if g == 0 { b == 0 } else { b % g == 0 };
+            prop_assert_eq!(sol.is_some(), solvable);
+        }
+    }
+}

@@ -1,0 +1,124 @@
+//! Greatest common divisors and the extended Euclidean algorithm.
+//!
+//! Used for condition 5 of Definition 4.1 ("the entries of `T` are relatively
+//! prime"), for the GCD dependence test, and as the workhorse inside the
+//! Hermite/Smith normal-form reductions.
+
+/// `gcd(a, b) ≥ 0`, with `gcd(0, 0) = 0`.
+pub fn gcd(a: i64, b: i64) -> i64 {
+    let (mut a, mut b) = (a.unsigned_abs(), b.unsigned_abs());
+    while b != 0 {
+        (a, b) = (b, a % b);
+    }
+    a as i64
+}
+
+/// Least common multiple; `lcm(0, x) = 0`.
+///
+/// # Panics
+/// Panics on overflow.
+pub fn lcm(a: i64, b: i64) -> i64 {
+    if a == 0 || b == 0 {
+        return 0;
+    }
+    (a / gcd(a, b)).checked_mul(b).expect("lcm overflow").abs()
+}
+
+/// GCD of a whole slice; `gcd_all(&[]) = 0`.
+pub fn gcd_all(xs: &[i64]) -> i64 {
+    xs.iter().fold(0, |g, &x| gcd(g, x))
+}
+
+/// Extended Euclid: returns `(g, x, y)` with `g = gcd(a,b) ≥ 0` and
+/// `a·x + b·y = g`.
+pub fn extended_gcd(a: i64, b: i64) -> (i64, i64, i64) {
+    // Invariants: old_r = a*old_s + b*old_t, r = a*s + b*t.
+    let (mut old_r, mut r) = (a as i128, b as i128);
+    let (mut old_s, mut s) = (1i128, 0i128);
+    let (mut old_t, mut t) = (0i128, 1i128);
+    while r != 0 {
+        let q = old_r / r;
+        (old_r, r) = (r, old_r - q * r);
+        (old_s, s) = (s, old_s - q * s);
+        (old_t, t) = (t, old_t - q * t);
+    }
+    if old_r < 0 {
+        old_r = -old_r;
+        old_s = -old_s;
+        old_t = -old_t;
+    }
+    (old_r as i64, old_s as i64, old_t as i64)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use proptest::prelude::*;
+
+    #[test]
+    fn gcd_basic() {
+        assert_eq!(gcd(12, 18), 6);
+        assert_eq!(gcd(-12, 18), 6);
+        assert_eq!(gcd(12, -18), 6);
+        assert_eq!(gcd(0, 7), 7);
+        assert_eq!(gcd(7, 0), 7);
+        assert_eq!(gcd(0, 0), 0);
+        assert_eq!(gcd(1, i64::MIN + 1), 1);
+    }
+
+    #[test]
+    fn lcm_basic() {
+        assert_eq!(lcm(4, 6), 12);
+        assert_eq!(lcm(0, 5), 0);
+        assert_eq!(lcm(-4, 6), 12);
+    }
+
+    #[test]
+    fn gcd_all_basic() {
+        assert_eq!(gcd_all(&[6, 10, 15]), 1);
+        assert_eq!(gcd_all(&[4, 8, 12]), 4);
+        assert_eq!(gcd_all(&[]), 0);
+        assert_eq!(gcd_all(&[0, 0]), 0);
+        // Condition 5 of Definition 4.1 on the mapping matrix T of eq. (4.2):
+        // entries {3(p), 0, 1, 2} for p=3 are relatively prime.
+        assert_eq!(gcd_all(&[3, 0, 0, 1, 0, 0, 3, 0, 0, 1, 1, 1, 1, 2, 1]), 1);
+    }
+
+    #[test]
+    fn extended_gcd_bezout() {
+        let (g, x, y) = extended_gcd(240, 46);
+        assert_eq!(g, 2);
+        assert_eq!(240 * x + 46 * y, 2);
+        let (g, x, y) = extended_gcd(-5, 3);
+        assert_eq!(g, 1);
+        assert_eq!(-5 * x + 3 * y, 1);
+        let (g, _, _) = extended_gcd(0, 0);
+        assert_eq!(g, 0);
+    }
+
+    proptest! {
+        #[test]
+        fn prop_gcd_divides(a in -10_000i64..10_000, b in -10_000i64..10_000) {
+            let g = gcd(a, b);
+            if g != 0 {
+                prop_assert_eq!(a % g, 0);
+                prop_assert_eq!(b % g, 0);
+            } else {
+                prop_assert_eq!(a, 0);
+                prop_assert_eq!(b, 0);
+            }
+        }
+
+        #[test]
+        fn prop_extended_gcd_is_bezout(a in -10_000i64..10_000, b in -10_000i64..10_000) {
+            let (g, x, y) = extended_gcd(a, b);
+            prop_assert_eq!(g, gcd(a, b));
+            prop_assert_eq!(a as i128 * x as i128 + b as i128 * y as i128, g as i128);
+        }
+
+        #[test]
+        fn prop_lcm_gcd_product(a in 1i64..10_000, b in 1i64..10_000) {
+            prop_assert_eq!(lcm(a, b) as i128 * gcd(a, b) as i128, (a as i128) * (b as i128));
+        }
+    }
+}

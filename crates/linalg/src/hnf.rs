@@ -1,0 +1,205 @@
+//! Column-style Hermite normal form.
+//!
+//! For an integer matrix `A` (m×n) we compute a unimodular `U` (n×n) with
+//! `A·U = H`, where `H` is in **column** Hermite form: the first `r = rank(A)`
+//! columns are the nonzero columns, each pivot (first nonzero entry scanning
+//! rows top-down) is positive and strictly below the previous column's pivot
+//! row, and entries to the *left* of a pivot in its row are reduced modulo the
+//! pivot. The last `n − r` columns of `H` are zero, and the corresponding
+//! columns of `U` form a basis of the integer nullspace of `A` — which is how
+//! [`crate::nullspace::integer_nullspace`] uses this module.
+
+use crate::mat::IMat;
+
+/// Result of the column Hermite reduction: `a * u = h`, `u` unimodular.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct HermiteForm {
+    /// The Hermite form `H` (same shape as the input).
+    pub h: IMat,
+    /// The unimodular column-operations matrix `U` (n×n), `det U = ±1`.
+    pub u: IMat,
+    /// Rank of the input (= number of nonzero columns of `H`).
+    pub rank: usize,
+}
+
+/// Computes the column Hermite form of `a`: returns `H`, `U` with `aU = H`.
+pub fn column_hermite_form(a: &IMat) -> HermiteForm {
+    let (m, n) = (a.rows(), a.cols());
+    let mut h = a.clone();
+    let mut u = IMat::identity(n);
+
+    // Column operations only: swap columns, negate a column, add an integer
+    // multiple of one column to another. All preserve the column lattice and
+    // keep U unimodular.
+    let mut pivot_col = 0usize;
+    for row in 0..m {
+        if pivot_col >= n {
+            break;
+        }
+        // Euclidean reduction across columns pivot_col..n in this row until at
+        // most one nonzero entry remains (at pivot_col).
+        loop {
+            // Find column with the smallest nonzero |entry| in this row.
+            let mut best: Option<(usize, i64)> = None;
+            for j in pivot_col..n {
+                let v = h[(row, j)];
+                if v != 0 && best.is_none_or(|(_, bv)| v.abs() < bv.abs()) {
+                    best = Some((j, v));
+                }
+            }
+            let Some((jmin, _)) = best else {
+                break; // row is all zeros from pivot_col on; no pivot here
+            };
+            // Move it into the pivot column.
+            if jmin != pivot_col {
+                swap_cols(&mut h, pivot_col, jmin);
+                swap_cols(&mut u, pivot_col, jmin);
+            }
+            let pv = h[(row, pivot_col)];
+            let mut done = true;
+            for j in pivot_col + 1..n {
+                let v = h[(row, j)];
+                if v != 0 {
+                    let q = v.div_euclid(pv);
+                    add_col_multiple(&mut h, j, pivot_col, -q);
+                    add_col_multiple(&mut u, j, pivot_col, -q);
+                    if h[(row, j)] != 0 {
+                        done = false;
+                    }
+                }
+            }
+            if done {
+                break;
+            }
+        }
+        if h[(row, pivot_col)] == 0 {
+            continue; // no pivot in this row
+        }
+        // Make pivot positive.
+        if h[(row, pivot_col)] < 0 {
+            negate_col(&mut h, pivot_col);
+            negate_col(&mut u, pivot_col);
+        }
+        // Reduce entries to the left of the pivot in this row modulo the pivot
+        // (canonical Hermite condition).
+        let pv = h[(row, pivot_col)];
+        for j in 0..pivot_col {
+            let v = h[(row, j)];
+            let q = v.div_euclid(pv);
+            if q != 0 {
+                add_col_multiple(&mut h, j, pivot_col, -q);
+                add_col_multiple(&mut u, j, pivot_col, -q);
+            }
+        }
+        pivot_col += 1;
+    }
+
+    HermiteForm { h, u, rank: pivot_col }
+}
+
+fn swap_cols(m: &mut IMat, a: usize, b: usize) {
+    for i in 0..m.rows() {
+        let t = m[(i, a)];
+        m[(i, a)] = m[(i, b)];
+        m[(i, b)] = t;
+    }
+}
+
+fn negate_col(m: &mut IMat, c: usize) {
+    for i in 0..m.rows() {
+        m[(i, c)] = -m[(i, c)];
+    }
+}
+
+/// `col_dst += k * col_src`.
+fn add_col_multiple(m: &mut IMat, dst: usize, src: usize, k: i64) {
+    if k == 0 {
+        return;
+    }
+    for i in 0..m.rows() {
+        let add = m[(i, src)].checked_mul(k).expect("hnf overflow");
+        m[(i, dst)] = m[(i, dst)].checked_add(add).expect("hnf overflow");
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::rank::rank;
+    use proptest::prelude::*;
+
+    fn check_invariants(a: &IMat) {
+        let hf = column_hermite_form(a);
+        // A·U = H
+        assert_eq!(a.matmul(&hf.u), hf.h, "aU != h for a =\n{a}");
+        // U unimodular
+        assert_eq!(hf.u.det().abs(), 1, "U not unimodular for a =\n{a}");
+        // rank agrees with Bareiss
+        assert_eq!(hf.rank, rank(a));
+        // Trailing columns of H are zero
+        for j in hf.rank..hf.h.cols() {
+            assert!(hf.h.col(j).is_zero(), "column {j} of H not zero:\n{}", hf.h);
+        }
+        // Pivot staircase: pivot rows strictly increasing, pivots positive.
+        let mut last_pivot_row: Option<usize> = None;
+        for j in 0..hf.rank {
+            let col = hf.h.col(j);
+            let pr = (0..col.dim()).find(|&i| col[i] != 0).expect("nonzero column");
+            assert!(col[pr] > 0, "pivot not positive");
+            if let Some(lp) = last_pivot_row {
+                assert!(pr > lp, "pivot rows not strictly increasing");
+            }
+            last_pivot_row = Some(pr);
+        }
+    }
+
+    #[test]
+    fn hermite_of_identity() {
+        let hf = column_hermite_form(&IMat::identity(3));
+        assert_eq!(hf.h, IMat::identity(3));
+        assert_eq!(hf.rank, 3);
+    }
+
+    #[test]
+    fn hermite_of_zero() {
+        let hf = column_hermite_form(&IMat::zeros(2, 3));
+        assert_eq!(hf.rank, 0);
+        assert_eq!(hf.h, IMat::zeros(2, 3));
+        assert_eq!(hf.u.det().abs(), 1);
+    }
+
+    #[test]
+    fn hermite_small_examples() {
+        check_invariants(&IMat::from_rows(&[&[2, 4], &[1, 3]]));
+        check_invariants(&IMat::from_rows(&[&[4, 6, 2], &[2, 2, 2]]));
+        check_invariants(&IMat::from_rows(&[&[0, 0], &[0, 5]]));
+        check_invariants(&IMat::from_rows(&[&[3], &[6], &[9]]));
+        // The paper's T of eq. (4.2) with p = 3 (3x5, full row rank).
+        check_invariants(&IMat::from_rows(&[
+            &[3, 0, 0, 1, 0],
+            &[0, 3, 0, 0, 1],
+            &[1, 1, 1, 2, 1],
+        ]));
+    }
+
+    #[test]
+    fn nullspace_columns_of_u_kill_a() {
+        let a = IMat::from_rows(&[&[1, 2, 3], &[2, 4, 6]]); // rank 1
+        let hf = column_hermite_form(&a);
+        assert_eq!(hf.rank, 1);
+        for j in hf.rank..3 {
+            let v = hf.u.col(j);
+            assert!(a.matvec(&v).is_zero());
+        }
+    }
+
+    proptest! {
+        #[test]
+        fn prop_hermite_invariants(rows in 1usize..4, cols in 1usize..5,
+                                   seed in proptest::collection::vec(-9i64..9, 20)) {
+            let data: Vec<i64> = seed.into_iter().take(rows * cols).collect();
+            prop_assume!(data.len() == rows * cols);
+            check_invariants(&IMat::from_flat(rows, cols, data));
+        }
+    }
+}

@@ -1,0 +1,96 @@
+//! Integer nullspace bases.
+//!
+//! Condition 3 of Definition 4.1 forbids computational conflicts: distinct
+//! index points `j̄₁ ≠ j̄₂ ∈ J` must satisfy `Tj̄₁ ≠ Tj̄₂`. Equivalently, no
+//! nonzero vector of the integer nullspace of `T` may equal a difference of
+//! two points of `J`. The conflict checker in `bitlevel-mapping` enumerates
+//! nullspace lattice points inside the difference box of `J`; this module
+//! supplies the lattice basis.
+
+use crate::hnf::column_hermite_form;
+use crate::mat::IMat;
+use crate::vec::IVec;
+
+/// A basis of the integer nullspace (kernel lattice) of `a`.
+///
+/// Returns `n − rank(a)` linearly independent integer vectors spanning
+/// `{x̄ ∈ Zⁿ : a·x̄ = 0̄}` as a lattice (every integer kernel vector is an
+/// integer combination of the basis, because the basis comes from a
+/// unimodular column transform).
+pub fn integer_nullspace(a: &IMat) -> Vec<IVec> {
+    let hf = column_hermite_form(a);
+    (hf.rank..a.cols()).map(|j| hf.u.col(j)).collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use proptest::prelude::*;
+
+    #[test]
+    fn nullspace_of_full_column_rank_is_empty() {
+        let a = IMat::from_rows(&[&[1, 0], &[0, 1], &[1, 1]]);
+        assert!(integer_nullspace(&a).is_empty());
+    }
+
+    #[test]
+    fn nullspace_of_zero_matrix_is_standard_lattice() {
+        let a = IMat::zeros(2, 3);
+        let basis = integer_nullspace(&a);
+        assert_eq!(basis.len(), 3);
+        // Basis must span Z^3: the matrix of basis vectors is unimodular.
+        let b = IMat::from_columns(&basis);
+        assert_eq!(b.det().abs(), 1);
+    }
+
+    #[test]
+    fn nullspace_vectors_annihilate() {
+        let a = IMat::from_rows(&[&[1, 2, 3], &[4, 5, 6]]);
+        let basis = integer_nullspace(&a);
+        assert_eq!(basis.len(), 1);
+        assert!(a.matvec(&basis[0]).is_zero());
+        // Known kernel direction for this matrix is ±[1, -2, 1].
+        let v = &basis[0];
+        let g = crate::gcd::gcd_all(v.as_slice());
+        assert_eq!(g, 1, "kernel basis vector should be primitive: {v}");
+        assert!(
+            v == &IVec::from([1, -2, 1]) || v == &IVec::from([-1, 2, -1]),
+            "unexpected kernel vector {v}"
+        );
+    }
+
+    #[test]
+    fn nullspace_of_paper_mapping_matrix() {
+        // T of eq. (4.2), p=3: 3x5 with rank 3 -> 2-dimensional kernel.
+        let t = IMat::from_rows(&[&[3, 0, 0, 1, 0], &[0, 3, 0, 0, 1], &[1, 1, 1, 2, 1]]);
+        let basis = integer_nullspace(&t);
+        assert_eq!(basis.len(), 2);
+        for v in &basis {
+            assert!(t.matvec(v).is_zero());
+            assert!(!v.is_zero());
+        }
+    }
+
+    proptest! {
+        #[test]
+        fn prop_nullspace_annihilates_and_has_right_dimension(
+            rows in 1usize..4, cols in 1usize..5,
+            seed in proptest::collection::vec(-9i64..9, 20),
+        ) {
+            let data: Vec<i64> = seed.into_iter().take(rows * cols).collect();
+            prop_assume!(data.len() == rows * cols);
+            let a = IMat::from_flat(rows, cols, data);
+            let basis = integer_nullspace(&a);
+            prop_assert_eq!(basis.len(), cols - crate::rank::rank(&a));
+            for v in &basis {
+                prop_assert!(a.matvec(v).is_zero());
+                prop_assert!(!v.is_zero());
+            }
+            // Linear independence: rank of basis matrix equals its column count.
+            if !basis.is_empty() {
+                let b = IMat::from_columns(&basis);
+                prop_assert_eq!(crate::rank::rank(&b), basis.len());
+            }
+        }
+    }
+}

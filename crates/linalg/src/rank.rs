@@ -1,0 +1,125 @@
+//! Exact integer rank via fraction-free (Bareiss) Gaussian elimination.
+//!
+//! Condition 4 of Definition 4.1 requires `rank(T) = k` so that an
+//! `n`-dimensional algorithm really maps onto a `(k-1)`-dimensional processor
+//! array and not a lower-dimensional one. Floating-point rank is unacceptable
+//! here — the matrices are tiny but the verdict must be exact.
+
+use crate::mat::IMat;
+
+/// The exact rank of an integer matrix.
+///
+/// Runs fraction-free Gaussian elimination with `i128` intermediates;
+/// panics on (absurdly unlikely for this domain) `i128` overflow.
+pub fn rank(m: &IMat) -> usize {
+    let (rows, cols) = (m.rows(), m.cols());
+    if rows == 0 || cols == 0 {
+        return 0;
+    }
+    let mut a: Vec<i128> = m.entries().map(|&x| x as i128).collect();
+    let idx = |i: usize, j: usize| i * cols + j;
+    let mut r = 0usize; // current pivot row
+    let mut prev = 1i128;
+    for c in 0..cols {
+        // Find pivot in column c at or below row r.
+        let Some(p) = (r..rows).find(|&i| a[idx(i, c)] != 0) else {
+            continue;
+        };
+        if p != r {
+            for j in 0..cols {
+                a.swap(idx(r, j), idx(p, j));
+            }
+        }
+        let pivot = a[idx(r, c)];
+        for i in r + 1..rows {
+            for j in c + 1..cols {
+                let num = a[idx(i, j)]
+                    .checked_mul(pivot)
+                    .and_then(|x| {
+                        x.checked_sub(a[idx(i, c)].checked_mul(a[idx(r, j)]).expect("rank overflow"))
+                    })
+                    .expect("rank overflow");
+                a[idx(i, j)] = num / prev;
+            }
+            a[idx(i, c)] = 0;
+        }
+        prev = pivot;
+        r += 1;
+        if r == rows {
+            break;
+        }
+    }
+    r
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use proptest::prelude::*;
+
+    #[test]
+    fn rank_of_identity_and_zero() {
+        assert_eq!(rank(&IMat::identity(4)), 4);
+        assert_eq!(rank(&IMat::zeros(3, 5)), 0);
+        assert_eq!(rank(&IMat::zeros(0, 0)), 0);
+    }
+
+    #[test]
+    fn rank_of_rank_deficient() {
+        let m = IMat::from_rows(&[&[1, 2, 3], &[2, 4, 6], &[0, 0, 1]]);
+        assert_eq!(rank(&m), 2);
+        let m = IMat::from_rows(&[&[1, 2], &[3, 4], &[5, 6]]);
+        assert_eq!(rank(&m), 2);
+    }
+
+    #[test]
+    fn rank_needs_column_skips() {
+        // First column all zero: elimination must move on without losing rows.
+        let m = IMat::from_rows(&[&[0, 1, 0], &[0, 0, 2]]);
+        assert_eq!(rank(&m), 2);
+    }
+
+    #[test]
+    fn rank_of_paper_mapping_matrices() {
+        // T of eq. (4.2), p = 3: rank must be k = 3 (condition 4).
+        let t = IMat::from_rows(&[&[3, 0, 0, 1, 0], &[0, 3, 0, 0, 1], &[1, 1, 1, 2, 1]]);
+        assert_eq!(rank(&t), 3);
+        // T' of eq. (4.6), p = 3.
+        let t2 = IMat::from_rows(&[&[3, 0, 0, 1, 0], &[0, 3, 0, 0, 1], &[3, 3, 1, 2, 1]]);
+        assert_eq!(rank(&t2), 3);
+    }
+
+    #[test]
+    fn rank_rows_exhausted_early() {
+        let m = IMat::from_rows(&[&[1, 0, 0, 0]]);
+        assert_eq!(rank(&m), 1);
+    }
+
+    proptest! {
+        #[test]
+        fn prop_rank_bounded(rows in 1usize..5, cols in 1usize..5,
+                             seed in proptest::collection::vec(-20i64..20, 25)) {
+            let data: Vec<i64> = seed.into_iter().take(rows * cols).collect();
+            prop_assume!(data.len() == rows * cols);
+            let m = IMat::from_flat(rows, cols, data);
+            let r = rank(&m);
+            prop_assert!(r <= rows.min(cols));
+            // rank(M) == rank(Mᵀ)
+            prop_assert_eq!(r, rank(&m.transpose()));
+        }
+
+        #[test]
+        fn prop_outer_product_has_rank_at_most_one(
+            u in proptest::collection::vec(-10i64..10, 3),
+            v in proptest::collection::vec(-10i64..10, 4),
+        ) {
+            let mut m = IMat::zeros(3, 4);
+            for i in 0..3 {
+                for j in 0..4 {
+                    m[(i, j)] = u[i] * v[j];
+                }
+            }
+            prop_assert!(rank(&m) <= 1);
+        }
+    }
+}

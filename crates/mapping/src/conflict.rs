@@ -1,0 +1,162 @@
+//! Computational-conflict detection (condition 3 of Definition 4.1).
+//!
+//! Two distinct index points `j̄₁ ≠ j̄₂ ∈ J` conflict under `T` iff
+//! `T·j̄₁ = T·j̄₂` — the same processor would have to perform both
+//! computations at the same time. Equivalently, a conflict exists iff some
+//! **nonzero** vector of the integer kernel lattice of `T` equals a
+//! difference of two points of `J`; for box index sets the differences are
+//! exactly the difference box, so the check reduces to enumerating kernel
+//! lattice points in a box ([`bitlevel_ir::enumerate_lattice_in_box`]).
+//!
+//! A brute-force checker (hashing `T·j̄` over all of `J`) cross-validates the
+//! lattice method in tests and serves tiny index sets.
+
+use crate::transform::MappingMatrix;
+use bitlevel_ir::{enumerate_lattice_in_box, BoxSet};
+use bitlevel_linalg::{integer_nullspace, IVec};
+use std::collections::HashMap;
+
+/// Result of conflict detection.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum ConflictResult {
+    /// No two distinct points collide: condition 3 holds.
+    ConflictFree,
+    /// A witness pair `(j̄₁, j̄₂)` with `T·j̄₁ = T·j̄₂`.
+    Conflict(IVec, IVec),
+}
+
+impl ConflictResult {
+    /// True when condition 3 holds.
+    pub fn is_free(&self) -> bool {
+        matches!(self, ConflictResult::ConflictFree)
+    }
+}
+
+/// Kernel-lattice conflict check: exact and usually far cheaper than brute
+/// force (`|kernel ∩ diff-box|` vs `|J|`).
+pub fn check_conflicts(t: &MappingMatrix, j: &BoxSet) -> ConflictResult {
+    assert_eq!(t.n(), j.dim(), "mapping/index dimension mismatch");
+    let kernel = integer_nullspace(&t.t_matrix());
+    if kernel.is_empty() {
+        return ConflictResult::ConflictFree; // T injective on all of Zⁿ
+    }
+    let diff = j.difference_box();
+    for v in enumerate_lattice_in_box(&IVec::zeros(t.n()), &kernel, &diff) {
+        if v.is_zero() {
+            continue;
+        }
+        // v = j̄₁ − j̄₂ for points of J: construct a concrete witness by
+        // clamping each coordinate pair into the box.
+        let mut j1 = IVec::zeros(t.n());
+        let mut j2 = IVec::zeros(t.n());
+        for i in 0..t.n() {
+            if v[i] >= 0 {
+                j2[i] = j.lower()[i];
+                j1[i] = j.lower()[i] + v[i];
+            } else {
+                j2[i] = j.lower()[i] - v[i];
+                j1[i] = j.lower()[i];
+            }
+        }
+        debug_assert!(j.contains(&j1) && j.contains(&j2));
+        return ConflictResult::Conflict(j1, j2);
+    }
+    ConflictResult::ConflictFree
+}
+
+/// Brute-force conflict check: hash `T·j̄` over every point of `J`.
+pub fn check_conflicts_bruteforce(t: &MappingMatrix, j: &BoxSet) -> ConflictResult {
+    let mut seen: HashMap<IVec, IVec> = HashMap::with_capacity(j.cardinality() as usize);
+    for q in j.iter_points() {
+        let img = t.apply(&q);
+        if let Some(prev) = seen.insert(img, q.clone()) {
+            return ConflictResult::Conflict(q, prev);
+        }
+    }
+    ConflictResult::ConflictFree
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use bitlevel_linalg::IMat;
+    use proptest::prelude::*;
+
+    fn paper_t(p: i64) -> MappingMatrix {
+        MappingMatrix::new(
+            IMat::from_rows(&[&[p, 0, 0, 1, 0], &[0, p, 0, 0, 1]]),
+            IVec::from([1, 1, 1, 2, 1]),
+        )
+    }
+
+    fn paper_t_prime(p: i64) -> MappingMatrix {
+        MappingMatrix::new(
+            IMat::from_rows(&[&[p, 0, 0, 1, 0], &[0, p, 0, 0, 1]]),
+            IVec::from([p, p, 1, 2, 1]),
+        )
+    }
+
+    #[test]
+    fn paper_mappings_are_conflict_free() {
+        for (u, p) in [(2, 2), (3, 3), (4, 3), (3, 4)] {
+            let j = BoxSet::cube(3, 1, u).product(&BoxSet::cube(2, 1, p));
+            assert!(check_conflicts(&paper_t(p), &j).is_free(), "T u={u} p={p}");
+            assert!(check_conflicts(&paper_t_prime(p), &j).is_free(), "T' u={u} p={p}");
+        }
+    }
+
+    #[test]
+    fn projection_onto_time_only_conflicts() {
+        // S = 0 row, Π = [1,1]: all anti-diagonal points collide.
+        let t = MappingMatrix::new(IMat::from_rows(&[&[0, 0]]), IVec::from([1, 1]));
+        let j = BoxSet::cube(2, 1, 3);
+        let res = check_conflicts(&t, &j);
+        let ConflictResult::Conflict(a, b) = res else {
+            panic!("expected a conflict");
+        };
+        assert_eq!(t.apply(&a), t.apply(&b));
+        assert_ne!(a, b);
+        assert!(j.contains(&a) && j.contains(&b));
+    }
+
+    #[test]
+    fn kernel_outside_difference_box_is_fine() {
+        // T = [2, 1; 1, 1] is unimodular-ish (det = 1): injective everywhere.
+        let t = MappingMatrix::new(IMat::from_rows(&[&[2, 1]]), IVec::from([1, 1]));
+        let j = BoxSet::cube(2, 1, 4);
+        assert!(check_conflicts(&t, &j).is_free());
+    }
+
+    #[test]
+    fn kernel_vector_longer_than_box_is_no_conflict() {
+        // Kernel direction [5,-1] of T = [1,5; 0,... ] — pick T = [[1,5],[1,5]]?
+        // Use Π = [1, 5], S = [1, 5]: kernel = span([5,-1]).
+        let t = MappingMatrix::new(IMat::from_rows(&[&[1, 5]]), IVec::from([1, 5]));
+        // Box of extent 4 along axis 0: difference box is [-4,4]×[-2,2];
+        // [5,-1] does not fit -> conflict-free despite nontrivial kernel.
+        let j = BoxSet::new(IVec::from([1, 1]), IVec::from([5, 3]));
+        assert!(check_conflicts(&t, &j).is_free());
+        // Enlarge the box along axis 0 so [5,-1] fits: now a conflict.
+        let j2 = BoxSet::new(IVec::from([1, 1]), IVec::from([6, 3]));
+        assert!(!check_conflicts(&t, &j2).is_free());
+    }
+
+    proptest! {
+        /// The lattice method must agree with brute force on random small
+        /// mappings.
+        #[test]
+        fn prop_lattice_matches_bruteforce(
+            entries in proptest::collection::vec(-2i64..3, 6),
+            ext in proptest::collection::vec(1i64..4, 3),
+        ) {
+            let t = MappingMatrix::new(
+                IMat::from_flat(1, 3, entries[..3].to_vec()),
+                IVec(entries[3..].to_vec()),
+            );
+            let j = BoxSet::new(IVec::from([1, 1, 1]), IVec(ext.iter().map(|e| 1 + e).collect()));
+            let lattice = check_conflicts(&t, &j).is_free();
+            let brute = check_conflicts_bruteforce(&t, &j).is_free();
+            prop_assert_eq!(lattice, brute);
+        }
+    }
+}

@@ -1,0 +1,287 @@
+//! Definition 4.1 over general polyhedral index sets.
+//!
+//! The box-set machinery covers the paper's model (2.1); this module extends
+//! conditions 1/3 and the execution-time formula (4.5) to arbitrary
+//! [`Polyhedron`] index sets (triangular nests à la LU decomposition, which
+//! the paper names as a target application of the method):
+//!
+//! * conflicts: a nonzero kernel-lattice vector of `T` conflicts iff it is a
+//!   *realised difference* of the polyhedron (for boxes every
+//!   difference-box vector is realised; for general polyhedra it must be
+//!   checked);
+//! * total time: `max Π(q̄₁ − q̄₂) + 1` no longer separates per axis — it is
+//!   computed over the exact point set.
+
+use crate::conflict::ConflictResult;
+use crate::transform::MappingMatrix;
+use bitlevel_ir::{enumerate_lattice_in_box, Polyhedron};
+use bitlevel_linalg::{integer_nullspace, IVec};
+
+/// Conflict check (condition 3) over a polyhedron.
+pub fn check_conflicts_polyhedral(t: &MappingMatrix, p: &Polyhedron) -> ConflictResult {
+    assert_eq!(t.n(), p.dim(), "mapping/index dimension mismatch");
+    let kernel = integer_nullspace(&t.t_matrix());
+    if kernel.is_empty() {
+        return ConflictResult::ConflictFree;
+    }
+    let diff = p.bounding.difference_box();
+    for v in enumerate_lattice_in_box(&IVec::zeros(t.n()), &kernel, &diff) {
+        if v.is_zero() {
+            continue;
+        }
+        // The kernel vector conflicts only if both endpoints can lie inside
+        // the polyhedron.
+        if let Some(j) = p.iter_points().find(|j| p.contains(&(j + &v))) {
+            return ConflictResult::Conflict(&j + &v, j);
+        }
+    }
+    ConflictResult::ConflictFree
+}
+
+/// Total execution time (4.5) over a polyhedron: `max Π(q̄₁ − q̄₂) + 1`,
+/// computed from the exact extremes of `Π·q̄` over the point set. Returns
+/// `None` for an empty polyhedron.
+pub fn total_time_polyhedral(pi: &IVec, p: &Polyhedron) -> Option<i64> {
+    assert_eq!(pi.dim(), p.dim(), "schedule/index dimension mismatch");
+    let mut min = i64::MAX;
+    let mut max = i64::MIN;
+    let mut any = false;
+    for q in p.iter_points() {
+        let v = q.dot(pi);
+        min = min.min(v);
+        max = max.max(v);
+        any = true;
+    }
+    any.then(|| max - min + 1)
+}
+
+/// Processor count over a polyhedron: `|{S·q̄ : q̄ ∈ P}|`.
+pub fn processor_count_polyhedral(space: &bitlevel_linalg::IMat, p: &Polyhedron) -> usize {
+    let mut seen = std::collections::HashSet::new();
+    for q in p.iter_points() {
+        seen.insert(space.matvec(&q));
+    }
+    seen.len()
+}
+
+/// Time-optimal schedule search over a polyhedral index set: like
+/// [`crate::schedule::find_optimal_schedule`], but condition 3 uses
+/// realised-difference conflict checking and the objective is the exact
+/// polyhedral makespan. Conditions 1, 2, 4 and 5 are index-set independent.
+///
+/// Returns `(Π, time)` of the optimum within `|Π| ≤ bound`, or `None`.
+pub fn find_optimal_schedule_polyhedral(
+    space: &bitlevel_linalg::IMat,
+    deps: &bitlevel_ir::DependenceSet,
+    set: &Polyhedron,
+    ic: &crate::interconnect::Interconnect,
+    bound: i64,
+) -> Option<(IVec, i64)> {
+    assert!(bound >= 1, "search bound must be positive");
+    let n = set.dim();
+    assert_eq!(space.cols(), n, "space/index dimension mismatch");
+    let d = deps.matrix();
+    let range: Vec<i64> = (-bound..=bound).collect();
+    let total = range.len().pow(n as u32);
+    let mut best: Option<(i64, IVec)> = None;
+    let mut idx = vec![0usize; n];
+    for _ in 0..total {
+        let pi = IVec(idx.iter().map(|&i| range[i]).collect());
+        // Advance the odometer up front so `continue` is safe.
+        for slot in (0..n).rev() {
+            idx[slot] += 1;
+            if idx[slot] < range.len() {
+                break;
+            }
+            idx[slot] = 0;
+        }
+        // Condition 1.
+        if !(0..d.cols()).all(|c| d.col(c).dot(&pi) > 0) {
+            continue;
+        }
+        // Objective (exact over the polyhedron); prune before expensive
+        // checks.
+        let Some(time) = total_time_polyhedral(&pi, set) else {
+            continue;
+        };
+        if let Some((bt, ref bpi)) = best {
+            if time > bt || (time == bt && pi >= *bpi) {
+                continue;
+            }
+        }
+        // Condition 2 (routing within the budget).
+        let routable = (0..d.cols()).all(|c| {
+            let budget = d.col(c).dot(&pi);
+            ic.route(&space.matvec(&d.col(c)), budget).is_some()
+        });
+        if !routable {
+            continue;
+        }
+        // Conditions 4 and 5.
+        let t = MappingMatrix::new(space.clone(), pi.clone());
+        let tm = t.t_matrix();
+        if bitlevel_linalg::rank(&tm) < t.k() {
+            continue;
+        }
+        let entries: Vec<i64> = tm.entries().copied().collect();
+        if bitlevel_linalg::gcd_all(&entries) > 1 {
+            continue;
+        }
+        // Condition 3 over the polyhedron.
+        if !check_conflicts_polyhedral(&t, set).is_free() {
+            continue;
+        }
+        best = Some((time, pi));
+    }
+    best.map(|(time, pi)| (pi, time))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use bitlevel_ir::BoxSet;
+    use bitlevel_linalg::IMat;
+
+    #[test]
+    fn box_polyhedron_agrees_with_box_checker() {
+        let b = BoxSet::cube(3, 1, 3);
+        let p = Polyhedron::from_box(&b);
+        let t = MappingMatrix::new(
+            IMat::from_rows(&[&[1, 0, 0], &[0, 1, 0]]),
+            IVec::from([1, 1, 1]),
+        );
+        assert_eq!(
+            check_conflicts_polyhedral(&t, &p).is_free(),
+            crate::conflict::check_conflicts(&t, &b).is_free()
+        );
+        assert_eq!(
+            total_time_polyhedral(&t.schedule, &p),
+            Some(crate::schedule::total_time(&t.schedule, &b))
+        );
+        assert_eq!(
+            processor_count_polyhedral(&t.space, &p),
+            crate::schedule::processor_count(&t.space, &b)
+        );
+    }
+
+    #[test]
+    fn triangle_admits_mappings_the_box_rejects() {
+        // Kernel direction [1, -1] of T = [[1,1],[1,1]]: in the full box the
+        // vector is realised (conflict), but in the *upper* wedge
+        // { j1 ≤ j2 }… it still is. Use a thin wedge where it is not:
+        // { j2 = j1 } diagonal strip via two constraints.
+        let strip = Polyhedron::new(
+            IMat::from_rows(&[&[1, -1], &[-1, 1], &[1, 0], &[-1, 0]]),
+            IVec::from([0, 0, 4, -1]),
+            BoxSet::cube(2, 1, 4),
+        ); // exactly the diagonal j1 = j2, 1..4
+        assert_eq!(strip.cardinality(), 4);
+        let t = MappingMatrix::new(IMat::from_rows(&[&[1, 1]]), IVec::from([1, 1]));
+        // Kernel of T = span([1,-1]); on the diagonal strip, j + [1,-1] never
+        // stays inside -> conflict-free…
+        assert!(check_conflicts_polyhedral(&t, &strip).is_free());
+        // …while on the full box the same mapping conflicts.
+        let b = Polyhedron::from_box(&BoxSet::cube(2, 1, 4));
+        assert!(!check_conflicts_polyhedral(&t, &b).is_free());
+    }
+
+    #[test]
+    fn triangular_nest_time_is_tighter_than_box_time() {
+        // Π = [1, 1] over the lower triangle {1 ≤ j2 ≤ j1 ≤ 5}: the extreme
+        // difference is (5,5)−(1,1) -> 9; over the box it is the same here,
+        // but with Π = [1, -1] the triangle is strictly tighter: max j1−j2 is
+        // 4 (box: 8... box extremes (5,1),(1,5) give 4−(−4)=8).
+        let tri = Polyhedron::lower_triangle(1, 5);
+        let pi = IVec::from([1, -1]);
+        assert_eq!(total_time_polyhedral(&pi, &tri), Some(5));
+        let b = Polyhedron::from_box(&BoxSet::cube(2, 1, 5));
+        assert_eq!(total_time_polyhedral(&pi, &b), Some(9));
+    }
+
+    #[test]
+    fn empty_polyhedron_yields_none() {
+        let empty = Polyhedron::new(
+            IMat::from_rows(&[&[1, 0], &[-1, 0]]),
+            IVec::from([0, -1]), // j1 ≤ 0 and j1 ≥ 1
+            BoxSet::cube(2, 0, 2),
+        );
+        assert_eq!(empty.cardinality(), 0);
+        assert_eq!(total_time_polyhedral(&IVec::from([1, 1]), &empty), None);
+        // And a conflict check on it is trivially free.
+        let t = MappingMatrix::new(IMat::from_rows(&[&[0, 0]]), IVec::from([0, 0]));
+        assert!(check_conflicts_polyhedral(&t, &empty).is_free());
+    }
+
+    #[test]
+    fn processor_count_on_triangle() {
+        // S = [1, 0]: processors = number of distinct j1 values = 4.
+        let tri = Polyhedron::lower_triangle(1, 4);
+        assert_eq!(processor_count_polyhedral(&IMat::from_rows(&[&[1, 0]]), &tri), 4);
+    }
+
+    #[test]
+    fn polyhedral_schedule_search_on_lu_wedge() {
+        use bitlevel_ir::{Dependence, DependenceSet};
+        // The classic uniformised LU structure (D = I₃) over the wedge
+        // { k ≤ i, j }, projected along k. The optimum under unit links +
+        // static must be Π = [1,1,1] (all three columns need π > 0, and any
+        // larger entry only lengthens the makespan).
+        let n = 3i64;
+        let wedge = Polyhedron::new(
+            IMat::from_rows(&[
+                &[1, 0, 0],
+                &[-1, 0, 0],
+                &[0, 1, 0],
+                &[1, -1, 0],
+                &[0, 0, 1],
+                &[1, 0, -1],
+            ]),
+            IVec::from([n, -1, n, 0, n, 0]),
+            bitlevel_ir::BoxSet::cube(3, 1, n),
+        );
+        let deps = DependenceSet::new(vec![
+            Dependence::uniform([1, 0, 0], "pivot"),
+            Dependence::uniform([0, 1, 0], "row"),
+            Dependence::uniform([0, 0, 1], "col"),
+        ]);
+        let s = IMat::from_rows(&[&[0, 1, 0], &[0, 0, 1]]);
+        let ic = crate::interconnect::Interconnect::new(IMat::from_rows(&[
+            &[0, 0, 1, -1, 0],
+            &[1, -1, 0, 0, 0],
+        ]));
+        let (pi, time) =
+            find_optimal_schedule_polyhedral(&s, &deps, &wedge, &ic, 2).expect("feasible");
+        assert_eq!(pi, IVec::from([1, 1, 1]));
+        assert_eq!(time, 3 * (n - 1) + 1);
+    }
+
+    #[test]
+    fn polyhedral_search_exploits_the_wedge() {
+        use bitlevel_ir::{Dependence, DependenceSet};
+        // On the diagonal strip {j1 = j2} the mapping S = [1,1] with kernel
+        // [1,-1] is conflict-free (no realised difference), so schedules the
+        // box would reject become optimal. Dependence along the diagonal.
+        let strip = Polyhedron::new(
+            IMat::from_rows(&[&[1, -1], &[-1, 1], &[1, 0], &[-1, 0]]),
+            IVec::from([0, 0, 4, -1]),
+            bitlevel_ir::BoxSet::cube(2, 1, 4),
+        );
+        let deps = DependenceSet::new(vec![Dependence::uniform([1, 1], "t")]);
+        let s = IMat::from_rows(&[&[1, 1]]);
+        let ic = crate::interconnect::Interconnect::new(IMat::from_rows(&[&[2, -2, 0]]));
+        let found = find_optimal_schedule_polyhedral(&s, &deps, &strip, &ic, 1);
+        // Π = [1, 0] or [0, 1] gives makespan 4 over the 4-point strip.
+        let (pi, time) = found.expect("feasible on the strip");
+        assert_eq!(time, 4);
+        assert!(pi == IVec::from([0, 1]) || pi == IVec::from([1, 0]), "{pi}");
+        // The wedge-specific win: even the degenerate schedule Π = [1, 1]
+        // (T rank 1, kernel [1,−1] persists) is conflict-free on the strip —
+        // on the box the same T conflicts. (The search itself would reject
+        // this T on condition 4; the conflict checker is what distinguishes
+        // the sets.)
+        let t_degenerate = MappingMatrix::new(s.clone(), IVec::from([1, 1]));
+        assert!(check_conflicts_polyhedral(&t_degenerate, &strip).is_free());
+        let b = Polyhedron::from_box(&bitlevel_ir::BoxSet::cube(2, 1, 4));
+        assert!(!check_conflicts_polyhedral(&t_degenerate, &b).is_free());
+    }
+}

@@ -1,0 +1,359 @@
+//! Execution time, and the search for time-optimal linear schedules.
+//!
+//! The total execution time of a mapping (eq. (4.5)) is
+//! `t = max{ Π(q̄₁ − q̄₂) : q̄₁, q̄₂ ∈ J } + 1`, which over a box index set is
+//! `Σᵢ |πᵢ|·(uᵢ − lᵢ) + 1`. Theorem 4.5 asserts that `Π = [1,1,1,2,1]` is
+//! **time optimal** for the bit-level matmul structure (3.12) with the space
+//! mapping `S` of (4.2); [`find_optimal_schedule`] reproduces that claim by
+//! exhaustive search over bounded schedule vectors (rayon-parallel — the
+//! search space is `(2B+1)ⁿ`).
+
+use crate::feasibility::check_feasibility;
+use crate::interconnect::Interconnect;
+use crate::transform::MappingMatrix;
+use bitlevel_ir::{AlgorithmTriplet, BoxSet};
+use bitlevel_linalg::{IMat, IVec};
+use rayon::prelude::*;
+
+/// Total execution time of schedule `pi` over box `j` (eq. (4.5)):
+/// `Σ |πᵢ|·(uᵢ − lᵢ) + 1`.
+pub fn total_time(pi: &IVec, j: &BoxSet) -> i64 {
+    assert_eq!(pi.dim(), j.dim(), "schedule/index dimension mismatch");
+    (0..j.dim()).map(|i| pi[i].abs() * j.extent(i)).sum::<i64>() + 1
+}
+
+/// Number of processors used: `|{S·q̄ : q̄ ∈ J}|`.
+///
+/// Enumerates the image (exact); the paper's closed forms (`u²p²` for both
+/// Section 4 designs) are checked against this in tests.
+pub fn processor_count(space: &IMat, j: &BoxSet) -> usize {
+    let mut seen: std::collections::HashSet<IVec> =
+        std::collections::HashSet::with_capacity(j.cardinality() as usize);
+    for q in j.iter_points() {
+        seen.insert(space.matvec(&q));
+    }
+    seen.len()
+}
+
+/// Outcome of a schedule search.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct OptimalSchedule {
+    /// The winning schedule vector.
+    pub pi: IVec,
+    /// Its total execution time (4.5).
+    pub time: i64,
+    /// How many candidate vectors were feasible.
+    pub feasible_count: usize,
+    /// How many candidate vectors were examined.
+    pub examined: usize,
+}
+
+/// Exhaustively searches `Π ∈ [−bound, bound]ⁿ` for the schedule minimising
+/// [`total_time`] subject to **all five** conditions of Definition 4.1 with
+/// the given fixed space mapping `S` and primitives `ic`.
+///
+/// Ties are broken toward the lexicographically smallest vector, making the
+/// result deterministic. The outer axis is searched in parallel with rayon.
+///
+/// Returns `None` when no feasible schedule exists within the bound.
+pub fn find_optimal_schedule(
+    space: &IMat,
+    alg: &AlgorithmTriplet,
+    ic: &Interconnect,
+    bound: i64,
+) -> Option<OptimalSchedule> {
+    assert!(bound >= 1, "search bound must be positive");
+    let n = alg.dim();
+    assert_eq!(space.cols(), n, "space/algorithm dimension mismatch");
+    let range: Vec<i64> = (-bound..=bound).collect();
+    let per_axis = range.len();
+    let total: usize = per_axis.pow((n - 1) as u32);
+    let d = alg.dependence_matrix();
+
+    let best = range
+        .par_iter()
+        .map(|&first| {
+            let mut local_best: Option<(i64, IVec)> = None;
+            let mut feasible = 0usize;
+            // Odometer over the remaining n-1 axes.
+            let mut idx = vec![0usize; n - 1];
+            for _ in 0..total {
+                let mut pi = IVec::zeros(n);
+                pi[0] = first;
+                for (a, &ix) in idx.iter().enumerate() {
+                    pi[a + 1] = range[ix];
+                }
+                // Cheap necessary screen first: Π·D > 0 before the full check.
+                let ok1 = (0..d.cols()).all(|c| d.col(c).dot(&pi) > 0);
+                if ok1 {
+                    let t = MappingMatrix::new(space.clone(), pi.clone());
+                    if check_feasibility(&t, alg, ic).is_feasible() {
+                        feasible += 1;
+                        let time = total_time(&pi, &alg.index_set);
+                        let better = match &local_best {
+                            None => true,
+                            Some((bt, bpi)) => time < *bt || (time == *bt && pi < *bpi),
+                        };
+                        if better {
+                            local_best = Some((time, pi));
+                        }
+                    }
+                }
+                // Advance odometer.
+                for slot in (0..n - 1).rev() {
+                    idx[slot] += 1;
+                    if idx[slot] < per_axis {
+                        break;
+                    }
+                    idx[slot] = 0;
+                }
+            }
+            (local_best, feasible)
+        })
+        .reduce(
+            || (None, 0),
+            |(a, fa), (b, fb)| {
+                let merged = match (a, b) {
+                    (None, b) => b,
+                    (a, None) => a,
+                    (Some((ta, pa)), Some((tb, pb))) => {
+                        if tb < ta || (tb == ta && pb < pa) {
+                            Some((tb, pb))
+                        } else {
+                            Some((ta, pa))
+                        }
+                    }
+                };
+                (merged, fa + fb)
+            },
+        );
+
+    let examined = per_axis.pow(n as u32);
+    best.0.map(|(time, pi)| OptimalSchedule {
+        pi,
+        time,
+        feasible_count: best.1,
+        examined,
+    })
+}
+
+/// Best-first variant of [`find_optimal_schedule`]: sorts all candidate
+/// schedules by `(total_time, lexicographic)` and returns the **first** one
+/// passing the full Definition 4.1 check — provably the same optimum, but
+/// the expensive feasibility machinery only runs until the first hit instead
+/// of over every candidate. Prefer this when feasible schedules are common;
+/// prefer the exhaustive search when you also want the feasible count.
+pub fn find_optimal_schedule_bestfirst(
+    space: &IMat,
+    alg: &AlgorithmTriplet,
+    ic: &Interconnect,
+    bound: i64,
+) -> Option<OptimalSchedule> {
+    assert!(bound >= 1, "search bound must be positive");
+    let n = alg.dim();
+    assert_eq!(space.cols(), n, "space/algorithm dimension mismatch");
+    let d = alg.dependence_matrix();
+    let range: Vec<i64> = (-bound..=bound).collect();
+    let total: usize = range.len().pow(n as u32);
+
+    // Enumerate candidates passing the cheap condition-1 screen, tagged with
+    // their closed-form time.
+    let mut candidates: Vec<(i64, IVec)> = Vec::new();
+    let mut idx = vec![0usize; n];
+    for _ in 0..total {
+        let pi = IVec(idx.iter().map(|&i| range[i]).collect());
+        if (0..d.cols()).all(|c| d.col(c).dot(&pi) > 0) {
+            candidates.push((total_time(&pi, &alg.index_set), pi));
+        }
+        for slot in (0..n).rev() {
+            idx[slot] += 1;
+            if idx[slot] < range.len() {
+                break;
+            }
+            idx[slot] = 0;
+        }
+    }
+    candidates.sort();
+
+    let examined = total;
+    for (checked, (time, pi)) in candidates.into_iter().enumerate() {
+        let t = MappingMatrix::new(space.clone(), pi.clone());
+        if check_feasibility(&t, alg, ic).is_feasible() {
+            return Some(OptimalSchedule {
+                pi,
+                time,
+                feasible_count: checked + 1, // full checks performed, not total feasible
+                examined,
+            });
+        }
+    }
+    None
+}
+
+/// A faster lower bound: the best time over schedules satisfying only
+/// condition 1 (`Π·D > 0`), ignoring routing and conflicts. Useful to show a
+/// found schedule is truly optimal (matching lower bound) or to quantify the
+/// cost of conditions 2–5.
+pub fn dependence_only_bound(alg: &AlgorithmTriplet, bound: i64) -> Option<i64> {
+    let n = alg.dim();
+    let d = alg.dependence_matrix();
+    let range: Vec<i64> = (-bound..=bound).collect();
+    let total: usize = range.len().pow(n as u32);
+    let mut best: Option<i64> = None;
+    let mut idx = vec![0usize; n];
+    for _ in 0..total {
+        let pi = IVec(idx.iter().map(|&ix| range[ix]).collect());
+        if (0..d.cols()).all(|c| d.col(c).dot(&pi) > 0) {
+            let t = total_time(&pi, &alg.index_set);
+            best = Some(best.map_or(t, |b: i64| b.min(t)));
+        }
+        for slot in (0..n).rev() {
+            idx[slot] += 1;
+            if idx[slot] < range.len() {
+                break;
+            }
+            idx[slot] = 0;
+        }
+    }
+    best
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use bitlevel_ir::{Dependence, DependenceSet, Predicate};
+
+    fn matmul_bitlevel(u: i64, p: i64) -> AlgorithmTriplet {
+        let j = BoxSet::cube(3, 1, u).product(&BoxSet::cube(2, 1, p));
+        AlgorithmTriplet::new(
+            j,
+            DependenceSet::new(vec![
+                Dependence::conditional([1, 0, 0, 0, 0], "y", Predicate::eq_const(4, 1)),
+                Dependence::conditional([0, 1, 0, 0, 0], "x", Predicate::eq_const(3, 1)),
+                Dependence::conditional(
+                    [0, 0, 1, 0, 0],
+                    "z",
+                    Predicate::eq_const(3, p).or(&Predicate::eq_const(4, 1)),
+                ),
+                Dependence::conditional([0, 0, 0, 1, 0], "x", Predicate::ne_const(3, 1)),
+                Dependence::conditional([0, 0, 0, 0, 1], "y,c", Predicate::ne_const(4, 1)),
+                Dependence::uniform([0, 0, 0, 1, -1], "z"),
+                Dependence::conditional([0, 0, 0, 0, 2], "c'", Predicate::eq_const(3, p)),
+            ]),
+            "bit-level matmul, Expansion II",
+        )
+    }
+
+    #[test]
+    fn total_time_matches_eq_4_5() {
+        // Π = [1,1,1,2,1] over J = [1,u]³ × [1,p]²:
+        // t = 3(u−1) + 2(p−1) + (p−1) + 1 = 3(u−1) + 3(p−1) + 1.
+        for (u, p) in [(3i64, 3i64), (5, 4), (10, 8)] {
+            let j = BoxSet::cube(3, 1, u).product(&BoxSet::cube(2, 1, p));
+            let pi = IVec::from([1, 1, 1, 2, 1]);
+            assert_eq!(total_time(&pi, &j), 3 * (u - 1) + 3 * (p - 1) + 1);
+        }
+    }
+
+    #[test]
+    fn t_prime_time_formula() {
+        // Π' = [p,p,1,2,1]: t' = (2p+1)(u−1) + 3(p−1) + 1. (The paper prints
+        // (2p−1)(u−1)+3(p−1)+1 for eq. (4.8), inconsistent with its own
+        // Π'·(ū−l̄) expansion — see EXPERIMENTS.md.)
+        for (u, p) in [(3i64, 3i64), (5, 4)] {
+            let j = BoxSet::cube(3, 1, u).product(&BoxSet::cube(2, 1, p));
+            let pi = IVec::from([p, p, 1, 2, 1]);
+            assert_eq!(total_time(&pi, &j), (2 * p + 1) * (u - 1) + 3 * (p - 1) + 1);
+        }
+    }
+
+    #[test]
+    fn processor_count_is_u2p2_for_paper_space_mapping() {
+        for (u, p) in [(2i64, 2i64), (3, 3), (4, 2)] {
+            let j = BoxSet::cube(3, 1, u).product(&BoxSet::cube(2, 1, p));
+            let s = IMat::from_rows(&[&[p, 0, 0, 1, 0], &[0, p, 0, 0, 1]]);
+            assert_eq!(processor_count(&s, &j), (u * u * p * p) as usize, "u={u} p={p}");
+        }
+    }
+
+    #[test]
+    fn theorem_4_5_schedule_is_found_optimal() {
+        // Search Π ∈ [−2,2]⁵ for S of (4.2) with the paper's P: the optimum
+        // must be Π = [1,1,1,2,1] with t = 3(u−1)+3(p−1)+1.
+        let (u, p) = (2i64, 2i64);
+        let alg = matmul_bitlevel(u, p);
+        let s = IMat::from_rows(&[&[p, 0, 0, 1, 0], &[0, p, 0, 0, 1]]);
+        let best = find_optimal_schedule(&s, &alg, &Interconnect::paper_p(p), 2)
+            .expect("a feasible schedule exists (Theorem 4.5)");
+        assert_eq!(best.pi, IVec::from([1, 1, 1, 2, 1]));
+        assert_eq!(best.time, 3 * (u - 1) + 3 * (p - 1) + 1);
+        assert!(best.feasible_count >= 1);
+    }
+
+    #[test]
+    fn nearest_neighbour_machine_forces_slower_schedule() {
+        // With P' (no long wires) the optimum within the bound must be slower
+        // than with P, and must route x/y at speed p.
+        let (u, p) = (2i64, 2i64);
+        let alg = matmul_bitlevel(u, p);
+        let s = IMat::from_rows(&[&[p, 0, 0, 1, 0], &[0, p, 0, 0, 1]]);
+        let fast = find_optimal_schedule(&s, &alg, &Interconnect::paper_p(p), 2).unwrap();
+        let slow = find_optimal_schedule(&s, &alg, &Interconnect::paper_p_prime(), 2).unwrap();
+        assert!(slow.time > fast.time, "{} vs {}", slow.time, fast.time);
+        // The paper's Π' = [p,p,1,2,1] must be among the feasible candidates:
+        // its time is an upper bound for the found optimum.
+        let j = &alg.index_set;
+        assert!(slow.time <= total_time(&IVec::from([p, p, 1, 2, 1]), j));
+    }
+
+    #[test]
+    fn bestfirst_agrees_with_exhaustive() {
+        let (u, p) = (2i64, 2i64);
+        let alg = matmul_bitlevel(u, p);
+        let s = IMat::from_rows(&[&[p, 0, 0, 1, 0], &[0, p, 0, 0, 1]]);
+        for ic in [Interconnect::paper_p(p), Interconnect::paper_p_prime()] {
+            let a = find_optimal_schedule(&s, &alg, &ic, 2).expect("feasible");
+            let b = find_optimal_schedule_bestfirst(&s, &alg, &ic, 2).expect("feasible");
+            assert_eq!(a.pi, b.pi);
+            assert_eq!(a.time, b.time);
+            // Best-first must do no more full checks than there are
+            // candidates, and typically far fewer than the feasible count
+            // would suggest.
+            assert!(b.feasible_count <= b.examined);
+        }
+    }
+
+    #[test]
+    fn bestfirst_reports_none_when_nothing_feasible() {
+        let alg = matmul_bitlevel(2, 2);
+        let s = IMat::from_rows(&[&[2, 0, 0, 1, 0], &[0, 2, 0, 0, 1]]);
+        // Static-only machine: nothing can move.
+        let ic = Interconnect::new(IMat::from_rows(&[&[0], &[0]]));
+        assert!(find_optimal_schedule_bestfirst(&s, &alg, &ic, 2).is_none());
+    }
+
+    #[test]
+    fn dependence_only_bound_is_a_lower_bound() {
+        let (u, p) = (2i64, 2i64);
+        let alg = matmul_bitlevel(u, p);
+        let s = IMat::from_rows(&[&[p, 0, 0, 1, 0], &[0, p, 0, 0, 1]]);
+        let lb = dependence_only_bound(&alg, 2).expect("some positive schedule");
+        let opt = find_optimal_schedule(&s, &alg, &Interconnect::paper_p(p), 2).unwrap();
+        assert!(lb <= opt.time);
+    }
+
+    #[test]
+    fn infeasible_when_bound_too_small() {
+        // Bound 1 cannot satisfy Π·d̄₇ = 2·π₅ > 0 together with routing d̄₄
+        // within Π·d̄₄ … actually Π = [1,1,1,2,1] needs bound ≥ 2, so bound 1
+        // must either find a different feasible schedule or nothing; assert
+        // the search stays consistent (any result must be truly feasible).
+        let (u, p) = (2i64, 2i64);
+        let alg = matmul_bitlevel(u, p);
+        let s = IMat::from_rows(&[&[p, 0, 0, 1, 0], &[0, p, 0, 0, 1]]);
+        if let Some(found) = find_optimal_schedule(&s, &alg, &Interconnect::paper_p(p), 1) {
+            let t = MappingMatrix::new(s.clone(), found.pi.clone());
+            assert!(check_feasibility(&t, &alg, &Interconnect::paper_p(p)).is_feasible());
+        }
+    }
+}

@@ -1,0 +1,273 @@
+//! The Expansion I matmul **architecture**, clocked.
+//!
+//! Section 3.2 argues Expansion I is the better expansion (shallower
+//! producers, more uniform cells); the paper nevertheless only *builds*
+//! Expansion II architectures. This module completes the picture: cell
+//! semantics for the Expansion I structure (3.11b), runnable on the clocked
+//! engine under the same mappings — the dependence *vectors* coincide with
+//! Expansion II's, so `T` of eq. (4.2) is feasible for both and the measured
+//! cycle count is identical; what changes is which cells are wide and where
+//! the accumulator lives (forwarded partial sums instead of boundary
+//! injection).
+//!
+//! The cells execute the **literal** structure and record every dropped
+//! row-end carry (cf. [`crate::expansion_i`]), so the accounting identity
+//! `result + Σ 2^weight ≡ product (mod 2^{2p−1})` is checkable on the
+//! clocked run too.
+
+use crate::clocked::{CellSemantics, ClockedRun, MatmulSignals};
+use bitlevel_arith::{from_bits, full_add, to_bits, wide_add, Bit};
+use bitlevel_linalg::IVec;
+
+/// Clocked cell semantics for the Expansion I bit-level matmul (composed
+/// column order `x, y, z, d̄₄, d̄₅, d̄₆, d̄₇`).
+pub struct MatmulExpansionICells {
+    u: usize,
+    p: usize,
+    x_bits: Vec<Vec<Vec<Bit>>>,
+    y_bits: Vec<Vec<Vec<Bit>>>,
+    /// Dropped row-end carries: `(j1, j2, weight)`.
+    dropped: Vec<(usize, usize, u32)>,
+}
+
+impl MatmulExpansionICells {
+    /// Prepares operand bit planes.
+    ///
+    /// # Panics
+    /// Panics on shape mismatches or oversized entries.
+    pub fn new(u: usize, p: usize, x: &[Vec<u128>], y: &[Vec<u128>]) -> Self {
+        assert_eq!(x.len(), u, "x must be u x u");
+        assert_eq!(y.len(), u, "y must be u x u");
+        let x_bits = x
+            .iter()
+            .map(|row| {
+                assert_eq!(row.len(), u);
+                row.iter().map(|&v| to_bits(v, p)).collect()
+            })
+            .collect();
+        let y_bits = y
+            .iter()
+            .map(|row| {
+                assert_eq!(row.len(), u);
+                row.iter().map(|&v| to_bits(v, p)).collect()
+            })
+            .collect();
+        MatmulExpansionICells { u, p, x_bits, y_bits, dropped: Vec::new() }
+    }
+
+    /// Value lost at accumulator `(j₁, j₂)` (1-based), from the recorded
+    /// dropped carries.
+    pub fn lost_value(&self, j1: usize, j2: usize) -> u128 {
+        self.dropped
+            .iter()
+            .filter(|(a, b, _)| (*a, *b) == (j1, j2))
+            .map(|&(_, _, w)| 1u128 << w)
+            .sum()
+    }
+
+    /// Total dropped carries across the run.
+    pub fn dropped_count(&self) -> usize {
+        self.dropped.len()
+    }
+
+    /// Extracts each accumulator (mod `2^{2p−1}`) from a finished run —
+    /// Expansion I results appear on the same boundary positions of the last
+    /// tile as Expansion II's (the drain happens there).
+    pub fn extract_product(&self, run: &ClockedRun<MatmulSignals>) -> Vec<Vec<u128>> {
+        let (u, p) = (self.u, self.p);
+        let mut z = vec![vec![0u128; u]; u];
+        for j1 in 1..=u {
+            for j2 in 1..=u {
+                let mut bits: Vec<Bit> = Vec::with_capacity(2 * p - 1);
+                for i in 1..=p {
+                    let q = IVec::from([j1 as i64, j2 as i64, u as i64, i as i64, 1]);
+                    bits.push(run.outputs[&q].s);
+                }
+                for i in p + 1..=2 * p - 1 {
+                    let q = IVec::from([
+                        j1 as i64,
+                        j2 as i64,
+                        u as i64,
+                        p as i64,
+                        (i - p + 1) as i64,
+                    ]);
+                    bits.push(run.outputs[&q].s);
+                }
+                z[j1 - 1][j2 - 1] = from_bits(&bits);
+            }
+        }
+        z
+    }
+
+    /// The mod-`2^{2p−1}` accounting reference.
+    pub fn accounting_holds(&self, x: &[Vec<u128>], y: &[Vec<u128>], z: &[Vec<u128>]) -> bool {
+        let (u, p) = (self.u, self.p);
+        let mask = (1u128 << (2 * p - 1)) - 1;
+        for j1 in 1..=u {
+            for j2 in 1..=u {
+                let truth: u128 = (0..u).map(|k| x[j1 - 1][k] * y[k][j2 - 1]).sum();
+                let recon = (z[j1 - 1][j2 - 1] + self.lost_value(j1, j2)) & mask;
+                if recon != truth & mask {
+                    return false;
+                }
+            }
+        }
+        true
+    }
+}
+
+impl CellSemantics for MatmulExpansionICells {
+    type Bundle = MatmulSignals;
+
+    fn compute(&mut self, q: &IVec, inputs: &[Option<MatmulSignals>]) -> MatmulSignals {
+        let (j1, j2, j3, i1, i2) =
+            (q[0] as usize, q[1] as usize, q[2] as usize, q[3] as usize, q[4] as usize);
+        let (u, p) = (self.u, self.p);
+
+        // Operand bits: identical pipelining to Expansion II.
+        let x = if i1 == 1 {
+            match &inputs[0] {
+                Some(b) => b.x,
+                None => self.x_bits[j1 - 1][j3 - 1][i2 - 1],
+            }
+        } else {
+            inputs[3].as_ref().expect("d4 token").x
+        };
+        let y = if i2 == 1 {
+            match &inputs[1] {
+                Some(b) => b.y,
+                None => self.y_bits[j3 - 1][j2 - 1][i1 - 1],
+            }
+        } else {
+            inputs[4].as_ref().expect("d5 token").y
+        };
+        let pp = x & y;
+
+        let c_in = if i2 > 1 { inputs[4].as_ref().is_some_and(|b| b.c) } else { false };
+        // d̄₃ (uniform in Expansion I): the forwarded partial sum of the same
+        // cell in the previous tile; absent at j3 = 1.
+        let fwd = inputs[2].as_ref().is_some_and(|b| b.s);
+
+        let (s, c, cp) = if j3 < u {
+            // Interior: the uniform 3-input cell.
+            let (s, c) = full_add(pp, c_in, fwd);
+            (s, c, false)
+        } else {
+            // Drain plane: diagonal (d̄₆, literal zero boundary) plus the
+            // chained second carry (d̄₇).
+            let s_diag = if i1 > 1 && i2 < p {
+                inputs[5].as_ref().is_some_and(|b| b.s)
+            } else {
+                false
+            };
+            let cp_in = if i2 > 2 { inputs[6].as_ref().is_some_and(|b| b.cp) } else { false };
+            wide_add(&[pp, c_in, fwd, s_diag, cp_in])
+        };
+
+        // Literal structure: the row-end carry leaves the index set; record
+        // the loss (weights at or above 2p−1 are absorbed by the modulus).
+        if i2 == p && c && (i1 + p - 1) < 2 * p - 1 {
+            self.dropped.push((j1, j2, (i1 + p - 1) as u32));
+        }
+        if j3 == u && i2 >= p - 1 && cp {
+            let w = (i1 + i2) as u32;
+            if (w as usize) < 2 * p - 1 {
+                self.dropped.push((j1, j2, w));
+            }
+        }
+
+        MatmulSignals { x, y, s, c, cp }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::clocked::run_clocked;
+    use bitlevel_ir::{AlgorithmTriplet, BoxSet, Dependence, DependenceSet, Predicate};
+    use bitlevel_mapping::PaperDesign;
+
+    /// The Expansion I matmul structure (3.11b) in composed column order.
+    fn structure_i(u: i64, p: i64) -> AlgorithmTriplet {
+        let j = BoxSet::cube(3, 1, u).product(&BoxSet::cube(2, 1, p));
+        AlgorithmTriplet::new(
+            j,
+            DependenceSet::new(vec![
+                Dependence::conditional([0, 1, 0, 0, 0], "x", Predicate::eq_const(3, 1)),
+                Dependence::conditional([1, 0, 0, 0, 0], "y", Predicate::eq_const(4, 1)),
+                Dependence::uniform([0, 0, 1, 0, 0], "z"), // d̄₃ uniform in I
+                Dependence::conditional([0, 0, 0, 1, 0], "x", Predicate::ne_const(3, 1)),
+                Dependence::conditional([0, 0, 0, 0, 1], "y,c", Predicate::ne_const(4, 1)),
+                Dependence::conditional([0, 0, 0, 1, -1], "z", Predicate::eq_upper(2)),
+                Dependence::conditional(
+                    [0, 0, 0, 0, 2],
+                    "c'",
+                    Predicate::ne_const(3, 1)
+                        .or(&Predicate::not_in(4, &[1, 2]))
+                        .and(&Predicate::eq_upper(2)),
+                ),
+            ]),
+            "bit-level matmul, Expansion I (3.11b)",
+        )
+    }
+
+    #[test]
+    fn expansion_i_architecture_runs_on_the_fig4_mapping() {
+        // Same vectors as Expansion II -> T of (4.2) is feasible; the clocked
+        // run must be legal and take the identical 3(u−1)+3(p−1)+1 cycles.
+        let (u, p) = (3usize, 3usize);
+        let alg = structure_i(u as i64, p as i64);
+        let design = PaperDesign::TimeOptimal;
+        let x: Vec<Vec<u128>> = (0..u).map(|i| (0..u).map(|j| ((2 * i + j) % 4) as u128).collect()).collect();
+        let y: Vec<Vec<u128>> = (0..u).map(|i| (0..u).map(|j| ((i + 3 * j + 1) % 4) as u128).collect()).collect();
+        let mut cells = MatmulExpansionICells::new(u, p, &x, &y);
+        let run = run_clocked(&alg, &design.mapping(p as i64), &design.interconnect(p as i64), &mut cells);
+        assert!(run.is_legal(), "{:?}", run.violations);
+        assert_eq!(run.cycles, 3 * (u as i64 - 1) + 3 * (p as i64 - 1) + 1);
+        // Accounting identity: result + recorded losses == true product.
+        let z = cells.extract_product(&run);
+        assert!(cells.accounting_holds(&x, &y, &z));
+    }
+
+    #[test]
+    fn carry_free_operands_give_exact_products() {
+        let (u, p) = (2usize, 4usize);
+        let alg = structure_i(u as i64, p as i64);
+        let design = PaperDesign::TimeOptimal;
+        // x rows are distinct powers of two, y = 1: no carries anywhere.
+        let x: Vec<Vec<u128>> = (0..u).map(|_| (0..u).map(|k| 1u128 << k).collect()).collect();
+        let y: Vec<Vec<u128>> = (0..u).map(|_| (0..u).map(|_| 1u128).collect()).collect();
+        let mut cells = MatmulExpansionICells::new(u, p, &x, &y);
+        let run = run_clocked(&alg, &design.mapping(p as i64), &design.interconnect(p as i64), &mut cells);
+        assert!(run.is_legal());
+        assert_eq!(cells.dropped_count(), 0);
+        let z = cells.extract_product(&run);
+        for i in 0..u {
+            for j in 0..u {
+                let want: u128 = (0..u).map(|k| x[i][k] * y[k][j]).sum();
+                assert_eq!(z[i][j], want);
+            }
+        }
+    }
+
+    #[test]
+    fn agrees_with_the_topological_expansion_i_simulator() {
+        let (u, p) = (3usize, 3usize);
+        let alg = structure_i(u as i64, p as i64);
+        let design = PaperDesign::TimeOptimal;
+        let x: Vec<Vec<u128>> = (0..u).map(|i| (0..u).map(|j| ((3 * i + 2 * j + 5) % 8) as u128).collect()).collect();
+        let y: Vec<Vec<u128>> = (0..u).map(|i| (0..u).map(|j| ((5 * i + j + 3) % 8) as u128).collect()).collect();
+        let mut cells = MatmulExpansionICells::new(u, p, &x, &y);
+        let run = run_clocked(&alg, &design.mapping(p as i64), &design.interconnect(p as i64), &mut cells);
+        assert!(run.is_legal());
+        let clocked_z = cells.extract_product(&run);
+        let topo = crate::expansion_i::ExpansionIMatmul::new(u, p).run(&x, &y);
+        assert_eq!(clocked_z, topo.z, "clocked vs topological Expansion I");
+        // Both record identical total loss per accumulator.
+        for j1 in 1..=u {
+            for j2 in 1..=u {
+                assert_eq!(cells.lost_value(j1, j2), topo.lost_value(j1, j2));
+            }
+        }
+    }
+}

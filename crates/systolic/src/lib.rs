@@ -1,0 +1,43 @@
+#![warn(missing_docs)]
+
+//! # bitlevel-systolic
+//!
+//! Cycle-accurate simulation of the processor arrays of Section 4:
+//!
+//! * [`mapped`] — generic verification of any mapped algorithm
+//!   `(J, D, E) + T + P`: measured makespan (vs the closed forms (4.5)/(4.8)),
+//!   conflict-freeness, routing causality, utilisation, link traffic; plus
+//!   the schedule-independent critical-path and fan-in metrics used to
+//!   compare Expansions I and II;
+//! * [`bit_array`] — the functional, bit-exact Expansion II matmul array
+//!   (the hardware of Figs. 4/5), computing `Z = X·Y mod 2^{2p−1}` through
+//!   real full-adder/wide-adder cells;
+//! * [`word_array`] — the Section 4.2 word-level comparator
+//!   (`(3(u−1)+1)·t_b` with a pluggable bit-level multiplier model).
+
+pub mod bit_array;
+pub mod clocked;
+pub mod expansion_i;
+pub mod expansion_i_clocked;
+pub mod mapped;
+pub mod model35;
+pub mod viz;
+pub mod word_array;
+
+pub use bit_array::{BitMatmulArray, BitMatmulRun};
+pub use clocked::{
+    run_clocked, CellSemantics, ClockedRun, ClockedViolation, MatmulExpansionIICells,
+    MatmulSignals,
+};
+pub use mapped::{
+    asap_depths, critical_path, fanin_histogram, mean_producer_depth, simulate_mapped,
+    simulate_mapped_parallel, MappedRunReport,
+};
+pub use expansion_i::{DroppedCarry, ExpansionIMatmul, ExpansionIRun};
+pub use expansion_i_clocked::MatmulExpansionICells;
+pub use model35::{ColumnMap, Model35Cells};
+pub use viz::{
+    render_activity_profile, render_block_structure, render_gantt, render_links,
+    render_processor_grid,
+};
+pub use word_array::{WordLevelArray, WordRunReport};

@@ -1,0 +1,57 @@
+//! Register-transfer-level execution of the Fig. 4 architecture.
+//!
+//! The deepest verification in the repository: the time-optimal bit-level
+//! matmul array is executed cycle by cycle with value-carrying tokens —
+//! every token's route is timed against the machine's links, every PE fires
+//! exactly at its scheduled cycle — and the product bits collected at the
+//! boundary are compared against native arithmetic. Also prints the
+//! paper-figure-style visualisations.
+//!
+//! Run with: `cargo run --example clocked_rtl`
+
+use bitlevel::depanal::{compose, Expansion};
+use bitlevel::systolic::{
+    render_activity_profile, render_block_structure, render_gantt, render_links,
+    render_processor_grid, run_clocked, MatmulExpansionIICells,
+};
+use bitlevel::{BitMatmulArray, PaperDesign, WordLevelAlgorithm};
+
+fn main() {
+    let (u, p) = (3usize, 3usize);
+    let alg = compose(&WordLevelAlgorithm::matmul(u as i64), p, Expansion::II);
+    let design = PaperDesign::TimeOptimal;
+    let mapping = design.mapping(p as i64);
+    let machine = design.interconnect(p as i64);
+
+    // Operands within the safe accumulator bound.
+    let m = BitMatmulArray::new(u, p).max_safe_entry();
+    let x: Vec<Vec<u128>> = (0..u)
+        .map(|i| (0..u).map(|j| ((2 * i + 3 * j + 1) as u128) % (m + 1)).collect())
+        .collect();
+    let y: Vec<Vec<u128>> = (0..u)
+        .map(|i| (0..u).map(|j| ((i + j + 1) as u128) % (m + 1)).collect())
+        .collect();
+
+    println!("{}", render_block_structure(u as i64, p as i64));
+    println!("{}", render_processor_grid(&alg, &mapping));
+    println!("{}", render_links(&alg, &mapping, &machine));
+    println!("{}", render_activity_profile(&alg, &mapping));
+    println!("{}", render_gantt(&alg, &mapping, 12));
+
+    let mut cells = MatmulExpansionIICells::new(u, p, &x, &y);
+    let run = run_clocked(&alg, &mapping, &machine, &mut cells);
+    assert!(run.is_legal(), "violations: {:?}", run.violations);
+    println!(
+        "clocked run: {} cycles, peak in-flight tokens per edge class: {:?}",
+        run.cycles, run.peak_in_flight
+    );
+
+    let z = cells.extract_product(&run);
+    println!("\nZ = X*Y, extracted from the array boundary:");
+    for (i, row) in z.iter().enumerate() {
+        let want: Vec<u128> = (0..u).map(|j| (0..u).map(|k| x[i][k] * y[k][j]).sum()).collect();
+        assert_eq!(row, &want, "row {i}");
+        println!("  {row:?}");
+    }
+    println!("\nevery bit correct, every token on time: the architecture works.");
+}

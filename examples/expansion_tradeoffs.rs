@@ -1,0 +1,50 @@
+//! Expansion I vs Expansion II (Section 3.2's design discussion).
+//!
+//! "Expansion II is slower than Expansion I because the computation at j̄ has
+//! to wait for the final results at j̄−h̄₃… Further, Expansion I is more
+//! computationally uniform… in contrast, in Expansion II, four or five bits
+//! have to be summed on the hyperplane i₁ = p. This may cause unbalanced
+//! load distribution."
+//!
+//! This example quantifies both effects on the 1-D recurrence (3.7) and on
+//! matrix multiplication.
+//!
+//! Run with: `cargo run --release --example expansion_tradeoffs`
+
+use bitlevel::systolic::{critical_path, fanin_histogram, mean_producer_depth};
+use bitlevel::{compose, BoxSet, Expansion, WordLevelAlgorithm};
+use bitlevel::linalg::IVec;
+
+fn main() {
+    let one_d = WordLevelAlgorithm::new(
+        "1-D recurrence (3.7)",
+        BoxSet::cube(1, 1, 4),
+        Some(IVec::from([1])),
+        Some(IVec::from([1])),
+        IVec::from([1]),
+    );
+
+    for (name, word, p) in [
+        ("1-D recurrence, u=4", one_d, 3usize),
+        ("matmul, u=3", WordLevelAlgorithm::matmul(3), 3),
+    ] {
+        println!("== {name}, p={p} ==");
+        for expansion in [Expansion::I, Expansion::II] {
+            let alg = compose(&word, p, expansion);
+            let cp = critical_path(&alg);
+            // Column 2 is d̄₃ in both expansions (x, y, then z).
+            let d3_depth = mean_producer_depth(&alg, 2).unwrap_or(0.0);
+            let hist = fanin_histogram(&alg);
+            let wide: u64 = hist.iter().skip(4).sum();
+            println!(
+                "  {expansion}: critical path {cp}, mean d3-producer depth {d3_depth:.2}, \
+                 points with >=4 summed inputs: {wide}, fan-in histogram {hist:?}"
+            );
+        }
+        println!();
+    }
+
+    println!("Expansion I forwards partial sums (shallow producers, few wide adders);");
+    println!("Expansion II waits for completed words at tile boundaries (deep producers,");
+    println!("4-5-input adders along the whole i1=p plane -> unbalanced cell designs).");
+}

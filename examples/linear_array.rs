@@ -1,0 +1,65 @@
+//! Lower-dimensional synthesis: a **linear (1-D) bit-level array** for
+//! matrix multiplication.
+//!
+//! The design method the paper builds on ([5,6,10]) targets lower-dimensional
+//! arrays; this example runs the joint `(S, Π)` search of
+//! `bitlevel-mapping::lowerdim` to synthesise a 1-D array for the 5-D
+//! bit-level matmul structure, then contrasts it with the 2-D Fig. 4 design:
+//! fewer than half the processors traded for one extra cycle.
+//!
+//! Run with: `cargo run --release --example linear_array`
+
+use bitlevel::depanal::{compose, Expansion};
+use bitlevel::mapping::{
+    check_feasibility, find_linear_array_mapping, linear_interconnect, processor_count,
+};
+use bitlevel::{PaperDesign, WordLevelAlgorithm};
+
+fn main() {
+    let (u, p) = (2i64, 2i64);
+    let alg = compose(&WordLevelAlgorithm::matmul(u), p as usize, Expansion::II);
+    println!(
+        "bit-level matmul structure: |J| = {} computations",
+        alg.index_set.cardinality()
+    );
+
+    // The 2-D reference point (Fig. 4).
+    let two_d_time = PaperDesign::TimeOptimal.total_time(u, p);
+    let two_d_pes = PaperDesign::processors(u, p);
+    println!("2-D Fig. 4 design: {two_d_time} cycles on {two_d_pes} PEs\n");
+
+    // Synthesise a linear array: machine = east/west units + stride-2 long
+    // wires + static link.
+    let ic = linear_interconnect(Some(2));
+    println!("searching S in [-2,2]^5, Pi in [-3,3]^5 on the 1-D machine ...");
+    match find_linear_array_mapping(&alg, &ic, 2, 3) {
+        Some(design) => {
+            println!(
+                "found: S = {:?}, Pi = {}",
+                design.mapping.space.row(0),
+                design.mapping.schedule
+            );
+            println!(
+                "linear array: {} cycles on {} PEs ({} S-candidates examined)",
+                design.time, design.processors, design.candidates_examined
+            );
+            let rep = check_feasibility(&design.mapping, &alg, &ic);
+            assert!(rep.is_feasible(), "{:?}", rep.violations);
+            assert_eq!(
+                design.processors,
+                processor_count(&design.mapping.space, &alg.index_set)
+            );
+            println!(
+                "\ntrade-off: {:.1}x fewer processors, {:.1}x more cycles \
+                 (work bound: {} x {} = {} >= |J| = {})",
+                two_d_pes as f64 / design.processors as f64,
+                design.time as f64 / two_d_time as f64,
+                design.time,
+                design.processors,
+                design.time * design.processors as i64,
+                alg.index_set.cardinality()
+            );
+        }
+        None => println!("no feasible linear design within the bounds"),
+    }
+}

@@ -1,0 +1,65 @@
+//! The full Section 4.2 story: both bit-level matmul architectures across a
+//! parameter sweep, compared with the best word-level array.
+//!
+//! Reproduces the shape of the paper's comparison — the Fig. 4 design is
+//! `O(p²)` faster than a word-level array built on add-shift PEs and `O(p)`
+//! faster than one built on carry-save PEs — with *measured* cycle counts
+//! from the cycle-accurate simulator, not just the closed forms.
+//!
+//! Run with: `cargo run --release --example matmul_architectures`
+
+use bitlevel::{
+    compose, simulate_mapped, AddShift, CarrySave, Expansion, PaperDesign, WordLevelAlgorithm,
+};
+use bitlevel::mapping::word_level_total_time;
+
+fn main() {
+    println!(
+        "{:>3} {:>3} | {:>9} {:>9} | {:>12} {:>12} | {:>9} {:>9}",
+        "u", "p", "fig4", "fig5", "word(as)", "word(cs)", "spd(as)", "spd(cs)"
+    );
+    println!("{}", "-".repeat(84));
+
+    for (u, p) in [(2i64, 2i64), (3, 3), (4, 3), (4, 4), (6, 4), (8, 4), (8, 6), (10, 8)] {
+        let alg = compose(&WordLevelAlgorithm::matmul(u), p as usize, Expansion::II);
+
+        // Measured cycles of the two bit-level designs.
+        let fig4 = simulate_mapped(
+            &alg,
+            &PaperDesign::TimeOptimal.mapping(p),
+            &PaperDesign::TimeOptimal.interconnect(p),
+        );
+        let fig5 = simulate_mapped(
+            &alg,
+            &PaperDesign::NearestNeighbour.mapping(p),
+            &PaperDesign::NearestNeighbour.interconnect(p),
+        );
+        assert!(fig4.conflict_free && fig4.causality_ok);
+        assert!(fig5.conflict_free && fig5.causality_ok);
+
+        // Word-level baselines (closed form (3(u-1)+1)·t_b with the real
+        // multiplier latencies).
+        let word_addshift = word_level_total_time(u, AddShift::new(p as usize).word_latency() as i64);
+        let word_carrysave =
+            word_level_total_time(u, CarrySave::new(p as usize).word_latency() as i64);
+
+        println!(
+            "{:>3} {:>3} | {:>9} {:>9} | {:>12} {:>12} | {:>8.1}x {:>8.1}x",
+            u,
+            p,
+            fig4.cycles,
+            fig5.cycles,
+            word_addshift,
+            word_carrysave,
+            word_addshift as f64 / fig4.cycles as f64,
+            word_carrysave as f64 / fig4.cycles as f64,
+        );
+    }
+
+    println!();
+    println!("fig4: time-optimal design (eq. 4.2), long wires of length p, 1 buffered link");
+    println!("fig5: nearest-neighbour design (eq. 4.6), unit wires only");
+    println!("word(as)/word(cs): best word-level array with add-shift (t_b = p^2) /");
+    println!("                   carry-save (t_b = 2p) PEs  [(3(u-1)+1) * t_b]");
+    println!("speedups grow ~p^2 (add-shift) and ~p (carry-save), as Section 4.2 claims");
+}

@@ -1,0 +1,83 @@
+//! Polynomial multiplication on a bit-level array.
+//!
+//! `c(x) = a(x)·b(x)` has the convolution structure of model (3.5); this
+//! example synthesises the bit-level array for a (deg 4)×(deg 2) product,
+//! runs it on the clocked RTL engine, and checks every output coefficient —
+//! demonstrating that the whole flow (Theorem 3.1 → Definition 4.1 →
+//! clocked simulation) is workload-generic, not matmul-specific.
+//!
+//! Run with: `cargo run --release --example polynomial`
+
+use bitlevel::depanal::{compose, Expansion};
+use bitlevel::linalg::IMat;
+use bitlevel::mapping::{find_optimal_schedule_bestfirst, Interconnect, MappingMatrix};
+use bitlevel::systolic::{run_clocked, Model35Cells};
+use bitlevel::WordLevelAlgorithm;
+
+fn main() {
+    // a(x) = 2 + x + 3x² + x³ + 2x⁴, b(x) = 1 + 2x + x².
+    let a = [2u128, 1, 3, 1, 2];
+    let b = [1u128, 2, 1];
+    let (deg_a, deg_b) = (a.len() as i64 - 1, b.len() as i64 - 1);
+    let p = 4usize;
+
+    let word = WordLevelAlgorithm::polynomial_mul(deg_a, deg_b);
+    let alg = compose(&word, p, Expansion::II);
+    println!(
+        "polynomial product structure: {} coefficients x {} taps, |J| = {}",
+        deg_a + deg_b + 1,
+        deg_b + 1,
+        alg.index_set.cardinality()
+    );
+
+    // Architecture: one block row per output coefficient.
+    let s = IMat::from_rows(&[&[p as i64, 0, 1, 0], &[0, 0, 0, 1]]);
+    let ic = Interconnect::new(IMat::from_rows(&[
+        &[p as i64, 0, 1, 0, 1],
+        &[0, 0, 0, 1, -1],
+    ]));
+    let best = find_optimal_schedule_bestfirst(&s, &alg, &ic, 3).expect("feasible schedule");
+    println!("schedule Pi = {} ({} cycles)", best.pi, best.time);
+    let t = MappingMatrix::new(s, best.pi);
+
+    // Operand functions: the convolution structure computes the correlation
+    // z(j1) = Σ x(j1+j2−1)·w(j2); feeding b reversed turns it into the
+    // polynomial product c_{j1-1} = Σ_j a_{j1-1-j}·b_j.
+    let (av, bv) = (a.to_vec(), b.to_vec());
+    let x_of = move |j: &bitlevel::linalg::IVec| {
+        // x stream index j1 + j2 − 1 ∈ [1, deg_a + deg_b + deg_b + 1]; pad a
+        // with zeros on both sides by (taps − 1).
+        let idx = j[0] + j[1] - 2 - deg_b; // shift into a's coefficient space
+        if (0..av.len() as i64).contains(&idx) {
+            av[idx as usize]
+        } else {
+            0
+        }
+    };
+    let y_of = move |j: &bitlevel::linalg::IVec| bv[(deg_b + 1 - j[1]) as usize];
+
+    let mut cells = Model35Cells::new(&word, p, &alg, x_of, y_of);
+    let run = run_clocked(&alg, &t, &ic, &mut cells);
+    assert!(run.is_legal(), "violations: {:?}", run.violations);
+
+    // Reference product coefficients.
+    let mut want = vec![0u128; (deg_a + deg_b + 1) as usize];
+    for (i, &ai) in a.iter().enumerate() {
+        for (j, &bj) in b.iter().enumerate() {
+            want[i + j] += ai * bj;
+        }
+    }
+
+    let mut results: Vec<(i64, u128)> = cells
+        .extract_results(&run)
+        .into_iter()
+        .map(|(tail, v)| (tail[0], v))
+        .collect();
+    results.sort();
+    println!("\nc(x) coefficients out of the array:");
+    for (k, value) in results {
+        assert_eq!(value, want[(k - 1) as usize], "coefficient {k}");
+        println!("  c_{} = {value}", k - 1);
+    }
+    println!("\nevery coefficient bit-correct: the flow generalises beyond matmul.");
+}

@@ -1,0 +1,45 @@
+#![warn(missing_docs)]
+
+//! # bitlevel
+//!
+//! Workspace facade for the reproduction of **Shang & Wah, "Dependence
+//! Analysis and Architecture Design for Bit-Level Algorithms" (ICPP 1993)**.
+//!
+//! The paper's contribution and every substrate it relies on are implemented
+//! as separate crates, all re-exported here:
+//!
+//! | crate | contents |
+//! |---|---|
+//! | [`linalg`] | exact integer linear algebra (rank, HNF, Smith, Diophantine) |
+//! | [`ir`] | loop-nest IR: index sets, predicates, dependence structures, broadcast elimination, the word-level model (3.5) |
+//! | [`arith`] | add-shift / carry-save multipliers, ripple adders — structures **and** bit-exact functional models |
+//! | [`depanal`] | Theorem 3.1 compositional analysis, algorithm expansion, and the general baselines (exhaustive, Diophantine, GCD/Banerjee) |
+//! | [`mapping`] | Definition 4.1: feasibility, `SD = PK` routing, conflicts, time-optimal schedule search, the Figs. 4–5 designs |
+//! | [`systolic`] | cycle-accurate mapped-algorithm simulator, the bit-exact Expansion II matmul array, the word-level comparator |
+//! | [`core`](mod@core_api) | the end-to-end [`DesignFlow`] pipeline and paper-style reports |
+//!
+//! Quickstart:
+//!
+//! ```
+//! use bitlevel::{DesignFlow, PaperDesign};
+//! let flow = DesignFlow::matmul(3, 3);
+//! let fig4 = flow.evaluate_paper_design(PaperDesign::TimeOptimal);
+//! assert!(fig4.feasible);
+//! assert_eq!(fig4.run.cycles, 13); // eq. (4.5): 3(u-1)+3(p-1)+1
+//! ```
+
+pub use bitlevel_arith as arith;
+pub use bitlevel_core as core_api;
+pub use bitlevel_depanal as depanal;
+pub use bitlevel_ir as ir;
+pub use bitlevel_linalg as linalg;
+pub use bitlevel_mapping as mapping;
+pub use bitlevel_systolic as systolic;
+
+pub use bitlevel_core::{
+    check_feasibility, compare_analyses, compose, expand, find_optimal_schedule,
+    render_architecture, render_matmul_comparison, render_structure, simulate_mapped, AddShift,
+    AlgorithmTriplet, ArchitectureReport, BitMatmulArray, BoxSet, CarrySave, DesignFlow,
+    Expansion, Interconnect, MappingMatrix, MultiplierAlgorithm, PaperDesign, RippleAdder,
+    WordLevelAlgorithm, WordLevelArray,
+};

@@ -1,0 +1,102 @@
+//! Degenerate-parameter edge cases across the whole stack: `p = 1` (single
+//! bit words), `u = 1` (single word-level iteration), and their combination.
+//! Nothing in the pipeline may panic or silently produce the wrong shape at
+//! the boundaries of its parameter space.
+
+use bitlevel::depanal::{compose, enumerate_dependences, expand, instances_of_triplet, Expansion};
+use bitlevel::systolic::simulate_mapped;
+use bitlevel::{AddShift, BitMatmulArray, PaperDesign, WordLevelAlgorithm};
+
+#[test]
+fn single_bit_words_compose_and_agree() {
+    // p = 1: the add-shift tile is a single AND gate; d̄₄…d̄₇ are all inactive
+    // (their sources never exist), so only the word-level columns carry
+    // instances — and the structure still matches ground truth.
+    for expansion in [Expansion::I, Expansion::II] {
+        let word = WordLevelAlgorithm::matmul(2);
+        let alg = compose(&word, 1, expansion);
+        assert_eq!(alg.dim(), 5);
+        assert_eq!(
+            instances_of_triplet(&alg),
+            enumerate_dependences(&expand(&word, 1, expansion)),
+            "{expansion}"
+        );
+    }
+}
+
+#[test]
+fn single_bit_multiplier_is_an_and_gate() {
+    let m = AddShift::new(1);
+    assert_eq!(m.multiply(1, 1), 1);
+    assert_eq!(m.multiply(1, 0), 0);
+    assert_eq!(m.index_set().cardinality(), 1);
+}
+
+#[test]
+fn single_iteration_matmul_architecture() {
+    // u = 1: one tile; no injection ever happens (z(j̄,0) = 0 chain heads
+    // everywhere); the Fig. 4 design degenerates to one add-shift tile with
+    // cycles 3·0 + 3(p−1) + 1.
+    let p = 4i64;
+    let alg = compose(&WordLevelAlgorithm::matmul(1), p as usize, Expansion::II);
+    let design = PaperDesign::TimeOptimal;
+    let run = simulate_mapped(&alg, &design.mapping(p), &design.interconnect(p));
+    assert_eq!(run.cycles, 3 * (p - 1) + 1);
+    assert_eq!(run.processors as i64, p * p);
+    assert!(run.conflict_free && run.causality_ok);
+}
+
+#[test]
+fn one_by_one_everything() {
+    // u = p = 1: a single AND gate "architecture".
+    let alg = compose(&WordLevelAlgorithm::matmul(1), 1, Expansion::II);
+    assert_eq!(alg.index_set.cardinality(), 1);
+    let design = PaperDesign::TimeOptimal;
+    let run = simulate_mapped(&alg, &design.mapping(1), &design.interconnect(1));
+    assert_eq!(run.cycles, 1);
+    assert_eq!(run.processors, 1);
+    let arr = BitMatmulArray::new(1, 1);
+    assert_eq!(arr.multiply(&[vec![1]], &[vec![1]]), vec![vec![1]]);
+    assert_eq!(arr.multiply(&[vec![1]], &[vec![0]]), vec![vec![0]]);
+}
+
+#[test]
+fn single_tap_convolution() {
+    // taps = 1: the accumulation chain has length 1 (h̄₃ never realised).
+    let word = WordLevelAlgorithm::convolution(4, 1);
+    let alg = compose(&word, 2, Expansion::II);
+    assert_eq!(
+        instances_of_triplet(&alg),
+        enumerate_dependences(&expand(&word, 2, Expansion::II))
+    );
+}
+
+#[test]
+fn thin_matrices_matvec() {
+    // 1×k and m×1 matvec shapes.
+    for (m, k) in [(1i64, 4i64), (4, 1), (1, 1)] {
+        let word = WordLevelAlgorithm::matvec(m, k);
+        let alg = compose(&word, 2, Expansion::I);
+        assert_eq!(
+            instances_of_triplet(&alg),
+            enumerate_dependences(&expand(&word, 2, Expansion::I)),
+            "matvec {m}x{k}"
+        );
+    }
+}
+
+#[test]
+fn divider_minimal_width() {
+    let div = bitlevel::arith::NonRestoringDivider::new(1);
+    assert_eq!(div.divide(1, 1), (1, 0));
+    assert_eq!(div.divide(0, 1), (0, 0));
+}
+
+#[test]
+fn functional_array_handles_zero_matrices() {
+    let arr = BitMatmulArray::new(3, 4);
+    let zero = vec![vec![0u128; 3]; 3];
+    let x = vec![vec![5u128, 1, 2], vec![3, 4, 0], vec![1, 1, 1]];
+    assert_eq!(arr.multiply(&x, &zero), zero);
+    assert_eq!(arr.multiply(&zero, &x), zero);
+}

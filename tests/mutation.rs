@@ -1,0 +1,152 @@
+//! Failure injection: corrupt each artifact and verify the corresponding
+//! checker *rejects* it. Equivalence and feasibility tests are only
+//! meaningful if they have discriminating power — these tests pin that down.
+
+use bitlevel::depanal::{enumerate_dependences, expand, instances_of_triplet, Expansion};
+use bitlevel::ir::{AlgorithmTriplet, Dependence, DependenceSet, Predicate, WordLevelAlgorithm};
+use bitlevel::linalg::IVec;
+use bitlevel::mapping::Violation;
+use bitlevel::{check_feasibility, compose, simulate_mapped, Interconnect, PaperDesign};
+
+fn matmul_structure() -> AlgorithmTriplet {
+    compose(&WordLevelAlgorithm::matmul(2), 2, Expansion::II)
+}
+
+/// Rebuilds a structure with one dependence replaced.
+fn with_replaced_dep(alg: &AlgorithmTriplet, index: usize, dep: Dependence) -> AlgorithmTriplet {
+    let deps: Vec<Dependence> = alg
+        .deps
+        .iter()
+        .enumerate()
+        .map(|(i, d)| if i == index { dep.clone() } else { d.clone() })
+        .collect();
+    AlgorithmTriplet::new(alg.index_set.clone(), DependenceSet::new(deps), &alg.computation)
+}
+
+#[test]
+fn corrupted_vector_is_caught_by_ground_truth() {
+    let alg = matmul_structure();
+    let truth = enumerate_dependences(&expand(&WordLevelAlgorithm::matmul(2), 2, Expansion::II));
+    assert_eq!(instances_of_triplet(&alg), truth, "baseline must agree");
+
+    // Flip d̄₆'s direction: [0,0,0,1,-1] -> [0,0,0,-1,1].
+    let bad = with_replaced_dep(&alg, 5, Dependence::uniform([0, 0, 0, -1, 1], "z"));
+    assert_ne!(instances_of_triplet(&bad), truth, "flipped drain must be caught");
+}
+
+#[test]
+fn corrupted_validity_region_is_caught() {
+    let alg = matmul_structure();
+    let truth = enumerate_dependences(&expand(&WordLevelAlgorithm::matmul(2), 2, Expansion::II));
+
+    // Make d̄₃ uniform (that is Expansion I's region, not II's).
+    let bad = with_replaced_dep(&alg, 2, Dependence::uniform([0, 0, 1, 0, 0], "z"));
+    assert_ne!(instances_of_triplet(&bad), truth);
+
+    // Shrink d̄₅'s region to a single plane. At p = 2 the regions i₂ ≠ 1 and
+    // i₂ = 2 coincide (a semantically trivial mutation the checker must NOT
+    // flag), so this needs p = 3 to be a real corruption.
+    let alg3 = compose(&WordLevelAlgorithm::matmul(2), 3, Expansion::II);
+    let truth3 = enumerate_dependences(&expand(&WordLevelAlgorithm::matmul(2), 3, Expansion::II));
+    let trivial = with_replaced_dep(
+        &alg,
+        4,
+        Dependence::conditional([0, 0, 0, 0, 1], "y,c", Predicate::eq_const(4, 2)),
+    );
+    assert_eq!(
+        instances_of_triplet(&trivial),
+        truth,
+        "i2=2 equals i2!=1 at p=2: must not be flagged"
+    );
+    let bad3 = with_replaced_dep(
+        &alg3,
+        4,
+        Dependence::conditional([0, 0, 0, 0, 1], "y,c", Predicate::eq_const(4, 2)),
+    );
+    assert_ne!(instances_of_triplet(&bad3), truth3);
+}
+
+#[test]
+fn missing_column_is_caught() {
+    // d̄₇'s sources (i₂ − 2) only exist for p ≥ 3: at p = 2 the column is
+    // vacuous and dropping it must be invisible; at p = 3 it must be caught.
+    let alg2 = matmul_structure();
+    let truth2 = enumerate_dependences(&expand(&WordLevelAlgorithm::matmul(2), 2, Expansion::II));
+    let deps2: Vec<Dependence> = alg2.deps.iter().take(6).cloned().collect();
+    let dropped2 = AlgorithmTriplet::new(alg2.index_set.clone(), DependenceSet::new(deps2), "");
+    assert_eq!(instances_of_triplet(&dropped2), truth2, "vacuous column drop at p=2");
+
+    let alg3 = compose(&WordLevelAlgorithm::matmul(2), 3, Expansion::II);
+    let truth3 = enumerate_dependences(&expand(&WordLevelAlgorithm::matmul(2), 3, Expansion::II));
+    let deps3: Vec<Dependence> = alg3.deps.iter().take(6).cloned().collect();
+    let dropped3 = AlgorithmTriplet::new(alg3.index_set.clone(), DependenceSet::new(deps3), "");
+    assert_ne!(instances_of_triplet(&dropped3), truth3, "d̄₇ drop at p=3 must be caught");
+}
+
+#[test]
+fn each_feasibility_condition_can_individually_fail() {
+    let p = 2i64;
+    let alg = matmul_structure();
+    let good = PaperDesign::TimeOptimal.mapping(p);
+    let ic = PaperDesign::TimeOptimal.interconnect(p);
+    assert!(check_feasibility(&good, &alg, &ic).is_feasible());
+
+    // Condition 1: negate one schedule entry.
+    let mut t = good.clone();
+    t.schedule[2] = -1;
+    let rep = check_feasibility(&t, &alg, &ic);
+    assert!(rep.violations.iter().any(|v| matches!(v, Violation::NonPositiveSchedule { .. })));
+
+    // Condition 2: starve the machine of the diagonal link.
+    let poor = Interconnect::new(bitlevel::linalg::IMat::from_rows(&[
+        &[p, 0, 0, 1, 0],
+        &[0, p, 0, 0, 1],
+    ]));
+    let rep = check_feasibility(&good, &alg, &poor);
+    assert!(rep.violations.iter().any(|v| matches!(v, Violation::Unroutable { .. })));
+
+    // Condition 3: collapse one space row.
+    let mut t = good.clone();
+    t.space = bitlevel::linalg::IMat::from_rows(&[&[p, 0, 0, 1, 0], &[p, 0, 0, 1, 0]]);
+    let rep = check_feasibility(&t, &alg, &ic);
+    assert!(rep.violations.iter().any(|v| matches!(v, Violation::Conflict { .. })));
+
+    // Condition 4: rank deficiency (same mutation also trips rank).
+    assert!(rep.violations.iter().any(|v| matches!(v, Violation::RankDeficient { .. })));
+
+    // Condition 5: scale everything by 2.
+    let t = bitlevel::MappingMatrix::new(
+        good.space.map(|x| 2 * x),
+        good.schedule.scaled(2),
+    );
+    let rep = check_feasibility(&t, &alg, &Interconnect::paper_p(2 * p));
+    assert!(rep.violations.iter().any(|v| matches!(v, Violation::NotCoprime { gcd: 2 })));
+}
+
+#[test]
+fn simulator_rejects_what_feasibility_rejects() {
+    // Feasibility and simulation must agree on legality for schedule /
+    // routing failures (conflicts and causality are dynamic properties the
+    // simulator observes directly).
+    let p = 2i64;
+    let alg = matmul_structure();
+    let fast = PaperDesign::TimeOptimal.mapping(p);
+    let slow_machine = PaperDesign::NearestNeighbour.interconnect(p);
+    let feas = check_feasibility(&fast, &alg, &slow_machine);
+    let run = simulate_mapped(&alg, &fast, &slow_machine);
+    assert!(!feas.is_feasible());
+    assert!(!run.causality_ok);
+}
+
+#[test]
+fn off_by_one_schedule_changes_measured_cycles() {
+    // The measured-vs-closed-form check in E6 is not vacuous: a slightly
+    // different (still feasible) schedule yields different cycles.
+    let p = 2i64;
+    let alg = matmul_structure();
+    let mut t = PaperDesign::NearestNeighbour.mapping(p); // Π' = [2,2,1,2,1]
+    let base = simulate_mapped(&alg, &t, &PaperDesign::NearestNeighbour.interconnect(p)).cycles;
+    t.schedule = IVec::from([3, 2, 1, 2, 1]); // still all-positive, d̄-ordered
+    let changed = simulate_mapped(&alg, &t, &PaperDesign::NearestNeighbour.interconnect(p)).cycles;
+    assert_ne!(base, changed);
+}

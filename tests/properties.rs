@@ -1,0 +1,118 @@
+//! Cross-crate property-based tests: randomized invariants spanning the
+//! whole pipeline.
+
+use bitlevel::depanal::{enumerate_dependences, expand, instances_of_triplet};
+use bitlevel::linalg::IVec;
+use bitlevel::mapping::{check_conflicts, check_conflicts_bruteforce, total_time};
+use bitlevel::systolic::critical_path;
+use bitlevel::{compose, simulate_mapped, BoxSet, Expansion, MappingMatrix, WordLevelAlgorithm};
+use proptest::prelude::*;
+
+/// Random small word-level algorithms of model (3.5): random box bounds and
+/// random small h̄-vectors (h̄₃ nonzero so the recurrence is well-formed).
+fn arb_word_algorithm() -> impl Strategy<Value = WordLevelAlgorithm> {
+    (
+        1usize..3,                                   // dimension n
+        proptest::collection::vec(1i64..3, 2),       // extents
+        proptest::collection::vec(-1i64..2, 6),      // h components
+    )
+        .prop_filter_map("h3 must be nonzero and h's within extents", |(n, ext, h)| {
+            let upper: Vec<i64> = (0..n).map(|i| 1 + ext[i % ext.len()]).collect();
+            let bounds = BoxSet::new(IVec(vec![1; n]), IVec(upper));
+            let h1 = IVec(h[0..n].to_vec());
+            let h2 = IVec(h[n..2 * n].to_vec());
+            let h3 = IVec(h[2 * n..3 * n].to_vec());
+            if h3.is_zero() {
+                return None;
+            }
+            Some(WordLevelAlgorithm::new(
+                "random",
+                bounds,
+                (!h1.is_zero()).then_some(h1),
+                (!h2.is_zero()).then_some(h2),
+                h3,
+            ))
+        })
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(24))]
+
+    /// Theorem 3.1 composition equals ground truth for *random* model-(3.5)
+    /// instances, not just the named constructors — both expansions.
+    #[test]
+    fn prop_composition_matches_ground_truth(word in arb_word_algorithm(), p in 2usize..4) {
+        for expansion in [Expansion::I, Expansion::II] {
+            let composed = compose(&word, p, expansion);
+            let truth = enumerate_dependences(&expand(&word, p, expansion));
+            prop_assert_eq!(
+                instances_of_triplet(&composed),
+                truth,
+                "expansion {} on {:?}", expansion, word
+            );
+        }
+    }
+
+    /// The two conflict checkers agree on random mappings of random
+    /// bit-level structures (kernel-lattice vs brute force).
+    #[test]
+    fn prop_conflict_checkers_agree(
+        word in arb_word_algorithm(),
+        entries in proptest::collection::vec(-2i64..3, 18),
+    ) {
+        let alg = compose(&word, 2, Expansion::II);
+        let n = alg.dim();
+        prop_assume!(3 * n <= entries.len());
+        let s = bitlevel::linalg::IMat::from_flat(2, n, entries[0..2 * n].to_vec());
+        let pi = IVec(entries[2 * n..3 * n].to_vec());
+        let t = MappingMatrix::new(s, pi);
+        prop_assert_eq!(
+            check_conflicts(&t, &alg.index_set).is_free(),
+            check_conflicts_bruteforce(&t, &alg.index_set).is_free()
+        );
+    }
+
+    /// For any schedule that simulates conflict-free and causally, the
+    /// simulated makespan equals the closed-form total_time (4.5).
+    #[test]
+    fn prop_simulated_makespan_equals_total_time(
+        word in arb_word_algorithm(),
+        pi_seed in proptest::collection::vec(1i64..3, 6),
+    ) {
+        let alg = compose(&word, 2, Expansion::II);
+        let n = alg.dim();
+        // All-positive schedules with π_{i2-axis} scaled so Π·d̄₆ > 0.
+        let mut pi = IVec(pi_seed[0..n].to_vec());
+        pi[n - 2] += pi[n - 1]; // ensure π(i1) > π(i2) so d̄₆ = [.. 1, -1] is positive
+        // Identity-ish space map: first two axes.
+        let mut s = bitlevel::linalg::IMat::zeros(2, n);
+        s[(0, 0)] = 1;
+        s[(1, n - 1)] = 1;
+        let t = MappingMatrix::new(s, pi.clone());
+        // A permissive machine: full 8-neighbour mesh + static link.
+        let ic = bitlevel::Interconnect::new(bitlevel::linalg::IMat::from_rows(&[
+            &[1, -1, 0, 0, 1, -1, 1, -1, 0],
+            &[0, 0, 1, -1, 1, -1, -1, 1, 0],
+        ]));
+        let run = simulate_mapped(&alg, &t, &ic);
+        prop_assert_eq!(run.cycles, total_time(&pi, &alg.index_set));
+    }
+
+    /// The critical path never exceeds a *legal* schedule's makespan (a
+    /// schedule with Π·d̄ > 0 for every dependence column executes at most
+    /// one chain node per cycle).
+    #[test]
+    fn prop_critical_path_lower_bounds_schedules(word in arb_word_algorithm()) {
+        let alg = compose(&word, 2, Expansion::II);
+        let cp = critical_path(&alg);
+        let n = alg.dim();
+        let mut pi = IVec(vec![1; n]);
+        pi[n - 2] = 2; // Π·d̄₆ > 0
+        // The canonical schedule is legal only when every column is ordered
+        // positively (random h̄'s can break that); skip illegal schedules.
+        let d = alg.dependence_matrix();
+        prop_assume!((0..d.cols()).all(|c| d.col(c).dot(&pi) > 0));
+        let time = total_time(&pi, &alg.index_set);
+        prop_assert!(cp as i64 <= time, "cp {} > time {}", cp, time);
+    }
+}
