@@ -1,0 +1,83 @@
+//! Compiled vs interpreted simulation engines (DESIGN.md, compiled backend).
+//!
+//! Three ways to run the same clocked Expansion II matmul architecture:
+//!
+//! * `interpreted` — the HashMap-keyed reference engine (`run_clocked`);
+//! * `compile_and_execute` — `run_clocked_compiled`, i.e. schedule compilation
+//!   plus one execution (what a one-shot caller pays);
+//! * `execute_precompiled` — `CompiledSchedule::execute` alone (what each
+//!   additional workload on the same architecture pays).
+//!
+//! Plus the timing-only pair `simulate_mapped` vs `simulate_mapped_compiled`.
+
+use bitlevel_depanal::{compose, Expansion};
+use bitlevel_ir::WordLevelAlgorithm;
+use bitlevel_mapping::PaperDesign;
+use bitlevel_systolic::{
+    run_clocked, run_clocked_compiled, simulate_mapped, simulate_mapped_compiled, BitMatmulArray,
+    CompiledSchedule, MatmulExpansionIICells,
+};
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use std::hint::black_box;
+
+fn operands(u: usize, p: usize) -> (Vec<Vec<u128>>, Vec<Vec<u128>>) {
+    let cap = BitMatmulArray::new(u, p).max_safe_entry();
+    let x = (0..u)
+        .map(|i| (0..u).map(|j| ((3 * i + 5 * j + 1) as u128) % (cap + 1)).collect())
+        .collect();
+    let y = (0..u)
+        .map(|i| (0..u).map(|j| ((7 * i + j + 2) as u128) % (cap + 1)).collect())
+        .collect();
+    (x, y)
+}
+
+fn bench_clocked_engines(c: &mut Criterion) {
+    let mut group = c.benchmark_group("clocked_engine");
+    group.warm_up_time(std::time::Duration::from_millis(500));
+    group.measurement_time(std::time::Duration::from_secs(2));
+    group.sample_size(10);
+    for &(u, p) in &[(2i64, 2i64), (3, 3), (4, 4), (4, 6), (4, 8)] {
+        let alg = compose(&WordLevelAlgorithm::matmul(u), p as usize, Expansion::II);
+        let design = PaperDesign::TimeOptimal;
+        let t = design.mapping(p);
+        let ic = design.interconnect(p);
+        let (x, y) = operands(u as usize, p as usize);
+        let mut cells = MatmulExpansionIICells::new(u as usize, p as usize, &x, &y);
+        let sched = CompiledSchedule::compile(&alg, &t, &ic);
+        let id = format!("u{u}_p{p}");
+        group.bench_with_input(BenchmarkId::new("interpreted", &id), &(), |b, _| {
+            b.iter(|| black_box(run_clocked(&alg, &t, &ic, &mut cells)))
+        });
+        group.bench_with_input(BenchmarkId::new("compile_and_execute", &id), &(), |b, _| {
+            b.iter(|| black_box(run_clocked_compiled(&alg, &t, &ic, &cells)))
+        });
+        group.bench_with_input(BenchmarkId::new("execute_precompiled", &id), &(), |b, _| {
+            b.iter(|| black_box(sched.execute(&cells)))
+        });
+    }
+    group.finish();
+}
+
+fn bench_mapped_simulators(c: &mut Criterion) {
+    let mut group = c.benchmark_group("mapped_sim_backend");
+    group.warm_up_time(std::time::Duration::from_millis(500));
+    group.measurement_time(std::time::Duration::from_secs(2));
+    group.sample_size(10);
+    for &(u, p) in &[(3i64, 3i64), (4, 6), (6, 8)] {
+        let alg = compose(&WordLevelAlgorithm::matmul(u), p as usize, Expansion::II);
+        let design = PaperDesign::TimeOptimal;
+        let t = design.mapping(p);
+        let ic = design.interconnect(p);
+        let id = format!("u{u}_p{p}");
+        group.bench_with_input(BenchmarkId::new("interpreted", &id), &(), |b, _| {
+            b.iter(|| black_box(simulate_mapped(&alg, &t, &ic)))
+        });
+        group.bench_with_input(BenchmarkId::new("compiled", &id), &(), |b, _| {
+            b.iter(|| black_box(simulate_mapped_compiled(&alg, &t, &ic)))
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_clocked_engines, bench_mapped_simulators);
+criterion_main!(benches);

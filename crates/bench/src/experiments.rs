@@ -1,5 +1,5 @@
 //! The experiment suite: every figure/equation-level result of the paper,
-//! regenerated and compared against the paper's claim (index E1–E9 in
+//! regenerated and compared against the paper's claim (index E1–E14 in
 //! DESIGN.md).
 
 use crate::record::{Record, RecordTable};
@@ -12,13 +12,14 @@ use bitlevel_ir::{BoxSet, WordLevelAlgorithm};
 use bitlevel_linalg::{IMat, IVec};
 use bitlevel_mapping::{find_optimal_schedule, word_level_total_time, Interconnect, PaperDesign};
 use bitlevel_systolic::{
-    critical_path, fanin_histogram, mean_producer_depth, simulate_mapped, WordLevelArray,
+    critical_path, fanin_histogram, mean_producer_depth, simulate_mapped,
+    simulate_mapped_compiled, WordLevelArray,
 };
 
 /// Result of one experiment: the record table plus pass/fail.
 #[derive(Debug, Clone)]
 pub struct ExperimentOutcome {
-    /// Experiment id, lowercase ("e1" … "e9").
+    /// Experiment id, lowercase ("e1" … "e14").
     pub id: String,
     /// The paper-vs-measured table.
     pub table: RecordTable,
@@ -309,7 +310,7 @@ pub fn e6() -> ExperimentOutcome {
     for (u, p) in [(2i64, 2i64), (3, 3), (4, 3), (3, 4), (5, 2)] {
         let alg = compose(&WordLevelAlgorithm::matmul(u), p as usize, Expansion::II);
         let design = PaperDesign::TimeOptimal;
-        let run = simulate_mapped(&alg, &design.mapping(p), &design.interconnect(p));
+        let run = simulate_mapped_compiled(&alg, &design.mapping(p), &design.interconnect(p));
         t.push(Record::eq(
             &format!("cycles u={u} p={p}"),
             3 * (u - 1) + 3 * (p - 1) + 1,
@@ -336,7 +337,7 @@ pub fn e7() -> ExperimentOutcome {
     for (u, p) in [(2i64, 2i64), (3, 3), (4, 3)] {
         let alg = compose(&WordLevelAlgorithm::matmul(u), p as usize, Expansion::II);
         let design = PaperDesign::NearestNeighbour;
-        let run = simulate_mapped(&alg, &design.mapping(p), &design.interconnect(p));
+        let run = simulate_mapped_compiled(&alg, &design.mapping(p), &design.interconnect(p));
         // NOTE: the paper prints t' = (2p-1)(u-1)+3(p-1)+1 in (4.8), but its
         // own Π'(ū−l̄)+1 expansion gives (2p+1)(u-1)+3(p-1)+1; we measure the
         // latter (see EXPERIMENTS.md).
@@ -414,7 +415,7 @@ pub fn e8() -> ExperimentOutcome {
     let y: Vec<Vec<u128>> = (0..u).map(|i| (0..u).map(|j| ((2 * i + j) % 4) as u128).collect()).collect();
     let wr = word.run(&x, &y);
     let alg = compose(&WordLevelAlgorithm::matmul(u), p as usize, Expansion::II);
-    let br = simulate_mapped(
+    let br = simulate_mapped_compiled(
         &alg,
         &PaperDesign::TimeOptimal.mapping(p),
         &PaperDesign::TimeOptimal.interconnect(p),
@@ -781,11 +782,110 @@ pub fn e13() -> ExperimentOutcome {
     ExperimentOutcome { id: "e13".into(), table: t }
 }
 
-const ALL_IDS: [&str; 13] = [
-    "e1", "e2", "e3", "e4", "e5", "e6", "e7", "e8", "e9", "e10", "e11", "e12", "e13",
+/// E14 — extension: the compiled static-schedule simulation backend — dense
+/// point slots, CSR fire list, arena token store — bit-identical to the
+/// interpreted engines and faster per executed run.
+pub fn e14() -> ExperimentOutcome {
+    use bitlevel_systolic::{
+        run_clocked, BitMatmulArray, CompiledSchedule, MatmulExpansionIICells, SimBackend,
+    };
+    let mut t = RecordTable::new("E14 (extension): compiled simulation backend");
+
+    t.push(Record::check(
+        "default backend",
+        "DesignFlow simulates compiled, interpreted kept as oracle",
+        SimBackend::default() == SimBackend::Compiled,
+    ));
+
+    let operands = |u: i64, p: i64| {
+        let cap = BitMatmulArray::new(u as usize, p as usize).max_safe_entry();
+        let x: Vec<Vec<u128>> = (0..u)
+            .map(|i| (0..u).map(|j| ((3 * i + 5 * j + 1) as u128) % (cap + 1)).collect())
+            .collect();
+        let y: Vec<Vec<u128>> = (0..u)
+            .map(|i| (0..u).map(|j| ((7 * i + j + 2) as u128) % (cap + 1)).collect())
+            .collect();
+        (x, y)
+    };
+
+    // Bit-identity on both paper designs: the full clocked run (outputs,
+    // violations, in-flight peaks) and the mapped timing report.
+    for (u, p) in [(2i64, 2i64), (3, 3)] {
+        let alg = compose(&WordLevelAlgorithm::matmul(u), p as usize, Expansion::II);
+        let (x, y) = operands(u, p);
+        for design in [PaperDesign::TimeOptimal, PaperDesign::NearestNeighbour] {
+            let tm = design.mapping(p);
+            let ic = design.interconnect(p);
+            let mut cells = MatmulExpansionIICells::new(u as usize, p as usize, &x, &y);
+            let interp = run_clocked(&alg, &tm, &ic, &mut cells);
+            let sched = CompiledSchedule::compile(&alg, &tm, &ic);
+            let comp = sched.execute(&cells);
+            t.push(Record::check(
+                &format!("clocked run identical, u={u} p={p}, {}", design.name()),
+                "outputs + violations + peaks bit-equal",
+                comp.cycles == interp.cycles
+                    && comp.outputs == interp.outputs
+                    && comp.violations == interp.violations
+                    && comp.peak_in_flight == interp.peak_in_flight,
+            ));
+            let a = simulate_mapped(&alg, &tm, &ic);
+            let b = sched.mapped_report();
+            t.push(Record::check(
+                &format!("mapped report identical, u={u} p={p}, {}", design.name()),
+                "same report from the dense slots",
+                a.cycles == b.cycles
+                    && a.processors == b.processors
+                    && a.computations == b.computations
+                    && a.conflict_free == b.conflict_free
+                    && a.causality_ok == b.causality_ok
+                    && a.peak_parallelism == b.peak_parallelism
+                    && a.link_traffic == b.link_traffic
+                    && a.buffer_cycles == b.buffer_cycles,
+            ));
+        }
+    }
+
+    // Compile once, execute many: best-of-3 wall clock of the interpreted
+    // engine vs the precompiled executor on the Fig. 4 design.
+    let (u, p) = (4i64, 6i64);
+    let alg = compose(&WordLevelAlgorithm::matmul(u), p as usize, Expansion::II);
+    let design = PaperDesign::TimeOptimal;
+    let (tm, ic) = (design.mapping(p), design.interconnect(p));
+    let (x, y) = operands(u, p);
+    let mut cells = MatmulExpansionIICells::new(u as usize, p as usize, &x, &y);
+    let mut interp_ns = u128::MAX;
+    for _ in 0..3 {
+        let t0 = std::time::Instant::now();
+        std::hint::black_box(run_clocked(&alg, &tm, &ic, &mut cells));
+        interp_ns = interp_ns.min(t0.elapsed().as_nanos());
+    }
+    let sched = CompiledSchedule::compile(&alg, &tm, &ic);
+    let mut exec_ns = u128::MAX;
+    for _ in 0..3 {
+        let t0 = std::time::Instant::now();
+        std::hint::black_box(sched.execute(&cells));
+        exec_ns = exec_ns.min(t0.elapsed().as_nanos());
+    }
+    let speedup = interp_ns as f64 / exec_ns.max(1) as f64;
+    t.push(Record::info(
+        &format!("run_clocked wall time, u={u} p={p} (Fig. 4, |J|={})", sched.n_points()),
+        "compiled execute() faster than interpreted",
+        format!(
+            "interpreted {:.1}ms vs compiled {:.1}ms ({speedup:.1}x)",
+            interp_ns as f64 / 1e6,
+            exec_ns as f64 / 1e6
+        ),
+        speedup > 1.0,
+    ));
+
+    ExperimentOutcome { id: "e14".into(), table: t }
+}
+
+const ALL_IDS: [&str; 14] = [
+    "e1", "e2", "e3", "e4", "e5", "e6", "e7", "e8", "e9", "e10", "e11", "e12", "e13", "e14",
 ];
 
-/// Runs one experiment by id ("e1" … "e13").
+/// Runs one experiment by id ("e1" … "e14").
 pub fn run_experiment(id: &str) -> Option<ExperimentOutcome> {
     match id.to_ascii_lowercase().as_str() {
         "e1" => Some(e1()),
@@ -801,6 +901,7 @@ pub fn run_experiment(id: &str) -> Option<ExperimentOutcome> {
         "e11" => Some(e11()),
         "e12" => Some(e12()),
         "e13" => Some(e13()),
+        "e14" => Some(e14()),
         _ => None,
     }
 }

@@ -4,7 +4,7 @@
 //!
 //! Experiment harness and benchmark support for the reproduction. The
 //! `experiments` binary regenerates every figure/equation-level result of the
-//! paper (see DESIGN.md's experiment index E1–E13); criterion benches live in
+//! paper (see DESIGN.md's experiment index E1–E14); criterion benches live in
 //! `benches/`.
 
 pub mod experiments;
@@ -13,4 +13,4 @@ pub mod sweeps;
 
 pub use experiments::{run_all, run_experiment, ExperimentOutcome};
 pub use record::{Record, RecordTable};
-pub use sweeps::{analysis_time_sweep, speedup_sweep, utilization_sweep};
+pub use sweeps::{analysis_time_sweep, engine_sweep, speedup_sweep, utilization_sweep};

@@ -4,11 +4,11 @@
 //! cargo run -p bitlevel-bench --bin experiments [--release] [-- OPTIONS]
 //!
 //! OPTIONS:
-//!   --exp <id>       run one experiment (e1 … e13); default: all
+//!   --exp <id>       run one experiment (e1 … e14); default: all
 //!   --markdown       emit markdown tables (for EXPERIMENTS.md)
 //!   --json           emit the record tables as JSON
 //!   --sweep <name>   emit a CSV data series instead:
-//!                    speedup | analysis | utilization
+//!                    speedup | analysis | utilization | engine
 //! ```
 
 use bitlevel_bench::{run_all, run_experiment, sweeps};
@@ -25,7 +25,7 @@ fn main() {
             "--exp" => {
                 i += 1;
                 which = Some(args.get(i).cloned().unwrap_or_else(|| {
-                    eprintln!("--exp requires an id (e1..e13)");
+                    eprintln!("--exp requires an id (e1..e14)");
                     std::process::exit(2);
                 }));
             }
@@ -34,7 +34,7 @@ fn main() {
             "--sweep" => {
                 i += 1;
                 sweep = Some(args.get(i).cloned().unwrap_or_else(|| {
-                    eprintln!("--sweep requires a name (speedup|analysis|utilization)");
+                    eprintln!("--sweep requires a name (speedup|analysis|utilization|engine)");
                     std::process::exit(2);
                 }));
             }
@@ -55,8 +55,9 @@ fn main() {
             "utilization" => {
                 sweeps::utilization_csv(&sweeps::utilization_sweep(&sweeps::default_speedup_sizes()))
             }
+            "engine" => sweeps::engine_csv(&sweeps::engine_sweep(&sweeps::default_engine_sizes())),
             other => {
-                eprintln!("unknown sweep {other} (speedup|analysis|utilization)");
+                eprintln!("unknown sweep {other} (speedup|analysis|utilization|engine)");
                 std::process::exit(2);
             }
         };
@@ -68,7 +69,7 @@ fn main() {
         Some(id) => match run_experiment(&id) {
             Some(o) => vec![o],
             None => {
-                eprintln!("unknown experiment id {id} (use e1..e9)");
+                eprintln!("unknown experiment id {id} (use e1..e14)");
                 std::process::exit(2);
             }
         },

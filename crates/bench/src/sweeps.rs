@@ -8,17 +8,24 @@
 //! * [`analysis_time_sweep`] — derivation wall-time of the compositional vs
 //!   general analyses as the expanded size grows: the Section 1 claim;
 //! * [`utilization_sweep`] — PE counts, utilisation and peak parallelism of
-//!   the two designs across sizes (the cost side of the time optimality).
+//!   the two designs across sizes (the cost side of the time optimality);
+//! * [`engine_sweep`] — wall-clock of the interpreted vs the compiled clocked
+//!   engine across sizes, with a full bit-identity check per row.
 //!
-//! Sweep rows are computed in parallel with rayon.
+//! Sweep rows are computed in parallel with rayon (except the timing sweeps,
+//! which run sequentially so rows don't contend).
 
 use bitlevel_arith::{AddShift, CarrySave};
 use bitlevel_depanal::{compare_analyses, compose, Expansion};
 use bitlevel_ir::WordLevelAlgorithm;
 use bitlevel_mapping::{word_level_total_time, PaperDesign};
-use bitlevel_systolic::simulate_mapped;
+use bitlevel_systolic::{
+    run_clocked, simulate_mapped_compiled, BitMatmulArray, CompiledSchedule,
+    MatmulExpansionIICells,
+};
 use rayon::prelude::*;
 use serde::Serialize;
+use std::time::Instant;
 
 /// One row of the speedup sweep.
 #[derive(Debug, Clone, Serialize)]
@@ -47,12 +54,12 @@ pub fn speedup_sweep(sizes: &[(i64, i64)]) -> Vec<SpeedupRow> {
         .par_iter()
         .map(|&(u, p)| {
             let alg = compose(&WordLevelAlgorithm::matmul(u), p as usize, Expansion::II);
-            let fig4 = simulate_mapped(
+            let fig4 = simulate_mapped_compiled(
                 &alg,
                 &PaperDesign::TimeOptimal.mapping(p),
                 &PaperDesign::TimeOptimal.interconnect(p),
             );
-            let fig5 = simulate_mapped(
+            let fig5 = simulate_mapped_compiled(
                 &alg,
                 &PaperDesign::NearestNeighbour.mapping(p),
                 &PaperDesign::NearestNeighbour.interconnect(p),
@@ -180,7 +187,8 @@ pub fn utilization_sweep(sizes: &[(i64, i64)]) -> Vec<UtilizationRow> {
             [PaperDesign::TimeOptimal, PaperDesign::NearestNeighbour]
                 .into_iter()
                 .map(|design| {
-                    let run = simulate_mapped(&alg, &design.mapping(p), &design.interconnect(p));
+                    let run =
+                        simulate_mapped_compiled(&alg, &design.mapping(p), &design.interconnect(p));
                     UtilizationRow {
                         u,
                         p,
@@ -211,6 +219,103 @@ pub fn utilization_csv(rows: &[UtilizationRow]) -> String {
     out
 }
 
+/// One row of the engine sweep (interpreted vs compiled clocked execution).
+#[derive(Debug, Clone, Serialize)]
+pub struct EngineRow {
+    /// Matrix dimension.
+    pub u: i64,
+    /// Word length.
+    pub p: i64,
+    /// Design label.
+    pub design: String,
+    /// Index points `|J|` (= dense slots).
+    pub points: usize,
+    /// Wall time of the interpreted `run_clocked` (ns).
+    pub interpreted_ns: u128,
+    /// Wall time of `CompiledSchedule::compile` (ns, paid once per design).
+    pub compile_ns: u128,
+    /// Wall time of `CompiledSchedule::execute` (ns, paid per workload).
+    pub execute_ns: u128,
+    /// `interpreted_ns / execute_ns`.
+    pub speedup: f64,
+    /// Whether the two runs were bit-identical (outputs, violations, peaks).
+    pub identical: bool,
+}
+
+/// Times the interpreted clocked engine against the compiled backend on the
+/// Expansion II matmul across a `(u, p)` grid, checking bit-identity per row.
+pub fn engine_sweep(sizes: &[(i64, i64)]) -> Vec<EngineRow> {
+    // Sequential on purpose: timing rows should not contend (the compiled
+    // executor is itself rayon-parallel inside).
+    sizes
+        .iter()
+        .flat_map(|&(u, p)| {
+            let alg = compose(&WordLevelAlgorithm::matmul(u), p as usize, Expansion::II);
+            let cap = BitMatmulArray::new(u as usize, p as usize).max_safe_entry();
+            let x: Vec<Vec<u128>> = (0..u)
+                .map(|i| (0..u).map(|j| ((3 * i + 5 * j + 1) as u128) % (cap + 1)).collect())
+                .collect();
+            let y: Vec<Vec<u128>> = (0..u)
+                .map(|i| (0..u).map(|j| ((7 * i + j + 2) as u128) % (cap + 1)).collect())
+                .collect();
+            [PaperDesign::TimeOptimal, PaperDesign::NearestNeighbour]
+                .into_iter()
+                .map(|design| {
+                    let tm = design.mapping(p);
+                    let ic = design.interconnect(p);
+                    let mut cells = MatmulExpansionIICells::new(u as usize, p as usize, &x, &y);
+                    let t0 = Instant::now();
+                    let interpreted = run_clocked(&alg, &tm, &ic, &mut cells);
+                    let interpreted_ns = t0.elapsed().as_nanos();
+                    let t0 = Instant::now();
+                    let sched = CompiledSchedule::compile(&alg, &tm, &ic);
+                    let compile_ns = t0.elapsed().as_nanos();
+                    let t0 = Instant::now();
+                    let compiled = sched.execute(&cells);
+                    let execute_ns = t0.elapsed().as_nanos();
+                    let identical = compiled.cycles == interpreted.cycles
+                        && compiled.violations == interpreted.violations
+                        && compiled.peak_in_flight == interpreted.peak_in_flight
+                        && compiled.outputs == interpreted.outputs;
+                    EngineRow {
+                        u,
+                        p,
+                        design: design.name().to_string(),
+                        points: sched.n_points(),
+                        interpreted_ns,
+                        compile_ns,
+                        execute_ns,
+                        speedup: interpreted_ns as f64 / execute_ns.max(1) as f64,
+                        identical,
+                    }
+                })
+                .collect::<Vec<_>>()
+        })
+        .collect()
+}
+
+/// CSV rendering of the engine sweep.
+pub fn engine_csv(rows: &[EngineRow]) -> String {
+    let mut out = String::from(
+        "u,p,design,points,interpreted_ns,compile_ns,execute_ns,speedup,identical\n",
+    );
+    for r in rows {
+        out.push_str(&format!(
+            "{},{},\"{}\",{},{},{},{},{:.3},{}\n",
+            r.u,
+            r.p,
+            r.design,
+            r.points,
+            r.interpreted_ns,
+            r.compile_ns,
+            r.execute_ns,
+            r.speedup,
+            r.identical
+        ));
+    }
+    out
+}
+
 /// Default sweep grids (kept modest so debug runs stay fast; release runs
 /// can pass larger grids).
 pub fn default_speedup_sizes() -> Vec<(i64, i64)> {
@@ -221,6 +326,12 @@ pub fn default_speedup_sizes() -> Vec<(i64, i64)> {
 /// exponential — that is the result being shown).
 pub fn default_analysis_sizes() -> Vec<(i64, usize)> {
     vec![(2, 2), (2, 3), (3, 2), (3, 3)]
+}
+
+/// Default sizes for the engine sweep: up through the release-sized grids
+/// the acceptance speedup is quoted at.
+pub fn default_engine_sizes() -> Vec<(i64, i64)> {
+    vec![(2, 2), (3, 3), (4, 4), (4, 6), (4, 8), (6, 8)]
 }
 
 #[cfg(test)]
@@ -266,5 +377,19 @@ mod tests {
         }
         let csv = utilization_csv(&rows);
         assert_eq!(csv.lines().count(), 3);
+    }
+
+    #[test]
+    fn engine_rows_are_bit_identical() {
+        let rows = engine_sweep(&[(2, 2), (3, 2)]);
+        assert_eq!(rows.len(), 4);
+        for r in &rows {
+            assert!(r.identical, "engines diverged at u={} p={} {}", r.u, r.p, r.design);
+            assert_eq!(r.points, (r.u * r.u * r.u * r.p * r.p) as usize);
+            assert!(r.execute_ns > 0 && r.speedup > 0.0);
+        }
+        let csv = engine_csv(&rows);
+        assert_eq!(csv.lines().count(), 5);
+        assert!(csv.starts_with("u,p,design,points,"));
     }
 }

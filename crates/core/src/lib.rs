@@ -40,4 +40,7 @@ pub use bitlevel_ir::{AlgorithmTriplet, BoxSet, WordLevelAlgorithm};
 pub use bitlevel_mapping::{
     check_feasibility, find_optimal_schedule, Interconnect, MappingMatrix, PaperDesign,
 };
-pub use bitlevel_systolic::{simulate_mapped, BitMatmulArray, WordLevelArray};
+pub use bitlevel_systolic::{
+    run_clocked_compiled, simulate_mapped, simulate_mapped_compiled, BitMatmulArray, SimBackend,
+    WordLevelArray,
+};

@@ -17,11 +17,13 @@ use bitlevel_mapping::{
     check_feasibility, find_optimal_schedule, total_time, Interconnect, MappingMatrix,
     OptimalSchedule, PaperDesign,
 };
-use bitlevel_systolic::{simulate_mapped, BitMatmulArray, MappedRunReport};
+use bitlevel_systolic::{
+    simulate_mapped, simulate_mapped_compiled, BitMatmulArray, MappedRunReport, SimBackend,
+};
 use serde::Serialize;
 
 /// A configured design flow: one word-level algorithm, one word length, one
-/// expansion.
+/// expansion, and the simulation backend executing steps 4+.
 #[derive(Debug, Clone)]
 pub struct DesignFlow {
     /// The word-level algorithm.
@@ -30,6 +32,9 @@ pub struct DesignFlow {
     pub p: usize,
     /// Algorithm expansion.
     pub expansion: Expansion,
+    /// Simulation engine (compiled dense-slot by default; the interpreted
+    /// engine remains available as the reference oracle).
+    pub backend: SimBackend,
 }
 
 /// Everything known about one concrete architecture for the flow.
@@ -50,9 +55,15 @@ pub struct ArchitectureReport {
 }
 
 impl DesignFlow {
-    /// Creates the flow.
+    /// Creates the flow (with the default [`SimBackend::Compiled`]).
     pub fn new(word: WordLevelAlgorithm, p: usize, expansion: Expansion) -> Self {
-        DesignFlow { word, p, expansion }
+        DesignFlow { word, p, expansion, backend: SimBackend::default() }
+    }
+
+    /// Selects the simulation backend (builder style).
+    pub fn with_backend(mut self, backend: SimBackend) -> Self {
+        self.backend = backend;
+        self
     }
 
     /// Convenience: the paper's running example (u×u matmul, word length p,
@@ -76,7 +87,10 @@ impl DesignFlow {
     ) -> ArchitectureReport {
         let alg = self.bit_level_structure();
         let rep = check_feasibility(t, &alg, ic);
-        let run = simulate_mapped(&alg, t, ic);
+        let run = match self.backend {
+            SimBackend::Interpreted => simulate_mapped(&alg, t, ic),
+            SimBackend::Compiled => simulate_mapped_compiled(&alg, t, ic),
+        };
         ArchitectureReport {
             name: name.to_string(),
             feasible: rep.is_feasible(),
@@ -133,7 +147,7 @@ impl DesignFlow {
     /// Panics if the run is illegal (timing/routing/conflict violations) or
     /// any product bit is wrong — with a message saying which.
     pub fn run_clocked_matmul(&self, design: PaperDesign) -> i64 {
-        use bitlevel_systolic::{run_clocked, Model35Cells};
+        use bitlevel_systolic::{run_clocked, run_clocked_compiled, Model35Cells};
         assert_eq!(self.word.dim(), 3, "clocked matmul verification targets matmul");
         assert_eq!(self.expansion, Expansion::II, "the clocked cells implement Expansion II");
         let u = self.word.bounds.upper()[0] as usize;
@@ -156,12 +170,12 @@ impl DesignFlow {
             move |j| xo[(j[0] - 1) as usize][(j[2] - 1) as usize],
             move |j| yo[(j[2] - 1) as usize][(j[1] - 1) as usize],
         );
-        let run = run_clocked(
-            &alg,
-            &design.mapping(p as i64),
-            &design.interconnect(p as i64),
-            &mut cells,
-        );
+        let t = design.mapping(p as i64);
+        let ic = design.interconnect(p as i64);
+        let run = match self.backend {
+            SimBackend::Interpreted => run_clocked(&alg, &t, &ic, &mut cells),
+            SimBackend::Compiled => run_clocked_compiled(&alg, &t, &ic, &cells),
+        };
         assert!(run.is_legal(), "clocked violations: {:?}", run.violations);
         for (tail, value) in cells.extract_results(&run) {
             let (i, j) = ((tail[0] - 1) as usize, (tail[1] - 1) as usize);
@@ -173,7 +187,10 @@ impl DesignFlow {
 
     /// Bit-exact functional verification for matmul flows: runs the
     /// Expansion II array on deterministic safe operands and compares with
-    /// native arithmetic. Returns the tested matrix size.
+    /// native arithmetic. Under [`SimBackend::Compiled`] the same operands
+    /// are additionally pushed through the compiled clocked engine on the
+    /// Fig. 4 design and must extract the same products. Returns the tested
+    /// matrix size.
     ///
     /// # Panics
     /// Panics (with a descriptive message) if the array miscomputes — this is
@@ -199,6 +216,24 @@ impl DesignFlow {
                     self.p
                 );
             }
+        }
+        if self.backend == SimBackend::Compiled && self.expansion == Expansion::II {
+            use bitlevel_systolic::{run_clocked_compiled, MatmulExpansionIICells};
+            let alg = self.bit_level_structure();
+            let design = PaperDesign::TimeOptimal;
+            let cells = MatmulExpansionIICells::new(u, self.p, &x, &y);
+            let run = run_clocked_compiled(
+                &alg,
+                &design.mapping(self.p as i64),
+                &design.interconnect(self.p as i64),
+                &cells,
+            );
+            assert!(run.is_legal(), "compiled clocked violations: {:?}", run.violations);
+            assert_eq!(
+                cells.extract_product(&run),
+                got,
+                "compiled backend disagrees with the topological array"
+            );
         }
         u
     }
@@ -234,6 +269,28 @@ mod tests {
         let flow = DesignFlow::matmul(3, 3);
         assert_eq!(flow.run_clocked_matmul(PaperDesign::TimeOptimal), 13);
         assert_eq!(flow.run_clocked_matmul(PaperDesign::NearestNeighbour), 21);
+    }
+
+    #[test]
+    fn backends_agree_on_paper_designs() {
+        let compiled = DesignFlow::matmul(3, 3);
+        let interpreted = DesignFlow::matmul(3, 3).with_backend(SimBackend::Interpreted);
+        assert_eq!(compiled.backend, SimBackend::Compiled);
+        for design in [PaperDesign::TimeOptimal, PaperDesign::NearestNeighbour] {
+            let c = compiled.evaluate_paper_design(design);
+            let i = interpreted.evaluate_paper_design(design);
+            assert_eq!(c.feasible, i.feasible);
+            assert_eq!(c.run.cycles, i.run.cycles);
+            assert_eq!(c.run.processors, i.run.processors);
+            assert_eq!(c.run.conflict_free, i.run.conflict_free);
+            assert_eq!(c.run.causality_ok, i.run.causality_ok);
+            assert_eq!(c.run.link_traffic, i.run.link_traffic);
+            assert_eq!(c.run.buffer_cycles, i.run.buffer_cycles);
+            assert_eq!(
+                compiled.run_clocked_matmul(design),
+                interpreted.run_clocked_matmul(design)
+            );
+        }
     }
 
     #[test]

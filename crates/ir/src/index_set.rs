@@ -105,6 +105,52 @@ impl BoxSet {
     pub fn extent(&self, i: usize) -> i64 {
         self.upper[i] - self.lower[i]
     }
+
+    /// Closed-form lexicographic rank of `j̄ ∈ J`: the position of `j̄` in the
+    /// [`BoxSet::iter_points`] enumeration (first axis slowest). This is the
+    /// mixed-radix number whose digit along axis `i` is `jᵢ − lᵢ` with radix
+    /// `uᵢ − lᵢ + 1`, so index points become dense array slots with no
+    /// hashing — the basis of the compiled simulation backend.
+    ///
+    /// # Panics
+    /// Panics if `j̄ ∉ J` or if `|J|` does not fit in `usize`.
+    pub fn rank(&self, j: &IVec) -> usize {
+        assert!(self.contains(j), "rank: point {j} outside {self}");
+        assert!(
+            self.cardinality() <= usize::MAX as u128,
+            "rank: |J| overflows usize"
+        );
+        let mut r = 0usize;
+        for i in 0..self.dim() {
+            let size = (self.upper[i] - self.lower[i] + 1) as usize;
+            r = r * size + (j[i] - self.lower[i]) as usize;
+        }
+        r
+    }
+
+    /// Inverse of [`BoxSet::rank`]: the `r`-th point of the lexicographic
+    /// enumeration, recovered digit-by-digit from the mixed-radix expansion
+    /// (last axis fastest).
+    ///
+    /// # Panics
+    /// Panics if `r ≥ |J|`.
+    pub fn unrank(&self, r: usize) -> IVec {
+        let card = self.cardinality();
+        assert!(
+            (r as u128) < card,
+            "unrank: rank {r} out of range for |J| = {card}"
+        );
+        let mut coords = vec![0i64; self.dim()];
+        let mut rem = r;
+        for i in (0..self.dim()).rev() {
+            let size = (self.upper[i] - self.lower[i] + 1) as usize;
+            coords[i] = self.lower[i] + (rem % size) as i64;
+            rem /= size;
+        }
+        let j = IVec(coords);
+        debug_assert_eq!(self.rank(&j), r, "rank/unrank round-trip broken");
+        j
+    }
 }
 
 impl fmt::Display for BoxSet {
@@ -232,6 +278,36 @@ mod tests {
         let _ = BoxSet::new(IVec::from([2]), IVec::from([1]));
     }
 
+    #[test]
+    fn rank_matches_iteration_order() {
+        let b = BoxSet::new(IVec::from([0, 1]), IVec::from([1, 2]));
+        for (k, q) in b.iter_points().enumerate() {
+            assert_eq!(b.rank(&q), k);
+            assert_eq!(b.unrank(k), q);
+        }
+    }
+
+    #[test]
+    fn rank_of_zero_dimensional_box() {
+        let b = BoxSet::new(IVec::zeros(0), IVec::zeros(0));
+        assert_eq!(b.rank(&IVec::zeros(0)), 0);
+        assert_eq!(b.unrank(0), IVec::zeros(0));
+    }
+
+    #[test]
+    #[should_panic(expected = "outside")]
+    fn rank_of_outside_point_panics() {
+        let b = BoxSet::cube(2, 1, 3);
+        let _ = b.rank(&IVec::from([0, 1]));
+    }
+
+    #[test]
+    #[should_panic(expected = "out of range")]
+    fn unrank_beyond_cardinality_panics() {
+        let b = BoxSet::cube(2, 1, 2);
+        let _ = b.unrank(4);
+    }
+
     proptest! {
         #[test]
         fn prop_iteration_count_matches_cardinality(
@@ -251,6 +327,23 @@ mod tests {
             }
             for p in &pts {
                 prop_assert!(b.contains(p));
+            }
+        }
+
+        #[test]
+        fn prop_rank_unrank_roundtrip_in_iteration_order(
+            lo in proptest::collection::vec(-3i64..3, 1..4),
+            // Extent 0 included: degenerate (single-value) axes must rank
+            // correctly too.
+            ext in proptest::collection::vec(0i64..4, 1..4),
+        ) {
+            let n = lo.len().min(ext.len());
+            let lower = IVec(lo[..n].to_vec());
+            let upper = IVec((0..n).map(|i| lo[i] + ext[i]).collect());
+            let b = BoxSet::new(lower, upper);
+            for (k, q) in b.iter_points().enumerate() {
+                prop_assert_eq!(b.rank(&q), k);
+                prop_assert_eq!(b.unrank(k), q);
             }
         }
 

@@ -19,7 +19,7 @@ use bitlevel_ir::AlgorithmTriplet;
 use bitlevel_linalg::IVec;
 use bitlevel_mapping::{Interconnect, MappingMatrix};
 use serde::Serialize;
-use std::collections::HashMap;
+use std::collections::{HashMap, HashSet};
 
 /// Per-point computation semantics for the clocked engine.
 ///
@@ -37,6 +37,24 @@ pub trait CellSemantics {
     /// architectural boundary, which the semantics resolves from operands /
     /// initial values).
     fn compute(&mut self, q: &IVec, inputs: &[Option<Self::Bundle>]) -> Self::Bundle;
+}
+
+/// Pure, shareable cell semantics — the compiled backend's counterpart of
+/// [`CellSemantics`].
+///
+/// The compiled engine ([`crate::compiled`]) executes all points of a cycle
+/// in parallel, so the semantics must be immutable (`&self`) and shareable
+/// across threads (`Sync`), and bundles must be `Send`. Types whose compute
+/// is pure implement this trait and delegate their [`CellSemantics`] impl to
+/// it, so both engines run literally the same arithmetic.
+pub trait SyncCellSemantics: Sync {
+    /// The signal bundle carried by tokens (`Send + Sync`: the compiled
+    /// engine shares the token arena across worker threads).
+    type Bundle: Clone + Send + Sync + std::fmt::Debug;
+
+    /// Computes the cell at index point `q` — same contract as
+    /// [`CellSemantics::compute`], minus the mutable receiver.
+    fn compute(&self, q: &IVec, inputs: &[Option<Self::Bundle>]) -> Self::Bundle;
 }
 
 /// One timing/route violation found by the clocked engine.
@@ -126,17 +144,33 @@ pub fn run_clocked<S: CellSemantics>(
     let mut in_flight = vec![0u64; m];
     let mut peak_in_flight = vec![0u64; m];
 
+    // Processor coordinates are interned to dense u32 ids once per distinct
+    // processor, so the per-cycle duplicate-fire check probes a HashSet<u32>
+    // instead of hashing (and cloning) a full IVec per point.
+    let mut proc_ids: HashMap<IVec, u32> = HashMap::new();
+    let mut proc_coords: Vec<IVec> = Vec::new();
+    let mut fired: HashSet<u32> = HashSet::new();
+
     for &cycle in &cycles_sorted {
         // Processor conflict detection within the cycle.
-        let mut used: HashMap<IVec, ()> = HashMap::new();
+        fired.clear();
         // Count in-flight tokens per column: produced but not yet consumed.
         // (Recomputed incrementally: a token launches when its producer
         // fires and retires when its consumer fires.)
         for q in &by_cycle[&cycle] {
             let place = t.place(q);
-            if used.insert(place.clone(), ()).is_some() {
+            let id = match proc_ids.get(&place) {
+                Some(&id) => id,
+                None => {
+                    let id = proc_coords.len() as u32;
+                    proc_ids.insert(place.clone(), id);
+                    proc_coords.push(place);
+                    id
+                }
+            };
+            if !fired.insert(id) {
                 violations.push(ClockedViolation::ProcessorConflict {
-                    processor: place.to_string(),
+                    processor: proc_coords[id as usize].to_string(),
                     cycle,
                 });
             }
@@ -205,7 +239,7 @@ pub fn run_clocked<S: CellSemantics>(
 }
 
 /// The signal bundle of one Expansion II matmul cell.
-#[derive(Debug, Clone, Copy, Default)]
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
 pub struct MatmulSignals {
     /// The x operand bit held/forwarded by this cell.
     pub x: Bit,
@@ -297,6 +331,14 @@ impl CellSemantics for MatmulExpansionIICells {
     type Bundle = MatmulSignals;
 
     fn compute(&mut self, q: &IVec, inputs: &[Option<MatmulSignals>]) -> MatmulSignals {
+        SyncCellSemantics::compute(self, q, inputs)
+    }
+}
+
+impl SyncCellSemantics for MatmulExpansionIICells {
+    type Bundle = MatmulSignals;
+
+    fn compute(&self, q: &IVec, inputs: &[Option<MatmulSignals>]) -> MatmulSignals {
         let (j1, j2, j3, i1, i2) =
             (q[0] as usize, q[1] as usize, q[2] as usize, q[3] as usize, q[4] as usize);
         let p = self.p;

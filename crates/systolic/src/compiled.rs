@@ -1,0 +1,670 @@
+//! Compiled static-schedule execution backend.
+//!
+//! The interpreted engines ([`crate::clocked::run_clocked`] and
+//! [`crate::mapped::simulate_mapped`]) address every index point through
+//! `HashMap<IVec, _>` lookups and clone `IVec` keys per token. For a *static*
+//! schedule all of that is knowable ahead of time, so this module compiles a
+//! `(J, D, E)` algorithm, mapping `T = [S; Π]` and machine `P` **once** into
+//! flat arrays over dense point slots and then executes over plain indices:
+//!
+//! * **Slot layout** — `BoxSet::rank` gives every index point a dense `u32`
+//!   slot in lexicographic (`iter_points`) order; per-slot firing cycle,
+//!   processor id and per-dependence-column producer slot live in flat `Vec`s.
+//! * **CSR fire list** — slots sorted by cycle with per-cycle offsets, so
+//!   each cycle is a contiguous `&[u32]` slice.
+//! * **Arena token store** — one `Vec<Option<B>>` indexed by slot replaces
+//!   the `HashMap<IVec, B>` outputs/produced-at maps.
+//! * **Cycle-sliced parallelism** — when every exercised dependence column
+//!   has `Π·d̄ > 0` (which mapping feasibility enforces), any two points that
+//!   share a cycle are independent: a producer of either would need
+//!   `Π·d̄ = 0`. Each cycle's slice is therefore executed rayon-parallel; the
+//!   bookkeeping that the interpreted engine interleaves (violations,
+//!   in-flight counts) stays sequential in slot order, so results are
+//!   **bit-identical** — violations, `peak_in_flight` and all. Schedules with
+//!   a non-positive column budget fall back to a sequential dense replay of
+//!   the interpreted semantics.
+//!
+//! [`run_clocked_compiled`] and [`simulate_mapped_compiled`] are drop-in
+//! counterparts of the interpreted entry points; [`SimBackend`] selects
+//! between the two across the [`bitlevel-core`] design flow and benches.
+
+use crate::clocked::{ClockedRun, ClockedViolation, SyncCellSemantics};
+use crate::mapped::MappedRunReport;
+use bitlevel_ir::AlgorithmTriplet;
+use bitlevel_linalg::IVec;
+use bitlevel_mapping::{Interconnect, MappingMatrix};
+use rayon::prelude::*;
+use serde::{Deserialize, Serialize};
+use std::collections::HashMap;
+
+/// Which simulation engine executes a mapped algorithm.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default, Serialize, Deserialize)]
+pub enum SimBackend {
+    /// The HashMap-based reference engines (`run_clocked`, `simulate_mapped`).
+    Interpreted,
+    /// The compile-once dense-slot engine of [`crate::compiled`] (default).
+    #[default]
+    Compiled,
+}
+
+/// Sentinel producer slot for boundary inputs (no in-set producer).
+const NO_SLOT: u32 = u32::MAX;
+
+/// Below this many points per cycle the parallel executor stays sequential —
+/// fork/join overhead would dominate the per-point work.
+const PAR_THRESHOLD: usize = 64;
+
+/// A `(alg, T, ic)` triple compiled into flat dense-slot arrays.
+///
+/// Build once with [`CompiledSchedule::compile`], then run any number of
+/// workloads through [`CompiledSchedule::execute`] (values) or read the
+/// timing-only report from [`CompiledSchedule::mapped_report`].
+pub struct CompiledSchedule {
+    /// Algorithm dimension `n`.
+    n: usize,
+    /// Number of dependence columns `m` (≤ 64 for the bitmasks).
+    m: usize,
+    /// `|J|` — number of index points / slots.
+    n_points: usize,
+    /// Flat point coordinates: slot `s` is `points[s·n .. (s+1)·n]`.
+    points: Vec<i64>,
+    /// Firing cycle `Π·q̄` per slot.
+    cycle: Vec<i64>,
+    /// Dense processor id per slot.
+    proc: Vec<u32>,
+    /// Processor coordinates `S·q̄` by dense id (for violation rendering).
+    proc_coords: Vec<IVec>,
+    /// `producers[s·m + i]`: slot of the producer along column `i`, or
+    /// [`NO_SLOT`] when the dependence is inactive at `s` (boundary input).
+    producers: Vec<u32>,
+    /// Bit `i` set ⟺ column `i` is consumed (active) at this slot.
+    consume_mask: Vec<u64>,
+    /// Bit `i` set ⟺ a token launches from this slot along column `i`.
+    launch_mask: Vec<u64>,
+    /// Per-column hop count under the clocked-engine budget (`Π·d̄` clamped
+    /// to ≥ 0), `None` when unroutable — mirrors `run_clocked`'s pre-route.
+    clocked_hops: Vec<Option<i64>>,
+    /// Per-column routing `(usage, buffers)` under the mapped-sim convention
+    /// (`None` when `Π·d̄ ≤ 0`) — mirrors `simulate_mapped`'s pre-route.
+    mapped_routes: Vec<Option<(IVec, i64)>>,
+    /// Per-column schedule budget `Π·d̄`.
+    budgets: Vec<i64>,
+    /// Per-column count of exercised dependence instances.
+    active_count: Vec<u64>,
+    /// Distinct firing cycles, ascending.
+    cycle_values: Vec<i64>,
+    /// CSR offsets: cycle `cycle_values[k]` fires
+    /// `fire_order[cycle_offsets[k] .. cycle_offsets[k+1]]`.
+    cycle_offsets: Vec<usize>,
+    /// Slots sorted by (cycle, slot) — the interpreted engine's firing order.
+    fire_order: Vec<u32>,
+    /// Number of interconnect primitives (columns of `P`).
+    n_links: usize,
+    /// Every exercised column has `Π·d̄ > 0`: same-cycle points are
+    /// independent and each cycle slice may execute in parallel.
+    causal: bool,
+}
+
+impl CompiledSchedule {
+    /// Compiles the schedule: ranks every point to a dense slot, resolves
+    /// producers, routes every dependence column once, and builds the
+    /// CSR fire list.
+    ///
+    /// # Panics
+    /// Panics on dimension mismatches, on more than 64 dependence columns,
+    /// or if `|J|` exceeds the dense `u32` slot space.
+    pub fn compile(alg: &AlgorithmTriplet, t: &MappingMatrix, ic: &Interconnect) -> Self {
+        assert_eq!(t.n(), alg.dim(), "mapping/algorithm dimension mismatch");
+        let set = &alg.index_set;
+        let n = alg.dim();
+        let m = alg.deps.len();
+        assert!(m <= 64, "compiled backend supports at most 64 dependence columns, got {m}");
+        let card = set.cardinality();
+        assert!(card < NO_SLOT as u128, "index set too large for dense u32 slots: |J| = {card}");
+        let n_points = card as usize;
+
+        let budgets: Vec<i64> = alg.deps.iter().map(|d| d.vector.dot(&t.schedule)).collect();
+        // Same pre-routing conventions as the two interpreted engines.
+        let clocked_hops: Vec<Option<i64>> = alg
+            .deps
+            .iter()
+            .zip(&budgets)
+            .map(|(d, &b)| ic.route(&t.space.matvec(&d.vector), b.max(0)).map(|r| r.hops))
+            .collect();
+        let mapped_routes: Vec<Option<(IVec, i64)>> = alg
+            .deps
+            .iter()
+            .zip(&budgets)
+            .map(|(d, &b)| {
+                if b <= 0 {
+                    return None;
+                }
+                ic.route(&t.space.matvec(&d.vector), b).map(|r| (r.usage, r.buffers))
+            })
+            .collect();
+
+        let mut points = Vec::with_capacity(n_points * n);
+        let mut cycle = Vec::with_capacity(n_points);
+        let mut proc = Vec::with_capacity(n_points);
+        let mut proc_ids: HashMap<IVec, u32> = HashMap::new();
+        let mut proc_coords: Vec<IVec> = Vec::new();
+        let mut producers = vec![NO_SLOT; n_points * m];
+        let mut consume_mask = vec![0u64; n_points];
+        let mut launch_mask = vec![0u64; n_points];
+        let mut active_count = vec![0u64; m];
+
+        for (s, q) in set.iter_points().enumerate() {
+            debug_assert_eq!(set.rank(&q), s, "rank disagrees with iter_points order");
+            points.extend_from_slice(q.as_slice());
+            cycle.push(t.time(&q));
+            let place = t.place(&q);
+            let id = match proc_ids.get(&place) {
+                Some(&id) => id,
+                None => {
+                    let id = proc_coords.len() as u32;
+                    proc_ids.insert(place.clone(), id);
+                    proc_coords.push(place);
+                    id
+                }
+            };
+            proc.push(id);
+            for (i, d) in alg.deps.iter().enumerate() {
+                if d.active_at(&q, set) {
+                    consume_mask[s] |= 1u64 << i;
+                    active_count[i] += 1;
+                    // active_at guarantees the source lies in J, so it ranks.
+                    producers[s * m + i] = set.rank(&(&q - &d.vector)) as u32;
+                }
+                if d.active_at(&(&q + &d.vector), set) {
+                    launch_mask[s] |= 1u64 << i;
+                }
+            }
+        }
+
+        // CSR fire list: stable sort by cycle keeps lexicographic slot order
+        // within each cycle — exactly the interpreted engine's firing order.
+        let mut fire_order: Vec<u32> = (0..n_points as u32).collect();
+        fire_order.sort_by_key(|&s| cycle[s as usize]);
+        let mut cycle_values: Vec<i64> = Vec::new();
+        let mut cycle_offsets: Vec<usize> = Vec::new();
+        for (k, &s) in fire_order.iter().enumerate() {
+            let c = cycle[s as usize];
+            if cycle_values.last() != Some(&c) {
+                cycle_values.push(c);
+                cycle_offsets.push(k);
+            }
+        }
+        cycle_offsets.push(n_points);
+
+        let causal = (0..m).all(|i| active_count[i] == 0 || budgets[i] > 0);
+
+        CompiledSchedule {
+            n,
+            m,
+            n_points,
+            points,
+            cycle,
+            proc,
+            proc_coords,
+            producers,
+            consume_mask,
+            launch_mask,
+            clocked_hops,
+            mapped_routes,
+            budgets,
+            active_count,
+            cycle_values,
+            cycle_offsets,
+            fire_order,
+            n_links: ic.count(),
+            causal,
+        }
+    }
+
+    /// Number of index points (= dense slots).
+    pub fn n_points(&self) -> usize {
+        self.n_points
+    }
+
+    /// Number of distinct firing cycles.
+    pub fn n_cycles(&self) -> usize {
+        self.cycle_values.len()
+    }
+
+    /// Number of distinct processors.
+    pub fn n_processors(&self) -> usize {
+        self.proc_coords.len()
+    }
+
+    /// True iff every exercised dependence column has `Π·d̄ > 0`, i.e. the
+    /// parallel per-cycle executor is applicable.
+    pub fn is_causal(&self) -> bool {
+        self.causal
+    }
+
+    /// Reconstructs the index point of slot `s`.
+    fn point(&self, s: usize) -> IVec {
+        debug_assert!(s < self.n_points, "slot {s} out of bounds");
+        IVec(self.points[s * self.n..(s + 1) * self.n].to_vec())
+    }
+
+    /// Gathers inputs and computes one slot against the current arena.
+    fn compute_slot<S: SyncCellSemantics>(
+        &self,
+        semantics: &S,
+        s: usize,
+        arena: &[Option<S::Bundle>],
+    ) -> S::Bundle {
+        let mask = self.consume_mask[s];
+        let mut inputs: Vec<Option<S::Bundle>> = Vec::with_capacity(self.m);
+        for i in 0..self.m {
+            if mask & (1u64 << i) != 0 {
+                let src = self.producers[s * self.m + i] as usize;
+                debug_assert!(src < arena.len(), "producer slot {src} out of bounds");
+                // In a causal run this is always `Some`; in the sequential
+                // fallback a not-yet-fired producer reads as a boundary
+                // input, exactly like the interpreted engine's map miss.
+                inputs.push(arena[src].clone());
+            } else {
+                inputs.push(None);
+            }
+        }
+        semantics.compute(&self.point(s), &inputs)
+    }
+
+    /// Executes the compiled schedule with value-carrying tokens, producing a
+    /// [`ClockedRun`] bit-identical to [`crate::clocked::run_clocked`] —
+    /// outputs, violations (same order), cycle count and `peak_in_flight`.
+    pub fn execute<S: SyncCellSemantics>(&self, semantics: &S) -> ClockedRun<S::Bundle> {
+        let mut arena: Vec<Option<S::Bundle>> = vec![None; self.n_points];
+        let mut violations = Vec::new();
+        let mut in_flight = vec![0u64; self.m];
+        let mut peak_in_flight = vec![0u64; self.m];
+        // Per-cycle duplicate-fire scratch over dense processor ids.
+        let mut fired = vec![false; self.proc_coords.len()];
+
+        for k in 0..self.cycle_values.len() {
+            let c = self.cycle_values[k];
+            let slice = &self.fire_order[self.cycle_offsets[k]..self.cycle_offsets[k + 1]];
+
+            // Value phase. In a causal schedule every producer fired in an
+            // earlier cycle, so the slice's computes only read settled arena
+            // entries and may run in parallel. Otherwise replay the
+            // interpreted engine's sequential order (a same-cycle producer
+            // earlier in slot order is then *visible*, later ones read as
+            // boundary inputs — bit-identical to the HashMap engine).
+            if self.causal && slice.len() >= PAR_THRESHOLD {
+                let computed: Vec<(u32, S::Bundle)> = slice
+                    .par_iter()
+                    .map(|&s| (s, self.compute_slot(semantics, s as usize, &arena)))
+                    .collect();
+                for (s, bundle) in computed {
+                    arena[s as usize] = Some(bundle);
+                }
+            } else {
+                for &s in slice {
+                    let bundle = self.compute_slot(semantics, s as usize, &arena);
+                    arena[s as usize] = Some(bundle);
+                }
+            }
+
+            // Bookkeeping phase, sequential in slot order — the mutation
+            // sequence on violations / in-flight counters is exactly the
+            // interpreted engine's.
+            for &s in slice {
+                let s = s as usize;
+                let id = self.proc[s] as usize;
+                if fired[id] {
+                    violations.push(ClockedViolation::ProcessorConflict {
+                        processor: self.proc_coords[id].to_string(),
+                        cycle: c,
+                    });
+                }
+                fired[id] = true;
+
+                let mask = self.consume_mask[s];
+                for i in 0..self.m {
+                    if mask & (1u64 << i) == 0 {
+                        continue;
+                    }
+                    let src = self.producers[s * self.m + i] as usize;
+                    if arena[src].is_none() {
+                        // Producer scheduled at a later cycle (non-causal):
+                        // the interpreted engine read it as a boundary input
+                        // and recorded nothing.
+                        continue;
+                    }
+                    let src_time = self.cycle[src];
+                    if src_time >= c {
+                        violations.push(ClockedViolation::CausalityOrder {
+                            consumer: self.point(s).to_string(),
+                            column: i,
+                        });
+                    }
+                    match self.clocked_hops[i] {
+                        Some(h) if h <= c - src_time => {}
+                        Some(h) => violations.push(ClockedViolation::RouteTooSlow {
+                            consumer: self.point(s).to_string(),
+                            column: i,
+                            hops: h,
+                            budget: c - src_time,
+                        }),
+                        None => violations.push(ClockedViolation::RouteTooSlow {
+                            consumer: self.point(s).to_string(),
+                            column: i,
+                            hops: -1,
+                            budget: c - src_time,
+                        }),
+                    }
+                    in_flight[i] = in_flight[i].saturating_sub(1);
+                }
+                let launches = self.launch_mask[s];
+                for i in 0..self.m {
+                    if launches & (1u64 << i) != 0 {
+                        in_flight[i] += 1;
+                        peak_in_flight[i] = peak_in_flight[i].max(in_flight[i]);
+                    }
+                }
+            }
+            for &s in slice {
+                fired[self.proc[s as usize] as usize] = false;
+            }
+        }
+
+        let cycles = match (self.cycle_values.first(), self.cycle_values.last()) {
+            (Some(a), Some(b)) => b - a + 1,
+            _ => 0,
+        };
+        let mut outputs: HashMap<IVec, S::Bundle> = HashMap::with_capacity(self.n_points);
+        for (s, bundle) in arena.into_iter().enumerate() {
+            outputs.insert(self.point(s), bundle.expect("every slot fires exactly once"));
+        }
+        ClockedRun { cycles, outputs, violations, peak_in_flight }
+    }
+
+    /// The timing-structure report over the dense slots — same numbers as
+    /// [`crate::mapped::simulate_mapped`], without re-walking `HashMap`s:
+    /// conflicts from per-cycle processor-id scans, causality and traffic
+    /// from the per-column routes and active-instance counts.
+    pub fn mapped_report(&self) -> MappedRunReport {
+        let cycles = match (self.cycle_values.first(), self.cycle_values.last()) {
+            (Some(a), Some(b)) => b - a + 1,
+            _ => 0,
+        };
+        let mut conflict_free = true;
+        let mut peak_parallelism = 0usize;
+        let mut seen = vec![false; self.proc_coords.len()];
+        for k in 0..self.cycle_values.len() {
+            let slice = &self.fire_order[self.cycle_offsets[k]..self.cycle_offsets[k + 1]];
+            peak_parallelism = peak_parallelism.max(slice.len());
+            for &s in slice {
+                let id = self.proc[s as usize] as usize;
+                if seen[id] {
+                    conflict_free = false;
+                }
+                seen[id] = true;
+            }
+            for &s in slice {
+                seen[self.proc[s as usize] as usize] = false;
+            }
+        }
+
+        let mut causality_ok = true;
+        let mut link_traffic = vec![0u64; self.n_links];
+        let mut buffer_cycles = 0u64;
+        for i in 0..self.m {
+            if self.active_count[i] == 0 {
+                continue;
+            }
+            match &self.mapped_routes[i] {
+                Some((usage, buffers)) => {
+                    for (j, &cnt) in usage.iter().enumerate() {
+                        link_traffic[j] += cnt as u64 * self.active_count[i];
+                    }
+                    buffer_cycles += *buffers as u64 * self.active_count[i];
+                }
+                None => causality_ok = false,
+            }
+        }
+
+        let processors = self.proc_coords.len();
+        let utilization = if cycles > 0 && processors > 0 {
+            self.n_points as f64 / (processors as f64 * cycles as f64)
+        } else {
+            0.0
+        };
+        MappedRunReport {
+            cycles,
+            processors,
+            computations: self.n_points as u128,
+            conflict_free,
+            causality_ok,
+            utilization,
+            peak_parallelism,
+            link_traffic,
+            buffer_cycles,
+        }
+    }
+}
+
+/// Compiles and executes in one call — the drop-in counterpart of
+/// [`crate::clocked::run_clocked`] for pure cell semantics. For repeated runs
+/// of one architecture, build the [`CompiledSchedule`] once and call
+/// [`CompiledSchedule::execute`] per workload.
+pub fn run_clocked_compiled<S: SyncCellSemantics>(
+    alg: &AlgorithmTriplet,
+    t: &MappingMatrix,
+    ic: &Interconnect,
+    semantics: &S,
+) -> ClockedRun<S::Bundle> {
+    CompiledSchedule::compile(alg, t, ic).execute(semantics)
+}
+
+/// Compiled counterpart of [`crate::mapped::simulate_mapped`]: identical
+/// report, computed from the dense-slot schedule.
+pub fn simulate_mapped_compiled(
+    alg: &AlgorithmTriplet,
+    t: &MappingMatrix,
+    ic: &Interconnect,
+) -> MappedRunReport {
+    CompiledSchedule::compile(alg, t, ic).mapped_report()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::clocked::{run_clocked, MatmulExpansionIICells, MatmulSignals};
+    use crate::mapped::simulate_mapped;
+    use bitlevel_ir::{BoxSet, Dependence, DependenceSet, Predicate};
+    use bitlevel_linalg::IMat;
+    use bitlevel_mapping::PaperDesign;
+
+    fn matmul_structure(u: i64, p: i64) -> AlgorithmTriplet {
+        let j = BoxSet::cube(3, 1, u).product(&BoxSet::cube(2, 1, p));
+        AlgorithmTriplet::new(
+            j,
+            DependenceSet::new(vec![
+                Dependence::conditional([0, 1, 0, 0, 0], "x", Predicate::eq_const(3, 1)),
+                Dependence::conditional([1, 0, 0, 0, 0], "y", Predicate::eq_const(4, 1)),
+                Dependence::conditional(
+                    [0, 0, 1, 0, 0],
+                    "z",
+                    Predicate::eq_const(3, p).or(&Predicate::eq_const(4, 1)),
+                ),
+                Dependence::conditional([0, 0, 0, 1, 0], "x", Predicate::ne_const(3, 1)),
+                Dependence::conditional([0, 0, 0, 0, 1], "y,c", Predicate::ne_const(4, 1)),
+                Dependence::uniform([0, 0, 0, 1, -1], "z"),
+                Dependence::conditional([0, 0, 0, 0, 2], "c'", Predicate::eq_const(3, p)),
+            ]),
+            "bit-level matmul, Expansion II (composed order)",
+        )
+    }
+
+    fn mats(u: usize, p: usize) -> (Vec<Vec<u128>>, Vec<Vec<u128>>) {
+        let m = crate::BitMatmulArray::new(u, p).max_safe_entry();
+        let x = (0..u)
+            .map(|i| (0..u).map(|j| ((3 * i + 5 * j + 1) as u128) % (m + 1)).collect())
+            .collect();
+        let y = (0..u)
+            .map(|i| (0..u).map(|j| ((7 * i + j + 2) as u128) % (m + 1)).collect())
+            .collect();
+        (x, y)
+    }
+
+    fn assert_runs_identical(a: &ClockedRun<MatmulSignals>, b: &ClockedRun<MatmulSignals>) {
+        assert_eq!(a.cycles, b.cycles, "cycle counts differ");
+        assert_eq!(a.violations, b.violations, "violation streams differ");
+        assert_eq!(a.peak_in_flight, b.peak_in_flight, "in-flight peaks differ");
+        assert_eq!(a.outputs, b.outputs, "output bundles differ");
+    }
+
+    fn assert_reports_identical(a: &MappedRunReport, b: &MappedRunReport) {
+        assert_eq!(a.cycles, b.cycles);
+        assert_eq!(a.processors, b.processors);
+        assert_eq!(a.computations, b.computations);
+        assert_eq!(a.conflict_free, b.conflict_free);
+        assert_eq!(a.causality_ok, b.causality_ok);
+        assert_eq!(a.peak_parallelism, b.peak_parallelism);
+        assert_eq!(a.link_traffic, b.link_traffic);
+        assert_eq!(a.buffer_cycles, b.buffer_cycles);
+        assert!((a.utilization - b.utilization).abs() < 1e-12);
+    }
+
+    #[test]
+    fn compiled_run_is_bit_identical_on_both_paper_designs() {
+        for (u, p) in [(2usize, 2usize), (3, 3), (2, 4)] {
+            let alg = matmul_structure(u as i64, p as i64);
+            let (x, y) = mats(u, p);
+            for design in [PaperDesign::TimeOptimal, PaperDesign::NearestNeighbour] {
+                let t = design.mapping(p as i64);
+                let ic = design.interconnect(p as i64);
+                let mut cells = MatmulExpansionIICells::new(u, p, &x, &y);
+                let interpreted = run_clocked(&alg, &t, &ic, &mut cells);
+                let compiled = run_clocked_compiled(&alg, &t, &ic, &cells);
+                assert_runs_identical(&compiled, &interpreted);
+                assert!(compiled.is_legal());
+                let z = cells.extract_product(&compiled);
+                for i in 0..u {
+                    for j in 0..u {
+                        let want: u128 = (0..u).map(|k| x[i][k] * y[k][j]).sum();
+                        assert_eq!(z[i][j], want, "u={u} p={p} Z[{i}][{j}]");
+                    }
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn compiled_schedule_reruns_without_recompiling() {
+        let (u, p) = (3usize, 3usize);
+        let alg = matmul_structure(u as i64, p as i64);
+        let design = PaperDesign::TimeOptimal;
+        let sched = CompiledSchedule::compile(&alg, &design.mapping(3), &design.interconnect(3));
+        assert!(sched.is_causal());
+        assert_eq!(sched.n_points(), 27 * 9);
+        assert_eq!(sched.n_processors(), 81);
+        let (x, y) = mats(u, p);
+        let cells = MatmulExpansionIICells::new(u, p, &x, &y);
+        let first = sched.execute(&cells);
+        let second = sched.execute(&cells);
+        assert_runs_identical(&first, &second);
+    }
+
+    #[test]
+    fn route_violations_match_interpreted_engine() {
+        // Fig. 4's fast schedule on the wire-poor machine: budgets stay
+        // positive (causal parallel path) but routes miss their budgets.
+        let (u, p) = (2usize, 2usize);
+        let alg = matmul_structure(u as i64, p as i64);
+        let t = PaperDesign::TimeOptimal.mapping(p as i64);
+        let ic = PaperDesign::NearestNeighbour.interconnect(p as i64);
+        let (x, y) = mats(u, p);
+        let mut cells = MatmulExpansionIICells::new(u, p, &x, &y);
+        let interpreted = run_clocked(&alg, &t, &ic, &mut cells);
+        let compiled = run_clocked_compiled(&alg, &t, &ic, &cells);
+        assert!(!compiled.is_legal());
+        assert_runs_identical(&compiled, &interpreted);
+    }
+
+    #[test]
+    fn processor_conflicts_match_interpreted_engine() {
+        let (u, p) = (2usize, 2usize);
+        let alg = matmul_structure(u as i64, p as i64);
+        let t = MappingMatrix::new(
+            IMat::from_rows(&[&[0, 0, 0, 0, 0], &[0, 2, 0, 0, 1]]),
+            IVec::from([1, 1, 1, 2, 1]),
+        );
+        let ic = Interconnect::paper_p(2);
+        let (x, y) = mats(u, p);
+        let mut cells = MatmulExpansionIICells::new(u, p, &x, &y);
+        let interpreted = run_clocked(&alg, &t, &ic, &mut cells);
+        let compiled = run_clocked_compiled(&alg, &t, &ic, &cells);
+        assert!(compiled
+            .violations
+            .iter()
+            .any(|v| matches!(v, ClockedViolation::ProcessorConflict { .. })));
+        assert_runs_identical(&compiled, &interpreted);
+    }
+
+    #[test]
+    fn non_causal_schedule_falls_back_bit_identically() {
+        // Zero out the intra-tile schedule components: d̄₄…d̄₇ get budget ≤ 0,
+        // the parallel path is ineligible, and the sequential dense replay
+        // must still match the interpreted engine exactly (including
+        // CausalityOrder violations and same-cycle-producer visibility).
+        let (u, p) = (2usize, 2usize);
+        let alg = matmul_structure(u as i64, p as i64);
+        let t = MappingMatrix::new(
+            PaperDesign::TimeOptimal.mapping(p as i64).space.clone(),
+            IVec::from([1, 1, 1, 0, 0]),
+        );
+        let ic = PaperDesign::TimeOptimal.interconnect(p as i64);
+        let sched = CompiledSchedule::compile(&alg, &t, &ic);
+        assert!(!sched.is_causal());
+        let (x, y) = mats(u, p);
+        let mut cells = MatmulExpansionIICells::new(u, p, &x, &y);
+        let interpreted = run_clocked(&alg, &t, &ic, &mut cells);
+        let compiled = sched.execute(&cells);
+        assert_runs_identical(&compiled, &interpreted);
+    }
+
+    #[test]
+    fn mapped_report_matches_interpreted_simulator() {
+        for (u, p) in [(2i64, 2i64), (3, 3), (4, 3)] {
+            let alg = matmul_structure(u, p);
+            for design in [PaperDesign::TimeOptimal, PaperDesign::NearestNeighbour] {
+                let t = design.mapping(p);
+                let ic = design.interconnect(p);
+                assert_reports_identical(
+                    &simulate_mapped_compiled(&alg, &t, &ic),
+                    &simulate_mapped(&alg, &t, &ic),
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn mapped_report_matches_on_broken_designs_too() {
+        let alg = matmul_structure(2, 2);
+        // Conflicting space mapping.
+        let t = MappingMatrix::new(
+            IMat::from_rows(&[&[0, 0, 0, 0, 0], &[0, 2, 0, 0, 1]]),
+            IVec::from([1, 1, 1, 2, 1]),
+        );
+        assert_reports_identical(
+            &simulate_mapped_compiled(&alg, &t, &Interconnect::paper_p(2)),
+            &simulate_mapped(&alg, &t, &Interconnect::paper_p(2)),
+        );
+        // Causality-violating machine.
+        let t = PaperDesign::TimeOptimal.mapping(2);
+        assert_reports_identical(
+            &simulate_mapped_compiled(&alg, &t, &Interconnect::paper_p_prime()),
+            &simulate_mapped(&alg, &t, &Interconnect::paper_p_prime()),
+        );
+    }
+
+    #[test]
+    fn backend_default_is_compiled() {
+        assert_eq!(SimBackend::default(), SimBackend::Compiled);
+    }
+}

@@ -13,10 +13,15 @@
 //!   (the hardware of Figs. 4/5), computing `Z = X·Y mod 2^{2p−1}` through
 //!   real full-adder/wide-adder cells;
 //! * [`word_array`] — the Section 4.2 word-level comparator
-//!   (`(3(u−1)+1)·t_b` with a pluggable bit-level multiplier model).
+//!   (`(3(u−1)+1)·t_b` with a pluggable bit-level multiplier model);
+//! * [`compiled`] — the compile-once/run-many backend: dense point slots via
+//!   `BoxSet::rank`, a CSR fire list, an arena token store, and
+//!   cycle-sliced parallel execution, bit-identical to the interpreted
+//!   engines and selected through [`SimBackend`].
 
 pub mod bit_array;
 pub mod clocked;
+pub mod compiled;
 pub mod expansion_i;
 pub mod expansion_i_clocked;
 pub mod mapped;
@@ -27,7 +32,10 @@ pub mod word_array;
 pub use bit_array::{BitMatmulArray, BitMatmulRun};
 pub use clocked::{
     run_clocked, CellSemantics, ClockedRun, ClockedViolation, MatmulExpansionIICells,
-    MatmulSignals,
+    MatmulSignals, SyncCellSemantics,
+};
+pub use compiled::{
+    run_clocked_compiled, simulate_mapped_compiled, CompiledSchedule, SimBackend,
 };
 pub use mapped::{
     asap_depths, critical_path, fanin_histogram, mean_producer_depth, simulate_mapped,

@@ -11,7 +11,7 @@
 //! [`crate::clocked::MatmulExpansionIICells`] is the hand-specialised
 //! equivalent — a test checks they agree bit for bit.
 
-use crate::clocked::{CellSemantics, ClockedRun, MatmulSignals};
+use crate::clocked::{CellSemantics, ClockedRun, MatmulSignals, SyncCellSemantics};
 use bitlevel_arith::{from_bits, full_add, to_bits, wide_add, Bit};
 use bitlevel_ir::{AlgorithmTriplet, WordLevelAlgorithm};
 use bitlevel_linalg::IVec;
@@ -204,6 +204,14 @@ impl CellSemantics for Model35Cells {
     type Bundle = MatmulSignals;
 
     fn compute(&mut self, q: &IVec, inputs: &[Option<MatmulSignals>]) -> MatmulSignals {
+        SyncCellSemantics::compute(self, q, inputs)
+    }
+}
+
+impl SyncCellSemantics for Model35Cells {
+    type Bundle = MatmulSignals;
+
+    fn compute(&self, q: &IVec, inputs: &[Option<MatmulSignals>]) -> MatmulSignals {
         let n = self.word.dim();
         let (j, i) = q.split_at(n);
         let (i1, i2) = (i[0] as usize, i[1] as usize);

@@ -38,8 +38,8 @@ pub use bitlevel_systolic as systolic;
 
 pub use bitlevel_core::{
     check_feasibility, compare_analyses, compose, expand, find_optimal_schedule,
-    render_architecture, render_matmul_comparison, render_structure, simulate_mapped, AddShift,
-    AlgorithmTriplet, ArchitectureReport, BitMatmulArray, BoxSet, CarrySave, DesignFlow,
-    Expansion, Interconnect, MappingMatrix, MultiplierAlgorithm, PaperDesign, RippleAdder,
-    WordLevelAlgorithm, WordLevelArray,
+    render_architecture, render_matmul_comparison, render_structure, run_clocked_compiled,
+    simulate_mapped, simulate_mapped_compiled, AddShift, AlgorithmTriplet, ArchitectureReport,
+    BitMatmulArray, BoxSet, CarrySave, DesignFlow, Expansion, Interconnect, MappingMatrix,
+    MultiplierAlgorithm, PaperDesign, RippleAdder, SimBackend, WordLevelAlgorithm, WordLevelArray,
 };

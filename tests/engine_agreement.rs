@@ -1,11 +1,14 @@
-//! Cross-engine agreement: the three independent executions of the
+//! Cross-engine agreement: the four independent executions of the
 //! Expansion II matmul architecture — the topological array sweep, the
-//! clocked RTL engine on the Fig. 4 mapping, and the clocked RTL engine on
-//! the Fig. 5 mapping — must produce identical bits for identical operands,
-//! across random sizes and operand patterns.
+//! clocked RTL engine on the Fig. 4 mapping, the clocked RTL engine on the
+//! Fig. 5 mapping, and the compiled static-schedule engine — must produce
+//! identical bits for identical operands, across random sizes and operand
+//! patterns. The compiled engine must match the interpreted one not just on
+//! products but on the *whole run*: outputs, violations, cycle count and
+//! in-flight peaks.
 
 use bitlevel::depanal::{compose, Expansion};
-use bitlevel::systolic::{run_clocked, Model35Cells};
+use bitlevel::systolic::{run_clocked, run_clocked_compiled, Model35Cells};
 use bitlevel::{BitMatmulArray, PaperDesign, WordLevelAlgorithm};
 use proptest::prelude::*;
 
@@ -24,6 +27,19 @@ fn random_matrix(u: usize, cap: u128, state: &mut u64) -> Vec<Vec<u128>> {
         .collect()
 }
 
+fn matmul_cells(u: usize, p: usize, x: &[Vec<u128>], y: &[Vec<u128>]) -> Model35Cells {
+    let word = WordLevelAlgorithm::matmul(u as i64);
+    let alg = compose(&word, p, Expansion::II);
+    let (xo, yo) = (x.to_vec(), y.to_vec());
+    Model35Cells::new(
+        &word,
+        p,
+        &alg,
+        move |j| xo[(j[0] - 1) as usize][(j[2] - 1) as usize],
+        move |j| yo[(j[2] - 1) as usize][(j[1] - 1) as usize],
+    )
+}
+
 fn clocked_product(
     u: usize,
     p: usize,
@@ -31,16 +47,8 @@ fn clocked_product(
     x: &[Vec<u128>],
     y: &[Vec<u128>],
 ) -> Vec<Vec<u128>> {
-    let word = WordLevelAlgorithm::matmul(u as i64);
-    let alg = compose(&word, p, Expansion::II);
-    let (xo, yo) = (x.to_vec(), y.to_vec());
-    let mut cells = Model35Cells::new(
-        &word,
-        p,
-        &alg,
-        move |j| xo[(j[0] - 1) as usize][(j[2] - 1) as usize],
-        move |j| yo[(j[2] - 1) as usize][(j[1] - 1) as usize],
-    );
+    let alg = compose(&WordLevelAlgorithm::matmul(u as i64), p, Expansion::II);
+    let mut cells = matmul_cells(u, p, x, y);
     let run = run_clocked(
         &alg,
         &design.mapping(p as i64),
@@ -55,13 +63,36 @@ fn clocked_product(
     z
 }
 
+fn compiled_product(
+    u: usize,
+    p: usize,
+    design: PaperDesign,
+    x: &[Vec<u128>],
+    y: &[Vec<u128>],
+) -> Vec<Vec<u128>> {
+    let alg = compose(&WordLevelAlgorithm::matmul(u as i64), p, Expansion::II);
+    let cells = matmul_cells(u, p, x, y);
+    let run = run_clocked_compiled(
+        &alg,
+        &design.mapping(p as i64),
+        &design.interconnect(p as i64),
+        &cells,
+    );
+    assert!(run.is_legal(), "{design:?} (compiled): {:?}", run.violations);
+    let mut z = vec![vec![0u128; u]; u];
+    for (tail, value) in cells.extract_results(&run) {
+        z[(tail[0] - 1) as usize][(tail[1] - 1) as usize] = value;
+    }
+    z
+}
+
 proptest! {
     #![proptest_config(ProptestConfig::with_cases(12))]
 
-    /// All three engines agree bit-for-bit, and match native arithmetic
+    /// All four engines agree bit-for-bit, and match native arithmetic
     /// within the safe operand bound.
     #[test]
-    fn prop_three_engines_agree(u in 1usize..4, p in 2usize..5, seed in any::<u64>()) {
+    fn prop_four_engines_agree(u in 1usize..4, p in 2usize..5, seed in any::<u64>()) {
         let arr = BitMatmulArray::new(u, p);
         let cap = arr.max_safe_entry();
         prop_assume!(cap > 0);
@@ -72,8 +103,12 @@ proptest! {
         let topo = arr.multiply(&x, &y);
         let fig4 = clocked_product(u, p, PaperDesign::TimeOptimal, &x, &y);
         let fig5 = clocked_product(u, p, PaperDesign::NearestNeighbour, &x, &y);
+        let fig4c = compiled_product(u, p, PaperDesign::TimeOptimal, &x, &y);
+        let fig5c = compiled_product(u, p, PaperDesign::NearestNeighbour, &x, &y);
         prop_assert_eq!(&topo, &fig4);
         prop_assert_eq!(&topo, &fig5);
+        prop_assert_eq!(&topo, &fig4c);
+        prop_assert_eq!(&topo, &fig5c);
         for i in 0..u {
             for j in 0..u {
                 let want: u128 = (0..u).map(|k| x[i][k] * y[k][j]).sum();
@@ -93,8 +128,34 @@ proptest! {
         let y = random_matrix(u, cap, &mut state);
         let topo = arr.multiply(&x, &y);
         let fig4 = clocked_product(u, p, PaperDesign::TimeOptimal, &x, &y);
+        let fig4c = compiled_product(u, p, PaperDesign::TimeOptimal, &x, &y);
         prop_assert_eq!(&topo, &fig4);
+        prop_assert_eq!(&topo, &fig4c);
         prop_assert_eq!(topo, arr.reference(&x, &y));
+    }
+
+    /// The compiled engine reproduces the interpreted engine's *entire* run —
+    /// outputs, violation stream, cycle count and in-flight peaks — on both
+    /// paper designs.
+    #[test]
+    fn prop_compiled_run_is_bit_identical(u in 1usize..4, p in 2usize..4, seed in any::<u64>()) {
+        let arr = BitMatmulArray::new(u, p);
+        let cap = arr.max_safe_entry().max(1);
+        let mut state = seed | 1;
+        let x = random_matrix(u, cap, &mut state);
+        let y = random_matrix(u, cap, &mut state);
+        let alg = compose(&WordLevelAlgorithm::matmul(u as i64), p, Expansion::II);
+        for design in [PaperDesign::TimeOptimal, PaperDesign::NearestNeighbour] {
+            let t = design.mapping(p as i64);
+            let ic = design.interconnect(p as i64);
+            let mut cells = matmul_cells(u, p, &x, &y);
+            let interpreted = run_clocked(&alg, &t, &ic, &mut cells);
+            let compiled = run_clocked_compiled(&alg, &t, &ic, &cells);
+            prop_assert_eq!(compiled.cycles, interpreted.cycles);
+            prop_assert_eq!(&compiled.violations, &interpreted.violations);
+            prop_assert_eq!(&compiled.peak_in_flight, &interpreted.peak_in_flight);
+            prop_assert_eq!(&compiled.outputs, &interpreted.outputs);
+        }
     }
 }
 
@@ -113,5 +174,7 @@ fn mid_size_instance_agrees() {
         .collect();
     let topo = arr.multiply(&x, &y);
     let fig4 = clocked_product(u, p, PaperDesign::TimeOptimal, &x, &y);
+    let fig4c = compiled_product(u, p, PaperDesign::TimeOptimal, &x, &y);
     assert_eq!(topo, fig4);
+    assert_eq!(topo, fig4c);
 }
