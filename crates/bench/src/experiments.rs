@@ -1,6 +1,10 @@
 //! The experiment suite: every figure/equation-level result of the paper,
-//! regenerated and compared against the paper's claim (index E1–E14 in
+//! regenerated and compared against the paper's claim (index E1–E15 in
 //! DESIGN.md).
+//!
+//! The traceable experiments (E6, E7, E14, E15) also come in `_impl` forms
+//! taking a [`TraceSink`]; [`run_experiment_traced`] dispatches to them so
+//! `--trace <path>` can capture the simulated runs as they happen.
 
 use crate::record::{Record, RecordTable};
 use bitlevel_arith::{AddShift, CarrySave};
@@ -13,7 +17,7 @@ use bitlevel_linalg::{IMat, IVec};
 use bitlevel_mapping::{find_optimal_schedule, word_level_total_time, Interconnect, PaperDesign};
 use bitlevel_systolic::{
     critical_path, fanin_histogram, mean_producer_depth, simulate_mapped,
-    simulate_mapped_compiled, WordLevelArray,
+    simulate_mapped_compiled, CompiledSchedule, NullSink, TraceSink, WordLevelArray,
 };
 
 /// Result of one experiment: the record table plus pass/fail.
@@ -306,11 +310,23 @@ pub fn e5() -> ExperimentOutcome {
 
 /// E6 — Fig. 4 / eq. (4.5): the time-optimal architecture, measured.
 pub fn e6() -> ExperimentOutcome {
+    e6_impl(&mut NullSink)
+}
+
+/// [`e6`] with observability: the paper-size (u = p = 3) run is traced into
+/// `sink` (larger sizes run untraced so the capture stays figure-sized).
+pub fn e6_impl<K: TraceSink>(sink: &mut K) -> ExperimentOutcome {
     let mut t = RecordTable::new("E6: Fig. 4 architecture — eq. (4.5), measured");
     for (u, p) in [(2i64, 2i64), (3, 3), (4, 3), (3, 4), (5, 2)] {
         let alg = compose(&WordLevelAlgorithm::matmul(u), p as usize, Expansion::II);
         let design = PaperDesign::TimeOptimal;
-        let run = simulate_mapped_compiled(&alg, &design.mapping(p), &design.interconnect(p));
+        let run = if u == 3 && p == 3 {
+            CompiledSchedule::try_compile(&alg, &design.mapping(p), &design.interconnect(p))
+                .expect("the 7-column matmul structure compiles")
+                .mapped_report_traced(sink)
+        } else {
+            simulate_mapped_compiled(&alg, &design.mapping(p), &design.interconnect(p))
+        };
         t.push(Record::eq(
             &format!("cycles u={u} p={p}"),
             3 * (u - 1) + 3 * (p - 1) + 1,
@@ -333,11 +349,23 @@ pub fn e6() -> ExperimentOutcome {
 
 /// E7 — Fig. 5 / eqs. (4.6)–(4.8): the nearest-neighbour architecture.
 pub fn e7() -> ExperimentOutcome {
+    e7_impl(&mut NullSink)
+}
+
+/// [`e7`] with observability: the paper-size (u = p = 3) run is traced into
+/// `sink`.
+pub fn e7_impl<K: TraceSink>(sink: &mut K) -> ExperimentOutcome {
     let mut t = RecordTable::new("E7: Fig. 5 architecture — eqs. (4.6)-(4.8), measured");
     for (u, p) in [(2i64, 2i64), (3, 3), (4, 3)] {
         let alg = compose(&WordLevelAlgorithm::matmul(u), p as usize, Expansion::II);
         let design = PaperDesign::NearestNeighbour;
-        let run = simulate_mapped_compiled(&alg, &design.mapping(p), &design.interconnect(p));
+        let run = if u == 3 && p == 3 {
+            CompiledSchedule::try_compile(&alg, &design.mapping(p), &design.interconnect(p))
+                .expect("the 7-column matmul structure compiles")
+                .mapped_report_traced(sink)
+        } else {
+            simulate_mapped_compiled(&alg, &design.mapping(p), &design.interconnect(p))
+        };
         // NOTE: the paper prints t' = (2p-1)(u-1)+3(p-1)+1 in (4.8), but its
         // own Π'(ū−l̄)+1 expansion gives (2p+1)(u-1)+3(p-1)+1; we measure the
         // latter (see EXPERIMENTS.md).
@@ -786,9 +814,14 @@ pub fn e13() -> ExperimentOutcome {
 /// point slots, CSR fire list, arena token store — bit-identical to the
 /// interpreted engines and faster per executed run.
 pub fn e14() -> ExperimentOutcome {
-    use bitlevel_systolic::{
-        run_clocked, BitMatmulArray, CompiledSchedule, MatmulExpansionIICells, SimBackend,
-    };
+    e14_impl(&mut NullSink)
+}
+
+/// [`e14`] with observability: the (u = p = 3) Fig. 4 compiled clocked run
+/// is traced into `sink` while its bit-identity against the interpreted
+/// engine is being checked.
+pub fn e14_impl<K: TraceSink>(sink: &mut K) -> ExperimentOutcome {
+    use bitlevel_systolic::{run_clocked, BitMatmulArray, MatmulExpansionIICells, SimBackend};
     let mut t = RecordTable::new("E14 (extension): compiled simulation backend");
 
     t.push(Record::check(
@@ -818,8 +851,13 @@ pub fn e14() -> ExperimentOutcome {
             let ic = design.interconnect(p);
             let mut cells = MatmulExpansionIICells::new(u as usize, p as usize, &x, &y);
             let interp = run_clocked(&alg, &tm, &ic, &mut cells);
-            let sched = CompiledSchedule::compile(&alg, &tm, &ic);
-            let comp = sched.execute(&cells);
+            let sched = CompiledSchedule::try_compile(&alg, &tm, &ic)
+                .expect("the 7-column matmul structure compiles");
+            let comp = if u == 3 && p == 3 && matches!(design, PaperDesign::TimeOptimal) {
+                sched.execute_traced(&cells, sink)
+            } else {
+                sched.execute(&cells)
+            };
             t.push(Record::check(
                 &format!("clocked run identical, u={u} p={p}, {}", design.name()),
                 "outputs + violations + peaks bit-equal",
@@ -859,7 +897,8 @@ pub fn e14() -> ExperimentOutcome {
         std::hint::black_box(run_clocked(&alg, &tm, &ic, &mut cells));
         interp_ns = interp_ns.min(t0.elapsed().as_nanos());
     }
-    let sched = CompiledSchedule::compile(&alg, &tm, &ic);
+    let sched = CompiledSchedule::try_compile(&alg, &tm, &ic)
+        .expect("the 7-column matmul structure compiles");
     let mut exec_ns = u128::MAX;
     for _ in 0..3 {
         let t0 = std::time::Instant::now();
@@ -881,11 +920,107 @@ pub fn e14() -> ExperimentOutcome {
     ExperimentOutcome { id: "e14".into(), table: t }
 }
 
-const ALL_IDS: [&str; 14] = [
+/// E15 — extension: measured utilisation and wavefront profiles of the two
+/// paper designs, captured through the trace layer from real clocked runs —
+/// the observability counterpart of the Figs. 4/5 comparison.
+pub fn e15() -> ExperimentOutcome {
+    e15_impl(&mut NullSink)
+}
+
+/// [`e15`] with observability: both paper-design runs are recorded into
+/// local sinks for profiling, and (when `outer` is enabled) their full event
+/// streams are replayed into it.
+pub fn e15_impl<K: TraceSink>(outer: &mut K) -> ExperimentOutcome {
+    use bitlevel_systolic::{BitMatmulArray, MatmulExpansionIICells, RecordingSink};
+    let mut t =
+        RecordTable::new("E15 (extension): traced wavefront/utilisation profiles — Fig. 4 vs 5");
+    let (u, p) = (3i64, 3i64);
+    let alg = compose(&WordLevelAlgorithm::matmul(u), p as usize, Expansion::II);
+    let cap = BitMatmulArray::new(u as usize, p as usize).max_safe_entry();
+    let x: Vec<Vec<u128>> = (0..u)
+        .map(|i| (0..u).map(|j| ((3 * i + 5 * j + 1) as u128) % (cap + 1)).collect())
+        .collect();
+    let y: Vec<Vec<u128>> = (0..u)
+        .map(|i| (0..u).map(|j| ((7 * i + j + 2) as u128) % (cap + 1)).collect())
+        .collect();
+    let cells = MatmulExpansionIICells::new(u as usize, p as usize, &x, &y);
+
+    let mut profiles = Vec::new();
+    for design in [PaperDesign::TimeOptimal, PaperDesign::NearestNeighbour] {
+        let sched =
+            CompiledSchedule::try_compile(&alg, &design.mapping(p), &design.interconnect(p))
+                .expect("the 7-column matmul structure compiles");
+        let mut rec = RecordingSink::new();
+        let run = sched.execute_traced(&cells, &mut rec);
+        t.push(Record::eq(
+            &format!("traced firings, {}", design.name()),
+            (u as u64).pow(3) * (p as u64).pow(2),
+            rec.rollup().fire_total(),
+        ));
+        t.push(Record::eq(
+            &format!("traced busy span, {}", design.name()),
+            design.total_time(u, p),
+            rec.rollup().cycle_span(),
+        ));
+        t.push(Record::check(
+            &format!("traced run legal, {}", design.name()),
+            "no violation events",
+            rec.rollup().violations == 0 && run.is_legal(),
+        ));
+        t.push(Record::check(
+            &format!("in-flight peaks agree, {}", design.name()),
+            "rollup high-water marks == engine's peak_in_flight",
+            rec.rollup().in_flight_peak == run.peak_in_flight,
+        ));
+        if K::ENABLED {
+            for ev in rec.events() {
+                outer.record(ev.clone());
+            }
+        }
+        profiles.push(rec);
+    }
+
+    let (fig4, fig5) = (&profiles[0], &profiles[1]);
+    t.push(Record::info(
+        "measured utilisation",
+        "Fig. 4 denser than Fig. 5 (same work, shorter span)",
+        format!(
+            "Fig. 4 {:.3} vs Fig. 5 {:.3}",
+            fig4.rollup().utilization(),
+            fig5.rollup().utilization()
+        ),
+        fig4.rollup().utilization() > fig5.rollup().utilization(),
+    ));
+    t.push(Record::info(
+        "peak wavefront",
+        "Fig. 4 at least as wide (same work in fewer cycles)",
+        format!(
+            "Fig. 4 {} vs Fig. 5 {}",
+            fig4.rollup().peak_wavefront(),
+            fig5.rollup().peak_wavefront()
+        ),
+        fig4.rollup().peak_wavefront() >= fig5.rollup().peak_wavefront(),
+    ));
+    let traversals = |r: &RecordingSink| r.rollup().link_occupancy.iter().sum::<u64>();
+    t.push(Record::info(
+        "total link traversals",
+        "Fig. 5 pays more hops for unit-length wires",
+        format!("Fig. 4 {} vs Fig. 5 {}", traversals(fig4), traversals(fig5)),
+        traversals(fig5) >= traversals(fig4),
+    ));
+
+    ExperimentOutcome { id: "e15".into(), table: t }
+}
+
+const ALL_IDS: [&str; 15] = [
     "e1", "e2", "e3", "e4", "e5", "e6", "e7", "e8", "e9", "e10", "e11", "e12", "e13", "e14",
+    "e15",
 ];
 
-/// Runs one experiment by id ("e1" … "e14").
+/// The experiments that accept a trace sink (see [`run_experiment_traced`]).
+pub const TRACEABLE_IDS: [&str; 4] = ["e6", "e7", "e14", "e15"];
+
+/// Runs one experiment by id ("e1" … "e15").
 pub fn run_experiment(id: &str) -> Option<ExperimentOutcome> {
     match id.to_ascii_lowercase().as_str() {
         "e1" => Some(e1()),
@@ -902,7 +1037,22 @@ pub fn run_experiment(id: &str) -> Option<ExperimentOutcome> {
         "e12" => Some(e12()),
         "e13" => Some(e13()),
         "e14" => Some(e14()),
+        "e15" => Some(e15()),
         _ => None,
+    }
+}
+
+/// Runs one experiment with a trace sink attached. For the ids in
+/// [`TRACEABLE_IDS`] the simulated runs emit their event streams into
+/// `sink`; every other id runs exactly as [`run_experiment`] (nothing is
+/// recorded).
+pub fn run_experiment_traced<K: TraceSink>(id: &str, sink: &mut K) -> Option<ExperimentOutcome> {
+    match id.to_ascii_lowercase().as_str() {
+        "e6" => Some(e6_impl(sink)),
+        "e7" => Some(e7_impl(sink)),
+        "e14" => Some(e14_impl(sink)),
+        "e15" => Some(e15_impl(sink)),
+        other => run_experiment(other),
     }
 }
 
@@ -933,5 +1083,56 @@ mod tests {
     #[test]
     fn unknown_id_is_none() {
         assert!(run_experiment("e42").is_none());
+        assert!(run_experiment_traced("e42", &mut NullSink).is_none());
+    }
+
+    #[test]
+    fn traceable_ids_are_known() {
+        for id in TRACEABLE_IDS {
+            assert!(ALL_IDS.contains(&id), "{id} missing from ALL_IDS");
+        }
+    }
+
+    #[test]
+    fn traced_e6_emits_a_valid_chrome_trace_of_the_fig4_run() {
+        use bitlevel_systolic::RecordingSink;
+        let mut sink = RecordingSink::new();
+        let outcome = run_experiment_traced("e6", &mut sink).expect("known id");
+        assert!(outcome.passed(), "{}", outcome.table.render_text());
+        // The traced size is u = p = 3: |J| = u³p² = 243 firings over the
+        // 13 cycles of eq. (4.5).
+        assert_eq!(sink.rollup().fire_total(), 243);
+        assert_eq!(sink.rollup().cycle_span(), 13);
+        let json: serde_json::Value =
+            serde_json::from_str(&sink.to_chrome_trace()).expect("valid JSON");
+        let events = json["traceEvents"].as_array().expect("traceEvents array");
+        let fires = events.iter().filter(|e| e["ph"] == "X").count();
+        assert_eq!(fires, 243, "one complete event per fired point");
+    }
+
+    #[test]
+    fn traced_and_untraced_experiments_agree() {
+        use bitlevel_systolic::RecordingSink;
+        for id in ["e6", "e7"] {
+            let mut sink = RecordingSink::new();
+            let traced = run_experiment_traced(id, &mut sink).expect("known id");
+            let plain = run_experiment(id).expect("known id");
+            assert_eq!(traced.passed(), plain.passed(), "{id}");
+            assert!(!sink.events().is_empty(), "{id} must record events");
+        }
+    }
+
+    #[test]
+    fn e15_replays_both_design_profiles_into_the_outer_sink() {
+        use bitlevel_systolic::{RecordingSink, TraceEvent};
+        let mut sink = RecordingSink::new();
+        let outcome = run_experiment_traced("e15", &mut sink).expect("known id");
+        assert!(outcome.passed(), "{}", outcome.table.render_text());
+        // Both designs' runs land in the outer sink: 2 × |J| firings.
+        assert_eq!(sink.rollup().fire_total(), 2 * 243);
+        assert!(sink
+            .events()
+            .iter()
+            .any(|e| matches!(e, TraceEvent::TokenConsumed { .. })));
     }
 }

@@ -4,13 +4,19 @@
 //!
 //! Experiment harness and benchmark support for the reproduction. The
 //! `experiments` binary regenerates every figure/equation-level result of the
-//! paper (see DESIGN.md's experiment index E1–E14); criterion benches live in
-//! `benches/`.
+//! paper (see DESIGN.md's experiment index E1–E15); criterion benches live in
+//! `benches/`. The traceable experiments (E6, E7, E14, E15) can capture
+//! their simulated runs through [`run_experiment_traced`] and the binary's
+//! `--trace <path>` flag.
 
 pub mod experiments;
 pub mod record;
 pub mod sweeps;
 
-pub use experiments::{run_all, run_experiment, ExperimentOutcome};
+pub use experiments::{
+    run_all, run_experiment, run_experiment_traced, ExperimentOutcome, TRACEABLE_IDS,
+};
 pub use record::{Record, RecordTable};
-pub use sweeps::{analysis_time_sweep, engine_sweep, speedup_sweep, utilization_sweep};
+pub use sweeps::{
+    analysis_time_sweep, engine_sweep, speedup_sweep, utilization_sweep, wavefront_sweep,
+};

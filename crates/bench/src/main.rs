@@ -4,14 +4,18 @@
 //! cargo run -p bitlevel-bench --bin experiments [--release] [-- OPTIONS]
 //!
 //! OPTIONS:
-//!   --exp <id>       run one experiment (e1 … e14); default: all
+//!   --exp <id>       run one experiment (e1 … e15); default: all
+//!   --trace <path>   capture the simulated runs of a traceable experiment
+//!                    (e6, e7, e14, e15) to <path>: Chrome-trace JSON, or
+//!                    CSV when the path ends in .csv; requires --exp
 //!   --markdown       emit markdown tables (for EXPERIMENTS.md)
 //!   --json           emit the record tables as JSON
 //!   --sweep <name>   emit a CSV data series instead:
-//!                    speedup | analysis | utilization | engine
+//!                    speedup | analysis | utilization | engine | wavefront
 //! ```
 
-use bitlevel_bench::{run_all, run_experiment, sweeps};
+use bitlevel_bench::{run_all, run_experiment, run_experiment_traced, sweeps, TRACEABLE_IDS};
+use bitlevel_systolic::RecordingSink;
 
 fn main() {
     let args: Vec<String> = std::env::args().skip(1).collect();
@@ -19,13 +23,14 @@ fn main() {
     let mut markdown = false;
     let mut json = false;
     let mut sweep: Option<String> = None;
+    let mut trace: Option<String> = None;
     let mut i = 0;
     while i < args.len() {
         match args[i].as_str() {
             "--exp" => {
                 i += 1;
                 which = Some(args.get(i).cloned().unwrap_or_else(|| {
-                    eprintln!("--exp requires an id (e1..e14)");
+                    eprintln!("--exp requires an id (e1..e15)");
                     std::process::exit(2);
                 }));
             }
@@ -34,7 +39,16 @@ fn main() {
             "--sweep" => {
                 i += 1;
                 sweep = Some(args.get(i).cloned().unwrap_or_else(|| {
-                    eprintln!("--sweep requires a name (speedup|analysis|utilization|engine)");
+                    eprintln!(
+                        "--sweep requires a name (speedup|analysis|utilization|engine|wavefront)"
+                    );
+                    std::process::exit(2);
+                }));
+            }
+            "--trace" => {
+                i += 1;
+                trace = Some(args.get(i).cloned().unwrap_or_else(|| {
+                    eprintln!("--trace requires an output path");
                     std::process::exit(2);
                 }));
             }
@@ -56,8 +70,9 @@ fn main() {
                 sweeps::utilization_csv(&sweeps::utilization_sweep(&sweeps::default_speedup_sizes()))
             }
             "engine" => sweeps::engine_csv(&sweeps::engine_sweep(&sweeps::default_engine_sizes())),
+            "wavefront" => sweeps::wavefront_csv(&sweeps::wavefront_sweep(3, 3)),
             other => {
-                eprintln!("unknown sweep {other} (speedup|analysis|utilization|engine)");
+                eprintln!("unknown sweep {other} (speedup|analysis|utilization|engine|wavefront)");
                 std::process::exit(2);
             }
         };
@@ -65,15 +80,49 @@ fn main() {
         return;
     }
 
-    let outcomes = match which {
-        Some(id) => match run_experiment(&id) {
+    let outcomes = match (which, &trace) {
+        (Some(id), Some(path)) => {
+            let id_lower = id.to_ascii_lowercase();
+            if !TRACEABLE_IDS.contains(&id_lower.as_str()) {
+                eprintln!(
+                    "--trace only applies to the traceable experiments ({})",
+                    TRACEABLE_IDS.join(", ")
+                );
+                std::process::exit(2);
+            }
+            let mut sink = RecordingSink::new();
+            match run_experiment_traced(&id_lower, &mut sink) {
+                Some(o) => {
+                    let rendered = if path.ends_with(".csv") {
+                        sink.to_csv()
+                    } else {
+                        sink.to_chrome_trace()
+                    };
+                    if let Err(e) = std::fs::write(path, rendered) {
+                        eprintln!("cannot write trace to {path}: {e}");
+                        std::process::exit(2);
+                    }
+                    eprintln!("trace: {} events -> {path}", sink.events().len());
+                    vec![o]
+                }
+                None => {
+                    eprintln!("unknown experiment id {id} (use e1..e15)");
+                    std::process::exit(2);
+                }
+            }
+        }
+        (None, Some(_)) => {
+            eprintln!("--trace requires --exp with a traceable id ({})", TRACEABLE_IDS.join(", "));
+            std::process::exit(2);
+        }
+        (Some(id), None) => match run_experiment(&id) {
             Some(o) => vec![o],
             None => {
-                eprintln!("unknown experiment id {id} (use e1..e14)");
+                eprintln!("unknown experiment id {id} (use e1..e15)");
                 std::process::exit(2);
             }
         },
-        None => run_all(),
+        (None, None) => run_all(),
     };
 
     let mut all_ok = true;

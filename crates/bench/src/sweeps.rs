@@ -10,7 +10,10 @@
 //! * [`utilization_sweep`] — PE counts, utilisation and peak parallelism of
 //!   the two designs across sizes (the cost side of the time optimality);
 //! * [`engine_sweep`] — wall-clock of the interpreted vs the compiled clocked
-//!   engine across sizes, with a full bit-identity check per row.
+//!   engine across sizes, with a full bit-identity check per row;
+//! * [`wavefront_sweep`] — measured firing width per cycle of the two paper
+//!   designs, captured through the trace layer (the Fig. 4 vs Fig. 5
+//!   pipeline-shape comparison).
 //!
 //! Sweep rows are computed in parallel with rayon (except the timing sweeps,
 //! which run sequentially so rows don't contend).
@@ -21,7 +24,7 @@ use bitlevel_ir::WordLevelAlgorithm;
 use bitlevel_mapping::{word_level_total_time, PaperDesign};
 use bitlevel_systolic::{
     run_clocked, simulate_mapped_compiled, BitMatmulArray, CompiledSchedule,
-    MatmulExpansionIICells,
+    MatmulExpansionIICells, RecordingSink,
 };
 use rayon::prelude::*;
 use serde::Serialize;
@@ -268,7 +271,8 @@ pub fn engine_sweep(sizes: &[(i64, i64)]) -> Vec<EngineRow> {
                     let interpreted = run_clocked(&alg, &tm, &ic, &mut cells);
                     let interpreted_ns = t0.elapsed().as_nanos();
                     let t0 = Instant::now();
-                    let sched = CompiledSchedule::compile(&alg, &tm, &ic);
+                    let sched = CompiledSchedule::try_compile(&alg, &tm, &ic)
+                        .expect("the 7-column matmul structure compiles");
                     let compile_ns = t0.elapsed().as_nanos();
                     let t0 = Instant::now();
                     let compiled = sched.execute(&cells);
@@ -312,6 +316,62 @@ pub fn engine_csv(rows: &[EngineRow]) -> String {
             r.speedup,
             r.identical
         ));
+    }
+    out
+}
+
+/// One row of the wavefront sweep: how many index points each paper design
+/// fires in one (rebased) cycle, measured through the trace layer.
+#[derive(Debug, Clone, Serialize)]
+pub struct WavefrontRow {
+    /// Cycle, rebased so each design's first firing lands on 0.
+    pub cycle: i64,
+    /// Points fired by the Fig. 4 (time-optimal) design in this cycle.
+    pub fig4_width: u64,
+    /// Points fired by the Fig. 5 (nearest-neighbour) design in this cycle.
+    pub fig5_width: u64,
+}
+
+/// Captures the measured firing profile of the two paper designs at one
+/// `(u, p)` size: both runs are traced through a [`RecordingSink`] and their
+/// per-cycle wavefront widths are laid side by side over the union of the
+/// two busy spans (Fig. 5's span dominates — eq. (4.6) vs eq. (4.5)).
+pub fn wavefront_sweep(u: i64, p: i64) -> Vec<WavefrontRow> {
+    let alg = compose(&WordLevelAlgorithm::matmul(u), p as usize, Expansion::II);
+    let profile = |design: PaperDesign| {
+        let mut sink = RecordingSink::new();
+        CompiledSchedule::try_compile(&alg, &design.mapping(p), &design.interconnect(p))
+            .expect("the 7-column matmul structure compiles")
+            .mapped_report_traced(&mut sink);
+        let lo = sink.rollup().wavefront.keys().next().copied().unwrap_or(0);
+        sink.rollup()
+            .wavefront
+            .iter()
+            .map(|(cyc, n)| (cyc - lo, *n))
+            .collect::<std::collections::BTreeMap<i64, u64>>()
+    };
+    let fig4 = profile(PaperDesign::TimeOptimal);
+    let fig5 = profile(PaperDesign::NearestNeighbour);
+    let span = fig4
+        .keys()
+        .next_back()
+        .copied()
+        .unwrap_or(0)
+        .max(fig5.keys().next_back().copied().unwrap_or(0));
+    (0..=span)
+        .map(|cycle| WavefrontRow {
+            cycle,
+            fig4_width: fig4.get(&cycle).copied().unwrap_or(0),
+            fig5_width: fig5.get(&cycle).copied().unwrap_or(0),
+        })
+        .collect()
+}
+
+/// CSV rendering of the wavefront sweep.
+pub fn wavefront_csv(rows: &[WavefrontRow]) -> String {
+    let mut out = String::from("cycle,fig4_width,fig5_width\n");
+    for r in rows {
+        out.push_str(&format!("{},{},{}\n", r.cycle, r.fig4_width, r.fig5_width));
     }
     out
 }
@@ -377,6 +437,22 @@ mod tests {
         }
         let csv = utilization_csv(&rows);
         assert_eq!(csv.lines().count(), 3);
+    }
+
+    #[test]
+    fn wavefront_rows_cover_both_spans_and_conserve_points() {
+        let rows = wavefront_sweep(2, 2);
+        // The union span is Fig. 5's: (2p+1)(u-1) + 3(p-1) + 1 = 9 cycles.
+        assert_eq!(rows.len(), 9);
+        assert_eq!(rows[0].cycle, 0);
+        // Both designs fire every index point exactly once: |J| = u^3 p^2.
+        assert_eq!(rows.iter().map(|r| r.fig4_width).sum::<u64>(), 32);
+        assert_eq!(rows.iter().map(|r| r.fig5_width).sum::<u64>(), 32);
+        // Fig. 4 finishes inside its own 7-cycle span (eq. (4.5)).
+        assert!(rows.iter().skip(7).all(|r| r.fig4_width == 0));
+        let csv = wavefront_csv(&rows);
+        assert_eq!(csv.lines().count(), 10);
+        assert!(csv.starts_with("cycle,fig4_width,fig5_width"));
     }
 
     #[test]

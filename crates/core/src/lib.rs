@@ -23,7 +23,9 @@ pub mod pipeline;
 pub mod report;
 
 pub use pipeline::{ArchitectureReport, DesignFlow};
-pub use report::{render_architecture, render_matmul_comparison, render_structure};
+pub use report::{
+    render_architecture, render_matmul_comparison, render_structure, render_trace_summary,
+};
 
 // Re-export the layer crates so downstream users need a single dependency.
 pub use bitlevel_arith as arith;
@@ -41,6 +43,6 @@ pub use bitlevel_mapping::{
     check_feasibility, find_optimal_schedule, Interconnect, MappingMatrix, PaperDesign,
 };
 pub use bitlevel_systolic::{
-    run_clocked_compiled, simulate_mapped, simulate_mapped_compiled, BitMatmulArray, SimBackend,
-    WordLevelArray,
+    run_clocked_compiled, simulate_mapped, simulate_mapped_compiled, BitMatmulArray, NullSink,
+    RecordingSink, SimBackend, TraceConfig, TraceEvent, TraceRollup, TraceSink, WordLevelArray,
 };

@@ -18,7 +18,8 @@ use bitlevel_mapping::{
     OptimalSchedule, PaperDesign,
 };
 use bitlevel_systolic::{
-    simulate_mapped, simulate_mapped_compiled, BitMatmulArray, MappedRunReport, SimBackend,
+    simulate_mapped_traced, BitMatmulArray, CompiledSchedule, MappedRunReport, NullSink,
+    SimBackend, TraceEvent, TraceSink,
 };
 use serde::Serialize;
 
@@ -52,6 +53,10 @@ pub struct ArchitectureReport {
     pub closed_form_cycles: Option<i64>,
     /// Longest wire length of the machine.
     pub max_wire_length: i64,
+    /// Which simulation engine actually ran: `"compiled"`, `"interpreted"`,
+    /// or `"interpreted (fallback: <reason>)"` when the compiled backend
+    /// declined the structure (e.g. more than 64 dependence columns).
+    pub backend_used: String,
 }
 
 impl DesignFlow {
@@ -85,11 +90,75 @@ impl DesignFlow {
         ic: &Interconnect,
         closed_form_cycles: Option<i64>,
     ) -> ArchitectureReport {
+        self.evaluate_traced(name, t, ic, closed_form_cycles, &mut NullSink)
+    }
+
+    /// [`DesignFlow::evaluate`] with observability: every firing, token
+    /// movement, and violation of the simulated run is emitted into `sink`.
+    pub fn evaluate_traced<K: TraceSink>(
+        &self,
+        name: &str,
+        t: &MappingMatrix,
+        ic: &Interconnect,
+        closed_form_cycles: Option<i64>,
+        sink: &mut K,
+    ) -> ArchitectureReport {
         let alg = self.bit_level_structure();
-        let rep = check_feasibility(t, &alg, ic);
-        let run = match self.backend {
-            SimBackend::Interpreted => simulate_mapped(&alg, t, ic),
-            SimBackend::Compiled => simulate_mapped_compiled(&alg, t, ic),
+        self.evaluate_structure_traced(name, &alg, t, ic, closed_form_cycles, sink)
+    }
+
+    /// Step 3+4 for an explicit bit-level structure, bypassing the flow's own
+    /// composition — the entry point for structures that are not derivable
+    /// from `self.word` (e.g. stress shapes with more dependence columns than
+    /// the compiled backend supports).
+    pub fn evaluate_structure(
+        &self,
+        name: &str,
+        alg: &AlgorithmTriplet,
+        t: &MappingMatrix,
+        ic: &Interconnect,
+        closed_form_cycles: Option<i64>,
+    ) -> ArchitectureReport {
+        self.evaluate_structure_traced(name, alg, t, ic, closed_form_cycles, &mut NullSink)
+    }
+
+    /// [`DesignFlow::evaluate_structure`] with observability.
+    ///
+    /// Under [`SimBackend::Compiled`], structures the compiled backend cannot
+    /// represent (more than 64 dependence columns, or an index set whose
+    /// cardinality overflows the dense `u32` slot space) degrade gracefully:
+    /// a [`TraceEvent::BackendFallback`] is emitted, the interpreted engine
+    /// runs instead, and the report's `backend_used` records the reason.
+    pub fn evaluate_structure_traced<K: TraceSink>(
+        &self,
+        name: &str,
+        alg: &AlgorithmTriplet,
+        t: &MappingMatrix,
+        ic: &Interconnect,
+        closed_form_cycles: Option<i64>,
+        sink: &mut K,
+    ) -> ArchitectureReport {
+        let rep = check_feasibility(t, alg, ic);
+        let (run, backend_used) = match self.backend {
+            SimBackend::Interpreted => {
+                (simulate_mapped_traced(alg, t, ic, sink), "interpreted".to_string())
+            }
+            SimBackend::Compiled => match CompiledSchedule::try_compile(alg, t, ic) {
+                Ok(sched) => (sched.mapped_report_traced(sink), "compiled".to_string()),
+                Err(e) => {
+                    if K::ENABLED {
+                        sink.record(TraceEvent::BackendFallback {
+                            from: "compiled".to_string(),
+                            to: "interpreted".to_string(),
+                            reason: e.to_string(),
+                        });
+                    }
+                    (
+                        simulate_mapped_traced(alg, t, ic, sink),
+                        format!("interpreted (fallback: {e})"),
+                    )
+                }
+            },
         };
         ArchitectureReport {
             name: name.to_string(),
@@ -98,6 +167,7 @@ impl DesignFlow {
             run,
             closed_form_cycles,
             max_wire_length: ic.max_wire_length(),
+            backend_used,
         }
     }
 
@@ -143,11 +213,14 @@ impl DesignFlow {
     /// tokens, per-token route timing) with deterministic safe operands and
     /// checks every product entry. Returns the measured cycle count.
     ///
+    /// Under [`SimBackend::Compiled`] a structure the compiled backend cannot
+    /// represent falls back to the interpreted engine rather than panicking.
+    ///
     /// # Panics
     /// Panics if the run is illegal (timing/routing/conflict violations) or
     /// any product bit is wrong — with a message saying which.
     pub fn run_clocked_matmul(&self, design: PaperDesign) -> i64 {
-        use bitlevel_systolic::{run_clocked, run_clocked_compiled, Model35Cells};
+        use bitlevel_systolic::{run_clocked, Model35Cells};
         assert_eq!(self.word.dim(), 3, "clocked matmul verification targets matmul");
         assert_eq!(self.expansion, Expansion::II, "the clocked cells implement Expansion II");
         let u = self.word.bounds.upper()[0] as usize;
@@ -174,7 +247,10 @@ impl DesignFlow {
         let ic = design.interconnect(p as i64);
         let run = match self.backend {
             SimBackend::Interpreted => run_clocked(&alg, &t, &ic, &mut cells),
-            SimBackend::Compiled => run_clocked_compiled(&alg, &t, &ic, &cells),
+            SimBackend::Compiled => match CompiledSchedule::try_compile(&alg, &t, &ic) {
+                Ok(sched) => sched.execute(&cells),
+                Err(_) => run_clocked(&alg, &t, &ic, &mut cells),
+            },
         };
         assert!(run.is_legal(), "clocked violations: {:?}", run.violations);
         for (tail, value) in cells.extract_results(&run) {
@@ -291,6 +367,72 @@ mod tests {
                 interpreted.run_clocked_matmul(design)
             );
         }
+    }
+
+    #[test]
+    fn reports_record_which_backend_ran() {
+        let compiled = DesignFlow::matmul(2, 2);
+        let interpreted = DesignFlow::matmul(2, 2).with_backend(SimBackend::Interpreted);
+        let c = compiled.evaluate_paper_design(PaperDesign::TimeOptimal);
+        let i = interpreted.evaluate_paper_design(PaperDesign::TimeOptimal);
+        assert_eq!(c.backend_used, "compiled");
+        assert_eq!(i.backend_used, "interpreted");
+    }
+
+    #[test]
+    fn compiled_backend_falls_back_on_wide_structures() {
+        use bitlevel_ir::{BoxSet, Dependence, DependenceSet};
+        use bitlevel_linalg::IVec;
+        use bitlevel_systolic::RecordingSink;
+        // 65 dependence columns exceed the compiled backend's 64-column
+        // bitmask; evaluate_structure must complete via the interpreted
+        // engine and say so instead of panicking.
+        let deps: Vec<Dependence> = (0..65)
+            .map(|k| Dependence::uniform(IVec::from([1, 0]), &format!("c{k}")))
+            .collect();
+        let alg = AlgorithmTriplet::new(
+            BoxSet::cube(2, 1, 3),
+            DependenceSet::new(deps),
+            "65-column stress structure",
+        );
+        let t = MappingMatrix::new(IMat::from_rows(&[&[1, 0], &[0, 1]]), IVec::from([1, 1]));
+        let ic = Interconnect::new(IMat::from_rows(&[&[1, 0], &[0, 1]]));
+        let flow = DesignFlow::matmul(2, 2); // default backend: Compiled
+        let mut sink = RecordingSink::new();
+        let rep = flow.evaluate_structure_traced("wide", &alg, &t, &ic, None, &mut sink);
+        assert!(rep.backend_used.contains("fallback"), "{}", rep.backend_used);
+        assert!(rep.backend_used.contains("64"), "{}", rep.backend_used);
+        assert_eq!(rep.run.computations, 9);
+        assert!(
+            sink.events()
+                .iter()
+                .any(|e| matches!(e, bitlevel_systolic::TraceEvent::BackendFallback { .. })),
+            "fallback must be visible in the trace"
+        );
+        assert_eq!(sink.rollup().fire_total(), 9);
+        // The untraced entry point takes the same path.
+        let rep2 = flow.evaluate_structure("wide", &alg, &t, &ic, None);
+        assert_eq!(rep2.backend_used, rep.backend_used);
+        assert_eq!(rep2.run.cycles, rep.run.cycles);
+    }
+
+    #[test]
+    fn traced_evaluate_captures_the_full_fig4_profile() {
+        use bitlevel_systolic::RecordingSink;
+        let flow = DesignFlow::matmul(3, 3);
+        let mut sink = RecordingSink::new();
+        let design = PaperDesign::TimeOptimal;
+        let rep = flow.evaluate_traced(
+            design.name(),
+            &design.mapping(3),
+            &design.interconnect(3),
+            Some(13),
+            &mut sink,
+        );
+        assert_eq!(rep.backend_used, "compiled");
+        assert_eq!(sink.rollup().fire_total(), 243); // |J| = u³p²
+        assert_eq!(sink.rollup().cycle_span(), 13);
+        assert_eq!(sink.rollup().violations, 0);
     }
 
     #[test]

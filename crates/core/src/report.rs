@@ -7,6 +7,7 @@
 use crate::pipeline::{ArchitectureReport, DesignFlow};
 use bitlevel_ir::annotated_dependence_table;
 use bitlevel_mapping::PaperDesign;
+use bitlevel_systolic::TraceRollup;
 use std::fmt::Write as _;
 
 /// Renders the Theorem 3.1 derivation for a flow: index set, annotated
@@ -65,6 +66,34 @@ pub fn render_architecture(rep: &ArchitectureReport) -> String {
         "  conflict-free: {}, causality: {}",
         rep.run.conflict_free, rep.run.causality_ok
     );
+    let _ = writeln!(out, "  backend: {}", rep.backend_used);
+    out
+}
+
+/// Renders the measured profile of a traced run — the observability
+/// counterpart of [`render_architecture`], fed by what the engine actually
+/// did rather than what the schedule promises.
+pub fn render_trace_summary(rollup: &TraceRollup) -> String {
+    let mut out = String::new();
+    let _ = writeln!(out, "traced run:");
+    let _ = writeln!(out, "  firings: {}", rollup.fire_total());
+    let _ = writeln!(out, "  busy span: {} cycles", rollup.cycle_span());
+    let _ = writeln!(out, "  PEs observed: {}", rollup.pe_fires.len());
+    let _ = writeln!(out, "  peak wavefront: {}", rollup.peak_wavefront());
+    let _ = writeln!(out, "  utilization: {:.3}", rollup.utilization());
+    let _ = writeln!(out, "  violations: {}", rollup.violations);
+    let _ = writeln!(
+        out,
+        "  tokens launched: {}, consumed: {}",
+        rollup.launched.iter().sum::<u64>(),
+        rollup.consumed.iter().sum::<u64>()
+    );
+    for (i, peak) in rollup.in_flight_peak.iter().enumerate() {
+        let _ = writeln!(out, "  d{}: in-flight peak {peak}", i + 1);
+    }
+    for (l, occ) in rollup.link_occupancy.iter().enumerate() {
+        let _ = writeln!(out, "  P[{l}]: occupancy {occ}");
+    }
     out
 }
 
@@ -119,6 +148,33 @@ mod tests {
         let s = render_architecture(&rep);
         assert!(s.contains("match"), "{s}");
         assert!(!s.contains("MISMATCH"), "{s}");
+    }
+
+    #[test]
+    fn architecture_report_names_the_backend() {
+        let flow = DesignFlow::matmul(2, 2);
+        let rep = flow.evaluate_paper_design(PaperDesign::TimeOptimal);
+        let s = render_architecture(&rep);
+        assert!(s.contains("backend: compiled"), "{s}");
+    }
+
+    #[test]
+    fn trace_summary_reports_measured_profile() {
+        use bitlevel_systolic::RecordingSink;
+        let flow = DesignFlow::matmul(2, 2);
+        let design = PaperDesign::TimeOptimal;
+        let mut sink = RecordingSink::new();
+        flow.evaluate_traced(
+            design.name(),
+            &design.mapping(2),
+            &design.interconnect(2),
+            None,
+            &mut sink,
+        );
+        let s = render_trace_summary(sink.rollup());
+        assert!(s.contains("firings: 32"), "{s}"); // |J| = u³p² = 8·4
+        assert!(s.contains("busy span: 7 cycles"), "{s}"); // 3(u−1)+3(p−1)+1
+        assert!(s.contains("violations: 0"), "{s}");
     }
 
     #[test]

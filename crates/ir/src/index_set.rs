@@ -113,19 +113,35 @@ impl BoxSet {
     /// hashing — the basis of the compiled simulation backend.
     ///
     /// # Panics
-    /// Panics if `j̄ ∉ J` or if `|J|` does not fit in `usize`.
+    /// Panics if `j̄ ∉ J` or if `|J|` does not fit in `usize` — use
+    /// [`BoxSet::try_rank`] where the caller wants to degrade instead.
     pub fn rank(&self, j: &IVec) -> usize {
-        assert!(self.contains(j), "rank: point {j} outside {self}");
-        assert!(
-            self.cardinality() <= usize::MAX as u128,
-            "rank: |J| overflows usize"
-        );
+        match self.try_rank(j) {
+            Ok(r) => r,
+            Err(e) => panic!("rank: {e}"),
+        }
+    }
+
+    /// Checked variant of [`BoxSet::rank`]: callers such as the compiled
+    /// simulation backend and long sweeps use this to fall back to the
+    /// interpreted engines instead of aborting mid-run.
+    pub fn try_rank(&self, j: &IVec) -> Result<usize, RankError> {
+        if !self.contains(j) {
+            return Err(RankError::PointOutside {
+                point: j.to_string(),
+                set: self.to_string(),
+            });
+        }
+        let card = self.cardinality();
+        if card > usize::MAX as u128 {
+            return Err(RankError::Overflow { cardinality: card });
+        }
         let mut r = 0usize;
         for i in 0..self.dim() {
             let size = (self.upper[i] - self.lower[i] + 1) as usize;
             r = r * size + (j[i] - self.lower[i]) as usize;
         }
-        r
+        Ok(r)
     }
 
     /// Inverse of [`BoxSet::rank`]: the `r`-th point of the lexicographic
@@ -152,6 +168,38 @@ impl BoxSet {
         j
     }
 }
+
+/// Why a point could not be ranked into a dense slot.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum RankError {
+    /// The point is not a member of the index set.
+    PointOutside {
+        /// Rendered point.
+        point: String,
+        /// Rendered index set.
+        set: String,
+    },
+    /// `|J|` exceeds the addressable slot space.
+    Overflow {
+        /// The offending cardinality.
+        cardinality: u128,
+    },
+}
+
+impl fmt::Display for RankError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            RankError::PointOutside { point, set } => {
+                write!(f, "point {point} outside {set}")
+            }
+            RankError::Overflow { cardinality } => {
+                write!(f, "|J| = {cardinality} overflows usize")
+            }
+        }
+    }
+}
+
+impl std::error::Error for RankError {}
 
 impl fmt::Display for BoxSet {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
@@ -306,6 +354,24 @@ mod tests {
     fn unrank_beyond_cardinality_panics() {
         let b = BoxSet::cube(2, 1, 2);
         let _ = b.unrank(4);
+    }
+
+    #[test]
+    fn try_rank_reports_outside_points_instead_of_panicking() {
+        let b = BoxSet::cube(2, 1, 3);
+        assert_eq!(b.try_rank(&IVec::from([2, 3])), Ok(5));
+        let err = b.try_rank(&IVec::from([0, 1])).unwrap_err();
+        assert!(matches!(err, RankError::PointOutside { .. }));
+        assert!(err.to_string().contains("outside"));
+    }
+
+    #[test]
+    fn try_rank_reports_oversized_sets_instead_of_panicking() {
+        // 2^64 points: exceeds usize on every supported target.
+        let b = BoxSet::new(IVec::from([0, 0]), IVec::from([(1i64 << 32) - 1, (1i64 << 32) - 1]));
+        let err = b.try_rank(&IVec::from([1, 1])).unwrap_err();
+        assert_eq!(err, RankError::Overflow { cardinality: 1u128 << 64 });
+        assert!(err.to_string().contains("overflows usize"));
     }
 
     proptest! {

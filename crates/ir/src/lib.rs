@@ -39,7 +39,7 @@ pub use affine::AffineFn;
 pub use broadcast::{eliminate_broadcasts, is_broadcast_access, pipelining_direction};
 pub use dependence::{DepKind, Dependence, DependenceSet};
 pub use display::annotated_dependence_table;
-pub use index_set::BoxSet;
+pub use index_set::{BoxSet, RankError};
 pub use interpret::{interpret, ValueStore};
 pub use lattice::enumerate_lattice_in_box;
 pub use polyhedron::Polyhedron;

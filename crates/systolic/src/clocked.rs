@@ -14,12 +14,14 @@
 //! implements the full-adder/wide-adder semantics of the Expansion II matmul
 //! structure (3.12), matching [`crate::bit_array::BitMatmulArray`] exactly.
 
+use crate::trace::{NullSink, TraceEvent, TraceSink};
 use bitlevel_arith::{full_add, to_bits, wide_add, Bit};
 use bitlevel_ir::AlgorithmTriplet;
 use bitlevel_linalg::IVec;
-use bitlevel_mapping::{Interconnect, MappingMatrix};
+use bitlevel_mapping::{Interconnect, MappingMatrix, Routing};
 use serde::Serialize;
 use std::collections::{HashMap, HashSet};
+use std::fmt;
 
 /// Per-point computation semantics for the clocked engine.
 ///
@@ -87,6 +89,29 @@ pub enum ClockedViolation {
     },
 }
 
+impl fmt::Display for ClockedViolation {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            ClockedViolation::CausalityOrder { consumer, column } => write!(
+                f,
+                "causality: {consumer} consumed column d{} at or before its producer fired",
+                column + 1
+            ),
+            ClockedViolation::RouteTooSlow { consumer, column, hops, budget } if *hops < 0 => {
+                write!(f, "route: column d{} unroutable for {consumer} (slack {budget})", column + 1)
+            }
+            ClockedViolation::RouteTooSlow { consumer, column, hops, budget } => write!(
+                f,
+                "route: {consumer} needs {hops} hops on d{} but has only {budget} cycles",
+                column + 1
+            ),
+            ClockedViolation::ProcessorConflict { processor, cycle } => {
+                write!(f, "conflict: two points fired on processor {processor} in cycle {cycle}")
+            }
+        }
+    }
+}
+
 /// Result of a clocked run.
 #[derive(Debug, Clone)]
 pub struct ClockedRun<B> {
@@ -116,19 +141,47 @@ pub fn run_clocked<S: CellSemantics>(
     ic: &Interconnect,
     semantics: &mut S,
 ) -> ClockedRun<S::Bundle> {
+    run_clocked_traced(alg, t, ic, semantics, &mut NullSink)
+}
+
+/// [`run_clocked`] with a [`TraceSink`] observing every route, fire, token
+/// and violation. With [`NullSink`] the emission guards compile away and
+/// this *is* [`run_clocked`]; the compiled engine
+/// ([`crate::compiled::CompiledSchedule::execute_traced`]) reconstructs the
+/// identical event stream.
+pub fn run_clocked_traced<S: CellSemantics, K: TraceSink>(
+    alg: &AlgorithmTriplet,
+    t: &MappingMatrix,
+    ic: &Interconnect,
+    semantics: &mut S,
+    sink: &mut K,
+) -> ClockedRun<S::Bundle> {
     assert_eq!(t.n(), alg.dim(), "mapping/algorithm dimension mismatch");
     let set = &alg.index_set;
     let m = alg.deps.len();
 
     // Pre-route each dependence column once: hop count on this machine.
-    let hops: Vec<Option<i64>> = alg
+    let routes: Vec<Option<Routing>> = alg
         .deps
         .iter()
         .map(|d| {
             let budget = d.vector.dot(&t.schedule);
-            ic.route(&t.space.matvec(&d.vector), budget.max(0)).map(|r| r.hops)
+            ic.route(&t.space.matvec(&d.vector), budget.max(0))
         })
         .collect();
+    if K::ENABLED {
+        for (i, r) in routes.iter().enumerate() {
+            match r {
+                Some(r) => sink.record(TraceEvent::ColumnRoute {
+                    column: i,
+                    hops: r.hops,
+                    usage: r.usage.clone(),
+                }),
+                None => sink.record(TraceEvent::ColumnUnroutable { column: i }),
+            }
+        }
+    }
+    let hops: Vec<Option<i64>> = routes.iter().map(|r| r.as_ref().map(|r| r.hops)).collect();
 
     // Group points by scheduled cycle.
     let mut by_cycle: HashMap<i64, Vec<IVec>> = HashMap::new();
@@ -168,11 +221,22 @@ pub fn run_clocked<S: CellSemantics>(
                     id
                 }
             };
+            if K::ENABLED {
+                sink.record(TraceEvent::PointFired {
+                    cycle,
+                    point: q.clone(),
+                    processor: proc_coords[id as usize].clone(),
+                });
+            }
             if !fired.insert(id) {
-                violations.push(ClockedViolation::ProcessorConflict {
+                let v = ClockedViolation::ProcessorConflict {
                     processor: proc_coords[id as usize].to_string(),
                     cycle,
-                });
+                };
+                if K::ENABLED {
+                    sink.record(TraceEvent::Violation { cycle, description: v.to_string() });
+                }
+                violations.push(v);
             }
 
             // Gather inputs.
@@ -187,25 +251,58 @@ pub fn run_clocked<S: CellSemantics>(
                     Some(bundle) => {
                         let src_time = produced_at[&src];
                         if src_time >= cycle {
-                            violations.push(ClockedViolation::CausalityOrder {
+                            let v = ClockedViolation::CausalityOrder {
                                 consumer: q.to_string(),
                                 column: i,
-                            });
+                            };
+                            if K::ENABLED {
+                                sink.record(TraceEvent::Violation {
+                                    cycle,
+                                    description: v.to_string(),
+                                });
+                            }
+                            violations.push(v);
                         }
                         match hops[i] {
                             Some(h) if h <= cycle - src_time => {}
-                            Some(h) => violations.push(ClockedViolation::RouteTooSlow {
-                                consumer: q.to_string(),
+                            Some(h) => {
+                                let v = ClockedViolation::RouteTooSlow {
+                                    consumer: q.to_string(),
+                                    column: i,
+                                    hops: h,
+                                    budget: cycle - src_time,
+                                };
+                                if K::ENABLED {
+                                    sink.record(TraceEvent::Violation {
+                                        cycle,
+                                        description: v.to_string(),
+                                    });
+                                }
+                                violations.push(v);
+                            }
+                            None => {
+                                let v = ClockedViolation::RouteTooSlow {
+                                    consumer: q.to_string(),
+                                    column: i,
+                                    hops: -1,
+                                    budget: cycle - src_time,
+                                };
+                                if K::ENABLED {
+                                    sink.record(TraceEvent::Violation {
+                                        cycle,
+                                        description: v.to_string(),
+                                    });
+                                }
+                                violations.push(v);
+                            }
+                        }
+                        if K::ENABLED {
+                            sink.record(TraceEvent::TokenConsumed {
+                                cycle,
                                 column: i,
-                                hops: h,
-                                budget: cycle - src_time,
-                            }),
-                            None => violations.push(ClockedViolation::RouteTooSlow {
-                                consumer: q.to_string(),
-                                column: i,
-                                hops: -1,
-                                budget: cycle - src_time,
-                            }),
+                                at: q.clone(),
+                                slack: cycle - src_time,
+                            });
                         }
                         in_flight[i] = in_flight[i].saturating_sub(1);
                         inputs.push(Some(bundle.clone()));
@@ -223,6 +320,18 @@ pub fn run_clocked<S: CellSemantics>(
                 if d.active_at(&tgt, set) {
                     in_flight[i] += 1;
                     peak_in_flight[i] = peak_in_flight[i].max(in_flight[i]);
+                    if K::ENABLED {
+                        sink.record(TraceEvent::TokenLaunched {
+                            cycle,
+                            column: i,
+                            from: q.clone(),
+                        });
+                        sink.record(TraceEvent::BufferOccupancy {
+                            cycle,
+                            column: i,
+                            in_flight: in_flight[i],
+                        });
+                    }
                 }
             }
             outputs.insert(q.clone(), bundle);

@@ -30,12 +30,14 @@
 
 use crate::clocked::{ClockedRun, ClockedViolation, SyncCellSemantics};
 use crate::mapped::MappedRunReport;
+use crate::trace::{NullSink, TraceEvent, TraceSink};
 use bitlevel_ir::AlgorithmTriplet;
 use bitlevel_linalg::IVec;
-use bitlevel_mapping::{Interconnect, MappingMatrix};
+use bitlevel_mapping::{Interconnect, MappingMatrix, Routing};
 use rayon::prelude::*;
 use serde::{Deserialize, Serialize};
 use std::collections::HashMap;
+use std::fmt;
 
 /// Which simulation engine executes a mapped algorithm.
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Default, Serialize, Deserialize)]
@@ -46,6 +48,40 @@ pub enum SimBackend {
     #[default]
     Compiled,
 }
+
+/// Why an algorithm cannot be compiled into the dense-slot representation.
+///
+/// These inputs are perfectly valid for the interpreted engines —
+/// [`CompiledSchedule::try_compile`] lets callers (the `DesignFlow`
+/// pipeline, sweeps) fall back instead of aborting.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum CompileError {
+    /// The per-slot consume/launch bitmasks hold at most 64 columns.
+    TooManyColumns {
+        /// Number of dependence columns in the algorithm.
+        m: usize,
+    },
+    /// `|J|` exceeds the dense `u32` slot space.
+    IndexSetTooLarge {
+        /// The offending cardinality.
+        cardinality: u128,
+    },
+}
+
+impl fmt::Display for CompileError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            CompileError::TooManyColumns { m } => {
+                write!(f, "compiled backend supports at most 64 dependence columns, got {m}")
+            }
+            CompileError::IndexSetTooLarge { cardinality } => {
+                write!(f, "index set too large for dense u32 slots: |J| = {cardinality}")
+            }
+        }
+    }
+}
+
+impl std::error::Error for CompileError {}
 
 /// Sentinel producer slot for boundary inputs (no in-set producer).
 const NO_SLOT: u32 = u32::MAX;
@@ -84,9 +120,12 @@ pub struct CompiledSchedule {
     /// Per-column hop count under the clocked-engine budget (`Π·d̄` clamped
     /// to ≥ 0), `None` when unroutable — mirrors `run_clocked`'s pre-route.
     clocked_hops: Vec<Option<i64>>,
-    /// Per-column routing `(usage, buffers)` under the mapped-sim convention
-    /// (`None` when `Π·d̄ ≤ 0`) — mirrors `simulate_mapped`'s pre-route.
-    mapped_routes: Vec<Option<(IVec, i64)>>,
+    /// Per-column link usage of the clocked route (for trace emission).
+    clocked_usage: Vec<Option<IVec>>,
+    /// Per-column routing `(usage, buffers, hops)` under the mapped-sim
+    /// convention (`None` when `Π·d̄ ≤ 0`) — mirrors `simulate_mapped`'s
+    /// pre-route.
+    mapped_routes: Vec<Option<(IVec, i64, i64)>>,
     /// Per-column schedule budget `Π·d̄`.
     budgets: Vec<i64>,
     /// Per-column count of exercised dependence instances.
@@ -112,26 +151,55 @@ impl CompiledSchedule {
     ///
     /// # Panics
     /// Panics on dimension mismatches, on more than 64 dependence columns,
-    /// or if `|J|` exceeds the dense `u32` slot space.
+    /// or if `|J|` exceeds the dense `u32` slot space — use
+    /// [`CompiledSchedule::try_compile`] where the caller wants to fall back
+    /// to the interpreted engines instead.
     pub fn compile(alg: &AlgorithmTriplet, t: &MappingMatrix, ic: &Interconnect) -> Self {
+        match Self::try_compile(alg, t, ic) {
+            Ok(s) => s,
+            Err(e) => panic!("{e}"),
+        }
+    }
+
+    /// Checked variant of [`CompiledSchedule::compile`]: rejects algorithms
+    /// the dense-slot representation cannot hold (more than 64 dependence
+    /// columns, `|J| ≥ 2³²`) **before** allocating anything, so callers can
+    /// degrade to the interpreted engines.
+    ///
+    /// # Panics
+    /// Still panics on mapping/algorithm dimension mismatches — those are
+    /// caller bugs, not input-size limits.
+    pub fn try_compile(
+        alg: &AlgorithmTriplet,
+        t: &MappingMatrix,
+        ic: &Interconnect,
+    ) -> Result<Self, CompileError> {
         assert_eq!(t.n(), alg.dim(), "mapping/algorithm dimension mismatch");
         let set = &alg.index_set;
         let n = alg.dim();
         let m = alg.deps.len();
-        assert!(m <= 64, "compiled backend supports at most 64 dependence columns, got {m}");
+        if m > 64 {
+            return Err(CompileError::TooManyColumns { m });
+        }
         let card = set.cardinality();
-        assert!(card < NO_SLOT as u128, "index set too large for dense u32 slots: |J| = {card}");
+        if card >= NO_SLOT as u128 {
+            return Err(CompileError::IndexSetTooLarge { cardinality: card });
+        }
         let n_points = card as usize;
 
         let budgets: Vec<i64> = alg.deps.iter().map(|d| d.vector.dot(&t.schedule)).collect();
         // Same pre-routing conventions as the two interpreted engines.
-        let clocked_hops: Vec<Option<i64>> = alg
+        let clocked_routes: Vec<Option<Routing>> = alg
             .deps
             .iter()
             .zip(&budgets)
-            .map(|(d, &b)| ic.route(&t.space.matvec(&d.vector), b.max(0)).map(|r| r.hops))
+            .map(|(d, &b)| ic.route(&t.space.matvec(&d.vector), b.max(0)))
             .collect();
-        let mapped_routes: Vec<Option<(IVec, i64)>> = alg
+        let clocked_hops: Vec<Option<i64>> =
+            clocked_routes.iter().map(|r| r.as_ref().map(|r| r.hops)).collect();
+        let clocked_usage: Vec<Option<IVec>> =
+            clocked_routes.into_iter().map(|r| r.map(|r| r.usage)).collect();
+        let mapped_routes: Vec<Option<(IVec, i64, i64)>> = alg
             .deps
             .iter()
             .zip(&budgets)
@@ -139,7 +207,8 @@ impl CompiledSchedule {
                 if b <= 0 {
                     return None;
                 }
-                ic.route(&t.space.matvec(&d.vector), b).map(|r| (r.usage, r.buffers))
+                ic.route(&t.space.matvec(&d.vector), b)
+                    .map(|r| (r.usage, r.buffers, r.hops))
             })
             .collect();
 
@@ -172,8 +241,10 @@ impl CompiledSchedule {
                 if d.active_at(&q, set) {
                     consume_mask[s] |= 1u64 << i;
                     active_count[i] += 1;
-                    // active_at guarantees the source lies in J, so it ranks.
-                    producers[s * m + i] = set.rank(&(&q - &d.vector)) as u32;
+                    let src = set
+                        .try_rank(&(&q - &d.vector))
+                        .expect("active_at guarantees the source lies in J");
+                    producers[s * m + i] = src as u32;
                 }
                 if d.active_at(&(&q + &d.vector), set) {
                     launch_mask[s] |= 1u64 << i;
@@ -198,7 +269,7 @@ impl CompiledSchedule {
 
         let causal = (0..m).all(|i| active_count[i] == 0 || budgets[i] > 0);
 
-        CompiledSchedule {
+        Ok(CompiledSchedule {
             n,
             m,
             n_points,
@@ -210,6 +281,7 @@ impl CompiledSchedule {
             consume_mask,
             launch_mask,
             clocked_hops,
+            clocked_usage,
             mapped_routes,
             budgets,
             active_count,
@@ -218,7 +290,7 @@ impl CompiledSchedule {
             fire_order,
             n_links: ic.count(),
             causal,
-        }
+        })
     }
 
     /// Number of index points (= dense slots).
@@ -276,6 +348,32 @@ impl CompiledSchedule {
     /// [`ClockedRun`] bit-identical to [`crate::clocked::run_clocked`] —
     /// outputs, violations (same order), cycle count and `peak_in_flight`.
     pub fn execute<S: SyncCellSemantics>(&self, semantics: &S) -> ClockedRun<S::Bundle> {
+        self.execute_traced(semantics, &mut NullSink)
+    }
+
+    /// [`CompiledSchedule::execute`] with a [`TraceSink`]. Events are
+    /// reconstructed during the sequential bookkeeping phase — the rayon
+    /// value slices stay untouched — and the emitted stream is **identical**
+    /// to [`crate::clocked::run_clocked_traced`]'s on the same inputs. With
+    /// [`NullSink`] the guards compile away and this *is* `execute`.
+    pub fn execute_traced<S: SyncCellSemantics, K: TraceSink>(
+        &self,
+        semantics: &S,
+        sink: &mut K,
+    ) -> ClockedRun<S::Bundle> {
+        if K::ENABLED {
+            for (i, (hops, usage)) in self.clocked_hops.iter().zip(&self.clocked_usage).enumerate()
+            {
+                match (hops, usage) {
+                    (Some(h), Some(u)) => sink.record(TraceEvent::ColumnRoute {
+                        column: i,
+                        hops: *h,
+                        usage: u.clone(),
+                    }),
+                    _ => sink.record(TraceEvent::ColumnUnroutable { column: i }),
+                }
+            }
+        }
         let mut arena: Vec<Option<S::Bundle>> = vec![None; self.n_points];
         let mut violations = Vec::new();
         let mut in_flight = vec![0u64; self.m];
@@ -314,11 +412,22 @@ impl CompiledSchedule {
             for &s in slice {
                 let s = s as usize;
                 let id = self.proc[s] as usize;
+                if K::ENABLED {
+                    sink.record(TraceEvent::PointFired {
+                        cycle: c,
+                        point: self.point(s),
+                        processor: self.proc_coords[id].clone(),
+                    });
+                }
                 if fired[id] {
-                    violations.push(ClockedViolation::ProcessorConflict {
+                    let v = ClockedViolation::ProcessorConflict {
                         processor: self.proc_coords[id].to_string(),
                         cycle: c,
-                    });
+                    };
+                    if K::ENABLED {
+                        sink.record(TraceEvent::Violation { cycle: c, description: v.to_string() });
+                    }
+                    violations.push(v);
                 }
                 fired[id] = true;
 
@@ -336,25 +445,58 @@ impl CompiledSchedule {
                     }
                     let src_time = self.cycle[src];
                     if src_time >= c {
-                        violations.push(ClockedViolation::CausalityOrder {
+                        let v = ClockedViolation::CausalityOrder {
                             consumer: self.point(s).to_string(),
                             column: i,
-                        });
+                        };
+                        if K::ENABLED {
+                            sink.record(TraceEvent::Violation {
+                                cycle: c,
+                                description: v.to_string(),
+                            });
+                        }
+                        violations.push(v);
                     }
                     match self.clocked_hops[i] {
                         Some(h) if h <= c - src_time => {}
-                        Some(h) => violations.push(ClockedViolation::RouteTooSlow {
-                            consumer: self.point(s).to_string(),
+                        Some(h) => {
+                            let v = ClockedViolation::RouteTooSlow {
+                                consumer: self.point(s).to_string(),
+                                column: i,
+                                hops: h,
+                                budget: c - src_time,
+                            };
+                            if K::ENABLED {
+                                sink.record(TraceEvent::Violation {
+                                    cycle: c,
+                                    description: v.to_string(),
+                                });
+                            }
+                            violations.push(v);
+                        }
+                        None => {
+                            let v = ClockedViolation::RouteTooSlow {
+                                consumer: self.point(s).to_string(),
+                                column: i,
+                                hops: -1,
+                                budget: c - src_time,
+                            };
+                            if K::ENABLED {
+                                sink.record(TraceEvent::Violation {
+                                    cycle: c,
+                                    description: v.to_string(),
+                                });
+                            }
+                            violations.push(v);
+                        }
+                    }
+                    if K::ENABLED {
+                        sink.record(TraceEvent::TokenConsumed {
+                            cycle: c,
                             column: i,
-                            hops: h,
-                            budget: c - src_time,
-                        }),
-                        None => violations.push(ClockedViolation::RouteTooSlow {
-                            consumer: self.point(s).to_string(),
-                            column: i,
-                            hops: -1,
-                            budget: c - src_time,
-                        }),
+                            at: self.point(s),
+                            slack: c - src_time,
+                        });
                     }
                     in_flight[i] = in_flight[i].saturating_sub(1);
                 }
@@ -363,6 +505,18 @@ impl CompiledSchedule {
                     if launches & (1u64 << i) != 0 {
                         in_flight[i] += 1;
                         peak_in_flight[i] = peak_in_flight[i].max(in_flight[i]);
+                        if K::ENABLED {
+                            sink.record(TraceEvent::TokenLaunched {
+                                cycle: c,
+                                column: i,
+                                from: self.point(s),
+                            });
+                            sink.record(TraceEvent::BufferOccupancy {
+                                cycle: c,
+                                column: i,
+                                in_flight: in_flight[i],
+                            });
+                        }
                     }
                 }
             }
@@ -387,6 +541,26 @@ impl CompiledSchedule {
     /// conflicts from per-cycle processor-id scans, causality and traffic
     /// from the per-column routes and active-instance counts.
     pub fn mapped_report(&self) -> MappedRunReport {
+        self.mapped_report_traced(&mut NullSink)
+    }
+
+    /// [`CompiledSchedule::mapped_report`] with a [`TraceSink`]. Emits the
+    /// same rollup counters as [`crate::mapped::simulate_mapped_traced`]
+    /// (fires, wavefront, per-PE loads, violation counts); events come out
+    /// cycle-major rather than in lexicographic point order.
+    pub fn mapped_report_traced<K: TraceSink>(&self, sink: &mut K) -> MappedRunReport {
+        if K::ENABLED {
+            for (i, r) in self.mapped_routes.iter().enumerate() {
+                match r {
+                    Some((usage, _buffers, hops)) => sink.record(TraceEvent::ColumnRoute {
+                        column: i,
+                        hops: *hops,
+                        usage: usage.clone(),
+                    }),
+                    None => sink.record(TraceEvent::ColumnUnroutable { column: i }),
+                }
+            }
+        }
         let cycles = match (self.cycle_values.first(), self.cycle_values.last()) {
             (Some(a), Some(b)) => b - a + 1,
             _ => 0,
@@ -395,14 +569,47 @@ impl CompiledSchedule {
         let mut peak_parallelism = 0usize;
         let mut seen = vec![false; self.proc_coords.len()];
         for k in 0..self.cycle_values.len() {
+            let c = self.cycle_values[k];
             let slice = &self.fire_order[self.cycle_offsets[k]..self.cycle_offsets[k + 1]];
             peak_parallelism = peak_parallelism.max(slice.len());
             for &s in slice {
-                let id = self.proc[s as usize] as usize;
+                let s = s as usize;
+                let id = self.proc[s] as usize;
+                if K::ENABLED {
+                    sink.record(TraceEvent::PointFired {
+                        cycle: c,
+                        point: self.point(s),
+                        processor: self.proc_coords[id].clone(),
+                    });
+                }
                 if seen[id] {
                     conflict_free = false;
+                    if K::ENABLED {
+                        let v = ClockedViolation::ProcessorConflict {
+                            processor: self.proc_coords[id].to_string(),
+                            cycle: c,
+                        };
+                        sink.record(TraceEvent::Violation { cycle: c, description: v.to_string() });
+                    }
                 }
                 seen[id] = true;
+                if K::ENABLED {
+                    let mask = self.consume_mask[s];
+                    for i in 0..self.m {
+                        if mask & (1u64 << i) != 0 && self.mapped_routes[i].is_none() {
+                            let v = ClockedViolation::RouteTooSlow {
+                                consumer: self.point(s).to_string(),
+                                column: i,
+                                hops: -1,
+                                budget: self.budgets[i],
+                            };
+                            sink.record(TraceEvent::Violation {
+                                cycle: c,
+                                description: v.to_string(),
+                            });
+                        }
+                    }
+                }
             }
             for &s in slice {
                 seen[self.proc[s as usize] as usize] = false;
@@ -417,7 +624,7 @@ impl CompiledSchedule {
                 continue;
             }
             match &self.mapped_routes[i] {
-                Some((usage, buffers)) => {
+                Some((usage, buffers, _hops)) => {
                     for (j, &cnt) in usage.iter().enumerate() {
                         link_traffic[j] += cnt as u64 * self.active_count[i];
                     }
@@ -666,5 +873,109 @@ mod tests {
     #[test]
     fn backend_default_is_compiled() {
         assert_eq!(SimBackend::default(), SimBackend::Compiled);
+    }
+
+    /// A 2-D structure with 65 uniform dependence columns: valid for the
+    /// interpreted engines, one column too many for the bitmasks.
+    fn many_column_structure() -> AlgorithmTriplet {
+        let deps: Vec<Dependence> = (0..65)
+            .map(|k| Dependence::uniform(IVec::from([1, 0]), &format!("c{k}")))
+            .collect();
+        AlgorithmTriplet::new(BoxSet::cube(2, 1, 3), DependenceSet::new(deps), "65 columns")
+    }
+
+    #[test]
+    fn try_compile_rejects_65_dependence_columns() {
+        let alg = many_column_structure();
+        let t = MappingMatrix::new(IMat::from_rows(&[&[1, 0], &[0, 1]]), IVec::from([1, 1]));
+        let ic = Interconnect::new(IMat::from_rows(&[&[1, 0], &[0, 1]]));
+        let err = CompiledSchedule::try_compile(&alg, &t, &ic).err().expect("must not compile");
+        assert_eq!(err, CompileError::TooManyColumns { m: 65 });
+        assert!(err.to_string().contains("at most 64 dependence columns"));
+        // The interpreted engine handles the same input fine.
+        let rep = simulate_mapped(&alg, &t, &ic);
+        assert_eq!(rep.computations, 9);
+    }
+
+    #[test]
+    fn try_compile_rejects_over_u32_index_sets_before_allocating() {
+        // 256^4 = 2^32 points: one too many for dense u32 slots. try_compile
+        // must reject in O(1), long before any per-point allocation.
+        let alg = AlgorithmTriplet::new(
+            BoxSet::cube(4, 1, 256),
+            DependenceSet::new(vec![Dependence::uniform(IVec::from([1, 0, 0, 0]), "x")]),
+            "over-u32 index set",
+        );
+        let t = MappingMatrix::new(
+            IMat::from_rows(&[&[1, 0, 0, 0], &[0, 1, 0, 0]]),
+            IVec::from([1, 1, 1, 1]),
+        );
+        let ic = Interconnect::new(IMat::from_rows(&[&[1, 0], &[0, 1]]));
+        let err = CompiledSchedule::try_compile(&alg, &t, &ic).err().expect("must not compile");
+        assert_eq!(err, CompileError::IndexSetTooLarge { cardinality: 1u128 << 32 });
+        assert!(err.to_string().contains("index set too large"));
+    }
+
+    #[test]
+    #[should_panic(expected = "at most 64 dependence columns")]
+    fn compile_still_panics_with_the_original_message() {
+        let alg = many_column_structure();
+        let t = MappingMatrix::new(IMat::from_rows(&[&[1, 0], &[0, 1]]), IVec::from([1, 1]));
+        let ic = Interconnect::new(IMat::from_rows(&[&[1, 0], &[0, 1]]));
+        let _ = CompiledSchedule::compile(&alg, &t, &ic);
+    }
+
+    #[test]
+    fn traced_mapped_report_matches_interpreted_rollup() {
+        use crate::mapped::simulate_mapped_traced;
+        use crate::trace::RecordingSink;
+        let alg = matmul_structure(3, 3);
+        // A legal design and a broken one (conflicts + unroutable columns).
+        let designs: Vec<(MappingMatrix, Interconnect)> = vec![
+            (PaperDesign::TimeOptimal.mapping(3), PaperDesign::TimeOptimal.interconnect(3)),
+            (PaperDesign::TimeOptimal.mapping(3), Interconnect::paper_p_prime()),
+            (
+                MappingMatrix::new(
+                    IMat::from_rows(&[&[0, 0, 0, 0, 0], &[0, 2, 0, 0, 1]]),
+                    IVec::from([1, 1, 1, 2, 1]),
+                ),
+                Interconnect::paper_p(3),
+            ),
+        ];
+        for (t, ic) in &designs {
+            let mut interp = RecordingSink::new();
+            let a = simulate_mapped_traced(&alg, t, ic, &mut interp);
+            let mut comp = RecordingSink::new();
+            let b = CompiledSchedule::compile(&alg, t, ic).mapped_report_traced(&mut comp);
+            assert_eq!(a.cycles, b.cycles);
+            let (ri, rc) = (interp.rollup(), comp.rollup());
+            assert_eq!(ri.fire_total(), rc.fire_total());
+            assert_eq!(ri.fire_total(), 243);
+            assert_eq!(ri.wavefront, rc.wavefront);
+            assert_eq!(ri.pe_fires, rc.pe_fires);
+            assert_eq!(ri.violations, rc.violations);
+            assert_eq!(ri.cycle_span(), a.cycles);
+        }
+    }
+
+    #[test]
+    fn traced_execution_is_bit_identical_to_untraced() {
+        use crate::trace::RecordingSink;
+        let (u, p) = (3usize, 3usize);
+        let alg = matmul_structure(u as i64, p as i64);
+        let design = PaperDesign::TimeOptimal;
+        let sched = CompiledSchedule::compile(&alg, &design.mapping(3), &design.interconnect(3));
+        let (x, y) = mats(u, p);
+        let cells = MatmulExpansionIICells::new(u, p, &x, &y);
+        let untraced = sched.execute(&cells);
+        let mut sink = RecordingSink::new();
+        let traced = sched.execute_traced(&cells, &mut sink);
+        assert_runs_identical(&traced, &untraced);
+        assert_eq!(sink.rollup().fire_total() as u128, alg.index_set.cardinality());
+        assert_eq!(sink.rollup().cycle_span(), traced.cycles);
+        // Every launched token on every column is eventually consumed (the
+        // matmul structure drains completely), and the in-flight peaks seen
+        // by the trace are the run's.
+        assert_eq!(sink.rollup().in_flight_peak, traced.peak_in_flight);
     }
 }

@@ -17,7 +17,12 @@
 //! * [`compiled`] — the compile-once/run-many backend: dense point slots via
 //!   `BoxSet::rank`, a CSR fire list, an arena token store, and
 //!   cycle-sliced parallel execution, bit-identical to the interpreted
-//!   engines and selected through [`SimBackend`].
+//!   engines and selected through [`SimBackend`];
+//! * [`trace`] — structured per-cycle observability shared by all three
+//!   engines: a [`TraceSink`] trait with a statically zero-overhead
+//!   [`NullSink`], an in-memory [`RecordingSink`] with rollup counters
+//!   (per-PE utilisation, wavefront width, in-flight high-water marks,
+//!   link occupancy), and Chrome-trace/CSV exporters.
 
 pub mod bit_array;
 pub mod clocked;
@@ -26,26 +31,28 @@ pub mod expansion_i;
 pub mod expansion_i_clocked;
 pub mod mapped;
 pub mod model35;
+pub mod trace;
 pub mod viz;
 pub mod word_array;
 
 pub use bit_array::{BitMatmulArray, BitMatmulRun};
 pub use clocked::{
-    run_clocked, CellSemantics, ClockedRun, ClockedViolation, MatmulExpansionIICells,
-    MatmulSignals, SyncCellSemantics,
+    run_clocked, run_clocked_traced, CellSemantics, ClockedRun, ClockedViolation,
+    MatmulExpansionIICells, MatmulSignals, SyncCellSemantics,
 };
 pub use compiled::{
-    run_clocked_compiled, simulate_mapped_compiled, CompiledSchedule, SimBackend,
+    run_clocked_compiled, simulate_mapped_compiled, CompileError, CompiledSchedule, SimBackend,
 };
 pub use mapped::{
     asap_depths, critical_path, fanin_histogram, mean_producer_depth, simulate_mapped,
-    simulate_mapped_parallel, MappedRunReport,
+    simulate_mapped_parallel, simulate_mapped_traced, MappedRunReport,
 };
 pub use expansion_i::{DroppedCarry, ExpansionIMatmul, ExpansionIRun};
 pub use expansion_i_clocked::MatmulExpansionICells;
 pub use model35::{ColumnMap, Model35Cells};
+pub use trace::{NullSink, RecordingSink, TraceConfig, TraceEvent, TraceRollup, TraceSink};
 pub use viz::{
     render_activity_profile, render_block_structure, render_gantt, render_links,
-    render_processor_grid,
+    render_processor_grid, render_trace_pe_load, render_trace_wavefront,
 };
 pub use word_array::{WordLevelArray, WordRunReport};

@@ -19,9 +19,11 @@
 //! bits have to be summed on the hyperplane `i₁ = p`. This may cause
 //! unbalanced load distribution").
 
+use crate::clocked::ClockedViolation;
+use crate::trace::{NullSink, TraceEvent, TraceSink};
 use bitlevel_ir::AlgorithmTriplet;
 use bitlevel_linalg::IVec;
-use bitlevel_mapping::{Interconnect, MappingMatrix};
+use bitlevel_mapping::{Interconnect, MappingMatrix, Routing};
 use serde::Serialize;
 use std::collections::HashMap;
 
@@ -58,22 +60,49 @@ pub fn simulate_mapped(
     t: &MappingMatrix,
     ic: &Interconnect,
 ) -> MappedRunReport {
+    simulate_mapped_traced(alg, t, ic, &mut NullSink)
+}
+
+/// [`simulate_mapped`] with a [`TraceSink`] observing routes, fires and
+/// violations. With [`NullSink`] the guards compile away; the compiled
+/// counterpart is [`crate::compiled::CompiledSchedule::mapped_report_traced`]
+/// (same rollup counters, cycle-major event order).
+pub fn simulate_mapped_traced<K: TraceSink>(
+    alg: &AlgorithmTriplet,
+    t: &MappingMatrix,
+    ic: &Interconnect,
+    sink: &mut K,
+) -> MappedRunReport {
     assert_eq!(t.n(), alg.dim(), "mapping/algorithm dimension mismatch");
     let set = &alg.index_set;
 
     // Pre-route every distinct dependence vector once.
-    let routes: Vec<Option<(IVec, i64)>> = alg
+    let budgets: Vec<i64> = alg.deps.iter().map(|d| d.vector.dot(&t.schedule)).collect();
+    let full_routes: Vec<Option<Routing>> = alg
         .deps
         .iter()
-        .map(|d| {
-            let budget = d.vector.dot(&t.schedule);
+        .zip(&budgets)
+        .map(|(d, &budget)| {
             if budget <= 0 {
                 return None;
             }
             ic.route(&t.space.matvec(&d.vector), budget)
-                .map(|r| (r.usage, r.buffers))
         })
         .collect();
+    if K::ENABLED {
+        for (i, r) in full_routes.iter().enumerate() {
+            match r {
+                Some(r) => sink.record(TraceEvent::ColumnRoute {
+                    column: i,
+                    hops: r.hops,
+                    usage: r.usage.clone(),
+                }),
+                None => sink.record(TraceEvent::ColumnUnroutable { column: i }),
+            }
+        }
+    }
+    let routes: Vec<Option<(IVec, i64)>> =
+        full_routes.into_iter().map(|r| r.map(|r| (r.usage, r.buffers))).collect();
 
     let mut time_min = i64::MAX;
     let mut time_max = i64::MIN;
@@ -93,10 +122,24 @@ pub fn simulate_mapped(
         time_max = time_max.max(time);
         computations += 1;
         *busy_per_cycle.entry(time).or_insert(0) += 1;
+        if K::ENABLED {
+            sink.record(TraceEvent::PointFired {
+                cycle: time,
+                point: q.clone(),
+                processor: place.clone(),
+            });
+        }
         let slot = occupancy.entry((place.clone(), time)).or_insert(0);
         *slot += 1;
         if *slot > 1 {
             conflict_free = false;
+            if K::ENABLED {
+                let v = ClockedViolation::ProcessorConflict {
+                    processor: place.to_string(),
+                    cycle: time,
+                };
+                sink.record(TraceEvent::Violation { cycle: time, description: v.to_string() });
+            }
         }
         processors.insert(place);
 
@@ -111,7 +154,21 @@ pub fn simulate_mapped(
                     }
                     buffer_cycles += *buffers as u64;
                 }
-                None => causality_ok = false,
+                None => {
+                    causality_ok = false;
+                    if K::ENABLED {
+                        let v = ClockedViolation::RouteTooSlow {
+                            consumer: q.to_string(),
+                            column: di,
+                            hops: -1,
+                            budget: budgets[di],
+                        };
+                        sink.record(TraceEvent::Violation {
+                            cycle: time,
+                            description: v.to_string(),
+                        });
+                    }
+                }
             }
         }
     }

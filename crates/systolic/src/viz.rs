@@ -6,6 +6,7 @@
 //! `(i₁, i₂)` within a block), per-link annotations from the routing
 //! solution, and cycle-by-cycle activity maps of a mapped schedule.
 
+use crate::trace::TraceRollup;
 use bitlevel_ir::AlgorithmTriplet;
 use bitlevel_linalg::IVec;
 use bitlevel_mapping::{Interconnect, MappingMatrix};
@@ -172,6 +173,59 @@ pub fn render_gantt(alg: &AlgorithmTriplet, t: &MappingMatrix, max_rows: usize) 
     out
 }
 
+/// Renders the wavefront profile captured by a trace: one bar per cycle
+/// showing how many points fired, from measured events rather than the
+/// static schedule — the traced counterpart of [`render_activity_profile`].
+pub fn render_trace_wavefront(rollup: &TraceRollup) -> String {
+    let mut out = String::new();
+    if rollup.wavefront.is_empty() {
+        let _ = writeln!(out, "traced wavefront: no firings recorded");
+        return out;
+    }
+    let lo = *rollup.wavefront.keys().next().unwrap();
+    let hi = *rollup.wavefront.keys().next_back().unwrap();
+    let peak = rollup.peak_wavefront().max(1);
+    let _ = writeln!(
+        out,
+        "traced wavefront ({} cycles, peak {} firings):",
+        hi - lo + 1,
+        peak
+    );
+    for cyc in lo..=hi {
+        let n = rollup.wavefront.get(&cyc).copied().unwrap_or(0);
+        let bar_len = ((n as usize) * 40).div_ceil(peak as usize);
+        let _ = writeln!(out, "  t={:>4} |{:<40}| {n}", cyc - lo, "#".repeat(bar_len));
+    }
+    out
+}
+
+/// Renders the per-PE load captured by a trace: one row per processor
+/// (heaviest first, truncated to `max_rows`) with a bar proportional to its
+/// fire count — the utilisation table behind Figs. 4/5.
+pub fn render_trace_pe_load(rollup: &TraceRollup, max_rows: usize) -> String {
+    let mut out = String::new();
+    let mut pes: Vec<(&IVec, u64)> = rollup.pe_fires.iter().map(|(pe, &n)| (pe, n)).collect();
+    // Heaviest first, coordinates as tie-break so output is deterministic.
+    pes.sort_by(|a, b| b.1.cmp(&a.1).then_with(|| a.0.cmp(b.0)));
+    let peak = pes.first().map(|&(_, n)| n).unwrap_or(1).max(1);
+    let _ = writeln!(
+        out,
+        "traced PE load: {} PEs, {} firings, utilisation {:.3}",
+        pes.len(),
+        rollup.fire_total(),
+        rollup.utilization()
+    );
+    let shown = pes.len().min(max_rows);
+    for &(pe, n) in pes.iter().take(shown) {
+        let bar_len = ((n as usize) * 40).div_ceil(peak as usize);
+        let _ = writeln!(out, "{:>12} |{:<40}| {n}", pe.to_string(), "#".repeat(bar_len));
+    }
+    if pes.len() > shown {
+        let _ = writeln!(out, "  ... {} more PEs", pes.len() - shown);
+    }
+    out
+}
+
 fn minmax(values: impl Iterator<Item = i64>) -> (i64, i64) {
     values.fold((i64::MAX, i64::MIN), |(lo, hi), v| (lo.min(v), hi.max(v)))
 }
@@ -271,6 +325,49 @@ mod tests {
         let alg = matmul_structure(2, 2);
         let g = render_gantt(&alg, &PaperDesign::TimeOptimal.mapping(2), 3);
         assert!(g.contains("... 13 more PEs"), "{g}");
+    }
+
+    #[test]
+    fn trace_wavefront_renders_one_bar_per_cycle() {
+        use crate::trace::{RecordingSink, TraceEvent, TraceSink};
+        let mut sink = RecordingSink::new();
+        for (cycle, point) in [(0, [1, 1]), (0, [1, 2]), (2, [2, 1])] {
+            sink.record(TraceEvent::PointFired {
+                cycle,
+                point: IVec::from(point),
+                processor: IVec::from([0]),
+            });
+        }
+        let s = render_trace_wavefront(sink.rollup());
+        assert!(s.contains("3 cycles, peak 2"), "{s}");
+        assert_eq!(s.lines().filter(|l| l.contains("|")).count(), 3, "{s}");
+        // The empty cycle 1 renders a zero-length bar.
+        assert!(s.contains("| 0"), "{s}");
+    }
+
+    #[test]
+    fn trace_wavefront_handles_empty_rollup() {
+        let s = render_trace_wavefront(&crate::trace::TraceRollup::default());
+        assert!(s.contains("no firings"), "{s}");
+    }
+
+    #[test]
+    fn trace_pe_load_sorts_heaviest_first_and_truncates() {
+        use crate::trace::{RecordingSink, TraceEvent, TraceSink};
+        let mut sink = RecordingSink::new();
+        for (cycle, pe) in [(0, [0, 0]), (1, [0, 1]), (2, [0, 1]), (3, [1, 0])] {
+            sink.record(TraceEvent::PointFired {
+                cycle,
+                point: IVec::from([cycle]),
+                processor: IVec::from(pe),
+            });
+        }
+        let s = render_trace_pe_load(sink.rollup(), 2);
+        assert!(s.contains("3 PEs, 4 firings"), "{s}");
+        assert!(s.contains("... 1 more PEs"), "{s}");
+        // [0, 1] fired twice and must lead the table.
+        let first_row = s.lines().nth(1).unwrap();
+        assert!(first_row.contains("[0, 1]"), "{s}");
     }
 
     #[test]

@@ -7,14 +7,17 @@
 //! boundary are compared against native arithmetic. The run goes through
 //! both engines — the interpreted reference and the compiled static-schedule
 //! backend — which must agree bit for bit. Also prints the
-//! paper-figure-style visualisations.
+//! paper-figure-style visualisations, plus the *measured* profile captured
+//! by the trace layer during the compiled run.
 //!
 //! Run with: `cargo run --example clocked_rtl`
 
+use bitlevel::core_api::render_trace_summary;
 use bitlevel::depanal::{compose, Expansion};
 use bitlevel::systolic::{
     render_activity_profile, render_block_structure, render_gantt, render_links,
-    render_processor_grid, run_clocked, CompiledSchedule, MatmulExpansionIICells,
+    render_processor_grid, render_trace_pe_load, render_trace_wavefront, run_clocked,
+    CompiledSchedule, MatmulExpansionIICells, RecordingSink,
 };
 use bitlevel::{BitMatmulArray, PaperDesign, WordLevelAlgorithm};
 
@@ -49,9 +52,12 @@ fn main() {
     );
 
     // The compiled backend: rank the schedule once into dense slots, execute
-    // cycle-sliced, and get the identical run back.
-    let sched = CompiledSchedule::compile(&alg, &mapping, &machine);
-    let compiled = sched.execute(&cells);
+    // cycle-sliced, and get the identical run back — this time with the
+    // trace layer watching every firing and token.
+    let sched = CompiledSchedule::try_compile(&alg, &mapping, &machine)
+        .expect("the 7-column matmul structure compiles");
+    let mut sink = RecordingSink::new();
+    let compiled = sched.execute_traced(&cells, &mut sink);
     assert_eq!(compiled.cycles, run.cycles);
     assert_eq!(compiled.violations, run.violations);
     assert_eq!(compiled.peak_in_flight, run.peak_in_flight);
@@ -63,6 +69,12 @@ fn main() {
         sched.n_processors(),
         sched.is_causal()
     );
+
+    // What the trace layer saw: the observed wavefront, PE load and rollup
+    // counters of the run above (not the predicted profile — the measured one).
+    println!("\n{}", render_trace_wavefront(sink.rollup()));
+    println!("{}", render_trace_pe_load(sink.rollup(), 8));
+    println!("{}", render_trace_summary(sink.rollup()));
 
     let z = cells.extract_product(&run);
     println!("\nZ = X*Y, extracted from the array boundary:");

@@ -38,8 +38,10 @@ pub use bitlevel_systolic as systolic;
 
 pub use bitlevel_core::{
     check_feasibility, compare_analyses, compose, expand, find_optimal_schedule,
-    render_architecture, render_matmul_comparison, render_structure, run_clocked_compiled,
-    simulate_mapped, simulate_mapped_compiled, AddShift, AlgorithmTriplet, ArchitectureReport,
-    BitMatmulArray, BoxSet, CarrySave, DesignFlow, Expansion, Interconnect, MappingMatrix,
-    MultiplierAlgorithm, PaperDesign, RippleAdder, SimBackend, WordLevelAlgorithm, WordLevelArray,
+    render_architecture, render_matmul_comparison, render_structure, render_trace_summary,
+    run_clocked_compiled, simulate_mapped, simulate_mapped_compiled, AddShift, AlgorithmTriplet,
+    ArchitectureReport, BitMatmulArray, BoxSet, CarrySave, DesignFlow, Expansion, Interconnect,
+    MappingMatrix, MultiplierAlgorithm, NullSink, PaperDesign, RecordingSink, RippleAdder,
+    SimBackend, TraceConfig, TraceEvent, TraceRollup, TraceSink, WordLevelAlgorithm,
+    WordLevelArray,
 };

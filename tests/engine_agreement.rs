@@ -5,10 +5,15 @@
 //! identical bits for identical operands, across random sizes and operand
 //! patterns. The compiled engine must match the interpreted one not just on
 //! products but on the *whole run*: outputs, violations, cycle count and
-//! in-flight peaks.
+//! in-flight peaks. Tracing must be a pure observer: traced runs stay
+//! bit-identical to untraced ones, and the captured profiles agree across
+//! engines.
 
 use bitlevel::depanal::{compose, Expansion};
-use bitlevel::systolic::{run_clocked, run_clocked_compiled, Model35Cells};
+use bitlevel::systolic::{
+    run_clocked, run_clocked_compiled, run_clocked_traced, CompiledSchedule, Model35Cells,
+    RecordingSink,
+};
 use bitlevel::{BitMatmulArray, PaperDesign, WordLevelAlgorithm};
 use proptest::prelude::*;
 
@@ -177,4 +182,79 @@ fn mid_size_instance_agrees() {
     let fig4c = compiled_product(u, p, PaperDesign::TimeOptimal, &x, &y);
     assert_eq!(topo, fig4);
     assert_eq!(topo, fig4c);
+}
+
+/// Tracing is a pure observer: a traced run is bit-identical to an untraced
+/// one on both engines, the captured profile accounts for every index point
+/// exactly once, and the two engines record the same wavefront and PE-load
+/// shapes.
+#[test]
+fn traced_runs_are_bit_identical_and_account_for_every_point() {
+    let (u, p) = (2usize, 3usize);
+    let arr = BitMatmulArray::new(u, p);
+    let cap = arr.max_safe_entry();
+    let mut state = 0xfeed_beef_u64;
+    let x = random_matrix(u, cap, &mut state);
+    let y = random_matrix(u, cap, &mut state);
+    let alg = compose(&WordLevelAlgorithm::matmul(u as i64), p, Expansion::II);
+    let points = (u * u * u * p * p) as u64;
+    for design in [PaperDesign::TimeOptimal, PaperDesign::NearestNeighbour] {
+        let t = design.mapping(p as i64);
+        let ic = design.interconnect(p as i64);
+
+        let mut cells = matmul_cells(u, p, &x, &y);
+        let plain = run_clocked(&alg, &t, &ic, &mut cells);
+        let mut cells = matmul_cells(u, p, &x, &y);
+        let mut rec_i = RecordingSink::new();
+        let traced = run_clocked_traced(&alg, &t, &ic, &mut cells, &mut rec_i);
+        assert_eq!(traced.cycles, plain.cycles, "{design:?}");
+        assert_eq!(traced.violations, plain.violations, "{design:?}");
+        assert_eq!(traced.peak_in_flight, plain.peak_in_flight, "{design:?}");
+        assert_eq!(traced.outputs, plain.outputs, "{design:?}");
+
+        let cells = matmul_cells(u, p, &x, &y);
+        let sched = CompiledSchedule::try_compile(&alg, &t, &ic)
+            .expect("the 7-column matmul structure compiles");
+        let plain_c = sched.execute(&cells);
+        let mut rec_c = RecordingSink::new();
+        let traced_c = sched.execute_traced(&cells, &mut rec_c);
+        assert_eq!(traced_c.cycles, plain_c.cycles, "{design:?}");
+        assert_eq!(traced_c.violations, plain_c.violations, "{design:?}");
+        assert_eq!(traced_c.peak_in_flight, plain_c.peak_in_flight, "{design:?}");
+        assert_eq!(traced_c.outputs, plain_c.outputs, "{design:?}");
+        assert_eq!(traced_c.outputs, traced.outputs, "{design:?}");
+
+        // Every index point fires exactly once in both captured profiles,
+        // and the engines agree on the shape of the run they observed.
+        assert_eq!(rec_i.rollup().fire_total(), points, "{design:?}");
+        assert_eq!(rec_c.rollup().fire_total(), points, "{design:?}");
+        assert_eq!(rec_i.rollup().wavefront, rec_c.rollup().wavefront, "{design:?}");
+        assert_eq!(rec_i.rollup().pe_fires, rec_c.rollup().pe_fires, "{design:?}");
+        assert_eq!(rec_i.rollup().violations, 0, "{design:?}");
+        assert_eq!(rec_c.rollup().violations, 0, "{design:?}");
+    }
+}
+
+/// On an illegal architecture the captured violation events are exactly the
+/// engine's violation stream, rendered in order.
+#[test]
+fn traced_violations_mirror_the_engines_violation_stream() {
+    let (u, p) = (2usize, 2usize);
+    let arr = BitMatmulArray::new(u, p);
+    let cap = arr.max_safe_entry().max(1);
+    let mut state = 0x0dd_ba11_u64;
+    let x = random_matrix(u, cap, &mut state);
+    let y = random_matrix(u, cap, &mut state);
+    let alg = compose(&WordLevelAlgorithm::matmul(u as i64), p, Expansion::II);
+    // Fig. 4's fast schedule over Fig. 5's wire-poor interconnect: tokens
+    // cannot make their route deadlines, so the run is illegal.
+    let t = PaperDesign::TimeOptimal.mapping(p as i64);
+    let ic = PaperDesign::NearestNeighbour.interconnect(p as i64);
+    let mut cells = matmul_cells(u, p, &x, &y);
+    let mut rec = RecordingSink::new();
+    let run = run_clocked_traced(&alg, &t, &ic, &mut cells, &mut rec);
+    assert!(!run.is_legal());
+    let rendered: Vec<String> = run.violations.iter().map(|v| v.to_string()).collect();
+    assert_eq!(rec.violation_descriptions(), rendered);
+    assert_eq!(rec.rollup().violations, run.violations.len() as u64);
 }

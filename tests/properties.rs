@@ -116,3 +116,61 @@ proptest! {
         prop_assert!(cp as i64 <= time, "cp {} > time {}", cp, time);
     }
 }
+
+// Named promotions of the saved proptest shrinks (see
+// `properties.proptest-regressions`): the seeds keep re-running through
+// proptest, but these deterministic copies survive a deleted seed file and
+// name *what* the shrink exposed.
+
+/// Regression (seed `fe0875e2…`): the 1-D pure recurrence — no input
+/// variables at all (h̄₁ = h̄₂ = ∅), h̄₃ = [1] — at word length p = 2.
+/// Composition must match enumerated ground truth even when only the
+/// recurrence columns exist.
+#[test]
+fn regression_composition_on_pure_recurrence_word() {
+    let word = WordLevelAlgorithm::new(
+        "random",
+        BoxSet::new(IVec(vec![1]), IVec(vec![2])),
+        None,
+        None,
+        IVec(vec![1]),
+    );
+    for expansion in [Expansion::I, Expansion::II] {
+        let composed = compose(&word, 2, expansion);
+        let truth = enumerate_dependences(&expand(&word, 2, expansion));
+        assert_eq!(
+            instances_of_triplet(&composed),
+            truth,
+            "expansion {} on {:?}",
+            expansion,
+            word
+        );
+    }
+}
+
+/// Regression (seed `32e3f2a3…`): h̄₁ = [1] combined with the *negative*
+/// recurrence direction h̄₃ = [-1]. The critical path must lower-bound the
+/// canonical schedule's makespan whenever that schedule is legal.
+#[test]
+fn regression_critical_path_bound_on_negative_recurrence_word() {
+    let word = WordLevelAlgorithm::new(
+        "random",
+        BoxSet::new(IVec(vec![1]), IVec(vec![2])),
+        Some(IVec(vec![1])),
+        None,
+        IVec(vec![-1]),
+    );
+    let alg = compose(&word, 2, Expansion::II);
+    let cp = critical_path(&alg);
+    let n = alg.dim();
+    let mut pi = IVec(vec![1; n]);
+    pi[n - 2] = 2;
+    let d = alg.dependence_matrix();
+    if (0..d.cols()).any(|c| d.col(c).dot(&pi) <= 0) {
+        // Mirrors the property's prop_assume: the canonical schedule is
+        // illegal for this word, so there is no makespan to bound.
+        return;
+    }
+    let time = total_time(&pi, &alg.index_set);
+    assert!(cp as i64 <= time, "cp {cp} > time {time}");
+}
