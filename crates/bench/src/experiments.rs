@@ -1,5 +1,5 @@
 //! The experiment suite: every figure/equation-level result of the paper,
-//! regenerated and compared against the paper's claim (index E1–E15 in
+//! regenerated and compared against the paper's claim (index E1–E16 in
 //! DESIGN.md).
 //!
 //! The traceable experiments (E6, E7, E14, E15) also come in `_impl` forms
@@ -1012,15 +1012,105 @@ pub fn e15_impl<K: TraceSink>(outer: &mut K) -> ExperimentOutcome {
     ExperimentOutcome { id: "e15".into(), table: t }
 }
 
-const ALL_IDS: [&str; 15] = [
+/// E16 — extension: Pareto design-space exploration over Definition 4.1,
+/// searching space mappings `S`, schedules `Π` and both Section 4 machines
+/// jointly. Rediscovers Theorem 4.5's `Π = [1,1,1,2,1]` at the time-minimal
+/// end and the (4.6) schedule `Π' = [p,p,1,2,1]` as the best
+/// nearest-neighbour design, verifies every frontier design bit-exactly on
+/// the compiled backend against the interpreted engine, and measures the
+/// branch-and-bound pruning against the exhaustive joint space.
+pub fn e16() -> ExperimentOutcome {
+    let mut t = RecordTable::new(
+        "E16 (extension): Pareto (S, Pi, machine) design-space exploration — Def. 4.1 joint search",
+    );
+    let (u, p) = (3i64, 2i64);
+    let flow = DesignFlow::matmul(u, p as usize);
+    let (family, config) = flow.default_exploration();
+    let ex = flow.explore(&family, &config).expect("well-formed exploration inputs");
+
+    t.push(Record::info(
+        &format!("design space, u={u} p={p}"),
+        "explorer covers the full joint space",
+        format!(
+            "{} spaces x {} machines x {} schedules = {} designs; frontier: {}",
+            ex.stats.spaces,
+            ex.stats.machines,
+            ex.stats.schedule_candidates,
+            ex.stats.exhaustive,
+            ex.designs.len()
+        ),
+        !ex.designs.is_empty(),
+    ));
+
+    let tm = &ex.designs[0];
+    t.push(Record::eq(
+        "time-minimal schedule (Theorem 4.5)",
+        format!("{:?}", [1, 1, 1, 2, 1]),
+        format!("{:?}", tm.point.mapping.schedule.as_slice()),
+    ));
+    t.push(Record::eq(
+        "time-minimal t == eq. (4.5) closed form",
+        PaperDesign::TimeOptimal.total_time(u, p),
+        tm.point.time,
+    ));
+    t.push(Record::eq(
+        "optimum meets the dependence-only lower bound",
+        ex.stats.lower_bound.expect("screened candidates exist"),
+        tm.point.time,
+    ));
+
+    let nn = ex
+        .designs
+        .iter()
+        .find(|d| d.point.max_wire_length <= 1)
+        .expect("a nearest-neighbour design is on the frontier");
+    t.push(Record::eq(
+        "best nearest-neighbour schedule (eq. (4.6))",
+        format!("{:?}", [p, p, 1, 2, 1]),
+        format!("{:?}", nn.point.mapping.schedule.as_slice()),
+    ));
+    t.push(Record::eq(
+        "nearest-neighbour t == (2p+1)(u-1)+3(p-1)+1",
+        PaperDesign::NearestNeighbour.total_time(u, p),
+        nn.point.time,
+    ));
+
+    t.push(Record::check(
+        "frontier verification",
+        "every design passes Def. 4.1 and is bit-exact compiled vs interpreted",
+        ex.all_verified()
+            && ex.designs.iter().all(|d| {
+                d.report.backend_used == "compiled" && d.report.run.cycles == d.point.time
+            }),
+    ));
+
+    let reduction = if ex.stats.full_checks > 0 {
+        ex.stats.exhaustive / ex.stats.full_checks
+    } else {
+        ex.stats.exhaustive
+    };
+    t.push(Record::info(
+        "branch-and-bound pruning",
+        ">=10x fewer full Def. 4.1 checks than exhaustive",
+        format!(
+            "{} examined vs {} exhaustive ({reduction}x; {} pairs pruned outright)",
+            ex.stats.full_checks, ex.stats.exhaustive, ex.stats.pruned_pairs
+        ),
+        reduction >= 10,
+    ));
+
+    ExperimentOutcome { id: "e16".into(), table: t }
+}
+
+const ALL_IDS: [&str; 16] = [
     "e1", "e2", "e3", "e4", "e5", "e6", "e7", "e8", "e9", "e10", "e11", "e12", "e13", "e14",
-    "e15",
+    "e15", "e16",
 ];
 
 /// The experiments that accept a trace sink (see [`run_experiment_traced`]).
 pub const TRACEABLE_IDS: [&str; 4] = ["e6", "e7", "e14", "e15"];
 
-/// Runs one experiment by id ("e1" … "e15").
+/// Runs one experiment by id ("e1" … "e16").
 pub fn run_experiment(id: &str) -> Option<ExperimentOutcome> {
     match id.to_ascii_lowercase().as_str() {
         "e1" => Some(e1()),
@@ -1038,6 +1128,7 @@ pub fn run_experiment(id: &str) -> Option<ExperimentOutcome> {
         "e13" => Some(e13()),
         "e14" => Some(e14()),
         "e15" => Some(e15()),
+        "e16" => Some(e16()),
         _ => None,
     }
 }

@@ -4,14 +4,16 @@
 //! cargo run -p bitlevel-bench --bin experiments [--release] [-- OPTIONS]
 //!
 //! OPTIONS:
-//!   --exp <id>       run one experiment (e1 … e15); default: all
+//!   --exp <id>       run one experiment (e1 … e16); default: all
 //!   --trace <path>   capture the simulated runs of a traceable experiment
 //!                    (e6, e7, e14, e15) to <path>: Chrome-trace JSON, or
 //!                    CSV when the path ends in .csv; requires --exp
 //!   --markdown       emit markdown tables (for EXPERIMENTS.md)
 //!   --json           emit the record tables as JSON
 //!   --sweep <name>   emit a CSV data series instead:
-//!                    speedup | analysis | utilization | engine | wavefront
+//!                    speedup | analysis | utilization | engine | wavefront |
+//!                    frontier (frontier also honours --json for a JSON
+//!                    export of the verified Pareto designs)
 //! ```
 
 use bitlevel_bench::{run_all, run_experiment, run_experiment_traced, sweeps, TRACEABLE_IDS};
@@ -30,7 +32,7 @@ fn main() {
             "--exp" => {
                 i += 1;
                 which = Some(args.get(i).cloned().unwrap_or_else(|| {
-                    eprintln!("--exp requires an id (e1..e15)");
+                    eprintln!("--exp requires an id (e1..e16)");
                     std::process::exit(2);
                 }));
             }
@@ -40,7 +42,7 @@ fn main() {
                 i += 1;
                 sweep = Some(args.get(i).cloned().unwrap_or_else(|| {
                     eprintln!(
-                        "--sweep requires a name (speedup|analysis|utilization|engine|wavefront)"
+                        "--sweep requires a name (speedup|analysis|utilization|engine|wavefront|frontier)"
                     );
                     std::process::exit(2);
                 }));
@@ -71,8 +73,18 @@ fn main() {
             }
             "engine" => sweeps::engine_csv(&sweeps::engine_sweep(&sweeps::default_engine_sizes())),
             "wavefront" => sweeps::wavefront_csv(&sweeps::wavefront_sweep(3, 3)),
+            "frontier" => {
+                let rows = sweeps::frontier_sweep(&sweeps::default_frontier_sizes());
+                if json {
+                    sweeps::frontier_json(&rows)
+                } else {
+                    sweeps::frontier_csv(&rows)
+                }
+            }
             other => {
-                eprintln!("unknown sweep {other} (speedup|analysis|utilization|engine|wavefront)");
+                eprintln!(
+                    "unknown sweep {other} (speedup|analysis|utilization|engine|wavefront|frontier)"
+                );
                 std::process::exit(2);
             }
         };
@@ -106,7 +118,7 @@ fn main() {
                     vec![o]
                 }
                 None => {
-                    eprintln!("unknown experiment id {id} (use e1..e15)");
+                    eprintln!("unknown experiment id {id} (use e1..e16)");
                     std::process::exit(2);
                 }
             }
@@ -118,7 +130,7 @@ fn main() {
         (Some(id), None) => match run_experiment(&id) {
             Some(o) => vec![o],
             None => {
-                eprintln!("unknown experiment id {id} (use e1..e15)");
+                eprintln!("unknown experiment id {id} (use e1..e16)");
                 std::process::exit(2);
             }
         },

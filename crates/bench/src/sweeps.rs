@@ -376,6 +376,106 @@ pub fn wavefront_csv(rows: &[WavefrontRow]) -> String {
     out
 }
 
+/// One row of the frontier sweep: one Pareto-optimal design of the joint
+/// `(S, Π, machine)` exploration at one `(u, p)` size, with its verification
+/// evidence.
+#[derive(Debug, Clone, Serialize)]
+pub struct FrontierRow {
+    /// Matrix dimension.
+    pub u: i64,
+    /// Word length.
+    pub p: i64,
+    /// Total execution time (4.5).
+    pub time: i64,
+    /// Exact processor count `|S·J|`.
+    pub processors: usize,
+    /// Longest wire of the machine.
+    pub max_wire_length: i64,
+    /// Machine label.
+    pub machine: String,
+    /// Space-mapping rows of the witness `S`.
+    pub space: String,
+    /// Schedule vector `Π`.
+    pub schedule: String,
+    /// Which engine verified the design (`backend_used` of the report).
+    pub backend: String,
+    /// Def. 4.1 feasible **and** bit-exact across engines.
+    pub verified: bool,
+}
+
+/// Runs the full design-space exploration at each `(u, p)` and flattens the
+/// verified Pareto frontiers into rows (the export behind `--sweep
+/// frontier`). Sizes run in parallel; the explorer is itself rayon-parallel
+/// across spaces.
+pub fn frontier_sweep(sizes: &[(i64, i64)]) -> Vec<FrontierRow> {
+    sizes
+        .par_iter()
+        .flat_map(|&(u, p)| {
+            let flow = bitlevel_core::DesignFlow::matmul(u, p as usize);
+            let (family, config) = flow.default_exploration();
+            let ex = flow.explore(&family, &config).expect("well-formed exploration");
+            ex.designs
+                .iter()
+                .map(|d| {
+                    let t = &d.point.mapping;
+                    let space = (0..t.space.rows())
+                        .map(|r| format!("{:?}", t.space.row(r)))
+                        .collect::<Vec<_>>()
+                        .join(";");
+                    FrontierRow {
+                        u,
+                        p,
+                        time: d.point.time,
+                        processors: d.point.processors,
+                        max_wire_length: d.point.max_wire_length,
+                        machine: d.point.machine.clone(),
+                        space,
+                        schedule: format!("{:?}", t.schedule.as_slice()),
+                        backend: d.report.backend_used.clone(),
+                        verified: d.verified(),
+                    }
+                })
+                .collect::<Vec<_>>()
+        })
+        .collect()
+}
+
+/// CSV rendering of the frontier sweep.
+pub fn frontier_csv(rows: &[FrontierRow]) -> String {
+    let mut out = String::from(
+        "u,p,time,processors,max_wire_length,machine,space,schedule,backend,verified\n",
+    );
+    for r in rows {
+        out.push_str(&format!(
+            "{},{},{},{},{},\"{}\",\"{}\",\"{}\",\"{}\",{}\n",
+            r.u,
+            r.p,
+            r.time,
+            r.processors,
+            r.max_wire_length,
+            r.machine,
+            r.space,
+            r.schedule,
+            r.backend,
+            r.verified
+        ));
+    }
+    out
+}
+
+/// JSON rendering of the frontier sweep (the `--sweep frontier --json`
+/// export; validated for JSON well-formedness by the CI smoke step).
+pub fn frontier_json(rows: &[FrontierRow]) -> String {
+    serde_json::to_string_pretty(rows).expect("frontier rows serialize")
+}
+
+/// Default sizes for the frontier sweep: the smallest size (where the joint
+/// search strictly beats the paper's fixed-`S` nearest-neighbour design) and
+/// the u > p size where both paper schedules head their frontier ends.
+pub fn default_frontier_sizes() -> Vec<(i64, i64)> {
+    vec![(2, 2), (3, 2)]
+}
+
 /// Default sweep grids (kept modest so debug runs stay fast; release runs
 /// can pass larger grids).
 pub fn default_speedup_sizes() -> Vec<(i64, i64)> {
@@ -453,6 +553,25 @@ mod tests {
         let csv = wavefront_csv(&rows);
         assert_eq!(csv.lines().count(), 10);
         assert!(csv.starts_with("cycle,fig4_width,fig5_width"));
+    }
+
+    #[test]
+    fn frontier_rows_are_verified_pareto_designs() {
+        let rows = frontier_sweep(&[(2, 2)]);
+        assert!(!rows.is_empty());
+        for r in &rows {
+            assert!(r.verified, "unverified frontier design at u={} p={}", r.u, r.p);
+            assert_eq!(r.backend, "compiled");
+            assert!(r.time > 0 && r.processors > 0 && r.max_wire_length >= 1);
+        }
+        // Theorem 4.5's schedule heads the u=p=2 frontier at t=7.
+        assert_eq!(rows[0].time, 7);
+        assert_eq!(rows[0].schedule, "[1, 1, 1, 2, 1]");
+        let csv = frontier_csv(&rows);
+        assert_eq!(csv.lines().count(), rows.len() + 1);
+        assert!(csv.starts_with("u,p,time,processors,max_wire_length,"));
+        // CSV fields with internal commas are quoted.
+        assert!(csv.contains("\"[1, 1, 1, 2, 1]\""));
     }
 
     #[test]

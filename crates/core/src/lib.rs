@@ -22,9 +22,12 @@
 pub mod pipeline;
 pub mod report;
 
-pub use pipeline::{ArchitectureReport, DesignFlow};
+pub use pipeline::{
+    ArchitectureReport, DesignFlow, ExplorationReport, VerifiedFrontierPoint,
+};
 pub use report::{
-    render_architecture, render_matmul_comparison, render_structure, render_trace_summary,
+    render_architecture, render_frontier, render_matmul_comparison, render_structure,
+    render_trace_summary,
 };
 
 // Re-export the layer crates so downstream users need a single dependency.
@@ -40,7 +43,8 @@ pub use bitlevel_arith::{AddShift, CarrySave, MultiplierAlgorithm, RippleAdder};
 pub use bitlevel_depanal::{compare_analyses, compose, expand, Expansion};
 pub use bitlevel_ir::{AlgorithmTriplet, BoxSet, WordLevelAlgorithm};
 pub use bitlevel_mapping::{
-    check_feasibility, find_optimal_schedule, Interconnect, MappingMatrix, PaperDesign,
+    check_feasibility, explore, find_optimal_schedule, generate_space_family, ExploreConfig,
+    Interconnect, MachineOption, MappingError, MappingMatrix, PaperDesign,
 };
 pub use bitlevel_systolic::{
     run_clocked_compiled, simulate_mapped, simulate_mapped_compiled, BitMatmulArray, NullSink,

@@ -14,7 +14,8 @@ use bitlevel_depanal::{compose, Expansion};
 use bitlevel_ir::{AlgorithmTriplet, WordLevelAlgorithm};
 use bitlevel_linalg::IMat;
 use bitlevel_mapping::{
-    check_feasibility, find_optimal_schedule, total_time, Interconnect, MappingMatrix,
+    check_feasibility, find_optimal_schedule, generate_space_family, total_time, ExploreConfig,
+    ExploreStats, FrontierPoint, Interconnect, MachineOption, MappingError, MappingMatrix,
     OptimalSchedule, PaperDesign,
 };
 use bitlevel_systolic::{
@@ -57,6 +58,48 @@ pub struct ArchitectureReport {
     /// or `"interpreted (fallback: <reason>)"` when the compiled backend
     /// declined the structure (e.g. more than 64 dependence columns).
     pub backend_used: String,
+}
+
+/// One frontier design with its verification evidence: the architecture
+/// report from the flow's configured backend plus the field-by-field
+/// comparison against an independent interpreted-engine reference run.
+#[derive(Debug, Clone, Serialize)]
+pub struct VerifiedFrontierPoint {
+    /// The explorer's design (mapping, machine, objective triple).
+    pub point: FrontierPoint,
+    /// Full evaluation on the flow's backend (compiled with interpreted
+    /// fallback by default; `report.backend_used` says which engine ran).
+    pub report: ArchitectureReport,
+    /// Fields on which the backend's measurement differed from the
+    /// interpreted reference — empty means the design is verified bit-exact
+    /// across engines.
+    pub divergences: Vec<String>,
+}
+
+impl VerifiedFrontierPoint {
+    /// True iff the design is Definition-4.1 feasible **and** both engines
+    /// measured the identical run.
+    pub fn verified(&self) -> bool {
+        self.report.feasible && self.divergences.is_empty()
+    }
+}
+
+/// Result of [`DesignFlow::explore`]: every frontier design independently
+/// re-simulated and cross-checked, plus the explorer's pruning statistics.
+#[derive(Debug, Clone, Serialize)]
+pub struct ExplorationReport {
+    /// Verified frontier designs, in the explorer's deterministic order.
+    pub designs: Vec<VerifiedFrontierPoint>,
+    /// Search statistics (examined vs exhaustive, pruning counters).
+    pub stats: ExploreStats,
+}
+
+impl ExplorationReport {
+    /// True iff every frontier design passed feasibility and the bit-exact
+    /// engine cross-check.
+    pub fn all_verified(&self) -> bool {
+        self.designs.iter().all(|d| d.verified())
+    }
 }
 
 impl DesignFlow {
@@ -206,6 +249,77 @@ impl DesignFlow {
     /// The execution time a schedule would give on this flow's index set.
     pub fn schedule_time(&self, pi: &bitlevel_linalg::IVec) -> i64 {
         total_time(pi, &self.bit_level_structure().index_set)
+    }
+
+    /// The default design-space exploration setup for this flow: the
+    /// generated family of space mappings (two-row combinations with entries
+    /// up to the word length, which includes the paper's `S` of (4.2)) and
+    /// the machine menu of Section 4 — the long-wire machine `P` and the
+    /// nearest-neighbour machine `P'`.
+    pub fn default_exploration(&self) -> (Vec<IMat>, ExploreConfig) {
+        let p = self.p as i64;
+        let n = self.bit_level_structure().dim();
+        let family = generate_space_family(n, 2, p);
+        let config = ExploreConfig {
+            pi_bound: p,
+            machines: vec![
+                MachineOption::new("P (long wires)", Interconnect::paper_p(p)),
+                MachineOption::new("P' (nearest neighbour)", Interconnect::paper_p_prime()),
+            ],
+        };
+        (family, config)
+    }
+
+    /// Full design-space exploration (steps 3+4 over the whole frontier):
+    /// runs [`bitlevel_mapping::explore`] over `spaces × config.machines`,
+    /// then **verifies** every frontier design — evaluation on the flow's
+    /// backend (compiled with interpreted fallback, `backend_used` recorded)
+    /// plus a field-by-field bit-exact comparison against an independent
+    /// interpreted-engine run.
+    pub fn explore(
+        &self,
+        spaces: &[IMat],
+        config: &ExploreConfig,
+    ) -> Result<ExplorationReport, MappingError> {
+        self.explore_traced(spaces, config, &mut NullSink)
+    }
+
+    /// [`DesignFlow::explore`] with observability: the verification run of
+    /// every frontier design streams its events (including any
+    /// [`TraceEvent::BackendFallback`]) into `sink`.
+    pub fn explore_traced<K: TraceSink>(
+        &self,
+        spaces: &[IMat],
+        config: &ExploreConfig,
+        sink: &mut K,
+    ) -> Result<ExplorationReport, MappingError> {
+        let alg = self.bit_level_structure();
+        let ex = bitlevel_mapping::explore(&alg, spaces, config)?;
+        let designs = ex
+            .frontier
+            .iter()
+            .map(|point| {
+                let name = format!("frontier t={} on {}", point.time, point.machine);
+                let report = self.evaluate_structure_traced(
+                    &name,
+                    &alg,
+                    &point.mapping,
+                    &point.interconnect,
+                    Some(point.time),
+                    sink,
+                );
+                let reference =
+                    simulate_mapped_traced(&alg, &point.mapping, &point.interconnect, &mut NullSink);
+                let divergences = report
+                    .run
+                    .divergences_from(&reference)
+                    .into_iter()
+                    .map(str::to_string)
+                    .collect();
+                VerifiedFrontierPoint { point: point.clone(), report, divergences }
+            })
+            .collect();
+        Ok(ExplorationReport { designs, stats: ex.stats })
     }
 
     /// The deepest verification available for matmul flows: executes the
@@ -444,6 +558,50 @@ mod tests {
             .expect("feasible");
         assert_eq!(best.pi, bitlevel_linalg::IVec::from([1, 1, 1, 2, 1]));
         assert_eq!(best.time, flow.schedule_time(&best.pi));
+    }
+
+    #[test]
+    fn explore_verifies_every_frontier_design_bit_exactly() {
+        let flow = DesignFlow::matmul(2, 2);
+        let (family, config) = flow.default_exploration();
+        let ex = flow.explore(&family, &config).expect("well-formed inputs");
+        assert!(!ex.designs.is_empty(), "matmul must have feasible designs");
+        assert!(ex.all_verified(), "{:?}", ex.designs.iter().map(|d| &d.divergences).collect::<Vec<_>>());
+        for d in &ex.designs {
+            assert!(d.report.feasible, "{:?}", d.report.violations);
+            assert_eq!(d.report.backend_used, "compiled");
+            assert_eq!(d.report.run.cycles, d.point.time, "simulation confirms the explorer");
+            assert_eq!(d.report.run.processors, d.point.processors);
+            assert_eq!(Some(d.report.run.cycles), d.report.closed_form_cycles);
+        }
+        // Theorem 4.5's schedule heads the frontier.
+        assert_eq!(
+            ex.designs[0].point.mapping.schedule,
+            bitlevel_linalg::IVec::from([1, 1, 1, 2, 1])
+        );
+        assert!(ex.stats.full_checks * 10 <= ex.stats.exhaustive, "pruning must be >=10x");
+    }
+
+    #[test]
+    fn explore_traced_streams_verification_runs() {
+        use bitlevel_systolic::RecordingSink;
+        let flow = DesignFlow::matmul(2, 2);
+        let (family, config) = flow.default_exploration();
+        let mut sink = RecordingSink::new();
+        let ex = flow.explore_traced(&family, &config, &mut sink).unwrap();
+        // Every frontier verification fires all |J| = 32 computations.
+        assert_eq!(sink.rollup().fire_total(), 32 * ex.designs.len() as u64);
+    }
+
+    #[test]
+    fn explore_propagates_typed_errors() {
+        let flow = DesignFlow::matmul(2, 2);
+        let (family, mut config) = flow.default_exploration();
+        config.pi_bound = 0;
+        assert_eq!(
+            flow.explore(&family, &config).unwrap_err(),
+            MappingError::NonPositiveBound { bound: 0 }
+        );
     }
 
     #[test]

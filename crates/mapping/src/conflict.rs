@@ -66,7 +66,8 @@ pub fn check_conflicts(t: &MappingMatrix, j: &BoxSet) -> ConflictResult {
 
 /// Brute-force conflict check: hash `T·j̄` over every point of `J`.
 pub fn check_conflicts_bruteforce(t: &MappingMatrix, j: &BoxSet) -> ConflictResult {
-    let mut seen: HashMap<IVec, IVec> = HashMap::with_capacity(j.cardinality() as usize);
+    let mut seen: HashMap<IVec, IVec> =
+        HashMap::with_capacity(crate::schedule::clamped_capacity(j.cardinality()));
     for q in j.iter_points() {
         let img = t.apply(&q);
         if let Some(prev) = seen.insert(img, q.clone()) {

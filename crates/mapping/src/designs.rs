@@ -125,6 +125,32 @@ mod tests {
     }
 
     #[test]
+    fn closed_forms_equal_measured_total_time_on_the_grid() {
+        // Pins the coefficient choice: both closed forms must equal the
+        // measured `total_time(Π, J)` of eq. (4.5) on every grid point —
+        // and the paper's printed (4.8) coefficient `(2p−1)(u−1)` must NOT
+        // (it contradicts the paper's own `Π′·(ū − l̄) + 1` expansion;
+        // DESIGN.md documents the discrepancy).
+        use bitlevel_ir::BoxSet;
+        for u in 2i64..=6 {
+            for p in 2i64..=6 {
+                let j = BoxSet::cube(3, 1, u).product(&BoxSet::cube(2, 1, p));
+                for d in [PaperDesign::TimeOptimal, PaperDesign::NearestNeighbour] {
+                    let measured = crate::schedule::total_time(&d.mapping(p).schedule, &j);
+                    assert_eq!(d.total_time(u, p), measured, "{d:?} u={u} p={p}");
+                }
+                let printed_4_8 = (2 * p - 1) * (u - 1) + 3 * (p - 1) + 1;
+                let measured = crate::schedule::total_time(
+                    &PaperDesign::NearestNeighbour.mapping(p).schedule,
+                    &j,
+                );
+                assert_ne!(printed_4_8, measured, "the printed (4.8) is 2(u−1) short");
+                assert_eq!(measured - printed_4_8, 2 * (u - 1));
+            }
+        }
+    }
+
+    #[test]
     fn processors_closed_form() {
         assert_eq!(PaperDesign::processors(3, 3), 81);
         assert_eq!(PaperDesign::processors(2, 4), 64);

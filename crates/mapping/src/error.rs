@@ -1,0 +1,75 @@
+//! Typed errors for the mapping crate's public API.
+//!
+//! Mirrors the systolic crate's `try_compile`/`CompileError` pattern: every
+//! panicking entry point gains a `try_*` variant returning [`MappingError`],
+//! and the original stays as a thin wrapper for callers that prefer to panic
+//! on caller bugs.
+
+use std::fmt;
+
+/// Why a mapping-crate operation could not be carried out.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum MappingError {
+    /// Two objects that must agree on a dimension do not. `what` names the
+    /// pair in `left/right` order (e.g. `"space/schedule"`).
+    DimensionMismatch {
+        /// Which pair of objects disagrees.
+        what: &'static str,
+        /// Dimension of the first object.
+        left: usize,
+        /// Dimension of the second object.
+        right: usize,
+    },
+    /// A search bound that must be at least 1 was zero or negative.
+    NonPositiveBound {
+        /// The offending bound.
+        bound: i64,
+    },
+    /// The candidate space of a search exceeds
+    /// [`crate::schedule::MAX_SEARCH_CANDIDATES`] and would never finish
+    /// (this is also where `usize` counts used to overflow).
+    SearchSpaceTooLarge {
+        /// Exact candidate count (saturated at `u128::MAX`).
+        candidates: u128,
+        /// The enforced maximum.
+        max: u128,
+    },
+}
+
+impl fmt::Display for MappingError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            MappingError::DimensionMismatch { what, left, right } => {
+                write!(f, "{what} dimension mismatch: {left} vs {right}")
+            }
+            MappingError::NonPositiveBound { bound } => {
+                write!(f, "search bound must be positive, got {bound}")
+            }
+            MappingError::SearchSpaceTooLarge { candidates, max } => {
+                write!(
+                    f,
+                    "search space of {candidates} candidates exceeds the supported maximum {max}"
+                )
+            }
+        }
+    }
+}
+
+impl std::error::Error for MappingError {}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn display_keeps_the_historic_assert_wording() {
+        // Wrappers panic with these messages; existing `should_panic`
+        // expectations match on the "dimension mismatch" fragment.
+        let e = MappingError::DimensionMismatch { what: "space/schedule", left: 3, right: 2 };
+        assert_eq!(e.to_string(), "space/schedule dimension mismatch: 3 vs 2");
+        let e = MappingError::NonPositiveBound { bound: 0 };
+        assert!(e.to_string().contains("must be positive"));
+        let e = MappingError::SearchSpaceTooLarge { candidates: 1 << 100, max: 1 << 42 };
+        assert!(e.to_string().contains("exceeds"));
+    }
+}

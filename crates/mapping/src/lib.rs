@@ -15,10 +15,16 @@
 //! * [`schedule`] — the execution-time formula (4.5), processor counting,
 //!   and the rayon-parallel search for time-optimal schedules (Theorem 4.5);
 //! * [`designs`] — the paper's two concrete matmul architectures (Figs. 4–5)
-//!   and the Section 4.2 word-level comparator in closed form.
+//!   and the Section 4.2 word-level comparator in closed form;
+//! * [`explore`] — the Pareto design-space explorer over `(S, Π, machine)`
+//!   with branch-and-bound pruning;
+//! * [`error`] — typed errors for the `try_*` variants of the panicking
+//!   entry points.
 
 pub mod conflict;
 pub mod designs;
+pub mod error;
+pub mod explore;
 pub mod feasibility;
 pub mod interconnect;
 pub mod lowerdim;
@@ -28,6 +34,11 @@ pub mod transform;
 
 pub use conflict::{check_conflicts, check_conflicts_bruteforce, ConflictResult};
 pub use designs::{speedup, word_level_total_time, PaperDesign};
+pub use error::MappingError;
+pub use explore::{
+    explore, generate_space_family, ExploreConfig, ExploreStats, Exploration, FrontierPoint,
+    MachineOption,
+};
 pub use feasibility::{check_feasibility, FeasibilityReport, Violation};
 pub use interconnect::{Interconnect, KSolution, Routing};
 pub use lowerdim::{find_linear_array_mapping, linear_interconnect, LinearArrayDesign};
@@ -37,6 +48,8 @@ pub use polyhedral::{
 };
 pub use schedule::{
     dependence_only_bound, find_optimal_schedule, find_optimal_schedule_bestfirst,
-    processor_count, total_time, OptimalSchedule,
+    processor_count, total_time, try_dependence_only_bound, try_find_optimal_schedule,
+    try_find_optimal_schedule_bestfirst, try_total_time, OptimalSchedule,
+    MAX_SEARCH_CANDIDATES,
 };
 pub use transform::MappingMatrix;

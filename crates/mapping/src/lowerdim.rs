@@ -56,7 +56,7 @@ pub fn find_linear_array_mapping(
     // entries coprime, not all zero.
     let mut candidates: Vec<IVec> = Vec::new();
     let range: Vec<i64> = (-s_bound..=s_bound).collect();
-    let total = range.len().pow(n as u32);
+    let total = crate::schedule::candidate_count(range.len(), n as u32);
     let mut idx = vec![0usize; n];
     for _ in 0..total {
         let s = IVec(idx.iter().map(|&i| range[i]).collect());

@@ -82,7 +82,7 @@ pub fn find_optimal_schedule_polyhedral(
     assert_eq!(space.cols(), n, "space/index dimension mismatch");
     let d = deps.matrix();
     let range: Vec<i64> = (-bound..=bound).collect();
-    let total = range.len().pow(n as u32);
+    let total = crate::schedule::candidate_count(range.len(), n as u32);
     let mut best: Option<(i64, IVec)> = None;
     let mut idx = vec![0usize; n];
     for _ in 0..total {

@@ -7,7 +7,13 @@
 //! mapping `S` of (4.2); [`find_optimal_schedule`] reproduces that claim by
 //! exhaustive search over bounded schedule vectors (rayon-parallel — the
 //! search space is `(2B+1)ⁿ`).
+//!
+//! All candidate counts are computed in `u128` (the `(2B+1)ⁿ` products
+//! overflow `usize` long before a search becomes infeasible to *run*), and
+//! searches whose candidate space exceeds [`MAX_SEARCH_CANDIDATES`] are
+//! rejected up front with a typed error instead of spinning forever.
 
+use crate::error::MappingError;
 use crate::feasibility::check_feasibility;
 use crate::interconnect::Interconnect;
 use crate::transform::MappingMatrix;
@@ -15,11 +21,48 @@ use bitlevel_ir::{AlgorithmTriplet, BoxSet};
 use bitlevel_linalg::{IMat, IVec};
 use rayon::prelude::*;
 
+/// Hard cap on enumerable schedule-search spaces. `(2B+1)ⁿ` candidates above
+/// this would take years to walk; `try_find_optimal_schedule` returns
+/// [`MappingError::SearchSpaceTooLarge`] instead of hanging (and instead of
+/// the `usize::pow` overflow the count used to hit first).
+pub const MAX_SEARCH_CANDIDATES: u128 = 1 << 42;
+
+/// `per_axis^axes` in `u128`, saturating at `u128::MAX` — candidate counts
+/// must never wrap, whatever the bound and dimension.
+pub(crate) fn candidate_count(per_axis: usize, axes: u32) -> u128 {
+    (per_axis as u128).checked_pow(axes).unwrap_or(u128::MAX)
+}
+
+/// Clamp a box cardinality to a sane hash preallocation: the `u128`
+/// cardinality of a box can exceed `usize` on 32-bit targets, and even where
+/// it fits, preallocating gigabytes for a set we may never fill is an OOM
+/// footgun. The hash grows on demand past the cap.
+pub(crate) fn clamped_capacity(cardinality: u128) -> usize {
+    const CAP: usize = 1 << 16;
+    cardinality.min(CAP as u128) as usize
+}
+
 /// Total execution time of schedule `pi` over box `j` (eq. (4.5)):
 /// `Σ |πᵢ|·(uᵢ − lᵢ) + 1`.
+///
+/// # Panics
+/// Panics if `pi` and `j` disagree on the dimension; [`try_total_time`] is
+/// the non-panicking variant.
 pub fn total_time(pi: &IVec, j: &BoxSet) -> i64 {
-    assert_eq!(pi.dim(), j.dim(), "schedule/index dimension mismatch");
-    (0..j.dim()).map(|i| pi[i].abs() * j.extent(i)).sum::<i64>() + 1
+    try_total_time(pi, j).unwrap_or_else(|e| panic!("{e}"))
+}
+
+/// [`total_time`] with a typed error instead of a panic on dimension
+/// mismatch.
+pub fn try_total_time(pi: &IVec, j: &BoxSet) -> Result<i64, MappingError> {
+    if pi.dim() != j.dim() {
+        return Err(MappingError::DimensionMismatch {
+            what: "schedule/index",
+            left: pi.dim(),
+            right: j.dim(),
+        });
+    }
+    Ok((0..j.dim()).map(|i| pi[i].abs() * j.extent(i)).sum::<i64>() + 1)
 }
 
 /// Number of processors used: `|{S·q̄ : q̄ ∈ J}|`.
@@ -28,7 +71,7 @@ pub fn total_time(pi: &IVec, j: &BoxSet) -> i64 {
 /// Section 4 designs) are checked against this in tests.
 pub fn processor_count(space: &IMat, j: &BoxSet) -> usize {
     let mut seen: std::collections::HashSet<IVec> =
-        std::collections::HashSet::with_capacity(j.cardinality() as usize);
+        std::collections::HashSet::with_capacity(clamped_capacity(j.cardinality()));
     for q in j.iter_points() {
         seen.insert(space.matvec(&q));
     }
@@ -44,8 +87,9 @@ pub struct OptimalSchedule {
     pub time: i64,
     /// How many candidate vectors were feasible.
     pub feasible_count: usize,
-    /// How many candidate vectors were examined.
-    pub examined: usize,
+    /// How many candidate vectors were examined (`(2B+1)ⁿ` — counted in
+    /// `u128` because the product overflows `usize` for large bounds).
+    pub examined: u128,
 }
 
 /// Exhaustively searches `Π ∈ [−bound, bound]ⁿ` for the schedule minimising
@@ -56,18 +100,32 @@ pub struct OptimalSchedule {
 /// result deterministic. The outer axis is searched in parallel with rayon.
 ///
 /// Returns `None` when no feasible schedule exists within the bound.
+///
+/// # Panics
+/// Panics on a non-positive bound, a space/algorithm dimension mismatch, or
+/// a candidate space above [`MAX_SEARCH_CANDIDATES`];
+/// [`try_find_optimal_schedule`] reports those as typed errors instead.
 pub fn find_optimal_schedule(
     space: &IMat,
     alg: &AlgorithmTriplet,
     ic: &Interconnect,
     bound: i64,
 ) -> Option<OptimalSchedule> {
-    assert!(bound >= 1, "search bound must be positive");
+    try_find_optimal_schedule(space, alg, ic, bound).unwrap_or_else(|e| panic!("{e}"))
+}
+
+/// [`find_optimal_schedule`] with typed errors: `Ok(None)` means the search
+/// ran and found nothing feasible; `Err` means it could not run at all.
+pub fn try_find_optimal_schedule(
+    space: &IMat,
+    alg: &AlgorithmTriplet,
+    ic: &Interconnect,
+    bound: i64,
+) -> Result<Option<OptimalSchedule>, MappingError> {
     let n = alg.dim();
-    assert_eq!(space.cols(), n, "space/algorithm dimension mismatch");
-    let range: Vec<i64> = (-bound..=bound).collect();
+    let (range, examined) = search_range(space.cols(), n, bound)?;
     let per_axis = range.len();
-    let total: usize = per_axis.pow((n - 1) as u32);
+    let inner: u128 = candidate_count(per_axis, (n - 1) as u32);
     let d = alg.dependence_matrix();
 
     let best = range
@@ -77,7 +135,7 @@ pub fn find_optimal_schedule(
             let mut feasible = 0usize;
             // Odometer over the remaining n-1 axes.
             let mut idx = vec![0usize; n - 1];
-            for _ in 0..total {
+            for _ in 0..inner {
                 let mut pi = IVec::zeros(n);
                 pi[0] = first;
                 for (a, &ix) in idx.iter().enumerate() {
@@ -128,13 +186,40 @@ pub fn find_optimal_schedule(
             },
         );
 
-    let examined = per_axis.pow(n as u32);
-    best.0.map(|(time, pi)| OptimalSchedule {
+    Ok(best.0.map(|(time, pi)| OptimalSchedule {
         pi,
         time,
         feasible_count: best.1,
         examined,
-    })
+    }))
+}
+
+/// Validates a schedule search's inputs and returns the per-axis range plus
+/// the exact `u128` candidate count. Shared by both search strategies.
+fn search_range(
+    space_cols: usize,
+    n: usize,
+    bound: i64,
+) -> Result<(Vec<i64>, u128), MappingError> {
+    if bound < 1 {
+        return Err(MappingError::NonPositiveBound { bound });
+    }
+    if space_cols != n {
+        return Err(MappingError::DimensionMismatch {
+            what: "space/algorithm",
+            left: space_cols,
+            right: n,
+        });
+    }
+    let range: Vec<i64> = (-bound..=bound).collect();
+    let candidates = candidate_count(range.len(), n as u32);
+    if candidates > MAX_SEARCH_CANDIDATES {
+        return Err(MappingError::SearchSpaceTooLarge {
+            candidates,
+            max: MAX_SEARCH_CANDIDATES,
+        });
+    }
+    Ok((range, candidates))
 }
 
 /// Best-first variant of [`find_optimal_schedule`]: sorts all candidate
@@ -143,24 +228,35 @@ pub fn find_optimal_schedule(
 /// the expensive feasibility machinery only runs until the first hit instead
 /// of over every candidate. Prefer this when feasible schedules are common;
 /// prefer the exhaustive search when you also want the feasible count.
+///
+/// # Panics
+/// Same contract as [`find_optimal_schedule`];
+/// [`try_find_optimal_schedule_bestfirst`] is the typed-error variant.
 pub fn find_optimal_schedule_bestfirst(
     space: &IMat,
     alg: &AlgorithmTriplet,
     ic: &Interconnect,
     bound: i64,
 ) -> Option<OptimalSchedule> {
-    assert!(bound >= 1, "search bound must be positive");
+    try_find_optimal_schedule_bestfirst(space, alg, ic, bound).unwrap_or_else(|e| panic!("{e}"))
+}
+
+/// [`find_optimal_schedule_bestfirst`] with typed errors.
+pub fn try_find_optimal_schedule_bestfirst(
+    space: &IMat,
+    alg: &AlgorithmTriplet,
+    ic: &Interconnect,
+    bound: i64,
+) -> Result<Option<OptimalSchedule>, MappingError> {
     let n = alg.dim();
-    assert_eq!(space.cols(), n, "space/algorithm dimension mismatch");
+    let (range, examined) = search_range(space.cols(), n, bound)?;
     let d = alg.dependence_matrix();
-    let range: Vec<i64> = (-bound..=bound).collect();
-    let total: usize = range.len().pow(n as u32);
 
     // Enumerate candidates passing the cheap condition-1 screen, tagged with
     // their closed-form time.
     let mut candidates: Vec<(i64, IVec)> = Vec::new();
     let mut idx = vec![0usize; n];
-    for _ in 0..total {
+    for _ in 0..examined {
         let pi = IVec(idx.iter().map(|&i| range[i]).collect());
         if (0..d.cols()).all(|c| d.col(c).dot(&pi) > 0) {
             candidates.push((total_time(&pi, &alg.index_set), pi));
@@ -175,30 +271,40 @@ pub fn find_optimal_schedule_bestfirst(
     }
     candidates.sort();
 
-    let examined = total;
     for (checked, (time, pi)) in candidates.into_iter().enumerate() {
         let t = MappingMatrix::new(space.clone(), pi.clone());
         if check_feasibility(&t, alg, ic).is_feasible() {
-            return Some(OptimalSchedule {
+            return Ok(Some(OptimalSchedule {
                 pi,
                 time,
                 feasible_count: checked + 1, // full checks performed, not total feasible
                 examined,
-            });
+            }));
         }
     }
-    None
+    Ok(None)
 }
 
 /// A faster lower bound: the best time over schedules satisfying only
 /// condition 1 (`Π·D > 0`), ignoring routing and conflicts. Useful to show a
 /// found schedule is truly optimal (matching lower bound) or to quantify the
 /// cost of conditions 2–5.
+///
+/// # Panics
+/// Panics when the candidate space exceeds [`MAX_SEARCH_CANDIDATES`];
+/// [`try_dependence_only_bound`] reports that as a typed error.
 pub fn dependence_only_bound(alg: &AlgorithmTriplet, bound: i64) -> Option<i64> {
+    try_dependence_only_bound(alg, bound).unwrap_or_else(|e| panic!("{e}"))
+}
+
+/// [`dependence_only_bound`] with typed errors.
+pub fn try_dependence_only_bound(
+    alg: &AlgorithmTriplet,
+    bound: i64,
+) -> Result<Option<i64>, MappingError> {
     let n = alg.dim();
+    let (range, total) = search_range(n, n, bound)?;
     let d = alg.dependence_matrix();
-    let range: Vec<i64> = (-bound..=bound).collect();
-    let total: usize = range.len().pow(n as u32);
     let mut best: Option<i64> = None;
     let mut idx = vec![0usize; n];
     for _ in 0..total {
@@ -215,7 +321,7 @@ pub fn dependence_only_bound(alg: &AlgorithmTriplet, bound: i64) -> Option<i64> 
             idx[slot] = 0;
         }
     }
-    best
+    Ok(best)
 }
 
 #[cfg(test)]
@@ -256,6 +362,16 @@ mod tests {
     }
 
     #[test]
+    fn try_total_time_reports_dimension_mismatch() {
+        let j = BoxSet::cube(3, 1, 2);
+        let pi = IVec::from([1, 1]);
+        assert_eq!(
+            try_total_time(&pi, &j),
+            Err(MappingError::DimensionMismatch { what: "schedule/index", left: 2, right: 3 })
+        );
+    }
+
+    #[test]
     fn t_prime_time_formula() {
         // Π' = [p,p,1,2,1]: t' = (2p+1)(u−1) + 3(p−1) + 1. (The paper prints
         // (2p−1)(u−1)+3(p−1)+1 for eq. (4.8), inconsistent with its own
@@ -274,6 +390,18 @@ mod tests {
             let s = IMat::from_rows(&[&[p, 0, 0, 1, 0], &[0, p, 0, 0, 1]]);
             assert_eq!(processor_count(&s, &j), (u * u * p * p) as usize, "u={u} p={p}");
         }
+    }
+
+    #[test]
+    fn processor_count_on_box_beyond_preallocation_cap() {
+        // |J| = 101³ = 1_030_301 > 2¹⁶: the preallocation is clamped (the old
+        // code asked the allocator for the full cardinality, a truncating
+        // u128→usize cast on 32-bit) but the count stays exact.
+        let j = BoxSet::cube(3, 1, 101);
+        assert!(j.cardinality() > 1 << 16);
+        // S = [1, 0, 0]: image is the first axis, 101 processors.
+        let s = IMat::from_rows(&[&[1, 0, 0]]);
+        assert_eq!(processor_count(&s, &j), 101);
     }
 
     #[test]
@@ -319,7 +447,7 @@ mod tests {
             // Best-first must do no more full checks than there are
             // candidates, and typically far fewer than the feasible count
             // would suggest.
-            assert!(b.feasible_count <= b.examined);
+            assert!((b.feasible_count as u128) <= b.examined);
         }
     }
 
@@ -355,5 +483,71 @@ mod tests {
             let t = MappingMatrix::new(s.clone(), found.pi.clone());
             assert!(check_feasibility(&t, &alg, &Interconnect::paper_p(p)).is_feasible());
         }
+    }
+
+    #[test]
+    fn candidate_counts_no_longer_overflow() {
+        // bound = 6000 over n = 5 gives 12001⁵ ≈ 2.5·10²⁰ > usize::MAX on
+        // 64-bit: the old `usize::pow` count panicked in debug builds before
+        // the search even started. Now the exact count comes back in the
+        // typed error, instantly.
+        let alg = matmul_bitlevel(2, 2);
+        let s = IMat::from_rows(&[&[2, 0, 0, 1, 0], &[0, 2, 0, 0, 1]]);
+        let ic = Interconnect::paper_p(2);
+        let bound = 6000i64;
+        let expect = (2 * bound as u128 + 1).pow(5);
+        assert!(expect > u64::MAX as u128, "chosen bound must exceed the old usize count");
+        for result in [
+            try_find_optimal_schedule(&s, &alg, &ic, bound),
+            try_find_optimal_schedule_bestfirst(&s, &alg, &ic, bound),
+        ] {
+            assert_eq!(
+                result,
+                Err(MappingError::SearchSpaceTooLarge {
+                    candidates: expect,
+                    max: MAX_SEARCH_CANDIDATES
+                })
+            );
+        }
+        assert_eq!(
+            try_dependence_only_bound(&alg, bound),
+            Err(MappingError::SearchSpaceTooLarge {
+                candidates: expect,
+                max: MAX_SEARCH_CANDIDATES
+            })
+        );
+    }
+
+    #[test]
+    fn candidate_count_saturates_instead_of_wrapping() {
+        // (2·10⁹+1)^5 overflows even u128's 340-undecillion range when the
+        // dimension grows; the helper must saturate, never wrap.
+        assert_eq!(candidate_count(usize::MAX, 3), u128::MAX);
+        assert_eq!(candidate_count(5, 3), 125);
+        assert_eq!(candidate_count(5, 0), 1);
+    }
+
+    #[test]
+    fn try_variants_report_bad_inputs_as_typed_errors() {
+        let alg = matmul_bitlevel(2, 2);
+        let ic = Interconnect::paper_p(2);
+        let s = IMat::from_rows(&[&[2, 0, 0, 1, 0], &[0, 2, 0, 0, 1]]);
+        assert_eq!(
+            try_find_optimal_schedule(&s, &alg, &ic, 0),
+            Err(MappingError::NonPositiveBound { bound: 0 })
+        );
+        let narrow = IMat::from_rows(&[&[1, 0, 0]]);
+        assert_eq!(
+            try_find_optimal_schedule(&narrow, &alg, &ic, 2),
+            Err(MappingError::DimensionMismatch { what: "space/algorithm", left: 3, right: 5 })
+        );
+    }
+
+    #[test]
+    fn examined_count_is_exact_in_u128() {
+        let alg = matmul_bitlevel(2, 2);
+        let s = IMat::from_rows(&[&[2, 0, 0, 1, 0], &[0, 2, 0, 0, 1]]);
+        let found = find_optimal_schedule(&s, &alg, &Interconnect::paper_p(2), 2).unwrap();
+        assert_eq!(found.examined, 5u128.pow(5));
     }
 }

@@ -5,6 +5,7 @@
 //! This module holds the matrix type and its basic queries; the five
 //! feasibility conditions live in [`crate::feasibility`].
 
+use crate::error::MappingError;
 use bitlevel_linalg::{IMat, IVec};
 use serde::{Deserialize, Serialize};
 use std::fmt;
@@ -22,16 +23,23 @@ impl MappingMatrix {
     /// Creates `T = [S; Π]`.
     ///
     /// # Panics
-    /// Panics if `S` and `Π` disagree on the algorithm dimension.
+    /// Panics if `S` and `Π` disagree on the algorithm dimension;
+    /// [`MappingMatrix::try_new`] is the non-panicking variant.
     pub fn new(space: IMat, schedule: IVec) -> Self {
-        assert_eq!(
-            space.cols(),
-            schedule.dim(),
-            "space/schedule dimension mismatch: {} vs {}",
-            space.cols(),
-            schedule.dim()
-        );
-        MappingMatrix { space, schedule }
+        Self::try_new(space, schedule).unwrap_or_else(|e| panic!("{e}"))
+    }
+
+    /// [`MappingMatrix::new`] with a typed error instead of a panic when `S`
+    /// and `Π` disagree on the algorithm dimension.
+    pub fn try_new(space: IMat, schedule: IVec) -> Result<Self, MappingError> {
+        if space.cols() != schedule.dim() {
+            return Err(MappingError::DimensionMismatch {
+                what: "space/schedule",
+                left: space.cols(),
+                right: schedule.dim(),
+            });
+        }
+        Ok(MappingMatrix { space, schedule })
     }
 
     /// Algorithm dimension `n` (columns of `T`).
@@ -135,5 +143,14 @@ mod tests {
     #[should_panic(expected = "dimension mismatch")]
     fn mismatched_dims_panic() {
         let _ = MappingMatrix::new(IMat::identity(3), IVec::from([1, 1]));
+    }
+
+    #[test]
+    fn try_new_reports_mismatch_as_typed_error() {
+        assert_eq!(
+            MappingMatrix::try_new(IMat::identity(3), IVec::from([1, 1])),
+            Err(MappingError::DimensionMismatch { what: "space/schedule", left: 3, right: 2 })
+        );
+        assert!(MappingMatrix::try_new(IMat::identity(3), IVec::from([1, 1, 1])).is_ok());
     }
 }

@@ -51,6 +51,51 @@ pub struct MappedRunReport {
     pub buffer_cycles: u64,
 }
 
+impl MappedRunReport {
+    /// Names of the fields on which `self` and `other` disagree **bit-exactly**
+    /// (`utilization` is compared by its IEEE-754 bits, not by `==`, so two
+    /// reports agreeing here are byte-for-byte the same measurement). Empty
+    /// means the two engines measured the identical run — the
+    /// compiled-vs-interpreted cross-check used by the design-flow explorer
+    /// and the engine sweep.
+    pub fn divergences_from(&self, other: &MappedRunReport) -> Vec<&'static str> {
+        let mut out = Vec::new();
+        if self.cycles != other.cycles {
+            out.push("cycles");
+        }
+        if self.processors != other.processors {
+            out.push("processors");
+        }
+        if self.computations != other.computations {
+            out.push("computations");
+        }
+        if self.conflict_free != other.conflict_free {
+            out.push("conflict_free");
+        }
+        if self.causality_ok != other.causality_ok {
+            out.push("causality_ok");
+        }
+        if self.utilization.to_bits() != other.utilization.to_bits() {
+            out.push("utilization");
+        }
+        if self.peak_parallelism != other.peak_parallelism {
+            out.push("peak_parallelism");
+        }
+        if self.link_traffic != other.link_traffic {
+            out.push("link_traffic");
+        }
+        if self.buffer_cycles != other.buffer_cycles {
+            out.push("buffer_cycles");
+        }
+        out
+    }
+
+    /// True iff [`MappedRunReport::divergences_from`] is empty.
+    pub fn bit_identical(&self, other: &MappedRunReport) -> bool {
+        self.divergences_from(other).is_empty()
+    }
+}
+
 /// Simulates `alg` under mapping `t` on machine `ic`.
 ///
 /// # Panics
@@ -641,5 +686,41 @@ mod tests {
         assert!(rep.utilization > 0.0 && rep.utilization <= 1.0);
         assert!(rep.peak_parallelism >= 1);
         assert!(rep.link_traffic.iter().sum::<u64>() > 0);
+    }
+
+    #[test]
+    fn divergence_report_names_exactly_the_differing_fields() {
+        let alg = matmul_bitlevel(2, 2);
+        let d = PaperDesign::TimeOptimal;
+        let rep = simulate_mapped(&alg, &d.mapping(2), &d.interconnect(2));
+        assert!(rep.bit_identical(&rep));
+        let mut other = rep.clone();
+        other.cycles += 1;
+        other.link_traffic[0] += 1;
+        assert_eq!(rep.divergences_from(&other), vec!["cycles", "link_traffic"]);
+        assert!(!rep.bit_identical(&other));
+    }
+
+    #[test]
+    fn compiled_and_interpreted_engines_are_bit_identical_on_paper_designs() {
+        for (u, p) in [(2i64, 2i64), (3, 2)] {
+            let alg = matmul_bitlevel(u, p);
+            for d in [PaperDesign::TimeOptimal, PaperDesign::NearestNeighbour] {
+                let interp = simulate_mapped(&alg, &d.mapping(p), &d.interconnect(p));
+                let compiled = crate::compiled::CompiledSchedule::try_compile(
+                    &alg,
+                    &d.mapping(p),
+                    &d.interconnect(p),
+                )
+                .expect("paper structures compile")
+                .mapped_report();
+                assert_eq!(
+                    compiled.divergences_from(&interp),
+                    Vec::<&str>::new(),
+                    "u={u} p={p} {:?}",
+                    d
+                );
+            }
+        }
     }
 }

@@ -37,11 +37,12 @@ pub use bitlevel_mapping as mapping;
 pub use bitlevel_systolic as systolic;
 
 pub use bitlevel_core::{
-    check_feasibility, compare_analyses, compose, expand, find_optimal_schedule,
-    render_architecture, render_matmul_comparison, render_structure, render_trace_summary,
-    run_clocked_compiled, simulate_mapped, simulate_mapped_compiled, AddShift, AlgorithmTriplet,
-    ArchitectureReport, BitMatmulArray, BoxSet, CarrySave, DesignFlow, Expansion, Interconnect,
-    MappingMatrix, MultiplierAlgorithm, NullSink, PaperDesign, RecordingSink, RippleAdder,
-    SimBackend, TraceConfig, TraceEvent, TraceRollup, TraceSink, WordLevelAlgorithm,
-    WordLevelArray,
+    check_feasibility, compare_analyses, compose, expand, explore, find_optimal_schedule,
+    generate_space_family, render_architecture, render_frontier, render_matmul_comparison,
+    render_structure, render_trace_summary, run_clocked_compiled, simulate_mapped,
+    simulate_mapped_compiled, AddShift, AlgorithmTriplet, ArchitectureReport, BitMatmulArray,
+    BoxSet, CarrySave, DesignFlow, Expansion, ExplorationReport, ExploreConfig, Interconnect,
+    MachineOption, MappingError, MappingMatrix, MultiplierAlgorithm, NullSink, PaperDesign,
+    RecordingSink, RippleAdder, SimBackend, TraceConfig, TraceEvent, TraceRollup, TraceSink,
+    VerifiedFrontierPoint, WordLevelAlgorithm, WordLevelArray,
 };

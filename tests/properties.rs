@@ -3,9 +3,14 @@
 
 use bitlevel::depanal::{enumerate_dependences, expand, instances_of_triplet};
 use bitlevel::linalg::IVec;
-use bitlevel::mapping::{check_conflicts, check_conflicts_bruteforce, total_time};
+use bitlevel::mapping::{
+    check_conflicts, check_conflicts_bruteforce, find_optimal_schedule_bestfirst, total_time,
+};
 use bitlevel::systolic::critical_path;
-use bitlevel::{compose, simulate_mapped, BoxSet, Expansion, MappingMatrix, WordLevelAlgorithm};
+use bitlevel::{
+    compose, explore, find_optimal_schedule, simulate_mapped, AlgorithmTriplet, BoxSet, Expansion,
+    ExploreConfig, Interconnect, MachineOption, MappingMatrix, WordLevelAlgorithm,
+};
 use proptest::prelude::*;
 
 /// Random small word-level algorithms of model (3.5): random box bounds and
@@ -33,6 +38,52 @@ fn arb_word_algorithm() -> impl Strategy<Value = WordLevelAlgorithm> {
                 h3,
             ))
         })
+}
+
+/// The shape of the paper's fixed `S` of eq. (4.2) generalised to `m`
+/// columns: word axes carry the stride `p`, the two trailing bit axes carry
+/// `1`. For the 5-D matmul structure this is *exactly* the paper's `S`.
+fn paper_style_space(m: usize, p: i64) -> bitlevel::linalg::IMat {
+    let mut s = bitlevel::linalg::IMat::zeros(2, m);
+    s[(0, 0)] = p;
+    s[(0, m - 2)] = 1;
+    if m >= 4 {
+        s[(1, 1)] = p;
+    }
+    s[(1, m - 1)] = 1;
+    s
+}
+
+/// The exhaustive search, the best-first search, and the design-space
+/// explorer restricted to that one fixed `S` must agree on the optimum time
+/// *and* the tie-broken `Π` — or all three must agree nothing is feasible
+/// within the bound. (Plain helper so the deterministic instances below
+/// share the exact assertion with the property.)
+fn assert_searches_agree(alg: &AlgorithmTriplet, p: i64, bound: i64) {
+    let s = paper_style_space(alg.dim(), p);
+    let ic = Interconnect::paper_p(p);
+    let exhaustive = find_optimal_schedule(&s, alg, &ic, bound);
+    let bestfirst = find_optimal_schedule_bestfirst(&s, alg, &ic, bound);
+    let ex = explore(
+        alg,
+        std::slice::from_ref(&s),
+        &ExploreConfig { pi_bound: bound, machines: vec![MachineOption::new("P", ic)] },
+    )
+    .expect("well-formed exploration");
+    match exhaustive {
+        None => {
+            assert!(bestfirst.is_none(), "best-first found {bestfirst:?}, exhaustive none");
+            assert!(ex.frontier.is_empty(), "explorer found {:?}, exhaustive none", ex.frontier);
+        }
+        Some(opt) => {
+            let bf = bestfirst.expect("exhaustive feasible ⇒ best-first feasible");
+            assert_eq!(bf.time, opt.time, "optimum time must agree");
+            assert_eq!(bf.pi, opt.pi, "tie-broken Π must agree");
+            assert_eq!(ex.frontier.len(), 1, "single (S, machine) pair → single point");
+            assert_eq!(ex.frontier[0].time, opt.time, "explorer optimum time must agree");
+            assert_eq!(ex.frontier[0].mapping.schedule, opt.pi, "explorer Π must agree");
+        }
+    }
 }
 
 proptest! {
@@ -98,6 +149,18 @@ proptest! {
         prop_assert_eq!(run.cycles, total_time(&pi, &alg.index_set));
     }
 
+    /// The three searches of `bitlevel-mapping` — exhaustive, best-first,
+    /// and the Pareto explorer restricted to the fixed paper-shape `S` —
+    /// agree on optimum time and tie-broken Π over random small structures.
+    #[test]
+    fn prop_schedule_searches_and_explorer_agree(
+        word in arb_word_algorithm(),
+        p in 2usize..4,
+    ) {
+        let alg = compose(&word, p, Expansion::II);
+        assert_searches_agree(&alg, p as i64, 2);
+    }
+
     /// The critical path never exceeds a *legal* schedule's makespan (a
     /// schedule with Π·d̄ > 0 for every dependence column executes at most
     /// one chain node per cycle).
@@ -146,6 +209,30 @@ fn regression_composition_on_pure_recurrence_word() {
             word
         );
     }
+}
+
+/// Deterministic instance of `prop_schedule_searches_and_explorer_agree` on
+/// the paper's own 5-D matmul structure, where `paper_style_space` is
+/// literally the `S` of eq. (4.2) — the slice Theorem 4.5 certifies.
+#[test]
+fn searches_and_explorer_agree_on_the_paper_structure() {
+    let alg = compose(&WordLevelAlgorithm::matmul(2), 2, Expansion::II);
+    assert_searches_agree(&alg, 2, 2);
+}
+
+/// Deterministic 3-D instance (1-D word recurrence): the smallest structure
+/// the property ranges over, exercising the `m < 4` space shape.
+#[test]
+fn searches_and_explorer_agree_on_a_pure_recurrence() {
+    let word = WordLevelAlgorithm::new(
+        "recurrence",
+        BoxSet::new(IVec(vec![1]), IVec(vec![3])),
+        Some(IVec(vec![1])),
+        None,
+        IVec(vec![1]),
+    );
+    let alg = compose(&word, 3, Expansion::II);
+    assert_searches_agree(&alg, 3, 2);
 }
 
 /// Regression (seed `32e3f2a3…`): h̄₁ = [1] combined with the *negative*
