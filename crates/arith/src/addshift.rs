@@ -84,13 +84,19 @@ impl AddShift {
     /// Panics if `p == 0`.
     pub fn new(p: usize) -> Self {
         assert!(p >= 1, "word length must be at least 1");
-        AddShift { p, policy: BoundaryPolicy::CarryReentry }
+        AddShift {
+            p,
+            policy: BoundaryPolicy::CarryReentry,
+        }
     }
 
     /// Creates the multiplier with the paper's literal boundary values.
     pub fn paper_literal(p: usize) -> Self {
         assert!(p >= 1, "word length must be at least 1");
-        AddShift { p, policy: BoundaryPolicy::PaperLiteral }
+        AddShift {
+            p,
+            policy: BoundaryPolicy::PaperLiteral,
+        }
     }
 
     /// The index set `J_as = {ī : 1 ≤ i₁, i₂ ≤ p}` of eq. (3.4).
@@ -165,7 +171,11 @@ impl AddShift {
         assert_eq!(a_bits.len(), self.p, "a must have exactly p bits");
         assert_eq!(b_bits.len(), self.p, "b must have exactly p bits");
         let p = self.p;
-        let mut grid = AddShiftGrid { p, s: vec![false; p * p], c: vec![false; p * p] };
+        let mut grid = AddShiftGrid {
+            p,
+            s: vec![false; p * p],
+            c: vec![false; p * p],
+        };
         // Evaluate in row order: cell (i1, i2) needs c(i1, i2-1) (same row,
         // earlier column) and s(i1-1, i2+1) (previous row, later column), so a
         // row-major sweep with columns ascending is a valid topological order.
@@ -328,7 +338,10 @@ mod tests {
     fn nest_has_four_statements_of_program_3_3() {
         let nest = AddShift::new(3).nest();
         assert_eq!(nest.statements.len(), 4);
-        assert_eq!(nest.arrays(), vec!["a".to_string(), "b".into(), "c".into(), "s".into()]);
+        assert_eq!(
+            nest.arrays(),
+            vec!["a".to_string(), "b".into(), "c".into(), "s".into()]
+        );
         // The c and s statements read the same four operands.
         assert_eq!(nest.statements[2].inputs.len(), 4);
         assert_eq!(nest.statements[2].inputs, nest.statements[3].inputs);

@@ -76,7 +76,7 @@ impl BaughWooley {
         let bbits: Vec<Bit> = (0..p).map(|k| ((b as u128) & mask) >> k & 1 == 1).collect();
 
         let w = 2 * p; // product width
-        // Accumulator as a bit vector; rows added by explicit adder chains.
+                       // Accumulator as a bit vector; rows added by explicit adder chains.
         let mut acc = vec![false; w];
 
         // Partial-product rows with the Baugh–Wooley complement rule: the
@@ -162,7 +162,10 @@ mod tests {
         let bw = BaughWooley::new(p);
         let asft = crate::AddShift::new(p - 1); // p−1 magnitude bits
         for (a, b) in [(17i128, 23i128), (31, 31), (5, 0)] {
-            assert_eq!(bw.multiply_signed(a, b), asft.multiply(a as u128, b as u128) as i128);
+            assert_eq!(
+                bw.multiply_signed(a, b),
+                asft.multiply(a as u128, b as u128) as i128
+            );
         }
     }
 

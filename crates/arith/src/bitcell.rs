@@ -54,7 +54,11 @@ pub fn half_add(x1: Bit, x2: Bit) -> (Bit, Bit) {
 /// Panics if more than five inputs are supplied (five is the paper's maximum;
 /// a sixth input would need a third carry).
 pub fn wide_add(inputs: &[Bit]) -> (Bit, Bit, Bit) {
-    assert!(inputs.len() <= 5, "wide_add supports at most 5 inputs, got {}", inputs.len());
+    assert!(
+        inputs.len() <= 5,
+        "wide_add supports at most 5 inputs, got {}",
+        inputs.len()
+    );
     let total = inputs.iter().filter(|&&b| b).count();
     (total & 1 == 1, total & 2 == 2, total & 4 == 4)
 }

@@ -77,7 +77,11 @@ impl CarrySave {
                 let pp = a_bits[i2 - 1] & b_bits[i1 - 1];
                 // Sum in from (i1-1, i2+1); zero at the top row and past the
                 // right edge (the weight there is covered by the saved carry).
-                let s_in = if i1 > 1 && i2 < p { s[i1 - 2][i2] } else { false };
+                let s_in = if i1 > 1 && i2 < p {
+                    s[i1 - 2][i2]
+                } else {
+                    false
+                };
                 // Carry in from (i1-1, i2): saved carry, same column.
                 let c_in = if i1 > 1 { c[i1 - 2][i2 - 1] } else { false };
                 let (sb, cb) = full_add(pp, s_in, c_in);
@@ -97,11 +101,19 @@ impl CarrySave {
             // weight w corresponds to product bit w+1
             let s_bit = {
                 let i2 = w + 2 - p; // s(p, i2) has weight p+i2-2 = w
-                if (2..=p).contains(&i2) { s[p - 1][i2 - 1] } else { false }
+                if (2..=p).contains(&i2) {
+                    s[p - 1][i2 - 1]
+                } else {
+                    false
+                }
             };
             let c_bit = {
                 let i2 = w + 1 - p; // c(p, i2) has weight p+i2-1 = w
-                if (1..=p).contains(&i2) { c[p - 1][i2 - 1] } else { false }
+                if (1..=p).contains(&i2) {
+                    c[p - 1][i2 - 1]
+                } else {
+                    false
+                }
             };
             let (sum, cout) = full_add(s_bit, c_bit, carry);
             bits.push(sum);

@@ -61,8 +61,16 @@ impl RippleAdder {
         LoopNest::new(
             self.index_set(),
             vec![
-                Statement::new(Access::new("c", AffineFn::identity(n)), inputs(), OpKind::CarryBit),
-                Statement::new(Access::new("s", AffineFn::identity(n)), inputs(), OpKind::SumBit),
+                Statement::new(
+                    Access::new("c", AffineFn::identity(n)),
+                    inputs(),
+                    OpKind::CarryBit,
+                ),
+                Statement::new(
+                    Access::new("s", AffineFn::identity(n)),
+                    inputs(),
+                    OpKind::SumBit,
+                ),
             ],
         )
     }

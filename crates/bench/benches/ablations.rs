@@ -44,12 +44,16 @@ fn bench_simulation_parallelism(c: &mut Criterion) {
         let design = PaperDesign::TimeOptimal;
         let t = design.mapping(p);
         let ic = design.interconnect(p);
-        group.bench_with_input(BenchmarkId::new("sequential", format!("u{u}_p{p}")), &(), |b, _| {
-            b.iter(|| black_box(simulate_mapped(&alg, &t, &ic)))
-        });
-        group.bench_with_input(BenchmarkId::new("parallel", format!("u{u}_p{p}")), &(), |b, _| {
-            b.iter(|| black_box(simulate_mapped_parallel(&alg, &t, &ic)))
-        });
+        group.bench_with_input(
+            BenchmarkId::new("sequential", format!("u{u}_p{p}")),
+            &(),
+            |b, _| b.iter(|| black_box(simulate_mapped(&alg, &t, &ic))),
+        );
+        group.bench_with_input(
+            BenchmarkId::new("parallel", format!("u{u}_p{p}")),
+            &(),
+            |b, _| b.iter(|| black_box(simulate_mapped_parallel(&alg, &t, &ic))),
+        );
     }
     group.finish();
 }
@@ -61,12 +65,16 @@ fn bench_conflict_checkers(c: &mut Criterion) {
     for &(u, p) in &[(3i64, 3i64), (5, 5), (8, 8)] {
         let alg = compose(&WordLevelAlgorithm::matmul(u), p as usize, Expansion::II);
         let t = PaperDesign::TimeOptimal.mapping(p);
-        group.bench_with_input(BenchmarkId::new("kernel_lattice", format!("u{u}_p{p}")), &(), |b, _| {
-            b.iter(|| black_box(check_conflicts(&t, &alg.index_set)))
-        });
-        group.bench_with_input(BenchmarkId::new("brute_force", format!("u{u}_p{p}")), &(), |b, _| {
-            b.iter(|| black_box(check_conflicts_bruteforce(&t, &alg.index_set)))
-        });
+        group.bench_with_input(
+            BenchmarkId::new("kernel_lattice", format!("u{u}_p{p}")),
+            &(),
+            |b, _| b.iter(|| black_box(check_conflicts(&t, &alg.index_set))),
+        );
+        group.bench_with_input(
+            BenchmarkId::new("brute_force", format!("u{u}_p{p}")),
+            &(),
+            |b, _| b.iter(|| black_box(check_conflicts_bruteforce(&t, &alg.index_set))),
+        );
     }
     group.finish();
 }

@@ -26,19 +26,29 @@ fn bench_arrays(c: &mut Criterion) {
                 PaperDesign::TimeOptimal => "fig4_mapped_sim",
                 PaperDesign::NearestNeighbour => "fig5_mapped_sim",
             };
-            group.bench_with_input(BenchmarkId::new(label, format!("u{u}_p{p}")), &(u, p), |b, _| {
-                b.iter(|| black_box(simulate_mapped(&alg, &t, &ic)))
-            });
+            group.bench_with_input(
+                BenchmarkId::new(label, format!("u{u}_p{p}")),
+                &(u, p),
+                |b, _| b.iter(|| black_box(simulate_mapped(&alg, &t, &ic))),
+            );
         }
 
         // Functional array: full bit-exact multiplication.
         let arr = BitMatmulArray::new(u as usize, p as usize);
         let m = arr.max_safe_entry();
         let x: Vec<Vec<u128>> = (0..u as usize)
-            .map(|i| (0..u as usize).map(|j| ((3 * i + j + 1) as u128) % (m + 1)).collect())
+            .map(|i| {
+                (0..u as usize)
+                    .map(|j| ((3 * i + j + 1) as u128) % (m + 1))
+                    .collect()
+            })
             .collect();
         let y: Vec<Vec<u128>> = (0..u as usize)
-            .map(|i| (0..u as usize).map(|j| ((i + 5 * j + 2) as u128) % (m + 1)).collect())
+            .map(|i| {
+                (0..u as usize)
+                    .map(|j| ((i + 5 * j + 2) as u128) % (m + 1))
+                    .collect()
+            })
             .collect();
         group.bench_with_input(
             BenchmarkId::new("functional_array", format!("u{u}_p{p}")),

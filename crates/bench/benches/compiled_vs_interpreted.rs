@@ -23,10 +23,18 @@ use std::hint::black_box;
 fn operands(u: usize, p: usize) -> (Vec<Vec<u128>>, Vec<Vec<u128>>) {
     let cap = BitMatmulArray::new(u, p).max_safe_entry();
     let x = (0..u)
-        .map(|i| (0..u).map(|j| ((3 * i + 5 * j + 1) as u128) % (cap + 1)).collect())
+        .map(|i| {
+            (0..u)
+                .map(|j| ((3 * i + 5 * j + 1) as u128) % (cap + 1))
+                .collect()
+        })
         .collect();
     let y = (0..u)
-        .map(|i| (0..u).map(|j| ((7 * i + j + 2) as u128) % (cap + 1)).collect())
+        .map(|i| {
+            (0..u)
+                .map(|j| ((7 * i + j + 2) as u128) % (cap + 1))
+                .collect()
+        })
         .collect();
     (x, y)
 }

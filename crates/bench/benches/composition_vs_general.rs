@@ -5,7 +5,9 @@
 //! sweep), for (a) the compositional closed form, (b) exhaustive enumeration
 //! over the expanded code, (c) the Diophantine-solve-plus-verify route.
 
-use bitlevel_depanal::{compose, diophantine_dependences, enumerate_dependences, expand, Expansion};
+use bitlevel_depanal::{
+    compose, diophantine_dependences, enumerate_dependences, expand, Expansion,
+};
 use bitlevel_ir::WordLevelAlgorithm;
 use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
 use std::hint::black_box;

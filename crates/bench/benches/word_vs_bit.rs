@@ -18,10 +18,18 @@ fn bench_word_vs_bit(c: &mut Criterion) {
     for &(u, p) in &[(4usize, 4usize), (4, 8), (8, 8)] {
         let mask = (1u128 << p) - 1;
         let x: Vec<Vec<u128>> = (0..u)
-            .map(|i| (0..u).map(|j| ((7 * i + 3 * j + 1) as u128) & mask).collect())
+            .map(|i| {
+                (0..u)
+                    .map(|j| ((7 * i + 3 * j + 1) as u128) & mask)
+                    .collect()
+            })
             .collect();
         let y: Vec<Vec<u128>> = (0..u)
-            .map(|i| (0..u).map(|j| ((2 * i + 5 * j + 2) as u128) & mask).collect())
+            .map(|i| {
+                (0..u)
+                    .map(|j| ((2 * i + 5 * j + 2) as u128) & mask)
+                    .collect()
+            })
             .collect();
 
         let addshift = AddShift::new(p);

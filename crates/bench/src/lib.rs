@@ -4,20 +4,23 @@
 //!
 //! Experiment harness and benchmark support for the reproduction. The
 //! `experiments` binary regenerates every figure/equation-level result of the
-//! paper (see DESIGN.md's experiment index E1–E16); criterion benches live in
+//! paper (see DESIGN.md's experiment index E1–E17); criterion benches live in
 //! `benches/`. The traceable experiments (E6, E7, E14, E15) can capture
 //! their simulated runs through [`run_experiment_traced`] and the binary's
-//! `--trace <path>` flag.
+//! `--trace <path>` flag; the randomized experiments (E17's fault campaigns)
+//! take an explicit seed through [`run_experiment_seeded`] and the binary's
+//! global `--seed <u64>` flag.
 
 pub mod experiments;
 pub mod record;
 pub mod sweeps;
 
 pub use experiments::{
-    run_all, run_experiment, run_experiment_traced, ExperimentOutcome, TRACEABLE_IDS,
+    run_all, run_all_seeded, run_experiment, run_experiment_seeded, run_experiment_traced,
+    ExperimentOutcome, DEFAULT_SEED, TRACEABLE_IDS,
 };
 pub use record::{Record, RecordTable};
 pub use sweeps::{
-    analysis_time_sweep, engine_sweep, frontier_sweep, speedup_sweep, utilization_sweep,
-    wavefront_sweep,
+    analysis_time_sweep, engine_sweep, faults_sweep, frontier_sweep, speedup_sweep,
+    utilization_sweep, wavefront_sweep,
 };

@@ -4,7 +4,10 @@
 //! cargo run -p bitlevel-bench --bin experiments [--release] [-- OPTIONS]
 //!
 //! OPTIONS:
-//!   --exp <id>       run one experiment (e1 … e16); default: all
+//!   --exp <id>       run one experiment (e1 … e17); default: all
+//!   --seed <u64>     seed for every randomized path (E17's fault campaigns
+//!                    and the faults sweep); default: the fixed
+//!                    reproducibility seed baked into the crate
 //!   --trace <path>   capture the simulated runs of a traceable experiment
 //!                    (e6, e7, e14, e15) to <path>: Chrome-trace JSON, or
 //!                    CSV when the path ends in .csv; requires --exp
@@ -12,11 +15,14 @@
 //!   --json           emit the record tables as JSON
 //!   --sweep <name>   emit a CSV data series instead:
 //!                    speedup | analysis | utilization | engine | wavefront |
-//!                    frontier (frontier also honours --json for a JSON
-//!                    export of the verified Pareto designs)
+//!                    frontier | faults (frontier and faults also honour
+//!                    --json for a JSON export)
 //! ```
 
-use bitlevel_bench::{run_all, run_experiment, run_experiment_traced, sweeps, TRACEABLE_IDS};
+use bitlevel_bench::{
+    run_all_seeded, run_experiment_seeded, run_experiment_traced, sweeps, DEFAULT_SEED,
+    TRACEABLE_IDS,
+};
 use bitlevel_systolic::RecordingSink;
 
 fn main() {
@@ -26,23 +32,34 @@ fn main() {
     let mut json = false;
     let mut sweep: Option<String> = None;
     let mut trace: Option<String> = None;
+    let mut seed = DEFAULT_SEED;
     let mut i = 0;
     while i < args.len() {
         match args[i].as_str() {
             "--exp" => {
                 i += 1;
                 which = Some(args.get(i).cloned().unwrap_or_else(|| {
-                    eprintln!("--exp requires an id (e1..e16)");
+                    eprintln!("--exp requires an id (e1..e17)");
                     std::process::exit(2);
                 }));
             }
             "--markdown" => markdown = true,
             "--json" => json = true,
+            "--seed" => {
+                i += 1;
+                seed = args
+                    .get(i)
+                    .and_then(|s| s.parse::<u64>().ok())
+                    .unwrap_or_else(|| {
+                        eprintln!("--seed requires an unsigned 64-bit integer");
+                        std::process::exit(2);
+                    });
+            }
             "--sweep" => {
                 i += 1;
                 sweep = Some(args.get(i).cloned().unwrap_or_else(|| {
                     eprintln!(
-                        "--sweep requires a name (speedup|analysis|utilization|engine|wavefront|frontier)"
+                        "--sweep requires a name (speedup|analysis|utilization|engine|wavefront|frontier|faults)"
                     );
                     std::process::exit(2);
                 }));
@@ -64,13 +81,15 @@ fn main() {
 
     if let Some(name) = sweep {
         let csv = match name.as_str() {
-            "speedup" => sweeps::speedup_csv(&sweeps::speedup_sweep(&sweeps::default_speedup_sizes())),
-            "analysis" => {
-                sweeps::analysis_time_csv(&sweeps::analysis_time_sweep(&sweeps::default_analysis_sizes()))
+            "speedup" => {
+                sweeps::speedup_csv(&sweeps::speedup_sweep(&sweeps::default_speedup_sizes()))
             }
-            "utilization" => {
-                sweeps::utilization_csv(&sweeps::utilization_sweep(&sweeps::default_speedup_sizes()))
-            }
+            "analysis" => sweeps::analysis_time_csv(&sweeps::analysis_time_sweep(
+                &sweeps::default_analysis_sizes(),
+            )),
+            "utilization" => sweeps::utilization_csv(&sweeps::utilization_sweep(
+                &sweeps::default_speedup_sizes(),
+            )),
             "engine" => sweeps::engine_csv(&sweeps::engine_sweep(&sweeps::default_engine_sizes())),
             "wavefront" => sweeps::wavefront_csv(&sweeps::wavefront_sweep(3, 3)),
             "frontier" => {
@@ -81,9 +100,17 @@ fn main() {
                     sweeps::frontier_csv(&rows)
                 }
             }
+            "faults" => {
+                let rows = sweeps::faults_sweep(&sweeps::default_fault_sizes(), seed);
+                if json {
+                    sweeps::faults_json(&rows)
+                } else {
+                    sweeps::faults_csv(&rows)
+                }
+            }
             other => {
                 eprintln!(
-                    "unknown sweep {other} (speedup|analysis|utilization|engine|wavefront|frontier)"
+                    "unknown sweep {other} (speedup|analysis|utilization|engine|wavefront|frontier|faults)"
                 );
                 std::process::exit(2);
             }
@@ -118,30 +145,36 @@ fn main() {
                     vec![o]
                 }
                 None => {
-                    eprintln!("unknown experiment id {id} (use e1..e16)");
+                    eprintln!("unknown experiment id {id} (use e1..e17)");
                     std::process::exit(2);
                 }
             }
         }
         (None, Some(_)) => {
-            eprintln!("--trace requires --exp with a traceable id ({})", TRACEABLE_IDS.join(", "));
+            eprintln!(
+                "--trace requires --exp with a traceable id ({})",
+                TRACEABLE_IDS.join(", ")
+            );
             std::process::exit(2);
         }
-        (Some(id), None) => match run_experiment(&id) {
+        (Some(id), None) => match run_experiment_seeded(&id, seed) {
             Some(o) => vec![o],
             None => {
-                eprintln!("unknown experiment id {id} (use e1..e16)");
+                eprintln!("unknown experiment id {id} (use e1..e17)");
                 std::process::exit(2);
             }
         },
-        (None, None) => run_all(),
+        (None, None) => run_all_seeded(seed),
     };
 
     let mut all_ok = true;
     for o in &outcomes {
         all_ok &= o.passed();
         if json {
-            println!("{}", serde_json::to_string_pretty(&o.table).expect("serializable"));
+            println!(
+                "{}",
+                serde_json::to_string_pretty(&o.table).expect("serializable")
+            );
         } else if markdown {
             println!("{}", o.table.render_markdown());
         } else {
@@ -152,7 +185,11 @@ fn main() {
         println!(
             "{} experiment(s), {}",
             outcomes.len(),
-            if all_ok { "all rows confirm the paper (modulo documented typos)" } else { "SOME ROWS FAILED" }
+            if all_ok {
+                "all rows confirm the paper (modulo documented typos)"
+            } else {
+                "SOME ROWS FAILED"
+            }
         );
     }
     std::process::exit(if all_ok { 0 } else { 1 });

@@ -40,14 +40,23 @@ impl Record {
         Record {
             quantity: quantity.to_string(),
             paper: claim.to_string(),
-            measured: if ok { "confirmed".into() } else { "REFUTED".into() },
+            measured: if ok {
+                "confirmed".into()
+            } else {
+                "REFUTED".into()
+            },
             ok,
         }
     }
 
     /// A row with free-form measured text judged by `ok`.
     pub fn info(quantity: &str, paper: &str, measured: String, ok: bool) -> Self {
-        Record { quantity: quantity.to_string(), paper: paper.to_string(), measured, ok }
+        Record {
+            quantity: quantity.to_string(),
+            paper: paper.to_string(),
+            measured,
+            ok,
+        }
     }
 }
 
@@ -63,7 +72,10 @@ pub struct RecordTable {
 impl RecordTable {
     /// Creates an empty table.
     pub fn new(title: &str) -> Self {
-        RecordTable { title: title.to_string(), rows: Vec::new() }
+        RecordTable {
+            title: title.to_string(),
+            rows: Vec::new(),
+        }
     }
 
     /// Appends a row.

@@ -13,13 +13,17 @@
 //!   engine across sizes, with a full bit-identity check per row;
 //! * [`wavefront_sweep`] — measured firing width per cycle of the two paper
 //!   designs, captured through the trace layer (the Fig. 4 vs Fig. 5
-//!   pipeline-shape comparison).
+//!   pipeline-shape comparison);
+//! * [`faults_sweep`] — exhaustive single-fault injection campaigns on both
+//!   paper designs with ABFT classification per row (the E17 export; the CI
+//!   smoke step checks the partition and the zero-SDC bar on this output).
 //!
 //! Sweep rows are computed in parallel with rayon (except the timing sweeps,
 //! which run sequentially so rows don't contend).
 
 use bitlevel_arith::{AddShift, CarrySave};
 use bitlevel_depanal::{compare_analyses, compose, Expansion};
+use bitlevel_fault::single_fault_campaign;
 use bitlevel_ir::WordLevelAlgorithm;
 use bitlevel_mapping::{word_level_total_time, PaperDesign};
 use bitlevel_systolic::{
@@ -149,8 +153,7 @@ pub fn analysis_time_sweep(sizes: &[(i64, usize)]) -> Vec<AnalysisTimeRow> {
 
 /// CSV rendering of the analysis-time sweep.
 pub fn analysis_time_csv(rows: &[AnalysisTimeRow]) -> String {
-    let mut out =
-        String::from("u,p,index_points,compose_ns,enumerate_ns,diophantine_ns,agree\n");
+    let mut out = String::from("u,p,index_points,compose_ns,enumerate_ns,diophantine_ns,agree\n");
     for r in rows {
         out.push_str(&format!(
             "{},{},{},{},{},{},{}\n",
@@ -210,13 +213,19 @@ pub fn utilization_sweep(sizes: &[(i64, i64)]) -> Vec<UtilizationRow> {
 
 /// CSV rendering of the utilisation sweep.
 pub fn utilization_csv(rows: &[UtilizationRow]) -> String {
-    let mut out = String::from(
-        "u,p,design,cycles,processors,utilization,peak_parallelism,buffer_cycles\n",
-    );
+    let mut out =
+        String::from("u,p,design,cycles,processors,utilization,peak_parallelism,buffer_cycles\n");
     for r in rows {
         out.push_str(&format!(
             "{},{},\"{}\",{},{},{:.4},{},{}\n",
-            r.u, r.p, r.design, r.cycles, r.processors, r.utilization, r.peak_parallelism, r.buffer_cycles
+            r.u,
+            r.p,
+            r.design,
+            r.cycles,
+            r.processors,
+            r.utilization,
+            r.peak_parallelism,
+            r.buffer_cycles
         ));
     }
     out
@@ -256,10 +265,18 @@ pub fn engine_sweep(sizes: &[(i64, i64)]) -> Vec<EngineRow> {
             let alg = compose(&WordLevelAlgorithm::matmul(u), p as usize, Expansion::II);
             let cap = BitMatmulArray::new(u as usize, p as usize).max_safe_entry();
             let x: Vec<Vec<u128>> = (0..u)
-                .map(|i| (0..u).map(|j| ((3 * i + 5 * j + 1) as u128) % (cap + 1)).collect())
+                .map(|i| {
+                    (0..u)
+                        .map(|j| ((3 * i + 5 * j + 1) as u128) % (cap + 1))
+                        .collect()
+                })
                 .collect();
             let y: Vec<Vec<u128>> = (0..u)
-                .map(|i| (0..u).map(|j| ((7 * i + j + 2) as u128) % (cap + 1)).collect())
+                .map(|i| {
+                    (0..u)
+                        .map(|j| ((7 * i + j + 2) as u128) % (cap + 1))
+                        .collect()
+                })
                 .collect();
             [PaperDesign::TimeOptimal, PaperDesign::NearestNeighbour]
                 .into_iter()
@@ -300,9 +317,8 @@ pub fn engine_sweep(sizes: &[(i64, i64)]) -> Vec<EngineRow> {
 
 /// CSV rendering of the engine sweep.
 pub fn engine_csv(rows: &[EngineRow]) -> String {
-    let mut out = String::from(
-        "u,p,design,points,interpreted_ns,compile_ns,execute_ns,speedup,identical\n",
-    );
+    let mut out =
+        String::from("u,p,design,points,interpreted_ns,compile_ns,execute_ns,speedup,identical\n");
     for r in rows {
         out.push_str(&format!(
             "{},{},\"{}\",{},{},{},{},{:.3},{}\n",
@@ -376,6 +392,102 @@ pub fn wavefront_csv(rows: &[WavefrontRow]) -> String {
     out
 }
 
+/// One row of the faults sweep: one exhaustive single-fault campaign (every
+/// index point × every faultable bundle bit, as a transient flip) on one
+/// paper design at one `(u, p)` size.
+#[derive(Debug, Clone, Serialize)]
+pub struct FaultSweepRow {
+    /// Matrix dimension.
+    pub u: usize,
+    /// Word length.
+    pub p: usize,
+    /// Design label.
+    pub design: String,
+    /// Injected fault cases (`|J| ×` faultable bits).
+    pub total: usize,
+    /// Cases absorbed with a bit-identical result.
+    pub masked: usize,
+    /// Cases caught by the ABFT syndromes.
+    pub detected: usize,
+    /// Silent data corruptions (the acceptance bar is zero).
+    pub sdc: usize,
+    /// Cases where interpreted and compiled engines classified differently.
+    pub engine_mismatches: usize,
+    /// `detected / (total - masked)`: fraction of effective faults caught.
+    pub detection_coverage: f64,
+}
+
+/// Runs the exhaustive single-fault campaign of E17 on both paper designs at
+/// each `(u, p)` and flattens the reports into rows (the export behind
+/// `--sweep faults`). Campaigns run in parallel across sizes.
+pub fn faults_sweep(sizes: &[(usize, usize)], seed: u64) -> Vec<FaultSweepRow> {
+    sizes
+        .par_iter()
+        .flat_map(|&(u, p)| {
+            [PaperDesign::TimeOptimal, PaperDesign::NearestNeighbour]
+                .into_iter()
+                .map(|design| {
+                    let r = single_fault_campaign(design, u, p, seed);
+                    assert!(
+                        r.classifications_partition(),
+                        "campaign classes must partition"
+                    );
+                    let effective = r.total - r.masked;
+                    FaultSweepRow {
+                        u,
+                        p,
+                        design: r.design,
+                        total: r.total,
+                        masked: r.masked,
+                        detected: r.detected,
+                        sdc: r.sdc,
+                        engine_mismatches: r.engine_mismatches,
+                        detection_coverage: if effective == 0 {
+                            1.0
+                        } else {
+                            r.detected as f64 / effective as f64
+                        },
+                    }
+                })
+                .collect::<Vec<_>>()
+        })
+        .collect()
+}
+
+/// CSV rendering of the faults sweep.
+pub fn faults_csv(rows: &[FaultSweepRow]) -> String {
+    let mut out =
+        String::from("u,p,design,total,masked,detected,sdc,engine_mismatches,detection_coverage\n");
+    for r in rows {
+        out.push_str(&format!(
+            "{},{},\"{}\",{},{},{},{},{},{:.4}\n",
+            r.u,
+            r.p,
+            r.design,
+            r.total,
+            r.masked,
+            r.detected,
+            r.sdc,
+            r.engine_mismatches,
+            r.detection_coverage
+        ));
+    }
+    out
+}
+
+/// JSON rendering of the faults sweep (the `--sweep faults --json` export;
+/// the CI smoke step validates the partition and zero-SDC bar on it).
+pub fn faults_json(rows: &[FaultSweepRow]) -> String {
+    serde_json::to_string_pretty(rows).expect("fault rows serialize")
+}
+
+/// Default sizes for the faults sweep: the paper's running example size. The
+/// exhaustive campaign is quadratic in `|J|` (each case replays the array on
+/// both engines), so debug runs stay at the smallest size.
+pub fn default_fault_sizes() -> Vec<(usize, usize)> {
+    vec![(2, 2)]
+}
+
 /// One row of the frontier sweep: one Pareto-optimal design of the joint
 /// `(S, Π, machine)` exploration at one `(u, p)` size, with its verification
 /// evidence.
@@ -413,7 +525,9 @@ pub fn frontier_sweep(sizes: &[(i64, i64)]) -> Vec<FrontierRow> {
         .flat_map(|&(u, p)| {
             let flow = bitlevel_core::DesignFlow::matmul(u, p as usize);
             let (family, config) = flow.default_exploration();
-            let ex = flow.explore(&family, &config).expect("well-formed exploration");
+            let ex = flow
+                .explore(&family, &config)
+                .expect("well-formed exploration");
             ex.designs
                 .iter()
                 .map(|d| {
@@ -479,7 +593,16 @@ pub fn default_frontier_sizes() -> Vec<(i64, i64)> {
 /// Default sweep grids (kept modest so debug runs stay fast; release runs
 /// can pass larger grids).
 pub fn default_speedup_sizes() -> Vec<(i64, i64)> {
-    vec![(2, 2), (3, 3), (4, 3), (4, 4), (6, 4), (8, 4), (8, 6), (10, 8)]
+    vec![
+        (2, 2),
+        (3, 3),
+        (4, 3),
+        (4, 4),
+        (6, 4),
+        (8, 4),
+        (8, 6),
+        (10, 8),
+    ]
 }
 
 /// Default sizes for the analysis-time sweep (the general methods are
@@ -560,7 +683,11 @@ mod tests {
         let rows = frontier_sweep(&[(2, 2)]);
         assert!(!rows.is_empty());
         for r in &rows {
-            assert!(r.verified, "unverified frontier design at u={} p={}", r.u, r.p);
+            assert!(
+                r.verified,
+                "unverified frontier design at u={} p={}",
+                r.u, r.p
+            );
             assert_eq!(r.backend, "compiled");
             assert!(r.time > 0 && r.processors > 0 && r.max_wire_length >= 1);
         }
@@ -575,11 +702,33 @@ mod tests {
     }
 
     #[test]
+    fn fault_rows_partition_with_zero_sdc() {
+        let rows = faults_sweep(&default_fault_sizes(), 7);
+        assert_eq!(rows.len(), 2);
+        assert!(rows.iter().any(|r| r.design.contains("TimeOptimal")));
+        assert!(rows.iter().any(|r| r.design.contains("NearestNeighbour")));
+        for r in &rows {
+            assert_eq!(r.total, 32 * 5);
+            assert_eq!(r.masked + r.detected + r.sdc, r.total);
+            assert_eq!(r.sdc, 0, "silent corruption in {}", r.design);
+            assert_eq!(r.engine_mismatches, 0);
+            assert!((r.detection_coverage - 1.0).abs() < 1e-12);
+        }
+        let csv = faults_csv(&rows);
+        assert_eq!(csv.lines().count(), 3);
+        assert!(csv.starts_with("u,p,design,total,masked,detected,sdc,"));
+    }
+
+    #[test]
     fn engine_rows_are_bit_identical() {
         let rows = engine_sweep(&[(2, 2), (3, 2)]);
         assert_eq!(rows.len(), 4);
         for r in &rows {
-            assert!(r.identical, "engines diverged at u={} p={} {}", r.u, r.p, r.design);
+            assert!(
+                r.identical,
+                "engines diverged at u={} p={} {}",
+                r.u, r.p, r.design
+            );
             assert_eq!(r.points, (r.u * r.u * r.u * r.p * r.p) as usize);
             assert!(r.execute_ns > 0 && r.speedup > 0.0);
         }

@@ -22,9 +22,7 @@
 pub mod pipeline;
 pub mod report;
 
-pub use pipeline::{
-    ArchitectureReport, DesignFlow, ExplorationReport, VerifiedFrontierPoint,
-};
+pub use pipeline::{ArchitectureReport, DesignFlow, ExplorationReport, VerifiedFrontierPoint};
 pub use report::{
     render_architecture, render_frontier, render_matmul_comparison, render_structure,
     render_trace_summary,
@@ -33,6 +31,7 @@ pub use report::{
 // Re-export the layer crates so downstream users need a single dependency.
 pub use bitlevel_arith as arith;
 pub use bitlevel_depanal as depanal;
+pub use bitlevel_fault as fault;
 pub use bitlevel_ir as ir;
 pub use bitlevel_linalg as linalg;
 pub use bitlevel_mapping as mapping;
@@ -41,6 +40,10 @@ pub use bitlevel_systolic as systolic;
 // The most-used items, flattened.
 pub use bitlevel_arith::{AddShift, CarrySave, MultiplierAlgorithm, RippleAdder};
 pub use bitlevel_depanal::{compare_analyses, compose, expand, Expansion};
+pub use bitlevel_fault::{
+    monte_carlo_campaign, single_fault_campaign, FaultCampaignReport, FaultKind, FaultOutcome,
+    FaultPlan, MonteCarloReport, RandomFault, TargetedFault,
+};
 pub use bitlevel_ir::{AlgorithmTriplet, BoxSet, WordLevelAlgorithm};
 pub use bitlevel_mapping::{
     check_feasibility, explore, find_optimal_schedule, generate_space_family, ExploreConfig,

@@ -19,8 +19,8 @@ use bitlevel_mapping::{
     OptimalSchedule, PaperDesign,
 };
 use bitlevel_systolic::{
-    simulate_mapped_traced, BitMatmulArray, CompiledSchedule, MappedRunReport, NullSink,
-    SimBackend, TraceEvent, TraceSink,
+    simulate_mapped_faulted, simulate_mapped_traced, BitMatmulArray, CompiledSchedule,
+    FaultInjector, MappedRunReport, NullSink, SimBackend, TraceEvent, TraceSink,
 };
 use serde::Serialize;
 
@@ -105,7 +105,12 @@ impl ExplorationReport {
 impl DesignFlow {
     /// Creates the flow (with the default [`SimBackend::Compiled`]).
     pub fn new(word: WordLevelAlgorithm, p: usize, expansion: Expansion) -> Self {
-        DesignFlow { word, p, expansion, backend: SimBackend::default() }
+        DesignFlow {
+            word,
+            p,
+            expansion,
+            backend: SimBackend::default(),
+        }
     }
 
     /// Selects the simulation backend (builder style).
@@ -183,9 +188,10 @@ impl DesignFlow {
     ) -> ArchitectureReport {
         let rep = check_feasibility(t, alg, ic);
         let (run, backend_used) = match self.backend {
-            SimBackend::Interpreted => {
-                (simulate_mapped_traced(alg, t, ic, sink), "interpreted".to_string())
-            }
+            SimBackend::Interpreted => (
+                simulate_mapped_traced(alg, t, ic, sink),
+                "interpreted".to_string(),
+            ),
             SimBackend::Compiled => match CompiledSchedule::try_compile(alg, t, ic) {
                 Ok(sched) => (sched.mapped_report_traced(sink), "compiled".to_string()),
                 Err(e) => {
@@ -198,6 +204,59 @@ impl DesignFlow {
                     }
                     (
                         simulate_mapped_traced(alg, t, ic, sink),
+                        format!("interpreted (fallback: {e})"),
+                    )
+                }
+            },
+        };
+        ArchitectureReport {
+            name: name.to_string(),
+            feasible: rep.is_feasible(),
+            violations: rep.violations.iter().map(|v| v.to_string()).collect(),
+            run,
+            closed_form_cycles,
+            max_wire_length: ic.max_wire_length(),
+            backend_used,
+        }
+    }
+
+    /// [`DesignFlow::evaluate_traced`] under fault injection: the timing
+    /// simulation consults `faults` for dead PEs and dropped/duplicated
+    /// link transfers (resolve a `bitlevel_fault::FaultPlan` against the
+    /// flow's structure to build one), with the same backend dispatch and
+    /// graceful interpreted fallback as the faultless path. Injections
+    /// surface as [`TraceEvent::FaultInjected`] events in `sink`.
+    pub fn evaluate_faulted<K: TraceSink, F: FaultInjector<()>>(
+        &self,
+        name: &str,
+        t: &MappingMatrix,
+        ic: &Interconnect,
+        closed_form_cycles: Option<i64>,
+        sink: &mut K,
+        faults: &F,
+    ) -> ArchitectureReport {
+        let alg = self.bit_level_structure();
+        let rep = check_feasibility(t, &alg, ic);
+        let (run, backend_used) = match self.backend {
+            SimBackend::Interpreted => (
+                simulate_mapped_faulted(&alg, t, ic, sink, faults),
+                "interpreted".to_string(),
+            ),
+            SimBackend::Compiled => match CompiledSchedule::try_compile(&alg, t, ic) {
+                Ok(sched) => (
+                    sched.mapped_report_faulted(sink, faults),
+                    "compiled".to_string(),
+                ),
+                Err(e) => {
+                    if K::ENABLED {
+                        sink.record(TraceEvent::BackendFallback {
+                            from: "compiled".to_string(),
+                            to: "interpreted".to_string(),
+                            reason: e.to_string(),
+                        });
+                    }
+                    (
+                        simulate_mapped_faulted(&alg, t, ic, sink, faults),
                         format!("interpreted (fallback: {e})"),
                     )
                 }
@@ -308,18 +367,29 @@ impl DesignFlow {
                     Some(point.time),
                     sink,
                 );
-                let reference =
-                    simulate_mapped_traced(&alg, &point.mapping, &point.interconnect, &mut NullSink);
+                let reference = simulate_mapped_traced(
+                    &alg,
+                    &point.mapping,
+                    &point.interconnect,
+                    &mut NullSink,
+                );
                 let divergences = report
                     .run
                     .divergences_from(&reference)
                     .into_iter()
                     .map(str::to_string)
                     .collect();
-                VerifiedFrontierPoint { point: point.clone(), report, divergences }
+                VerifiedFrontierPoint {
+                    point: point.clone(),
+                    report,
+                    divergences,
+                }
             })
             .collect();
-        Ok(ExplorationReport { designs, stats: ex.stats })
+        Ok(ExplorationReport {
+            designs,
+            stats: ex.stats,
+        })
     }
 
     /// The deepest verification available for matmul flows: executes the
@@ -335,18 +405,34 @@ impl DesignFlow {
     /// any product bit is wrong — with a message saying which.
     pub fn run_clocked_matmul(&self, design: PaperDesign) -> i64 {
         use bitlevel_systolic::{run_clocked, Model35Cells};
-        assert_eq!(self.word.dim(), 3, "clocked matmul verification targets matmul");
-        assert_eq!(self.expansion, Expansion::II, "the clocked cells implement Expansion II");
+        assert_eq!(
+            self.word.dim(),
+            3,
+            "clocked matmul verification targets matmul"
+        );
+        assert_eq!(
+            self.expansion,
+            Expansion::II,
+            "the clocked cells implement Expansion II"
+        );
         let u = self.word.bounds.upper()[0] as usize;
         let p = self.p;
         let alg = self.bit_level_structure();
 
         let m = BitMatmulArray::new(u, p).max_safe_entry();
         let x: Vec<Vec<u128>> = (0..u)
-            .map(|i| (0..u).map(|j| ((7 * i + 2 * j + 1) as u128) % (m + 1)).collect())
+            .map(|i| {
+                (0..u)
+                    .map(|j| ((7 * i + 2 * j + 1) as u128) % (m + 1))
+                    .collect()
+            })
             .collect();
         let y: Vec<Vec<u128>> = (0..u)
-            .map(|i| (0..u).map(|j| ((i + 5 * j + 3) as u128) % (m + 1)).collect())
+            .map(|i| {
+                (0..u)
+                    .map(|j| ((i + 5 * j + 3) as u128) % (m + 1))
+                    .collect()
+            })
             .collect();
 
         let (xo, yo) = (x.clone(), y.clone());
@@ -391,10 +477,18 @@ impl DesignFlow {
         let arr = BitMatmulArray::new(u, self.p);
         let m = arr.max_safe_entry();
         let x: Vec<Vec<u128>> = (0..u)
-            .map(|i| (0..u).map(|j| ((3 * i + 7 * j + 1) as u128) % (m + 1)).collect())
+            .map(|i| {
+                (0..u)
+                    .map(|j| ((3 * i + 7 * j + 1) as u128) % (m + 1))
+                    .collect()
+            })
             .collect();
         let y: Vec<Vec<u128>> = (0..u)
-            .map(|i| (0..u).map(|j| ((5 * i + 2 * j + 3) as u128) % (m + 1)).collect())
+            .map(|i| {
+                (0..u)
+                    .map(|j| ((5 * i + 2 * j + 3) as u128) % (m + 1))
+                    .collect()
+            })
             .collect();
         let got = arr.multiply(&x, &y);
         for i in 0..u {
@@ -418,7 +512,11 @@ impl DesignFlow {
                 &design.interconnect(self.p as i64),
                 &cells,
             );
-            assert!(run.is_legal(), "compiled clocked violations: {:?}", run.violations);
+            assert!(
+                run.is_legal(),
+                "compiled clocked violations: {:?}",
+                run.violations
+            );
             assert_eq!(
                 cells.extract_product(&run),
                 got,
@@ -514,7 +612,11 @@ mod tests {
         let flow = DesignFlow::matmul(2, 2); // default backend: Compiled
         let mut sink = RecordingSink::new();
         let rep = flow.evaluate_structure_traced("wide", &alg, &t, &ic, None, &mut sink);
-        assert!(rep.backend_used.contains("fallback"), "{}", rep.backend_used);
+        assert!(
+            rep.backend_used.contains("fallback"),
+            "{}",
+            rep.backend_used
+        );
         assert!(rep.backend_used.contains("64"), "{}", rep.backend_used);
         assert_eq!(rep.run.computations, 9);
         assert!(
@@ -528,6 +630,57 @@ mod tests {
         let rep2 = flow.evaluate_structure("wide", &alg, &t, &ic, None);
         assert_eq!(rep2.backend_used, rep.backend_used);
         assert_eq!(rep2.run.cycles, rep.run.cycles);
+    }
+
+    #[test]
+    fn faulted_evaluate_suppresses_dead_pes_on_both_backends() {
+        use bitlevel_fault::{FaultKind, FaultPlan, TargetedFault};
+        use bitlevel_systolic::RecordingSink;
+        let design = PaperDesign::TimeOptimal;
+        let dead_pe = bitlevel_linalg::IVec::from([3, 3]);
+        let plan = FaultPlan {
+            seed: 0,
+            targeted: vec![TargetedFault {
+                kind: FaultKind::DeadPe,
+                pe: dead_pe,
+                cycle: None,
+            }],
+            random: vec![],
+        };
+        let mut runs = Vec::new();
+        for backend in [SimBackend::Compiled, SimBackend::Interpreted] {
+            let flow = DesignFlow::matmul(2, 2).with_backend(backend);
+            let resolved = plan.resolve(&flow.bit_level_structure(), &design.mapping(2));
+            let mut sink = RecordingSink::new();
+            let rep = flow.evaluate_faulted(
+                design.name(),
+                &design.mapping(2),
+                &design.interconnect(2),
+                Some(7),
+                &mut sink,
+                &resolved,
+            );
+            // Each PE fires u = 2 of the 32 points; a dead PE loses both.
+            assert_eq!(rep.run.computations, 30, "{backend:?}");
+            assert_eq!(sink.rollup().faults, 2, "{backend:?}");
+            runs.push(rep.run);
+        }
+        assert_eq!(runs[0].divergences_from(&runs[1]), Vec::<&str>::new());
+        // NoFaults keeps evaluate_faulted bit-identical to evaluate.
+        let flow = DesignFlow::matmul(2, 2);
+        let faultless = flow.evaluate_faulted(
+            design.name(),
+            &design.mapping(2),
+            &design.interconnect(2),
+            Some(7),
+            &mut NullSink,
+            &bitlevel_systolic::NoFaults,
+        );
+        let baseline = flow.evaluate_paper_design(design);
+        assert_eq!(
+            faultless.run.divergences_from(&baseline.run),
+            Vec::<&str>::new()
+        );
     }
 
     #[test]
@@ -566,11 +719,21 @@ mod tests {
         let (family, config) = flow.default_exploration();
         let ex = flow.explore(&family, &config).expect("well-formed inputs");
         assert!(!ex.designs.is_empty(), "matmul must have feasible designs");
-        assert!(ex.all_verified(), "{:?}", ex.designs.iter().map(|d| &d.divergences).collect::<Vec<_>>());
+        assert!(
+            ex.all_verified(),
+            "{:?}",
+            ex.designs
+                .iter()
+                .map(|d| &d.divergences)
+                .collect::<Vec<_>>()
+        );
         for d in &ex.designs {
             assert!(d.report.feasible, "{:?}", d.report.violations);
             assert_eq!(d.report.backend_used, "compiled");
-            assert_eq!(d.report.run.cycles, d.point.time, "simulation confirms the explorer");
+            assert_eq!(
+                d.report.run.cycles, d.point.time,
+                "simulation confirms the explorer"
+            );
             assert_eq!(d.report.run.processors, d.point.processors);
             assert_eq!(Some(d.report.run.cycles), d.report.closed_form_cycles);
         }
@@ -579,7 +742,10 @@ mod tests {
             ex.designs[0].point.mapping.schedule,
             bitlevel_linalg::IVec::from([1, 1, 1, 2, 1])
         );
-        assert!(ex.stats.full_checks * 10 <= ex.stats.exhaustive, "pruning must be >=10x");
+        assert!(
+            ex.stats.full_checks * 10 <= ex.stats.exhaustive,
+            "pruning must be >=10x"
+        );
     }
 
     #[test]

@@ -20,7 +20,12 @@ pub fn render_structure(flow: &DesignFlow) -> String {
         "Bit-level structure of {} (p = {}, {}):",
         flow.word.name, flow.p, flow.expansion
     );
-    let _ = writeln!(out, "J = {}  (|J| = {})", alg.index_set, alg.index_set.cardinality());
+    let _ = writeln!(
+        out,
+        "J = {}  (|J| = {})",
+        alg.index_set,
+        alg.index_set.cardinality()
+    );
     out.push_str(&annotated_dependence_table(&alg));
     let uniform: Vec<String> = alg
         .deps
@@ -29,7 +34,15 @@ pub fn render_structure(flow: &DesignFlow) -> String {
         .filter(|(_, d)| d.is_uniform_over(&alg.index_set))
         .map(|(i, _)| format!("d{}", i + 1))
         .collect();
-    let _ = writeln!(out, "uniform columns: {}", if uniform.is_empty() { "none".into() } else { uniform.join(", ") });
+    let _ = writeln!(
+        out,
+        "uniform columns: {}",
+        if uniform.is_empty() {
+            "none".into()
+        } else {
+            uniform.join(", ")
+        }
+    );
     out
 }
 
@@ -49,7 +62,11 @@ pub fn render_architecture(rep: &ArchitectureReport) -> String {
                 "  cycles: measured {} vs closed-form {} ({})",
                 rep.run.cycles,
                 cf,
-                if rep.run.cycles == cf { "match" } else { "MISMATCH" }
+                if rep.run.cycles == cf {
+                    "match"
+                } else {
+                    "MISMATCH"
+                }
             );
         }
         None => {
@@ -108,7 +125,11 @@ pub fn render_frontier(ex: &ExplorationReport) -> String {
         "Pareto frontier over (time, processors, wire): {} design(s)",
         ex.designs.len()
     );
-    let _ = writeln!(out, "  {:>6} {:>6} {:>5}  {:<24} {:<10} {}", "time", "PEs", "wire", "machine", "verified", "T = [S; Pi]");
+    let _ = writeln!(
+        out,
+        "  {:>6} {:>6} {:>5}  {:<24} {:<10} {}",
+        "time", "PEs", "wire", "machine", "verified", "T = [S; Pi]"
+    );
     for d in &ex.designs {
         let t = &d.point.mapping;
         let rows: Vec<String> = (0..t.space.rows())
@@ -168,8 +189,14 @@ pub fn render_matmul_comparison(u: i64, p: i64) -> String {
     let word_addshift = bitlevel_mapping::word_level_total_time(u, p * p);
     let word_carrysave = bitlevel_mapping::word_level_total_time(u, 2 * p);
     let bit = PaperDesign::TimeOptimal.total_time(u, p);
-    let _ = writeln!(out, "word-level (add-shift PE, t_b = p^2): {word_addshift} cycles");
-    let _ = writeln!(out, "word-level (carry-save PE, t_b = 2p): {word_carrysave} cycles");
+    let _ = writeln!(
+        out,
+        "word-level (add-shift PE, t_b = p^2): {word_addshift} cycles"
+    );
+    let _ = writeln!(
+        out,
+        "word-level (carry-save PE, t_b = 2p): {word_carrysave} cycles"
+    );
     let _ = writeln!(
         out,
         "speedup of Fig. 4: {:.1}x over add-shift word PEs, {:.1}x over carry-save",

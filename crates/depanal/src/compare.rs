@@ -152,15 +152,35 @@ mod tests {
     fn matmul_expansion_ii_agrees_with_ground_truth() {
         // The paper's Example 3.1 instance (small sizes for the exhaustive
         // baseline).
-        assert!(structures_agree(&WordLevelAlgorithm::matmul(2), 2, Expansion::II));
-        assert!(structures_agree(&WordLevelAlgorithm::matmul(2), 3, Expansion::II));
-        assert!(structures_agree(&WordLevelAlgorithm::matmul(3), 2, Expansion::II));
+        assert!(structures_agree(
+            &WordLevelAlgorithm::matmul(2),
+            2,
+            Expansion::II
+        ));
+        assert!(structures_agree(
+            &WordLevelAlgorithm::matmul(2),
+            3,
+            Expansion::II
+        ));
+        assert!(structures_agree(
+            &WordLevelAlgorithm::matmul(3),
+            2,
+            Expansion::II
+        ));
     }
 
     #[test]
     fn matmul_expansion_i_agrees_with_ground_truth() {
-        assert!(structures_agree(&WordLevelAlgorithm::matmul(2), 2, Expansion::I));
-        assert!(structures_agree(&WordLevelAlgorithm::matmul(2), 3, Expansion::I));
+        assert!(structures_agree(
+            &WordLevelAlgorithm::matmul(2),
+            2,
+            Expansion::I
+        ));
+        assert!(structures_agree(
+            &WordLevelAlgorithm::matmul(2),
+            3,
+            Expansion::I
+        ));
     }
 
     #[test]
@@ -208,7 +228,9 @@ mod tests {
         use std::collections::BTreeMap;
         let mut a: DependenceInstances = BTreeMap::new();
         let mut b: DependenceInstances = BTreeMap::new();
-        a.entry(IVec::from([1])).or_default().insert(IVec::from([2]));
+        a.entry(IVec::from([1]))
+            .or_default()
+            .insert(IVec::from([2]));
         b.entry(IVec::from([2]))
             .or_default()
             .insert(IVec::from([3]));

@@ -32,9 +32,7 @@
 //! uses Expansion II.
 
 use bitlevel_arith::AddShift;
-use bitlevel_ir::{
-    AlgorithmTriplet, Dependence, DependenceSet, Predicate, WordLevelAlgorithm,
-};
+use bitlevel_ir::{AlgorithmTriplet, Dependence, DependenceSet, Predicate, WordLevelAlgorithm};
 use bitlevel_linalg::IVec;
 use serde::{Deserialize, Serialize};
 
@@ -132,7 +130,11 @@ pub fn compose(word: &WordLevelAlgorithm, p: usize, expansion: Expansion) -> Alg
         // q̄₂ : i₁ = p or i₂ = 1.
         Expansion::II => Predicate::eq_const(i1, pi).or(&Predicate::eq_const(i2, 1)),
     };
-    deps.push(Dependence::conditional(lift_word(&word.h3), "z", d3_validity));
+    deps.push(Dependence::conditional(
+        lift_word(&word.h3),
+        "z",
+        d3_validity,
+    ));
 
     // d̄₄ = [0̄, δ̄₁ᵀ]ᵀ, valid at i₁ ≠ 1: intra-tile pipelining of x bits.
     deps.push(Dependence::conditional(
@@ -199,7 +201,10 @@ mod tests {
 
         // Index set (3.13): 5-D, 1..u on word axes, 1..p on bit axes.
         assert_eq!(alg.dim(), 5);
-        assert_eq!(alg.index_set.cardinality(), (u as u128).pow(3) * (p as u128).pow(2));
+        assert_eq!(
+            alg.index_set.cardinality(),
+            (u as u128).pow(3) * (p as u128).pow(2)
+        );
 
         // Dependence matrix (3.12). Paper column order: y, x, z, x, y/c, z, c'
         // — we emit in model order x, y, z, …, so compare as column sets.

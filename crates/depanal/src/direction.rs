@@ -150,7 +150,11 @@ pub fn banerjee_directed(
     assert_eq!(write.input_dim(), n, "write access dimension mismatch");
     assert_eq!(read.input_dim(), n, "read access dimension mismatch");
     assert_eq!(dirs.len(), n, "one direction per axis required");
-    assert_eq!(write.output_dim(), read.output_dim(), "subscript arity mismatch");
+    assert_eq!(
+        write.output_dim(),
+        read.output_dim(),
+        "subscript arity mismatch"
+    );
 
     for r in 0..write.output_dim() {
         let c = read.offset[r] - write.offset[r];

@@ -344,9 +344,10 @@ mod tests {
         // Statements with a d̄₃ read (the z(j̄−h̄₃) injection) must be guarded
         // to the boundary q̄₂.
         for s in &nest.statements {
-            let has_d3_read = s.inputs.iter().any(|a| {
-                a.array == "z" && a.func.offset.as_slice() == [0, 0, -1, 0, 0]
-            });
+            let has_d3_read = s
+                .inputs
+                .iter()
+                .any(|a| a.array == "z" && a.func.offset.as_slice() == [0, 0, -1, 0, 0]);
             if has_d3_read {
                 for q in set.iter_points() {
                     if s.guard.eval(&q, set) {

@@ -24,7 +24,11 @@ pub enum TestVerdict {
 /// dependence equation `Σ a_i·j_i − Σ a'_i·j'_i = b'_r − b_r` has integer
 /// solutions only if `gcd(coefficients)` divides the constant.
 pub fn gcd_test(write: &AffineFn, read: &AffineFn) -> TestVerdict {
-    assert_eq!(write.output_dim(), read.output_dim(), "subscript arity mismatch");
+    assert_eq!(
+        write.output_dim(),
+        read.output_dim(),
+        "subscript arity mismatch"
+    );
     for r in 0..write.output_dim() {
         let mut coeffs: Vec<i64> = write.matrix.row(r).to_vec();
         coeffs.extend(read.matrix.row(r).iter().map(|&x| -x));
@@ -43,7 +47,11 @@ pub fn gcd_test(write: &AffineFn, read: &AffineFn) -> TestVerdict {
 /// between easily computed extremes; a dependence requires the constant to
 /// lie inside that interval.
 pub fn banerjee_test(write: &AffineFn, read: &AffineFn, bounds: &BoxSet) -> TestVerdict {
-    assert_eq!(write.output_dim(), read.output_dim(), "subscript arity mismatch");
+    assert_eq!(
+        write.output_dim(),
+        read.output_dim(),
+        "subscript arity mismatch"
+    );
     let n = bounds.dim();
     assert_eq!(write.input_dim(), n, "access dimension mismatch");
     for r in 0..write.output_dim() {

@@ -1,0 +1,409 @@
+//! Fault-campaign drivers: exhaustive single-fault sweeps and seeded Monte
+//! Carlo over the Expansion II bit-level matmul, each case executed on
+//! **both** the interpreted clocked engine and the compiled backend and
+//! classified against the ABFT checksums of [`crate::abft`].
+//!
+//! The exhaustive sweep targets every `(index point, signal bit)` pair with
+//! one transient flip — `|J|·5` cases — and is the experiment behind the
+//! zero-SDC acceptance bar: on both paper designs every single flip must
+//! end up masked or detected. The Monte Carlo driver samples multi-fault
+//! plans at a per-point rate and reports the residual SDC probability that
+//! compensating faults can reach (see the cancellation example in
+//! [`crate::abft`]).
+
+use std::collections::BTreeMap;
+use std::fmt::Write as _;
+
+use bitlevel_depanal::{compose, Expansion};
+use bitlevel_ir::{AlgorithmTriplet, WordLevelAlgorithm};
+use bitlevel_linalg::IVec;
+use bitlevel_mapping::PaperDesign;
+use bitlevel_systolic::{
+    run_clocked_faulted, BitMatmulArray, CompiledSchedule, FaultableBundle, MatmulExpansionIICells,
+    MatmulSignals, NullSink,
+};
+use serde::Serialize;
+
+use crate::abft::{FaultOutcome, MatmulChecksums};
+use crate::plan::{splitmix64, FaultKind, FaultPlan, RandomFault, TargetedFault};
+
+/// The (3.12) Expansion II structure for `u×u` matrices of `p`-bit words.
+pub fn matmul_structure(u: usize, p: usize) -> AlgorithmTriplet {
+    compose(&WordLevelAlgorithm::matmul(u as i64), p, Expansion::II)
+}
+
+/// Deterministic operand matrices with entries bounded by
+/// [`BitMatmulArray::max_safe_entry`], so the faultless array reproduces
+/// the golden product exactly.
+pub fn operand_matrices(u: usize, p: usize, seed: u64) -> (Vec<Vec<u128>>, Vec<Vec<u128>>) {
+    let max = BitMatmulArray::new(u, p).max_safe_entry();
+    let mut ctr = 0u64;
+    let mut next = |_| {
+        (0..u)
+            .map(|_| {
+                ctr += 1;
+                splitmix64(seed ^ ctr.wrapping_mul(0xA0761D6478BD642F)) as u128 % (max + 1)
+            })
+            .collect::<Vec<u128>>()
+    };
+    (
+        (0..u).map(&mut next).collect(),
+        (0..u).map(&mut next).collect(),
+    )
+}
+
+/// One exhaustive-sweep case: a single injected fault and how each engine's
+/// run classified under the ABFT checksums.
+#[derive(Debug, Clone, Serialize)]
+pub struct FaultCase {
+    /// The injected fault.
+    pub kind: FaultKind,
+    /// The index point it hit.
+    pub point: IVec,
+    /// The processor executing that point.
+    pub pe: IVec,
+    /// The firing cycle.
+    pub cycle: i64,
+    /// Classification of the interpreted clocked run.
+    pub interpreted: FaultOutcome,
+    /// Classification of the compiled-backend run.
+    pub compiled: FaultOutcome,
+}
+
+impl FaultCase {
+    /// True iff both engines classified identically.
+    pub fn agree(&self) -> bool {
+        self.interpreted == self.compiled
+    }
+}
+
+/// Aggregate result of one exhaustive single-fault sweep.
+#[derive(Debug, Clone, Serialize)]
+pub struct FaultCampaignReport {
+    /// Which paper design ran (`"TimeOptimal"` / `"NearestNeighbour"`).
+    pub design: String,
+    /// Matrix dimension.
+    pub u: usize,
+    /// Word length.
+    pub p: usize,
+    /// Operand/plan seed.
+    pub seed: u64,
+    /// Number of injected cases (`|J| ·` signal bits).
+    pub total: usize,
+    /// Cases whose output equalled the golden product.
+    pub masked: usize,
+    /// Cases caught by a nonzero syndrome.
+    pub detected: usize,
+    /// Silent-data-corruption cases (must be 0 for single transient flips).
+    pub sdc: usize,
+    /// Cases where the interpreted and compiled engines disagreed.
+    pub engine_mismatches: usize,
+    /// Per-PE count of non-masked cases (the critical-PE heat map data),
+    /// sorted by processor coordinates.
+    pub vulnerability: Vec<(IVec, u64)>,
+    /// Every case, in sweep order.
+    pub cases: Vec<FaultCase>,
+}
+
+impl FaultCampaignReport {
+    /// True iff `{masked, detected, sdc}` partitions the injected set.
+    pub fn classifications_partition(&self) -> bool {
+        self.masked + self.detected + self.sdc == self.total
+    }
+
+    /// The per-PE vulnerability as a map, ready for
+    /// [`bitlevel_systolic::render_fault_heatmap`].
+    pub fn vulnerability_map(&self) -> BTreeMap<IVec, u64> {
+        self.vulnerability.iter().cloned().collect()
+    }
+
+    /// CSV export, one row per case.
+    pub fn to_csv(&self) -> String {
+        let mut out = String::from("design,u,p,kind,point,pe,cycle,interpreted,compiled,agree\n");
+        for c in &self.cases {
+            let _ = writeln!(
+                out,
+                "{},{},{},{},{},{},{},{},{},{}",
+                self.design,
+                self.u,
+                self.p,
+                q(&format!("{:?}", c.kind)),
+                q(&c.point.to_string()),
+                q(&c.pe.to_string()),
+                c.cycle,
+                c.interpreted,
+                c.compiled,
+                c.agree()
+            );
+        }
+        out
+    }
+
+    /// JSON export of the whole report.
+    pub fn to_json(&self) -> String {
+        serde_json::to_string_pretty(self).unwrap_or_default()
+    }
+}
+
+fn q(s: &str) -> String {
+    format!("\"{}\"", s.replace('"', "\"\""))
+}
+
+struct CampaignRig {
+    alg: AlgorithmTriplet,
+    t: bitlevel_mapping::MappingMatrix,
+    ic: bitlevel_mapping::Interconnect,
+    sched: CompiledSchedule,
+    cells: MatmulExpansionIICells,
+    checksums: MatmulChecksums,
+    golden: Vec<Vec<u128>>,
+}
+
+impl CampaignRig {
+    fn new(design: PaperDesign, u: usize, p: usize, seed: u64) -> Self {
+        let alg = matmul_structure(u, p);
+        let t = design.mapping(p as i64);
+        let ic = design.interconnect(p as i64);
+        let (x, y) = operand_matrices(u, p, seed);
+        let golden = BitMatmulArray::new(u, p).reference(&x, &y);
+        let checksums = MatmulChecksums::derive(&x, &y, p);
+        let cells = MatmulExpansionIICells::new(u, p, &x, &y);
+        let sched = CompiledSchedule::try_compile(&alg, &t, &ic)
+            .expect("paper-scale structures always fit the compiled representation");
+        CampaignRig {
+            alg,
+            t,
+            ic,
+            sched,
+            cells,
+            checksums,
+            golden,
+        }
+    }
+
+    /// Runs one plan on both engines and classifies each output.
+    fn classify_both(&mut self, plan: &FaultPlan) -> (FaultOutcome, FaultOutcome, usize) {
+        let resolved = plan.resolve(&self.alg, &self.t);
+        let injected = resolved.injected.len();
+        let irun = run_clocked_faulted(
+            &self.alg,
+            &self.t,
+            &self.ic,
+            &mut self.cells,
+            &mut NullSink,
+            &resolved,
+        );
+        let crun = self
+            .sched
+            .execute_faulted(&self.cells, &mut NullSink, &resolved);
+        let interpreted = self
+            .checksums
+            .classify(&self.golden, &self.cells.extract_product(&irun));
+        let compiled = self
+            .checksums
+            .classify(&self.golden, &self.cells.extract_product(&crun));
+        (interpreted, compiled, injected)
+    }
+}
+
+/// The exhaustive single-fault sweep of experiment E17: one transient flip
+/// per `(index point, signal bit)` pair, each case run on both engines.
+pub fn single_fault_campaign(
+    design: PaperDesign,
+    u: usize,
+    p: usize,
+    seed: u64,
+) -> FaultCampaignReport {
+    let mut rig = CampaignRig::new(design, u, p, seed);
+    let points: Vec<IVec> = rig.alg.index_set.iter_points().collect();
+    let mut cases = Vec::with_capacity(points.len() * MatmulSignals::fault_bits());
+    let mut vulnerability: BTreeMap<IVec, u64> = BTreeMap::new();
+    for point in &points {
+        let pe = rig.t.place(point);
+        let cycle = rig.t.time(point);
+        for bit in 0..MatmulSignals::fault_bits() {
+            let kind = FaultKind::TransientFlip { bit };
+            let plan = FaultPlan {
+                seed,
+                targeted: vec![TargetedFault {
+                    kind,
+                    pe: pe.clone(),
+                    cycle: Some(cycle),
+                }],
+                random: vec![],
+            };
+            let (interpreted, compiled, _) = rig.classify_both(&plan);
+            if interpreted != FaultOutcome::Masked {
+                *vulnerability.entry(pe.clone()).or_insert(0) += 1;
+            }
+            cases.push(FaultCase {
+                kind,
+                point: point.clone(),
+                pe: pe.clone(),
+                cycle,
+                interpreted,
+                compiled,
+            });
+        }
+    }
+    let count = |o: FaultOutcome| cases.iter().filter(|c| c.interpreted == o).count();
+    FaultCampaignReport {
+        design: format!("{design:?}"),
+        u,
+        p,
+        seed,
+        total: cases.len(),
+        masked: count(FaultOutcome::Masked),
+        detected: count(FaultOutcome::Detected),
+        sdc: count(FaultOutcome::Sdc),
+        engine_mismatches: cases.iter().filter(|c| !c.agree()).count(),
+        vulnerability: vulnerability.into_iter().collect(),
+        cases,
+    }
+}
+
+/// One Monte Carlo trial: a seeded multi-fault plan and both engines'
+/// classifications.
+#[derive(Debug, Clone, Serialize)]
+pub struct MonteCarloTrial {
+    /// The per-trial plan seed (`campaign seed + trial index`).
+    pub seed: u64,
+    /// How many faults the plan resolved to.
+    pub injected: usize,
+    /// Classification of the interpreted run.
+    pub interpreted: FaultOutcome,
+    /// Classification of the compiled run.
+    pub compiled: FaultOutcome,
+}
+
+/// Aggregate result of a seeded Monte Carlo fault campaign.
+#[derive(Debug, Clone, Serialize)]
+pub struct MonteCarloReport {
+    /// Which paper design ran.
+    pub design: String,
+    /// Matrix dimension.
+    pub u: usize,
+    /// Word length.
+    pub p: usize,
+    /// Campaign seed.
+    pub seed: u64,
+    /// Per-point, per-bit transient-flip rate.
+    pub rate: f64,
+    /// Number of trials.
+    pub trials: usize,
+    /// Trials whose output equalled the golden product.
+    pub masked: usize,
+    /// Trials caught by a nonzero syndrome.
+    pub detected: usize,
+    /// Silent-data-corruption trials (possible under multi-fault plans).
+    pub sdc: usize,
+    /// Trials where the engines disagreed.
+    pub engine_mismatches: usize,
+    /// Mean number of faults injected per trial.
+    pub mean_injected: f64,
+    /// Every trial, in order.
+    pub details: Vec<MonteCarloTrial>,
+}
+
+/// Seeded Monte Carlo: each trial samples one transient flip per signal
+/// bit at `rate` across every index point, runs both engines, and
+/// classifies. Multi-fault cancellation means `sdc` may be nonzero here —
+/// it is measured, not asserted.
+pub fn monte_carlo_campaign(
+    design: PaperDesign,
+    u: usize,
+    p: usize,
+    seed: u64,
+    trials: usize,
+    rate: f64,
+) -> MonteCarloReport {
+    let mut rig = CampaignRig::new(design, u, p, seed);
+    let mut details = Vec::with_capacity(trials);
+    for trial in 0..trials {
+        let plan = FaultPlan {
+            seed: seed.wrapping_add(trial as u64),
+            targeted: vec![],
+            random: (0..MatmulSignals::fault_bits())
+                .map(|bit| RandomFault {
+                    kind: FaultKind::TransientFlip { bit },
+                    rate,
+                })
+                .collect(),
+        };
+        let (interpreted, compiled, injected) = rig.classify_both(&plan);
+        details.push(MonteCarloTrial {
+            seed: plan.seed,
+            injected,
+            interpreted,
+            compiled,
+        });
+    }
+    let count = |o: FaultOutcome| details.iter().filter(|d| d.interpreted == o).count();
+    MonteCarloReport {
+        design: format!("{design:?}"),
+        u,
+        p,
+        seed,
+        rate,
+        trials,
+        masked: count(FaultOutcome::Masked),
+        detected: count(FaultOutcome::Detected),
+        sdc: count(FaultOutcome::Sdc),
+        engine_mismatches: details
+            .iter()
+            .filter(|d| d.interpreted != d.compiled)
+            .count(),
+        mean_injected: if trials == 0 {
+            0.0
+        } else {
+            details.iter().map(|d| d.injected).sum::<usize>() as f64 / trials as f64
+        },
+        details,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn exhaustive_sweep_partitions_with_zero_sdc_and_engine_agreement() {
+        for design in [PaperDesign::TimeOptimal, PaperDesign::NearestNeighbour] {
+            let r = single_fault_campaign(design, 2, 2, 0xB17);
+            assert_eq!(r.total, 32 * 5, "{design:?}");
+            assert!(r.classifications_partition(), "{design:?}");
+            assert_eq!(r.sdc, 0, "{design:?}: single flips must never escape");
+            assert_eq!(r.engine_mismatches, 0, "{design:?}");
+            assert!(
+                r.detected > 0,
+                "{design:?}: some flips must corrupt the product"
+            );
+            assert!(
+                r.masked > 0,
+                "{design:?}: some flips land on never-read wires"
+            );
+            assert!(!r.vulnerability.is_empty(), "{design:?}");
+            let csv = r.to_csv();
+            assert_eq!(csv.lines().count(), r.total + 1, "{design:?}");
+            assert!(csv.contains("TransientFlip"), "{design:?}");
+        }
+    }
+
+    #[test]
+    fn monte_carlo_is_deterministic_and_partitions() {
+        let a = monte_carlo_campaign(PaperDesign::TimeOptimal, 2, 2, 9, 12, 0.02);
+        let b = monte_carlo_campaign(PaperDesign::TimeOptimal, 2, 2, 9, 12, 0.02);
+        assert_eq!(a.masked + a.detected + a.sdc, a.trials);
+        assert_eq!(a.masked, b.masked);
+        assert_eq!(a.detected, b.detected);
+        assert_eq!(a.sdc, b.sdc);
+        assert!(
+            a.mean_injected > 0.0,
+            "rate 0.02 over 160 samples should hit"
+        );
+        for (x, y) in a.details.iter().zip(&b.details) {
+            assert_eq!(x.injected, y.injected);
+            assert_eq!(x.interpreted, y.interpreted);
+        }
+    }
+}

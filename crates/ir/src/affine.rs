@@ -26,7 +26,11 @@ impl AffineFn {
     /// # Panics
     /// Panics if `offset.dim() != matrix.rows()`.
     pub fn new(matrix: IMat, offset: IVec) -> Self {
-        assert_eq!(matrix.rows(), offset.dim(), "affine offset dimension mismatch");
+        assert_eq!(
+            matrix.rows(),
+            offset.dim(),
+            "affine offset dimension mismatch"
+        );
         AffineFn { matrix, offset }
     }
 
@@ -89,7 +93,10 @@ impl AffineFn {
         let m = self.matrix.rows();
         let left = IMat::zeros(m, before);
         let right = IMat::zeros(m, after);
-        AffineFn::new(left.hstack(&self.matrix).hstack(&right), self.offset.clone())
+        AffineFn::new(
+            left.hstack(&self.matrix).hstack(&right),
+            self.offset.clone(),
+        )
     }
 }
 

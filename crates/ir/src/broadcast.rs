@@ -44,7 +44,11 @@ pub fn pipelining_direction(access: &AffineFn) -> Option<IVec> {
 
 fn normalise_direction(v: IVec) -> IVec {
     let g = gcd_all(v.as_slice());
-    let mut v = if g > 1 { IVec(v.iter().map(|&x| x / g).collect()) } else { v };
+    let mut v = if g > 1 {
+        IVec(v.iter().map(|&x| x / g).collect())
+    } else {
+        v
+    };
     if let Some(first) = v.iter().find(|&&x| x != 0) {
         if *first < 0 {
             v = -&v;
@@ -62,7 +66,11 @@ fn normalise_direction(v: IVec) -> IVec {
 /// This is exactly the (2.2) → (2.3) and (3.1) → (3.3) rewrite of the paper.
 pub fn eliminate_broadcasts(nest: &LoopNest) -> BroadcastElimination {
     let n = nest.dim();
-    let written: Vec<String> = nest.statements.iter().map(|s| s.target.array.clone()).collect();
+    let written: Vec<String> = nest
+        .statements
+        .iter()
+        .map(|s| s.target.array.clone())
+        .collect();
 
     // Find input arrays with broadcast reads and their directions.
     let mut pipelined: Vec<(String, IVec)> = Vec::new();
@@ -187,9 +195,10 @@ mod tests {
         // identity reads.
         assert_eq!(be.nest.statements.len(), 3);
         let muladd = &be.nest.statements[2];
-        assert!(muladd.inputs.iter().all(|a| {
-            a.array == "z" || a.func.is_identity()
-        }));
+        assert!(muladd
+            .inputs
+            .iter()
+            .all(|a| { a.array == "z" || a.func.is_identity() }));
     }
 
     #[test]

@@ -145,7 +145,13 @@ impl DependenceSet {
     /// The dependence matrix `D` whose columns are the vectors, in order —
     /// exactly the paper's `D`.
     pub fn matrix(&self) -> IMat {
-        IMat::from_columns(&self.deps.iter().map(|d| d.vector.clone()).collect::<Vec<_>>())
+        IMat::from_columns(
+            &self
+                .deps
+                .iter()
+                .map(|d| d.vector.clone())
+                .collect::<Vec<_>>(),
+        )
     }
 
     /// True if every dependence is uniform over `set` (a *uniform dependence
@@ -155,7 +161,11 @@ impl DependenceSet {
     }
 
     /// All dependences active at point `j̄` (predicate holds, source inside).
-    pub fn active_at<'a>(&'a self, j: &'a IVec, set: &'a BoxSet) -> impl Iterator<Item = &'a Dependence> {
+    pub fn active_at<'a>(
+        &'a self,
+        j: &'a IVec,
+        set: &'a BoxSet,
+    ) -> impl Iterator<Item = &'a Dependence> {
         self.deps.iter().filter(move |d| d.active_at(j, set))
     }
 
@@ -169,10 +179,8 @@ impl DependenceSet {
                 .deps
                 .iter()
                 .map(|d| {
-                    let pts: Vec<IVec> = set
-                        .iter_points()
-                        .filter(|j| d.active_at(j, set))
-                        .collect();
+                    let pts: Vec<IVec> =
+                        set.iter_points().filter(|j| d.active_at(j, set)).collect();
                     (d.vector.clone(), pts)
                 })
                 // A dependence active nowhere contributes nothing.

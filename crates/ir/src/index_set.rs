@@ -368,9 +368,17 @@ mod tests {
     #[test]
     fn try_rank_reports_oversized_sets_instead_of_panicking() {
         // 2^64 points: exceeds usize on every supported target.
-        let b = BoxSet::new(IVec::from([0, 0]), IVec::from([(1i64 << 32) - 1, (1i64 << 32) - 1]));
+        let b = BoxSet::new(
+            IVec::from([0, 0]),
+            IVec::from([(1i64 << 32) - 1, (1i64 << 32) - 1]),
+        );
         let err = b.try_rank(&IVec::from([1, 1])).unwrap_err();
-        assert_eq!(err, RankError::Overflow { cardinality: 1u128 << 64 });
+        assert_eq!(
+            err,
+            RankError::Overflow {
+                cardinality: 1u128 << 64
+            }
+        );
         assert!(err.to_string().contains("overflows usize"));
     }
 

@@ -234,8 +234,16 @@ mod tests {
             vec![
                 Statement::pipeline("a", n, &IVec::from([1, 0])),
                 Statement::pipeline("b", n, &IVec::from([0, 1])),
-                Statement::new(Access::new("c", AffineFn::identity(n)), inputs(), OpKind::CarryBit),
-                Statement::new(Access::new("s", AffineFn::identity(n)), inputs(), OpKind::SumBit),
+                Statement::new(
+                    Access::new("c", AffineFn::identity(n)),
+                    inputs(),
+                    OpKind::CarryBit,
+                ),
+                Statement::new(
+                    Access::new("s", AffineFn::identity(n)),
+                    inputs(),
+                    OpKind::SumBit,
+                ),
             ],
         )
     }

@@ -32,12 +32,20 @@ pub fn enumerate_lattice_in_box(particular: &IVec, lattice: &[IVec], box_: &BoxS
     }
     let basis = IMat::from_columns(lattice);
     let hf = column_hermite_form(&basis);
-    assert_eq!(hf.rank, lattice.len(), "lattice basis must be linearly independent");
+    assert_eq!(
+        hf.rank,
+        lattice.len(),
+        "lattice basis must be linearly independent"
+    );
     let h = &hf.h;
 
     // Pivot row of each staircase column (strictly increasing).
     let pivots: Vec<usize> = (0..hf.rank)
-        .map(|j| (0..h.rows()).find(|&r| h[(r, j)] != 0).expect("nonzero column"))
+        .map(|j| {
+            (0..h.rows())
+                .find(|&r| h[(r, j)] != 0)
+                .expect("nonzero column")
+        })
         .collect();
 
     let mut results = Vec::new();
@@ -76,9 +84,13 @@ fn dfs(
             current[r] += h[(r, level)] * t;
         }
         // Rows before the next pivot are final; prune infeasible prefixes.
-        let fixed_upto = if level + 1 < pivots.len() { pivots[level + 1] } else { h.rows() };
-        let feasible = (0..fixed_upto)
-            .all(|r| current[r] >= box_.lower()[r] && current[r] <= box_.upper()[r]);
+        let fixed_upto = if level + 1 < pivots.len() {
+            pivots[level + 1]
+        } else {
+            h.rows()
+        };
+        let feasible =
+            (0..fixed_upto).all(|r| current[r] >= box_.lower()[r] && current[r] <= box_.upper()[r]);
         if feasible {
             dfs(h, pivots, level + 1, current, box_, results);
         }

@@ -58,11 +58,11 @@ impl Polyhedron {
     /// triangular-solve iteration shape.
     pub fn lower_triangle(l: i64, u: i64) -> Self {
         let a = IMat::from_rows(&[
-            &[1, 0],   // j1 ≤ u
-            &[-1, 0],  // −j1 ≤ −l
-            &[0, 1],   // j2 ≤ u (redundant but harmless)
-            &[0, -1],  // −j2 ≤ −l
-            &[-1, 1],  // j2 − j1 ≤ 0
+            &[1, 0],  // j1 ≤ u
+            &[-1, 0], // −j1 ≤ −l
+            &[0, 1],  // j2 ≤ u (redundant but harmless)
+            &[0, -1], // −j2 ≤ −l
+            &[-1, 1], // j2 − j1 ≤ 0
         ]);
         let b = IVec::from([u, -l, u, -l, 0]);
         Polyhedron::new(a, b, BoxSet::cube(2, l, u))

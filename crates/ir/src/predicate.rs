@@ -102,7 +102,9 @@ pub struct Predicate {
 impl Predicate {
     /// The predicate that holds everywhere (a uniform dependence).
     pub fn always() -> Self {
-        Predicate { clauses: vec![vec![]] }
+        Predicate {
+            clauses: vec![vec![]],
+        }
     }
 
     /// The predicate that holds nowhere.
@@ -147,7 +149,11 @@ impl Predicate {
         Predicate {
             clauses: vec![vals
                 .iter()
-                .map(|&c| Atom { axis, cmp: Cmp::Ne, rhs: Rhs::Const(c) })
+                .map(|&c| Atom {
+                    axis,
+                    cmp: Cmp::Ne,
+                    rhs: Rhs::Const(c),
+                })
                 .collect()],
         }
     }
@@ -203,7 +209,8 @@ impl Predicate {
 
     /// Semantic equality over a set, by exhaustive evaluation.
     pub fn equivalent_over(&self, other: &Predicate, set: &BoxSet) -> bool {
-        set.iter_points().all(|j| self.eval(&j, set) == other.eval(&j, set))
+        set.iter_points()
+            .all(|j| self.eval(&j, set) == other.eval(&j, set))
     }
 
     /// All points of `set` where the predicate holds.
@@ -223,7 +230,10 @@ impl Predicate {
                 .map(|clause| {
                     clause
                         .iter()
-                        .map(|a| Atom { axis: a.axis + offset, ..*a })
+                        .map(|a| Atom {
+                            axis: a.axis + offset,
+                            ..*a
+                        })
                         .collect()
                 })
                 .collect(),
@@ -239,9 +249,12 @@ impl Predicate {
         // Drop clauses containing contradictory atoms (x = c ∧ x ≠ c), absorb
         // duplicate clauses, and collapse to `always` if any clause is empty.
         self.clauses.retain(|clause| {
-            !clause
-                .iter()
-                .any(|a| clause.contains(&Atom { cmp: a.cmp.flip(), ..*a }))
+            !clause.iter().any(|a| {
+                clause.contains(&Atom {
+                    cmp: a.cmp.flip(),
+                    ..*a
+                })
+            })
         });
         self.clauses.sort();
         self.clauses.dedup();

@@ -47,7 +47,10 @@ pub struct Access {
 impl Access {
     /// Convenience constructor.
     pub fn new(array: &str, func: AffineFn) -> Self {
-        Access { array: array.to_string(), func }
+        Access {
+            array: array.to_string(),
+            func,
+        }
     }
 }
 
@@ -74,12 +77,22 @@ pub struct Statement {
 impl Statement {
     /// An unguarded statement.
     pub fn new(target: Access, inputs: Vec<Access>, op: OpKind) -> Self {
-        Statement { target, inputs, op, guard: Predicate::always() }
+        Statement {
+            target,
+            inputs,
+            op,
+            guard: Predicate::always(),
+        }
     }
 
     /// A guarded statement.
     pub fn guarded(target: Access, inputs: Vec<Access>, op: OpKind, guard: Predicate) -> Self {
-        Statement { target, inputs, op, guard }
+        Statement {
+            target,
+            inputs,
+            op,
+            guard,
+        }
     }
 
     /// A propagation statement `array(j̄) = array(j̄ − d̄)`.
@@ -137,7 +150,11 @@ impl LoopNest {
     pub fn new(bounds: BoxSet, statements: Vec<Statement>) -> Self {
         let n = bounds.dim();
         for s in &statements {
-            assert_eq!(s.target.func.input_dim(), n, "target access dimension mismatch");
+            assert_eq!(
+                s.target.func.input_dim(),
+                n,
+                "target access dimension mismatch"
+            );
             for a in &s.inputs {
                 assert_eq!(a.func.input_dim(), n, "input access dimension mismatch");
             }
@@ -167,7 +184,11 @@ impl LoopNest {
 
     /// Program-order display of the loop nest.
     pub fn pretty(&self) -> String {
-        let mut out = format!("DO {}  [{} points]\n", self.bounds, self.bounds.cardinality());
+        let mut out = format!(
+            "DO {}  [{} points]\n",
+            self.bounds,
+            self.bounds.cardinality()
+        );
         for s in &self.statements {
             out.push_str(&format!("  {s}\n"));
         }
@@ -215,8 +236,13 @@ mod tests {
         let s = Statement::pipeline("x", 3, &IVec::from([0, 1, 0]));
         assert_eq!(s.op, OpKind::Copy);
         assert_eq!(s.inputs.len(), 1);
-        assert_eq!(s.inputs[0].func.apply(&IVec::from([2, 2, 2])), IVec::from([2, 1, 2]));
-        assert!(s.to_string().contains("x(j1, j2, j3) = op[copy](x(j1, j2-1, j3))"));
+        assert_eq!(
+            s.inputs[0].func.apply(&IVec::from([2, 2, 2])),
+            IVec::from([2, 1, 2])
+        );
+        assert!(s
+            .to_string()
+            .contains("x(j1, j2, j3) = op[copy](x(j1, j2-1, j3))"));
     }
 
     #[test]

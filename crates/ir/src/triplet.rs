@@ -49,7 +49,11 @@ impl AlgorithmTriplet {
     /// Replaces the axis names (for compound bit-level sets:
     /// `j1..jn, i1, i2`).
     pub fn with_axis_names(mut self, names: &[&str]) -> Self {
-        assert_eq!(names.len(), self.index_set.dim(), "axis-name count mismatch");
+        assert_eq!(
+            names.len(),
+            self.index_set.dim(),
+            "axis-name count mismatch"
+        );
         self.axis_names = names.iter().map(|s| s.to_string()).collect();
         self
     }

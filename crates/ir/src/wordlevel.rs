@@ -18,10 +18,10 @@
 //! no cross-iteration dependence; the corresponding pipelining vector is
 //! `None` and the composed bit-level structure simply omits that column.
 
+use crate::affine::AffineFn;
 use crate::dependence::{Dependence, DependenceSet};
 use crate::index_set::BoxSet;
 use crate::statement::{Access, LoopNest, OpKind, Statement};
-use crate::affine::AffineFn;
 use crate::triplet::AlgorithmTriplet;
 use bitlevel_linalg::{IMat, IVec};
 use serde::{Deserialize, Serialize};
@@ -47,13 +47,7 @@ impl WordLevelAlgorithm {
     ///
     /// # Panics
     /// Panics if any vector's dimension differs from the bounds dimension.
-    pub fn new(
-        name: &str,
-        bounds: BoxSet,
-        h1: Option<IVec>,
-        h2: Option<IVec>,
-        h3: IVec,
-    ) -> Self {
+    pub fn new(name: &str, bounds: BoxSet, h1: Option<IVec>, h2: Option<IVec>, h3: IVec) -> Self {
         let n = bounds.dim();
         for h in [h1.as_ref(), h2.as_ref(), Some(&h3)].into_iter().flatten() {
             assert_eq!(h.dim(), n, "pipelining vector dimension mismatch");
@@ -86,7 +80,10 @@ impl WordLevelAlgorithm {
     /// `j₁+j₂`), `w` is broadcast along `j₁` (pipelined with `[1,0]ᵀ`), and
     /// `z` accumulates along `j₂`.
     pub fn convolution(outputs: i64, taps: i64) -> Self {
-        assert!(outputs >= 1 && taps >= 1, "convolution sizes must be positive");
+        assert!(
+            outputs >= 1 && taps >= 1,
+            "convolution sizes must be positive"
+        );
         WordLevelAlgorithm::new(
             "convolution",
             BoxSet::new(IVec::from([1, 1]), IVec::from([outputs, taps])),

@@ -86,7 +86,10 @@ pub fn solve_system(a: &IMat, b: &IVec) -> Option<DiophantineSolution> {
 
     let particular = sf.v.matvec(&y);
     let lattice: Vec<IVec> = (sf.rank..n).map(|j| sf.v.col(j)).collect();
-    Some(DiophantineSolution { particular, lattice })
+    Some(DiophantineSolution {
+        particular,
+        lattice,
+    })
 }
 
 #[cfg(test)]

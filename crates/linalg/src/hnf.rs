@@ -94,7 +94,11 @@ pub fn column_hermite_form(a: &IMat) -> HermiteForm {
         pivot_col += 1;
     }
 
-    HermiteForm { h, u, rank: pivot_col }
+    HermiteForm {
+        h,
+        u,
+        rank: pivot_col,
+    }
 }
 
 fn swap_cols(m: &mut IMat, a: usize, b: usize) {
@@ -144,7 +148,9 @@ mod tests {
         let mut last_pivot_row: Option<usize> = None;
         for j in 0..hf.rank {
             let col = hf.h.col(j);
-            let pr = (0..col.dim()).find(|&i| col[i] != 0).expect("nonzero column");
+            let pr = (0..col.dim())
+                .find(|&i| col[i] != 0)
+                .expect("nonzero column");
             assert!(col[pr] > 0, "pivot not positive");
             if let Some(lp) = last_pivot_row {
                 assert!(pr > lp, "pivot rows not strictly increasing");

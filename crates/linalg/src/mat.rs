@@ -30,7 +30,11 @@ impl IMat {
             assert_eq!(row.len(), c, "ragged rows in IMat::from_rows");
             data.extend_from_slice(row);
         }
-        IMat { rows: r, cols: c, data }
+        IMat {
+            rows: r,
+            cols: c,
+            data,
+        }
     }
 
     /// Creates a matrix from a flat row-major buffer.
@@ -49,7 +53,11 @@ impl IMat {
     /// Panics if the vectors have differing dimensions.
     pub fn from_columns(cols: &[IVec]) -> Self {
         if cols.is_empty() {
-            return IMat { rows: 0, cols: 0, data: vec![] };
+            return IMat {
+                rows: 0,
+                cols: 0,
+                data: vec![],
+            };
         }
         let r = cols[0].dim();
         for c in cols {
@@ -66,7 +74,11 @@ impl IMat {
 
     /// The `r × c` zero matrix.
     pub fn zeros(rows: usize, cols: usize) -> Self {
-        IMat { rows, cols, data: vec![0; rows * cols] }
+        IMat {
+            rows,
+            cols,
+            data: vec![0; rows * cols],
+        }
     }
 
     /// The `n × n` identity matrix.
@@ -178,7 +190,11 @@ impl IMat {
         assert_eq!(self.cols, other.cols, "vstack column mismatch");
         let mut data = self.data.clone();
         data.extend_from_slice(&other.data);
-        IMat { rows: self.rows + other.rows, cols: self.cols, data }
+        IMat {
+            rows: self.rows + other.rows,
+            cols: self.cols,
+            data,
+        }
     }
 
     /// Places `self` to the left of `other` (horizontal concatenation).
@@ -269,7 +285,13 @@ impl IMat {
                 for j in k + 1..n {
                     let num = a[idx(i, j)]
                         .checked_mul(a[idx(k, k)])
-                        .and_then(|x| x.checked_sub(a[idx(i, k)].checked_mul(a[idx(k, j)]).expect("det overflow")))
+                        .and_then(|x| {
+                            x.checked_sub(
+                                a[idx(i, k)]
+                                    .checked_mul(a[idx(k, j)])
+                                    .expect("det overflow"),
+                            )
+                        })
                         .expect("det overflow");
                     a[idx(i, j)] = num / prev;
                 }
@@ -298,14 +320,24 @@ impl IMat {
 impl std::ops::Index<(usize, usize)> for IMat {
     type Output = i64;
     fn index(&self, (i, j): (usize, usize)) -> &i64 {
-        debug_assert!(i < self.rows && j < self.cols, "index ({i},{j}) out of {}x{}", self.rows, self.cols);
+        debug_assert!(
+            i < self.rows && j < self.cols,
+            "index ({i},{j}) out of {}x{}",
+            self.rows,
+            self.cols
+        );
         &self.data[i * self.cols + j]
     }
 }
 
 impl std::ops::IndexMut<(usize, usize)> for IMat {
     fn index_mut(&mut self, (i, j): (usize, usize)) -> &mut i64 {
-        debug_assert!(i < self.rows && j < self.cols, "index ({i},{j}) out of {}x{}", self.rows, self.cols);
+        debug_assert!(
+            i < self.rows && j < self.cols,
+            "index ({i},{j}) out of {}x{}",
+            self.rows,
+            self.cols
+        );
         &mut self.data[i * self.cols + j]
     }
 }
@@ -425,7 +457,10 @@ mod tests {
     #[test]
     fn select_rows_and_cols() {
         let m = IMat::from_rows(&[&[1, 2, 3], &[4, 5, 6], &[7, 8, 9]]);
-        assert_eq!(m.select_rows(&[2, 0]), IMat::from_rows(&[&[7, 8, 9], &[1, 2, 3]]));
+        assert_eq!(
+            m.select_rows(&[2, 0]),
+            IMat::from_rows(&[&[7, 8, 9], &[1, 2, 3]])
+        );
         assert_eq!(m.select_cols(&[1]), IMat::from_rows(&[&[2], &[5], &[8]]));
     }
 

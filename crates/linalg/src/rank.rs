@@ -36,7 +36,11 @@ pub fn rank(m: &IMat) -> usize {
                 let num = a[idx(i, j)]
                     .checked_mul(pivot)
                     .and_then(|x| {
-                        x.checked_sub(a[idx(i, c)].checked_mul(a[idx(r, j)]).expect("rank overflow"))
+                        x.checked_sub(
+                            a[idx(i, c)]
+                                .checked_mul(a[idx(r, j)])
+                                .expect("rank overflow"),
+                        )
                     })
                     .expect("rank overflow");
                 a[idx(i, j)] = num / prev;

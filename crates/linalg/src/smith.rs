@@ -185,7 +185,10 @@ mod tests {
         }
         let facts = sf.invariant_factors();
         for w in facts.windows(2) {
-            assert!(w[0] > 0 && w[1] % w[0] == 0, "divisibility chain broken: {facts:?}");
+            assert!(
+                w[0] > 0 && w[1] % w[0] == 0,
+                "divisibility chain broken: {facts:?}"
+            );
         }
         for i in sf.rank..sf.s.rows().min(sf.s.cols()) {
             assert_eq!(sf.s[(i, i)], 0);

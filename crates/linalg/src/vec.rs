@@ -72,7 +72,9 @@ impl IVec {
             .iter()
             .zip(&other.0)
             .map(|(&a, &b)| a.checked_mul(b).expect("dot product overflow"))
-            .fold(0i64, |acc, x| acc.checked_add(x).expect("dot product overflow"))
+            .fold(0i64, |acc, x| {
+                acc.checked_add(x).expect("dot product overflow")
+            })
     }
 
     /// Dot product against a plain slice (e.g. a schedule row `Π`).
@@ -82,7 +84,9 @@ impl IVec {
             .iter()
             .zip(row)
             .map(|(&a, &b)| a.checked_mul(b).expect("dot product overflow"))
-            .fold(0i64, |acc, x| acc.checked_add(x).expect("dot product overflow"))
+            .fold(0i64, |acc, x| {
+                acc.checked_add(x).expect("dot product overflow")
+            })
     }
 
     /// Component-wise `≥` — the paper's `v̄ ≥ ū`.
@@ -108,7 +112,11 @@ impl IVec {
     /// # Panics
     /// Panics if `n > dim`.
     pub fn split_at(&self, n: usize) -> (IVec, IVec) {
-        assert!(n <= self.dim(), "split index {n} beyond dimension {}", self.dim());
+        assert!(
+            n <= self.dim(),
+            "split index {n} beyond dimension {}",
+            self.dim()
+        );
         (IVec(self.0[..n].to_vec()), IVec(self.0[n..].to_vec()))
     }
 

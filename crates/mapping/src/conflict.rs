@@ -102,7 +102,10 @@ mod tests {
         for (u, p) in [(2, 2), (3, 3), (4, 3), (3, 4)] {
             let j = BoxSet::cube(3, 1, u).product(&BoxSet::cube(2, 1, p));
             assert!(check_conflicts(&paper_t(p), &j).is_free(), "T u={u} p={p}");
-            assert!(check_conflicts(&paper_t_prime(p), &j).is_free(), "T' u={u} p={p}");
+            assert!(
+                check_conflicts(&paper_t_prime(p), &j).is_free(),
+                "T' u={u} p={p}"
+            );
         }
     }
 

@@ -112,7 +112,10 @@ mod tests {
     #[test]
     fn closed_form_times() {
         assert_eq!(PaperDesign::TimeOptimal.total_time(3, 3), 13); // 3·2+3·2+1
-        assert_eq!(PaperDesign::NearestNeighbour.total_time(3, 3), 7 * 2 + 6 + 1);
+        assert_eq!(
+            PaperDesign::NearestNeighbour.total_time(3, 3),
+            7 * 2 + 6 + 1
+        );
         // Design 2 is never faster.
         for u in 2..8 {
             for p in 2..8 {
@@ -169,14 +172,26 @@ mod tests {
         // speedup and roughly doubles the carry-save speedup (u scaled too so
         // u > p stays true).
         let s2 = speedup(4 * u, 2 * p, (2 * p) * (2 * p));
-        assert!(s2 / s_addshift > 2.5, "expected ~4x, got {}", s2 / s_addshift);
+        assert!(
+            s2 / s_addshift > 2.5,
+            "expected ~4x, got {}",
+            s2 / s_addshift
+        );
         let c2 = speedup(4 * u, 2 * p, 2 * (2 * p));
         assert!(c2 / s_carrysave > 1.5 && c2 / s_carrysave < 2.5);
     }
 
     #[test]
     fn interconnects_differ_in_wire_length() {
-        assert_eq!(PaperDesign::TimeOptimal.interconnect(5).max_wire_length(), 5);
-        assert_eq!(PaperDesign::NearestNeighbour.interconnect(5).max_wire_length(), 1);
+        assert_eq!(
+            PaperDesign::TimeOptimal.interconnect(5).max_wire_length(),
+            5
+        );
+        assert_eq!(
+            PaperDesign::NearestNeighbour
+                .interconnect(5)
+                .max_wire_length(),
+            1
+        );
     }
 }

@@ -65,11 +65,18 @@ mod tests {
     fn display_keeps_the_historic_assert_wording() {
         // Wrappers panic with these messages; existing `should_panic`
         // expectations match on the "dimension mismatch" fragment.
-        let e = MappingError::DimensionMismatch { what: "space/schedule", left: 3, right: 2 };
+        let e = MappingError::DimensionMismatch {
+            what: "space/schedule",
+            left: 3,
+            right: 2,
+        };
         assert_eq!(e.to_string(), "space/schedule dimension mismatch: 3 vs 2");
         let e = MappingError::NonPositiveBound { bound: 0 };
         assert!(e.to_string().contains("must be positive"));
-        let e = MappingError::SearchSpaceTooLarge { candidates: 1 << 100, max: 1 << 42 };
+        let e = MappingError::SearchSpaceTooLarge {
+            candidates: 1 << 100,
+            max: 1 << 42,
+        };
         assert!(e.to_string().contains("exceeds"));
     }
 }

@@ -34,9 +34,7 @@
 use crate::error::MappingError;
 use crate::feasibility::check_feasibility;
 use crate::interconnect::Interconnect;
-use crate::schedule::{
-    candidate_count, processor_count, total_time, MAX_SEARCH_CANDIDATES,
-};
+use crate::schedule::{candidate_count, processor_count, total_time, MAX_SEARCH_CANDIDATES};
 use crate::transform::MappingMatrix;
 use bitlevel_ir::AlgorithmTriplet;
 use bitlevel_linalg::{gcd_all, rank, IMat, IVec};
@@ -55,7 +53,10 @@ pub struct MachineOption {
 impl MachineOption {
     /// Labels an interconnect.
     pub fn new(label: impl Into<String>, interconnect: Interconnect) -> Self {
-        MachineOption { label: label.into(), interconnect }
+        MachineOption {
+            label: label.into(),
+            interconnect,
+        }
     }
 }
 
@@ -131,7 +132,10 @@ impl Exploration {
     /// Frontier designs whose longest wire does not exceed `wire` — e.g.
     /// `nearest_neighbour_frontier(1)` for the Fig. 5 regime.
     pub fn within_wire_length(&self, wire: i64) -> Vec<&FrontierPoint> {
-        self.frontier.iter().filter(|f| f.max_wire_length <= wire).collect()
+        self.frontier
+            .iter()
+            .filter(|f| f.max_wire_length <= wire)
+            .collect()
     }
 }
 
@@ -180,7 +184,10 @@ fn combinations(
 ) {
     if picked.len() == rows {
         let m = IMat::from_rows(
-            &picked.iter().map(|&i| pool[i].as_slice()).collect::<Vec<_>>(),
+            &picked
+                .iter()
+                .map(|&i| pool[i].as_slice())
+                .collect::<Vec<_>>(),
         );
         if rank(&m) == rows {
             out.push(m);
@@ -209,7 +216,9 @@ pub fn explore(
 ) -> Result<Exploration, MappingError> {
     let n = alg.dim();
     if config.pi_bound < 1 {
-        return Err(MappingError::NonPositiveBound { bound: config.pi_bound });
+        return Err(MappingError::NonPositiveBound {
+            bound: config.pi_bound,
+        });
     }
     for s in spaces {
         if s.cols() != n {
@@ -263,8 +272,9 @@ pub fn explore(
 
     // Maximal per-column routing budget any in-bound schedule can grant:
     // Π·d̄ᵢ ≤ B·‖d̄ᵢ‖₁.
-    let max_budgets: Vec<i64> =
-        (0..d.cols()).map(|c| config.pi_bound * d.col(c).l1_norm()).collect();
+    let max_budgets: Vec<i64> = (0..d.cols())
+        .map(|c| config.pi_bound * d.col(c).l1_norm())
+        .collect();
     let cardinality = alg.index_set.cardinality();
 
     // One task per space: machines share the per-S memo (rank, |S·J|, S·D).
@@ -460,7 +470,10 @@ mod tests {
             let ex = explore(
                 &alg,
                 &[s.clone()],
-                &ExploreConfig { pi_bound: 2, machines: vec![machine.clone()] },
+                &ExploreConfig {
+                    pi_bound: 2,
+                    machines: vec![machine.clone()],
+                },
             )
             .expect("well-formed");
             assert_eq!(ex.frontier.len(), 1, "single pair → single point");
@@ -482,7 +495,10 @@ mod tests {
         let ex = explore(
             &alg,
             &family,
-            &ExploreConfig { pi_bound: p, machines: paper_machines(p) },
+            &ExploreConfig {
+                pi_bound: p,
+                machines: paper_machines(p),
+            },
         )
         .expect("well-formed");
 
@@ -491,7 +507,11 @@ mod tests {
         assert_eq!(tm.time, 3 * (u - 1) + 3 * (p - 1) + 1);
         assert_eq!(tm.time, PaperDesign::TimeOptimal.total_time(u, p));
         assert_eq!(tm.mapping.schedule, IVec::from([1, 1, 1, 2, 1]));
-        assert_eq!(tm.time, ex.stats.lower_bound.unwrap(), "optimum meets the lower bound");
+        assert_eq!(
+            tm.time,
+            ex.stats.lower_bound.unwrap(),
+            "optimum meets the lower bound"
+        );
 
         // Nearest-neighbour end: Π' = [p, p, 1, 2, 1] of (4.6) at the
         // closed-form time — the best wire-length-1 design.
@@ -528,12 +548,18 @@ mod tests {
         let ex = explore(
             &alg,
             &family,
-            &ExploreConfig { pi_bound: p, machines: paper_machines(p) },
+            &ExploreConfig {
+                pi_bound: p,
+                machines: paper_machines(p),
+            },
         )
         .unwrap();
         let nn_best = ex.within_wire_length(1)[0];
         let paper = PaperDesign::NearestNeighbour;
-        assert!(nn_best.time < paper.total_time(u, p), "strictly faster than T'");
+        assert!(
+            nn_best.time < paper.total_time(u, p),
+            "strictly faster than T'"
+        );
         assert!(
             (nn_best.processors as i64) < PaperDesign::processors(u, p),
             "and on fewer processors"
@@ -549,7 +575,10 @@ mod tests {
         let ex = explore(
             &alg,
             &family,
-            &ExploreConfig { pi_bound: 2, machines: paper_machines(p) },
+            &ExploreConfig {
+                pi_bound: 2,
+                machines: paper_machines(p),
+            },
         )
         .unwrap();
         let fr = &ex.frontier;
@@ -565,7 +594,10 @@ mod tests {
             }
         }
         for w in fr.windows(2) {
-            assert!(point_key(&w[0]) < point_key(&w[1]), "frontier must be sorted");
+            assert!(
+                point_key(&w[0]) < point_key(&w[1]),
+                "frontier must be sorted"
+            );
         }
     }
 
@@ -573,23 +605,36 @@ mod tests {
     fn explore_rejects_bad_inputs_with_typed_errors() {
         let alg = matmul_bitlevel(2, 2);
         let s = PaperDesign::space(2);
-        let cfg = ExploreConfig { pi_bound: 0, machines: paper_machines(2) };
+        let cfg = ExploreConfig {
+            pi_bound: 0,
+            machines: paper_machines(2),
+        };
         assert_eq!(
             explore(&alg, &[s.clone()], &cfg),
             Err(MappingError::NonPositiveBound { bound: 0 })
         );
         let narrow = IMat::from_rows(&[&[1, 0, 0]]);
-        let cfg = ExploreConfig { pi_bound: 2, machines: paper_machines(2) };
+        let cfg = ExploreConfig {
+            pi_bound: 2,
+            machines: paper_machines(2),
+        };
         assert_eq!(
             explore(&alg, &[narrow], &cfg),
-            Err(MappingError::DimensionMismatch { what: "space/algorithm", left: 3, right: 5 })
+            Err(MappingError::DimensionMismatch {
+                what: "space/algorithm",
+                left: 3,
+                right: 5
+            })
         );
     }
 
     #[test]
     fn empty_inputs_give_empty_frontier() {
         let alg = matmul_bitlevel(2, 2);
-        let cfg = ExploreConfig { pi_bound: 2, machines: paper_machines(2) };
+        let cfg = ExploreConfig {
+            pi_bound: 2,
+            machines: paper_machines(2),
+        };
         let ex = explore(&alg, &[], &cfg).unwrap();
         assert!(ex.frontier.is_empty());
         assert_eq!(ex.stats.full_checks, 0);

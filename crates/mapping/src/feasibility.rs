@@ -58,7 +58,11 @@ impl std::fmt::Display for Violation {
                 write!(f, "condition 1: Pi*d{} = {value} <= 0", column + 1)
             }
             Violation::Unroutable { column } => {
-                write!(f, "condition 2: S*d{} not routable within its time budget", column + 1)
+                write!(
+                    f,
+                    "condition 2: S*d{} not routable within its time budget",
+                    column + 1
+                )
             }
             Violation::Conflict { witness } => write!(f, "condition 3: conflict {witness}"),
             Violation::RankDeficient { rank, k } => {
@@ -138,7 +142,10 @@ pub fn check_feasibility(
         let v = d.col(i).dot(&t.schedule);
         budgets.push(v);
         if v <= 0 {
-            violations.push(Violation::NonPositiveSchedule { column: i, value: v });
+            violations.push(Violation::NonPositiveSchedule {
+                column: i,
+                value: v,
+            });
         }
     }
 
@@ -155,7 +162,9 @@ pub fn check_feasibility(
 
     // Condition 3: no computational conflicts.
     if let ConflictResult::Conflict(a, b) = check_conflicts(t, &alg.index_set) {
-        violations.push(Violation::Conflict { witness: format!("{a} and {b}") });
+        violations.push(Violation::Conflict {
+            witness: format!("{a} and {b}"),
+        });
     }
 
     // Condition 4: rank(T) = k.
@@ -172,7 +181,11 @@ pub fn check_feasibility(
         violations.push(Violation::NotCoprime { gcd: g });
     }
 
-    FeasibilityReport { violations, routing, td: t.td(&d) }
+    FeasibilityReport {
+        violations,
+        routing,
+        td: t.td(&d),
+    }
 }
 
 #[cfg(test)]
@@ -263,10 +276,13 @@ mod tests {
         let mut t = t_of_4_2(p);
         t.schedule = bitlevel_linalg::IVec::from([-1, 1, 1, 2, 1]);
         let rep = check_feasibility(&t, &alg, &Interconnect::paper_p(p));
-        assert!(rep
-            .violations
-            .iter()
-            .any(|v| matches!(v, Violation::NonPositiveSchedule { column: 0, value: -1 })));
+        assert!(rep.violations.iter().any(|v| matches!(
+            v,
+            Violation::NonPositiveSchedule {
+                column: 0,
+                value: -1
+            }
+        )));
     }
 
     #[test]
@@ -279,8 +295,14 @@ mod tests {
             bitlevel_linalg::IVec::from([1, 1, 1, 2, 1]),
         );
         let rep = check_feasibility(&t, &alg, &Interconnect::paper_p(p));
-        assert!(rep.violations.iter().any(|v| matches!(v, Violation::RankDeficient { .. })));
-        assert!(rep.violations.iter().any(|v| matches!(v, Violation::Conflict { .. })));
+        assert!(rep
+            .violations
+            .iter()
+            .any(|v| matches!(v, Violation::RankDeficient { .. })));
+        assert!(rep
+            .violations
+            .iter()
+            .any(|v| matches!(v, Violation::Conflict { .. })));
     }
 
     #[test]
@@ -292,7 +314,10 @@ mod tests {
             bitlevel_linalg::IVec::from([2, 2, 2, 4, 2]),
         );
         let rep = check_feasibility(&t, &alg, &Interconnect::paper_p(2 * p));
-        assert!(rep.violations.iter().any(|v| matches!(v, Violation::NotCoprime { gcd: 2 })));
+        assert!(rep
+            .violations
+            .iter()
+            .any(|v| matches!(v, Violation::NotCoprime { gcd: 2 })));
     }
 
     #[test]

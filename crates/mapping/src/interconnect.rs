@@ -76,7 +76,11 @@ impl Interconnect {
     /// minimum hop count. Returns `None` if `target` is unreachable within
     /// `budget` hops.
     pub fn route(&self, target: &IVec, budget: i64) -> Option<Routing> {
-        assert_eq!(target.dim(), self.dim(), "routing target dimension mismatch");
+        assert_eq!(
+            target.dim(),
+            self.dim(),
+            "routing target dimension mismatch"
+        );
         if budget < 0 {
             return None;
         }
@@ -121,7 +125,11 @@ impl Interconnect {
         }
         visited.get(target).map(|usage| {
             let used: i64 = usage.iter().sum();
-            Routing { usage: usage.clone(), hops: used, buffers: budget - used }
+            Routing {
+                usage: usage.clone(),
+                hops: used,
+                buffers: budget - used,
+            }
         })
     }
 
@@ -129,7 +137,11 @@ impl Interconnect {
     /// per-column budget `Π·d̄ᵢ`. Returns the `K` matrix and per-column buffer
     /// counts, or the index of the first unroutable column.
     pub fn solve_k(&self, sd: &IMat, budgets: &[i64]) -> Result<KSolution, usize> {
-        assert_eq!(sd.cols(), budgets.len(), "budget per dependence column required");
+        assert_eq!(
+            sd.cols(),
+            budgets.len(),
+            "budget per dependence column required"
+        );
         let mut cols = Vec::with_capacity(sd.cols());
         let mut buffers = Vec::with_capacity(sd.cols());
         #[allow(clippy::needless_range_loop)] // i indexes sd columns and budgets together
@@ -142,7 +154,10 @@ impl Interconnect {
                 None => return Err(i),
             }
         }
-        Ok(KSolution { k: IMat::from_columns(&cols), buffers })
+        Ok(KSolution {
+            k: IMat::from_columns(&cols),
+            buffers,
+        })
     }
 }
 

@@ -36,7 +36,7 @@ pub use conflict::{check_conflicts, check_conflicts_bruteforce, ConflictResult};
 pub use designs::{speedup, word_level_total_time, PaperDesign};
 pub use error::MappingError;
 pub use explore::{
-    explore, generate_space_family, ExploreConfig, ExploreStats, Exploration, FrontierPoint,
+    explore, generate_space_family, Exploration, ExploreConfig, ExploreStats, FrontierPoint,
     MachineOption,
 };
 pub use feasibility::{check_feasibility, FeasibilityReport, Violation};
@@ -47,9 +47,8 @@ pub use polyhedral::{
     total_time_polyhedral,
 };
 pub use schedule::{
-    dependence_only_bound, find_optimal_schedule, find_optimal_schedule_bestfirst,
-    processor_count, total_time, try_dependence_only_bound, try_find_optimal_schedule,
-    try_find_optimal_schedule_bestfirst, try_total_time, OptimalSchedule,
-    MAX_SEARCH_CANDIDATES,
+    dependence_only_bound, find_optimal_schedule, find_optimal_schedule_bestfirst, processor_count,
+    total_time, try_dependence_only_bound, try_find_optimal_schedule,
+    try_find_optimal_schedule_bestfirst, try_total_time, OptimalSchedule, MAX_SEARCH_CANDIDATES,
 };
 pub use transform::MappingMatrix;

@@ -48,7 +48,11 @@ pub fn find_linear_array_mapping(
     s_bound: i64,
     pi_bound: i64,
 ) -> Option<LinearArrayDesign> {
-    assert_eq!(ic.dim(), 1, "linear-array synthesis needs a 1-D interconnect");
+    assert_eq!(
+        ic.dim(),
+        1,
+        "linear-array synthesis needs a 1-D interconnect"
+    );
     assert!(s_bound >= 1 && pi_bound >= 1, "bounds must be positive");
     let n = alg.dim();
 

@@ -216,7 +216,10 @@ mod tests {
     fn processor_count_on_triangle() {
         // S = [1, 0]: processors = number of distinct j1 values = 4.
         let tri = Polyhedron::lower_triangle(1, 4);
-        assert_eq!(processor_count_polyhedral(&IMat::from_rows(&[&[1, 0]]), &tri), 4);
+        assert_eq!(
+            processor_count_polyhedral(&IMat::from_rows(&[&[1, 0]]), &tri),
+            4
+        );
     }
 
     #[test]

@@ -196,11 +196,7 @@ pub fn try_find_optimal_schedule(
 
 /// Validates a schedule search's inputs and returns the per-axis range plus
 /// the exact `u128` candidate count. Shared by both search strategies.
-fn search_range(
-    space_cols: usize,
-    n: usize,
-    bound: i64,
-) -> Result<(Vec<i64>, u128), MappingError> {
+fn search_range(space_cols: usize, n: usize, bound: i64) -> Result<(Vec<i64>, u128), MappingError> {
     if bound < 1 {
         return Err(MappingError::NonPositiveBound { bound });
     }
@@ -367,7 +363,11 @@ mod tests {
         let pi = IVec::from([1, 1]);
         assert_eq!(
             try_total_time(&pi, &j),
-            Err(MappingError::DimensionMismatch { what: "schedule/index", left: 2, right: 3 })
+            Err(MappingError::DimensionMismatch {
+                what: "schedule/index",
+                left: 2,
+                right: 3
+            })
         );
     }
 
@@ -388,7 +388,11 @@ mod tests {
         for (u, p) in [(2i64, 2i64), (3, 3), (4, 2)] {
             let j = BoxSet::cube(3, 1, u).product(&BoxSet::cube(2, 1, p));
             let s = IMat::from_rows(&[&[p, 0, 0, 1, 0], &[0, p, 0, 0, 1]]);
-            assert_eq!(processor_count(&s, &j), (u * u * p * p) as usize, "u={u} p={p}");
+            assert_eq!(
+                processor_count(&s, &j),
+                (u * u * p * p) as usize,
+                "u={u} p={p}"
+            );
         }
     }
 
@@ -496,7 +500,10 @@ mod tests {
         let ic = Interconnect::paper_p(2);
         let bound = 6000i64;
         let expect = (2 * bound as u128 + 1).pow(5);
-        assert!(expect > u64::MAX as u128, "chosen bound must exceed the old usize count");
+        assert!(
+            expect > u64::MAX as u128,
+            "chosen bound must exceed the old usize count"
+        );
         for result in [
             try_find_optimal_schedule(&s, &alg, &ic, bound),
             try_find_optimal_schedule_bestfirst(&s, &alg, &ic, bound),
@@ -539,7 +546,11 @@ mod tests {
         let narrow = IMat::from_rows(&[&[1, 0, 0]]);
         assert_eq!(
             try_find_optimal_schedule(&narrow, &alg, &ic, 2),
-            Err(MappingError::DimensionMismatch { what: "space/algorithm", left: 3, right: 5 })
+            Err(MappingError::DimensionMismatch {
+                what: "space/algorithm",
+                left: 3,
+                right: 5
+            })
         );
     }
 

@@ -54,8 +54,11 @@ impl MappingMatrix {
 
     /// The full matrix `T` with `Π` as the last row.
     pub fn t_matrix(&self) -> IMat {
-        self.space
-            .vstack(&IMat::from_flat(1, self.n(), self.schedule.as_slice().to_vec()))
+        self.space.vstack(&IMat::from_flat(
+            1,
+            self.n(),
+            self.schedule.as_slice().to_vec(),
+        ))
     }
 
     /// Execution time of the computation at `j̄`: `Π·j̄`.
@@ -149,7 +152,11 @@ mod tests {
     fn try_new_reports_mismatch_as_typed_error() {
         assert_eq!(
             MappingMatrix::try_new(IMat::identity(3), IVec::from([1, 1])),
-            Err(MappingError::DimensionMismatch { what: "space/schedule", left: 3, right: 2 })
+            Err(MappingError::DimensionMismatch {
+                what: "space/schedule",
+                left: 3,
+                right: 2
+            })
         );
         assert!(MappingMatrix::try_new(IMat::identity(3), IVec::from([1, 1, 1])).is_ok());
     }

@@ -107,8 +107,7 @@ impl BitMatmulArray {
         // last completed tile (only the boundary positions carry the result).
         // We keep the whole s grid per (j1, j2) because the injection uses
         // exactly the producing positions (i, 1) and (p, i2).
-        let mut prev_s: Vec<Vec<Vec<Vec<Bit>>>> =
-            vec![vec![vec![vec![false; p]; p]; u]; u];
+        let mut prev_s: Vec<Vec<Vec<Vec<Bit>>>> = vec![vec![vec![vec![false; p]; p]; u]; u];
 
         let mut result = vec![vec![0u128; u]; u];
 
@@ -152,7 +151,11 @@ impl BitMatmulArray {
                             };
                             // Second-carry chain along i₂ on the i1 = p plane
                             // (d̄₇).
-                            let cp_in = if i1 == p && i2 > 2 { cp[p - 1][i2 - 3] } else { false };
+                            let cp_in = if i1 == p && i2 > 2 {
+                                cp[p - 1][i2 - 3]
+                            } else {
+                                false
+                            };
 
                             if on_boundary && j3 > 0 {
                                 let inputs = [pp, c_in, s_in, inject, cp_in];
@@ -195,7 +198,11 @@ impl BitMatmulArray {
             }
         }
 
-        BitMatmulRun { z: result, narrow_cells, wide_cells }
+        BitMatmulRun {
+            z: result,
+            narrow_cells,
+            wide_cells,
+        }
     }
 
     /// Convenience wrapper returning just the product matrix.

@@ -14,6 +14,7 @@
 //! implements the full-adder/wide-adder semantics of the Expansion II matmul
 //! structure (3.12), matching [`crate::bit_array::BitMatmulArray`] exactly.
 
+use crate::fault::{FaultInjector, NoFaults, TransferFault};
 use crate::trace::{NullSink, TraceEvent, TraceSink};
 use bitlevel_arith::{full_add, to_bits, wide_add, Bit};
 use bitlevel_ir::AlgorithmTriplet;
@@ -87,6 +88,15 @@ pub enum ClockedViolation {
         /// Cycle.
         cycle: i64,
     },
+    /// An active dependence found no token: its in-set producer had not
+    /// fired yet when the consumer needed the value (a scheduling anomaly —
+    /// boundary inputs arrive on *inactive* columns and are not violations).
+    MissingToken {
+        /// Rendered consumer point.
+        consumer: String,
+        /// Dependence column index.
+        column: usize,
+    },
 }
 
 impl fmt::Display for ClockedViolation {
@@ -97,17 +107,39 @@ impl fmt::Display for ClockedViolation {
                 "causality: {consumer} consumed column d{} at or before its producer fired",
                 column + 1
             ),
-            ClockedViolation::RouteTooSlow { consumer, column, hops, budget } if *hops < 0 => {
-                write!(f, "route: column d{} unroutable for {consumer} (slack {budget})", column + 1)
+            ClockedViolation::RouteTooSlow {
+                consumer,
+                column,
+                hops,
+                budget,
+            } if *hops < 0 => {
+                write!(
+                    f,
+                    "route: column d{} unroutable for {consumer} (slack {budget})",
+                    column + 1
+                )
             }
-            ClockedViolation::RouteTooSlow { consumer, column, hops, budget } => write!(
+            ClockedViolation::RouteTooSlow {
+                consumer,
+                column,
+                hops,
+                budget,
+            } => write!(
                 f,
                 "route: {consumer} needs {hops} hops on d{} but has only {budget} cycles",
                 column + 1
             ),
             ClockedViolation::ProcessorConflict { processor, cycle } => {
-                write!(f, "conflict: two points fired on processor {processor} in cycle {cycle}")
+                write!(
+                    f,
+                    "conflict: two points fired on processor {processor} in cycle {cycle}"
+                )
             }
+            ClockedViolation::MissingToken { consumer, column } => write!(
+                f,
+                "missing token: {consumer} found no token on column d{}",
+                column + 1
+            ),
         }
     }
 }
@@ -156,6 +188,30 @@ pub fn run_clocked_traced<S: CellSemantics, K: TraceSink>(
     semantics: &mut S,
     sink: &mut K,
 ) -> ClockedRun<S::Bundle> {
+    run_clocked_faulted(alg, t, ic, semantics, sink, &NoFaults)
+}
+
+/// [`run_clocked_traced`] with a [`FaultInjector`] perturbing the run:
+/// transfer faults apply at token consumption (a dropped transfer skips the
+/// consumption bookkeeping entirely; a duplicate re-delivers the previous
+/// token of the same edge class), output faults mutate the just-computed
+/// bundle before it launches. With [`NoFaults`] every fault branch compiles
+/// away and this *is* [`run_clocked_traced`]; the compiled backend
+/// ([`crate::compiled::CompiledSchedule::execute_faulted`]) reproduces the
+/// identical faulted run bit for bit.
+pub fn run_clocked_faulted<S, K, F>(
+    alg: &AlgorithmTriplet,
+    t: &MappingMatrix,
+    ic: &Interconnect,
+    semantics: &mut S,
+    sink: &mut K,
+    faults: &F,
+) -> ClockedRun<S::Bundle>
+where
+    S: CellSemantics,
+    K: TraceSink,
+    F: FaultInjector<S::Bundle>,
+{
     assert_eq!(t.n(), alg.dim(), "mapping/algorithm dimension mismatch");
     let set = &alg.index_set;
     let m = alg.deps.len();
@@ -234,7 +290,10 @@ pub fn run_clocked_traced<S: CellSemantics, K: TraceSink>(
                     cycle,
                 };
                 if K::ENABLED {
-                    sink.record(TraceEvent::Violation { cycle, description: v.to_string() });
+                    sink.record(TraceEvent::Violation {
+                        cycle,
+                        description: v.to_string(),
+                    });
                 }
                 violations.push(v);
             }
@@ -243,6 +302,26 @@ pub fn run_clocked_traced<S: CellSemantics, K: TraceSink>(
             let mut inputs: Vec<Option<S::Bundle>> = Vec::with_capacity(m);
             for (i, d) in alg.deps.iter().enumerate() {
                 if !d.active_at(q, set) {
+                    inputs.push(None);
+                    continue;
+                }
+                let tf = if F::ENABLED {
+                    faults.on_transfer(cycle, q, i)
+                } else {
+                    TransferFault::None
+                };
+                if tf == TransferFault::Drop {
+                    // The token is lost on the wire: no consumption
+                    // bookkeeping at all — it stays in flight, unretired.
+                    if K::ENABLED {
+                        sink.record(TraceEvent::FaultInjected {
+                            cycle,
+                            point: q.clone(),
+                            processor: proc_coords[id as usize].clone(),
+                            column: Some(i),
+                            kind: "dropped_transfer".into(),
+                        });
+                    }
                     inputs.push(None);
                     continue;
                 }
@@ -305,13 +384,63 @@ pub fn run_clocked_traced<S: CellSemantics, K: TraceSink>(
                             });
                         }
                         in_flight[i] = in_flight[i].saturating_sub(1);
-                        inputs.push(Some(bundle.clone()));
+                        if F::ENABLED && tf == TransferFault::Duplicate {
+                            // The link re-delivers the previous token of this
+                            // edge class: the output of src − d̄, when it
+                            // exists (else the stale register is empty).
+                            if K::ENABLED {
+                                sink.record(TraceEvent::FaultInjected {
+                                    cycle,
+                                    point: q.clone(),
+                                    processor: proc_coords[id as usize].clone(),
+                                    column: Some(i),
+                                    kind: "duplicated_transfer".into(),
+                                });
+                            }
+                            let stale = if d.active_at(&src, set) {
+                                outputs.get(&(&src - &d.vector)).cloned()
+                            } else {
+                                None
+                            };
+                            inputs.push(stale);
+                        } else {
+                            inputs.push(Some(bundle.clone()));
+                        }
                     }
-                    None => inputs.push(None), // boundary input
+                    None => {
+                        // `active_at` guarantees the source is in J, so a
+                        // miss means the producer has not fired yet: record
+                        // it and degrade to a boundary-style None input.
+                        let v = ClockedViolation::MissingToken {
+                            consumer: q.to_string(),
+                            column: i,
+                        };
+                        if K::ENABLED {
+                            sink.record(TraceEvent::Violation {
+                                cycle,
+                                description: v.to_string(),
+                            });
+                        }
+                        violations.push(v);
+                        inputs.push(None);
+                    }
                 }
             }
 
-            let bundle = semantics.compute(q, &inputs);
+            let mut bundle = semantics.compute(q, &inputs);
+            if F::ENABLED {
+                for kind in faults.on_output(cycle, q, &proc_coords[id as usize], &mut bundle) {
+                    if K::ENABLED {
+                        sink.record(TraceEvent::FaultInjected {
+                            cycle,
+                            point: q.clone(),
+                            processor: proc_coords[id as usize].clone(),
+                            column: None,
+                            kind,
+                        });
+                    }
+                }
+            }
             // Launch a token per active outgoing edge class (the consumer
             // side will retire it); for in-flight accounting we count one
             // launch per column that will ever consume this output.
@@ -344,7 +473,12 @@ pub fn run_clocked_traced<S: CellSemantics, K: TraceSink>(
         _ => 0,
     };
 
-    ClockedRun { cycles, outputs, violations, peak_in_flight }
+    ClockedRun {
+        cycles,
+        outputs,
+        violations,
+        peak_in_flight,
+    }
 }
 
 /// The signal bundle of one Expansion II matmul cell.
@@ -398,7 +532,12 @@ impl MatmulExpansionIICells {
                 row.iter().map(|&v| to_bits(v, p)).collect()
             })
             .collect();
-        MatmulExpansionIICells { u, p, x_bits, y_bits }
+        MatmulExpansionIICells {
+            u,
+            p,
+            x_bits,
+            y_bits,
+        }
     }
 
     /// Extracts the product matrix (mod `2^{2p−1}`) from a finished run:
@@ -448,8 +587,13 @@ impl SyncCellSemantics for MatmulExpansionIICells {
     type Bundle = MatmulSignals;
 
     fn compute(&self, q: &IVec, inputs: &[Option<MatmulSignals>]) -> MatmulSignals {
-        let (j1, j2, j3, i1, i2) =
-            (q[0] as usize, q[1] as usize, q[2] as usize, q[3] as usize, q[4] as usize);
+        let (j1, j2, j3, i1, i2) = (
+            q[0] as usize,
+            q[1] as usize,
+            q[2] as usize,
+            q[3] as usize,
+            q[4] as usize,
+        );
         let p = self.p;
 
         // x bit: at i1 = 1 from the previous j2 (d̄₁, column 0) or the
@@ -460,7 +604,9 @@ impl SyncCellSemantics for MatmulExpansionIICells {
                 None => self.x_bits[j1 - 1][j3 - 1][i2 - 1], // j2 = 1 edge
             }
         } else {
-            inputs[3].as_ref().expect("d4 token must exist for i1 > 1").x
+            // A missing d̄₄ token (scheduling anomaly or injected fault) was
+            // already recorded by the engine; degrade to a silent wire.
+            inputs[3].as_ref().is_some_and(|b| b.x)
         };
         // y bit: at i2 = 1 from the previous j1 (d̄₂, column 1) or external;
         // rightward via d̄₅ (column 4).
@@ -470,12 +616,16 @@ impl SyncCellSemantics for MatmulExpansionIICells {
                 None => self.y_bits[j3 - 1][j2 - 1][i1 - 1], // j1 = 1 edge
             }
         } else {
-            inputs[4].as_ref().expect("d5 token must exist for i2 > 1").y
+            inputs[4].as_ref().is_some_and(|b| b.y)
         };
 
         let pp = x & y;
         // Carry chain along i₂ (d̄₅); zero at i2 = 1.
-        let c_in = if i2 > 1 { inputs[4].as_ref().is_some_and(|b| b.c) } else { false };
+        let c_in = if i2 > 1 {
+            inputs[4].as_ref().is_some_and(|b| b.c)
+        } else {
+            false
+        };
         // Partial-sum diagonal (d̄₆) with the carry re-entry at i2 = p, which
         // arrives along the d̄₄ edge (same [0̄,1,0] direction).
         let s_in = if i1 == 1 {
@@ -548,10 +698,18 @@ mod tests {
         let arr = crate::BitMatmulArray::new(u, p);
         let m = arr.max_safe_entry();
         let x = (0..u)
-            .map(|i| (0..u).map(|j| ((3 * i + 5 * j + 1) as u128) % (m + 1)).collect())
+            .map(|i| {
+                (0..u)
+                    .map(|j| ((3 * i + 5 * j + 1) as u128) % (m + 1))
+                    .collect()
+            })
             .collect();
         let y = (0..u)
-            .map(|i| (0..u).map(|j| ((7 * i + j + 2) as u128) % (m + 1)).collect())
+            .map(|i| {
+                (0..u)
+                    .map(|j| ((7 * i + j + 2) as u128) % (m + 1))
+                    .collect()
+            })
             .collect();
         (x, y)
     }
@@ -595,7 +753,10 @@ mod tests {
             &mut cells,
         );
         assert!(run.is_legal(), "violations: {:?}", run.violations);
-        assert_eq!(run.cycles, (2 * p as i64 + 1) * (u as i64 - 1) + 3 * (p as i64 - 1) + 1);
+        assert_eq!(
+            run.cycles,
+            (2 * p as i64 + 1) * (u as i64 - 1) + 3 * (p as i64 - 1) + 1
+        );
         let z = cells.extract_product(&run);
         let want = crate::BitMatmulArray::new(u, p).multiply(&x, &y);
         assert_eq!(z, want);
@@ -611,7 +772,12 @@ mod tests {
         let y = vec![vec![7u128, 6], vec![5, 7]];
         let mut cells = MatmulExpansionIICells::new(u, p, &x, &y);
         let design = PaperDesign::TimeOptimal;
-        let run = run_clocked(&alg, &design.mapping(3), &design.interconnect(3), &mut cells);
+        let run = run_clocked(
+            &alg,
+            &design.mapping(3),
+            &design.interconnect(3),
+            &mut cells,
+        );
         assert_eq!(
             cells.extract_product(&run),
             crate::BitMatmulArray::new(u, p).multiply(&x, &y)
@@ -659,13 +825,43 @@ mod tests {
     }
 
     #[test]
+    fn missing_tokens_are_recorded_not_panicked() {
+        // A schedule that runs d̄₄ (and d̄₆) backwards: consumers at i1 > 1
+        // fire before their producers, so their tokens are missing at
+        // consumption time. The engine must degrade to recorded
+        // MissingToken violations — it used to panic in the matmul cell
+        // semantics ("d4 token must exist for i1 > 1").
+        let (u, p) = (2usize, 2usize);
+        let alg = matmul_structure(u as i64, p as i64);
+        let (x, y) = mats(u, p);
+        let mut cells = MatmulExpansionIICells::new(u, p, &x, &y);
+        let t = MappingMatrix::new(
+            PaperDesign::TimeOptimal.mapping(p as i64).space.clone(),
+            IVec::from([1, 1, 1, -1, 1]),
+        );
+        let run = run_clocked(&alg, &t, &Interconnect::paper_p(p as i64), &mut cells);
+        assert!(!run.is_legal());
+        assert!(run
+            .violations
+            .iter()
+            .any(|v| matches!(v, ClockedViolation::MissingToken { .. })));
+        // Every point still fired and produced an output bundle.
+        assert_eq!(run.outputs.len(), 32);
+    }
+
+    #[test]
     fn in_flight_accounting_is_populated() {
         let (u, p) = (3usize, 3usize);
         let alg = matmul_structure(u as i64, p as i64);
         let (x, y) = mats(u, p);
         let mut cells = MatmulExpansionIICells::new(u, p, &x, &y);
         let design = PaperDesign::TimeOptimal;
-        let run = run_clocked(&alg, &design.mapping(3), &design.interconnect(3), &mut cells);
+        let run = run_clocked(
+            &alg,
+            &design.mapping(3),
+            &design.interconnect(3),
+            &mut cells,
+        );
         assert_eq!(run.peak_in_flight.len(), 7);
         assert!(run.peak_in_flight.iter().any(|&x| x > 0));
     }

@@ -29,6 +29,7 @@
 //! between the two across the [`bitlevel-core`] design flow and benches.
 
 use crate::clocked::{ClockedRun, ClockedViolation, SyncCellSemantics};
+use crate::fault::{FaultInjector, NoFaults, TransferFault};
 use crate::mapped::MappedRunReport;
 use crate::trace::{NullSink, TraceEvent, TraceSink};
 use bitlevel_ir::AlgorithmTriplet;
@@ -72,10 +73,16 @@ impl fmt::Display for CompileError {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
         match self {
             CompileError::TooManyColumns { m } => {
-                write!(f, "compiled backend supports at most 64 dependence columns, got {m}")
+                write!(
+                    f,
+                    "compiled backend supports at most 64 dependence columns, got {m}"
+                )
             }
             CompileError::IndexSetTooLarge { cardinality } => {
-                write!(f, "index set too large for dense u32 slots: |J| = {cardinality}")
+                write!(
+                    f,
+                    "index set too large for dense u32 slots: |J| = {cardinality}"
+                )
             }
         }
     }
@@ -195,10 +202,14 @@ impl CompiledSchedule {
             .zip(&budgets)
             .map(|(d, &b)| ic.route(&t.space.matvec(&d.vector), b.max(0)))
             .collect();
-        let clocked_hops: Vec<Option<i64>> =
-            clocked_routes.iter().map(|r| r.as_ref().map(|r| r.hops)).collect();
-        let clocked_usage: Vec<Option<IVec>> =
-            clocked_routes.into_iter().map(|r| r.map(|r| r.usage)).collect();
+        let clocked_hops: Vec<Option<i64>> = clocked_routes
+            .iter()
+            .map(|r| r.as_ref().map(|r| r.hops))
+            .collect();
+        let clocked_usage: Vec<Option<IVec>> = clocked_routes
+            .into_iter()
+            .map(|r| r.map(|r| r.usage))
+            .collect();
         let mapped_routes: Vec<Option<(IVec, i64, i64)>> = alg
             .deps
             .iter()
@@ -344,6 +355,47 @@ impl CompiledSchedule {
         semantics.compute(&self.point(s), &inputs)
     }
 
+    /// [`CompiledSchedule::compute_slot`] under a fault injector: transfer
+    /// faults apply at gather (a drop reads as a boundary input, a duplicate
+    /// re-reads the previous token of the edge class — unless the real token
+    /// is missing, which dominates), output faults mutate the bundle before
+    /// it settles into the arena. Fault *events* are reconstructed later in
+    /// the bookkeeping phase; descriptions returned here are discarded.
+    fn compute_slot_faulted<S: SyncCellSemantics, F: FaultInjector<S::Bundle>>(
+        &self,
+        semantics: &S,
+        s: usize,
+        arena: &[Option<S::Bundle>],
+        faults: &F,
+    ) -> S::Bundle {
+        let c = self.cycle[s];
+        let q = self.point(s);
+        let mask = self.consume_mask[s];
+        let mut inputs: Vec<Option<S::Bundle>> = Vec::with_capacity(self.m);
+        for i in 0..self.m {
+            if mask & (1u64 << i) == 0 {
+                inputs.push(None);
+                continue;
+            }
+            let src = self.producers[s * self.m + i] as usize;
+            match faults.on_transfer(c, &q, i) {
+                TransferFault::Drop => inputs.push(None),
+                TransferFault::Duplicate if arena[src].is_some() => {
+                    let stale = self.producers[src * self.m + i];
+                    inputs.push(if stale == NO_SLOT {
+                        None
+                    } else {
+                        arena[stale as usize].clone()
+                    });
+                }
+                _ => inputs.push(arena[src].clone()),
+            }
+        }
+        let mut bundle = semantics.compute(&q, &inputs);
+        let _ = faults.on_output(c, &q, &self.proc_coords[self.proc[s] as usize], &mut bundle);
+        bundle
+    }
+
     /// Executes the compiled schedule with value-carrying tokens, producing a
     /// [`ClockedRun`] bit-identical to [`crate::clocked::run_clocked`] —
     /// outputs, violations (same order), cycle count and `peak_in_flight`.
@@ -361,8 +413,33 @@ impl CompiledSchedule {
         semantics: &S,
         sink: &mut K,
     ) -> ClockedRun<S::Bundle> {
+        self.execute_faulted(semantics, sink, &NoFaults)
+    }
+
+    /// [`CompiledSchedule::execute_traced`] with a [`FaultInjector`] — the
+    /// compiled counterpart of [`crate::clocked::run_clocked_faulted`],
+    /// bit-identical to it under the same injector. A live injector forces
+    /// the sequential value path (faulted gathers must see arena mutations
+    /// in the interpreted engine's order); [`NoFaults`] compiles every fault
+    /// branch away, keeping the parallel path and making this *is*
+    /// `execute_traced`.
+    pub fn execute_faulted<S, K, F>(
+        &self,
+        semantics: &S,
+        sink: &mut K,
+        faults: &F,
+    ) -> ClockedRun<S::Bundle>
+    where
+        S: SyncCellSemantics,
+        K: TraceSink,
+        F: FaultInjector<S::Bundle>,
+    {
         if K::ENABLED {
-            for (i, (hops, usage)) in self.clocked_hops.iter().zip(&self.clocked_usage).enumerate()
+            for (i, (hops, usage)) in self
+                .clocked_hops
+                .iter()
+                .zip(&self.clocked_usage)
+                .enumerate()
             {
                 match (hops, usage) {
                     (Some(h), Some(u)) => sink.record(TraceEvent::ColumnRoute {
@@ -391,7 +468,14 @@ impl CompiledSchedule {
             // interpreted engine's sequential order (a same-cycle producer
             // earlier in slot order is then *visible*, later ones read as
             // boundary inputs — bit-identical to the HashMap engine).
-            if self.causal && slice.len() >= PAR_THRESHOLD {
+            if F::ENABLED {
+                // Faulted gathers must observe arena mutations in the
+                // interpreted engine's sequential order.
+                for &s in slice {
+                    let bundle = self.compute_slot_faulted(semantics, s as usize, &arena, faults);
+                    arena[s as usize] = Some(bundle);
+                }
+            } else if self.causal && slice.len() >= PAR_THRESHOLD {
                 let computed: Vec<(u32, S::Bundle)> = slice
                     .par_iter()
                     .map(|&s| (s, self.compute_slot(semantics, s as usize, &arena)))
@@ -425,25 +509,56 @@ impl CompiledSchedule {
                         cycle: c,
                     };
                     if K::ENABLED {
-                        sink.record(TraceEvent::Violation { cycle: c, description: v.to_string() });
+                        sink.record(TraceEvent::Violation {
+                            cycle: c,
+                            description: v.to_string(),
+                        });
                     }
                     violations.push(v);
                 }
                 fired[id] = true;
 
                 let mask = self.consume_mask[s];
-                for i in 0..self.m {
+                for (i, fl) in in_flight.iter_mut().enumerate().take(self.m) {
                     if mask & (1u64 << i) == 0 {
                         continue;
                     }
-                    let src = self.producers[s * self.m + i] as usize;
-                    if arena[src].is_none() {
-                        // Producer scheduled at a later cycle (non-causal):
-                        // the interpreted engine read it as a boundary input
-                        // and recorded nothing.
+                    let tf = if F::ENABLED {
+                        faults.on_transfer(c, &self.point(s), i)
+                    } else {
+                        TransferFault::None
+                    };
+                    if tf == TransferFault::Drop {
+                        if K::ENABLED {
+                            sink.record(TraceEvent::FaultInjected {
+                                cycle: c,
+                                point: self.point(s),
+                                processor: self.proc_coords[id].clone(),
+                                column: Some(i),
+                                kind: "dropped_transfer".into(),
+                            });
+                        }
                         continue;
                     }
+                    let src = self.producers[s * self.m + i] as usize;
                     let src_time = self.cycle[src];
+                    if src_time > c || (src_time == c && src > s) {
+                        // The producer had not fired when the interpreted
+                        // engine gathered here (later cycle, or same cycle
+                        // but later in slot order): a missing token.
+                        let v = ClockedViolation::MissingToken {
+                            consumer: self.point(s).to_string(),
+                            column: i,
+                        };
+                        if K::ENABLED {
+                            sink.record(TraceEvent::Violation {
+                                cycle: c,
+                                description: v.to_string(),
+                            });
+                        }
+                        violations.push(v);
+                        continue;
+                    }
                     if src_time >= c {
                         let v = ClockedViolation::CausalityOrder {
                             consumer: self.point(s).to_string(),
@@ -498,7 +613,35 @@ impl CompiledSchedule {
                             slack: c - src_time,
                         });
                     }
-                    in_flight[i] = in_flight[i].saturating_sub(1);
+                    *fl = fl.saturating_sub(1);
+                    if F::ENABLED && tf == TransferFault::Duplicate && K::ENABLED {
+                        sink.record(TraceEvent::FaultInjected {
+                            cycle: c,
+                            point: self.point(s),
+                            processor: self.proc_coords[id].clone(),
+                            column: Some(i),
+                            kind: "duplicated_transfer".into(),
+                        });
+                    }
+                }
+                if F::ENABLED && K::ENABLED {
+                    // Re-derive the output-fault descriptions for event
+                    // emission on a scratch clone: the injector contract
+                    // makes them a pure function of (cycle, point,
+                    // processor), so the arena value stays untouched.
+                    let mut scratch = arena[s]
+                        .clone()
+                        .expect("slot fired in this cycle's value phase");
+                    let q = self.point(s);
+                    for kind in faults.on_output(c, &q, &self.proc_coords[id], &mut scratch) {
+                        sink.record(TraceEvent::FaultInjected {
+                            cycle: c,
+                            point: q.clone(),
+                            processor: self.proc_coords[id].clone(),
+                            column: None,
+                            kind,
+                        });
+                    }
                 }
                 let launches = self.launch_mask[s];
                 for i in 0..self.m {
@@ -531,9 +674,17 @@ impl CompiledSchedule {
         };
         let mut outputs: HashMap<IVec, S::Bundle> = HashMap::with_capacity(self.n_points);
         for (s, bundle) in arena.into_iter().enumerate() {
-            outputs.insert(self.point(s), bundle.expect("every slot fires exactly once"));
+            outputs.insert(
+                self.point(s),
+                bundle.expect("every slot fires exactly once"),
+            );
         }
-        ClockedRun { cycles, outputs, violations, peak_in_flight }
+        ClockedRun {
+            cycles,
+            outputs,
+            violations,
+            peak_in_flight,
+        }
     }
 
     /// The timing-structure report over the dense slots — same numbers as
@@ -589,7 +740,10 @@ impl CompiledSchedule {
                             processor: self.proc_coords[id].to_string(),
                             cycle: c,
                         };
-                        sink.record(TraceEvent::Violation { cycle: c, description: v.to_string() });
+                        sink.record(TraceEvent::Violation {
+                            cycle: c,
+                            description: v.to_string(),
+                        });
                     }
                 }
                 seen[id] = true;
@@ -644,6 +798,171 @@ impl CompiledSchedule {
             cycles,
             processors,
             computations: self.n_points as u128,
+            conflict_free,
+            causality_ok,
+            utilization,
+            peak_parallelism,
+            link_traffic,
+            buffer_cycles,
+        }
+    }
+
+    /// [`CompiledSchedule::mapped_report_traced`] with a [`FaultInjector`]
+    /// (over the unit bundle, like
+    /// [`crate::mapped::simulate_mapped_faulted`], whose report this matches
+    /// bit for bit). A live injector forces the per-point path — the
+    /// aggregate column shortcuts are only valid when every instance of a
+    /// column behaves identically; [`NoFaults`] keeps the fast path.
+    pub fn mapped_report_faulted<K: TraceSink, F: FaultInjector<()>>(
+        &self,
+        sink: &mut K,
+        faults: &F,
+    ) -> MappedRunReport {
+        if !F::ENABLED {
+            return self.mapped_report_traced(sink);
+        }
+        if K::ENABLED {
+            for (i, r) in self.mapped_routes.iter().enumerate() {
+                match r {
+                    Some((usage, _buffers, hops)) => sink.record(TraceEvent::ColumnRoute {
+                        column: i,
+                        hops: *hops,
+                        usage: usage.clone(),
+                    }),
+                    None => sink.record(TraceEvent::ColumnUnroutable { column: i }),
+                }
+            }
+        }
+        let mut conflict_free = true;
+        let mut causality_ok = true;
+        let mut peak_parallelism = 0usize;
+        let mut computations = 0u64;
+        let mut link_traffic = vec![0u64; self.n_links];
+        let mut buffer_cycles = 0u64;
+        let mut seen = vec![false; self.proc_coords.len()];
+        let dead: Vec<bool> = self
+            .proc_coords
+            .iter()
+            .map(|place| faults.pe_dead(place))
+            .collect();
+        for k in 0..self.cycle_values.len() {
+            let c = self.cycle_values[k];
+            let slice = &self.fire_order[self.cycle_offsets[k]..self.cycle_offsets[k + 1]];
+            let mut busy = 0usize;
+            for &s in slice {
+                let s = s as usize;
+                let id = self.proc[s] as usize;
+                if K::ENABLED {
+                    sink.record(TraceEvent::PointFired {
+                        cycle: c,
+                        point: self.point(s),
+                        processor: self.proc_coords[id].clone(),
+                    });
+                }
+                if dead[id] {
+                    if K::ENABLED {
+                        sink.record(TraceEvent::FaultInjected {
+                            cycle: c,
+                            point: self.point(s),
+                            processor: self.proc_coords[id].clone(),
+                            column: None,
+                            kind: "dead_pe".into(),
+                        });
+                    }
+                } else {
+                    busy += 1;
+                    computations += 1;
+                }
+                if seen[id] {
+                    conflict_free = false;
+                    if K::ENABLED {
+                        let v = ClockedViolation::ProcessorConflict {
+                            processor: self.proc_coords[id].to_string(),
+                            cycle: c,
+                        };
+                        sink.record(TraceEvent::Violation {
+                            cycle: c,
+                            description: v.to_string(),
+                        });
+                    }
+                }
+                seen[id] = true;
+                if dead[id] {
+                    continue;
+                }
+                let mask = self.consume_mask[s];
+                for i in 0..self.m {
+                    if mask & (1u64 << i) == 0 {
+                        continue;
+                    }
+                    let tf = faults.on_transfer(c, &self.point(s), i);
+                    if tf == TransferFault::Drop {
+                        if K::ENABLED {
+                            sink.record(TraceEvent::FaultInjected {
+                                cycle: c,
+                                point: self.point(s),
+                                processor: self.proc_coords[id].clone(),
+                                column: Some(i),
+                                kind: "dropped_transfer".into(),
+                            });
+                        }
+                        continue;
+                    }
+                    match &self.mapped_routes[i] {
+                        Some((usage, buffers, _hops)) => {
+                            let mult: u64 = if tf == TransferFault::Duplicate { 2 } else { 1 };
+                            for (j, &cnt) in usage.iter().enumerate() {
+                                link_traffic[j] += cnt as u64 * mult;
+                            }
+                            buffer_cycles += *buffers as u64 * mult;
+                            if tf == TransferFault::Duplicate && K::ENABLED {
+                                sink.record(TraceEvent::FaultInjected {
+                                    cycle: c,
+                                    point: self.point(s),
+                                    processor: self.proc_coords[id].clone(),
+                                    column: Some(i),
+                                    kind: "duplicated_transfer".into(),
+                                });
+                            }
+                        }
+                        None => {
+                            causality_ok = false;
+                            if K::ENABLED {
+                                let v = ClockedViolation::RouteTooSlow {
+                                    consumer: self.point(s).to_string(),
+                                    column: i,
+                                    hops: -1,
+                                    budget: self.budgets[i],
+                                };
+                                sink.record(TraceEvent::Violation {
+                                    cycle: c,
+                                    description: v.to_string(),
+                                });
+                            }
+                        }
+                    }
+                }
+            }
+            peak_parallelism = peak_parallelism.max(busy);
+            for &s in slice {
+                seen[self.proc[s as usize] as usize] = false;
+            }
+        }
+
+        let cycles = match (self.cycle_values.first(), self.cycle_values.last()) {
+            (Some(a), Some(b)) if computations > 0 => b - a + 1,
+            _ => 0,
+        };
+        let processors = self.proc_coords.len();
+        let utilization = if cycles > 0 && processors > 0 {
+            computations as f64 / (processors as f64 * cycles as f64)
+        } else {
+            0.0
+        };
+        MappedRunReport {
+            cycles,
+            processors,
+            computations: computations as u128,
             conflict_free,
             causality_ok,
             utilization,
@@ -710,10 +1029,18 @@ mod tests {
     fn mats(u: usize, p: usize) -> (Vec<Vec<u128>>, Vec<Vec<u128>>) {
         let m = crate::BitMatmulArray::new(u, p).max_safe_entry();
         let x = (0..u)
-            .map(|i| (0..u).map(|j| ((3 * i + 5 * j + 1) as u128) % (m + 1)).collect())
+            .map(|i| {
+                (0..u)
+                    .map(|j| ((3 * i + 5 * j + 1) as u128) % (m + 1))
+                    .collect()
+            })
             .collect();
         let y = (0..u)
-            .map(|i| (0..u).map(|j| ((7 * i + j + 2) as u128) % (m + 1)).collect())
+            .map(|i| {
+                (0..u)
+                    .map(|j| ((7 * i + j + 2) as u128) % (m + 1))
+                    .collect()
+            })
             .collect();
         (x, y)
     }
@@ -881,7 +1208,11 @@ mod tests {
         let deps: Vec<Dependence> = (0..65)
             .map(|k| Dependence::uniform(IVec::from([1, 0]), &format!("c{k}")))
             .collect();
-        AlgorithmTriplet::new(BoxSet::cube(2, 1, 3), DependenceSet::new(deps), "65 columns")
+        AlgorithmTriplet::new(
+            BoxSet::cube(2, 1, 3),
+            DependenceSet::new(deps),
+            "65 columns",
+        )
     }
 
     #[test]
@@ -889,7 +1220,9 @@ mod tests {
         let alg = many_column_structure();
         let t = MappingMatrix::new(IMat::from_rows(&[&[1, 0], &[0, 1]]), IVec::from([1, 1]));
         let ic = Interconnect::new(IMat::from_rows(&[&[1, 0], &[0, 1]]));
-        let err = CompiledSchedule::try_compile(&alg, &t, &ic).err().expect("must not compile");
+        let err = CompiledSchedule::try_compile(&alg, &t, &ic)
+            .err()
+            .expect("must not compile");
         assert_eq!(err, CompileError::TooManyColumns { m: 65 });
         assert!(err.to_string().contains("at most 64 dependence columns"));
         // The interpreted engine handles the same input fine.
@@ -911,8 +1244,15 @@ mod tests {
             IVec::from([1, 1, 1, 1]),
         );
         let ic = Interconnect::new(IMat::from_rows(&[&[1, 0], &[0, 1]]));
-        let err = CompiledSchedule::try_compile(&alg, &t, &ic).err().expect("must not compile");
-        assert_eq!(err, CompileError::IndexSetTooLarge { cardinality: 1u128 << 32 });
+        let err = CompiledSchedule::try_compile(&alg, &t, &ic)
+            .err()
+            .expect("must not compile");
+        assert_eq!(
+            err,
+            CompileError::IndexSetTooLarge {
+                cardinality: 1u128 << 32
+            }
+        );
         assert!(err.to_string().contains("index set too large"));
     }
 
@@ -932,8 +1272,14 @@ mod tests {
         let alg = matmul_structure(3, 3);
         // A legal design and a broken one (conflicts + unroutable columns).
         let designs: Vec<(MappingMatrix, Interconnect)> = vec![
-            (PaperDesign::TimeOptimal.mapping(3), PaperDesign::TimeOptimal.interconnect(3)),
-            (PaperDesign::TimeOptimal.mapping(3), Interconnect::paper_p_prime()),
+            (
+                PaperDesign::TimeOptimal.mapping(3),
+                PaperDesign::TimeOptimal.interconnect(3),
+            ),
+            (
+                PaperDesign::TimeOptimal.mapping(3),
+                Interconnect::paper_p_prime(),
+            ),
             (
                 MappingMatrix::new(
                     IMat::from_rows(&[&[0, 0, 0, 0, 0], &[0, 2, 0, 0, 1]]),
@@ -971,7 +1317,10 @@ mod tests {
         let mut sink = RecordingSink::new();
         let traced = sched.execute_traced(&cells, &mut sink);
         assert_runs_identical(&traced, &untraced);
-        assert_eq!(sink.rollup().fire_total() as u128, alg.index_set.cardinality());
+        assert_eq!(
+            sink.rollup().fire_total() as u128,
+            alg.index_set.cardinality()
+        );
         assert_eq!(sink.rollup().cycle_span(), traced.cycles);
         // Every launched token on every column is eventually consumed (the
         // matmul structure drains completely), and the in-flight peaks seen

@@ -141,10 +141,13 @@ impl ExpansionIMatmul {
                                 // Drain plane: add the diagonal partial sum
                                 // (d̄₆, literal zero boundary at i₂ = p) and
                                 // the chained second carry (d̄₇).
-                                let s_diag = if i1 > 1 && i2 < p { s[i1 - 2][i2] } else { false };
+                                let s_diag = if i1 > 1 && i2 < p {
+                                    s[i1 - 2][i2]
+                                } else {
+                                    false
+                                };
                                 let cp_in = if i2 > 2 { cp[i1 - 1][i2 - 3] } else { false };
-                                let (sb, cb, cpb) =
-                                    wide_add(&[pp, c_in, fwd, s_diag, cp_in]);
+                                let (sb, cb, cpb) = wide_add(&[pp, c_in, fwd, s_diag, cp_in]);
                                 s[i1 - 1][i2 - 1] = sb;
                                 c[i1 - 1][i2 - 1] = cb;
                                 cp[i1 - 1][i2 - 1] = cpb;
@@ -194,7 +197,12 @@ impl ExpansionIMatmul {
             }
         }
 
-        ExpansionIRun { z: result, dropped, narrow_cells, wide_cells }
+        ExpansionIRun {
+            z: result,
+            dropped,
+            narrow_cells,
+            wide_cells,
+        }
     }
 
     /// Checks the exact accounting identity for a finished run:

@@ -52,7 +52,13 @@ impl MatmulExpansionICells {
                 row.iter().map(|&v| to_bits(v, p)).collect()
             })
             .collect();
-        MatmulExpansionICells { u, p, x_bits, y_bits, dropped: Vec::new() }
+        MatmulExpansionICells {
+            u,
+            p,
+            x_bits,
+            y_bits,
+            dropped: Vec::new(),
+        }
     }
 
     /// Value lost at accumulator `(j₁, j₂)` (1-based), from the recorded
@@ -84,13 +90,8 @@ impl MatmulExpansionICells {
                     bits.push(run.outputs[&q].s);
                 }
                 for i in p + 1..=2 * p - 1 {
-                    let q = IVec::from([
-                        j1 as i64,
-                        j2 as i64,
-                        u as i64,
-                        p as i64,
-                        (i - p + 1) as i64,
-                    ]);
+                    let q =
+                        IVec::from([j1 as i64, j2 as i64, u as i64, p as i64, (i - p + 1) as i64]);
                     bits.push(run.outputs[&q].s);
                 }
                 z[j1 - 1][j2 - 1] = from_bits(&bits);
@@ -120,8 +121,13 @@ impl CellSemantics for MatmulExpansionICells {
     type Bundle = MatmulSignals;
 
     fn compute(&mut self, q: &IVec, inputs: &[Option<MatmulSignals>]) -> MatmulSignals {
-        let (j1, j2, j3, i1, i2) =
-            (q[0] as usize, q[1] as usize, q[2] as usize, q[3] as usize, q[4] as usize);
+        let (j1, j2, j3, i1, i2) = (
+            q[0] as usize,
+            q[1] as usize,
+            q[2] as usize,
+            q[3] as usize,
+            q[4] as usize,
+        );
         let (u, p) = (self.u, self.p);
 
         // Operand bits: identical pipelining to Expansion II.
@@ -143,7 +149,11 @@ impl CellSemantics for MatmulExpansionICells {
         };
         let pp = x & y;
 
-        let c_in = if i2 > 1 { inputs[4].as_ref().is_some_and(|b| b.c) } else { false };
+        let c_in = if i2 > 1 {
+            inputs[4].as_ref().is_some_and(|b| b.c)
+        } else {
+            false
+        };
         // d̄₃ (uniform in Expansion I): the forwarded partial sum of the same
         // cell in the previous tile; absent at j3 = 1.
         let fwd = inputs[2].as_ref().is_some_and(|b| b.s);
@@ -160,7 +170,11 @@ impl CellSemantics for MatmulExpansionICells {
             } else {
                 false
             };
-            let cp_in = if i2 > 2 { inputs[6].as_ref().is_some_and(|b| b.cp) } else { false };
+            let cp_in = if i2 > 2 {
+                inputs[6].as_ref().is_some_and(|b| b.cp)
+            } else {
+                false
+            };
             wide_add(&[pp, c_in, fwd, s_diag, cp_in])
         };
 
@@ -218,10 +232,19 @@ mod tests {
         let (u, p) = (3usize, 3usize);
         let alg = structure_i(u as i64, p as i64);
         let design = PaperDesign::TimeOptimal;
-        let x: Vec<Vec<u128>> = (0..u).map(|i| (0..u).map(|j| ((2 * i + j) % 4) as u128).collect()).collect();
-        let y: Vec<Vec<u128>> = (0..u).map(|i| (0..u).map(|j| ((i + 3 * j + 1) % 4) as u128).collect()).collect();
+        let x: Vec<Vec<u128>> = (0..u)
+            .map(|i| (0..u).map(|j| ((2 * i + j) % 4) as u128).collect())
+            .collect();
+        let y: Vec<Vec<u128>> = (0..u)
+            .map(|i| (0..u).map(|j| ((i + 3 * j + 1) % 4) as u128).collect())
+            .collect();
         let mut cells = MatmulExpansionICells::new(u, p, &x, &y);
-        let run = run_clocked(&alg, &design.mapping(p as i64), &design.interconnect(p as i64), &mut cells);
+        let run = run_clocked(
+            &alg,
+            &design.mapping(p as i64),
+            &design.interconnect(p as i64),
+            &mut cells,
+        );
         assert!(run.is_legal(), "{:?}", run.violations);
         assert_eq!(run.cycles, 3 * (u as i64 - 1) + 3 * (p as i64 - 1) + 1);
         // Accounting identity: result + recorded losses == true product.
@@ -235,10 +258,17 @@ mod tests {
         let alg = structure_i(u as i64, p as i64);
         let design = PaperDesign::TimeOptimal;
         // x rows are distinct powers of two, y = 1: no carries anywhere.
-        let x: Vec<Vec<u128>> = (0..u).map(|_| (0..u).map(|k| 1u128 << k).collect()).collect();
+        let x: Vec<Vec<u128>> = (0..u)
+            .map(|_| (0..u).map(|k| 1u128 << k).collect())
+            .collect();
         let y: Vec<Vec<u128>> = (0..u).map(|_| (0..u).map(|_| 1u128).collect()).collect();
         let mut cells = MatmulExpansionICells::new(u, p, &x, &y);
-        let run = run_clocked(&alg, &design.mapping(p as i64), &design.interconnect(p as i64), &mut cells);
+        let run = run_clocked(
+            &alg,
+            &design.mapping(p as i64),
+            &design.interconnect(p as i64),
+            &mut cells,
+        );
         assert!(run.is_legal());
         assert_eq!(cells.dropped_count(), 0);
         let z = cells.extract_product(&run);
@@ -255,10 +285,19 @@ mod tests {
         let (u, p) = (3usize, 3usize);
         let alg = structure_i(u as i64, p as i64);
         let design = PaperDesign::TimeOptimal;
-        let x: Vec<Vec<u128>> = (0..u).map(|i| (0..u).map(|j| ((3 * i + 2 * j + 5) % 8) as u128).collect()).collect();
-        let y: Vec<Vec<u128>> = (0..u).map(|i| (0..u).map(|j| ((5 * i + j + 3) % 8) as u128).collect()).collect();
+        let x: Vec<Vec<u128>> = (0..u)
+            .map(|i| (0..u).map(|j| ((3 * i + 2 * j + 5) % 8) as u128).collect())
+            .collect();
+        let y: Vec<Vec<u128>> = (0..u)
+            .map(|i| (0..u).map(|j| ((5 * i + j + 3) % 8) as u128).collect())
+            .collect();
         let mut cells = MatmulExpansionICells::new(u, p, &x, &y);
-        let run = run_clocked(&alg, &design.mapping(p as i64), &design.interconnect(p as i64), &mut cells);
+        let run = run_clocked(
+            &alg,
+            &design.mapping(p as i64),
+            &design.interconnect(p as i64),
+            &mut cells,
+        );
         assert!(run.is_legal());
         let clocked_z = cells.extract_product(&run);
         let topo = crate::expansion_i::ExpansionIMatmul::new(u, p).run(&x, &y);

@@ -22,13 +22,19 @@
 //!   engines: a [`TraceSink`] trait with a statically zero-overhead
 //!   [`NullSink`], an in-memory [`RecordingSink`] with rollup counters
 //!   (per-PE utilisation, wavefront width, in-flight high-water marks,
-//!   link occupancy), and Chrome-trace/CSV exporters.
+//!   link occupancy), and Chrome-trace/CSV exporters;
+//! * [`fault`] — deterministic fault injection mirrored on the trace
+//!   pattern: a [`FaultInjector`] hook (statically inert [`NoFaults`])
+//!   consulted identically by all three engines, so seeded fault plans
+//!   perturb interpreted and compiled runs bit-identically (the concrete
+//!   plan/ABFT layer lives in `bitlevel-fault`).
 
 pub mod bit_array;
 pub mod clocked;
 pub mod compiled;
 pub mod expansion_i;
 pub mod expansion_i_clocked;
+pub mod fault;
 pub mod mapped;
 pub mod model35;
 pub mod trace;
@@ -37,22 +43,23 @@ pub mod word_array;
 
 pub use bit_array::{BitMatmulArray, BitMatmulRun};
 pub use clocked::{
-    run_clocked, run_clocked_traced, CellSemantics, ClockedRun, ClockedViolation,
-    MatmulExpansionIICells, MatmulSignals, SyncCellSemantics,
+    run_clocked, run_clocked_faulted, run_clocked_traced, CellSemantics, ClockedRun,
+    ClockedViolation, MatmulExpansionIICells, MatmulSignals, SyncCellSemantics,
 };
 pub use compiled::{
     run_clocked_compiled, simulate_mapped_compiled, CompileError, CompiledSchedule, SimBackend,
 };
-pub use mapped::{
-    asap_depths, critical_path, fanin_histogram, mean_producer_depth, simulate_mapped,
-    simulate_mapped_parallel, simulate_mapped_traced, MappedRunReport,
-};
 pub use expansion_i::{DroppedCarry, ExpansionIMatmul, ExpansionIRun};
 pub use expansion_i_clocked::MatmulExpansionICells;
+pub use fault::{FaultInjector, FaultableBundle, NoFaults, TransferFault};
+pub use mapped::{
+    asap_depths, critical_path, fanin_histogram, mean_producer_depth, simulate_mapped,
+    simulate_mapped_faulted, simulate_mapped_parallel, simulate_mapped_traced, MappedRunReport,
+};
 pub use model35::{ColumnMap, Model35Cells};
 pub use trace::{NullSink, RecordingSink, TraceConfig, TraceEvent, TraceRollup, TraceSink};
 pub use viz::{
-    render_activity_profile, render_block_structure, render_gantt, render_links,
-    render_processor_grid, render_trace_pe_load, render_trace_wavefront,
+    render_activity_profile, render_block_structure, render_fault_heatmap, render_gantt,
+    render_links, render_processor_grid, render_trace_pe_load, render_trace_wavefront,
 };
 pub use word_array::{WordLevelArray, WordRunReport};

@@ -20,6 +20,7 @@
 //! unbalanced load distribution").
 
 use crate::clocked::ClockedViolation;
+use crate::fault::{FaultInjector, NoFaults, TransferFault};
 use crate::trace::{NullSink, TraceEvent, TraceSink};
 use bitlevel_ir::AlgorithmTriplet;
 use bitlevel_linalg::IVec;
@@ -118,6 +119,23 @@ pub fn simulate_mapped_traced<K: TraceSink>(
     ic: &Interconnect,
     sink: &mut K,
 ) -> MappedRunReport {
+    simulate_mapped_faulted(alg, t, ic, sink, &NoFaults)
+}
+
+/// [`simulate_mapped_traced`] with a [`FaultInjector`] (over the unit bundle
+/// `()` — the timing simulator carries no values): dead PEs keep their place
+/// in the array (they occupy a processor and can still conflict) but execute
+/// nothing, dropped transfers shed their link traffic, duplicated transfers
+/// pay it twice. With [`NoFaults`] the fault branches compile away and this
+/// *is* [`simulate_mapped_traced`]; the compiled counterpart is
+/// [`crate::compiled::CompiledSchedule::mapped_report_faulted`].
+pub fn simulate_mapped_faulted<K: TraceSink, F: FaultInjector<()>>(
+    alg: &AlgorithmTriplet,
+    t: &MappingMatrix,
+    ic: &Interconnect,
+    sink: &mut K,
+    faults: &F,
+) -> MappedRunReport {
     assert_eq!(t.n(), alg.dim(), "mapping/algorithm dimension mismatch");
     let set = &alg.index_set;
 
@@ -146,8 +164,10 @@ pub fn simulate_mapped_traced<K: TraceSink>(
             }
         }
     }
-    let routes: Vec<Option<(IVec, i64)>> =
-        full_routes.into_iter().map(|r| r.map(|r| (r.usage, r.buffers))).collect();
+    let routes: Vec<Option<(IVec, i64)>> = full_routes
+        .into_iter()
+        .map(|r| r.map(|r| (r.usage, r.buffers)))
+        .collect();
 
     let mut time_min = i64::MAX;
     let mut time_max = i64::MIN;
@@ -165,13 +185,25 @@ pub fn simulate_mapped_traced<K: TraceSink>(
         let place = t.place(&q);
         time_min = time_min.min(time);
         time_max = time_max.max(time);
-        computations += 1;
-        *busy_per_cycle.entry(time).or_insert(0) += 1;
+        let dead = F::ENABLED && faults.pe_dead(&place);
+        if !dead {
+            computations += 1;
+            *busy_per_cycle.entry(time).or_insert(0) += 1;
+        }
         if K::ENABLED {
             sink.record(TraceEvent::PointFired {
                 cycle: time,
                 point: q.clone(),
                 processor: place.clone(),
+            });
+        }
+        if F::ENABLED && dead && K::ENABLED {
+            sink.record(TraceEvent::FaultInjected {
+                cycle: time,
+                point: q.clone(),
+                processor: place.clone(),
+                column: None,
+                kind: "dead_pe".into(),
             });
         }
         let slot = occupancy.entry((place.clone(), time)).or_insert(0);
@@ -183,21 +215,59 @@ pub fn simulate_mapped_traced<K: TraceSink>(
                     processor: place.to_string(),
                     cycle: time,
                 };
-                sink.record(TraceEvent::Violation { cycle: time, description: v.to_string() });
+                sink.record(TraceEvent::Violation {
+                    cycle: time,
+                    description: v.to_string(),
+                });
             }
         }
+        let place_for_events = if F::ENABLED {
+            Some(place.clone())
+        } else {
+            None
+        };
         processors.insert(place);
+        if dead {
+            continue;
+        }
 
         for (di, d) in alg.deps.iter().enumerate() {
             if !d.active_at(&q, set) {
                 continue;
             }
+            let tf = if F::ENABLED {
+                faults.on_transfer(time, &q, di)
+            } else {
+                TransferFault::None
+            };
+            if tf == TransferFault::Drop {
+                if K::ENABLED {
+                    sink.record(TraceEvent::FaultInjected {
+                        cycle: time,
+                        point: q.clone(),
+                        processor: place_for_events.as_ref().expect("faulted path").clone(),
+                        column: Some(di),
+                        kind: "dropped_transfer".into(),
+                    });
+                }
+                continue;
+            }
             match &routes[di] {
                 Some((usage, buffers)) => {
+                    let mult: u64 = if tf == TransferFault::Duplicate { 2 } else { 1 };
                     for (j, &cnt) in usage.iter().enumerate() {
-                        link_traffic[j] += cnt as u64;
+                        link_traffic[j] += cnt as u64 * mult;
                     }
-                    buffer_cycles += *buffers as u64;
+                    buffer_cycles += *buffers as u64 * mult;
+                    if F::ENABLED && tf == TransferFault::Duplicate && K::ENABLED {
+                        sink.record(TraceEvent::FaultInjected {
+                            cycle: time,
+                            point: q.clone(),
+                            processor: place_for_events.as_ref().expect("faulted path").clone(),
+                            column: Some(di),
+                            kind: "duplicated_transfer".into(),
+                        });
+                    }
                 }
                 None => {
                     causality_ok = false;
@@ -218,7 +288,11 @@ pub fn simulate_mapped_traced<K: TraceSink>(
         }
     }
 
-    let cycles = if computations == 0 { 0 } else { time_max - time_min + 1 };
+    let cycles = if computations == 0 {
+        0
+    } else {
+        time_max - time_min + 1
+    };
     let busy_total: usize = busy_per_cycle.values().sum();
     let peak_parallelism = busy_per_cycle.values().copied().max().unwrap_or(0);
     let utilization = if cycles > 0 && !processors.is_empty() {
@@ -504,7 +578,11 @@ mod tests {
             let alg = matmul_bitlevel(u, p);
             let design = PaperDesign::NearestNeighbour;
             let rep = simulate_mapped(&alg, &design.mapping(p), &design.interconnect(p));
-            assert_eq!(rep.cycles, (2 * p + 1) * (u - 1) + 3 * (p - 1) + 1, "u={u} p={p}");
+            assert_eq!(
+                rep.cycles,
+                (2 * p + 1) * (u - 1) + 3 * (p - 1) + 1,
+                "u={u} p={p}"
+            );
             assert_eq!(rep.processors as i64, u * u * p * p);
             assert!(rep.conflict_free && rep.causality_ok);
         }
@@ -530,7 +608,9 @@ mod tests {
             p
         );
         assert_eq!(
-            PaperDesign::NearestNeighbour.interconnect(p).max_wire_length(),
+            PaperDesign::NearestNeighbour
+                .interconnect(p)
+                .max_wire_length(),
             1
         );
     }

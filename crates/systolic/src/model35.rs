@@ -114,7 +114,11 @@ impl Model35Cells {
         x_of: impl Fn(&IVec) -> u128,
         y_of: impl Fn(&IVec) -> u128,
     ) -> Self {
-        assert_eq!(alg.dim(), word.dim() + 2, "structure/word dimension mismatch");
+        assert_eq!(
+            alg.dim(),
+            word.dim() + 2,
+            "structure/word dimension mismatch"
+        );
         let cols = ColumnMap::resolve(alg);
         let mut x_bits = HashMap::new();
         let mut y_bits = HashMap::new();
@@ -122,7 +126,13 @@ impl Model35Cells {
             x_bits.insert(j.clone(), to_bits(x_of(&j), p));
             y_bits.insert(j.clone(), to_bits(y_of(&j), p));
         }
-        Model35Cells { word: word.clone(), p, cols, x_bits, y_bits }
+        Model35Cells {
+            word: word.clone(),
+            p,
+            cols,
+            x_bits,
+            y_bits,
+        }
     }
 
     /// The word-level points that terminate an accumulation chain
@@ -184,7 +194,12 @@ impl Model35Cells {
     }
 
     /// The reference accumulated value (mod `2^{2p−1}`) for a chain tail.
-    pub fn reference(&self, tail: &IVec, x_of: impl Fn(&IVec) -> u128, y_of: impl Fn(&IVec) -> u128) -> u128 {
+    pub fn reference(
+        &self,
+        tail: &IVec,
+        x_of: impl Fn(&IVec) -> u128,
+        y_of: impl Fn(&IVec) -> u128,
+    ) -> u128 {
         let mask = (1u128 << (2 * self.p - 1)) - 1;
         let mut acc = 0u128;
         let mut cur = tail.clone();
@@ -238,7 +253,11 @@ impl SyncCellSemantics for Model35Cells {
         };
 
         let pp = x & y;
-        let c_in = if i2 > 1 { inputs[cols.d5].as_ref().is_some_and(|b| b.c) } else { false };
+        let c_in = if i2 > 1 {
+            inputs[cols.d5].as_ref().is_some_and(|b| b.c)
+        } else {
+            false
+        };
         let s_in = if i1 == 1 {
             false
         } else if i2 == p {
@@ -279,10 +298,10 @@ impl SyncCellSemantics for Model35Cells {
 mod tests {
     use super::*;
     use crate::clocked::run_clocked;
+    use bitlevel_linalg::IMat;
     use bitlevel_mapping::{
         check_feasibility, find_optimal_schedule, Interconnect, MappingMatrix, PaperDesign,
     };
-    use bitlevel_linalg::IMat;
 
     /// Compose Expansion II structures without depending on bitlevel-depanal
     /// (dependency direction): mirror of `compose` for the cases used here.
@@ -295,20 +314,40 @@ mod tests {
         let lift_a = |a: [i64; 2]| IVec::zeros(n).concat(&IVec::from(a));
         let mut deps = Vec::new();
         if let Some(h1) = &word.h1 {
-            deps.push(Dependence::conditional(lift_w(h1), "x", Predicate::eq_const(i1, 1)));
+            deps.push(Dependence::conditional(
+                lift_w(h1),
+                "x",
+                Predicate::eq_const(i1, 1),
+            ));
         }
         if let Some(h2) = &word.h2 {
-            deps.push(Dependence::conditional(lift_w(h2), "y", Predicate::eq_const(i2, 1)));
+            deps.push(Dependence::conditional(
+                lift_w(h2),
+                "y",
+                Predicate::eq_const(i2, 1),
+            ));
         }
         deps.push(Dependence::conditional(
             lift_w(&word.h3),
             "z",
             Predicate::eq_const(i1, pi).or(&Predicate::eq_const(i2, 1)),
         ));
-        deps.push(Dependence::conditional(lift_a([1, 0]), "x", Predicate::ne_const(i1, 1)));
-        deps.push(Dependence::conditional(lift_a([0, 1]), "y,c", Predicate::ne_const(i2, 1)));
+        deps.push(Dependence::conditional(
+            lift_a([1, 0]),
+            "x",
+            Predicate::ne_const(i1, 1),
+        ));
+        deps.push(Dependence::conditional(
+            lift_a([0, 1]),
+            "y,c",
+            Predicate::ne_const(i2, 1),
+        ));
         deps.push(Dependence::uniform(lift_a([1, -1]), "z"));
-        deps.push(Dependence::conditional(lift_a([0, 2]), "c'", Predicate::eq_const(i1, pi)));
+        deps.push(Dependence::conditional(
+            lift_a([0, 2]),
+            "c'",
+            Predicate::eq_const(i1, pi),
+        ));
         AlgorithmTriplet::new(
             word.bounds.product(&bitlevel_ir::BoxSet::cube(2, 1, pi)),
             DependenceSet::new(deps),
@@ -323,10 +362,18 @@ mod tests {
         let alg = compose_ii(&word, p);
         let m = crate::BitMatmulArray::new(u, p).max_safe_entry();
         let x: Vec<Vec<u128>> = (0..u)
-            .map(|i| (0..u).map(|j| ((2 * i + j + 1) as u128) % (m + 1)).collect())
+            .map(|i| {
+                (0..u)
+                    .map(|j| ((2 * i + j + 1) as u128) % (m + 1))
+                    .collect()
+            })
             .collect();
         let y: Vec<Vec<u128>> = (0..u)
-            .map(|i| (0..u).map(|j| ((i + 4 * j + 2) as u128) % (m + 1)).collect())
+            .map(|i| {
+                (0..u)
+                    .map(|j| ((i + 4 * j + 2) as u128) % (m + 1))
+                    .collect()
+            })
             .collect();
         let design = PaperDesign::TimeOptimal;
 
@@ -340,7 +387,12 @@ mod tests {
             move |j| xo[(j[0] - 1) as usize][(j[2] - 1) as usize],
             move |j| yo[(j[2] - 1) as usize][(j[1] - 1) as usize],
         );
-        let run = run_clocked(&alg, &design.mapping(p as i64), &design.interconnect(p as i64), &mut generic);
+        let run = run_clocked(
+            &alg,
+            &design.mapping(p as i64),
+            &design.interconnect(p as i64),
+            &mut generic,
+        );
         assert!(run.is_legal(), "{:?}", run.violations);
         let results = generic.extract_results(&run);
 
@@ -363,7 +415,9 @@ mod tests {
 
         // Keep operands within the 2p−1-bit accumulator bound (3 taps of
         // products must fit in 5 bits for p = 3).
-        let xs: Vec<u128> = (0..(outputs + taps - 1)).map(|k| (k as u128 % 3) + 1).collect();
+        let xs: Vec<u128> = (0..(outputs + taps - 1))
+            .map(|k| (k as u128 % 3) + 1)
+            .collect();
         let ws: Vec<u128> = (0..taps).map(|k| (k as u128 % 2) + 1).collect();
 
         // Space mapping: PEs indexed by (p·j1 + i1, i2) — a (outputs·p) × p
@@ -391,7 +445,10 @@ mod tests {
             move |j| ws2[(j[1] - 1) as usize],
         );
         let safe = cells.max_safe_entry();
-        assert!(xs.iter().chain(ws.iter()).all(|&v| v <= safe), "operands within bound");
+        assert!(
+            xs.iter().chain(ws.iter()).all(|&v| v <= safe),
+            "operands within bound"
+        );
 
         let run = run_clocked(&alg, &t, &ic, &mut cells);
         assert!(run.is_legal(), "{:?}", run.violations);
@@ -439,7 +496,7 @@ mod tests {
             &word,
             p,
             &alg,
-            move |j| v2[(j[1] - 1) as usize],          // x(j2): the vector
+            move |j| v2[(j[1] - 1) as usize], // x(j2): the vector
             move |j| a2[(j[0] - 1) as usize][(j[1] - 1) as usize], // A(j1,j2)
         );
         let run = run_clocked(&alg, &t, &ic, &mut cells);

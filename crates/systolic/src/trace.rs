@@ -34,11 +34,19 @@ pub struct TraceConfig {
     /// exporters and event-stream equality tests). [`TraceRollup`] counters
     /// are maintained either way.
     pub events: bool,
+    /// Optional cap on the retained event list. Once the list is full,
+    /// further events still update the rollup but are dropped from the list
+    /// and counted in [`TraceRollup::dropped_events`] — long fault campaigns
+    /// cannot grow memory unboundedly.
+    pub max_events: Option<usize>,
 }
 
 impl Default for TraceConfig {
     fn default() -> Self {
-        TraceConfig { events: true }
+        TraceConfig {
+            events: true,
+            max_events: None,
+        }
     }
 }
 
@@ -105,6 +113,20 @@ pub enum TraceEvent {
         /// Tokens currently in flight on this column.
         in_flight: u64,
     },
+    /// A fault injector perturbed the run at this point.
+    FaultInjected {
+        /// Cycle of the injection.
+        cycle: i64,
+        /// The index point whose output or input was perturbed.
+        point: IVec,
+        /// Processor coordinates of the perturbed point.
+        processor: IVec,
+        /// The dependence column for transfer faults; `None` for
+        /// output-side faults (flips, stuck-at, dead PE).
+        column: Option<usize>,
+        /// Human-readable fault kind (e.g. `transient_flip bit=s`).
+        kind: String,
+    },
     /// An engine substituted another backend for the requested one.
     BackendFallback {
         /// The backend that could not run.
@@ -124,7 +146,8 @@ impl TraceEvent {
             | TraceEvent::TokenLaunched { cycle, .. }
             | TraceEvent::TokenConsumed { cycle, .. }
             | TraceEvent::Violation { cycle, .. }
-            | TraceEvent::BufferOccupancy { cycle, .. } => Some(*cycle),
+            | TraceEvent::BufferOccupancy { cycle, .. }
+            | TraceEvent::FaultInjected { cycle, .. } => Some(*cycle),
             _ => None,
         }
     }
@@ -175,6 +198,11 @@ pub struct TraceRollup {
     pub link_occupancy: Vec<u64>,
     /// Total violation events.
     pub violations: u64,
+    /// Total fault-injection events.
+    pub faults: u64,
+    /// Events dropped by a [`TraceConfig::max_events`] cap (counters above
+    /// still include them).
+    pub dropped_events: u64,
     /// Per-column route usage, remembered from `ColumnRoute` events.
     column_usage: Vec<Option<IVec>>,
 }
@@ -200,7 +228,9 @@ impl TraceRollup {
                     self.column_usage.resize(*column + 1, None);
                 }
             }
-            TraceEvent::PointFired { cycle, processor, .. } => {
+            TraceEvent::PointFired {
+                cycle, processor, ..
+            } => {
                 self.fires += 1;
                 *self.pe_fires.entry(processor.clone()).or_insert(0) += 1;
                 *self.wavefront.entry(*cycle).or_insert(0) += 1;
@@ -218,11 +248,14 @@ impl TraceRollup {
                     }
                 }
             }
-            TraceEvent::BufferOccupancy { column, in_flight, .. } => {
+            TraceEvent::BufferOccupancy {
+                column, in_flight, ..
+            } => {
                 Self::grow(&mut self.in_flight_peak, column + 1);
                 self.in_flight_peak[*column] = self.in_flight_peak[*column].max(*in_flight);
             }
             TraceEvent::Violation { .. } => self.violations += 1,
+            TraceEvent::FaultInjected { .. } => self.faults += 1,
             TraceEvent::BackendFallback { .. } => {}
         }
     }
@@ -235,7 +268,10 @@ impl TraceRollup {
     /// First-to-last busy cycle, inclusive (0 when nothing fired) — the
     /// traced counterpart of the engines' `cycles`.
     pub fn cycle_span(&self) -> i64 {
-        match (self.wavefront.keys().next(), self.wavefront.keys().next_back()) {
+        match (
+            self.wavefront.keys().next(),
+            self.wavefront.keys().next_back(),
+        ) {
             (Some(a), Some(b)) => b - a + 1,
             _ => 0,
         }
@@ -274,7 +310,10 @@ impl RecordingSink {
 
     /// A sink with explicit retention configuration.
     pub fn with_config(config: TraceConfig) -> Self {
-        RecordingSink { config, ..RecordingSink::default() }
+        RecordingSink {
+            config,
+            ..RecordingSink::default()
+        }
     }
 
     /// The captured events (empty when `config.events` is off).
@@ -306,12 +345,21 @@ impl RecordingSink {
     /// cycles, rebased to 0.
     pub fn to_chrome_trace(&self) -> String {
         use serde_json::json;
-        let min_cycle = self.events.iter().filter_map(TraceEvent::cycle).min().unwrap_or(0);
+        let min_cycle = self
+            .events
+            .iter()
+            .filter_map(TraceEvent::cycle)
+            .min()
+            .unwrap_or(0);
         let mut tids: BTreeMap<IVec, u64> = BTreeMap::new();
         let mut out: Vec<serde_json::Value> = Vec::new();
         for ev in &self.events {
             match ev {
-                TraceEvent::PointFired { cycle, point, processor } => {
+                TraceEvent::PointFired {
+                    cycle,
+                    point,
+                    processor,
+                } => {
                     let next = tids.len() as u64;
                     let tid = *tids.entry(processor.clone()).or_insert(next);
                     out.push(json!({
@@ -334,6 +382,18 @@ impl RecordingSink {
                     "pid": 0,
                     "tid": 0,
                     "args": { "description": description },
+                })),
+                TraceEvent::FaultInjected {
+                    cycle, point, kind, ..
+                } => out.push(json!({
+                    "name": "fault",
+                    "cat": "fault",
+                    "ph": "i",
+                    "s": "g",
+                    "ts": cycle - min_cycle,
+                    "pid": 0,
+                    "tid": 0,
+                    "args": { "point": point.to_string(), "kind": kind },
                 })),
                 TraceEvent::BackendFallback { from, to, reason } => out.push(json!({
                     "name": "backend-fallback",
@@ -372,22 +432,39 @@ impl RecordingSink {
         let mut out = String::from("kind,cycle,column,point,processor,detail\n");
         for ev in &self.events {
             let row = match ev {
-                TraceEvent::ColumnRoute { column, hops, usage } => format!(
+                TraceEvent::ColumnRoute {
+                    column,
+                    hops,
+                    usage,
+                } => format!(
                     "column_route,,{column},,,{}",
                     q(&format!("hops={hops} usage={usage}"))
                 ),
                 TraceEvent::ColumnUnroutable { column } => {
                     format!("column_unroutable,,{column},,,")
                 }
-                TraceEvent::PointFired { cycle, point, processor } => format!(
+                TraceEvent::PointFired {
+                    cycle,
+                    point,
+                    processor,
+                } => format!(
                     "point_fired,{cycle},,{},{},",
                     q(&point.to_string()),
                     q(&processor.to_string())
                 ),
-                TraceEvent::TokenLaunched { cycle, column, from } => {
+                TraceEvent::TokenLaunched {
+                    cycle,
+                    column,
+                    from,
+                } => {
                     format!("token_launched,{cycle},{column},{},,", q(&from.to_string()))
                 }
-                TraceEvent::TokenConsumed { cycle, column, at, slack } => format!(
+                TraceEvent::TokenConsumed {
+                    cycle,
+                    column,
+                    at,
+                    slack,
+                } => format!(
                     "token_consumed,{cycle},{column},{},,{}",
                     q(&at.to_string()),
                     q(&format!("slack={slack}"))
@@ -395,9 +472,26 @@ impl RecordingSink {
                 TraceEvent::Violation { cycle, description } => {
                     format!("violation,{cycle},,,,{}", q(description))
                 }
-                TraceEvent::BufferOccupancy { cycle, column, in_flight } => format!(
+                TraceEvent::BufferOccupancy {
+                    cycle,
+                    column,
+                    in_flight,
+                } => format!(
                     "buffer_occupancy,{cycle},{column},,,{}",
                     q(&format!("in_flight={in_flight}"))
+                ),
+                TraceEvent::FaultInjected {
+                    cycle,
+                    point,
+                    processor,
+                    column,
+                    kind,
+                } => format!(
+                    "fault_injected,{cycle},{},{},{},{}",
+                    column.map(|c| c.to_string()).unwrap_or_default(),
+                    q(&point.to_string()),
+                    q(&processor.to_string()),
+                    q(kind)
                 ),
                 TraceEvent::BackendFallback { from, to, reason } => format!(
                     "backend_fallback,,,,,{}",
@@ -414,7 +508,10 @@ impl TraceSink for RecordingSink {
     fn record(&mut self, event: TraceEvent) {
         self.rollup.observe(&event);
         if self.config.events {
-            self.events.push(event);
+            match self.config.max_events {
+                Some(cap) if self.events.len() >= cap => self.rollup.dropped_events += 1,
+                _ => self.events.push(event),
+            }
         }
     }
 }
@@ -446,19 +543,34 @@ mod tests {
     #[test]
     fn rollup_tracks_fires_wavefront_and_tokens() {
         let mut sink = RecordingSink::new();
-        sink.record(TraceEvent::ColumnRoute { column: 0, hops: 2, usage: IVec::from([2, 0]) });
+        sink.record(TraceEvent::ColumnRoute {
+            column: 0,
+            hops: 2,
+            usage: IVec::from([2, 0]),
+        });
         sink.record(fire(5, &[1, 1], &[0, 0]));
         sink.record(fire(5, &[1, 2], &[0, 1]));
         sink.record(fire(7, &[2, 1], &[0, 0]));
-        sink.record(TraceEvent::TokenLaunched { cycle: 5, column: 0, from: IVec::from([1, 1]) });
-        sink.record(TraceEvent::BufferOccupancy { cycle: 5, column: 0, in_flight: 1 });
+        sink.record(TraceEvent::TokenLaunched {
+            cycle: 5,
+            column: 0,
+            from: IVec::from([1, 1]),
+        });
+        sink.record(TraceEvent::BufferOccupancy {
+            cycle: 5,
+            column: 0,
+            in_flight: 1,
+        });
         sink.record(TraceEvent::TokenConsumed {
             cycle: 7,
             column: 0,
             at: IVec::from([2, 1]),
             slack: 2,
         });
-        sink.record(TraceEvent::Violation { cycle: 7, description: "boom".into() });
+        sink.record(TraceEvent::Violation {
+            cycle: 7,
+            description: "boom".into(),
+        });
 
         let r = sink.rollup();
         assert_eq!(r.fire_total(), 3);
@@ -476,10 +588,54 @@ mod tests {
 
     #[test]
     fn rollup_only_config_drops_events_but_keeps_counters() {
-        let mut sink = RecordingSink::with_config(TraceConfig { events: false });
+        let mut sink = RecordingSink::with_config(TraceConfig {
+            events: false,
+            max_events: None,
+        });
         sink.record(fire(1, &[1], &[0]));
         assert!(sink.events().is_empty());
         assert_eq!(sink.rollup().fire_total(), 1);
+    }
+
+    #[test]
+    fn max_events_cap_keeps_the_prefix_and_counts_the_rest() {
+        let mut sink = RecordingSink::with_config(TraceConfig {
+            events: true,
+            max_events: Some(2),
+        });
+        for c in 0..5 {
+            sink.record(fire(c, &[c], &[0]));
+        }
+        assert_eq!(sink.events().len(), 2);
+        assert_eq!(sink.rollup().dropped_events, 3);
+        // Counters still see every event.
+        assert_eq!(sink.rollup().fire_total(), 5);
+        assert_eq!(sink.rollup().cycle_span(), 5);
+    }
+
+    #[test]
+    fn fault_events_are_counted_and_exported() {
+        let mut sink = RecordingSink::new();
+        sink.record(fire(2, &[1, 1], &[0, 0]));
+        sink.record(TraceEvent::FaultInjected {
+            cycle: 2,
+            point: IVec::from([1, 1]),
+            processor: IVec::from([0, 0]),
+            column: None,
+            kind: "transient_flip bit=s".into(),
+        });
+        sink.record(TraceEvent::FaultInjected {
+            cycle: 3,
+            point: IVec::from([1, 2]),
+            processor: IVec::from([0, 1]),
+            column: Some(4),
+            kind: "dropped_transfer".into(),
+        });
+        assert_eq!(sink.rollup().faults, 2);
+        let csv = sink.to_csv();
+        assert!(csv.contains("fault_injected,2,,"));
+        assert!(csv.contains("fault_injected,3,4,"));
+        assert!(csv.contains("transient_flip bit=s"));
     }
 
     #[test]
@@ -487,7 +643,10 @@ mod tests {
         let mut sink = RecordingSink::new();
         sink.record(fire(3, &[1, 1], &[0, 0]));
         sink.record(fire(4, &[1, 2], &[0, 1]));
-        sink.record(TraceEvent::Violation { cycle: 4, description: "late".into() });
+        sink.record(TraceEvent::Violation {
+            cycle: 4,
+            description: "late".into(),
+        });
         let doc: serde_json::Value = serde_json::from_str(&sink.to_chrome_trace()).unwrap();
         let events = doc["traceEvents"].as_array().unwrap();
         let fires: Vec<_> = events.iter().filter(|e| e["cat"] == "fire").collect();
@@ -496,7 +655,9 @@ mod tests {
         assert_eq!(fires[0]["ts"], 0);
         assert_eq!(fires[1]["ts"], 1);
         assert!(events.iter().any(|e| e["cat"] == "violation"));
-        assert!(events.iter().any(|e| e["ph"] == "C" && e["name"] == "wavefront"));
+        assert!(events
+            .iter()
+            .any(|e| e["ph"] == "C" && e["name"] == "wavefront"));
     }
 
     #[test]

@@ -100,7 +100,12 @@ pub fn render_activity_profile(alg: &AlgorithmTriplet, t: &MappingMatrix) -> Str
     let (lo, hi) = minmax(per_cycle.keys().copied());
     let peak = per_cycle.values().copied().max().unwrap_or(1);
     let mut out = String::new();
-    let _ = writeln!(out, "activity profile ({} cycles, peak {} PEs):", hi - lo + 1, peak);
+    let _ = writeln!(
+        out,
+        "activity profile ({} cycles, peak {} PEs):",
+        hi - lo + 1,
+        peak
+    );
     for cyc in lo..=hi {
         let n = per_cycle.get(&cyc).copied().unwrap_or(0);
         let bar_len = (n * 40).div_ceil(peak);
@@ -218,7 +223,66 @@ pub fn render_trace_pe_load(rollup: &TraceRollup, max_rows: usize) -> String {
     let shown = pes.len().min(max_rows);
     for &(pe, n) in pes.iter().take(shown) {
         let bar_len = ((n as usize) * 40).div_ceil(peak as usize);
-        let _ = writeln!(out, "{:>12} |{:<40}| {n}", pe.to_string(), "#".repeat(bar_len));
+        let _ = writeln!(
+            out,
+            "{:>12} |{:<40}| {n}",
+            pe.to_string(),
+            "#".repeat(bar_len)
+        );
+    }
+    if pes.len() > shown {
+        let _ = writeln!(out, "  ... {} more PEs", pes.len() - shown);
+    }
+    out
+}
+
+/// Renders a side-by-side critical-PE heat map from two per-PE fault
+/// vulnerability maps (non-masked fault counts per processor, as measured by
+/// a fault campaign): one row per PE, most vulnerable first, with one bar
+/// per design — the Fig. 4 vs Fig. 5 comparison of where faults hurt.
+pub fn render_fault_heatmap(
+    left_label: &str,
+    left: &std::collections::BTreeMap<IVec, u64>,
+    right_label: &str,
+    right: &std::collections::BTreeMap<IVec, u64>,
+    max_rows: usize,
+) -> String {
+    let mut pes: Vec<&IVec> = left.keys().chain(right.keys()).collect();
+    pes.sort();
+    pes.dedup();
+    let count =
+        |m: &std::collections::BTreeMap<IVec, u64>, pe: &IVec| m.get(pe).copied().unwrap_or(0);
+    // Most vulnerable first, coordinates as tie-break for determinism.
+    pes.sort_by(|a, b| {
+        let (sa, sb) = (
+            count(left, a) + count(right, a),
+            count(left, b) + count(right, b),
+        );
+        sb.cmp(&sa).then_with(|| a.cmp(b))
+    });
+    let peak = pes
+        .iter()
+        .map(|pe| count(left, pe).max(count(right, pe)))
+        .max()
+        .unwrap_or(1)
+        .max(1);
+    let mut out = String::new();
+    let _ = writeln!(
+        out,
+        "fault vulnerability heat map: {} PEs, non-masked faults per PE ({left_label} vs {right_label})",
+        pes.len()
+    );
+    let shown = pes.len().min(max_rows);
+    for pe in pes.iter().take(shown) {
+        let (l, r) = (count(left, pe), count(right, pe));
+        let bar = |n: u64| "#".repeat(((n as usize) * 20).div_ceil(peak as usize));
+        let _ = writeln!(
+            out,
+            "{:>12} |{:<20}| {l:>3}  |{:<20}| {r:>3}",
+            pe.to_string(),
+            bar(l),
+            bar(r)
+        );
     }
     if pes.len() > shown {
         let _ = writeln!(out, "  ... {} more PEs", pes.len() - shown);
@@ -368,6 +432,25 @@ mod tests {
         // [0, 1] fired twice and must lead the table.
         let first_row = s.lines().nth(1).unwrap();
         assert!(first_row.contains("[0, 1]"), "{s}");
+    }
+
+    #[test]
+    fn fault_heatmap_compares_designs_and_sorts_by_total_vulnerability() {
+        let mut fig4 = std::collections::BTreeMap::new();
+        let mut fig5 = std::collections::BTreeMap::new();
+        fig4.insert(IVec::from([1, 1]), 4u64);
+        fig4.insert(IVec::from([2, 1]), 1u64);
+        fig5.insert(IVec::from([1, 1]), 2u64);
+        fig5.insert(IVec::from([1, 2]), 3u64);
+        let s = render_fault_heatmap("Fig. 4", &fig4, "Fig. 5", &fig5, 10);
+        assert!(s.contains("3 PEs"), "{s}");
+        assert!(s.contains("Fig. 4 vs Fig. 5"), "{s}");
+        // [1, 1] has total 6 and must lead; zero counts render empty bars.
+        let first_row = s.lines().nth(1).unwrap();
+        assert!(first_row.contains("[1, 1]"), "{s}");
+        assert!(first_row.contains("  4 "), "{s}");
+        let truncated = render_fault_heatmap("a", &fig4, "b", &fig5, 1);
+        assert!(truncated.contains("... 2 more PEs"), "{truncated}");
     }
 
     #[test]

@@ -86,9 +86,10 @@ impl<'m> WordLevelArray<'m> {
                     let j3 = t - j1 - j2;
                     if (1..=u as i64).contains(&j3) {
                         busy = true;
-                        let prod = self
-                            .multiplier
-                            .multiply(x[(j1 - 1) as usize][(j3 - 1) as usize], y[(j3 - 1) as usize][(j2 - 1) as usize]);
+                        let prod = self.multiplier.multiply(
+                            x[(j1 - 1) as usize][(j3 - 1) as usize],
+                            y[(j3 - 1) as usize][(j2 - 1) as usize],
+                        );
                         z[(j1 - 1) as usize][(j2 - 1) as usize] += prod;
                     }
                 }

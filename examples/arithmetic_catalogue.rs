@@ -22,7 +22,10 @@ fn main() {
     let addshift = AddShift::new(p);
     println!("J_as = {}", AddShift::index_set(&addshift));
     println!("D_as =\n{}", AddShift::dependences(&addshift).matrix());
-    println!("word latency t_b = {} (O(p^2))", AddShift::word_latency(&addshift));
+    println!(
+        "word latency t_b = {} (O(p^2))",
+        AddShift::word_latency(&addshift)
+    );
     demo_multiplier(&addshift, p);
     // The documented deviation: the paper's literal boundary values drop
     // row-end carries.
@@ -35,7 +38,10 @@ fn main() {
     println!("== carry-save multiplication (Section 4.2's t_b = O(p)) ==");
     let carrysave = CarrySave::new(p);
     println!("D_cs =\n{}", CarrySave::dependences(&carrysave).matrix());
-    println!("word latency t_b = {} (O(p))", CarrySave::word_latency(&carrysave));
+    println!(
+        "word latency t_b = {} (O(p))",
+        CarrySave::word_latency(&carrysave)
+    );
     demo_multiplier(&carrysave, p);
     println!();
 
@@ -57,9 +63,7 @@ fn main() {
 
     println!("== Baugh-Wooley signed multiplication (two's complement) ==");
     let bw = BaughWooley::new(p + 2);
-    println!(
-        "same grid as carry-save (D identical), complemented sign row/column cells"
-    );
+    println!("same grid as carry-save (D identical), complemented sign row/column cells");
     for (a, b) in [(-17i128, 23i128), (-31, -31), (12, -5)] {
         let got = bw.multiply_signed(a, b);
         assert_eq!(got, a * b);
@@ -70,9 +74,14 @@ fn main() {
     println!("== non-restoring division (the catalogue's division entry) ==");
     let div = NonRestoringDivider::new(p);
     println!("J_div = {}", div.index_set());
-    println!("D_div =\n{}", bitlevel::ir::annotated_dependence_table(
-        &bitlevel::AlgorithmTriplet::new(div.index_set(), div.dependences(), "CAS array division")
-    ));
+    println!(
+        "D_div =\n{}",
+        bitlevel::ir::annotated_dependence_table(&bitlevel::AlgorithmTriplet::new(
+            div.index_set(),
+            div.dependences(),
+            "CAS array division"
+        ))
+    );
     for (n, d) in [(100u128, 7u128), (224, 15), (14, 15)] {
         let (q, r) = div.divide(n, d);
         assert_eq!((q, r), (n / d, n % d));

@@ -31,7 +31,11 @@ fn main() {
     // Operands within the safe accumulator bound.
     let m = BitMatmulArray::new(u, p).max_safe_entry();
     let x: Vec<Vec<u128>> = (0..u)
-        .map(|i| (0..u).map(|j| ((2 * i + 3 * j + 1) as u128) % (m + 1)).collect())
+        .map(|i| {
+            (0..u)
+                .map(|j| ((2 * i + 3 * j + 1) as u128) % (m + 1))
+                .collect()
+        })
         .collect();
     let y: Vec<Vec<u128>> = (0..u)
         .map(|i| (0..u).map(|j| ((i + j + 1) as u128) % (m + 1)).collect())
@@ -79,7 +83,9 @@ fn main() {
     let z = cells.extract_product(&run);
     println!("\nZ = X*Y, extracted from the array boundary:");
     for (i, row) in z.iter().enumerate() {
-        let want: Vec<u128> = (0..u).map(|j| (0..u).map(|k| x[i][k] * y[k][j]).sum()).collect();
+        let want: Vec<u128> = (0..u)
+            .map(|j| (0..u).map(|k| x[i][k] * y[k][j]).sum())
+            .collect();
         assert_eq!(row, &want, "row {i}");
         println!("  {row:?}");
     }

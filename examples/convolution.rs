@@ -19,11 +19,17 @@ fn main() {
     // z(j1) = Σ_{j2} x(j1+j2-1)·w(j2): 8 outputs, 3 taps, 3-bit words.
     let (outputs, taps, p) = (8, 3, 3usize);
     let word = WordLevelAlgorithm::convolution(outputs, taps);
-    println!("word-level convolution: D_w =\n{}", word.dependence_matrix());
+    println!(
+        "word-level convolution: D_w =\n{}",
+        word.dependence_matrix()
+    );
 
     // Theorem 3.1 (Expansion I: the faster, more uniform expansion).
     let alg = compose(&word, p, Expansion::I);
-    println!("bit-level structure ({} index points):", alg.index_set.cardinality());
+    println!(
+        "bit-level structure ({} index points):",
+        alg.index_set.cardinality()
+    );
     println!("{}", annotated_dependence_table(&alg));
 
     // Validate against ground truth on a smaller instance (exhaustive
@@ -47,10 +53,7 @@ fn main() {
         Some(best) => {
             println!("searched schedule: Pi = {}", best.pi);
             println!("total time (eq. 4.5 form): {} cycles", best.time);
-            println!(
-                "processors: {}",
-                processor_count(&s, &alg.index_set)
-            );
+            println!("processors: {}", processor_count(&s, &alg.index_set));
             println!(
                 "({} feasible schedules among {} candidates)",
                 best.feasible_count, best.examined

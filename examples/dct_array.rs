@@ -82,5 +82,8 @@ fn main() {
         assert_eq!(value, want, "coefficient {k}");
         println!("  X[{k}] = {value}");
     }
-    println!("\nall {n} coefficients bit-correct through {}-bit cells.", p);
+    println!(
+        "\nall {n} coefficients bit-correct through {}-bit cells.",
+        p
+    );
 }

@@ -29,9 +29,14 @@ fn main() {
             family.len(),
             config.machines.len()
         );
-        let ex = flow.explore(&family, &config).expect("well-formed exploration");
+        let ex = flow
+            .explore(&family, &config)
+            .expect("well-formed exploration");
         print!("{}", render_frontier(&ex));
-        assert!(ex.all_verified(), "every frontier design must verify bit-exactly");
+        assert!(
+            ex.all_verified(),
+            "every frontier design must verify bit-exactly"
+        );
         println!();
     }
 }

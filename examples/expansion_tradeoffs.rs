@@ -11,9 +11,9 @@
 //!
 //! Run with: `cargo run --release --example expansion_tradeoffs`
 
+use bitlevel::linalg::IVec;
 use bitlevel::systolic::{critical_path, fanin_histogram, mean_producer_depth};
 use bitlevel::{compose, BoxSet, Expansion, WordLevelAlgorithm};
-use bitlevel::linalg::IVec;
 
 fn main() {
     let one_d = WordLevelAlgorithm::new(

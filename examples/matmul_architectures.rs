@@ -8,10 +8,10 @@
 //!
 //! Run with: `cargo run --release --example matmul_architectures`
 
+use bitlevel::mapping::word_level_total_time;
 use bitlevel::{
     compose, simulate_mapped, AddShift, CarrySave, Expansion, PaperDesign, WordLevelAlgorithm,
 };
-use bitlevel::mapping::word_level_total_time;
 
 fn main() {
     println!(
@@ -20,7 +20,16 @@ fn main() {
     );
     println!("{}", "-".repeat(84));
 
-    for (u, p) in [(2i64, 2i64), (3, 3), (4, 3), (4, 4), (6, 4), (8, 4), (8, 6), (10, 8)] {
+    for (u, p) in [
+        (2i64, 2i64),
+        (3, 3),
+        (4, 3),
+        (4, 4),
+        (6, 4),
+        (8, 4),
+        (8, 6),
+        (10, 8),
+    ] {
         let alg = compose(&WordLevelAlgorithm::matmul(u), p as usize, Expansion::II);
 
         // Measured cycles of the two bit-level designs.
@@ -39,7 +48,8 @@ fn main() {
 
         // Word-level baselines (closed form (3(u-1)+1)·t_b with the real
         // multiplier latencies).
-        let word_addshift = word_level_total_time(u, AddShift::new(p as usize).word_latency() as i64);
+        let word_addshift =
+            word_level_total_time(u, AddShift::new(p as usize).word_latency() as i64);
         let word_carrysave =
             word_level_total_time(u, CarrySave::new(p as usize).word_latency() as i64);
 

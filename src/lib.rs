@@ -16,6 +16,7 @@
 //! | [`depanal`] | Theorem 3.1 compositional analysis, algorithm expansion, and the general baselines (exhaustive, Diophantine, GCD/Banerjee) |
 //! | [`mapping`] | Definition 4.1: feasibility, `SD = PK` routing, conflicts, time-optimal schedule search, the Figs. 4–5 designs |
 //! | [`systolic`] | cycle-accurate mapped-algorithm simulator, the bit-exact Expansion II matmul array, the word-level comparator |
+//! | [`fault`] | deterministic fault injection ([`FaultPlan`]), ABFT checksum protection, and the exhaustive/Monte-Carlo campaign drivers |
 //! | [`core`](mod@core_api) | the end-to-end [`DesignFlow`] pipeline and paper-style reports |
 //!
 //! Quickstart:
@@ -31,6 +32,7 @@
 pub use bitlevel_arith as arith;
 pub use bitlevel_core as core_api;
 pub use bitlevel_depanal as depanal;
+pub use bitlevel_fault as fault;
 pub use bitlevel_ir as ir;
 pub use bitlevel_linalg as linalg;
 pub use bitlevel_mapping as mapping;
@@ -38,11 +40,13 @@ pub use bitlevel_systolic as systolic;
 
 pub use bitlevel_core::{
     check_feasibility, compare_analyses, compose, expand, explore, find_optimal_schedule,
-    generate_space_family, render_architecture, render_frontier, render_matmul_comparison,
-    render_structure, render_trace_summary, run_clocked_compiled, simulate_mapped,
-    simulate_mapped_compiled, AddShift, AlgorithmTriplet, ArchitectureReport, BitMatmulArray,
-    BoxSet, CarrySave, DesignFlow, Expansion, ExplorationReport, ExploreConfig, Interconnect,
-    MachineOption, MappingError, MappingMatrix, MultiplierAlgorithm, NullSink, PaperDesign,
-    RecordingSink, RippleAdder, SimBackend, TraceConfig, TraceEvent, TraceRollup, TraceSink,
+    generate_space_family, monte_carlo_campaign, render_architecture, render_frontier,
+    render_matmul_comparison, render_structure, render_trace_summary, run_clocked_compiled,
+    simulate_mapped, simulate_mapped_compiled, single_fault_campaign, AddShift, AlgorithmTriplet,
+    ArchitectureReport, BitMatmulArray, BoxSet, CarrySave, DesignFlow, Expansion,
+    ExplorationReport, ExploreConfig, FaultCampaignReport, FaultKind, FaultOutcome, FaultPlan,
+    Interconnect, MachineOption, MappingError, MappingMatrix, MonteCarloReport,
+    MultiplierAlgorithm, NullSink, PaperDesign, RandomFault, RecordingSink, RippleAdder,
+    SimBackend, TargetedFault, TraceConfig, TraceEvent, TraceRollup, TraceSink,
     VerifiedFrontierPoint, WordLevelAlgorithm, WordLevelArray,
 };

@@ -9,8 +9,8 @@ use bitlevel::ir::eliminate_broadcasts;
 use bitlevel::linalg::{IMat, IVec};
 use bitlevel::mapping::{processor_count, total_time};
 use bitlevel::{
-    check_feasibility, compose, find_optimal_schedule, simulate_mapped, BitMatmulArray,
-    DesignFlow, Expansion, Interconnect, PaperDesign, WordLevelAlgorithm,
+    check_feasibility, compose, find_optimal_schedule, simulate_mapped, BitMatmulArray, DesignFlow,
+    Expansion, Interconnect, PaperDesign, WordLevelAlgorithm,
 };
 
 /// The complete paper pipeline for the running example, asserting every
@@ -40,11 +40,19 @@ fn full_paper_pipeline_matmul() {
 
     // Section 4: T of (4.2) satisfies all of Definition 4.1 on P of (4.3)…
     let design = PaperDesign::TimeOptimal;
-    let feas = check_feasibility(&design.mapping(p as i64), &alg, &design.interconnect(p as i64));
+    let feas = check_feasibility(
+        &design.mapping(p as i64),
+        &alg,
+        &design.interconnect(p as i64),
+    );
     assert!(feas.is_feasible(), "{:?}", feas.violations);
 
     // …its simulation measures exactly eq. (4.5) with u²p² processors…
-    let run = simulate_mapped(&alg, &design.mapping(p as i64), &design.interconnect(p as i64));
+    let run = simulate_mapped(
+        &alg,
+        &design.mapping(p as i64),
+        &design.interconnect(p as i64),
+    );
     assert_eq!(run.cycles, 3 * (u - 1) + 3 * (p as i64 - 1) + 1);
     assert_eq!(run.processors as i64, u * u * (p * p) as i64);
     assert!(run.conflict_free && run.causality_ok);
@@ -74,7 +82,11 @@ fn broadcast_elimination_matches_model_constructors() {
     );
     let be = eliminate_broadcasts(&nest);
     let word = WordLevelAlgorithm::matmul(3);
-    let dirs: Vec<IVec> = be.new_dependences.iter().map(|d| d.vector.clone()).collect();
+    let dirs: Vec<IVec> = be
+        .new_dependences
+        .iter()
+        .map(|d| d.vector.clone())
+        .collect();
     assert!(dirs.contains(word.h1.as_ref().unwrap()));
     assert!(dirs.contains(word.h2.as_ref().unwrap()));
 }
@@ -131,10 +143,18 @@ fn three_matmul_routes_agree() {
     let arr = BitMatmulArray::new(u, p);
     let m = arr.max_safe_entry();
     let x: Vec<Vec<u128>> = (0..u)
-        .map(|i| (0..u).map(|j| ((5 * i + j + 1) as u128) % (m + 1)).collect())
+        .map(|i| {
+            (0..u)
+                .map(|j| ((5 * i + j + 1) as u128) % (m + 1))
+                .collect()
+        })
         .collect();
     let y: Vec<Vec<u128>> = (0..u)
-        .map(|i| (0..u).map(|j| ((i + 3 * j + 2) as u128) % (m + 1)).collect())
+        .map(|i| {
+            (0..u)
+                .map(|j| ((i + 3 * j + 2) as u128) % (m + 1))
+                .collect()
+        })
         .collect();
 
     // Native.
@@ -160,7 +180,9 @@ fn three_matmul_routes_agree() {
 fn td_matrix_of_eq_4_4() {
     let p = 3i64;
     let alg = compose(&WordLevelAlgorithm::matmul(3), p as usize, Expansion::II);
-    let td = PaperDesign::TimeOptimal.mapping(p).td(&alg.dependence_matrix());
+    let td = PaperDesign::TimeOptimal
+        .mapping(p)
+        .td(&alg.dependence_matrix());
     // Our column order (x,y,z,d4..d7); the paper's (4.4) swaps the first two.
     let expected = IMat::from_rows(&[
         &[0, p, 0, 1, 0, 1, 0],

@@ -83,7 +83,11 @@ fn compiled_product(
         &design.interconnect(p as i64),
         &cells,
     );
-    assert!(run.is_legal(), "{design:?} (compiled): {:?}", run.violations);
+    assert!(
+        run.is_legal(),
+        "{design:?} (compiled): {:?}",
+        run.violations
+    );
     let mut z = vec![vec![0u128; u]; u];
     for (tail, value) in cells.extract_results(&run) {
         z[(tail[0] - 1) as usize][(tail[1] - 1) as usize] = value;
@@ -172,10 +176,18 @@ fn mid_size_instance_agrees() {
     let arr = BitMatmulArray::new(u, p);
     let cap = arr.max_safe_entry();
     let x: Vec<Vec<u128>> = (0..u)
-        .map(|i| (0..u).map(|j| ((11 * i + 3 * j + 2) as u128) % (cap + 1)).collect())
+        .map(|i| {
+            (0..u)
+                .map(|j| ((11 * i + 3 * j + 2) as u128) % (cap + 1))
+                .collect()
+        })
         .collect();
     let y: Vec<Vec<u128>> = (0..u)
-        .map(|i| (0..u).map(|j| ((5 * i + 7 * j + 1) as u128) % (cap + 1)).collect())
+        .map(|i| {
+            (0..u)
+                .map(|j| ((5 * i + 7 * j + 1) as u128) % (cap + 1))
+                .collect()
+        })
         .collect();
     let topo = arr.multiply(&x, &y);
     let fig4 = clocked_product(u, p, PaperDesign::TimeOptimal, &x, &y);
@@ -220,7 +232,10 @@ fn traced_runs_are_bit_identical_and_account_for_every_point() {
         let traced_c = sched.execute_traced(&cells, &mut rec_c);
         assert_eq!(traced_c.cycles, plain_c.cycles, "{design:?}");
         assert_eq!(traced_c.violations, plain_c.violations, "{design:?}");
-        assert_eq!(traced_c.peak_in_flight, plain_c.peak_in_flight, "{design:?}");
+        assert_eq!(
+            traced_c.peak_in_flight, plain_c.peak_in_flight,
+            "{design:?}"
+        );
         assert_eq!(traced_c.outputs, plain_c.outputs, "{design:?}");
         assert_eq!(traced_c.outputs, traced.outputs, "{design:?}");
 
@@ -228,8 +243,16 @@ fn traced_runs_are_bit_identical_and_account_for_every_point() {
         // and the engines agree on the shape of the run they observed.
         assert_eq!(rec_i.rollup().fire_total(), points, "{design:?}");
         assert_eq!(rec_c.rollup().fire_total(), points, "{design:?}");
-        assert_eq!(rec_i.rollup().wavefront, rec_c.rollup().wavefront, "{design:?}");
-        assert_eq!(rec_i.rollup().pe_fires, rec_c.rollup().pe_fires, "{design:?}");
+        assert_eq!(
+            rec_i.rollup().wavefront,
+            rec_c.rollup().wavefront,
+            "{design:?}"
+        );
+        assert_eq!(
+            rec_i.rollup().pe_fires,
+            rec_c.rollup().pe_fires,
+            "{design:?}"
+        );
         assert_eq!(rec_i.rollup().violations, 0, "{design:?}");
         assert_eq!(rec_c.rollup().violations, 0, "{design:?}");
     }

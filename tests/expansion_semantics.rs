@@ -123,8 +123,8 @@ fn expanded_code_exact_for_carry_free_operands() {
         for j2 in 1..=u {
             let mut result: u128 = 0;
             for i in 1..=p {
-                result |= (values[&("z".to_string(), IVec::from([j1, j2, u, i, 1]))] as u128)
-                    << (i - 1);
+                result |=
+                    (values[&("z".to_string(), IVec::from([j1, j2, u, i, 1]))] as u128) << (i - 1);
             }
             for i in p + 1..=2 * p - 1 {
                 let v = values[&("z".to_string(), IVec::from([j1, j2, u, p, i - p + 1]))];

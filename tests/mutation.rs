@@ -20,7 +20,11 @@ fn with_replaced_dep(alg: &AlgorithmTriplet, index: usize, dep: Dependence) -> A
         .enumerate()
         .map(|(i, d)| if i == index { dep.clone() } else { d.clone() })
         .collect();
-    AlgorithmTriplet::new(alg.index_set.clone(), DependenceSet::new(deps), &alg.computation)
+    AlgorithmTriplet::new(
+        alg.index_set.clone(),
+        DependenceSet::new(deps),
+        &alg.computation,
+    )
 }
 
 #[test]
@@ -31,7 +35,11 @@ fn corrupted_vector_is_caught_by_ground_truth() {
 
     // Flip d̄₆'s direction: [0,0,0,1,-1] -> [0,0,0,-1,1].
     let bad = with_replaced_dep(&alg, 5, Dependence::uniform([0, 0, 0, -1, 1], "z"));
-    assert_ne!(instances_of_triplet(&bad), truth, "flipped drain must be caught");
+    assert_ne!(
+        instances_of_triplet(&bad),
+        truth,
+        "flipped drain must be caught"
+    );
 }
 
 #[test]
@@ -74,13 +82,21 @@ fn missing_column_is_caught() {
     let truth2 = enumerate_dependences(&expand(&WordLevelAlgorithm::matmul(2), 2, Expansion::II));
     let deps2: Vec<Dependence> = alg2.deps.iter().take(6).cloned().collect();
     let dropped2 = AlgorithmTriplet::new(alg2.index_set.clone(), DependenceSet::new(deps2), "");
-    assert_eq!(instances_of_triplet(&dropped2), truth2, "vacuous column drop at p=2");
+    assert_eq!(
+        instances_of_triplet(&dropped2),
+        truth2,
+        "vacuous column drop at p=2"
+    );
 
     let alg3 = compose(&WordLevelAlgorithm::matmul(2), 3, Expansion::II);
     let truth3 = enumerate_dependences(&expand(&WordLevelAlgorithm::matmul(2), 3, Expansion::II));
     let deps3: Vec<Dependence> = alg3.deps.iter().take(6).cloned().collect();
     let dropped3 = AlgorithmTriplet::new(alg3.index_set.clone(), DependenceSet::new(deps3), "");
-    assert_ne!(instances_of_triplet(&dropped3), truth3, "d̄₇ drop at p=3 must be caught");
+    assert_ne!(
+        instances_of_triplet(&dropped3),
+        truth3,
+        "d̄₇ drop at p=3 must be caught"
+    );
 }
 
 #[test]
@@ -95,7 +111,10 @@ fn each_feasibility_condition_can_individually_fail() {
     let mut t = good.clone();
     t.schedule[2] = -1;
     let rep = check_feasibility(&t, &alg, &ic);
-    assert!(rep.violations.iter().any(|v| matches!(v, Violation::NonPositiveSchedule { .. })));
+    assert!(rep
+        .violations
+        .iter()
+        .any(|v| matches!(v, Violation::NonPositiveSchedule { .. })));
 
     // Condition 2: starve the machine of the diagonal link.
     let poor = Interconnect::new(bitlevel::linalg::IMat::from_rows(&[
@@ -103,24 +122,33 @@ fn each_feasibility_condition_can_individually_fail() {
         &[0, p, 0, 0, 1],
     ]));
     let rep = check_feasibility(&good, &alg, &poor);
-    assert!(rep.violations.iter().any(|v| matches!(v, Violation::Unroutable { .. })));
+    assert!(rep
+        .violations
+        .iter()
+        .any(|v| matches!(v, Violation::Unroutable { .. })));
 
     // Condition 3: collapse one space row.
     let mut t = good.clone();
     t.space = bitlevel::linalg::IMat::from_rows(&[&[p, 0, 0, 1, 0], &[p, 0, 0, 1, 0]]);
     let rep = check_feasibility(&t, &alg, &ic);
-    assert!(rep.violations.iter().any(|v| matches!(v, Violation::Conflict { .. })));
+    assert!(rep
+        .violations
+        .iter()
+        .any(|v| matches!(v, Violation::Conflict { .. })));
 
     // Condition 4: rank deficiency (same mutation also trips rank).
-    assert!(rep.violations.iter().any(|v| matches!(v, Violation::RankDeficient { .. })));
+    assert!(rep
+        .violations
+        .iter()
+        .any(|v| matches!(v, Violation::RankDeficient { .. })));
 
     // Condition 5: scale everything by 2.
-    let t = bitlevel::MappingMatrix::new(
-        good.space.map(|x| 2 * x),
-        good.schedule.scaled(2),
-    );
+    let t = bitlevel::MappingMatrix::new(good.space.map(|x| 2 * x), good.schedule.scaled(2));
     let rep = check_feasibility(&t, &alg, &Interconnect::paper_p(2 * p));
-    assert!(rep.violations.iter().any(|v| matches!(v, Violation::NotCoprime { gcd: 2 })));
+    assert!(rep
+        .violations
+        .iter()
+        .any(|v| matches!(v, Violation::NotCoprime { gcd: 2 })));
 }
 
 #[test]

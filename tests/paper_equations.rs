@@ -31,7 +31,11 @@ fn eq_2_3_broadcast_free_matmul() {
         )],
     );
     let be = eliminate_broadcasts(&nest);
-    let dirs: Vec<IVec> = be.new_dependences.iter().map(|d| d.vector.clone()).collect();
+    let dirs: Vec<IVec> = be
+        .new_dependences
+        .iter()
+        .map(|d| d.vector.clone())
+        .collect();
     assert_eq!(dirs, vec![IVec::from([0, 1, 0]), IVec::from([1, 0, 0])]);
 }
 
@@ -90,7 +94,10 @@ fn eq_3_8_3_9_one_dimensional_expansions() {
     for e in [Expansion::I, Expansion::II] {
         let alg = compose(&word, 3, e);
         assert_eq!(alg.dependence_matrix(), expected);
-        assert_eq!(instances_of_triplet(&alg), enumerate_dependences(&expand(&word, 3, e)));
+        assert_eq!(
+            instances_of_triplet(&alg),
+            enumerate_dependences(&expand(&word, 3, e))
+        );
     }
 }
 
@@ -98,7 +105,10 @@ fn eq_3_8_3_9_one_dimensional_expansions() {
 #[test]
 fn eq_3_11a_compound_index_set() {
     let alg = compose(&WordLevelAlgorithm::matmul(4), 5, Expansion::II);
-    assert_eq!(alg.index_set, BoxSet::cube(3, 1, 4).product(&BoxSet::cube(2, 1, 5)));
+    assert_eq!(
+        alg.index_set,
+        BoxSet::cube(3, 1, 4).product(&BoxSet::cube(2, 1, 5))
+    );
 }
 
 /// Example 3.1 (eqs. 3.12–3.13): the 5-D bit-level matmul structure.
@@ -148,7 +158,9 @@ fn eq_4_3_routing_matrices() {
 fn eq_4_4_td_matrix() {
     let p = 3i64;
     let alg = compose(&WordLevelAlgorithm::matmul(3), p as usize, Expansion::II);
-    let td = PaperDesign::TimeOptimal.mapping(p).td(&alg.dependence_matrix());
+    let td = PaperDesign::TimeOptimal
+        .mapping(p)
+        .td(&alg.dependence_matrix());
     assert_eq!(td.row(2), &[1, 1, 1, 2, 1, 1, 2]); // Π·D row of (4.4)
 }
 
@@ -160,7 +172,10 @@ fn eq_4_5_total_time() {
         let design = PaperDesign::TimeOptimal;
         let run = simulate_mapped(&alg, &design.mapping(p), &design.interconnect(p));
         assert_eq!(run.cycles, 3 * (u - 1) + 3 * (p - 1) + 1);
-        assert_eq!(run.cycles, total_time(&design.mapping(p).schedule, &alg.index_set));
+        assert_eq!(
+            run.cycles,
+            total_time(&design.mapping(p).schedule, &alg.index_set)
+        );
     }
 }
 
@@ -212,7 +227,15 @@ fn section_4_2_speedup_orders() {
     for w in ratios.windows(2) {
         let (a0, c0) = w[0];
         let (a1, c1) = w[1];
-        assert!((a1 / a0) > 3.0 && (a1 / a0) < 5.0, "quadratic shape: {}", a1 / a0);
-        assert!((c1 / c0) > 1.6 && (c1 / c0) < 2.4, "linear shape: {}", c1 / c0);
+        assert!(
+            (a1 / a0) > 3.0 && (a1 / a0) < 5.0,
+            "quadratic shape: {}",
+            a1 / a0
+        );
+        assert!(
+            (c1 / c0) > 1.6 && (c1 / c0) < 2.4,
+            "linear shape: {}",
+            c1 / c0
+        );
     }
 }

@@ -17,27 +17,30 @@ use proptest::prelude::*;
 /// random small h̄-vectors (h̄₃ nonzero so the recurrence is well-formed).
 fn arb_word_algorithm() -> impl Strategy<Value = WordLevelAlgorithm> {
     (
-        1usize..3,                                   // dimension n
-        proptest::collection::vec(1i64..3, 2),       // extents
-        proptest::collection::vec(-1i64..2, 6),      // h components
+        1usize..3,                              // dimension n
+        proptest::collection::vec(1i64..3, 2),  // extents
+        proptest::collection::vec(-1i64..2, 6), // h components
     )
-        .prop_filter_map("h3 must be nonzero and h's within extents", |(n, ext, h)| {
-            let upper: Vec<i64> = (0..n).map(|i| 1 + ext[i % ext.len()]).collect();
-            let bounds = BoxSet::new(IVec(vec![1; n]), IVec(upper));
-            let h1 = IVec(h[0..n].to_vec());
-            let h2 = IVec(h[n..2 * n].to_vec());
-            let h3 = IVec(h[2 * n..3 * n].to_vec());
-            if h3.is_zero() {
-                return None;
-            }
-            Some(WordLevelAlgorithm::new(
-                "random",
-                bounds,
-                (!h1.is_zero()).then_some(h1),
-                (!h2.is_zero()).then_some(h2),
-                h3,
-            ))
-        })
+        .prop_filter_map(
+            "h3 must be nonzero and h's within extents",
+            |(n, ext, h)| {
+                let upper: Vec<i64> = (0..n).map(|i| 1 + ext[i % ext.len()]).collect();
+                let bounds = BoxSet::new(IVec(vec![1; n]), IVec(upper));
+                let h1 = IVec(h[0..n].to_vec());
+                let h2 = IVec(h[n..2 * n].to_vec());
+                let h3 = IVec(h[2 * n..3 * n].to_vec());
+                if h3.is_zero() {
+                    return None;
+                }
+                Some(WordLevelAlgorithm::new(
+                    "random",
+                    bounds,
+                    (!h1.is_zero()).then_some(h1),
+                    (!h2.is_zero()).then_some(h2),
+                    h3,
+                ))
+            },
+        )
 }
 
 /// The shape of the paper's fixed `S` of eq. (4.2) generalised to `m`
@@ -67,21 +70,41 @@ fn assert_searches_agree(alg: &AlgorithmTriplet, p: i64, bound: i64) {
     let ex = explore(
         alg,
         std::slice::from_ref(&s),
-        &ExploreConfig { pi_bound: bound, machines: vec![MachineOption::new("P", ic)] },
+        &ExploreConfig {
+            pi_bound: bound,
+            machines: vec![MachineOption::new("P", ic)],
+        },
     )
     .expect("well-formed exploration");
     match exhaustive {
         None => {
-            assert!(bestfirst.is_none(), "best-first found {bestfirst:?}, exhaustive none");
-            assert!(ex.frontier.is_empty(), "explorer found {:?}, exhaustive none", ex.frontier);
+            assert!(
+                bestfirst.is_none(),
+                "best-first found {bestfirst:?}, exhaustive none"
+            );
+            assert!(
+                ex.frontier.is_empty(),
+                "explorer found {:?}, exhaustive none",
+                ex.frontier
+            );
         }
         Some(opt) => {
             let bf = bestfirst.expect("exhaustive feasible ⇒ best-first feasible");
             assert_eq!(bf.time, opt.time, "optimum time must agree");
             assert_eq!(bf.pi, opt.pi, "tie-broken Π must agree");
-            assert_eq!(ex.frontier.len(), 1, "single (S, machine) pair → single point");
-            assert_eq!(ex.frontier[0].time, opt.time, "explorer optimum time must agree");
-            assert_eq!(ex.frontier[0].mapping.schedule, opt.pi, "explorer Π must agree");
+            assert_eq!(
+                ex.frontier.len(),
+                1,
+                "single (S, machine) pair → single point"
+            );
+            assert_eq!(
+                ex.frontier[0].time, opt.time,
+                "explorer optimum time must agree"
+            );
+            assert_eq!(
+                ex.frontier[0].mapping.schedule, opt.pi,
+                "explorer Π must agree"
+            );
         }
     }
 }

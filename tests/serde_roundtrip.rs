@@ -6,11 +6,10 @@
 
 use bitlevel::depanal::{compose, Expansion};
 use bitlevel::ir::{
-    AlgorithmTriplet, BoxSet, Dependence, DependenceSet, Polyhedron, Predicate,
-    WordLevelAlgorithm,
+    AlgorithmTriplet, BoxSet, Dependence, DependenceSet, Polyhedron, Predicate, WordLevelAlgorithm,
 };
 use bitlevel::linalg::{IMat, IVec};
-use bitlevel::MappingMatrix;
+use bitlevel::{FaultKind, FaultPlan, MappingMatrix, RandomFault, TargetedFault};
 
 fn roundtrip<T: serde::Serialize + serde::de::DeserializeOwned + PartialEq + std::fmt::Debug>(
     value: &T,
@@ -75,4 +74,53 @@ fn mapping_matrix_roundtrips() {
 fn expansion_tag_roundtrips() {
     roundtrip(&Expansion::I);
     roundtrip(&Expansion::II);
+}
+
+#[test]
+fn fault_plans_roundtrip() {
+    roundtrip(&FaultPlan::empty());
+    let plan = FaultPlan {
+        seed: 0xE17,
+        targeted: vec![
+            TargetedFault {
+                kind: FaultKind::TransientFlip { bit: 2 },
+                pe: IVec::from([3, 4]),
+                cycle: Some(5),
+            },
+            TargetedFault {
+                kind: FaultKind::DeadPe,
+                pe: IVec::from([6, 6]),
+                cycle: None,
+            },
+            TargetedFault {
+                kind: FaultKind::StuckAt {
+                    bit: 0,
+                    value: true,
+                },
+                pe: IVec::from([4, 4]),
+                cycle: None,
+            },
+        ],
+        random: vec![
+            RandomFault {
+                kind: FaultKind::DroppedTransfer { column: 3 },
+                rate: 0.01,
+            },
+            RandomFault {
+                kind: FaultKind::DuplicatedTransfer { column: 6 },
+                rate: 0.005,
+            },
+        ],
+    };
+    roundtrip(&plan);
+    // A reloaded plan resolves identically: resolution is a pure function
+    // of the (plan, structure, mapping) triple.
+    let json = serde_json::to_string(&plan).unwrap();
+    let back: FaultPlan = serde_json::from_str(&json).unwrap();
+    let alg = compose(&WordLevelAlgorithm::matmul(2), 2, Expansion::II);
+    let t = bitlevel::PaperDesign::TimeOptimal.mapping(2);
+    assert_eq!(
+        plan.resolve(&alg, &t).injected,
+        back.resolve(&alg, &t).injected
+    );
 }

@@ -14,7 +14,10 @@ use bitlevel::{PaperDesign, WordLevelAlgorithm};
 fn million_point_mapped_simulation() {
     let (u, p) = (16i64, 16i64);
     let alg = compose(&WordLevelAlgorithm::matmul(u), p as usize, Expansion::II);
-    assert_eq!(alg.index_set.cardinality(), (u as u128).pow(3) * (p as u128).pow(2));
+    assert_eq!(
+        alg.index_set.cardinality(),
+        (u as u128).pow(3) * (p as u128).pow(2)
+    );
     let design = PaperDesign::TimeOptimal;
     let run = simulate_mapped_parallel(&alg, &design.mapping(p), &design.interconnect(p));
     assert_eq!(run.cycles, 3 * (u - 1) + 3 * (p - 1) + 1);
@@ -30,12 +33,23 @@ fn wide_word_functional_array() {
     let (u, p) = (8usize, 32usize);
     let arr = BitMatmulArray::new(u, p);
     let cap = arr.max_safe_entry();
-    assert!(cap > 1 << 20, "32-bit accumulator leaves real headroom: {cap}");
+    assert!(
+        cap > 1 << 20,
+        "32-bit accumulator leaves real headroom: {cap}"
+    );
     let x: Vec<Vec<u128>> = (0..u)
-        .map(|i| (0..u).map(|j| (0x9e37 * i as u128 + 0x79b9 * j as u128 + 1) % (cap + 1)).collect())
+        .map(|i| {
+            (0..u)
+                .map(|j| (0x9e37 * i as u128 + 0x79b9 * j as u128 + 1) % (cap + 1))
+                .collect()
+        })
         .collect();
     let y: Vec<Vec<u128>> = (0..u)
-        .map(|i| (0..u).map(|j| (0x85eb * i as u128 + 0xca6b * j as u128 + 2) % (cap + 1)).collect())
+        .map(|i| {
+            (0..u)
+                .map(|j| (0x85eb * i as u128 + 0xca6b * j as u128 + 2) % (cap + 1))
+                .collect()
+        })
         .collect();
     let z = arr.multiply(&x, &y);
     for i in 0..u {
@@ -57,10 +71,18 @@ fn deep_word_level_accumulation() {
     let arr = bitlevel::WordLevelArray::new(u, &mul);
     let cap = (1u128 << p) - 1;
     let x: Vec<Vec<u128>> = (0..u)
-        .map(|i| (0..u).map(|j| (i as u128 * 7919 + j as u128 * 104729) % (cap + 1)).collect())
+        .map(|i| {
+            (0..u)
+                .map(|j| (i as u128 * 7919 + j as u128 * 104729) % (cap + 1))
+                .collect()
+        })
         .collect();
     let y: Vec<Vec<u128>> = (0..u)
-        .map(|i| (0..u).map(|j| (i as u128 * 15485863 + j as u128 + 3) % (cap + 1)).collect())
+        .map(|i| {
+            (0..u)
+                .map(|j| (i as u128 * 15485863 + j as u128 + 3) % (cap + 1))
+                .collect()
+        })
         .collect();
     let run = arr.run(&x, &y);
     assert_eq!(run.word_cycles, 3 * (u as i64 - 1) + 1);
