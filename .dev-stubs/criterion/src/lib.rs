@@ -1,0 +1,2 @@
+//! Offline typecheck stub for criterion (bench targets are harness=false and
+//! are not compiled by `cargo check`/`cargo test`, so this is resolution-only).

@@ -1,0 +1,1 @@
+//! Offline typecheck stub for rand (unused by the workspace sources).

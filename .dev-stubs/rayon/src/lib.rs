@@ -1,0 +1,135 @@
+//! Offline typecheck stub for rayon: a sequential, eager implementation of
+//! the parallel-iterator surface this workspace uses. Closure bounds mirror
+//! rayon's (`Sync + Send`) so code written against the stub stays valid
+//! against the real crate.
+
+use std::cmp::Ordering;
+
+pub fn current_num_threads() -> usize {
+    1
+}
+
+pub fn join<A, B, RA, RB>(a: A, b: B) -> (RA, RB)
+where
+    A: FnOnce() -> RA + Send,
+    B: FnOnce() -> RB + Send,
+    RA: Send,
+    RB: Send,
+{
+    (a(), b())
+}
+
+/// Sequential stand-in for rayon's parallel iterators.
+pub struct Par<T>(Vec<T>);
+
+impl<T: Send> Par<T> {
+    pub fn map<U: Send>(self, f: impl Fn(T) -> U + Sync + Send) -> Par<U> {
+        Par(self.0.into_iter().map(f).collect())
+    }
+
+    pub fn filter(self, f: impl Fn(&T) -> bool + Sync + Send) -> Par<T> {
+        Par(self.0.into_iter().filter(f).collect())
+    }
+
+    pub fn filter_map<U: Send>(self, f: impl Fn(T) -> Option<U> + Sync + Send) -> Par<U> {
+        Par(self.0.into_iter().filter_map(f).collect())
+    }
+
+    pub fn flat_map<U: Send, I: IntoIterator<Item = U>>(
+        self,
+        f: impl Fn(T) -> I + Sync + Send,
+    ) -> Par<U> {
+        Par(self.0.into_iter().flat_map(f).collect())
+    }
+
+    pub fn for_each(self, f: impl Fn(T) + Sync + Send) {
+        self.0.into_iter().for_each(f)
+    }
+
+    pub fn reduce(
+        self,
+        identity: impl Fn() -> T + Sync + Send,
+        op: impl Fn(T, T) -> T + Sync + Send,
+    ) -> T {
+        self.0.into_iter().fold(identity(), op)
+    }
+
+    pub fn reduce_with(self, op: impl Fn(T, T) -> T + Sync + Send) -> Option<T> {
+        self.0.into_iter().reduce(op)
+    }
+
+    pub fn min_by(self, cmp: impl Fn(&T, &T) -> Ordering + Sync + Send) -> Option<T> {
+        self.0.into_iter().min_by(|a, b| cmp(a, b))
+    }
+
+    pub fn max_by(self, cmp: impl Fn(&T, &T) -> Ordering + Sync + Send) -> Option<T> {
+        self.0.into_iter().max_by(|a, b| cmp(a, b))
+    }
+
+    pub fn collect<C: FromIterator<T>>(self) -> C {
+        self.0.into_iter().collect()
+    }
+
+    pub fn count(self) -> usize {
+        self.0.len()
+    }
+
+    pub fn any(self, f: impl Fn(T) -> bool + Sync + Send) -> bool {
+        self.0.into_iter().any(|t| f(t))
+    }
+
+    pub fn all(self, f: impl Fn(T) -> bool + Sync + Send) -> bool {
+        self.0.into_iter().all(|t| f(t))
+    }
+
+    pub fn sum<S: std::iter::Sum<T>>(self) -> S {
+        self.0.into_iter().sum()
+    }
+
+    pub fn with_min_len(self, _len: usize) -> Self {
+        self
+    }
+
+    pub fn with_max_len(self, _len: usize) -> Self {
+        self
+    }
+}
+
+pub trait IntoParallelIterator {
+    type Item: Send;
+    fn into_par_iter(self) -> Par<Self::Item>;
+}
+
+impl<I: IntoIterator> IntoParallelIterator for I
+where
+    I::Item: Send,
+{
+    type Item = I::Item;
+    fn into_par_iter(self) -> Par<I::Item> {
+        Par(self.into_iter().collect())
+    }
+}
+
+pub trait ParallelRefIterator<T> {
+    fn par_iter(&self) -> Par<&T>;
+}
+
+impl<T: Sync> ParallelRefIterator<T> for [T] {
+    fn par_iter(&self) -> Par<&T> {
+        Par(self.iter().collect())
+    }
+}
+
+pub trait ParallelSliceExt<T> {
+    fn par_chunks(&self, chunk_size: usize) -> Par<&[T]>;
+}
+
+impl<T: Sync> ParallelSliceExt<T> for [T] {
+    fn par_chunks(&self, chunk_size: usize) -> Par<&[T]> {
+        Par(self.chunks(chunk_size).collect())
+    }
+}
+
+pub mod prelude {
+    pub use crate::{IntoParallelIterator, ParallelRefIterator, ParallelSliceExt};
+}

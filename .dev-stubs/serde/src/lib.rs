@@ -1,0 +1,17 @@
+//! Offline typecheck stub for serde: blanket no-op trait impls plus the
+//! derive macros re-exported from the stub serde_derive.
+
+pub use serde_derive::{Deserialize, Serialize};
+
+pub trait Serialize {}
+impl<T: ?Sized> Serialize for T {}
+
+pub trait Deserialize<'de> {}
+impl<'de, T: ?Sized> Deserialize<'de> for T {}
+
+pub mod de {
+    pub trait DeserializeOwned {}
+    impl<T: ?Sized> DeserializeOwned for T {}
+}
+
+pub mod ser {}

@@ -1,0 +1,119 @@
+//! Offline typecheck stub for serde_json. Serialization returns empty
+//! strings; deserialization always errors. Good enough to typecheck and to
+//! run tests that do not exercise JSON round-trips.
+
+use std::fmt;
+
+#[derive(Clone, Debug, Default, PartialEq)]
+pub struct Value;
+
+#[derive(Debug)]
+pub struct Error;
+
+impl fmt::Display for Error {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "serde_json stub: serialization disabled in offline dev build")
+    }
+}
+
+impl std::error::Error for Error {}
+
+pub type Result<T> = std::result::Result<T, Error>;
+
+pub fn to_string<T: ?Sized>(_value: &T) -> Result<String> {
+    Ok(String::new())
+}
+
+pub fn to_string_pretty<T: ?Sized>(_value: &T) -> Result<String> {
+    Ok(String::new())
+}
+
+pub fn from_str<T>(_s: &str) -> Result<T> {
+    Err(Error)
+}
+
+impl Value {
+    pub fn as_array(&self) -> Option<&Vec<Value>> {
+        None
+    }
+    pub fn as_str(&self) -> Option<&str> {
+        None
+    }
+    pub fn as_i64(&self) -> Option<i64> {
+        None
+    }
+    pub fn as_u64(&self) -> Option<u64> {
+        None
+    }
+    pub fn as_f64(&self) -> Option<f64> {
+        None
+    }
+    pub fn as_bool(&self) -> Option<bool> {
+        None
+    }
+    pub fn get<I>(&self, _index: I) -> Option<&Value> {
+        None
+    }
+    pub fn is_object(&self) -> bool {
+        false
+    }
+    pub fn is_array(&self) -> bool {
+        false
+    }
+}
+
+impl fmt::Display for Value {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "null")
+    }
+}
+
+impl<I> std::ops::Index<I> for Value {
+    type Output = Value;
+    fn index(&self, _index: I) -> &Value {
+        self
+    }
+}
+
+impl PartialEq<i64> for Value {
+    fn eq(&self, _other: &i64) -> bool {
+        false
+    }
+}
+
+impl PartialEq<u64> for Value {
+    fn eq(&self, _other: &u64) -> bool {
+        false
+    }
+}
+
+impl PartialEq<i32> for Value {
+    fn eq(&self, _other: &i32) -> bool {
+        false
+    }
+}
+
+impl PartialEq<&str> for Value {
+    fn eq(&self, _other: &&str) -> bool {
+        false
+    }
+}
+
+impl PartialEq<str> for Value {
+    fn eq(&self, _other: &str) -> bool {
+        false
+    }
+}
+
+impl PartialEq<String> for Value {
+    fn eq(&self, _other: &String) -> bool {
+        false
+    }
+}
+
+#[macro_export]
+macro_rules! json {
+    ($($tt:tt)*) => {
+        $crate::Value
+    };
+}
