@@ -27,6 +27,20 @@ impl<T: Send> Par<T> {
         Par(self.0.into_iter().map(f).collect())
     }
 
+    pub fn map_init<I, U: Send>(
+        self,
+        init: impl Fn() -> I + Sync + Send,
+        f: impl Fn(&mut I, T) -> U + Sync + Send,
+    ) -> Par<U> {
+        let mut state = init();
+        Par(self.0.into_iter().map(|t| f(&mut state, t)).collect())
+    }
+
+    pub fn collect_into_vec(self, target: &mut Vec<T>) {
+        target.clear();
+        target.extend(self.0);
+    }
+
     pub fn filter(self, f: impl Fn(&T) -> bool + Sync + Send) -> Par<T> {
         Par(self.0.into_iter().filter(f).collect())
     }

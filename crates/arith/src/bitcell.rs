@@ -88,6 +88,88 @@ pub fn from_bits(bits: &[Bit]) -> u128 {
         .fold(0u128, |acc, (k, &b)| acc | ((b as u128) << k))
 }
 
+/// A machine word holding one [`Bit`] per *lane*: bit `i` of a `LaneWord`
+/// belongs to problem instance `i`. All lane functions below are the
+/// bitwise (SWAR) forms of the scalar cells above, so evaluating one
+/// `LaneWord` expression simulates up to [`MAX_LANES`] independent
+/// instances in a single pass.
+pub type LaneWord = u64;
+
+/// Number of independent instances a single [`LaneWord`] can carry.
+pub const MAX_LANES: usize = LaneWord::BITS as usize;
+
+/// Lane-parallel `f`: 3-input parity in every lane at once.
+#[inline]
+pub fn sum3_lanes(x1: LaneWord, x2: LaneWord, x3: LaneWord) -> LaneWord {
+    x1 ^ x2 ^ x3
+}
+
+/// Lane-parallel `g`: 3-input majority in every lane at once.
+#[inline]
+pub fn carry3_lanes(x1: LaneWord, x2: LaneWord, x3: LaneWord) -> LaneWord {
+    (x1 & x2) | (x2 & x3) | (x3 & x1)
+}
+
+/// Lane-parallel full adder: `(sum, carry)` per lane.
+#[inline]
+pub fn full_add_lanes(x1: LaneWord, x2: LaneWord, x3: LaneWord) -> (LaneWord, LaneWord) {
+    (sum3_lanes(x1, x2, x3), carry3_lanes(x1, x2, x3))
+}
+
+/// Lane-parallel half adder: `(sum, carry)` per lane.
+#[inline]
+pub fn half_add_lanes(x1: LaneWord, x2: LaneWord) -> (LaneWord, LaneWord) {
+    (x1 ^ x2, x1 & x2)
+}
+
+/// Lane-parallel wide addition of up to five input words: `(s, c, c')`
+/// per lane with `s + 2c + 4c' = Σ inputs` in every lane.
+///
+/// Implemented as two chained full adders: `(s₁, c₁) = FA(x₁,x₂,x₃)` then
+/// `(s, c₂) = FA(s₁,x₄,x₅)`. The two weight-2 carries combine without a
+/// third addition because `c₁ + c₂ = (c₁⊕c₂) + 2(c₁∧c₂)`, giving
+/// `c = c₁⊕c₂` and `c' = c₁∧c₂` exactly as in the scalar [`wide_add`].
+///
+/// # Panics
+/// Panics if more than five input words are supplied.
+pub fn wide_add_lanes(inputs: &[LaneWord]) -> (LaneWord, LaneWord, LaneWord) {
+    assert!(
+        inputs.len() <= 5,
+        "wide_add_lanes supports at most 5 inputs, got {}",
+        inputs.len()
+    );
+    let get = |i: usize| inputs.get(i).copied().unwrap_or(0);
+    let (s1, c1) = full_add_lanes(get(0), get(1), get(2));
+    let (s, c2) = full_add_lanes(s1, get(3), get(4));
+    (s, c1 ^ c2, c1 & c2)
+}
+
+/// Reads lane `lane` of a word as a scalar [`Bit`].
+///
+/// # Panics
+/// Panics if `lane >= MAX_LANES`.
+#[inline]
+pub fn lane_bit(word: LaneWord, lane: usize) -> Bit {
+    assert!(lane < MAX_LANES, "lane {lane} out of range");
+    (word >> lane) & 1 == 1
+}
+
+/// Packs per-lane scalar bits into a word: `bits[i]` becomes lane `i`,
+/// all lanes `>= bits.len()` are zero.
+///
+/// # Panics
+/// Panics if more than [`MAX_LANES`] bits are supplied.
+pub fn pack_lanes(bits: &[Bit]) -> LaneWord {
+    assert!(
+        bits.len() <= MAX_LANES,
+        "pack_lanes supports at most {MAX_LANES} lanes, got {}",
+        bits.len()
+    );
+    bits.iter()
+        .enumerate()
+        .fold(0, |acc, (i, &b)| acc | ((b as LaneWord) << i))
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -162,11 +244,98 @@ mod tests {
         let _ = to_bits(16, 4);
     }
 
+    /// A deterministic pseudo-random word stream for the lane tests.
+    fn lcg(state: &mut u64) -> u64 {
+        *state = state
+            .wrapping_mul(6364136223846793005)
+            .wrapping_add(1442695040888963407);
+        let hi = (*state >> 33) as u64;
+        hi ^ (*state << 31)
+    }
+
+    #[test]
+    fn lane_cells_match_scalar_cells_in_every_lane() {
+        let mut state = 0x1CC7_1993u64;
+        for _ in 0..32 {
+            let (a, b, c) = (lcg(&mut state), lcg(&mut state), lcg(&mut state));
+            let (s, cy) = full_add_lanes(a, b, c);
+            assert_eq!(s, sum3_lanes(a, b, c));
+            assert_eq!(cy, carry3_lanes(a, b, c));
+            let (hs, hc) = half_add_lanes(a, b);
+            for lane in 0..MAX_LANES {
+                let (x1, x2, x3) = (lane_bit(a, lane), lane_bit(b, lane), lane_bit(c, lane));
+                assert_eq!(
+                    (lane_bit(s, lane), lane_bit(cy, lane)),
+                    full_add(x1, x2, x3)
+                );
+                assert_eq!((lane_bit(hs, lane), lane_bit(hc, lane)), half_add(x1, x2));
+            }
+        }
+    }
+
+    #[test]
+    fn wide_add_lanes_matches_scalar_wide_add_for_all_arities() {
+        let mut state = 0xD00D_1993u64;
+        for arity in 0..=5usize {
+            for _ in 0..16 {
+                let words: Vec<LaneWord> = (0..arity).map(|_| lcg(&mut state)).collect();
+                let (s, c, cp) = wide_add_lanes(&words);
+                for lane in 0..MAX_LANES {
+                    let bits: Vec<Bit> = words.iter().map(|&w| lane_bit(w, lane)).collect();
+                    let expect = wide_add(&bits);
+                    assert_eq!(
+                        (lane_bit(s, lane), lane_bit(c, lane), lane_bit(cp, lane)),
+                        expect,
+                        "arity {arity} lane {lane}"
+                    );
+                }
+            }
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "at most 5 inputs")]
+    fn wide_add_lanes_rejects_six_inputs() {
+        let _ = wide_add_lanes(&[0; 6]);
+    }
+
+    #[test]
+    fn pack_lanes_roundtrips_and_masks_high_lanes() {
+        let bits = [true, false, true, true];
+        let word = pack_lanes(&bits);
+        assert_eq!(word, 0b1101);
+        for (i, &b) in bits.iter().enumerate() {
+            assert_eq!(lane_bit(word, i), b);
+        }
+        // Lanes beyond the packed width are zero.
+        for lane in bits.len()..MAX_LANES {
+            assert!(!lane_bit(word, lane));
+        }
+        assert_eq!(pack_lanes(&[]), 0);
+    }
+
     proptest! {
         #[test]
         fn prop_roundtrip(x in 0u128..1u128 << 40, extra in 0usize..8) {
             let width = (128 - x.leading_zeros() as usize).max(1) + extra;
             prop_assert_eq!(from_bits(&to_bits(x, width)), x);
+        }
+
+        #[test]
+        fn prop_wide_add_lanes_weighted_sum(a in any::<u64>(), b in any::<u64>(),
+                                            c in any::<u64>(), d in any::<u64>(),
+                                            e in any::<u64>()) {
+            let (s, cy, cp) = wide_add_lanes(&[a, b, c, d, e]);
+            for lane in 0..MAX_LANES {
+                let total = [a, b, c, d, e]
+                    .iter()
+                    .filter(|&&w| lane_bit(w, lane))
+                    .count();
+                let got = lane_bit(s, lane) as usize
+                    + 2 * lane_bit(cy, lane) as usize
+                    + 4 * lane_bit(cp, lane) as usize;
+                prop_assert_eq!(got, total);
+            }
         }
     }
 }

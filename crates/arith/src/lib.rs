@@ -15,7 +15,8 @@
 //!   report);
 //! * [`bitcell`] — the Boolean cells of eq. (3.2) (`f` = parity,
 //!   `g` = majority) and the 5-input wide adder of Expansion II's `i₁ = p`
-//!   plane;
+//!   plane, plus their lane-parallel (`u64` bit-sliced) forms used by the
+//!   batch engine;
 //! * [`traits::MultiplierAlgorithm`] — the common catalogue interface.
 
 pub mod addshift;
@@ -29,7 +30,10 @@ pub mod traits;
 
 pub use addshift::{AddShift, AddShiftGrid, BoundaryPolicy};
 pub use baughwooley::BaughWooley;
-pub use bitcell::{carry3, from_bits, full_add, half_add, sum3, to_bits, wide_add, Bit};
+pub use bitcell::{
+    carry3, carry3_lanes, from_bits, full_add, full_add_lanes, half_add, half_add_lanes, lane_bit,
+    pack_lanes, sum3, sum3_lanes, to_bits, wide_add, wide_add_lanes, Bit, LaneWord, MAX_LANES,
+};
 pub use carrysave::CarrySave;
 pub use divider::NonRestoringDivider;
 pub use lookahead::CarryLookahead;

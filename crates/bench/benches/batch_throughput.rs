@@ -1,0 +1,77 @@
+//! Lane-packed batch engine throughput (DESIGN.md, batch layer; E18).
+//!
+//! One `CompiledSchedule` walk normally simulates one problem instance;
+//! `execute_batch` packs up to 64 independent instances into the bit-lanes
+//! of a `u64` and walks the schedule once for all of them. This bench
+//! measures the whole batch path (lane packing + walks + per-lane product
+//! extraction) for a fixed 64-instance batch at increasing lane widths, on
+//! both paper designs:
+//!
+//! * `width 1` — the scalar baseline: 64 walks of one lane each;
+//! * `width 8/16/32/64` — 8/4/2/1 walks, the per-walk slot/CSR bookkeeping
+//!   amortised over ever more lanes.
+
+use bitlevel_depanal::{compose, Expansion};
+use bitlevel_ir::WordLevelAlgorithm;
+use bitlevel_mapping::PaperDesign;
+use bitlevel_systolic::{BitMatmulArray, CompiledSchedule, MatmulLaneCells};
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion, Throughput};
+use std::hint::black_box;
+
+const INSTANCES: usize = 64;
+
+fn batch_operands(u: usize, p: usize) -> (Vec<Vec<Vec<u128>>>, Vec<Vec<Vec<u128>>>) {
+    let cap = BitMatmulArray::new(u, p).max_safe_entry();
+    let mut state = 0x1CC7_1993u64;
+    let mut next = move || {
+        state = state
+            .wrapping_mul(6364136223846793005)
+            .wrapping_add(1442695040888963407);
+        ((state >> 33) as u128) % (cap + 1)
+    };
+    let mut mat =
+        move || -> Vec<Vec<u128>> { (0..u).map(|_| (0..u).map(|_| next()).collect()).collect() };
+    (
+        (0..INSTANCES).map(|_| mat()).collect(),
+        (0..INSTANCES).map(|_| mat()).collect(),
+    )
+}
+
+fn bench_batch_widths(c: &mut Criterion) {
+    let (u, p) = (3usize, 4usize);
+    let alg = compose(&WordLevelAlgorithm::matmul(u as i64), p, Expansion::II);
+    let (xs, ys) = batch_operands(u, p);
+    let mut group = c.benchmark_group("batch_throughput");
+    group.warm_up_time(std::time::Duration::from_millis(500));
+    group.measurement_time(std::time::Duration::from_secs(2));
+    group.sample_size(10);
+    group.throughput(Throughput::Elements(INSTANCES as u64));
+    for design in [PaperDesign::TimeOptimal, PaperDesign::NearestNeighbour] {
+        let sched = CompiledSchedule::compile(
+            &alg,
+            &design.mapping(p as i64),
+            &design.interconnect(p as i64),
+        );
+        for &width in &[1usize, 8, 16, 32, 64] {
+            let id = BenchmarkId::new(design.name().to_string(), format!("width{width}"));
+            group.bench_with_input(id, &width, |b, &w| {
+                b.iter(|| {
+                    let chunks: Vec<MatmulLaneCells> = xs
+                        .chunks(w)
+                        .zip(ys.chunks(w))
+                        .map(|(xc, yc)| MatmulLaneCells::new(u, p, xc, yc))
+                        .collect();
+                    let products: Vec<_> = chunks
+                        .iter()
+                        .map(|cells| cells.extract_products(&sched.execute_batch(cells)))
+                        .collect();
+                    black_box(products)
+                })
+            });
+        }
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_batch_widths);
+criterion_main!(benches);

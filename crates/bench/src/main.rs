@@ -4,7 +4,7 @@
 //! cargo run -p bitlevel-bench --bin experiments [--release] [-- OPTIONS]
 //!
 //! OPTIONS:
-//!   --exp <id>       run one experiment (e1 … e17); default: all
+//!   --exp <id>       run one experiment (e1 … e18); default: all
 //!   --seed <u64>     seed for every randomized path (E17's fault campaigns
 //!                    and the faults sweep); default: the fixed
 //!                    reproducibility seed baked into the crate
@@ -15,8 +15,9 @@
 //!   --json           emit the record tables as JSON
 //!   --sweep <name>   emit a CSV data series instead:
 //!                    speedup | analysis | utilization | engine | wavefront |
-//!                    frontier | faults (frontier and faults also honour
-//!                    --json for a JSON export)
+//!                    frontier | faults | batch (frontier, faults and batch
+//!                    also honour --json for a JSON export; CI stores
+//!                    `--sweep batch --json` as BENCH_batch.json)
 //! ```
 
 use bitlevel_bench::{
@@ -39,7 +40,7 @@ fn main() {
             "--exp" => {
                 i += 1;
                 which = Some(args.get(i).cloned().unwrap_or_else(|| {
-                    eprintln!("--exp requires an id (e1..e17)");
+                    eprintln!("--exp requires an id (e1..e18)");
                     std::process::exit(2);
                 }));
             }
@@ -59,7 +60,7 @@ fn main() {
                 i += 1;
                 sweep = Some(args.get(i).cloned().unwrap_or_else(|| {
                     eprintln!(
-                        "--sweep requires a name (speedup|analysis|utilization|engine|wavefront|frontier|faults)"
+                        "--sweep requires a name (speedup|analysis|utilization|engine|wavefront|frontier|faults|batch)"
                     );
                     std::process::exit(2);
                 }));
@@ -108,9 +109,21 @@ fn main() {
                     sweeps::faults_csv(&rows)
                 }
             }
+            "batch" => {
+                let rows = sweeps::batch_sweep(
+                    &sweeps::default_batch_widths(),
+                    sweeps::default_batch_instances(),
+                    seed,
+                );
+                if json {
+                    sweeps::batch_json(&rows)
+                } else {
+                    sweeps::batch_csv(&rows)
+                }
+            }
             other => {
                 eprintln!(
-                    "unknown sweep {other} (speedup|analysis|utilization|engine|wavefront|frontier|faults)"
+                    "unknown sweep {other} (speedup|analysis|utilization|engine|wavefront|frontier|faults|batch)"
                 );
                 std::process::exit(2);
             }
@@ -145,7 +158,7 @@ fn main() {
                     vec![o]
                 }
                 None => {
-                    eprintln!("unknown experiment id {id} (use e1..e17)");
+                    eprintln!("unknown experiment id {id} (use e1..e18)");
                     std::process::exit(2);
                 }
             }
@@ -160,7 +173,7 @@ fn main() {
         (Some(id), None) => match run_experiment_seeded(&id, seed) {
             Some(o) => vec![o],
             None => {
-                eprintln!("unknown experiment id {id} (use e1..e17)");
+                eprintln!("unknown experiment id {id} (use e1..e18)");
                 std::process::exit(2);
             }
         },

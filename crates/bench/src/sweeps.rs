@@ -16,7 +16,10 @@
 //!   pipeline-shape comparison);
 //! * [`faults_sweep`] — exhaustive single-fault injection campaigns on both
 //!   paper designs with ABFT classification per row (the E17 export; the CI
-//!   smoke step checks the partition and the zero-SDC bar on this output).
+//!   smoke step checks the partition and the zero-SDC bar on this output);
+//! * [`batch_sweep`] — throughput of the lane-packed batch engine vs lane
+//!   width on both paper designs, every product verified against native
+//!   arithmetic (the E18 export; CI stores it as `BENCH_batch.json`).
 //!
 //! Sweep rows are computed in parallel with rayon (except the timing sweeps,
 //! which run sequentially so rows don't contend).
@@ -28,7 +31,7 @@ use bitlevel_ir::WordLevelAlgorithm;
 use bitlevel_mapping::{word_level_total_time, PaperDesign};
 use bitlevel_systolic::{
     run_clocked, simulate_mapped_compiled, BitMatmulArray, CompiledSchedule,
-    MatmulExpansionIICells, RecordingSink,
+    MatmulExpansionIICells, MatmulLaneCells, RecordingSink, MAX_LANES,
 };
 use rayon::prelude::*;
 use serde::Serialize;
@@ -617,6 +620,156 @@ pub fn default_engine_sizes() -> Vec<(i64, i64)> {
     vec![(2, 2), (3, 3), (4, 4), (4, 6), (4, 8), (6, 8)]
 }
 
+/// One row of the batch-throughput sweep: one paper design executed over a
+/// fixed batch of matmul instances at one lane width (the E18 series behind
+/// `--sweep batch`; the CI smoke step checks that throughput is monotone
+/// nondecreasing in width and uploads the JSON as a `BENCH_*.json` perf
+/// snapshot).
+#[derive(Debug, Clone, Serialize)]
+pub struct BatchRow {
+    /// Design label.
+    pub design: String,
+    /// Matrix dimension.
+    pub u: i64,
+    /// Word length.
+    pub p: i64,
+    /// Lanes packed per schedule walk.
+    pub width: usize,
+    /// Instances in the batch.
+    pub instances: usize,
+    /// Schedule walks performed (`⌈instances/width⌉`).
+    pub walks: usize,
+    /// Cycle count of one walk (schedule-determined, identical across walks).
+    pub cycles: i64,
+    /// Wall time for the whole batch: lane packing + every walk + product
+    /// extraction (ns).
+    pub wall_ns: u128,
+    /// Batch throughput: `instances / wall seconds`.
+    pub instances_per_sec: f64,
+    /// Seed the operands were drawn from.
+    pub seed: u64,
+    /// Whether every walk was legal and every extracted product matched
+    /// native arithmetic.
+    pub identical: bool,
+}
+
+/// Times the lane-packed batch engine at each width over the same batch of
+/// `instances` seeded random matmul instances per paper design, verifying
+/// every product of every width against native arithmetic.
+///
+/// The walks of one row run **sequentially** so the row isolates what the
+/// batch engine claims: per-walk overhead amortised over lanes. (The
+/// chunk-parallel rayon path is exercised by `execute_batch_chunks`'s own
+/// tests and the `DesignFlow::evaluate_batch` facade.) Timing rows also run
+/// sequentially so they don't contend with each other.
+pub fn batch_sweep(widths: &[usize], instances: usize, seed: u64) -> Vec<BatchRow> {
+    let (u, p) = (3usize, 4usize);
+    let cap = BitMatmulArray::new(u, p).max_safe_entry();
+    let mut state = seed;
+    let mut next = move || {
+        state = state
+            .wrapping_mul(6364136223846793005)
+            .wrapping_add(1442695040888963407);
+        ((state >> 33) as u128) % (cap + 1)
+    };
+    let mut mat =
+        move || -> Vec<Vec<u128>> { (0..u).map(|_| (0..u).map(|_| next()).collect()).collect() };
+    let xs: Vec<Vec<Vec<u128>>> = (0..instances).map(|_| mat()).collect();
+    let ys: Vec<Vec<Vec<u128>>> = (0..instances).map(|_| mat()).collect();
+    let want: Vec<Vec<Vec<u128>>> = xs
+        .iter()
+        .zip(&ys)
+        .map(|(x, y)| {
+            (0..u)
+                .map(|i| {
+                    (0..u)
+                        .map(|j| (0..u).map(|k| x[i][k] * y[k][j]).sum())
+                        .collect()
+                })
+                .collect()
+        })
+        .collect();
+
+    let alg = compose(&WordLevelAlgorithm::matmul(u as i64), p, Expansion::II);
+    let mut rows = Vec::new();
+    for design in [PaperDesign::TimeOptimal, PaperDesign::NearestNeighbour] {
+        let tm = design.mapping(p as i64);
+        let ic = design.interconnect(p as i64);
+        let sched = CompiledSchedule::try_compile(&alg, &tm, &ic)
+            .expect("the 7-column matmul structure compiles");
+        for &width in widths {
+            let width = width.clamp(1, MAX_LANES);
+            let t0 = Instant::now();
+            let chunks: Vec<MatmulLaneCells> = xs
+                .chunks(width)
+                .zip(ys.chunks(width))
+                .map(|(xc, yc)| MatmulLaneCells::new(u, p, xc, yc))
+                .collect();
+            let runs: Vec<_> = chunks.iter().map(|c| sched.execute_batch(c)).collect();
+            let mut products = Vec::with_capacity(instances);
+            for (cells, run) in chunks.iter().zip(&runs) {
+                products.extend(cells.extract_products(run));
+            }
+            let wall_ns = t0.elapsed().as_nanos();
+            rows.push(BatchRow {
+                design: design.name().to_string(),
+                u: u as i64,
+                p: p as i64,
+                width,
+                instances,
+                walks: chunks.len(),
+                cycles: runs[0].cycles,
+                wall_ns,
+                instances_per_sec: instances as f64 / (wall_ns.max(1) as f64 / 1e9),
+                seed,
+                identical: runs.iter().all(|r| r.is_legal()) && products == want,
+            });
+        }
+    }
+    rows
+}
+
+/// CSV rendering of the batch sweep.
+pub fn batch_csv(rows: &[BatchRow]) -> String {
+    let mut out = String::from(
+        "design,u,p,width,instances,walks,cycles,wall_ns,instances_per_sec,seed,identical\n",
+    );
+    for r in rows {
+        out.push_str(&format!(
+            "\"{}\",{},{},{},{},{},{},{},{:.1},{},{}\n",
+            r.design,
+            r.u,
+            r.p,
+            r.width,
+            r.instances,
+            r.walks,
+            r.cycles,
+            r.wall_ns,
+            r.instances_per_sec,
+            r.seed,
+            r.identical
+        ));
+    }
+    out
+}
+
+/// JSON rendering of the batch sweep (the `--sweep batch --json` export CI
+/// stores as `BENCH_batch.json`).
+pub fn batch_json(rows: &[BatchRow]) -> String {
+    serde_json::to_string_pretty(rows).expect("batch rows serialize")
+}
+
+/// Default widths for the batch sweep: one lane (the scalar baseline) up to
+/// a full word.
+pub fn default_batch_widths() -> Vec<usize> {
+    vec![1, 8, 16, 32, 64]
+}
+
+/// Default batch size for the batch sweep: one full word of instances.
+pub fn default_batch_instances() -> usize {
+    64
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -735,5 +888,25 @@ mod tests {
         let csv = engine_csv(&rows);
         assert_eq!(csv.lines().count(), 5);
         assert!(csv.starts_with("u,p,design,points,"));
+    }
+
+    #[test]
+    fn batch_rows_are_bit_exact_at_every_width() {
+        let rows = batch_sweep(&[1, 3, 64], 7, 0x1CC7_1993);
+        assert_eq!(rows.len(), 6, "two designs x three widths");
+        for r in &rows {
+            assert!(r.identical, "{} at width {} diverged", r.design, r.width);
+            assert_eq!(r.instances, 7);
+            assert_eq!(r.walks, r.instances.div_ceil(r.width));
+            assert!(r.instances_per_sec > 0.0);
+            assert_eq!(r.seed, 0x1CC7_1993);
+        }
+        // Fig. 4 rows measure the closed-form (4.5) makespan: u = 3, p = 4.
+        assert!(rows[..3]
+            .iter()
+            .all(|r| r.cycles == 3 * (3 - 1) + 3 * (4 - 1) + 1));
+        let csv = batch_csv(&rows);
+        assert_eq!(csv.lines().count(), 7);
+        assert!(csv.starts_with("design,u,p,width,"));
     }
 }

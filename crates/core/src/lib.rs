@@ -22,7 +22,9 @@
 pub mod pipeline;
 pub mod report;
 
-pub use pipeline::{ArchitectureReport, DesignFlow, ExplorationReport, VerifiedFrontierPoint};
+pub use pipeline::{
+    ArchitectureReport, BatchRunReport, DesignFlow, ExplorationReport, VerifiedFrontierPoint,
+};
 pub use report::{
     render_architecture, render_frontier, render_matmul_comparison, render_structure,
     render_trace_summary,

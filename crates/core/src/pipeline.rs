@@ -19,8 +19,9 @@ use bitlevel_mapping::{
     OptimalSchedule, PaperDesign,
 };
 use bitlevel_systolic::{
-    simulate_mapped_faulted, simulate_mapped_traced, BitMatmulArray, CompiledSchedule,
-    FaultInjector, MappedRunReport, NullSink, SimBackend, TraceEvent, TraceSink,
+    run_clocked, simulate_mapped_faulted, simulate_mapped_traced, BitMatmulArray, CompiledSchedule,
+    FaultInjector, MappedRunReport, MatmulExpansionICells, MatmulExpansionIICells, MatmulLaneCells,
+    NullSink, SimBackend, TraceEvent, TraceSink, MAX_LANES,
 };
 use serde::Serialize;
 
@@ -100,6 +101,37 @@ impl ExplorationReport {
     pub fn all_verified(&self) -> bool {
         self.designs.iter().all(|d| d.verified())
     }
+}
+
+/// Result of [`DesignFlow::evaluate_batch`]: one paper design executed over
+/// a whole batch of independent matmul instances, with the products of every
+/// instance extracted bit-exactly.
+///
+/// Not serialisable: the products are `u128` matrices, which serde's derive
+/// does not portably support.
+#[derive(Debug, Clone)]
+pub struct BatchRunReport {
+    /// Design label (`PaperDesign::name`).
+    pub design: String,
+    /// Number of problem instances in the batch.
+    pub instances: usize,
+    /// Lane width per schedule walk — the clamped `CompiledBatch` width on
+    /// the word-parallel path, `1` on every scalar path.
+    pub width: usize,
+    /// Number of schedule walks actually performed
+    /// (`⌈instances/width⌉` word-parallel, `instances` scalar).
+    pub walks: usize,
+    /// Measured cycle count of one walk (schedule-determined, hence
+    /// identical across walks and lanes).
+    pub cycles: i64,
+    /// True iff every walk was free of timing/routing/conflict violations.
+    pub legal: bool,
+    /// Which engine ran: `"compiled-batch (bitwise, width <w>)"`,
+    /// `"compiled"`, `"interpreted"`, or `"interpreted (fallback: <reason>)"`
+    /// when the batch/compiled backend declined the structure or semantics.
+    pub backend_used: String,
+    /// Per-instance product matrices `Z = X·Y`, in batch order.
+    pub products: Vec<Vec<Vec<u128>>>,
 }
 
 impl DesignFlow {
@@ -192,22 +224,27 @@ impl DesignFlow {
                 simulate_mapped_traced(alg, t, ic, sink),
                 "interpreted".to_string(),
             ),
-            SimBackend::Compiled => match CompiledSchedule::try_compile(alg, t, ic) {
-                Ok(sched) => (sched.mapped_report_traced(sink), "compiled".to_string()),
-                Err(e) => {
-                    if K::ENABLED {
-                        sink.record(TraceEvent::BackendFallback {
-                            from: "compiled".to_string(),
-                            to: "interpreted".to_string(),
-                            reason: e.to_string(),
-                        });
+            // Timing-only evaluation is value-independent, so the batch
+            // backend measures exactly what the scalar compiled backend does
+            // (one schedule walk covers every lane).
+            SimBackend::Compiled | SimBackend::CompiledBatch { .. } => {
+                match CompiledSchedule::try_compile(alg, t, ic) {
+                    Ok(sched) => (sched.mapped_report_traced(sink), "compiled".to_string()),
+                    Err(e) => {
+                        if K::ENABLED {
+                            sink.record(TraceEvent::BackendFallback {
+                                from: "compiled".to_string(),
+                                to: "interpreted".to_string(),
+                                reason: e.to_string(),
+                            });
+                        }
+                        (
+                            simulate_mapped_traced(alg, t, ic, sink),
+                            format!("interpreted (fallback: {e})"),
+                        )
                     }
-                    (
-                        simulate_mapped_traced(alg, t, ic, sink),
-                        format!("interpreted (fallback: {e})"),
-                    )
                 }
-            },
+            }
         };
         ArchitectureReport {
             name: name.to_string(),
@@ -242,25 +279,27 @@ impl DesignFlow {
                 simulate_mapped_faulted(&alg, t, ic, sink, faults),
                 "interpreted".to_string(),
             ),
-            SimBackend::Compiled => match CompiledSchedule::try_compile(&alg, t, ic) {
-                Ok(sched) => (
-                    sched.mapped_report_faulted(sink, faults),
-                    "compiled".to_string(),
-                ),
-                Err(e) => {
-                    if K::ENABLED {
-                        sink.record(TraceEvent::BackendFallback {
-                            from: "compiled".to_string(),
-                            to: "interpreted".to_string(),
-                            reason: e.to_string(),
-                        });
+            SimBackend::Compiled | SimBackend::CompiledBatch { .. } => {
+                match CompiledSchedule::try_compile(&alg, t, ic) {
+                    Ok(sched) => (
+                        sched.mapped_report_faulted(sink, faults),
+                        "compiled".to_string(),
+                    ),
+                    Err(e) => {
+                        if K::ENABLED {
+                            sink.record(TraceEvent::BackendFallback {
+                                from: "compiled".to_string(),
+                                to: "interpreted".to_string(),
+                                reason: e.to_string(),
+                            });
+                        }
+                        (
+                            simulate_mapped_faulted(&alg, t, ic, sink, faults),
+                            format!("interpreted (fallback: {e})"),
+                        )
                     }
-                    (
-                        simulate_mapped_faulted(&alg, t, ic, sink, faults),
-                        format!("interpreted (fallback: {e})"),
-                    )
                 }
-            },
+            }
         };
         ArchitectureReport {
             name: name.to_string(),
@@ -404,7 +443,7 @@ impl DesignFlow {
     /// Panics if the run is illegal (timing/routing/conflict violations) or
     /// any product bit is wrong — with a message saying which.
     pub fn run_clocked_matmul(&self, design: PaperDesign) -> i64 {
-        use bitlevel_systolic::{run_clocked, Model35Cells};
+        use bitlevel_systolic::Model35Cells;
         assert_eq!(
             self.word.dim(),
             3,
@@ -447,10 +486,12 @@ impl DesignFlow {
         let ic = design.interconnect(p as i64);
         let run = match self.backend {
             SimBackend::Interpreted => run_clocked(&alg, &t, &ic, &mut cells),
-            SimBackend::Compiled => match CompiledSchedule::try_compile(&alg, &t, &ic) {
-                Ok(sched) => sched.execute(&cells),
-                Err(_) => run_clocked(&alg, &t, &ic, &mut cells),
-            },
+            SimBackend::Compiled | SimBackend::CompiledBatch { .. } => {
+                match CompiledSchedule::try_compile(&alg, &t, &ic) {
+                    Ok(sched) => sched.execute(&cells),
+                    Err(_) => run_clocked(&alg, &t, &ic, &mut cells),
+                }
+            }
         };
         assert!(run.is_legal(), "clocked violations: {:?}", run.violations);
         for (tail, value) in cells.extract_results(&run) {
@@ -501,8 +542,12 @@ impl DesignFlow {
                 );
             }
         }
-        if self.backend == SimBackend::Compiled && self.expansion == Expansion::II {
-            use bitlevel_systolic::{run_clocked_compiled, MatmulExpansionIICells};
+        if matches!(
+            self.backend,
+            SimBackend::Compiled | SimBackend::CompiledBatch { .. }
+        ) && self.expansion == Expansion::II
+        {
+            use bitlevel_systolic::run_clocked_compiled;
             let alg = self.bit_level_structure();
             let design = PaperDesign::TimeOptimal;
             let cells = MatmulExpansionIICells::new(u, self.p, &x, &y);
@@ -524,6 +569,197 @@ impl DesignFlow {
             );
         }
         u
+    }
+
+    /// Executes a **batch** of independent matmul instances on one paper
+    /// design and extracts every product bit-exactly.
+    ///
+    /// Under [`SimBackend::CompiledBatch`] the instances are packed into the
+    /// bit-lanes of machine words (up to [`MAX_LANES`] per word, ragged final
+    /// word masked to zero) and each word takes **one** schedule walk through
+    /// the compiled engine — the word-parallel fast path this backend exists
+    /// for. Scalar backends run the same batch one instance at a time, so the
+    /// report is comparable across backends.
+    ///
+    /// Degradation is graceful, mirroring [`DesignFlow::evaluate_structure`]:
+    /// if the structure does not compile, or the flow's expansion has no
+    /// word-parallel cell semantics (Expansion I cells are stateful), the
+    /// batch falls back to per-instance interpreted runs and `backend_used`
+    /// records why.
+    ///
+    /// # Panics
+    /// Panics if the flow is not a matmul flow, the batch is empty, or
+    /// `xs`/`ys` disagree in length.
+    pub fn evaluate_batch(
+        &self,
+        design: PaperDesign,
+        xs: &[Vec<Vec<u128>>],
+        ys: &[Vec<Vec<u128>>],
+    ) -> BatchRunReport {
+        self.evaluate_batch_traced(design, xs, ys, &mut NullSink)
+    }
+
+    /// [`DesignFlow::evaluate_batch`] with observability: fallbacks surface
+    /// as [`TraceEvent::BackendFallback`] and, on the word-parallel path,
+    /// each walk streams its per-cycle events into `sink`.
+    pub fn evaluate_batch_traced<K: TraceSink>(
+        &self,
+        design: PaperDesign,
+        xs: &[Vec<Vec<u128>>],
+        ys: &[Vec<Vec<u128>>],
+        sink: &mut K,
+    ) -> BatchRunReport {
+        assert_eq!(self.word.dim(), 3, "batch evaluation targets matmul");
+        assert_eq!(xs.len(), ys.len(), "need one Y operand per X operand");
+        assert!(!xs.is_empty(), "batch must hold at least one instance");
+        let u = self.word.bounds.upper()[0] as usize;
+        let p = self.p;
+        let n = xs.len();
+        let alg = self.bit_level_structure();
+        let t = design.mapping(p as i64);
+        let ic = design.interconnect(p as i64);
+
+        // Per-instance interpreted execution: the reference oracle, and the
+        // landing spot for everything the word-parallel path cannot take.
+        let interpret_all = |backend_used: String| -> BatchRunReport {
+            let mut products = Vec::with_capacity(n);
+            let mut cycles = 0;
+            let mut legal = true;
+            for (x, y) in xs.iter().zip(ys) {
+                let run = match self.expansion {
+                    Expansion::II => {
+                        let mut cells = MatmulExpansionIICells::new(u, p, x, y);
+                        let run = run_clocked(&alg, &t, &ic, &mut cells);
+                        products.push(cells.extract_product(&run));
+                        run
+                    }
+                    Expansion::I => {
+                        let mut cells = MatmulExpansionICells::new(u, p, x, y);
+                        let run = run_clocked(&alg, &t, &ic, &mut cells);
+                        products.push(cells.extract_product(&run));
+                        run
+                    }
+                };
+                cycles = run.cycles;
+                legal &= run.is_legal();
+            }
+            BatchRunReport {
+                design: design.name().to_string(),
+                instances: n,
+                width: 1,
+                walks: n,
+                cycles,
+                legal,
+                backend_used,
+                products,
+            }
+        };
+
+        match self.backend {
+            SimBackend::Interpreted => interpret_all("interpreted".to_string()),
+            SimBackend::Compiled => {
+                if self.expansion != Expansion::II {
+                    self.record_batch_fallback(sink, "Expansion I cells are sequential");
+                    return interpret_all(
+                        "interpreted (fallback: Expansion I cells are sequential)".to_string(),
+                    );
+                }
+                match CompiledSchedule::try_compile(&alg, &t, &ic) {
+                    Ok(sched) => {
+                        let mut products = Vec::with_capacity(n);
+                        let mut cycles = 0;
+                        let mut legal = true;
+                        for (x, y) in xs.iter().zip(ys) {
+                            let cells = MatmulExpansionIICells::new(u, p, x, y);
+                            let run = sched.execute(&cells);
+                            cycles = run.cycles;
+                            legal &= run.is_legal();
+                            products.push(cells.extract_product(&run));
+                        }
+                        BatchRunReport {
+                            design: design.name().to_string(),
+                            instances: n,
+                            width: 1,
+                            walks: n,
+                            cycles,
+                            legal,
+                            backend_used: "compiled".to_string(),
+                            products,
+                        }
+                    }
+                    Err(e) => {
+                        self.record_batch_fallback(sink, &e.to_string());
+                        interpret_all(format!("interpreted (fallback: {e})"))
+                    }
+                }
+            }
+            SimBackend::CompiledBatch { width } => {
+                if self.expansion != Expansion::II {
+                    self.record_batch_fallback(sink, "Expansion I cells are sequential");
+                    return interpret_all(
+                        "interpreted (fallback: Expansion I cells are sequential)".to_string(),
+                    );
+                }
+                match CompiledSchedule::try_compile(&alg, &t, &ic) {
+                    Ok(sched) => {
+                        let w = width.clamp(1, MAX_LANES);
+                        let chunks: Vec<MatmulLaneCells> = xs
+                            .chunks(w)
+                            .zip(ys.chunks(w))
+                            .map(|(xc, yc)| MatmulLaneCells::new(u, p, xc, yc))
+                            .collect();
+                        let runs = if K::ENABLED {
+                            // Traced walks run sequentially so the sink sees
+                            // a deterministic event order.
+                            chunks
+                                .iter()
+                                .map(|cells| sched.execute_batch_traced(cells, sink))
+                                .collect::<Vec<_>>()
+                        } else {
+                            sched.execute_batch_chunks(&chunks)
+                        };
+                        let mut products = Vec::with_capacity(n);
+                        let mut cycles = 0;
+                        let mut legal = true;
+                        for (cells, run) in chunks.iter().zip(&runs) {
+                            cycles = run.cycles;
+                            legal &= run.is_legal();
+                            products.extend(cells.extract_products(run));
+                        }
+                        BatchRunReport {
+                            design: design.name().to_string(),
+                            instances: n,
+                            width: w,
+                            walks: chunks.len(),
+                            cycles,
+                            legal,
+                            backend_used: format!("compiled-batch (bitwise, width {w})"),
+                            products,
+                        }
+                    }
+                    Err(e) => {
+                        self.record_batch_fallback(sink, &e.to_string());
+                        interpret_all(format!("interpreted (fallback: {e})"))
+                    }
+                }
+            }
+        }
+    }
+
+    /// Emits the [`TraceEvent::BackendFallback`] every batch fallback path
+    /// shares.
+    fn record_batch_fallback<K: TraceSink>(&self, sink: &mut K, reason: &str) {
+        if K::ENABLED {
+            let from = match self.backend {
+                SimBackend::CompiledBatch { .. } => "compiled-batch",
+                _ => "compiled",
+            };
+            sink.record(TraceEvent::BackendFallback {
+                from: from.to_string(),
+                to: "interpreted".to_string(),
+                reason: reason.to_string(),
+            });
+        }
     }
 }
 
@@ -768,6 +1004,121 @@ mod tests {
             flow.explore(&family, &config).unwrap_err(),
             MappingError::NonPositiveBound { bound: 0 }
         );
+    }
+
+    /// Deterministic batch of `n` operand pairs, entries capped at the
+    /// carry-safe maximum for `(u, p)`.
+    fn random_batch(
+        u: usize,
+        p: usize,
+        n: usize,
+        seed: u64,
+    ) -> (Vec<Vec<Vec<u128>>>, Vec<Vec<Vec<u128>>>) {
+        let m = BitMatmulArray::new(u, p).max_safe_entry();
+        let mut state = seed;
+        let mut next = move || {
+            state = state
+                .wrapping_mul(6364136223846793005)
+                .wrapping_add(1442695040888963407);
+            ((state >> 33) as u128) % (m + 1)
+        };
+        let mut mat = move || -> Vec<Vec<u128>> {
+            (0..u).map(|_| (0..u).map(|_| next()).collect()).collect()
+        };
+        (
+            (0..n).map(|_| mat()).collect(),
+            (0..n).map(|_| mat()).collect(),
+        )
+    }
+
+    #[test]
+    fn batch_backend_matches_scalar_backends_and_native_arithmetic() {
+        let (u, p, n) = (2usize, 3usize, 7usize);
+        let (xs, ys) = random_batch(u, p, n, 0x1CC7_1993);
+        for design in [PaperDesign::TimeOptimal, PaperDesign::NearestNeighbour] {
+            let batch = DesignFlow::matmul(u as i64, p)
+                .with_backend(SimBackend::CompiledBatch { width: 64 })
+                .evaluate_batch(design, &xs, &ys);
+            assert!(batch.legal);
+            assert_eq!(batch.instances, n);
+            assert_eq!(batch.walks, 1, "7 instances fit one 64-lane word");
+            assert_eq!(batch.backend_used, "compiled-batch (bitwise, width 64)");
+            let compiled = DesignFlow::matmul(u as i64, p).evaluate_batch(design, &xs, &ys);
+            assert_eq!(compiled.backend_used, "compiled");
+            assert_eq!(compiled.walks, n);
+            let oracle = DesignFlow::matmul(u as i64, p)
+                .with_backend(SimBackend::Interpreted)
+                .evaluate_batch(design, &xs, &ys);
+            assert_eq!(oracle.backend_used, "interpreted");
+            assert_eq!(batch.products, compiled.products);
+            assert_eq!(batch.products, oracle.products);
+            assert_eq!(batch.cycles, oracle.cycles);
+            for (k, (x, y)) in xs.iter().zip(&ys).enumerate() {
+                for i in 0..u {
+                    for j in 0..u {
+                        let want: u128 = (0..u).map(|l| x[i][l] * y[l][j]).sum();
+                        assert_eq!(batch.products[k][i][j], want, "lane {k} Z[{i}][{j}]");
+                    }
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn batch_width_is_clamped_and_drives_the_walk_count() {
+        let (xs, ys) = random_batch(2, 2, 7, 42);
+        let flow =
+            |w| DesignFlow::matmul(2, 2).with_backend(SimBackend::CompiledBatch { width: w });
+        let narrow = flow(0).evaluate_batch(PaperDesign::TimeOptimal, &xs, &ys);
+        assert_eq!((narrow.width, narrow.walks), (1, 7), "0 clamps up to 1");
+        let wide = flow(500).evaluate_batch(PaperDesign::TimeOptimal, &xs, &ys);
+        assert_eq!((wide.width, wide.walks), (64, 1), "500 clamps down to 64");
+        let ragged = flow(3).evaluate_batch(PaperDesign::TimeOptimal, &xs, &ys);
+        assert_eq!((ragged.width, ragged.walks), (3, 3), "7 = 3 + 3 + 1");
+        assert_eq!(narrow.products, wide.products);
+        assert_eq!(narrow.products, ragged.products);
+    }
+
+    #[test]
+    fn batch_expansion_i_falls_back_to_per_instance_interpreted() {
+        use bitlevel_systolic::RecordingSink;
+        let (xs, ys) = random_batch(2, 3, 3, 7);
+        let flow = DesignFlow::new(WordLevelAlgorithm::matmul(2), 3, Expansion::I)
+            .with_backend(SimBackend::CompiledBatch { width: 8 });
+        let mut sink = RecordingSink::new();
+        let rep = flow.evaluate_batch_traced(PaperDesign::TimeOptimal, &xs, &ys, &mut sink);
+        assert!(rep.legal);
+        assert!(
+            rep.backend_used.contains("fallback"),
+            "{}",
+            rep.backend_used
+        );
+        assert_eq!((rep.width, rep.walks), (1, 3));
+        assert!(
+            sink.events().iter().any(|e| matches!(
+                e,
+                TraceEvent::BackendFallback { from, .. } if from == "compiled-batch"
+            )),
+            "fallback must be visible in the trace"
+        );
+        // The fallback is bit-identical to the interpreted Expansion I flow.
+        let oracle = flow
+            .clone()
+            .with_backend(SimBackend::Interpreted)
+            .evaluate_batch(PaperDesign::TimeOptimal, &xs, &ys);
+        assert_eq!(rep.products, oracle.products);
+        assert_eq!(rep.cycles, oracle.cycles);
+    }
+
+    #[test]
+    fn batch_backend_reuses_the_compiled_timing_paths() {
+        // Timing-only entry points treat CompiledBatch exactly like Compiled.
+        let flow = DesignFlow::matmul(2, 2).with_backend(SimBackend::CompiledBatch { width: 16 });
+        let rep = flow.evaluate_paper_design(PaperDesign::TimeOptimal);
+        assert!(rep.feasible);
+        assert_eq!(rep.backend_used, "compiled");
+        assert_eq!(flow.run_clocked_matmul(PaperDesign::TimeOptimal), 7);
+        flow.verify_matmul_functionally();
     }
 
     #[test]

@@ -1,0 +1,757 @@
+//! Lane-packed batch simulation: up to 64 independent problem instances per
+//! compiled-schedule walk.
+//!
+//! Every signal in the paper's expanded bit-level arrays carries a single
+//! bit, so the per-cycle bookkeeping of the compiled backend — slot ranking,
+//! CSR fire-list walks, token-arena updates — is pure overhead amortised
+//! over one bit of payload. This module packs the same bit of up to
+//! [`MAX_LANES`] *independent* instances into the bit-lanes of a `u64` (the
+//! ultra-wide word model): lane *i* of every word belongs to instance *i*,
+//! and one [`crate::compiled::CompiledSchedule::execute_batch`] walk then
+//! simulates the whole batch.
+//!
+//! Why this is sound: which inputs are `Some`, which dependence columns are
+//! active, the firing order, the violations and the in-flight peaks are all
+//! *schedule* properties — functions of `(J, D, E, T, P)` only, identical in
+//! every lane. Only token values differ per lane, and the cell functions are
+//! bitwise (parity / majority / the 5-input wide adder), so evaluating them
+//! on words evaluates every lane's scalar function simultaneously.
+//!
+//! The wordization contract, per semantics:
+//! * [`MatmulLaneCells`] — the bitwise word form of
+//!   [`MatmulExpansionIICells`]: every control decision in `compute` depends
+//!   only on the index point and input presence (lane-uniform), so the
+//!   scalar body ports to [`LaneWord`] operations verbatim;
+//! * [`PerLaneCells`] — the generic fallback for any other
+//!   [`SyncCellSemantics`]: packed tokens are `Vec<Bundle>` and the cell is
+//!   evaluated per lane. No word-parallel arithmetic win, but the schedule
+//!   walk (the dominant cost for small cells) is still amortised over the
+//!   batch;
+//! * [`LaneView`] — adapts one lane of any [`LaneCellSemantics`] back into a
+//!   scalar [`SyncCellSemantics`], so the existing engines (including the
+//!   fault-injecting ones) can replay a single instance bit-exactly.
+
+use crate::clocked::{
+    CellSemantics, ClockedRun, ClockedViolation, MatmulExpansionIICells, MatmulSignals,
+    SyncCellSemantics,
+};
+use bitlevel_arith::{full_add_lanes, lane_bit, to_bits, wide_add_lanes, Bit, LaneWord};
+use bitlevel_linalg::IVec;
+use std::collections::HashMap;
+use std::fmt;
+
+pub use bitlevel_arith::MAX_LANES;
+
+/// Cell semantics evaluated one machine word — one *lane* per problem
+/// instance — at a time.
+///
+/// `Packed` is the word form of a token bundle (one [`LaneWord`] per signal
+/// for bitwise semantics, `Vec<Bundle>` for the per-lane fallback), `Bundle`
+/// is the scalar per-lane form every existing consumer understands. The
+/// contract binding them: for every index point `q`, every lane `l` and
+/// every input row, `extract_lane(compute_lanes(q, packed), l)` must equal
+/// `compute_lane(l, q, per-lane inputs)` — the engine-agreement tests pin
+/// this down against the interpreted oracle.
+pub trait LaneCellSemantics: Sync {
+    /// Scalar per-lane signal bundle (what a [`ClockedRun`] carries).
+    type Bundle: Clone + Send + Sync + fmt::Debug;
+    /// Lane-packed token: one word (or vector) covering all lanes at once.
+    type Packed: Clone + Send + Sync + fmt::Debug;
+
+    /// Number of occupied lanes, `1..=MAX_LANES`. Lanes `>= lanes()` are
+    /// unused and must stay all-zero in every packed token.
+    fn lanes(&self) -> usize;
+
+    /// Computes the cell at `q` for all lanes at once. `inputs[i]` follows
+    /// the same contract as [`SyncCellSemantics::compute`] — `None` marks an
+    /// inactive column or boundary input, uniformly across lanes.
+    fn compute_lanes(&self, q: &IVec, inputs: &[Option<Self::Packed>]) -> Self::Packed;
+
+    /// Computes a single lane with scalar tokens — the reference form used
+    /// by [`LaneView`] for faulted replays and verification.
+    fn compute_lane(&self, lane: usize, q: &IVec, inputs: &[Option<Self::Bundle>]) -> Self::Bundle;
+
+    /// Reads lane `lane` of a packed token as a scalar bundle.
+    fn extract_lane(&self, packed: &Self::Packed, lane: usize) -> Self::Bundle;
+}
+
+/// The batch engine's token store: one lane-packed token per dense signal
+/// slot, the word-wide counterpart of the scalar engine's
+/// `Vec<Option<Bundle>>` arena.
+#[derive(Debug, Clone)]
+pub struct LaneArena<P> {
+    slots: Vec<Option<P>>,
+}
+
+impl<P: Clone> LaneArena<P> {
+    /// An empty arena with `n_slots` unsettled slots.
+    pub fn new(n_slots: usize) -> Self {
+        LaneArena {
+            slots: vec![None; n_slots],
+        }
+    }
+}
+
+impl<P> LaneArena<P> {
+    /// The slot array (settled slots are `Some`).
+    pub fn slots(&self) -> &[Option<P>] {
+        &self.slots
+    }
+
+    /// Settles slot `s` with its computed lane-packed token.
+    #[inline]
+    pub fn set(&mut self, s: usize, packed: P) {
+        self.slots[s] = Some(packed);
+    }
+
+    /// Consumes the arena, yielding the settled slots.
+    pub fn into_slots(self) -> Vec<Option<P>> {
+        self.slots
+    }
+}
+
+/// Result of one lane-packed batch walk.
+///
+/// Violations, cycle count and per-column in-flight peaks are schedule
+/// properties — identical in every lane — and are therefore stored once for
+/// the whole batch. Only `outputs` is lane-packed.
+#[derive(Debug, Clone)]
+pub struct BatchRun<P> {
+    /// First-to-last busy cycle, inclusive (same in every lane).
+    pub cycles: i64,
+    /// Number of occupied lanes.
+    pub lanes: usize,
+    /// Lane-packed output token of every index point.
+    pub outputs: HashMap<IVec, P>,
+    /// All violations (shared: value-independent, hence lane-uniform).
+    pub violations: Vec<ClockedViolation>,
+    /// Per-column in-flight peaks (shared, like `violations`).
+    pub peak_in_flight: Vec<u64>,
+}
+
+impl<P> BatchRun<P> {
+    /// True iff the walk exposed no timing, routing or conflict violations
+    /// (a property of the architecture, not of any lane's operands).
+    pub fn is_legal(&self) -> bool {
+        self.violations.is_empty()
+    }
+
+    /// Rebuilds the per-instance [`ClockedRun`] of one lane — bit-identical
+    /// to a scalar `execute` of that instance, so every existing report,
+    /// trace and fault consumer keeps working on batch results.
+    ///
+    /// # Panics
+    /// Panics if `lane >= self.lanes`.
+    pub fn extract_lane_run<L>(&self, lanes: &L, lane: usize) -> ClockedRun<L::Bundle>
+    where
+        L: LaneCellSemantics<Packed = P>,
+    {
+        assert!(
+            lane < self.lanes,
+            "lane {lane} out of range for a {}-lane batch",
+            self.lanes
+        );
+        ClockedRun {
+            cycles: self.cycles,
+            outputs: self
+                .outputs
+                .iter()
+                .map(|(q, packed)| (q.clone(), lanes.extract_lane(packed, lane)))
+                .collect(),
+            violations: self.violations.clone(),
+            peak_in_flight: self.peak_in_flight.clone(),
+        }
+    }
+
+    /// [`BatchRun::extract_lane_run`] for every occupied lane, in order.
+    pub fn lane_runs<L>(&self, lanes: &L) -> Vec<ClockedRun<L::Bundle>>
+    where
+        L: LaneCellSemantics<Packed = P>,
+    {
+        (0..self.lanes)
+            .map(|lane| self.extract_lane_run(lanes, lane))
+            .collect()
+    }
+}
+
+/// Result of a batch walk with a fault injected into a single lane: the
+/// clean word-wide batch plus the targeted lane's scalar faulted replay.
+#[derive(Debug, Clone)]
+pub struct FaultedBatchRun<P, B> {
+    /// The clean batch — what every *untargeted* lane experienced.
+    pub batch: BatchRun<P>,
+    /// The lane the injector was aimed at.
+    pub fault_lane: usize,
+    /// The targeted lane's faulted run (`None` when the injector was
+    /// statically inert, i.e. [`crate::fault::NoFaults`]).
+    pub faulted: Option<ClockedRun<B>>,
+}
+
+impl<P, B: Clone> FaultedBatchRun<P, B> {
+    /// The per-instance run of `lane`: the faulted replay for the targeted
+    /// lane, the clean batch extraction for every other.
+    pub fn lane_run<L>(&self, lanes: &L, lane: usize) -> ClockedRun<B>
+    where
+        L: LaneCellSemantics<Packed = P, Bundle = B>,
+    {
+        if lane == self.fault_lane {
+            if let Some(faulted) = &self.faulted {
+                return faulted.clone();
+            }
+        }
+        self.batch.extract_lane_run(lanes, lane)
+    }
+}
+
+/// A single lane of a [`LaneCellSemantics`], viewed as scalar
+/// [`SyncCellSemantics`] — the bridge back into the existing engines
+/// (interpreted, compiled, faulted).
+pub struct LaneView<'a, L: LaneCellSemantics> {
+    lanes: &'a L,
+    lane: usize,
+}
+
+impl<'a, L: LaneCellSemantics> LaneView<'a, L> {
+    /// Views lane `lane` of `lanes`.
+    ///
+    /// # Panics
+    /// Panics if `lane >= lanes.lanes()`.
+    pub fn new(lanes: &'a L, lane: usize) -> Self {
+        assert!(
+            lane < lanes.lanes(),
+            "lane {lane} out of range for a {}-lane batch",
+            lanes.lanes()
+        );
+        LaneView { lanes, lane }
+    }
+}
+
+impl<L: LaneCellSemantics> SyncCellSemantics for LaneView<'_, L> {
+    type Bundle = L::Bundle;
+
+    fn compute(&self, q: &IVec, inputs: &[Option<L::Bundle>]) -> L::Bundle {
+        self.lanes.compute_lane(self.lane, q, inputs)
+    }
+}
+
+impl<L: LaneCellSemantics> CellSemantics for LaneView<'_, L> {
+    type Bundle = L::Bundle;
+
+    fn compute(&mut self, q: &IVec, inputs: &[Option<L::Bundle>]) -> L::Bundle {
+        SyncCellSemantics::compute(self, q, inputs)
+    }
+}
+
+/// Generic per-lane fallback: batches *any* pure [`SyncCellSemantics`] by
+/// evaluating one cell instance per lane. Packed tokens are `Vec<Bundle>`
+/// (index = lane), so there is no word-parallel arithmetic win — but the
+/// schedule walk, the dominant cost for small cells, still runs once for
+/// the whole batch.
+pub struct PerLaneCells<S> {
+    cells: Vec<S>,
+}
+
+impl<S: SyncCellSemantics> PerLaneCells<S> {
+    /// Batches `cells` (one semantics instance per lane).
+    ///
+    /// # Panics
+    /// Panics on an empty batch or more than [`MAX_LANES`] instances.
+    pub fn new(cells: Vec<S>) -> Self {
+        assert!(
+            (1..=MAX_LANES).contains(&cells.len()),
+            "batch must hold 1..={MAX_LANES} instances, got {}",
+            cells.len()
+        );
+        PerLaneCells { cells }
+    }
+
+    /// The scalar semantics of one lane.
+    pub fn lane_cells(&self, lane: usize) -> &S {
+        &self.cells[lane]
+    }
+}
+
+impl<S: SyncCellSemantics> LaneCellSemantics for PerLaneCells<S> {
+    type Bundle = S::Bundle;
+    type Packed = Vec<S::Bundle>;
+
+    fn lanes(&self) -> usize {
+        self.cells.len()
+    }
+
+    fn compute_lanes(&self, q: &IVec, inputs: &[Option<Vec<S::Bundle>>]) -> Vec<S::Bundle> {
+        let mut lane_inputs: Vec<Option<S::Bundle>> = Vec::with_capacity(inputs.len());
+        self.cells
+            .iter()
+            .enumerate()
+            .map(|(lane, cell)| {
+                lane_inputs.clear();
+                lane_inputs.extend(
+                    inputs
+                        .iter()
+                        .map(|packed| packed.as_ref().map(|v| v[lane].clone())),
+                );
+                cell.compute(q, &lane_inputs)
+            })
+            .collect()
+    }
+
+    fn compute_lane(&self, lane: usize, q: &IVec, inputs: &[Option<S::Bundle>]) -> S::Bundle {
+        self.cells[lane].compute(q, inputs)
+    }
+
+    fn extract_lane(&self, packed: &Vec<S::Bundle>, lane: usize) -> S::Bundle {
+        packed[lane].clone()
+    }
+}
+
+/// Lane-packed signal bundle of the Expansion II matmul cell: the word form
+/// of [`MatmulSignals`], one [`LaneWord`] per signal wire.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct MatmulLaneSignals {
+    /// The x operand bits, one lane per instance.
+    pub x: LaneWord,
+    /// The y operand bits.
+    pub y: LaneWord,
+    /// The partial-sum outputs.
+    pub s: LaneWord,
+    /// The carry outputs.
+    pub c: LaneWord,
+    /// The second carry outputs (i₁ = p plane).
+    pub cp: LaneWord,
+}
+
+/// Bitwise word form of [`MatmulExpansionIICells`]: one batch of up to
+/// [`MAX_LANES`] independent `u×u`, `p`-bit matrix multiplications.
+///
+/// Every control decision in the scalar `compute` — which operand plane to
+/// read, which adder form to use, whether an input is present — depends only
+/// on the index point and the schedule, never on token values, so the body
+/// ports to [`LaneWord`] operations verbatim and each lane computes exactly
+/// the scalar function.
+pub struct MatmulLaneCells {
+    u: usize,
+    p: usize,
+    lanes: usize,
+    /// Lane-packed operand bit planes: `x_words[j1][j3][k]` holds bit `k`
+    /// (LSB first) of `X[j1][j3]` for every lane; `y_words[j3][j2][k]`
+    /// likewise for `Y`.
+    x_words: Vec<Vec<Vec<LaneWord>>>,
+    y_words: Vec<Vec<Vec<LaneWord>>>,
+    /// Scalar per-lane semantics, for [`LaneView`] replays and extraction.
+    scalar: Vec<MatmulExpansionIICells>,
+}
+
+impl MatmulLaneCells {
+    /// Packs a batch of operand matrix pairs — `xs[l]`, `ys[l]` are the
+    /// `u×u` matrices of instance (lane) `l`, entries at most `p` bits.
+    ///
+    /// # Panics
+    /// Panics on an empty batch, more than [`MAX_LANES`] instances,
+    /// mismatched batch lengths, or operand shape/width violations.
+    pub fn new(u: usize, p: usize, xs: &[Vec<Vec<u128>>], ys: &[Vec<Vec<u128>>]) -> Self {
+        assert!(
+            (1..=MAX_LANES).contains(&xs.len()),
+            "batch must hold 1..={MAX_LANES} instances, got {}",
+            xs.len()
+        );
+        assert_eq!(xs.len(), ys.len(), "x/y batch length mismatch");
+        let scalar: Vec<MatmulExpansionIICells> = xs
+            .iter()
+            .zip(ys)
+            .map(|(x, y)| MatmulExpansionIICells::new(u, p, x, y))
+            .collect();
+        let lanes = xs.len();
+        let mut x_words = vec![vec![vec![0 as LaneWord; p]; u]; u];
+        let mut y_words = vec![vec![vec![0 as LaneWord; p]; u]; u];
+        for lane in 0..lanes {
+            for a in 0..u {
+                for b in 0..u {
+                    for (k, &bit) in to_bits(xs[lane][a][b], p).iter().enumerate() {
+                        x_words[a][b][k] |= (bit as LaneWord) << lane;
+                    }
+                    for (k, &bit) in to_bits(ys[lane][a][b], p).iter().enumerate() {
+                        y_words[a][b][k] |= (bit as LaneWord) << lane;
+                    }
+                }
+            }
+        }
+        MatmulLaneCells {
+            u,
+            p,
+            lanes,
+            x_words,
+            y_words,
+            scalar,
+        }
+    }
+
+    /// Matrix size `u`.
+    pub fn u(&self) -> usize {
+        self.u
+    }
+
+    /// Operand bit width `p`.
+    pub fn p(&self) -> usize {
+        self.p
+    }
+
+    /// The scalar semantics of one lane (for replays and verification).
+    pub fn lane_cells(&self, lane: usize) -> &MatmulExpansionIICells {
+        &self.scalar[lane]
+    }
+
+    /// Extracts every lane's product matrix (mod `2^{2p−1}`) straight from
+    /// the packed run: only the `2p−1` boundary accumulator words per
+    /// `(j1, j2)` are read, then split per lane — no per-lane run
+    /// materialisation.
+    ///
+    /// # Panics
+    /// Panics if `run` came from a different structure (missing points).
+    pub fn extract_products(&self, run: &BatchRun<MatmulLaneSignals>) -> Vec<Vec<Vec<u128>>> {
+        let (u, p) = (self.u, self.p);
+        let mut z = vec![vec![vec![0u128; u]; u]; self.lanes];
+        let mut words: Vec<LaneWord> = Vec::with_capacity(2 * p - 1);
+        let mut bits: Vec<Bit> = Vec::with_capacity(2 * p - 1);
+        for j1 in 1..=u {
+            for j2 in 1..=u {
+                words.clear();
+                for i in 1..=p {
+                    words.push(self.signal_word(run, j1, j2, u, i, 1).s);
+                }
+                for i in p + 1..=2 * p - 1 {
+                    words.push(self.signal_word(run, j1, j2, u, p, i - p + 1).s);
+                }
+                for (lane, z_lane) in z.iter_mut().enumerate() {
+                    bits.clear();
+                    bits.extend(words.iter().map(|&w| lane_bit(w, lane)));
+                    z_lane[j1 - 1][j2 - 1] = bitlevel_arith::from_bits(&bits);
+                }
+            }
+        }
+        z
+    }
+
+    fn signal_word(
+        &self,
+        run: &BatchRun<MatmulLaneSignals>,
+        j1: usize,
+        j2: usize,
+        j3: usize,
+        i1: usize,
+        i2: usize,
+    ) -> MatmulLaneSignals {
+        let q = IVec::from([j1 as i64, j2 as i64, j3 as i64, i1 as i64, i2 as i64]);
+        run.outputs[&q]
+    }
+}
+
+impl LaneCellSemantics for MatmulLaneCells {
+    type Bundle = MatmulSignals;
+    type Packed = MatmulLaneSignals;
+
+    fn lanes(&self) -> usize {
+        self.lanes
+    }
+
+    // The word-for-word port of `MatmulExpansionIICells::compute` (see
+    // clocked.rs for the signal-by-signal commentary): scalar Bit ops become
+    // LaneWord ops, `false` becomes the all-zero word.
+    fn compute_lanes(&self, q: &IVec, inputs: &[Option<MatmulLaneSignals>]) -> MatmulLaneSignals {
+        let (j1, j2, j3, i1, i2) = (
+            q[0] as usize,
+            q[1] as usize,
+            q[2] as usize,
+            q[3] as usize,
+            q[4] as usize,
+        );
+        let p = self.p;
+
+        let x = if i1 == 1 {
+            match &inputs[0] {
+                Some(b) => b.x,
+                None => self.x_words[j1 - 1][j3 - 1][i2 - 1],
+            }
+        } else {
+            inputs[3].as_ref().map_or(0, |b| b.x)
+        };
+        let y = if i2 == 1 {
+            match &inputs[1] {
+                Some(b) => b.y,
+                None => self.y_words[j3 - 1][j2 - 1][i1 - 1],
+            }
+        } else {
+            inputs[4].as_ref().map_or(0, |b| b.y)
+        };
+
+        let pp = x & y;
+        let c_in = if i2 > 1 {
+            inputs[4].as_ref().map_or(0, |b| b.c)
+        } else {
+            0
+        };
+        let s_in = if i1 == 1 {
+            0
+        } else if i2 == p {
+            inputs[3].as_ref().map_or(0, |b| b.c)
+        } else {
+            inputs[5].as_ref().map_or(0, |b| b.s)
+        };
+        let on_boundary = i1 == p || i2 == 1;
+        let inject = if on_boundary && j3 > 1 {
+            inputs[2].as_ref().map_or(0, |b| b.s)
+        } else {
+            0
+        };
+        let cp_in = if i1 == p && i2 > 2 {
+            inputs[6].as_ref().map_or(0, |b| b.cp)
+        } else {
+            0
+        };
+
+        let (s, c, cp) = if on_boundary && j3 > 1 {
+            if i1 == p {
+                wide_add_lanes(&[pp, c_in, s_in, inject, cp_in])
+            } else {
+                wide_add_lanes(&[pp, s_in, inject])
+            }
+        } else {
+            let (s, c) = full_add_lanes(pp, c_in, s_in);
+            (s, c, 0)
+        };
+
+        MatmulLaneSignals { x, y, s, c, cp }
+    }
+
+    fn compute_lane(
+        &self,
+        lane: usize,
+        q: &IVec,
+        inputs: &[Option<MatmulSignals>],
+    ) -> MatmulSignals {
+        SyncCellSemantics::compute(&self.scalar[lane], q, inputs)
+    }
+
+    fn extract_lane(&self, packed: &MatmulLaneSignals, lane: usize) -> MatmulSignals {
+        MatmulSignals {
+            x: lane_bit(packed.x, lane),
+            y: lane_bit(packed.y, lane),
+            s: lane_bit(packed.s, lane),
+            c: lane_bit(packed.c, lane),
+            cp: lane_bit(packed.cp, lane),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::compiled::CompiledSchedule;
+    use bitlevel_ir::{AlgorithmTriplet, BoxSet, Dependence, DependenceSet, Predicate};
+    use bitlevel_mapping::PaperDesign;
+
+    fn matmul_structure(u: i64, p: i64) -> AlgorithmTriplet {
+        let j = BoxSet::cube(3, 1, u).product(&BoxSet::cube(2, 1, p));
+        AlgorithmTriplet::new(
+            j,
+            DependenceSet::new(vec![
+                Dependence::conditional([0, 1, 0, 0, 0], "x", Predicate::eq_const(3, 1)),
+                Dependence::conditional([1, 0, 0, 0, 0], "y", Predicate::eq_const(4, 1)),
+                Dependence::conditional(
+                    [0, 0, 1, 0, 0],
+                    "z",
+                    Predicate::eq_const(3, p).or(&Predicate::eq_const(4, 1)),
+                ),
+                Dependence::conditional([0, 0, 0, 1, 0], "x", Predicate::ne_const(3, 1)),
+                Dependence::conditional([0, 0, 0, 0, 1], "y,c", Predicate::ne_const(4, 1)),
+                Dependence::uniform([0, 0, 0, 1, -1], "z"),
+                Dependence::conditional([0, 0, 0, 0, 2], "c'", Predicate::eq_const(3, p)),
+            ]),
+            "bit-level matmul, Expansion II (composed order)",
+        )
+    }
+
+    fn random_batch(
+        u: usize,
+        p: usize,
+        n: usize,
+        seed: u64,
+    ) -> (Vec<Vec<Vec<u128>>>, Vec<Vec<Vec<u128>>>) {
+        let cap = crate::BitMatmulArray::new(u, p).max_safe_entry();
+        let mut state = seed;
+        let mut next = move || {
+            state = state
+                .wrapping_mul(6364136223846793005)
+                .wrapping_add(1442695040888963407);
+            ((state >> 33) as u128) % (cap + 1)
+        };
+        let mut xs = Vec::with_capacity(n);
+        let mut ys = Vec::with_capacity(n);
+        for _ in 0..n {
+            xs.push((0..u).map(|_| (0..u).map(|_| next()).collect()).collect());
+            ys.push((0..u).map(|_| (0..u).map(|_| next()).collect()).collect());
+        }
+        (xs, ys)
+    }
+
+    fn sched(u: usize, p: usize, design: PaperDesign) -> CompiledSchedule {
+        let alg = matmul_structure(u as i64, p as i64);
+        CompiledSchedule::compile(
+            &alg,
+            &design.mapping(p as i64),
+            &design.interconnect(p as i64),
+        )
+    }
+
+    #[test]
+    fn every_lane_matches_the_scalar_engine_on_both_designs() {
+        let (u, p, n) = (2usize, 3usize, 7usize);
+        let (xs, ys) = random_batch(u, p, n, 0xBA7C_0001);
+        for design in [PaperDesign::TimeOptimal, PaperDesign::NearestNeighbour] {
+            let sched = sched(u, p, design);
+            let cells = MatmulLaneCells::new(u, p, &xs, &ys);
+            let batch = sched.execute_batch(&cells);
+            assert!(batch.is_legal());
+            assert_eq!(batch.lanes, n);
+            for lane in 0..n {
+                let scalar = sched.execute(cells.lane_cells(lane));
+                let extracted = batch.extract_lane_run(&cells, lane);
+                assert_eq!(extracted.cycles, scalar.cycles);
+                assert_eq!(extracted.violations, scalar.violations);
+                assert_eq!(extracted.peak_in_flight, scalar.peak_in_flight);
+                assert_eq!(extracted.outputs, scalar.outputs, "lane {lane}");
+            }
+            // And the fast packed extraction gives every lane's true product.
+            let z = cells.extract_products(&batch);
+            for lane in 0..n {
+                for i in 0..u {
+                    for j in 0..u {
+                        let want: u128 = (0..u).map(|k| xs[lane][i][k] * ys[lane][k][j]).sum();
+                        assert_eq!(z[lane][i][j], want, "lane {lane} Z[{i}][{j}]");
+                    }
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn width_one_batch_is_bit_identical_to_execute() {
+        let (u, p) = (2usize, 2usize);
+        let (xs, ys) = random_batch(u, p, 1, 0xBA7C_0002);
+        let sched = sched(u, p, PaperDesign::TimeOptimal);
+        let cells = MatmulLaneCells::new(u, p, &xs, &ys);
+        let batch = sched.execute_batch(&cells);
+        let scalar = sched.execute(cells.lane_cells(0));
+        let lane0 = batch.extract_lane_run(&cells, 0);
+        assert_eq!(lane0.cycles, scalar.cycles);
+        assert_eq!(lane0.violations, scalar.violations);
+        assert_eq!(lane0.peak_in_flight, scalar.peak_in_flight);
+        assert_eq!(lane0.outputs, scalar.outputs);
+    }
+
+    #[test]
+    fn ragged_batches_mask_unused_lanes_to_zero() {
+        let (u, p, n) = (2usize, 2usize, 5usize); // 5 is not a multiple of 64
+        let (xs, ys) = random_batch(u, p, n, 0xBA7C_0003);
+        let sched = sched(u, p, PaperDesign::TimeOptimal);
+        let cells = MatmulLaneCells::new(u, p, &xs, &ys);
+        let batch = sched.execute_batch(&cells);
+        // Zero operands propagate zeros: every word's lanes >= n stay zero,
+        // so a ragged batch cannot leak state across lane boundaries.
+        for (q, w) in &batch.outputs {
+            for (name, word) in [("x", w.x), ("y", w.y), ("s", w.s), ("c", w.c), ("cp", w.cp)] {
+                assert_eq!(word >> n, 0, "unused lanes of {name} at {q} not zero");
+            }
+        }
+    }
+
+    #[test]
+    fn lanes_are_independent_of_batch_composition() {
+        // Lane l of a small batch == lane l of a larger batch sharing the
+        // same first instances: no cross-lane coupling.
+        let (u, p) = (2usize, 2usize);
+        let (xs, ys) = random_batch(u, p, 9, 0xBA7C_0004);
+        let sched = sched(u, p, PaperDesign::NearestNeighbour);
+        let small = MatmulLaneCells::new(u, p, &xs[..4], &ys[..4]);
+        let large = MatmulLaneCells::new(u, p, &xs, &ys);
+        let run_small = sched.execute_batch(&small);
+        let run_large = sched.execute_batch(&large);
+        for lane in 0..4 {
+            assert_eq!(
+                run_small.extract_lane_run(&small, lane).outputs,
+                run_large.extract_lane_run(&large, lane).outputs,
+                "lane {lane} depends on unrelated lanes"
+            );
+        }
+    }
+
+    #[test]
+    fn per_lane_fallback_agrees_with_bitwise_word_form() {
+        // The generic Vec-packed fallback wraps any SyncCellSemantics; on
+        // the matmul cells it must agree lane-for-lane with the dedicated
+        // bitwise wordization.
+        let (u, p, n) = (2usize, 2usize, 6usize);
+        let (xs, ys) = random_batch(u, p, n, 0xBA7C_0005);
+        let sched = sched(u, p, PaperDesign::TimeOptimal);
+        let bitwise = MatmulLaneCells::new(u, p, &xs, &ys);
+        let generic = PerLaneCells::new(
+            (0..n)
+                .map(|l| MatmulExpansionIICells::new(u, p, &xs[l], &ys[l]))
+                .collect(),
+        );
+        let run_bitwise = sched.execute_batch(&bitwise);
+        let run_generic = sched.execute_batch(&generic);
+        assert_eq!(run_bitwise.lanes, run_generic.lanes);
+        for lane in 0..n {
+            assert_eq!(
+                run_bitwise.extract_lane_run(&bitwise, lane).outputs,
+                run_generic.extract_lane_run(&generic, lane).outputs,
+                "lane {lane}"
+            );
+        }
+    }
+
+    #[test]
+    fn batch_chunks_cover_every_instance() {
+        let (u, p, n) = (2usize, 2usize, 10usize);
+        let (xs, ys) = random_batch(u, p, n, 0xBA7C_0006);
+        let sched = sched(u, p, PaperDesign::TimeOptimal);
+        let width = 4usize;
+        let chunks: Vec<MatmulLaneCells> = xs
+            .chunks(width)
+            .zip(ys.chunks(width))
+            .map(|(xc, yc)| MatmulLaneCells::new(u, p, xc, yc))
+            .collect();
+        let runs = sched.execute_batch_chunks(&chunks);
+        assert_eq!(runs.len(), 3); // 4 + 4 + 2 (ragged tail)
+        let mut lane_total = 0usize;
+        for (chunk, run) in chunks.iter().zip(&runs) {
+            let z = chunk.extract_products(run);
+            for (l, z_lane) in z.iter().enumerate() {
+                let g = lane_total + l;
+                for i in 0..u {
+                    for j in 0..u {
+                        let want: u128 = (0..u).map(|k| xs[g][i][k] * ys[g][k][j]).sum();
+                        assert_eq!(z_lane[i][j], want);
+                    }
+                }
+            }
+            lane_total += run.lanes;
+        }
+        assert_eq!(lane_total, n);
+    }
+
+    #[test]
+    #[should_panic(expected = "batch must hold")]
+    fn empty_batches_are_rejected() {
+        let _ = MatmulLaneCells::new(2, 2, &[], &[]);
+    }
+
+    #[test]
+    #[should_panic(expected = "out of range")]
+    fn lane_view_checks_bounds() {
+        let (xs, ys) = random_batch(2, 2, 2, 0xBA7C_0007);
+        let cells = MatmulLaneCells::new(2, 2, &xs, &ys);
+        let _ = LaneView::new(&cells, 2);
+    }
+}

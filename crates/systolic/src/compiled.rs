@@ -28,6 +28,7 @@
 //! counterparts of the interpreted entry points; [`SimBackend`] selects
 //! between the two across the [`bitlevel-core`] design flow and benches.
 
+use crate::batch::{BatchRun, FaultedBatchRun, LaneArena, LaneCellSemantics, LaneView};
 use crate::clocked::{ClockedRun, ClockedViolation, SyncCellSemantics};
 use crate::fault::{FaultInjector, NoFaults, TransferFault};
 use crate::mapped::MappedRunReport;
@@ -48,6 +49,15 @@ pub enum SimBackend {
     /// The compile-once dense-slot engine of [`crate::compiled`] (default).
     #[default]
     Compiled,
+    /// The lane-packed batch engine: up to 64 independent problem instances
+    /// per [`CompiledSchedule::execute_batch`] walk, chunked rayon-parallel
+    /// beyond one word. `width` is the lanes-per-word target (clamped to
+    /// `1..=64`); timing-only evaluations are value-independent and behave
+    /// exactly like [`SimBackend::Compiled`].
+    CompiledBatch {
+        /// Lanes packed per machine word (clamped to `1..=64`).
+        width: usize,
+    },
 }
 
 /// Why an algorithm cannot be compiled into the dense-slot representation.
@@ -96,6 +106,23 @@ const NO_SLOT: u32 = u32::MAX;
 /// Below this many points per cycle the parallel executor stays sequential —
 /// fork/join overhead would dominate the per-point work.
 const PAR_THRESHOLD: usize = 64;
+
+/// Reusable gather scratch (one per worker): the consumer's reconstructed
+/// index point and its per-column input row. Hoisting these out of the
+/// per-slot hot loop removes two heap allocations per fired point.
+struct SlotScratch<B> {
+    point: IVec,
+    inputs: Vec<Option<B>>,
+}
+
+impl<B> Default for SlotScratch<B> {
+    fn default() -> Self {
+        SlotScratch {
+            point: IVec(Vec::new()),
+            inputs: Vec::new(),
+        }
+    }
+}
 
 /// A `(alg, T, ic)` triple compiled into flat dense-slot arrays.
 ///
@@ -331,15 +358,22 @@ impl CompiledSchedule {
         IVec(self.points[s * self.n..(s + 1) * self.n].to_vec())
     }
 
-    /// Gathers inputs and computes one slot against the current arena.
-    fn compute_slot<S: SyncCellSemantics>(
-        &self,
-        semantics: &S,
-        s: usize,
-        arena: &[Option<S::Bundle>],
-    ) -> S::Bundle {
+    /// Reconstructs the index point of slot `s` into a reused buffer.
+    #[inline]
+    fn point_into(&self, s: usize, out: &mut IVec) {
+        debug_assert!(s < self.n_points, "slot {s} out of bounds");
+        out.0.clear();
+        out.0
+            .extend_from_slice(&self.points[s * self.n..(s + 1) * self.n]);
+    }
+
+    /// Gathers the consumer's input row for slot `s` into the scratch buffer
+    /// (point + per-column tokens) without allocating.
+    #[inline]
+    fn gather_slot<B: Clone>(&self, s: usize, arena: &[Option<B>], scratch: &mut SlotScratch<B>) {
+        self.point_into(s, &mut scratch.point);
+        scratch.inputs.clear();
         let mask = self.consume_mask[s];
-        let mut inputs: Vec<Option<S::Bundle>> = Vec::with_capacity(self.m);
         for i in 0..self.m {
             if mask & (1u64 << i) != 0 {
                 let src = self.producers[s * self.m + i] as usize;
@@ -347,12 +381,37 @@ impl CompiledSchedule {
                 // In a causal run this is always `Some`; in the sequential
                 // fallback a not-yet-fired producer reads as a boundary
                 // input, exactly like the interpreted engine's map miss.
-                inputs.push(arena[src].clone());
+                scratch.inputs.push(arena[src].clone());
             } else {
-                inputs.push(None);
+                scratch.inputs.push(None);
             }
         }
-        semantics.compute(&self.point(s), &inputs)
+    }
+
+    /// Gathers inputs and computes one slot against the current arena.
+    #[inline]
+    fn compute_slot<S: SyncCellSemantics>(
+        &self,
+        semantics: &S,
+        s: usize,
+        arena: &[Option<S::Bundle>],
+        scratch: &mut SlotScratch<S::Bundle>,
+    ) -> S::Bundle {
+        self.gather_slot(s, arena, scratch);
+        semantics.compute(&scratch.point, &scratch.inputs)
+    }
+
+    /// Gathers inputs and computes one slot word-wide, all lanes at once.
+    #[inline]
+    fn compute_slot_lanes<L: LaneCellSemantics>(
+        &self,
+        lanes: &L,
+        s: usize,
+        arena: &[Option<L::Packed>],
+        scratch: &mut SlotScratch<L::Packed>,
+    ) -> L::Packed {
+        self.gather_slot(s, arena, scratch);
+        lanes.compute_lanes(&scratch.point, &scratch.inputs)
     }
 
     /// [`CompiledSchedule::compute_slot`] under a fault injector: transfer
@@ -367,32 +426,38 @@ impl CompiledSchedule {
         s: usize,
         arena: &[Option<S::Bundle>],
         faults: &F,
+        scratch: &mut SlotScratch<S::Bundle>,
     ) -> S::Bundle {
         let c = self.cycle[s];
-        let q = self.point(s);
+        self.point_into(s, &mut scratch.point);
+        scratch.inputs.clear();
         let mask = self.consume_mask[s];
-        let mut inputs: Vec<Option<S::Bundle>> = Vec::with_capacity(self.m);
         for i in 0..self.m {
             if mask & (1u64 << i) == 0 {
-                inputs.push(None);
+                scratch.inputs.push(None);
                 continue;
             }
             let src = self.producers[s * self.m + i] as usize;
-            match faults.on_transfer(c, &q, i) {
-                TransferFault::Drop => inputs.push(None),
+            match faults.on_transfer(c, &scratch.point, i) {
+                TransferFault::Drop => scratch.inputs.push(None),
                 TransferFault::Duplicate if arena[src].is_some() => {
                     let stale = self.producers[src * self.m + i];
-                    inputs.push(if stale == NO_SLOT {
+                    scratch.inputs.push(if stale == NO_SLOT {
                         None
                     } else {
                         arena[stale as usize].clone()
                     });
                 }
-                _ => inputs.push(arena[src].clone()),
+                _ => scratch.inputs.push(arena[src].clone()),
             }
         }
-        let mut bundle = semantics.compute(&q, &inputs);
-        let _ = faults.on_output(c, &q, &self.proc_coords[self.proc[s] as usize], &mut bundle);
+        let mut bundle = semantics.compute(&scratch.point, &scratch.inputs);
+        let _ = faults.on_output(
+            c,
+            &scratch.point,
+            &self.proc_coords[self.proc[s] as usize],
+            &mut bundle,
+        );
         bundle
     }
 
@@ -457,6 +522,8 @@ impl CompiledSchedule {
         let mut peak_in_flight = vec![0u64; self.m];
         // Per-cycle duplicate-fire scratch over dense processor ids.
         let mut fired = vec![false; self.proc_coords.len()];
+        let mut scratch: SlotScratch<S::Bundle> = SlotScratch::default();
+        let mut computed: Vec<(u32, S::Bundle)> = Vec::new();
 
         for k in 0..self.cycle_values.len() {
             let c = self.cycle_values[k];
@@ -472,27 +539,88 @@ impl CompiledSchedule {
                 // Faulted gathers must observe arena mutations in the
                 // interpreted engine's sequential order.
                 for &s in slice {
-                    let bundle = self.compute_slot_faulted(semantics, s as usize, &arena, faults);
+                    let bundle = self.compute_slot_faulted(
+                        semantics,
+                        s as usize,
+                        &arena,
+                        faults,
+                        &mut scratch,
+                    );
                     arena[s as usize] = Some(bundle);
                 }
             } else if self.causal && slice.len() >= PAR_THRESHOLD {
-                let computed: Vec<(u32, S::Bundle)> = slice
+                slice
                     .par_iter()
-                    .map(|&s| (s, self.compute_slot(semantics, s as usize, &arena)))
-                    .collect();
-                for (s, bundle) in computed {
+                    .map_init(SlotScratch::default, |sc, &s| {
+                        (s, self.compute_slot(semantics, s as usize, &arena, sc))
+                    })
+                    .collect_into_vec(&mut computed);
+                for (s, bundle) in computed.drain(..) {
                     arena[s as usize] = Some(bundle);
                 }
             } else {
                 for &s in slice {
-                    let bundle = self.compute_slot(semantics, s as usize, &arena);
+                    let bundle = self.compute_slot(semantics, s as usize, &arena, &mut scratch);
                     arena[s as usize] = Some(bundle);
                 }
             }
 
-            // Bookkeeping phase, sequential in slot order — the mutation
-            // sequence on violations / in-flight counters is exactly the
-            // interpreted engine's.
+            self.cycle_bookkeeping(
+                c,
+                slice,
+                &arena,
+                sink,
+                faults,
+                &mut violations,
+                &mut in_flight,
+                &mut peak_in_flight,
+                &mut fired,
+            );
+        }
+
+        let cycles = match (self.cycle_values.first(), self.cycle_values.last()) {
+            (Some(a), Some(b)) => b - a + 1,
+            _ => 0,
+        };
+        let mut outputs: HashMap<IVec, S::Bundle> = HashMap::with_capacity(self.n_points);
+        for (s, bundle) in arena.into_iter().enumerate() {
+            outputs.insert(
+                self.point(s),
+                bundle.expect("every slot fires exactly once"),
+            );
+        }
+        ClockedRun {
+            cycles,
+            outputs,
+            violations,
+            peak_in_flight,
+        }
+    }
+
+    /// The sequential per-cycle bookkeeping shared by every value-carrying
+    /// walk — scalar ([`CompiledSchedule::execute_faulted`]) and batch
+    /// ([`CompiledSchedule::execute_batch`]). The mutation sequence on
+    /// violations / in-flight counters is exactly the interpreted engine's;
+    /// it reads arena *presence*, never token values, so it is agnostic to
+    /// whether tokens are scalar bundles or lane-packed words.
+    #[allow(clippy::too_many_arguments)]
+    fn cycle_bookkeeping<B, K, F>(
+        &self,
+        c: i64,
+        slice: &[u32],
+        arena: &[Option<B>],
+        sink: &mut K,
+        faults: &F,
+        violations: &mut Vec<ClockedViolation>,
+        in_flight: &mut [u64],
+        peak_in_flight: &mut [u64],
+        fired: &mut [bool],
+    ) where
+        B: Clone + std::fmt::Debug,
+        K: TraceSink,
+        F: FaultInjector<B>,
+    {
+        {
             for &s in slice {
                 let s = s as usize;
                 let id = self.proc[s] as usize;
@@ -667,23 +795,176 @@ impl CompiledSchedule {
                 fired[self.proc[s as usize] as usize] = false;
             }
         }
+    }
+
+    /// Executes the compiled schedule with **lane-packed** tokens: every
+    /// signal slot holds one machine word whose bit `i` belongs to problem
+    /// instance `i`, so one walk of the slot/CSR machinery simulates up to
+    /// [`crate::batch::MAX_LANES`] independent instances at once.
+    ///
+    /// Violations, cycle count and `peak_in_flight` are *schedule*
+    /// properties — independent of token values, hence identical in every
+    /// lane — so the returned [`BatchRun`] carries them once for the whole
+    /// batch; [`BatchRun::extract_lane_run`] rebuilds per-instance
+    /// [`ClockedRun`]s bit-identical to a scalar
+    /// [`CompiledSchedule::execute`] of that lane.
+    pub fn execute_batch<L: LaneCellSemantics>(&self, lanes: &L) -> BatchRun<L::Packed> {
+        self.execute_batch_traced(lanes, &mut NullSink)
+    }
+
+    /// [`CompiledSchedule::execute_batch`] with a [`TraceSink`] observing
+    /// the (lane-shared) schedule walk: routes, fires, token movements and
+    /// violations — the same stream as [`CompiledSchedule::execute_traced`],
+    /// since none of those events depend on token values.
+    pub fn execute_batch_traced<L, K>(&self, lanes: &L, sink: &mut K) -> BatchRun<L::Packed>
+    where
+        L: LaneCellSemantics,
+        K: TraceSink,
+    {
+        if K::ENABLED {
+            for (i, (hops, usage)) in self
+                .clocked_hops
+                .iter()
+                .zip(&self.clocked_usage)
+                .enumerate()
+            {
+                match (hops, usage) {
+                    (Some(h), Some(u)) => sink.record(TraceEvent::ColumnRoute {
+                        column: i,
+                        hops: *h,
+                        usage: u.clone(),
+                    }),
+                    _ => sink.record(TraceEvent::ColumnUnroutable { column: i }),
+                }
+            }
+        }
+        let mut arena: LaneArena<L::Packed> = LaneArena::new(self.n_points);
+        let mut violations = Vec::new();
+        let mut in_flight = vec![0u64; self.m];
+        let mut peak_in_flight = vec![0u64; self.m];
+        let mut fired = vec![false; self.proc_coords.len()];
+        let mut scratch: SlotScratch<L::Packed> = SlotScratch::default();
+        let mut computed: Vec<(u32, L::Packed)> = Vec::new();
+
+        for k in 0..self.cycle_values.len() {
+            let c = self.cycle_values[k];
+            let slice = &self.fire_order[self.cycle_offsets[k]..self.cycle_offsets[k + 1]];
+
+            // Value phase, identical in structure to the scalar walk — the
+            // per-slot compute just carries one word per signal instead of
+            // one bit, so the schedule overhead is amortised over all lanes.
+            if self.causal && slice.len() >= PAR_THRESHOLD {
+                slice
+                    .par_iter()
+                    .map_init(SlotScratch::default, |sc, &s| {
+                        (
+                            s,
+                            self.compute_slot_lanes(lanes, s as usize, arena.slots(), sc),
+                        )
+                    })
+                    .collect_into_vec(&mut computed);
+                for (s, packed) in computed.drain(..) {
+                    arena.set(s as usize, packed);
+                }
+            } else {
+                for &s in slice {
+                    let packed =
+                        self.compute_slot_lanes(lanes, s as usize, arena.slots(), &mut scratch);
+                    arena.set(s as usize, packed);
+                }
+            }
+
+            self.cycle_bookkeeping(
+                c,
+                slice,
+                arena.slots(),
+                sink,
+                &NoFaults,
+                &mut violations,
+                &mut in_flight,
+                &mut peak_in_flight,
+                &mut fired,
+            );
+        }
 
         let cycles = match (self.cycle_values.first(), self.cycle_values.last()) {
             (Some(a), Some(b)) => b - a + 1,
             _ => 0,
         };
-        let mut outputs: HashMap<IVec, S::Bundle> = HashMap::with_capacity(self.n_points);
-        for (s, bundle) in arena.into_iter().enumerate() {
+        let mut outputs: HashMap<IVec, L::Packed> = HashMap::with_capacity(self.n_points);
+        for (s, packed) in arena.into_slots().into_iter().enumerate() {
             outputs.insert(
                 self.point(s),
-                bundle.expect("every slot fires exactly once"),
+                packed.expect("every slot fires exactly once"),
             );
         }
-        ClockedRun {
+        BatchRun {
             cycles,
+            lanes: lanes.lanes(),
             outputs,
             violations,
             peak_in_flight,
+        }
+    }
+
+    /// [`CompiledSchedule::execute_batch`] under a [`FaultInjector`] aimed at
+    /// a single lane. Faults perturb token *values*, which would break the
+    /// lane-uniformity the word-wide walk relies on — so the clean batch
+    /// runs word-wide as usual, and only `fault_lane` is re-run through the
+    /// scalar [`CompiledSchedule::execute_faulted`] via a [`LaneView`]. The
+    /// result is bit-exact by construction: the other lanes never see the
+    /// injector, and the faulted lane goes through exactly the engine the
+    /// fault subsystem already verifies.
+    pub fn execute_batch_faulted<L, K, F>(
+        &self,
+        lanes: &L,
+        sink: &mut K,
+        faults: &F,
+        fault_lane: usize,
+    ) -> FaultedBatchRun<L::Packed, L::Bundle>
+    where
+        L: LaneCellSemantics,
+        K: TraceSink,
+        F: FaultInjector<L::Bundle>,
+    {
+        assert!(
+            fault_lane < lanes.lanes(),
+            "fault lane {fault_lane} out of range for a {}-lane batch",
+            lanes.lanes()
+        );
+        if !F::ENABLED {
+            return FaultedBatchRun {
+                batch: self.execute_batch_traced(lanes, sink),
+                fault_lane,
+                faulted: None,
+            };
+        }
+        // The sink rides with the faulted lane's replay: that is where the
+        // FaultInjected events live, and the schedule-walk events it emits
+        // are identical to the clean batch walk's.
+        let batch = self.execute_batch(lanes);
+        let view = LaneView::new(lanes, fault_lane);
+        let faulted = self.execute_faulted(&view, sink, faults);
+        FaultedBatchRun {
+            batch,
+            fault_lane,
+            faulted: Some(faulted),
+        }
+    }
+
+    /// Runs several lane-packed chunks — e.g. a batch of more than 64
+    /// instances split into ≤ 64-lane words — rayon-parallel across chunks.
+    /// Each chunk's walk is itself internally parallel-safe (the per-cycle
+    /// value slices), so this composes batch-level and cycle-slice
+    /// parallelism.
+    pub fn execute_batch_chunks<L: LaneCellSemantics>(
+        &self,
+        chunks: &[L],
+    ) -> Vec<BatchRun<L::Packed>> {
+        if chunks.len() > 1 {
+            chunks.par_iter().map(|c| self.execute_batch(c)).collect()
+        } else {
+            chunks.iter().map(|c| self.execute_batch(c)).collect()
         }
     }
 

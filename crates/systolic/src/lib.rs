@@ -18,6 +18,11 @@
 //!   `BoxSet::rank`, a CSR fire list, an arena token store, and
 //!   cycle-sliced parallel execution, bit-identical to the interpreted
 //!   engines and selected through [`SimBackend`];
+//! * [`batch`] — the lane-packed batch layer over the compiled backend:
+//!   up to 64 independent problem instances in the bit-lanes of a `u64`,
+//!   one schedule walk per batch, with bitwise word forms of the Expansion
+//!   II cells, a generic per-lane fallback, and lane extraction back into
+//!   per-instance [`ClockedRun`]s;
 //! * [`trace`] — structured per-cycle observability shared by all three
 //!   engines: a [`TraceSink`] trait with a statically zero-overhead
 //!   [`NullSink`], an in-memory [`RecordingSink`] with rollup counters
@@ -29,6 +34,7 @@
 //!   perturb interpreted and compiled runs bit-identically (the concrete
 //!   plan/ABFT layer lives in `bitlevel-fault`).
 
+pub mod batch;
 pub mod bit_array;
 pub mod clocked;
 pub mod compiled;
@@ -41,6 +47,10 @@ pub mod trace;
 pub mod viz;
 pub mod word_array;
 
+pub use batch::{
+    BatchRun, FaultedBatchRun, LaneArena, LaneCellSemantics, LaneView, MatmulLaneCells,
+    MatmulLaneSignals, PerLaneCells, MAX_LANES,
+};
 pub use bit_array::{BitMatmulArray, BitMatmulRun};
 pub use clocked::{
     run_clocked, run_clocked_faulted, run_clocked_traced, CellSemantics, ClockedRun,

@@ -43,7 +43,7 @@ pub use bitlevel_core::{
     generate_space_family, monte_carlo_campaign, render_architecture, render_frontier,
     render_matmul_comparison, render_structure, render_trace_summary, run_clocked_compiled,
     simulate_mapped, simulate_mapped_compiled, single_fault_campaign, AddShift, AlgorithmTriplet,
-    ArchitectureReport, BitMatmulArray, BoxSet, CarrySave, DesignFlow, Expansion,
+    ArchitectureReport, BatchRunReport, BitMatmulArray, BoxSet, CarrySave, DesignFlow, Expansion,
     ExplorationReport, ExploreConfig, FaultCampaignReport, FaultKind, FaultOutcome, FaultPlan,
     Interconnect, MachineOption, MappingError, MappingMatrix, MonteCarloReport,
     MultiplierAlgorithm, NullSink, PaperDesign, RandomFault, RecordingSink, RippleAdder,

@@ -281,3 +281,191 @@ fn traced_violations_mirror_the_engines_violation_stream() {
     assert_eq!(rec.violation_descriptions(), rendered);
     assert_eq!(rec.rollup().violations, run.violations.len() as u64);
 }
+
+// ---------------------------------------------------------------------------
+// Lane-packed batch engine: every lane of a word-wide walk must reproduce
+// the interpreted oracle bit for bit.
+// ---------------------------------------------------------------------------
+
+use bitlevel::systolic::{run_clocked_faulted, MatmulExpansionIICells, MatmulLaneCells, NullSink};
+use bitlevel::{FaultKind, FaultPlan, TargetedFault};
+
+fn random_batch(
+    u: usize,
+    cap: u128,
+    n: usize,
+    state: &mut u64,
+) -> (Vec<Vec<Vec<u128>>>, Vec<Vec<Vec<u128>>>) {
+    (
+        (0..n).map(|_| random_matrix(u, cap, state)).collect(),
+        (0..n).map(|_| random_matrix(u, cap, state)).collect(),
+    )
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(12))]
+
+    /// Every lane of every chunk of a randomized batch — including the
+    /// ragged final chunk when the width does not divide the batch size —
+    /// reproduces the interpreted engine's *entire* per-instance run on both
+    /// paper designs: outputs, violations, cycle count and in-flight peaks.
+    #[test]
+    fn prop_batch_lanes_match_the_interpreted_oracle(
+        width in 1usize..=64,
+        n in 1usize..=70,
+        seed in any::<u64>(),
+    ) {
+        let (u, p) = (2usize, 2usize);
+        let cap = BitMatmulArray::new(u, p).max_safe_entry().max(1);
+        let mut state = seed | 1;
+        let (xs, ys) = random_batch(u, cap, n, &mut state);
+        let alg = compose(&WordLevelAlgorithm::matmul(u as i64), p, Expansion::II);
+        for design in [PaperDesign::TimeOptimal, PaperDesign::NearestNeighbour] {
+            let t = design.mapping(p as i64);
+            let ic = design.interconnect(p as i64);
+            let sched = CompiledSchedule::try_compile(&alg, &t, &ic).expect("matmul compiles");
+            for (xc, yc) in xs.chunks(width).zip(ys.chunks(width)) {
+                let cells = MatmulLaneCells::new(u, p, xc, yc);
+                let batch = sched.execute_batch(&cells);
+                prop_assert!(batch.is_legal(), "{:?}: {:?}", design, batch.violations);
+                prop_assert_eq!(batch.lanes, xc.len());
+                for lane in 0..xc.len() {
+                    let lane_run = batch.extract_lane_run(&cells, lane);
+                    let mut oracle_cells = MatmulExpansionIICells::new(u, p, &xc[lane], &yc[lane]);
+                    let oracle = run_clocked(&alg, &t, &ic, &mut oracle_cells);
+                    prop_assert_eq!(lane_run.cycles, oracle.cycles);
+                    prop_assert_eq!(&lane_run.violations, &oracle.violations);
+                    prop_assert_eq!(&lane_run.peak_in_flight, &oracle.peak_in_flight);
+                    prop_assert_eq!(&lane_run.outputs, &oracle.outputs);
+                }
+            }
+        }
+    }
+}
+
+/// A fault plan replayed against one lane of a batch perturbs exactly that
+/// lane: the faulted lane matches the interpreted faulted oracle on the same
+/// instance, every other lane stays bit-identical to the clean batch, and
+/// the clean batch itself is untouched by the fault machinery.
+#[test]
+fn batch_fault_injection_hits_exactly_the_targeted_lane() {
+    let (u, p) = (2usize, 2usize);
+    let (n, target) = (8usize, 5usize);
+    let cap = BitMatmulArray::new(u, p).max_safe_entry().max(1);
+    let mut state = 0xfa11_u64 | 1;
+    let (xs, ys) = random_batch(u, cap, n, &mut state);
+    let alg = compose(&WordLevelAlgorithm::matmul(u as i64), p, Expansion::II);
+    let plan = FaultPlan {
+        seed: 0,
+        targeted: vec![TargetedFault {
+            kind: FaultKind::DeadPe,
+            pe: bitlevel::linalg::IVec::from([3, 3]),
+            cycle: None,
+        }],
+        random: vec![],
+    };
+    for design in [PaperDesign::TimeOptimal, PaperDesign::NearestNeighbour] {
+        let t = design.mapping(p as i64);
+        let ic = design.interconnect(p as i64);
+        let resolved = plan.resolve(&alg, &t);
+        let sched = CompiledSchedule::try_compile(&alg, &t, &ic).expect("matmul compiles");
+        let cells = MatmulLaneCells::new(u, p, &xs, &ys);
+        let clean = sched.execute_batch(&cells);
+        let fr = sched.execute_batch_faulted(&cells, &mut NullSink, &resolved, target);
+        assert_eq!(fr.fault_lane, target, "{design:?}");
+        // Untargeted lanes ride the clean word-wide walk, bit for bit.
+        for lane in (0..n).filter(|&l| l != target) {
+            assert_eq!(
+                fr.batch.extract_lane_run(&cells, lane).outputs,
+                clean.extract_lane_run(&cells, lane).outputs,
+                "{design:?}: lane {lane} perturbed by a fault aimed at lane {target}"
+            );
+        }
+        // The targeted lane replays under the plan and matches the
+        // interpreted faulted engine on the same instance.
+        let faulted = fr.faulted.as_ref().expect("plan has faults");
+        let mut oracle_cells = MatmulExpansionIICells::new(u, p, &xs[target], &ys[target]);
+        let oracle =
+            run_clocked_faulted(&alg, &t, &ic, &mut oracle_cells, &mut NullSink, &resolved);
+        assert_eq!(faulted.cycles, oracle.cycles, "{design:?}");
+        assert_eq!(faulted.violations, oracle.violations, "{design:?}");
+        assert_eq!(faulted.outputs, oracle.outputs, "{design:?}");
+        // The fault really bit: the dead PE changed the targeted lane.
+        assert_ne!(
+            faulted.outputs,
+            fr.batch.extract_lane_run(&cells, target).outputs,
+            "{design:?}: the dead PE must perturb the targeted lane"
+        );
+    }
+}
+
+/// Width-1 batches take the same word-wide machinery with a single occupied
+/// lane; the result must be bit-identical to the scalar compiled engine.
+#[test]
+fn width_one_batch_agrees_with_the_scalar_compiled_engine() {
+    let (u, p) = (3usize, 3usize);
+    let cap = BitMatmulArray::new(u, p).max_safe_entry().max(1);
+    let mut state = 0x5eed_u64;
+    let x = random_matrix(u, cap, &mut state);
+    let y = random_matrix(u, cap, &mut state);
+    let alg = compose(&WordLevelAlgorithm::matmul(u as i64), p, Expansion::II);
+    for design in [PaperDesign::TimeOptimal, PaperDesign::NearestNeighbour] {
+        let t = design.mapping(p as i64);
+        let ic = design.interconnect(p as i64);
+        let sched = CompiledSchedule::try_compile(&alg, &t, &ic).expect("matmul compiles");
+        let scalar_cells = MatmulExpansionIICells::new(u, p, &x, &y);
+        let scalar = sched.execute(&scalar_cells);
+        let lane_cells =
+            MatmulLaneCells::new(u, p, std::slice::from_ref(&x), std::slice::from_ref(&y));
+        let batch = sched.execute_batch(&lane_cells);
+        let lane0 = batch.extract_lane_run(&lane_cells, 0);
+        assert_eq!(lane0.cycles, scalar.cycles, "{design:?}");
+        assert_eq!(lane0.violations, scalar.violations, "{design:?}");
+        assert_eq!(lane0.peak_in_flight, scalar.peak_in_flight, "{design:?}");
+        assert_eq!(lane0.outputs, scalar.outputs, "{design:?}");
+        assert_eq!(
+            lane_cells.extract_products(&batch)[0],
+            scalar_cells.extract_product(&scalar),
+            "{design:?}"
+        );
+    }
+}
+
+/// Deterministic pin of the proptest above: fixed (width, n, seed) triples
+/// covering an exact word, a ragged tail, and a single lane.
+#[test]
+fn randomized_batch_lanes_match_the_interpreted_oracle() {
+    let (u, p) = (2usize, 2usize);
+    let cap = BitMatmulArray::new(u, p).max_safe_entry().max(1);
+    let alg = compose(&WordLevelAlgorithm::matmul(u as i64), p, Expansion::II);
+    for (width, n, seed) in [(64usize, 64usize, 1u64), (7, 23, 0x1CC7_1993), (1, 3, 99)] {
+        let mut state = seed | 1;
+        let (xs, ys) = random_batch(u, cap, n, &mut state);
+        for design in [PaperDesign::TimeOptimal, PaperDesign::NearestNeighbour] {
+            let t = design.mapping(p as i64);
+            let ic = design.interconnect(p as i64);
+            let sched = CompiledSchedule::try_compile(&alg, &t, &ic).expect("matmul compiles");
+            for (xc, yc) in xs.chunks(width).zip(ys.chunks(width)) {
+                let cells = MatmulLaneCells::new(u, p, xc, yc);
+                let batch = sched.execute_batch(&cells);
+                assert!(batch.is_legal(), "{design:?}: {:?}", batch.violations);
+                assert_eq!(batch.lanes, xc.len());
+                for lane in 0..xc.len() {
+                    let lane_run = batch.extract_lane_run(&cells, lane);
+                    let mut oracle_cells = MatmulExpansionIICells::new(u, p, &xc[lane], &yc[lane]);
+                    let oracle = run_clocked(&alg, &t, &ic, &mut oracle_cells);
+                    assert_eq!(lane_run.cycles, oracle.cycles, "{design:?} lane {lane}");
+                    assert_eq!(
+                        lane_run.violations, oracle.violations,
+                        "{design:?} lane {lane}"
+                    );
+                    assert_eq!(
+                        lane_run.peak_in_flight, oracle.peak_in_flight,
+                        "{design:?} lane {lane}"
+                    );
+                    assert_eq!(lane_run.outputs, oracle.outputs, "{design:?} lane {lane}");
+                }
+            }
+        }
+    }
+}
