@@ -1,5 +1,5 @@
 //! The experiment suite: every figure/equation-level result of the paper,
-//! regenerated and compared against the paper's claim (index E1–E18 in
+//! regenerated and compared against the paper's claim (index E1–E19 in
 //! DESIGN.md).
 //!
 //! The traceable experiments (E6, E7, E14, E15) also come in `_impl` forms
@@ -1403,9 +1403,87 @@ pub fn e18() -> ExperimentOutcome {
     e18_seeded(DEFAULT_SEED)
 }
 
-const ALL_IDS: [&str; 18] = [
+/// E19 (extension): the content-hashed compile cache — the cold/warm
+/// trajectory of schedule acquisition (the `BENCH_cache.json` series) plus
+/// the pipeline-level bars the cache exists for: a warm `DesignFlow`
+/// evaluation is bit-identical to the cold one with **zero** recompiles
+/// (counter-asserted), and re-verifying every explorer frontier design is
+/// compile-free. Timing rows are informational (wall-clock), correctness
+/// rows are hard bars.
+pub fn e19() -> ExperimentOutcome {
+    let mut t =
+        RecordTable::new("E19 (extension): content-hashed compile cache — cold vs warm trajectory");
+    let rows = crate::sweeps::cache_sweep(&crate::sweeps::default_cache_sizes());
+    t.push(Record::check(
+        "acquisition trajectory at every size and design",
+        "miss -> memory-hit -> disk-hit, one compile, artifacts bit-identical",
+        !rows.is_empty() && rows.iter().all(|r| r.identical && r.compiles == 1),
+    ));
+    for design in [PaperDesign::TimeOptimal, PaperDesign::NearestNeighbour] {
+        let d: Vec<_> = rows.iter().filter(|r| r.design == design.name()).collect();
+        let worst_mem = d
+            .iter()
+            .map(|r| r.mem_speedup)
+            .fold(f64::INFINITY, f64::min);
+        let worst_disk = d
+            .iter()
+            .map(|r| r.disk_speedup)
+            .fold(f64::INFINITY, f64::min);
+        t.push(Record::info(
+            &format!("{design:?}: warm memory hit vs cold compile"),
+            "warm beats cold at every size (a hit skips compile + persist)",
+            format!("min {worst_mem:.0}x in-memory, min {worst_disk:.1}x from disk"),
+            worst_mem > 1.0,
+        ));
+    }
+
+    // Pipeline-level: warm evaluation is recompile-free and bit-identical.
+    let flow = DesignFlow::matmul(3, 3);
+    let cold = flow.evaluate_paper_design(PaperDesign::TimeOptimal);
+    let warm = flow.evaluate_paper_design(PaperDesign::TimeOptimal);
+    let stats = flow.cache().stats();
+    t.push(Record::eq(
+        "compiles across a cold + a warm Fig. 4 evaluation",
+        1,
+        stats.compiles() as i64,
+    ));
+    t.push(Record::check(
+        "warm report bit-identical to cold",
+        "zero field divergences, same backend, same feasibility",
+        warm.run.divergences_from(&cold.run).is_empty()
+            && warm.backend_used == cold.backend_used
+            && warm.feasible == cold.feasible,
+    ));
+
+    // Explorer: re-verifying the whole frontier must not compile anything.
+    let flow = DesignFlow::matmul(2, 2);
+    let (family, config) = flow.default_exploration();
+    let ex = flow.explore(&family, &config).expect("well-formed inputs");
+    let after_explore = flow.cache().stats().compiles();
+    let alg = flow.bit_level_structure();
+    for d in &ex.designs {
+        flow.evaluate_structure(
+            "re-verify",
+            &alg,
+            &d.point.mapping,
+            &d.point.interconnect,
+            Some(d.point.time),
+        );
+    }
+    t.push(Record::eq(
+        "recompiles while re-verifying the whole explorer frontier",
+        0,
+        (flow.cache().stats().compiles() - after_explore) as i64,
+    ));
+    ExperimentOutcome {
+        id: "e19".into(),
+        table: t,
+    }
+}
+
+const ALL_IDS: [&str; 19] = [
     "e1", "e2", "e3", "e4", "e5", "e6", "e7", "e8", "e9", "e10", "e11", "e12", "e13", "e14", "e15",
-    "e16", "e17", "e18",
+    "e16", "e17", "e18", "e19",
 ];
 
 /// The experiments that accept a trace sink (see [`run_experiment_traced`]).
@@ -1415,7 +1493,7 @@ pub const TRACEABLE_IDS: [&str; 4] = ["e6", "e7", "e14", "e15"];
 /// stay reproducible.
 pub const DEFAULT_SEED: u64 = 0x1CC7_1993;
 
-/// Runs one experiment by id ("e1" … "e18") at [`DEFAULT_SEED`].
+/// Runs one experiment by id ("e1" … "e19") at [`DEFAULT_SEED`].
 pub fn run_experiment(id: &str) -> Option<ExperimentOutcome> {
     run_experiment_seeded(id, DEFAULT_SEED)
 }
@@ -1443,6 +1521,7 @@ pub fn run_experiment_seeded(id: &str, seed: u64) -> Option<ExperimentOutcome> {
         "e16" => Some(e16()),
         "e17" => Some(e17_seeded(seed)),
         "e18" => Some(e18_seeded(seed)),
+        "e19" => Some(e19()),
         _ => None,
     }
 }

@@ -4,7 +4,7 @@
 //! cargo run -p bitlevel-bench --bin experiments [--release] [-- OPTIONS]
 //!
 //! OPTIONS:
-//!   --exp <id>       run one experiment (e1 … e18); default: all
+//!   --exp <id>       run one experiment (e1 … e19); default: all
 //!   --seed <u64>     seed for every randomized path (E17's fault campaigns
 //!                    and the faults sweep); default: the fixed
 //!                    reproducibility seed baked into the crate
@@ -15,9 +15,10 @@
 //!   --json           emit the record tables as JSON
 //!   --sweep <name>   emit a CSV data series instead:
 //!                    speedup | analysis | utilization | engine | wavefront |
-//!                    frontier | faults | batch (frontier, faults and batch
-//!                    also honour --json for a JSON export; CI stores
-//!                    `--sweep batch --json` as BENCH_batch.json)
+//!                    frontier | faults | batch | cache (frontier, faults,
+//!                    batch and cache also honour --json for a JSON export;
+//!                    CI stores `--sweep batch --json` as BENCH_batch.json
+//!                    and `--sweep cache --json` as BENCH_cache.json)
 //! ```
 
 use bitlevel_bench::{
@@ -40,7 +41,7 @@ fn main() {
             "--exp" => {
                 i += 1;
                 which = Some(args.get(i).cloned().unwrap_or_else(|| {
-                    eprintln!("--exp requires an id (e1..e18)");
+                    eprintln!("--exp requires an id (e1..e19)");
                     std::process::exit(2);
                 }));
             }
@@ -60,7 +61,7 @@ fn main() {
                 i += 1;
                 sweep = Some(args.get(i).cloned().unwrap_or_else(|| {
                     eprintln!(
-                        "--sweep requires a name (speedup|analysis|utilization|engine|wavefront|frontier|faults|batch)"
+                        "--sweep requires a name (speedup|analysis|utilization|engine|wavefront|frontier|faults|batch|cache)"
                     );
                     std::process::exit(2);
                 }));
@@ -121,9 +122,17 @@ fn main() {
                     sweeps::batch_csv(&rows)
                 }
             }
+            "cache" => {
+                let rows = sweeps::cache_sweep(&sweeps::default_cache_sizes());
+                if json {
+                    sweeps::cache_json(&rows)
+                } else {
+                    sweeps::cache_csv(&rows)
+                }
+            }
             other => {
                 eprintln!(
-                    "unknown sweep {other} (speedup|analysis|utilization|engine|wavefront|frontier|faults|batch)"
+                    "unknown sweep {other} (speedup|analysis|utilization|engine|wavefront|frontier|faults|batch|cache)"
                 );
                 std::process::exit(2);
             }
@@ -158,7 +167,7 @@ fn main() {
                     vec![o]
                 }
                 None => {
-                    eprintln!("unknown experiment id {id} (use e1..e18)");
+                    eprintln!("unknown experiment id {id} (use e1..e19)");
                     std::process::exit(2);
                 }
             }
@@ -173,7 +182,7 @@ fn main() {
         (Some(id), None) => match run_experiment_seeded(&id, seed) {
             Some(o) => vec![o],
             None => {
-                eprintln!("unknown experiment id {id} (use e1..e18)");
+                eprintln!("unknown experiment id {id} (use e1..e19)");
                 std::process::exit(2);
             }
         },

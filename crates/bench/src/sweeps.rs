@@ -19,12 +19,18 @@
 //!   smoke step checks the partition and the zero-SDC bar on this output);
 //! * [`batch_sweep`] — throughput of the lane-packed batch engine vs lane
 //!   width on both paper designs, every product verified against native
-//!   arithmetic (the E18 export; CI stores it as `BENCH_batch.json`).
+//!   arithmetic (the E18 export; CI stores it as `BENCH_batch.json`);
+//! * [`cache_sweep`] — cold-vs-warm schedule acquisition through the
+//!   content-hashed compile cache: a cold miss (compile + disk write-through)
+//!   against a memory hit and a fresh-process disk hit, artifacts checked
+//!   identical (the E19 export; CI stores it as `BENCH_cache.json` and gates
+//!   warm < cold per row).
 //!
 //! Sweep rows are computed in parallel with rayon (except the timing sweeps,
 //! which run sequentially so rows don't contend).
 
 use bitlevel_arith::{AddShift, CarrySave};
+use bitlevel_cache::{CacheOutcome, CompileCache};
 use bitlevel_depanal::{compare_analyses, compose, Expansion};
 use bitlevel_fault::single_fault_campaign;
 use bitlevel_ir::WordLevelAlgorithm;
@@ -548,7 +554,7 @@ pub fn frontier_sweep(sizes: &[(i64, i64)]) -> Vec<FrontierRow> {
                         machine: d.point.machine.clone(),
                         space,
                         schedule: format!("{:?}", t.schedule.as_slice()),
-                        backend: d.report.backend_used.clone(),
+                        backend: d.report.backend_used.to_string(),
                         verified: d.verified(),
                     }
                 })
@@ -770,6 +776,138 @@ pub fn default_batch_instances() -> usize {
     64
 }
 
+/// One row of the cache sweep: the cold/warm trajectory of acquiring one
+/// design's compiled schedule through the content-hashed compile cache.
+#[derive(Debug, Clone, Serialize)]
+pub struct CacheSweepRow {
+    /// Design label.
+    pub design: String,
+    /// Matrix dimension.
+    pub u: i64,
+    /// Word length.
+    pub p: i64,
+    /// Index points `|J|` of the compiled schedule.
+    pub points: usize,
+    /// Cold acquisition: cache miss — full compile plus the atomic disk
+    /// write-through (ns).
+    pub cold_ns: u128,
+    /// Warm acquisition in the same process: memory hit (ns).
+    pub warm_mem_ns: u128,
+    /// Warm acquisition in a "fresh process" (new cache over the same
+    /// directory): disk read + checksum + decode, no compile (ns).
+    pub warm_disk_ns: u128,
+    /// `cold_ns / warm_mem_ns`.
+    pub mem_speedup: f64,
+    /// `cold_ns / warm_disk_ns`.
+    pub disk_speedup: f64,
+    /// Compiles performed across all three acquisitions (must be 1).
+    pub compiles: u64,
+    /// Whether the lookups hit the expected layers
+    /// (miss → memory-hit → disk-hit) and all three artifacts were
+    /// bit-identical.
+    pub identical: bool,
+}
+
+/// Measures cold vs warm schedule acquisition on both paper designs across
+/// a `(u, p)` grid: one miss (compile + persist), one memory hit, and one
+/// disk hit from a brand-new cache over the same directory, with the decoded
+/// artifact checked bit-identical against the compiled one.
+///
+/// Timing rows run sequentially so they don't contend. The persistent
+/// directory lives under the system temp dir and is removed afterwards.
+pub fn cache_sweep(sizes: &[(i64, i64)]) -> Vec<CacheSweepRow> {
+    let dir = std::env::temp_dir().join(format!("bitlevel-cache-sweep-{}", std::process::id()));
+    let _ = std::fs::remove_dir_all(&dir);
+    let mut rows = Vec::new();
+    for &(u, p) in sizes {
+        let alg = compose(&WordLevelAlgorithm::matmul(u), p as usize, Expansion::II);
+        for design in [PaperDesign::TimeOptimal, PaperDesign::NearestNeighbour] {
+            let tm = design.mapping(p);
+            let ic = design.interconnect(p);
+
+            let cache = CompileCache::with_disk_dir(&dir);
+            let t0 = Instant::now();
+            let (cold, o_cold) = cache
+                .get_or_compile(&alg, &tm, &ic)
+                .expect("the 7-column matmul structure compiles");
+            let cold_ns = t0.elapsed().as_nanos();
+
+            let t0 = Instant::now();
+            let (mem, o_mem) = cache
+                .get_or_compile(&alg, &tm, &ic)
+                .expect("warm lookup cannot fail");
+            let warm_mem_ns = t0.elapsed().as_nanos();
+
+            // A brand-new cache over the same directory models a process
+            // restart: memory is cold, the persisted entry is not.
+            let restarted = CompileCache::with_disk_dir(&dir);
+            let t0 = Instant::now();
+            let (disk, o_disk) = restarted
+                .get_or_compile(&alg, &tm, &ic)
+                .expect("disk lookup cannot fail");
+            let warm_disk_ns = t0.elapsed().as_nanos();
+
+            let compiles = cache.stats().compiles() + restarted.stats().compiles();
+            let identical = o_cold == CacheOutcome::Miss
+                && o_mem == CacheOutcome::MemoryHit
+                && o_disk == CacheOutcome::DiskHit
+                && *mem == *cold
+                && *disk == *cold;
+            rows.push(CacheSweepRow {
+                design: design.name().to_string(),
+                u,
+                p,
+                points: cold.n_points(),
+                cold_ns,
+                warm_mem_ns,
+                warm_disk_ns,
+                mem_speedup: cold_ns as f64 / warm_mem_ns.max(1) as f64,
+                disk_speedup: cold_ns as f64 / warm_disk_ns.max(1) as f64,
+                compiles,
+                identical,
+            });
+        }
+    }
+    let _ = std::fs::remove_dir_all(&dir);
+    rows
+}
+
+/// CSV rendering of the cache sweep.
+pub fn cache_csv(rows: &[CacheSweepRow]) -> String {
+    let mut out = String::from(
+        "design,u,p,points,cold_ns,warm_mem_ns,warm_disk_ns,mem_speedup,disk_speedup,compiles,identical\n",
+    );
+    for r in rows {
+        out.push_str(&format!(
+            "\"{}\",{},{},{},{},{},{},{:.3},{:.3},{},{}\n",
+            r.design,
+            r.u,
+            r.p,
+            r.points,
+            r.cold_ns,
+            r.warm_mem_ns,
+            r.warm_disk_ns,
+            r.mem_speedup,
+            r.disk_speedup,
+            r.compiles,
+            r.identical
+        ));
+    }
+    out
+}
+
+/// JSON rendering of the cache sweep (the `--sweep cache --json` export CI
+/// stores as `BENCH_cache.json`).
+pub fn cache_json(rows: &[CacheSweepRow]) -> String {
+    serde_json::to_string_pretty(rows).expect("cache rows serialize")
+}
+
+/// Default sizes for the cache sweep: the paper's running example plus two
+/// larger grids where the compile cost is unambiguous.
+pub fn default_cache_sizes() -> Vec<(i64, i64)> {
+    vec![(2, 2), (3, 3), (3, 4)]
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -908,5 +1046,33 @@ mod tests {
         let csv = batch_csv(&rows);
         assert_eq!(csv.lines().count(), 7);
         assert!(csv.starts_with("design,u,p,width,"));
+    }
+
+    #[test]
+    fn cache_rows_show_warm_beating_cold_with_identical_artifacts() {
+        let rows = cache_sweep(&[(2, 2), (3, 3)]);
+        assert_eq!(rows.len(), 4, "two designs x two sizes");
+        for r in &rows {
+            assert!(
+                r.identical,
+                "{} u={} p={} trajectory broke",
+                r.design, r.u, r.p
+            );
+            assert_eq!(r.compiles, 1, "exactly one compile per row");
+            assert!(
+                r.warm_mem_ns < r.cold_ns,
+                "{} u={} p={}: memory hit ({} ns) must beat the cold compile ({} ns)",
+                r.design,
+                r.u,
+                r.p,
+                r.warm_mem_ns,
+                r.cold_ns
+            );
+            assert!(r.mem_speedup > 1.0 && r.disk_speedup > 0.0);
+            assert_eq!(r.points, (r.u * r.u * r.u * r.p * r.p) as usize);
+        }
+        let csv = cache_csv(&rows);
+        assert_eq!(csv.lines().count(), 5);
+        assert!(csv.starts_with("design,u,p,points,cold_ns,"));
     }
 }

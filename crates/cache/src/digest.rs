@@ -1,0 +1,179 @@
+//! Stable content digests for cache keys.
+//!
+//! `std::hash::Hasher` implementations are free to be platform- and
+//! process-specific (SipHash is keyed per process), so the cache key needs
+//! its own hasher with two fixed properties:
+//!
+//! * **deterministic across processes** — a warm disk cache written by one
+//!   run must be readable by the next, so no per-process keys;
+//! * **endianness-pinned** — every multi-byte integer write is routed
+//!   through little-endian bytes, so the digest of an
+//!   `#[derive(Hash)]` structure is identical on any host.
+//!
+//! [`StableHasher`] is FNV-1a 64-bit under those rules; [`CacheKey`] runs
+//! the same value stream through two different offset bases for a 128-bit
+//! digest, which makes accidental collisions across distinct
+//! (structure, mapping, machine) triples a non-concern at the scale of any
+//! realistic design-space sweep.
+
+use std::fmt;
+use std::hash::{Hash, Hasher};
+
+const FNV_PRIME: u64 = 0x0000_0100_0000_01b3;
+/// The standard FNV-1a 64-bit offset basis.
+pub const FNV_OFFSET_A: u64 = 0xcbf2_9ce4_8422_2325;
+/// A second, unrelated offset basis (digits of pi) for the high half of the
+/// 128-bit digest.
+pub const FNV_OFFSET_B: u64 = 0x2435_F642_8888_5A30;
+
+/// FNV-1a with all integer writes pinned to little-endian byte order.
+#[derive(Debug, Clone, Copy)]
+pub struct StableHasher {
+    state: u64,
+}
+
+impl StableHasher {
+    /// A hasher seeded with an explicit offset basis.
+    pub fn with_basis(basis: u64) -> Self {
+        StableHasher { state: basis }
+    }
+}
+
+impl Default for StableHasher {
+    fn default() -> Self {
+        StableHasher::with_basis(FNV_OFFSET_A)
+    }
+}
+
+impl Hasher for StableHasher {
+    fn finish(&self) -> u64 {
+        self.state
+    }
+
+    fn write(&mut self, bytes: &[u8]) {
+        for &b in bytes {
+            self.state ^= b as u64;
+            self.state = self.state.wrapping_mul(FNV_PRIME);
+        }
+    }
+
+    fn write_u8(&mut self, i: u8) {
+        self.write(&[i]);
+    }
+    fn write_u16(&mut self, i: u16) {
+        self.write(&i.to_le_bytes());
+    }
+    fn write_u32(&mut self, i: u32) {
+        self.write(&i.to_le_bytes());
+    }
+    fn write_u64(&mut self, i: u64) {
+        self.write(&i.to_le_bytes());
+    }
+    fn write_u128(&mut self, i: u128) {
+        self.write(&i.to_le_bytes());
+    }
+    fn write_usize(&mut self, i: usize) {
+        // usize is hashed as u64 so 32- and 64-bit hosts agree.
+        self.write(&(i as u64).to_le_bytes());
+    }
+    fn write_i8(&mut self, i: i8) {
+        self.write_u8(i as u8);
+    }
+    fn write_i16(&mut self, i: i16) {
+        self.write_u16(i as u16);
+    }
+    fn write_i32(&mut self, i: i32) {
+        self.write_u32(i as u32);
+    }
+    fn write_i64(&mut self, i: i64) {
+        self.write_u64(i as u64);
+    }
+    fn write_i128(&mut self, i: i128) {
+        self.write_u128(i as u128);
+    }
+    fn write_isize(&mut self, i: isize) {
+        self.write_usize(i as usize);
+    }
+}
+
+/// A 128-bit content digest identifying one compiled-schedule artifact.
+///
+/// Two [`StableHasher`]s with different offset bases consume the same
+/// `Hash` stream; their finishes form the (hi, lo) halves. The cache format
+/// version is always part of the stream (see [`CacheKey::of_parts`]), so a
+/// format bump invalidates every old key rather than colliding with it.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub struct CacheKey {
+    /// High 64 bits (offset basis B).
+    pub hi: u64,
+    /// Low 64 bits (offset basis A).
+    pub lo: u64,
+}
+
+impl CacheKey {
+    /// Digest of an arbitrary `Hash` value stream plus a format version tag.
+    pub fn of_parts<T: Hash + ?Sized>(version: u32, value: &T) -> Self {
+        let mut a = StableHasher::with_basis(FNV_OFFSET_A);
+        let mut b = StableHasher::with_basis(FNV_OFFSET_B);
+        version.hash(&mut a);
+        version.hash(&mut b);
+        value.hash(&mut a);
+        value.hash(&mut b);
+        CacheKey {
+            hi: b.finish(),
+            lo: a.finish(),
+        }
+    }
+
+    /// The 32-hex-digit rendering used as the on-disk file stem.
+    pub fn hex(&self) -> String {
+        format!("{:016x}{:016x}", self.hi, self.lo)
+    }
+}
+
+impl fmt::Display for CacheKey {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{}", self.hex())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn digest_is_deterministic_and_input_sensitive() {
+        let k1 = CacheKey::of_parts(1, &("abc", 7u64, vec![1i64, 2, 3]));
+        let k2 = CacheKey::of_parts(1, &("abc", 7u64, vec![1i64, 2, 3]));
+        assert_eq!(k1, k2);
+        assert_ne!(k1, CacheKey::of_parts(1, &("abc", 7u64, vec![1i64, 2, 4])));
+        assert_ne!(k1, CacheKey::of_parts(2, &("abc", 7u64, vec![1i64, 2, 3])));
+    }
+
+    #[test]
+    fn known_fnv_vector() {
+        // FNV-1a("a") = 0xaf63dc4c8601ec8c — pins the primitive so the
+        // on-disk key space never silently changes.
+        let mut h = StableHasher::with_basis(FNV_OFFSET_A);
+        h.write(b"a");
+        assert_eq!(h.finish(), 0xaf63dc4c8601ec8c);
+    }
+
+    #[test]
+    fn hex_rendering_is_32_digits() {
+        let k = CacheKey::of_parts(1, &42u64);
+        assert_eq!(k.hex().len(), 32);
+        assert_eq!(k.to_string(), k.hex());
+    }
+
+    #[test]
+    fn integer_writes_are_width_tagged_not_just_bytes() {
+        // u32 and u64 holding the same value digest differently only via
+        // their byte widths; usize always hashes like u64.
+        let mut a = StableHasher::default();
+        7usize.hash(&mut a);
+        let mut b = StableHasher::default();
+        7u64.hash(&mut b);
+        assert_eq!(a.finish(), b.finish());
+    }
+}

@@ -1,0 +1,564 @@
+#![warn(missing_docs)]
+
+//! # bitlevel-cache
+//!
+//! A content-hashed compile cache for [`CompiledSchedule`] artifacts.
+//!
+//! Every `DesignFlow` evaluation used to recompile its schedule from
+//! scratch — the explorer's frontier re-verification compiled each design a
+//! second time, and repeated interactive evaluations paid the full
+//! `try_compile` cost every call. This crate removes that redundancy:
+//!
+//! * **Cache key** — [`CacheKey::of_schedule`] digests the *content* of the
+//!   (expanded structure, mapping/schedule, machine description) triple with
+//!   a platform-stable FNV-1a-128 ([`digest::StableHasher`]), salted with
+//!   [`CACHE_KEY_VERSION`] and the schedule wire-format version. Anything
+//!   that changes compiled output changes the key; renaming or re-deriving
+//!   an identical structure does not.
+//! * **Memory layer** — an `Arc`-shared LRU map; all clones of a
+//!   [`CompileCache`] (and therefore all clones of a `DesignFlow`) share one
+//!   store, so the explorer's search and its re-verification hit the same
+//!   entries.
+//! * **Disk layer** — optional (`--cache-dir`): entries persist as
+//!   checksummed `*.blsc` images (see `bitlevel_systolic::persist`), written
+//!   atomically (temp file + rename). Corrupted, truncated, or
+//!   version-skewed files are detected on load, counted in
+//!   [`CacheStats::corrupt_entries`], and degrade to a recorded miss +
+//!   recompile — never a panic, never a wrong schedule.
+//! * **Counters** — [`CacheStats`] snapshots hits/misses/evictions for
+//!   reports, trace events, and the zero-redundant-compile assertions in
+//!   the test suite.
+
+use bitlevel_ir::AlgorithmTriplet;
+use bitlevel_mapping::{Interconnect, MappingMatrix};
+use bitlevel_systolic::{CompileError, CompiledSchedule, SCHEDULE_FORMAT_VERSION};
+use std::collections::HashMap;
+use std::fmt;
+use std::path::{Path, PathBuf};
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::{Arc, Mutex};
+
+pub mod digest;
+
+pub use digest::{CacheKey, StableHasher};
+
+/// Version of the *key derivation* itself (what is hashed, in which order).
+/// Bumping it orphans every existing entry instead of colliding with it.
+pub const CACHE_KEY_VERSION: u32 = 1;
+
+/// Default capacity of the in-memory layer (entries). Schedules for the
+/// paper-scale designs are a few hundred KB; 256 of them stay well under a
+/// hundred MB while covering any realistic explorer frontier.
+pub const DEFAULT_MEMORY_CAPACITY: usize = 256;
+
+/// File extension of persisted schedule images.
+pub const DISK_ENTRY_EXT: &str = "blsc";
+
+/// Digest of a (structure, mapping, machine) triple under the current key
+/// and wire-format versions: the canonical cache key of one compiled
+/// schedule. A change to either version constant orphans all old keys.
+pub fn schedule_key(alg: &AlgorithmTriplet, t: &MappingMatrix, ic: &Interconnect) -> CacheKey {
+    CacheKey::of_parts(
+        CACHE_KEY_VERSION.wrapping_add(SCHEDULE_FORMAT_VERSION << 16),
+        &(alg, t, ic),
+    )
+}
+
+/// Where a cache lookup was answered.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum CacheOutcome {
+    /// Served from the in-memory layer.
+    MemoryHit,
+    /// Served from a persisted disk entry (and promoted to memory).
+    DiskHit,
+    /// Not cached (or the disk entry was unusable): freshly compiled.
+    Miss,
+}
+
+impl CacheOutcome {
+    /// True for both hit flavours.
+    pub fn is_hit(&self) -> bool {
+        !matches!(self, CacheOutcome::Miss)
+    }
+}
+
+impl fmt::Display for CacheOutcome {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            CacheOutcome::MemoryHit => write!(f, "memory-hit"),
+            CacheOutcome::DiskHit => write!(f, "disk-hit"),
+            CacheOutcome::Miss => write!(f, "miss-compiled"),
+        }
+    }
+}
+
+/// A monotonic snapshot of the cache counters.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default, serde::Serialize)]
+pub struct CacheStats {
+    /// Lookups answered from memory.
+    pub hits: u64,
+    /// Lookups answered from disk.
+    pub disk_hits: u64,
+    /// Lookups that compiled fresh (including after a corrupt disk entry).
+    pub misses: u64,
+    /// Entries evicted from the memory layer by capacity pressure.
+    pub evictions: u64,
+    /// Disk entries rejected as corrupt/truncated/version-skewed.
+    pub corrupt_entries: u64,
+    /// Disk writes that failed (permissions, full disk, ...). Non-fatal:
+    /// the result is still returned, only persistence is lost.
+    pub disk_write_errors: u64,
+    /// Entries currently resident in the memory layer.
+    pub resident: usize,
+}
+
+impl CacheStats {
+    /// Total lookups observed.
+    pub fn lookups(&self) -> u64 {
+        self.hits + self.disk_hits + self.misses
+    }
+
+    /// Warm fraction: hits (either layer) over lookups, 0.0 when idle.
+    pub fn hit_rate(&self) -> f64 {
+        let total = self.lookups();
+        if total == 0 {
+            0.0
+        } else {
+            (self.hits + self.disk_hits) as f64 / total as f64
+        }
+    }
+
+    /// Total schedule compilations the cache performed ( = misses).
+    pub fn compiles(&self) -> u64 {
+        self.misses
+    }
+}
+
+struct MemStore {
+    map: HashMap<CacheKey, (u64, Arc<CompiledSchedule>)>,
+    stamp: u64,
+}
+
+struct CacheInner {
+    mem: Mutex<MemStore>,
+    capacity: usize,
+    disk_dir: Option<PathBuf>,
+    hits: AtomicU64,
+    disk_hits: AtomicU64,
+    misses: AtomicU64,
+    evictions: AtomicU64,
+    corrupt_entries: AtomicU64,
+    disk_write_errors: AtomicU64,
+}
+
+/// The shared compile cache. Cloning is cheap (`Arc`) and every clone sees
+/// the same store and counters — `DesignFlow` clones share warmth.
+#[derive(Clone)]
+pub struct CompileCache {
+    inner: Arc<CacheInner>,
+}
+
+impl Default for CompileCache {
+    fn default() -> Self {
+        CompileCache::new()
+    }
+}
+
+impl fmt::Debug for CompileCache {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        let s = self.stats();
+        f.debug_struct("CompileCache")
+            .field("resident", &s.resident)
+            .field("hits", &s.hits)
+            .field("disk_hits", &s.disk_hits)
+            .field("misses", &s.misses)
+            .field("disk_dir", &self.inner.disk_dir)
+            .finish()
+    }
+}
+
+impl CompileCache {
+    /// An in-memory cache with [`DEFAULT_MEMORY_CAPACITY`].
+    pub fn new() -> Self {
+        CompileCache::with_capacity(DEFAULT_MEMORY_CAPACITY)
+    }
+
+    /// An in-memory cache holding at most `capacity` entries (min 1);
+    /// least-recently-used entries are evicted beyond that.
+    pub fn with_capacity(capacity: usize) -> Self {
+        CompileCache {
+            inner: Arc::new(CacheInner {
+                mem: Mutex::new(MemStore {
+                    map: HashMap::new(),
+                    stamp: 0,
+                }),
+                capacity: capacity.max(1),
+                disk_dir: None,
+                hits: AtomicU64::new(0),
+                disk_hits: AtomicU64::new(0),
+                misses: AtomicU64::new(0),
+                evictions: AtomicU64::new(0),
+                corrupt_entries: AtomicU64::new(0),
+                disk_write_errors: AtomicU64::new(0),
+            }),
+        }
+    }
+
+    /// A cache backed by a persistent directory: misses are written through
+    /// as atomic `*.blsc` images, and lookups missing in memory try the
+    /// directory before recompiling. The directory is created eagerly;
+    /// creation failure is recorded as a write error and the cache degrades
+    /// to memory-only rather than failing.
+    pub fn with_disk_dir(dir: impl Into<PathBuf>) -> Self {
+        CompileCache::with_capacity_and_disk_dir(DEFAULT_MEMORY_CAPACITY, dir)
+    }
+
+    /// [`CompileCache::with_disk_dir`] with an explicit memory capacity.
+    pub fn with_capacity_and_disk_dir(capacity: usize, dir: impl Into<PathBuf>) -> Self {
+        let dir: PathBuf = dir.into();
+        let mut write_errors = 0;
+        let disk_dir = match std::fs::create_dir_all(&dir) {
+            Ok(()) => Some(dir),
+            Err(_) => {
+                write_errors = 1;
+                None
+            }
+        };
+        let base = CompileCache::with_capacity(capacity);
+        // `Arc::try_unwrap` is safe here: `base` has the only reference.
+        let mut inner = Arc::try_unwrap(base.inner).unwrap_or_else(|_| unreachable!());
+        inner.disk_dir = disk_dir;
+        inner.disk_write_errors = AtomicU64::new(write_errors);
+        CompileCache {
+            inner: Arc::new(inner),
+        }
+    }
+
+    /// The persistent directory, when this cache has one.
+    pub fn disk_dir(&self) -> Option<&Path> {
+        self.inner.disk_dir.as_deref()
+    }
+
+    /// The content key the cache would use for this triple.
+    pub fn key_for(
+        &self,
+        alg: &AlgorithmTriplet,
+        t: &MappingMatrix,
+        ic: &Interconnect,
+    ) -> CacheKey {
+        schedule_key(alg, t, ic)
+    }
+
+    /// The lookup-or-compile entry point: memory, then disk, then
+    /// [`CompiledSchedule::try_compile`]. Compile *errors* are returned
+    /// (and not cached — `try_compile` rejects oversized inputs in O(1), so
+    /// negative caching would buy nothing); compiled schedules are inserted
+    /// into memory and written through to disk when configured.
+    pub fn get_or_compile(
+        &self,
+        alg: &AlgorithmTriplet,
+        t: &MappingMatrix,
+        ic: &Interconnect,
+    ) -> Result<(Arc<CompiledSchedule>, CacheOutcome), CompileError> {
+        let key = self.key_for(alg, t, ic);
+        if let Some(sched) = self.lookup_memory(&key) {
+            self.inner.hits.fetch_add(1, Ordering::Relaxed);
+            return Ok((sched, CacheOutcome::MemoryHit));
+        }
+        if let Some(sched) = self.lookup_disk(&key) {
+            let sched = Arc::new(sched);
+            self.insert_memory(key, Arc::clone(&sched));
+            self.inner.disk_hits.fetch_add(1, Ordering::Relaxed);
+            return Ok((sched, CacheOutcome::DiskHit));
+        }
+        let sched = Arc::new(CompiledSchedule::try_compile(alg, t, ic)?);
+        self.inner.misses.fetch_add(1, Ordering::Relaxed);
+        self.insert_memory(key, Arc::clone(&sched));
+        self.write_disk(&key, &sched);
+        Ok((sched, CacheOutcome::Miss))
+    }
+
+    /// A point-in-time snapshot of the counters.
+    pub fn stats(&self) -> CacheStats {
+        let resident = self.inner.mem.lock().expect("cache poisoned").map.len();
+        CacheStats {
+            hits: self.inner.hits.load(Ordering::Relaxed),
+            disk_hits: self.inner.disk_hits.load(Ordering::Relaxed),
+            misses: self.inner.misses.load(Ordering::Relaxed),
+            evictions: self.inner.evictions.load(Ordering::Relaxed),
+            corrupt_entries: self.inner.corrupt_entries.load(Ordering::Relaxed),
+            disk_write_errors: self.inner.disk_write_errors.load(Ordering::Relaxed),
+            resident,
+        }
+    }
+
+    /// Drops every in-memory entry (counters are kept). Used by tests and
+    /// the cold/warm bench to force the disk path.
+    pub fn clear_memory(&self) {
+        self.inner.mem.lock().expect("cache poisoned").map.clear();
+    }
+
+    fn lookup_memory(&self, key: &CacheKey) -> Option<Arc<CompiledSchedule>> {
+        let mut mem = self.inner.mem.lock().expect("cache poisoned");
+        mem.stamp += 1;
+        let stamp = mem.stamp;
+        mem.map.get_mut(key).map(|(s, sched)| {
+            *s = stamp;
+            Arc::clone(sched)
+        })
+    }
+
+    fn insert_memory(&self, key: CacheKey, sched: Arc<CompiledSchedule>) {
+        let mut mem = self.inner.mem.lock().expect("cache poisoned");
+        mem.stamp += 1;
+        let stamp = mem.stamp;
+        mem.map.insert(key, (stamp, sched));
+        while mem.map.len() > self.inner.capacity {
+            let oldest = mem
+                .map
+                .iter()
+                .min_by_key(|(_, (s, _))| *s)
+                .map(|(k, _)| *k)
+                .expect("map over capacity is non-empty");
+            mem.map.remove(&oldest);
+            self.inner.evictions.fetch_add(1, Ordering::Relaxed);
+        }
+    }
+
+    fn entry_path(&self, key: &CacheKey) -> Option<PathBuf> {
+        self.inner
+            .disk_dir
+            .as_ref()
+            .map(|d| d.join(format!("{}.{DISK_ENTRY_EXT}", key.hex())))
+    }
+
+    fn lookup_disk(&self, key: &CacheKey) -> Option<CompiledSchedule> {
+        let path = self.entry_path(key)?;
+        let bytes = match std::fs::read(&path) {
+            Ok(b) => b,
+            Err(_) => return None, // absent (or unreadable): plain miss
+        };
+        match CompiledSchedule::from_bytes(&bytes) {
+            Ok(sched) => Some(sched),
+            Err(_) => {
+                // Corrupt / truncated / version-skewed: record it, drop the
+                // bad file so the recompile's write-through replaces it, and
+                // degrade to a miss.
+                self.inner.corrupt_entries.fetch_add(1, Ordering::Relaxed);
+                let _ = std::fs::remove_file(&path);
+                None
+            }
+        }
+    }
+
+    fn write_disk(&self, key: &CacheKey, sched: &CompiledSchedule) {
+        let Some(path) = self.entry_path(key) else {
+            return;
+        };
+        let bytes = sched.to_bytes();
+        // Atomic publish: write a unique temp file, then rename into place.
+        // Readers either see the old complete entry or the new one, never a
+        // torn write.
+        let tmp = path.with_extension(format!("tmp.{}", std::process::id()));
+        let result = std::fs::write(&tmp, &bytes).and_then(|()| std::fs::rename(&tmp, &path));
+        if result.is_err() {
+            let _ = std::fs::remove_file(&tmp);
+            self.inner.disk_write_errors.fetch_add(1, Ordering::Relaxed);
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use bitlevel_ir::{BoxSet, Dependence, DependenceSet, Predicate};
+    use bitlevel_mapping::PaperDesign;
+
+    fn matmul_structure(u: i64, p: i64) -> AlgorithmTriplet {
+        let j = BoxSet::cube(3, 1, u).product(&BoxSet::cube(2, 1, p));
+        AlgorithmTriplet::new(
+            j,
+            DependenceSet::new(vec![
+                Dependence::conditional([0, 1, 0, 0, 0], "x", Predicate::eq_const(3, 1)),
+                Dependence::conditional([1, 0, 0, 0, 0], "y", Predicate::eq_const(4, 1)),
+                Dependence::conditional(
+                    [0, 0, 1, 0, 0],
+                    "z",
+                    Predicate::eq_const(3, p).or(&Predicate::eq_const(4, 1)),
+                ),
+                Dependence::conditional([0, 0, 0, 1, 0], "x", Predicate::ne_const(3, 1)),
+                Dependence::conditional([0, 0, 0, 0, 1], "y,c", Predicate::ne_const(4, 1)),
+                Dependence::uniform([0, 0, 0, 1, -1], "z"),
+                Dependence::conditional([0, 0, 0, 0, 2], "c'", Predicate::eq_const(3, p)),
+            ]),
+            "bit-level matmul, Expansion II (composed order)",
+        )
+    }
+
+    fn triple(p: i64) -> (AlgorithmTriplet, MappingMatrix, Interconnect) {
+        let design = PaperDesign::TimeOptimal;
+        (
+            matmul_structure(3, p),
+            design.mapping(p),
+            design.interconnect(p),
+        )
+    }
+
+    #[test]
+    fn same_triple_hits_different_triple_misses() {
+        let cache = CompileCache::new();
+        let (alg, t, ic) = triple(3);
+        let (first, o1) = cache.get_or_compile(&alg, &t, &ic).unwrap();
+        assert_eq!(o1, CacheOutcome::Miss);
+        let (second, o2) = cache.get_or_compile(&alg, &t, &ic).unwrap();
+        assert_eq!(o2, CacheOutcome::MemoryHit);
+        assert!(
+            Arc::ptr_eq(&first, &second),
+            "hit returns the same artifact"
+        );
+
+        let (alg2, t2, ic2) = triple(2);
+        let (_, o3) = cache.get_or_compile(&alg2, &t2, &ic2).unwrap();
+        assert_eq!(o3, CacheOutcome::Miss);
+
+        let s = cache.stats();
+        assert_eq!((s.hits, s.misses, s.disk_hits), (1, 2, 0));
+        assert_eq!(s.resident, 2);
+        assert!((s.hit_rate() - 1.0 / 3.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn key_is_content_based_not_identity_based() {
+        let cache = CompileCache::new();
+        let (alg, t, ic) = triple(3);
+        let (alg_b, t_b, ic_b) = triple(3); // fresh, equal values
+        assert_eq!(
+            cache.key_for(&alg, &t, &ic),
+            cache.key_for(&alg_b, &t_b, &ic_b)
+        );
+        let other = PaperDesign::NearestNeighbour;
+        assert_ne!(
+            cache.key_for(&alg, &t, &ic),
+            cache.key_for(&alg, &other.mapping(3), &other.interconnect(3))
+        );
+    }
+
+    #[test]
+    fn clones_share_the_store() {
+        let cache = CompileCache::new();
+        let clone = cache.clone();
+        let (alg, t, ic) = triple(3);
+        cache.get_or_compile(&alg, &t, &ic).unwrap();
+        let (_, o) = clone.get_or_compile(&alg, &t, &ic).unwrap();
+        assert_eq!(o, CacheOutcome::MemoryHit);
+        assert_eq!(clone.stats().misses, 1);
+    }
+
+    #[test]
+    fn lru_eviction_at_capacity_one() {
+        let cache = CompileCache::with_capacity(1);
+        let (alg3, t3, ic3) = triple(3);
+        let (alg2, t2, ic2) = triple(2);
+        cache.get_or_compile(&alg3, &t3, &ic3).unwrap();
+        cache.get_or_compile(&alg2, &t2, &ic2).unwrap(); // evicts the first
+        assert_eq!(cache.stats().evictions, 1);
+        assert_eq!(cache.stats().resident, 1);
+        let (_, o) = cache.get_or_compile(&alg3, &t3, &ic3).unwrap();
+        assert_eq!(o, CacheOutcome::Miss, "evicted entry recompiles");
+    }
+
+    #[test]
+    fn compile_errors_pass_through_untouched() {
+        let cache = CompileCache::new();
+        let deps: Vec<Dependence> = (0..65)
+            .map(|k| Dependence::uniform(bitlevel_linalg_ivec([1, 0]), &format!("c{k}")))
+            .collect();
+        let alg = AlgorithmTriplet::new(BoxSet::cube(2, 1, 3), DependenceSet::new(deps), "wide");
+        let t = MappingMatrix::new(
+            bitlevel_linalg_imat(&[&[1, 0], &[0, 1]]),
+            bitlevel_linalg_ivec([1, 1]),
+        );
+        let ic = Interconnect::new(bitlevel_linalg_imat(&[&[1, 0], &[0, 1]]));
+        let err = cache.get_or_compile(&alg, &t, &ic).unwrap_err();
+        assert_eq!(err, CompileError::TooManyColumns { m: 65 });
+        // Errors count as misses (a compile was attempted) but are not cached.
+        assert_eq!(cache.stats().resident, 0);
+    }
+
+    fn bitlevel_linalg_ivec<const N: usize>(v: [i64; N]) -> bitlevel_linalg::IVec {
+        bitlevel_linalg::IVec::from(v)
+    }
+
+    fn bitlevel_linalg_imat(rows: &[&[i64]]) -> bitlevel_linalg::IMat {
+        bitlevel_linalg::IMat::from_rows(rows)
+    }
+
+    #[test]
+    fn disk_layer_round_trips_and_survives_cold_starts() {
+        let dir = std::env::temp_dir().join(format!("blc-test-{}", std::process::id()));
+        let _ = std::fs::remove_dir_all(&dir);
+        let (alg, t, ic) = triple(3);
+        {
+            let cache = CompileCache::with_disk_dir(&dir);
+            let (_, o) = cache.get_or_compile(&alg, &t, &ic).unwrap();
+            assert_eq!(o, CacheOutcome::Miss);
+            assert_eq!(cache.stats().disk_write_errors, 0);
+        }
+        // A brand-new cache (cold memory) over the same dir: disk hit.
+        let cache = CompileCache::with_disk_dir(&dir);
+        let (sched, o) = cache.get_or_compile(&alg, &t, &ic).unwrap();
+        assert_eq!(o, CacheOutcome::DiskHit);
+        assert_eq!(
+            *sched,
+            CompiledSchedule::try_compile(&alg, &t, &ic).unwrap()
+        );
+        // And the promoted entry now hits memory.
+        let (_, o) = cache.get_or_compile(&alg, &t, &ic).unwrap();
+        assert_eq!(o, CacheOutcome::MemoryHit);
+        let _ = std::fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn corrupt_disk_entry_degrades_to_recompile() {
+        let dir = std::env::temp_dir().join(format!("blc-corrupt-{}", std::process::id()));
+        let _ = std::fs::remove_dir_all(&dir);
+        let (alg, t, ic) = triple(3);
+        let cache = CompileCache::with_disk_dir(&dir);
+        cache.get_or_compile(&alg, &t, &ic).unwrap();
+        let path = cache.entry_path(&cache.key_for(&alg, &t, &ic)).unwrap();
+        // Corrupt the persisted image, drop memory, and look up again.
+        let mut bytes = std::fs::read(&path).unwrap();
+        let mid = bytes.len() / 2;
+        bytes[mid] ^= 0xFF;
+        std::fs::write(&path, &bytes).unwrap();
+        cache.clear_memory();
+        let (sched, o) = cache.get_or_compile(&alg, &t, &ic).unwrap();
+        assert_eq!(o, CacheOutcome::Miss);
+        assert_eq!(cache.stats().corrupt_entries, 1);
+        assert_eq!(
+            *sched,
+            CompiledSchedule::try_compile(&alg, &t, &ic).unwrap()
+        );
+        // The recompile re-published a good entry.
+        cache.clear_memory();
+        let (_, o) = cache.get_or_compile(&alg, &t, &ic).unwrap();
+        assert_eq!(o, CacheOutcome::DiskHit);
+        let _ = std::fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn unwritable_disk_dir_degrades_to_memory_only() {
+        // A path under a *file* cannot be created as a directory.
+        let blocker = std::env::temp_dir().join(format!("blc-blocker-{}", std::process::id()));
+        std::fs::write(&blocker, b"x").unwrap();
+        let cache = CompileCache::with_disk_dir(blocker.join("sub"));
+        assert!(cache.disk_dir().is_none());
+        assert_eq!(cache.stats().disk_write_errors, 1);
+        let (alg, t, ic) = triple(2);
+        let (_, o) = cache.get_or_compile(&alg, &t, &ic).unwrap();
+        assert_eq!(o, CacheOutcome::Miss);
+        let (_, o) = cache.get_or_compile(&alg, &t, &ic).unwrap();
+        assert_eq!(o, CacheOutcome::MemoryHit);
+        let _ = std::fs::remove_file(&blocker);
+    }
+}

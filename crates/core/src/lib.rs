@@ -23,7 +23,8 @@ pub mod pipeline;
 pub mod report;
 
 pub use pipeline::{
-    ArchitectureReport, BatchRunReport, DesignFlow, ExplorationReport, VerifiedFrontierPoint,
+    ArchitectureReport, BackendUsed, BatchRunReport, CacheActivity, DesignFlow, ExplorationReport,
+    VerifiedFrontierPoint,
 };
 pub use report::{
     render_architecture, render_frontier, render_matmul_comparison, render_structure,
@@ -32,6 +33,7 @@ pub use report::{
 
 // Re-export the layer crates so downstream users need a single dependency.
 pub use bitlevel_arith as arith;
+pub use bitlevel_cache as cache;
 pub use bitlevel_depanal as depanal;
 pub use bitlevel_fault as fault;
 pub use bitlevel_ir as ir;
@@ -41,6 +43,7 @@ pub use bitlevel_systolic as systolic;
 
 // The most-used items, flattened.
 pub use bitlevel_arith::{AddShift, CarrySave, MultiplierAlgorithm, RippleAdder};
+pub use bitlevel_cache::{schedule_key, CacheKey, CacheOutcome, CacheStats, CompileCache};
 pub use bitlevel_depanal::{compare_analyses, compose, expand, Expansion};
 pub use bitlevel_fault::{
     monte_carlo_campaign, single_fault_campaign, FaultCampaignReport, FaultKind, FaultOutcome,
@@ -52,6 +55,7 @@ pub use bitlevel_mapping::{
     Interconnect, MachineOption, MappingError, MappingMatrix, PaperDesign,
 };
 pub use bitlevel_systolic::{
-    run_clocked_compiled, simulate_mapped, simulate_mapped_compiled, BitMatmulArray, NullSink,
-    RecordingSink, SimBackend, TraceConfig, TraceEvent, TraceRollup, TraceSink, WordLevelArray,
+    run_clocked_compiled, simulate_mapped, simulate_mapped_compiled, BackendConfigError,
+    BitMatmulArray, CompiledSchedule, NullSink, PersistError, RecordingSink, SimBackend,
+    TraceConfig, TraceEvent, TraceRollup, TraceSink, WordLevelArray, SCHEDULE_FORMAT_VERSION,
 };

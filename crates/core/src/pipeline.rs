@@ -10,6 +10,7 @@
 //! 4. **simulate** the resulting architecture cycle-accurately and, for
 //!    matmul, bit-exactly.
 
+use bitlevel_cache::{CacheStats, CompileCache};
 use bitlevel_depanal::{compose, Expansion};
 use bitlevel_ir::{AlgorithmTriplet, WordLevelAlgorithm};
 use bitlevel_linalg::IMat;
@@ -19,11 +20,151 @@ use bitlevel_mapping::{
     OptimalSchedule, PaperDesign,
 };
 use bitlevel_systolic::{
-    run_clocked, simulate_mapped_faulted, simulate_mapped_traced, BitMatmulArray, CompiledSchedule,
-    FaultInjector, MappedRunReport, MatmulExpansionICells, MatmulExpansionIICells, MatmulLaneCells,
-    NullSink, SimBackend, TraceEvent, TraceSink, MAX_LANES,
+    run_clocked, simulate_mapped_faulted, simulate_mapped_traced, BitMatmulArray, CompileError,
+    CompiledSchedule, FaultInjector, MappedRunReport, MatmulExpansionICells,
+    MatmulExpansionIICells, MatmulLaneCells, NullSink, SimBackend, TraceEvent, TraceSink,
+    MAX_LANES,
 };
 use serde::Serialize;
+use std::fmt;
+use std::path::PathBuf;
+use std::sync::Arc;
+
+/// Which simulation engine actually ran an evaluation, as a typed value.
+///
+/// The `Display` (and serde) rendering reproduces the historical free-form
+/// strings exactly — `"compiled"`, `"interpreted"`,
+/// `"interpreted (fallback: <reason>)"`,
+/// `"compiled-batch (bitwise, width <w>)"` — so persisted reports, CSV/JSON
+/// consumers, and CI checks keyed on those strings keep working unchanged.
+#[derive(Debug, Clone, PartialEq, Eq, Hash, Serialize)]
+#[serde(into = "String")]
+pub enum BackendUsed {
+    /// The compiled dense-slot engine.
+    Compiled,
+    /// The interpreted reference engine, chosen deliberately.
+    Interpreted,
+    /// The word-parallel bit-sliced engine at the given (clamped) lane width.
+    CompiledBatch {
+        /// Lanes per machine word actually used.
+        width: usize,
+    },
+    /// The interpreted engine, reached by graceful degradation after the
+    /// compiled backend declined the structure or semantics.
+    InterpretedFallback {
+        /// Why the compiled backend declined (a `CompileError` rendering or
+        /// a semantic reason such as stateful Expansion I cells).
+        reason: String,
+    },
+}
+
+impl BackendUsed {
+    /// An [`BackendUsed::InterpretedFallback`] from any rendered reason.
+    pub fn fallback(reason: impl Into<String>) -> Self {
+        BackendUsed::InterpretedFallback {
+            reason: reason.into(),
+        }
+    }
+
+    /// True iff the engine was reached by fallback rather than selection.
+    pub fn is_fallback(&self) -> bool {
+        matches!(self, BackendUsed::InterpretedFallback { .. })
+    }
+
+    /// True for both compiled flavours (scalar and batch).
+    pub fn is_compiled(&self) -> bool {
+        matches!(
+            self,
+            BackendUsed::Compiled | BackendUsed::CompiledBatch { .. }
+        )
+    }
+}
+
+impl fmt::Display for BackendUsed {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            BackendUsed::Compiled => write!(f, "compiled"),
+            BackendUsed::Interpreted => write!(f, "interpreted"),
+            BackendUsed::CompiledBatch { width } => {
+                write!(f, "compiled-batch (bitwise, width {width})")
+            }
+            BackendUsed::InterpretedFallback { reason } => {
+                write!(f, "interpreted (fallback: {reason})")
+            }
+        }
+    }
+}
+
+impl From<BackendUsed> for String {
+    fn from(b: BackendUsed) -> String {
+        b.to_string()
+    }
+}
+
+impl std::str::FromStr for BackendUsed {
+    type Err = String;
+
+    /// Parses the exact `Display` renderings back (the legacy string space).
+    fn from_str(s: &str) -> Result<Self, Self::Err> {
+        match s {
+            "compiled" => return Ok(BackendUsed::Compiled),
+            "interpreted" => return Ok(BackendUsed::Interpreted),
+            _ => {}
+        }
+        if let Some(rest) = s
+            .strip_prefix("interpreted (fallback: ")
+            .and_then(|r| r.strip_suffix(')'))
+        {
+            return Ok(BackendUsed::fallback(rest));
+        }
+        if let Some(w) = s
+            .strip_prefix("compiled-batch (bitwise, width ")
+            .and_then(|r| r.strip_suffix(')'))
+            .and_then(|w| w.parse::<usize>().ok())
+        {
+            return Ok(BackendUsed::CompiledBatch { width: w });
+        }
+        Err(format!("unrecognised backend string: {s:?}"))
+    }
+}
+
+impl TryFrom<String> for BackendUsed {
+    type Error = String;
+
+    fn try_from(s: String) -> Result<Self, Self::Error> {
+        s.parse()
+    }
+}
+
+impl PartialEq<&str> for BackendUsed {
+    // Equality is defined as "renders to exactly this legacy string", so the
+    // canonical rendering is the comparison — the allocation is the point.
+    #[allow(clippy::cmp_owned)]
+    fn eq(&self, other: &&str) -> bool {
+        self.to_string() == *other
+    }
+}
+
+impl PartialEq<BackendUsed> for &str {
+    fn eq(&self, other: &BackendUsed) -> bool {
+        other == self
+    }
+}
+
+/// Evidence of how an evaluation's compiled schedule was obtained from the
+/// flow's shared [`CompileCache`].
+#[derive(Debug, Clone, Serialize)]
+pub struct CacheActivity {
+    /// The 32-hex-digit content key of the (structure, mapping, machine)
+    /// triple — the stem of the on-disk `*.blsc` entry when persistence is
+    /// configured.
+    pub key: String,
+    /// Where the lookup was answered: `"memory-hit"`, `"disk-hit"`, or
+    /// `"miss-compiled"`.
+    pub outcome: String,
+    /// Cumulative cache counters right after this lookup.
+    pub stats: CacheStats,
+}
 
 /// A configured design flow: one word-level algorithm, one word length, one
 /// expansion, and the simulation backend executing steps 4+.
@@ -38,6 +179,10 @@ pub struct DesignFlow {
     /// Simulation engine (compiled dense-slot by default; the interpreted
     /// engine remains available as the reference oracle).
     pub backend: SimBackend,
+    /// Shared compile cache: every compiled-backend evaluation (traced,
+    /// faulted, batch, clocked, explorer re-verification) looks schedules up
+    /// here by content key before compiling. Clones of the flow share it.
+    cache: CompileCache,
 }
 
 /// Everything known about one concrete architecture for the flow.
@@ -55,10 +200,15 @@ pub struct ArchitectureReport {
     pub closed_form_cycles: Option<i64>,
     /// Longest wire length of the machine.
     pub max_wire_length: i64,
-    /// Which simulation engine actually ran: `"compiled"`, `"interpreted"`,
-    /// or `"interpreted (fallback: <reason>)"` when the compiled backend
-    /// declined the structure (e.g. more than 64 dependence columns).
-    pub backend_used: String,
+    /// Which simulation engine actually ran — [`BackendUsed::Compiled`],
+    /// [`BackendUsed::Interpreted`], or a fallback recording why the
+    /// compiled backend declined the structure (e.g. more than 64 dependence
+    /// columns). Renders as the legacy strings.
+    pub backend_used: BackendUsed,
+    /// Compile-cache evidence for this evaluation: the content key, the
+    /// lookup outcome, and the cumulative counters. `None` when no compiled
+    /// schedule was consulted (interpreted backend, or compile fallback).
+    pub cache: Option<CacheActivity>,
 }
 
 /// One frontier design with its verification evidence: the architecture
@@ -126,10 +276,11 @@ pub struct BatchRunReport {
     pub cycles: i64,
     /// True iff every walk was free of timing/routing/conflict violations.
     pub legal: bool,
-    /// Which engine ran: `"compiled-batch (bitwise, width <w>)"`,
-    /// `"compiled"`, `"interpreted"`, or `"interpreted (fallback: <reason>)"`
-    /// when the batch/compiled backend declined the structure or semantics.
-    pub backend_used: String,
+    /// Which engine ran: [`BackendUsed::CompiledBatch`] on the word-parallel
+    /// path, otherwise the same values as [`ArchitectureReport::backend_used`]
+    /// (including fallbacks when the batch/compiled backend declined the
+    /// structure or semantics).
+    pub backend_used: BackendUsed,
     /// Per-instance product matrices `Z = X·Y`, in batch order.
     pub products: Vec<Vec<Vec<u128>>>,
 }
@@ -142,6 +293,7 @@ impl DesignFlow {
             p,
             expansion,
             backend: SimBackend::default(),
+            cache: CompileCache::new(),
         }
     }
 
@@ -149,6 +301,38 @@ impl DesignFlow {
     pub fn with_backend(mut self, backend: SimBackend) -> Self {
         self.backend = backend;
         self
+    }
+
+    /// Selects the simulation backend, rejecting invalid configurations
+    /// (zero or over-wide batch lane counts) with a typed error instead of
+    /// clamping them at run time.
+    pub fn with_validated_backend(
+        self,
+        backend: SimBackend,
+    ) -> Result<Self, bitlevel_systolic::BackendConfigError> {
+        backend.validate()?;
+        Ok(self.with_backend(backend))
+    }
+
+    /// Replaces the flow's compile cache (builder style). Handing the same
+    /// [`CompileCache`] to several flows makes them share warm artifacts.
+    pub fn with_cache(mut self, cache: CompileCache) -> Self {
+        self.cache = cache;
+        self
+    }
+
+    /// Backs the flow's compile cache with a persistent directory: compiled
+    /// schedules are written through as checksummed `*.blsc` images and
+    /// survive process restarts. Corrupt or version-skewed entries degrade
+    /// to a recorded miss + recompile; an uncreatable directory degrades the
+    /// cache to memory-only. Never fails.
+    pub fn with_cache_dir(self, dir: impl Into<PathBuf>) -> Self {
+        self.with_cache(CompileCache::with_disk_dir(dir))
+    }
+
+    /// The flow's shared compile cache (counters, disk dir, manual lookups).
+    pub fn cache(&self) -> &CompileCache {
+        &self.cache
     }
 
     /// Convenience: the paper's running example (u×u matmul, word length p,
@@ -219,30 +403,27 @@ impl DesignFlow {
         sink: &mut K,
     ) -> ArchitectureReport {
         let rep = check_feasibility(t, alg, ic);
-        let (run, backend_used) = match self.backend {
+        let (run, backend_used, cache) = match self.backend {
             SimBackend::Interpreted => (
                 simulate_mapped_traced(alg, t, ic, sink),
-                "interpreted".to_string(),
+                BackendUsed::Interpreted,
+                None,
             ),
             // Timing-only evaluation is value-independent, so the batch
             // backend measures exactly what the scalar compiled backend does
             // (one schedule walk covers every lane).
             SimBackend::Compiled | SimBackend::CompiledBatch { .. } => {
-                match CompiledSchedule::try_compile(alg, t, ic) {
-                    Ok(sched) => (sched.mapped_report_traced(sink), "compiled".to_string()),
-                    Err(e) => {
-                        if K::ENABLED {
-                            sink.record(TraceEvent::BackendFallback {
-                                from: "compiled".to_string(),
-                                to: "interpreted".to_string(),
-                                reason: e.to_string(),
-                            });
-                        }
-                        (
-                            simulate_mapped_traced(alg, t, ic, sink),
-                            format!("interpreted (fallback: {e})"),
-                        )
-                    }
+                match self.schedule_cached(alg, t, ic, "compiled", sink) {
+                    Ok((sched, activity)) => (
+                        sched.mapped_report_traced(sink),
+                        BackendUsed::Compiled,
+                        Some(activity),
+                    ),
+                    Err(e) => (
+                        simulate_mapped_traced(alg, t, ic, sink),
+                        BackendUsed::fallback(e.to_string()),
+                        None,
+                    ),
                 }
             }
         };
@@ -254,6 +435,7 @@ impl DesignFlow {
             closed_form_cycles,
             max_wire_length: ic.max_wire_length(),
             backend_used,
+            cache,
         }
     }
 
@@ -274,30 +456,24 @@ impl DesignFlow {
     ) -> ArchitectureReport {
         let alg = self.bit_level_structure();
         let rep = check_feasibility(t, &alg, ic);
-        let (run, backend_used) = match self.backend {
+        let (run, backend_used, cache) = match self.backend {
             SimBackend::Interpreted => (
                 simulate_mapped_faulted(&alg, t, ic, sink, faults),
-                "interpreted".to_string(),
+                BackendUsed::Interpreted,
+                None,
             ),
             SimBackend::Compiled | SimBackend::CompiledBatch { .. } => {
-                match CompiledSchedule::try_compile(&alg, t, ic) {
-                    Ok(sched) => (
+                match self.schedule_cached(&alg, t, ic, "compiled", sink) {
+                    Ok((sched, activity)) => (
                         sched.mapped_report_faulted(sink, faults),
-                        "compiled".to_string(),
+                        BackendUsed::Compiled,
+                        Some(activity),
                     ),
-                    Err(e) => {
-                        if K::ENABLED {
-                            sink.record(TraceEvent::BackendFallback {
-                                from: "compiled".to_string(),
-                                to: "interpreted".to_string(),
-                                reason: e.to_string(),
-                            });
-                        }
-                        (
-                            simulate_mapped_faulted(&alg, t, ic, sink, faults),
-                            format!("interpreted (fallback: {e})"),
-                        )
-                    }
+                    Err(e) => (
+                        simulate_mapped_faulted(&alg, t, ic, sink, faults),
+                        BackendUsed::fallback(e.to_string()),
+                        None,
+                    ),
                 }
             }
         };
@@ -309,6 +485,7 @@ impl DesignFlow {
             closed_form_cycles,
             max_wire_length: ic.max_wire_length(),
             backend_used,
+            cache,
         }
     }
 
@@ -487,8 +664,8 @@ impl DesignFlow {
         let run = match self.backend {
             SimBackend::Interpreted => run_clocked(&alg, &t, &ic, &mut cells),
             SimBackend::Compiled | SimBackend::CompiledBatch { .. } => {
-                match CompiledSchedule::try_compile(&alg, &t, &ic) {
-                    Ok(sched) => sched.execute(&cells),
+                match self.schedule_cached(&alg, &t, &ic, "compiled", &mut NullSink) {
+                    Ok((sched, _)) => sched.execute(&cells),
                     Err(_) => run_clocked(&alg, &t, &ic, &mut cells),
                 }
             }
@@ -547,16 +724,15 @@ impl DesignFlow {
             SimBackend::Compiled | SimBackend::CompiledBatch { .. }
         ) && self.expansion == Expansion::II
         {
-            use bitlevel_systolic::run_clocked_compiled;
             let alg = self.bit_level_structure();
             let design = PaperDesign::TimeOptimal;
             let cells = MatmulExpansionIICells::new(u, self.p, &x, &y);
-            let run = run_clocked_compiled(
-                &alg,
-                &design.mapping(self.p as i64),
-                &design.interconnect(self.p as i64),
-                &cells,
-            );
+            let t = design.mapping(self.p as i64);
+            let ic = design.interconnect(self.p as i64);
+            let (sched, _) = self
+                .schedule_cached(&alg, &t, &ic, "compiled", &mut NullSink)
+                .expect("the Fig. 4 matmul design always compiles");
+            let run = sched.execute(&cells);
             assert!(
                 run.is_legal(),
                 "compiled clocked violations: {:?}",
@@ -621,7 +797,7 @@ impl DesignFlow {
 
         // Per-instance interpreted execution: the reference oracle, and the
         // landing spot for everything the word-parallel path cannot take.
-        let interpret_all = |backend_used: String| -> BatchRunReport {
+        let interpret_all = |backend_used: BackendUsed| -> BatchRunReport {
             let mut products = Vec::with_capacity(n);
             let mut cycles = 0;
             let mut legal = true;
@@ -656,16 +832,16 @@ impl DesignFlow {
         };
 
         match self.backend {
-            SimBackend::Interpreted => interpret_all("interpreted".to_string()),
+            SimBackend::Interpreted => interpret_all(BackendUsed::Interpreted),
             SimBackend::Compiled => {
                 if self.expansion != Expansion::II {
                     self.record_batch_fallback(sink, "Expansion I cells are sequential");
-                    return interpret_all(
-                        "interpreted (fallback: Expansion I cells are sequential)".to_string(),
-                    );
+                    return interpret_all(BackendUsed::fallback(
+                        "Expansion I cells are sequential",
+                    ));
                 }
-                match CompiledSchedule::try_compile(&alg, &t, &ic) {
-                    Ok(sched) => {
+                match self.schedule_cached(&alg, &t, &ic, "compiled", sink) {
+                    Ok((sched, _)) => {
                         let mut products = Vec::with_capacity(n);
                         let mut cycles = 0;
                         let mut legal = true;
@@ -683,26 +859,29 @@ impl DesignFlow {
                             walks: n,
                             cycles,
                             legal,
-                            backend_used: "compiled".to_string(),
+                            backend_used: BackendUsed::Compiled,
                             products,
                         }
                     }
-                    Err(e) => {
-                        self.record_batch_fallback(sink, &e.to_string());
-                        interpret_all(format!("interpreted (fallback: {e})"))
-                    }
+                    Err(e) => interpret_all(BackendUsed::fallback(e.to_string())),
                 }
             }
             SimBackend::CompiledBatch { width } => {
                 if self.expansion != Expansion::II {
                     self.record_batch_fallback(sink, "Expansion I cells are sequential");
-                    return interpret_all(
-                        "interpreted (fallback: Expansion I cells are sequential)".to_string(),
-                    );
+                    return interpret_all(BackendUsed::fallback(
+                        "Expansion I cells are sequential",
+                    ));
                 }
-                match CompiledSchedule::try_compile(&alg, &t, &ic) {
-                    Ok(sched) => {
+                match self.schedule_cached(&alg, &t, &ic, "compiled-batch", sink) {
+                    Ok((sched, _)) => {
                         let w = width.clamp(1, MAX_LANES);
+                        if K::ENABLED && w != width {
+                            sink.record(TraceEvent::BatchWidthClamped {
+                                requested: width,
+                                used: w,
+                            });
+                        }
                         let chunks: Vec<MatmulLaneCells> = xs
                             .chunks(w)
                             .zip(ys.chunks(w))
@@ -733,15 +912,54 @@ impl DesignFlow {
                             walks: chunks.len(),
                             cycles,
                             legal,
-                            backend_used: format!("compiled-batch (bitwise, width {w})"),
+                            backend_used: BackendUsed::CompiledBatch { width: w },
                             products,
                         }
                     }
-                    Err(e) => {
-                        self.record_batch_fallback(sink, &e.to_string());
-                        interpret_all(format!("interpreted (fallback: {e})"))
-                    }
+                    Err(e) => interpret_all(BackendUsed::fallback(e.to_string())),
                 }
+            }
+        }
+    }
+
+    /// The one cached-compile path every compiled-backend entry point shares:
+    /// consults the flow's [`CompileCache`] by content key, emits a
+    /// [`TraceEvent::CacheQuery`] for the lookup, and — when the structure
+    /// does not compile — emits the [`TraceEvent::BackendFallback`] (tagged
+    /// with the originating backend, `"compiled"` or `"compiled-batch"`)
+    /// before handing the error back for graceful degradation.
+    fn schedule_cached<K: TraceSink>(
+        &self,
+        alg: &AlgorithmTriplet,
+        t: &MappingMatrix,
+        ic: &Interconnect,
+        from: &str,
+        sink: &mut K,
+    ) -> Result<(Arc<CompiledSchedule>, CacheActivity), CompileError> {
+        match self.cache.get_or_compile(alg, t, ic) {
+            Ok((sched, outcome)) => {
+                let activity = CacheActivity {
+                    key: self.cache.key_for(alg, t, ic).hex(),
+                    outcome: outcome.to_string(),
+                    stats: self.cache.stats(),
+                };
+                if K::ENABLED {
+                    sink.record(TraceEvent::CacheQuery {
+                        key: activity.key.clone(),
+                        outcome: activity.outcome.clone(),
+                    });
+                }
+                Ok((sched, activity))
+            }
+            Err(e) => {
+                if K::ENABLED {
+                    sink.record(TraceEvent::BackendFallback {
+                        from: from.to_string(),
+                        to: "interpreted".to_string(),
+                        reason: e.to_string(),
+                    });
+                }
+                Err(e)
             }
         }
     }
@@ -848,12 +1066,13 @@ mod tests {
         let flow = DesignFlow::matmul(2, 2); // default backend: Compiled
         let mut sink = RecordingSink::new();
         let rep = flow.evaluate_structure_traced("wide", &alg, &t, &ic, None, &mut sink);
+        assert!(rep.backend_used.is_fallback(), "{}", rep.backend_used);
         assert!(
-            rep.backend_used.contains("fallback"),
+            rep.backend_used.to_string().contains("64"),
             "{}",
             rep.backend_used
         );
-        assert!(rep.backend_used.contains("64"), "{}", rep.backend_used);
+        assert!(rep.cache.is_none(), "no schedule was compiled or cached");
         assert_eq!(rep.run.computations, 9);
         assert!(
             sink.events()
@@ -1088,11 +1307,7 @@ mod tests {
         let mut sink = RecordingSink::new();
         let rep = flow.evaluate_batch_traced(PaperDesign::TimeOptimal, &xs, &ys, &mut sink);
         assert!(rep.legal);
-        assert!(
-            rep.backend_used.contains("fallback"),
-            "{}",
-            rep.backend_used
-        );
+        assert!(rep.backend_used.is_fallback(), "{}", rep.backend_used);
         assert_eq!((rep.width, rep.walks), (1, 3));
         assert!(
             sink.events().iter().any(|e| matches!(
@@ -1153,5 +1368,239 @@ mod tests {
         // internally consistent either way.
         assert_eq!(rep.feasible, rep.violations.is_empty());
         assert!(rep.run.cycles > 0);
+    }
+
+    #[test]
+    fn backend_used_display_serde_and_parse_roundtrip() {
+        let cases = [
+            (BackendUsed::Compiled, "compiled"),
+            (BackendUsed::Interpreted, "interpreted"),
+            (
+                BackendUsed::CompiledBatch { width: 64 },
+                "compiled-batch (bitwise, width 64)",
+            ),
+            (
+                BackendUsed::fallback("too many columns: 65"),
+                "interpreted (fallback: too many columns: 65)",
+            ),
+        ];
+        for (value, legacy) in cases {
+            assert_eq!(value, legacy, "Display must preserve the legacy string");
+            assert_eq!(String::from(value.clone()), legacy);
+            assert_eq!(legacy.parse::<BackendUsed>().unwrap(), value);
+            assert_eq!(BackendUsed::try_from(legacy.to_string()).unwrap(), value);
+        }
+        assert!("compiled-ish".parse::<BackendUsed>().is_err());
+    }
+
+    #[test]
+    fn backend_validation_rejects_degenerate_batch_widths() {
+        use bitlevel_systolic::BackendConfigError;
+        let flow = DesignFlow::matmul(2, 2);
+        assert_eq!(
+            flow.clone()
+                .with_validated_backend(SimBackend::CompiledBatch { width: 0 })
+                .unwrap_err(),
+            BackendConfigError::ZeroBatchWidth
+        );
+        assert_eq!(
+            flow.clone()
+                .with_validated_backend(SimBackend::CompiledBatch { width: 65 })
+                .unwrap_err(),
+            BackendConfigError::BatchWidthTooLarge {
+                width: 65,
+                max: MAX_LANES
+            }
+        );
+        for ok in [
+            SimBackend::Interpreted,
+            SimBackend::Compiled,
+            SimBackend::CompiledBatch { width: 1 },
+            SimBackend::CompiledBatch { width: MAX_LANES },
+        ] {
+            assert!(flow.clone().with_validated_backend(ok).is_ok(), "{ok:?}");
+        }
+    }
+
+    #[test]
+    fn batch_width_clamp_is_visible_in_the_trace() {
+        use bitlevel_systolic::RecordingSink;
+        let (xs, ys) = random_batch(2, 2, 3, 9);
+        let flow = DesignFlow::matmul(2, 2).with_backend(SimBackend::CompiledBatch { width: 500 });
+        let mut sink = RecordingSink::new();
+        let rep = flow.evaluate_batch_traced(PaperDesign::TimeOptimal, &xs, &ys, &mut sink);
+        assert_eq!(rep.width, MAX_LANES);
+        assert!(
+            sink.events().iter().any(|e| matches!(
+                e,
+                TraceEvent::BatchWidthClamped {
+                    requested: 500,
+                    used: MAX_LANES
+                }
+            )),
+            "the silent clamp must leave a trace"
+        );
+        // An in-range width stays silent.
+        let flow = DesignFlow::matmul(2, 2).with_backend(SimBackend::CompiledBatch { width: 3 });
+        let mut sink = RecordingSink::new();
+        flow.evaluate_batch_traced(PaperDesign::TimeOptimal, &xs, &ys, &mut sink);
+        assert!(!sink
+            .events()
+            .iter()
+            .any(|e| matches!(e, TraceEvent::BatchWidthClamped { .. })));
+    }
+
+    #[test]
+    fn warm_cache_reproduces_the_report_without_recompiling() {
+        let flow = DesignFlow::matmul(3, 3);
+        let cold = flow.evaluate_paper_design(PaperDesign::TimeOptimal);
+        assert_eq!(flow.cache().stats().compiles(), 1);
+        let cold_cache = cold.cache.as_ref().expect("compiled path records cache");
+        assert_eq!(cold_cache.outcome, "miss-compiled");
+
+        let warm = flow.evaluate_paper_design(PaperDesign::TimeOptimal);
+        let stats = flow.cache().stats();
+        assert_eq!(stats.compiles(), 1, "the warm run must not recompile");
+        assert_eq!(stats.hits, 1);
+        let warm_cache = warm.cache.as_ref().unwrap();
+        assert_eq!(warm_cache.outcome, "memory-hit");
+        assert_eq!(warm_cache.key, cold_cache.key, "same content, same key");
+
+        // Identical measurements, bit for bit.
+        assert_eq!(warm.run.divergences_from(&cold.run), Vec::<&str>::new());
+        assert_eq!(warm.backend_used, cold.backend_used);
+        assert_eq!(warm.feasible, cold.feasible);
+        assert_eq!(warm.closed_form_cycles, cold.closed_form_cycles);
+    }
+
+    #[test]
+    fn flow_clones_share_cache_warmth() {
+        let flow = DesignFlow::matmul(2, 2);
+        flow.evaluate_paper_design(PaperDesign::TimeOptimal);
+        let clone = flow.clone();
+        let rep = clone.evaluate_paper_design(PaperDesign::TimeOptimal);
+        assert_eq!(rep.cache.unwrap().outcome, "memory-hit");
+        assert_eq!(flow.cache().stats().compiles(), 1);
+        assert_eq!(flow.cache().stats().hits, 1);
+    }
+
+    #[test]
+    fn every_compiled_entry_point_shares_one_cache_entry() {
+        // evaluate, evaluate_faulted, run_clocked_matmul, evaluate_batch and
+        // verify_matmul_functionally all walk the same Fig. 4 schedule: one
+        // compile serves them all.
+        let flow = DesignFlow::matmul(2, 2);
+        let design = PaperDesign::TimeOptimal;
+        flow.evaluate_paper_design(design);
+        flow.evaluate_faulted(
+            design.name(),
+            &design.mapping(2),
+            &design.interconnect(2),
+            None,
+            &mut NullSink,
+            &bitlevel_systolic::NoFaults,
+        );
+        flow.run_clocked_matmul(design);
+        flow.verify_matmul_functionally();
+        let (xs, ys) = random_batch(2, 2, 3, 1);
+        flow.evaluate_batch(design, &xs, &ys);
+        let stats = flow.cache().stats();
+        assert_eq!(
+            stats.compiles(),
+            1,
+            "five entry points, one compile: {stats:?}"
+        );
+        assert_eq!(stats.hits, 4);
+    }
+
+    #[test]
+    fn explorer_frontier_reverification_is_compile_free() {
+        let flow = DesignFlow::matmul(2, 2);
+        let (family, config) = flow.default_exploration();
+        let ex = flow.explore(&family, &config).expect("well-formed inputs");
+        assert!(!ex.designs.is_empty());
+        let compiles_after_explore = flow.cache().stats().compiles();
+        assert_eq!(
+            compiles_after_explore,
+            ex.designs.len() as u64,
+            "explore compiles each frontier design exactly once"
+        );
+        // Re-verifying the whole frontier must hit warm artifacts only.
+        let alg = flow.bit_level_structure();
+        for d in &ex.designs {
+            let rep = flow.evaluate_structure(
+                "re-verify",
+                &alg,
+                &d.point.mapping,
+                &d.point.interconnect,
+                Some(d.point.time),
+            );
+            assert_eq!(rep.backend_used, BackendUsed::Compiled);
+            assert_eq!(rep.cache.unwrap().outcome, "memory-hit");
+            assert_eq!(rep.run.divergences_from(&d.report.run), Vec::<&str>::new());
+        }
+        let stats = flow.cache().stats();
+        assert_eq!(
+            stats.compiles(),
+            compiles_after_explore,
+            "zero redundant compiles on re-verification: {stats:?}"
+        );
+        assert!(stats.hits >= ex.designs.len() as u64);
+    }
+
+    #[test]
+    fn cache_queries_surface_in_the_trace_rollup() {
+        use bitlevel_systolic::RecordingSink;
+        let flow = DesignFlow::matmul(2, 2);
+        let design = PaperDesign::TimeOptimal;
+        let mut sink = RecordingSink::new();
+        flow.evaluate_traced(
+            design.name(),
+            &design.mapping(2),
+            &design.interconnect(2),
+            None,
+            &mut sink,
+        );
+        flow.evaluate_traced(
+            design.name(),
+            &design.mapping(2),
+            &design.interconnect(2),
+            None,
+            &mut sink,
+        );
+        let rollup = sink.rollup();
+        assert_eq!(rollup.cache_misses, 1, "first evaluation compiles");
+        assert_eq!(rollup.cache_hits, 1, "second evaluation hits");
+        let keys: Vec<&str> = sink
+            .events()
+            .iter()
+            .filter_map(|e| match e {
+                TraceEvent::CacheQuery { key, .. } => Some(key.as_str()),
+                _ => None,
+            })
+            .collect();
+        assert_eq!(keys.len(), 2);
+        assert_eq!(keys[0], keys[1]);
+        assert_eq!(keys[0].len(), 32, "keys render as 32 hex digits");
+    }
+
+    #[test]
+    fn disk_backed_flow_survives_a_cold_restart_without_recompiling() {
+        let dir = std::env::temp_dir().join(format!("bl-flow-cache-{}", std::process::id()));
+        let _ = std::fs::remove_dir_all(&dir);
+        let design = PaperDesign::TimeOptimal;
+        let cold = {
+            let flow = DesignFlow::matmul(2, 2).with_cache_dir(&dir);
+            assert_eq!(flow.cache().disk_dir(), Some(dir.as_path()));
+            flow.evaluate_paper_design(design)
+        };
+        // A fresh process (fresh flow, same dir): the schedule loads from
+        // disk, no recompile.
+        let flow = DesignFlow::matmul(2, 2).with_cache_dir(&dir);
+        let warm = flow.evaluate_paper_design(design);
+        assert_eq!(warm.cache.as_ref().unwrap().outcome, "disk-hit");
+        assert_eq!(flow.cache().stats().compiles(), 0);
+        assert_eq!(warm.run.divergences_from(&cold.run), Vec::<&str>::new());
+        let _ = std::fs::remove_dir_all(&dir);
     }
 }

@@ -38,7 +38,7 @@ impl fmt::Display for DepKind {
 /// One (possibly conditional) dependence vector: the paper's column of `D`
 /// together with the variable that causes it and the validity region printed
 /// under the column in eqs. (3.8)–(3.12).
-#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+#[derive(Debug, Clone, PartialEq, Eq, Hash, Serialize, Deserialize)]
 pub struct Dependence {
     /// The dependence vector `d̄ = j̄ − j̄′`.
     pub vector: IVec,
@@ -90,7 +90,7 @@ impl Dependence {
 
 /// The dependence structure of an algorithm: an ordered set of (conditional)
 /// dependence vectors over a common index set dimension.
-#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize, Default)]
+#[derive(Debug, Clone, PartialEq, Eq, Hash, Serialize, Deserialize, Default)]
 pub struct DependenceSet {
     deps: Vec<Dependence>,
 }

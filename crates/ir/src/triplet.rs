@@ -15,7 +15,7 @@ use std::fmt;
 
 /// An algorithm triplet `(J, D, E)`. `E` is a human-readable description of
 /// the per-point computation; functional semantics live in the simulators.
-#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+#[derive(Debug, Clone, PartialEq, Eq, Hash, Serialize, Deserialize)]
 pub struct AlgorithmTriplet {
     /// The index set `J`.
     pub index_set: BoxSet,

@@ -14,7 +14,7 @@ use serde::{Deserialize, Serialize};
 use std::collections::HashMap;
 
 /// A set of interconnection primitives: the columns of `P`.
-#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+#[derive(Debug, Clone, PartialEq, Eq, Hash, Serialize, Deserialize)]
 pub struct Interconnect {
     /// The primitive matrix `P ∈ Z^{(k−1)×r}`.
     pub p: IMat,

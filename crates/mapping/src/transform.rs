@@ -11,7 +11,7 @@ use serde::{Deserialize, Serialize};
 use std::fmt;
 
 /// A space–time mapping `T = [S; Π]`.
-#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+#[derive(Debug, Clone, PartialEq, Eq, Hash, Serialize, Deserialize)]
 pub struct MappingMatrix {
     /// Space mapping `S ∈ Z^{(k−1)×n}`: rows are processor coordinates.
     pub space: IMat,

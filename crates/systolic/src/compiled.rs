@@ -100,8 +100,69 @@ impl fmt::Display for CompileError {
 
 impl std::error::Error for CompileError {}
 
+/// Why a [`SimBackend`] configuration is rejected by
+/// [`SimBackend::validate`] before any work is scheduled on it.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum BackendConfigError {
+    /// `CompiledBatch { width: 0 }` — zero lanes per word packs nothing.
+    ZeroBatchWidth,
+    /// `CompiledBatch { width }` beyond [`crate::batch::MAX_LANES`].
+    BatchWidthTooLarge {
+        /// The requested lanes-per-word.
+        width: usize,
+        /// The hard lane capacity of one machine word.
+        max: usize,
+    },
+}
+
+impl fmt::Display for BackendConfigError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            BackendConfigError::ZeroBatchWidth => {
+                write!(
+                    f,
+                    "batch width 0 is invalid: a word must carry at least one lane"
+                )
+            }
+            BackendConfigError::BatchWidthTooLarge { width, max } => {
+                write!(
+                    f,
+                    "batch width {width} exceeds the {max}-lane capacity of one machine word"
+                )
+            }
+        }
+    }
+}
+
+impl std::error::Error for BackendConfigError {}
+
+impl SimBackend {
+    /// Validates the backend configuration: `CompiledBatch` widths outside
+    /// `1..=MAX_LANES` are rejected with a typed error instead of being
+    /// silently clamped. Callers that prefer the historical clamping
+    /// behaviour (the `DesignFlow` batch path) keep it, but now record a
+    /// clamp trace event rather than adjusting silently.
+    pub fn validate(&self) -> Result<(), BackendConfigError> {
+        match *self {
+            SimBackend::Interpreted | SimBackend::Compiled => Ok(()),
+            SimBackend::CompiledBatch { width } => {
+                if width == 0 {
+                    Err(BackendConfigError::ZeroBatchWidth)
+                } else if width > crate::batch::MAX_LANES {
+                    Err(BackendConfigError::BatchWidthTooLarge {
+                        width,
+                        max: crate::batch::MAX_LANES,
+                    })
+                } else {
+                    Ok(())
+                }
+            }
+        }
+    }
+}
+
 /// Sentinel producer slot for boundary inputs (no in-set producer).
-const NO_SLOT: u32 = u32::MAX;
+pub(crate) const NO_SLOT: u32 = u32::MAX;
 
 /// Below this many points per cycle the parallel executor stays sequential —
 /// fork/join overhead would dominate the per-point work.
@@ -129,53 +190,59 @@ impl<B> Default for SlotScratch<B> {
 /// Build once with [`CompiledSchedule::compile`], then run any number of
 /// workloads through [`CompiledSchedule::execute`] (values) or read the
 /// timing-only report from [`CompiledSchedule::mapped_report`].
+///
+/// Persistable: [`CompiledSchedule::to_bytes`]/[`CompiledSchedule::from_bytes`]
+/// (see [`crate::persist`]) give a checksummed, versioned binary image used by
+/// the on-disk compile cache; serde derives cover JSON transport where the
+/// real serde crates are available.
+#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
 pub struct CompiledSchedule {
     /// Algorithm dimension `n`.
-    n: usize,
+    pub(crate) n: usize,
     /// Number of dependence columns `m` (≤ 64 for the bitmasks).
-    m: usize,
+    pub(crate) m: usize,
     /// `|J|` — number of index points / slots.
-    n_points: usize,
+    pub(crate) n_points: usize,
     /// Flat point coordinates: slot `s` is `points[s·n .. (s+1)·n]`.
-    points: Vec<i64>,
+    pub(crate) points: Vec<i64>,
     /// Firing cycle `Π·q̄` per slot.
-    cycle: Vec<i64>,
+    pub(crate) cycle: Vec<i64>,
     /// Dense processor id per slot.
-    proc: Vec<u32>,
+    pub(crate) proc: Vec<u32>,
     /// Processor coordinates `S·q̄` by dense id (for violation rendering).
-    proc_coords: Vec<IVec>,
+    pub(crate) proc_coords: Vec<IVec>,
     /// `producers[s·m + i]`: slot of the producer along column `i`, or
     /// [`NO_SLOT`] when the dependence is inactive at `s` (boundary input).
-    producers: Vec<u32>,
+    pub(crate) producers: Vec<u32>,
     /// Bit `i` set ⟺ column `i` is consumed (active) at this slot.
-    consume_mask: Vec<u64>,
+    pub(crate) consume_mask: Vec<u64>,
     /// Bit `i` set ⟺ a token launches from this slot along column `i`.
-    launch_mask: Vec<u64>,
+    pub(crate) launch_mask: Vec<u64>,
     /// Per-column hop count under the clocked-engine budget (`Π·d̄` clamped
     /// to ≥ 0), `None` when unroutable — mirrors `run_clocked`'s pre-route.
-    clocked_hops: Vec<Option<i64>>,
+    pub(crate) clocked_hops: Vec<Option<i64>>,
     /// Per-column link usage of the clocked route (for trace emission).
-    clocked_usage: Vec<Option<IVec>>,
+    pub(crate) clocked_usage: Vec<Option<IVec>>,
     /// Per-column routing `(usage, buffers, hops)` under the mapped-sim
     /// convention (`None` when `Π·d̄ ≤ 0`) — mirrors `simulate_mapped`'s
     /// pre-route.
-    mapped_routes: Vec<Option<(IVec, i64, i64)>>,
+    pub(crate) mapped_routes: Vec<Option<(IVec, i64, i64)>>,
     /// Per-column schedule budget `Π·d̄`.
-    budgets: Vec<i64>,
+    pub(crate) budgets: Vec<i64>,
     /// Per-column count of exercised dependence instances.
-    active_count: Vec<u64>,
+    pub(crate) active_count: Vec<u64>,
     /// Distinct firing cycles, ascending.
-    cycle_values: Vec<i64>,
+    pub(crate) cycle_values: Vec<i64>,
     /// CSR offsets: cycle `cycle_values[k]` fires
     /// `fire_order[cycle_offsets[k] .. cycle_offsets[k+1]]`.
-    cycle_offsets: Vec<usize>,
+    pub(crate) cycle_offsets: Vec<usize>,
     /// Slots sorted by (cycle, slot) — the interpreted engine's firing order.
-    fire_order: Vec<u32>,
+    pub(crate) fire_order: Vec<u32>,
     /// Number of interconnect primitives (columns of `P`).
-    n_links: usize,
+    pub(crate) n_links: usize,
     /// Every exercised column has `Π·d̄ > 0`: same-cycle points are
     /// independent and each cycle slice may execute in parallel.
-    causal: bool,
+    pub(crate) causal: bool,
 }
 
 impl CompiledSchedule {

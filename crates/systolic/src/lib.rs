@@ -43,6 +43,7 @@ pub mod expansion_i_clocked;
 pub mod fault;
 pub mod mapped;
 pub mod model35;
+pub mod persist;
 pub mod trace;
 pub mod viz;
 pub mod word_array;
@@ -57,7 +58,8 @@ pub use clocked::{
     ClockedViolation, MatmulExpansionIICells, MatmulSignals, SyncCellSemantics,
 };
 pub use compiled::{
-    run_clocked_compiled, simulate_mapped_compiled, CompileError, CompiledSchedule, SimBackend,
+    run_clocked_compiled, simulate_mapped_compiled, BackendConfigError, CompileError,
+    CompiledSchedule, SimBackend,
 };
 pub use expansion_i::{DroppedCarry, ExpansionIMatmul, ExpansionIRun};
 pub use expansion_i_clocked::MatmulExpansionICells;
@@ -67,6 +69,7 @@ pub use mapped::{
     simulate_mapped_faulted, simulate_mapped_parallel, simulate_mapped_traced, MappedRunReport,
 };
 pub use model35::{ColumnMap, Model35Cells};
+pub use persist::{PersistError, SCHEDULE_FORMAT_VERSION, SCHEDULE_MAGIC};
 pub use trace::{NullSink, RecordingSink, TraceConfig, TraceEvent, TraceRollup, TraceSink};
 pub use viz::{
     render_activity_profile, render_block_structure, render_fault_heatmap, render_gantt,

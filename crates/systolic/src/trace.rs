@@ -136,6 +136,20 @@ pub enum TraceEvent {
         /// Why (e.g. a rendered `CompileError`).
         reason: String,
     },
+    /// The compile cache answered a schedule lookup.
+    CacheQuery {
+        /// Hex rendering of the content-hash cache key.
+        key: String,
+        /// `memory-hit`, `disk-hit`, or `miss-compiled`.
+        outcome: String,
+    },
+    /// A requested batch width was clamped into the legal lane range.
+    BatchWidthClamped {
+        /// The width the caller asked for.
+        requested: usize,
+        /// The width actually used (`1..=MAX_LANES`).
+        used: usize,
+    },
 }
 
 impl TraceEvent {
@@ -203,6 +217,10 @@ pub struct TraceRollup {
     /// Events dropped by a [`TraceConfig::max_events`] cap (counters above
     /// still include them).
     pub dropped_events: u64,
+    /// Compile-cache lookups answered from the in-memory or disk layer.
+    pub cache_hits: u64,
+    /// Compile-cache lookups that fell through to a fresh compile.
+    pub cache_misses: u64,
     /// Per-column route usage, remembered from `ColumnRoute` events.
     column_usage: Vec<Option<IVec>>,
 }
@@ -257,6 +275,14 @@ impl TraceRollup {
             TraceEvent::Violation { .. } => self.violations += 1,
             TraceEvent::FaultInjected { .. } => self.faults += 1,
             TraceEvent::BackendFallback { .. } => {}
+            TraceEvent::CacheQuery { outcome, .. } => {
+                if outcome.ends_with("hit") {
+                    self.cache_hits += 1;
+                } else {
+                    self.cache_misses += 1;
+                }
+            }
+            TraceEvent::BatchWidthClamped { .. } => {}
         }
     }
 
@@ -496,6 +522,14 @@ impl RecordingSink {
                 TraceEvent::BackendFallback { from, to, reason } => format!(
                     "backend_fallback,,,,,{}",
                     q(&format!("from={from} to={to} reason={reason}"))
+                ),
+                TraceEvent::CacheQuery { key, outcome } => format!(
+                    "cache_query,,,,,{}",
+                    q(&format!("key={key} outcome={outcome}"))
+                ),
+                TraceEvent::BatchWidthClamped { requested, used } => format!(
+                    "batch_width_clamped,,,,,{}",
+                    q(&format!("requested={requested} used={used}"))
                 ),
             };
             let _ = writeln!(out, "{row}");

@@ -30,6 +30,7 @@
 //! ```
 
 pub use bitlevel_arith as arith;
+pub use bitlevel_cache as cache;
 pub use bitlevel_core as core_api;
 pub use bitlevel_depanal as depanal;
 pub use bitlevel_fault as fault;
@@ -42,11 +43,13 @@ pub use bitlevel_core::{
     check_feasibility, compare_analyses, compose, expand, explore, find_optimal_schedule,
     generate_space_family, monte_carlo_campaign, render_architecture, render_frontier,
     render_matmul_comparison, render_structure, render_trace_summary, run_clocked_compiled,
-    simulate_mapped, simulate_mapped_compiled, single_fault_campaign, AddShift, AlgorithmTriplet,
-    ArchitectureReport, BatchRunReport, BitMatmulArray, BoxSet, CarrySave, DesignFlow, Expansion,
-    ExplorationReport, ExploreConfig, FaultCampaignReport, FaultKind, FaultOutcome, FaultPlan,
-    Interconnect, MachineOption, MappingError, MappingMatrix, MonteCarloReport,
-    MultiplierAlgorithm, NullSink, PaperDesign, RandomFault, RecordingSink, RippleAdder,
-    SimBackend, TargetedFault, TraceConfig, TraceEvent, TraceRollup, TraceSink,
-    VerifiedFrontierPoint, WordLevelAlgorithm, WordLevelArray,
+    schedule_key, simulate_mapped, simulate_mapped_compiled, single_fault_campaign, AddShift,
+    AlgorithmTriplet, ArchitectureReport, BackendConfigError, BackendUsed, BatchRunReport,
+    BitMatmulArray, BoxSet, CacheActivity, CacheKey, CacheOutcome, CacheStats, CarrySave,
+    CompileCache, CompiledSchedule, DesignFlow, Expansion, ExplorationReport, ExploreConfig,
+    FaultCampaignReport, FaultKind, FaultOutcome, FaultPlan, Interconnect, MachineOption,
+    MappingError, MappingMatrix, MonteCarloReport, MultiplierAlgorithm, NullSink, PaperDesign,
+    PersistError, RandomFault, RecordingSink, RippleAdder, SimBackend, TargetedFault, TraceConfig,
+    TraceEvent, TraceRollup, TraceSink, VerifiedFrontierPoint, WordLevelAlgorithm, WordLevelArray,
+    SCHEDULE_FORMAT_VERSION,
 };

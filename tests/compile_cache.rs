@@ -1,0 +1,179 @@
+//! End-to-end behaviour of the content-hashed compile cache through the
+//! public facade: warm evaluations are recompile-free and bit-identical,
+//! persisted entries survive "process restarts", and every flavour of disk
+//! damage — corruption, truncation, version skew — degrades to a recorded
+//! miss plus a correct recompile, never a panic or a wrong result.
+
+use bitlevel::{DesignFlow, PaperDesign, SimBackend};
+use std::fs;
+use std::path::PathBuf;
+
+/// A fresh scratch directory under the system temp dir, unique per test.
+fn scratch(tag: &str) -> PathBuf {
+    let dir = std::env::temp_dir().join(format!("bitlevel-cache-it-{tag}-{}", std::process::id()));
+    let _ = fs::remove_dir_all(&dir);
+    dir
+}
+
+/// The single persisted `*.blsc` entry inside `dir`.
+fn only_entry(dir: &std::path::Path) -> PathBuf {
+    let mut entries: Vec<PathBuf> = fs::read_dir(dir)
+        .expect("cache dir exists")
+        .filter_map(|e| e.ok().map(|e| e.path()))
+        .filter(|p| p.extension().is_some_and(|x| x == "blsc"))
+        .collect();
+    assert_eq!(entries.len(), 1, "expected exactly one persisted schedule");
+    entries.pop().unwrap()
+}
+
+/// Evaluates Fig. 4 on a fresh disk-backed flow and returns the report.
+fn evaluate_with_dir(dir: &std::path::Path) -> bitlevel::ArchitectureReport {
+    DesignFlow::matmul(2, 2)
+        .with_cache_dir(dir)
+        .evaluate_paper_design(PaperDesign::TimeOptimal)
+}
+
+#[test]
+fn warm_evaluation_is_recompile_free_and_bit_identical() {
+    let flow = DesignFlow::matmul(3, 3);
+    let cold = flow.evaluate_paper_design(PaperDesign::TimeOptimal);
+    let warm = flow.evaluate_paper_design(PaperDesign::TimeOptimal);
+    let stats = flow.cache().stats();
+    assert_eq!(stats.compiles(), 1, "one compile serves both evaluations");
+    assert_eq!(stats.hits, 1);
+    assert_eq!(warm.run.divergences_from(&cold.run), Vec::<&str>::new());
+    assert_eq!(warm.backend_used, cold.backend_used);
+    assert_eq!(warm.feasible, cold.feasible);
+    assert_eq!(
+        warm.cache.as_ref().unwrap().key,
+        cold.cache.as_ref().unwrap().key
+    );
+    assert_eq!(warm.cache.as_ref().unwrap().outcome, "memory-hit");
+}
+
+#[test]
+fn persisted_entry_survives_a_restart() {
+    let dir = scratch("restart");
+    let cold = evaluate_with_dir(&dir);
+    assert_eq!(cold.cache.as_ref().unwrap().outcome, "miss-compiled");
+    // A brand-new flow over the same directory models a process restart.
+    let warm_flow = DesignFlow::matmul(2, 2).with_cache_dir(&dir);
+    let warm = warm_flow.evaluate_paper_design(PaperDesign::TimeOptimal);
+    assert_eq!(warm.cache.as_ref().unwrap().outcome, "disk-hit");
+    assert_eq!(warm_flow.cache().stats().compiles(), 0);
+    assert_eq!(warm.run.divergences_from(&cold.run), Vec::<&str>::new());
+    let _ = fs::remove_dir_all(&dir);
+}
+
+#[test]
+fn corrupted_disk_entry_degrades_to_a_recorded_recompile() {
+    let dir = scratch("corrupt");
+    let cold = evaluate_with_dir(&dir);
+    let path = only_entry(&dir);
+    let mut bytes = fs::read(&path).unwrap();
+    let mid = bytes.len() / 2;
+    bytes[mid] ^= 0xA5;
+    fs::write(&path, &bytes).unwrap();
+
+    let flow = DesignFlow::matmul(2, 2).with_cache_dir(&dir);
+    let rep = flow.evaluate_paper_design(PaperDesign::TimeOptimal);
+    let stats = flow.cache().stats();
+    assert_eq!(rep.cache.as_ref().unwrap().outcome, "miss-compiled");
+    assert_eq!(stats.corrupt_entries, 1, "the damage must be recorded");
+    assert_eq!(stats.compiles(), 1);
+    assert_eq!(rep.run.divergences_from(&cold.run), Vec::<&str>::new());
+    // The recompile re-published a good entry: the next restart disk-hits.
+    let again = evaluate_with_dir(&dir);
+    assert_eq!(again.cache.as_ref().unwrap().outcome, "disk-hit");
+    let _ = fs::remove_dir_all(&dir);
+}
+
+#[test]
+fn truncated_disk_entry_degrades_to_a_recorded_recompile() {
+    let dir = scratch("truncate");
+    let cold = evaluate_with_dir(&dir);
+    let path = only_entry(&dir);
+    let bytes = fs::read(&path).unwrap();
+    for keep in [0usize, 3, 16, bytes.len() - 1] {
+        fs::write(&path, &bytes[..keep]).unwrap();
+        let flow = DesignFlow::matmul(2, 2).with_cache_dir(&dir);
+        let rep = flow.evaluate_paper_design(PaperDesign::TimeOptimal);
+        assert_eq!(
+            rep.cache.as_ref().unwrap().outcome,
+            "miss-compiled",
+            "truncation to {keep} bytes must fall back to a recompile"
+        );
+        assert_eq!(flow.cache().stats().corrupt_entries, 1);
+        assert_eq!(rep.run.divergences_from(&cold.run), Vec::<&str>::new());
+    }
+    let _ = fs::remove_dir_all(&dir);
+}
+
+#[test]
+fn version_skewed_disk_entry_degrades_to_a_recorded_recompile() {
+    let dir = scratch("skew");
+    let cold = evaluate_with_dir(&dir);
+    let path = only_entry(&dir);
+    // The wire format stores its version as a u32 at offset 4; a future
+    // format writes a number this reader does not understand.
+    let mut bytes = fs::read(&path).unwrap();
+    bytes[4] = bytes[4].wrapping_add(1);
+    fs::write(&path, &bytes).unwrap();
+
+    let flow = DesignFlow::matmul(2, 2).with_cache_dir(&dir);
+    let rep = flow.evaluate_paper_design(PaperDesign::TimeOptimal);
+    assert_eq!(rep.cache.as_ref().unwrap().outcome, "miss-compiled");
+    assert_eq!(flow.cache().stats().corrupt_entries, 1);
+    assert_eq!(rep.run.divergences_from(&cold.run), Vec::<&str>::new());
+    let _ = fs::remove_dir_all(&dir);
+}
+
+#[test]
+fn one_shared_cache_warms_every_backend_flavour() {
+    use bitlevel::CompileCache;
+    let cache = CompileCache::new();
+    let scalar = DesignFlow::matmul(2, 3).with_cache(cache.clone());
+    let batch = DesignFlow::matmul(2, 3)
+        .with_cache(cache.clone())
+        .with_backend(SimBackend::CompiledBatch { width: 4 });
+    let oracle = DesignFlow::matmul(2, 3).with_backend(SimBackend::Interpreted);
+
+    let (xs, ys): (Vec<_>, Vec<_>) = (0..5)
+        .map(|k| {
+            let x = vec![vec![(k + 1) as u128, 2], vec![3, (k + 2) as u128]];
+            let y = vec![vec![1, (k + 3) as u128], vec![(k + 1) as u128, 2]];
+            (x, y)
+        })
+        .unzip();
+    let a = scalar.evaluate_batch(PaperDesign::TimeOptimal, &xs, &ys);
+    let b = batch.evaluate_batch(PaperDesign::TimeOptimal, &xs, &ys);
+    let c = oracle.evaluate_batch(PaperDesign::TimeOptimal, &xs, &ys);
+    // Cross-engine agreement is unchanged with the cache in the loop: the
+    // scalar flow compiled once, the batch flow hit that same artifact.
+    assert_eq!(a.products, c.products);
+    assert_eq!(b.products, c.products);
+    assert_eq!(a.cycles, c.cycles);
+    assert_eq!(cache.stats().compiles(), 1, "one compile for both flows");
+    assert!(cache.stats().hits >= 1);
+}
+
+#[test]
+fn degenerate_batch_widths_are_rejected_with_typed_errors() {
+    use bitlevel::BackendConfigError;
+    let flow = DesignFlow::matmul(2, 2);
+    assert_eq!(
+        flow.clone()
+            .with_validated_backend(SimBackend::CompiledBatch { width: 0 })
+            .unwrap_err(),
+        BackendConfigError::ZeroBatchWidth
+    );
+    assert!(matches!(
+        flow.clone()
+            .with_validated_backend(SimBackend::CompiledBatch { width: 1000 })
+            .unwrap_err(),
+        BackendConfigError::BatchWidthTooLarge { width: 1000, .. }
+    ));
+    assert!(flow
+        .with_validated_backend(SimBackend::CompiledBatch { width: 64 })
+        .is_ok());
+}
