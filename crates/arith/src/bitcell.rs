@@ -170,6 +170,53 @@ pub fn pack_lanes(bits: &[Bit]) -> LaneWord {
         .fold(0, |acc, (i, &b)| acc | ((b as LaneWord) << i))
 }
 
+/// Inverts the lanes of `word` selected by `mask` — the lane-parallel form
+/// of a transient bit flip: lane `l` is flipped iff bit `l` of `mask` is
+/// set, all other lanes pass through untouched.
+#[inline]
+pub fn flip_lanes(word: LaneWord, mask: LaneWord) -> LaneWord {
+    word ^ mask
+}
+
+/// Forces the lanes of `word` selected by `mask` to `value` — the
+/// lane-parallel form of a stuck-at fault. Unselected lanes pass through.
+#[inline]
+pub fn set_lanes(word: LaneWord, mask: LaneWord, value: Bit) -> LaneWord {
+    if value {
+        word | mask
+    } else {
+        word & !mask
+    }
+}
+
+/// Bit-plane transpose: packs one LSB-first bit row per lane into plane
+/// words, `planes[k]` holding bit `k` of every lane. This is how the
+/// wordized cell semantics turn per-lane operand bit vectors (the scalar
+/// cells' storage) into the [`LaneWord`] planes a word-wide walk reads.
+///
+/// # Panics
+/// Panics on an empty batch, more than [`MAX_LANES`] rows, or rows of
+/// unequal width.
+pub fn pack_bit_planes(rows: &[Vec<Bit>]) -> Vec<LaneWord> {
+    assert!(
+        (1..=MAX_LANES).contains(&rows.len()),
+        "pack_bit_planes takes 1..={MAX_LANES} lanes, got {}",
+        rows.len()
+    );
+    let width = rows[0].len();
+    assert!(
+        rows.iter().all(|r| r.len() == width),
+        "pack_bit_planes requires equal-width rows"
+    );
+    (0..width)
+        .map(|k| {
+            rows.iter()
+                .enumerate()
+                .fold(0, |acc, (lane, row)| acc | ((row[k] as LaneWord) << lane))
+        })
+        .collect()
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -312,6 +359,50 @@ mod tests {
             assert!(!lane_bit(word, lane));
         }
         assert_eq!(pack_lanes(&[]), 0);
+    }
+
+    #[test]
+    fn flip_and_set_lanes_touch_only_masked_lanes() {
+        let mut state = 0xFAB_1993u64;
+        for _ in 0..16 {
+            let (w, mask) = (lcg(&mut state), lcg(&mut state));
+            let flipped = flip_lanes(w, mask);
+            let forced_one = set_lanes(w, mask, true);
+            let forced_zero = set_lanes(w, mask, false);
+            for lane in 0..MAX_LANES {
+                let hit = lane_bit(mask, lane);
+                let orig = lane_bit(w, lane);
+                assert_eq!(lane_bit(flipped, lane), orig ^ hit);
+                assert_eq!(lane_bit(forced_one, lane), orig | hit);
+                assert_eq!(lane_bit(forced_zero, lane), orig & !hit);
+            }
+        }
+    }
+
+    #[test]
+    fn pack_bit_planes_transposes_per_lane_rows() {
+        let rows = vec![
+            to_bits(0b101, 4), // lane 0
+            to_bits(0b011, 4), // lane 1
+            to_bits(0b110, 4), // lane 2
+        ];
+        let planes = pack_bit_planes(&rows);
+        assert_eq!(planes.len(), 4);
+        for (lane, row) in rows.iter().enumerate() {
+            for (k, &bit) in row.iter().enumerate() {
+                assert_eq!(lane_bit(planes[k], lane), bit, "lane {lane} bit {k}");
+            }
+        }
+        // Unoccupied lanes stay zero in every plane.
+        for &plane in &planes {
+            assert_eq!(plane >> rows.len(), 0);
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "equal-width rows")]
+    fn pack_bit_planes_rejects_ragged_rows() {
+        let _ = pack_bit_planes(&[to_bits(1, 2), to_bits(1, 3)]);
     }
 
     proptest! {

@@ -31,8 +31,9 @@ pub mod traits;
 pub use addshift::{AddShift, AddShiftGrid, BoundaryPolicy};
 pub use baughwooley::BaughWooley;
 pub use bitcell::{
-    carry3, carry3_lanes, from_bits, full_add, full_add_lanes, half_add, half_add_lanes, lane_bit,
-    pack_lanes, sum3, sum3_lanes, to_bits, wide_add, wide_add_lanes, Bit, LaneWord, MAX_LANES,
+    carry3, carry3_lanes, flip_lanes, from_bits, full_add, full_add_lanes, half_add,
+    half_add_lanes, lane_bit, pack_bit_planes, pack_lanes, set_lanes, sum3, sum3_lanes, to_bits,
+    wide_add, wide_add_lanes, Bit, LaneWord, MAX_LANES,
 };
 pub use carrysave::CarrySave;
 pub use divider::NonRestoringDivider;

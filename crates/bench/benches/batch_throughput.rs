@@ -7,14 +7,24 @@
 //! extraction) for a fixed 64-instance batch at increasing lane widths, on
 //! both paper designs:
 //!
-//! * `width 1` — the scalar baseline: 64 walks of one lane each;
+//! * `scalar` — the true scalar compiled engine: 64 plain
+//!   [`CompiledSchedule::execute`] walks, no lane machinery at all;
+//! * `width 1` — the batch engine degenerated to one lane per walk: 64
+//!   walks, which must cost about the same as `scalar` (the
+//!   `CompiledBatch { width: 1 }` ≈ `Compiled` parity bar);
 //! * `width 8/16/32/64` — 8/4/2/1 walks, the per-walk slot/CSR bookkeeping
 //!   amortised over ever more lanes.
+//!
+//! Before timing anything the bench asserts that the width-1 batch products
+//! are bit-identical to the scalar compiled products on both designs, so a
+//! lane-packing bug can never masquerade as a speedup.
 
 use bitlevel_depanal::{compose, Expansion};
 use bitlevel_ir::WordLevelAlgorithm;
 use bitlevel_mapping::PaperDesign;
-use bitlevel_systolic::{BitMatmulArray, CompiledSchedule, MatmulLaneCells};
+use bitlevel_systolic::{
+    BitMatmulArray, CompiledSchedule, MatmulExpansionIICells, MatmulLaneCells,
+};
 use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion, Throughput};
 use std::hint::black_box;
 
@@ -52,6 +62,49 @@ fn bench_batch_widths(c: &mut Criterion) {
             &design.mapping(p as i64),
             &design.interconnect(p as i64),
         );
+
+        // Parity bar: the width-1 batch path must reproduce the scalar
+        // compiled engine bit for bit before its cost is compared to it.
+        let scalar_products: Vec<Vec<Vec<u128>>> = xs
+            .iter()
+            .zip(&ys)
+            .map(|(x, y)| {
+                let cells = MatmulExpansionIICells::new(u, p, x, y);
+                cells.extract_product(&sched.execute(&cells))
+            })
+            .collect();
+        let width1_products: Vec<Vec<Vec<u128>>> = xs
+            .iter()
+            .zip(&ys)
+            .flat_map(|(x, y)| {
+                let cells =
+                    MatmulLaneCells::new(u, p, std::slice::from_ref(x), std::slice::from_ref(y));
+                cells.extract_products(&sched.execute_batch(&cells))
+            })
+            .collect();
+        assert_eq!(
+            scalar_products, width1_products,
+            "width-1 batch diverged from the scalar compiled engine"
+        );
+
+        group.bench_with_input(
+            BenchmarkId::new(design.name().to_string(), "scalar"),
+            &(),
+            |b, _| {
+                b.iter(|| {
+                    let products: Vec<Vec<Vec<u128>>> = xs
+                        .iter()
+                        .zip(&ys)
+                        .map(|(x, y)| {
+                            let cells = MatmulExpansionIICells::new(u, p, x, y);
+                            cells.extract_product(&sched.execute(&cells))
+                        })
+                        .collect();
+                    black_box(products)
+                })
+            },
+        );
+
         for &width in &[1usize, 8, 16, 32, 64] {
             let id = BenchmarkId::new(design.name().to_string(), format!("width{width}"));
             group.bench_with_input(id, &width, |b, &w| {

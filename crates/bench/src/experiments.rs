@@ -1,11 +1,12 @@
 //! The experiment suite: every figure/equation-level result of the paper,
-//! regenerated and compared against the paper's claim (index E1–E19 in
+//! regenerated and compared against the paper's claim (index E1–E20 in
 //! DESIGN.md).
 //!
 //! The traceable experiments (E6, E7, E14, E15) also come in `_impl` forms
 //! taking a [`TraceSink`]; [`run_experiment_traced`] dispatches to them so
 //! `--trace <path>` can capture the simulated runs as they happen. The
-//! randomized experiments (E17's fault campaigns) come in `_seeded` forms;
+//! randomized experiments (E17's and E20's fault campaigns) come in
+//! `_seeded` forms;
 //! [`run_experiment_seeded`] threads one global seed (the binary's
 //! `--seed <u64>`) through every randomized path, with [`DEFAULT_SEED`]
 //! keeping the unseeded entry points reproducible.
@@ -1481,9 +1482,70 @@ pub fn e19() -> ExperimentOutcome {
     }
 }
 
-const ALL_IDS: [&str; 19] = [
+/// E20 (extension): lane-packed fault campaigns — the exhaustive
+/// single-fault sweep of E17 packed up to 64 distinct fault cases into the
+/// lanes of one word-wide walk (the `BENCH_faultbatch.json` series). The
+/// hard bars are correctness: at every width the batched campaign's
+/// classifications are identical, case for case, to the scalar dual-engine
+/// campaign, and the ABFT zero-SDC result survives the packing. The
+/// throughput row is the point of the exercise: width 64 must beat width 1
+/// by at least 8x on fault-cases/sec.
+pub fn e20_seeded(seed: u64) -> ExperimentOutcome {
+    let mut t = RecordTable::new(
+        "E20 (extension): lane-packed fault campaigns — fault-cases/sec vs lane width",
+    );
+    let rows = crate::sweeps::faultbatch_sweep(&crate::sweeps::default_faultbatch_widths(), seed);
+    for design in [PaperDesign::TimeOptimal, PaperDesign::NearestNeighbour] {
+        let d: Vec<_> = rows
+            .iter()
+            .filter(|r| r.design == format!("{design:?}"))
+            .collect();
+        t.push(Record::check(
+            &format!("{design:?}: batched == scalar, case for case, at every width"),
+            "every lane's classification equals both scalar engines' verdict",
+            !d.is_empty() && d.iter().all(|r| r.identical),
+        ));
+        t.push(Record::check(
+            &format!("{design:?}: zero SDC preserved at every width"),
+            "masked + detected == cases, sdc == 0",
+            d.iter()
+                .all(|r| r.sdc == 0 && r.masked + r.detected == r.cases),
+        ));
+        let base = d
+            .iter()
+            .find(|r| r.width == 1)
+            .expect("width-1 baseline row");
+        let top = d.iter().find(|r| r.width == 64).expect("width-64 row");
+        t.push(Record::eq(
+            &format!("{design:?}: walks at width 64"),
+            top.cases.div_ceil(64) as i64,
+            top.walks as i64,
+        ));
+        let gain = top.cases_per_sec / base.cases_per_sec.max(f64::MIN_POSITIVE);
+        t.push(Record::info(
+            &format!("{design:?}: width-64 fault throughput vs width-1"),
+            ">= 8x (one walk carries 64 fault cases)",
+            format!(
+                "{gain:.1}x ({:.0} -> {:.0} cases/sec; scalar dual-engine baseline {:.0})",
+                base.cases_per_sec, top.cases_per_sec, top.scalar_cases_per_sec
+            ),
+            gain >= 8.0,
+        ));
+    }
+    ExperimentOutcome {
+        id: "e20".into(),
+        table: t,
+    }
+}
+
+/// [`e20_seeded`] at [`DEFAULT_SEED`].
+pub fn e20() -> ExperimentOutcome {
+    e20_seeded(DEFAULT_SEED)
+}
+
+const ALL_IDS: [&str; 20] = [
     "e1", "e2", "e3", "e4", "e5", "e6", "e7", "e8", "e9", "e10", "e11", "e12", "e13", "e14", "e15",
-    "e16", "e17", "e18", "e19",
+    "e16", "e17", "e18", "e19", "e20",
 ];
 
 /// The experiments that accept a trace sink (see [`run_experiment_traced`]).
@@ -1493,13 +1555,13 @@ pub const TRACEABLE_IDS: [&str; 4] = ["e6", "e7", "e14", "e15"];
 /// stay reproducible.
 pub const DEFAULT_SEED: u64 = 0x1CC7_1993;
 
-/// Runs one experiment by id ("e1" … "e19") at [`DEFAULT_SEED`].
+/// Runs one experiment by id ("e1" … "e20") at [`DEFAULT_SEED`].
 pub fn run_experiment(id: &str) -> Option<ExperimentOutcome> {
     run_experiment_seeded(id, DEFAULT_SEED)
 }
 
 /// Runs one experiment by id with an explicit seed for every randomized
-/// path (only E17 draws random samples today; the other experiments are
+/// path (E17/E18/E20 draw seeded operands; the other experiments are
 /// deterministic and ignore the seed).
 pub fn run_experiment_seeded(id: &str, seed: u64) -> Option<ExperimentOutcome> {
     match id.to_ascii_lowercase().as_str() {
@@ -1522,6 +1584,7 @@ pub fn run_experiment_seeded(id: &str, seed: u64) -> Option<ExperimentOutcome> {
         "e17" => Some(e17_seeded(seed)),
         "e18" => Some(e18_seeded(seed)),
         "e19" => Some(e19()),
+        "e20" => Some(e20_seeded(seed)),
         _ => None,
     }
 }

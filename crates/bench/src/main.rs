@@ -4,10 +4,10 @@
 //! cargo run -p bitlevel-bench --bin experiments [--release] [-- OPTIONS]
 //!
 //! OPTIONS:
-//!   --exp <id>       run one experiment (e1 … e19); default: all
-//!   --seed <u64>     seed for every randomized path (E17's fault campaigns
-//!                    and the faults sweep); default: the fixed
-//!                    reproducibility seed baked into the crate
+//!   --exp <id>       run one experiment (e1 … e20); default: all
+//!   --seed <u64>     seed for every randomized path (E17/E20's fault
+//!                    campaigns and the faults/faultbatch sweeps); default:
+//!                    the fixed reproducibility seed baked into the crate
 //!   --trace <path>   capture the simulated runs of a traceable experiment
 //!                    (e6, e7, e14, e15) to <path>: Chrome-trace JSON, or
 //!                    CSV when the path ends in .csv; requires --exp
@@ -15,10 +15,12 @@
 //!   --json           emit the record tables as JSON
 //!   --sweep <name>   emit a CSV data series instead:
 //!                    speedup | analysis | utilization | engine | wavefront |
-//!                    frontier | faults | batch | cache (frontier, faults,
-//!                    batch and cache also honour --json for a JSON export;
-//!                    CI stores `--sweep batch --json` as BENCH_batch.json
-//!                    and `--sweep cache --json` as BENCH_cache.json)
+//!                    frontier | faults | batch | cache | faultbatch
+//!                    (frontier, faults, batch, cache and faultbatch also
+//!                    honour --json for a JSON export; CI stores
+//!                    `--sweep batch --json` as BENCH_batch.json,
+//!                    `--sweep cache --json` as BENCH_cache.json and
+//!                    `--sweep faultbatch --json` as BENCH_faultbatch.json)
 //! ```
 
 use bitlevel_bench::{
@@ -41,7 +43,7 @@ fn main() {
             "--exp" => {
                 i += 1;
                 which = Some(args.get(i).cloned().unwrap_or_else(|| {
-                    eprintln!("--exp requires an id (e1..e19)");
+                    eprintln!("--exp requires an id (e1..e20)");
                     std::process::exit(2);
                 }));
             }
@@ -61,7 +63,7 @@ fn main() {
                 i += 1;
                 sweep = Some(args.get(i).cloned().unwrap_or_else(|| {
                     eprintln!(
-                        "--sweep requires a name (speedup|analysis|utilization|engine|wavefront|frontier|faults|batch|cache)"
+                        "--sweep requires a name (speedup|analysis|utilization|engine|wavefront|frontier|faults|batch|cache|faultbatch)"
                     );
                     std::process::exit(2);
                 }));
@@ -130,9 +132,17 @@ fn main() {
                     sweeps::cache_csv(&rows)
                 }
             }
+            "faultbatch" => {
+                let rows = sweeps::faultbatch_sweep(&sweeps::default_faultbatch_widths(), seed);
+                if json {
+                    sweeps::faultbatch_json(&rows)
+                } else {
+                    sweeps::faultbatch_csv(&rows)
+                }
+            }
             other => {
                 eprintln!(
-                    "unknown sweep {other} (speedup|analysis|utilization|engine|wavefront|frontier|faults|batch|cache)"
+                    "unknown sweep {other} (speedup|analysis|utilization|engine|wavefront|frontier|faults|batch|cache|faultbatch)"
                 );
                 std::process::exit(2);
             }
@@ -167,7 +177,7 @@ fn main() {
                     vec![o]
                 }
                 None => {
-                    eprintln!("unknown experiment id {id} (use e1..e19)");
+                    eprintln!("unknown experiment id {id} (use e1..e20)");
                     std::process::exit(2);
                 }
             }
@@ -182,7 +192,7 @@ fn main() {
         (Some(id), None) => match run_experiment_seeded(&id, seed) {
             Some(o) => vec![o],
             None => {
-                eprintln!("unknown experiment id {id} (use e1..e19)");
+                eprintln!("unknown experiment id {id} (use e1..e20)");
                 std::process::exit(2);
             }
         },

@@ -24,7 +24,12 @@
 //!   content-hashed compile cache: a cold miss (compile + disk write-through)
 //!   against a memory hit and a fresh-process disk hit, artifacts checked
 //!   identical (the E19 export; CI stores it as `BENCH_cache.json` and gates
-//!   warm < cold per row).
+//!   warm < cold per row);
+//! * [`faultbatch_sweep`] — fault-cases-per-second of the lane-packed
+//!   exhaustive campaign vs lane width and vs the scalar dual-engine
+//!   baseline, every width checked case-for-case identical to the scalar
+//!   sweep (the E20 export; CI stores it as `BENCH_faultbatch.json` and
+//!   gates the width-64/width-1 gain).
 //!
 //! Sweep rows are computed in parallel with rayon (except the timing sweeps,
 //! which run sequentially so rows don't contend).
@@ -32,7 +37,9 @@
 use bitlevel_arith::{AddShift, CarrySave};
 use bitlevel_cache::{CacheOutcome, CompileCache};
 use bitlevel_depanal::{compare_analyses, compose, Expansion};
-use bitlevel_fault::single_fault_campaign;
+use bitlevel_fault::{
+    batched_single_fault_campaign, single_fault_campaign, single_fault_campaign_with_cache,
+};
 use bitlevel_ir::WordLevelAlgorithm;
 use bitlevel_mapping::{word_level_total_time, PaperDesign};
 use bitlevel_systolic::{
@@ -908,6 +915,138 @@ pub fn default_cache_sizes() -> Vec<(i64, i64)> {
     vec![(2, 2), (3, 3), (3, 4)]
 }
 
+/// One row of the fault-batch sweep: the exhaustive single-fault campaign
+/// at one lane width vs the scalar dual-engine baseline (the E20 series
+/// behind `--sweep faultbatch`; CI checks every row classifies identically
+/// to the scalar sweep, gates the width-64/width-1 gain, and stores the
+/// JSON as `BENCH_faultbatch.json`).
+#[derive(Debug, Clone, Serialize)]
+pub struct FaultBatchRow {
+    /// Design label.
+    pub design: String,
+    /// Matrix dimension.
+    pub u: usize,
+    /// Word length.
+    pub p: usize,
+    /// Operand seed.
+    pub seed: u64,
+    /// Fault cases packed per word-wide walk.
+    pub width: usize,
+    /// Total fault cases (`|J| ·` signal bits).
+    pub cases: usize,
+    /// Word-wide walks performed (`⌈cases/width⌉`).
+    pub walks: usize,
+    /// Wall time of the batched campaign (ns).
+    pub wall_ns: u128,
+    /// Batched campaign throughput: `cases / wall seconds`.
+    pub cases_per_sec: f64,
+    /// Wall time of the scalar dual-engine campaign over the same cases (ns;
+    /// measured once per design, repeated on every row).
+    pub scalar_wall_ns: u128,
+    /// Scalar campaign throughput.
+    pub scalar_cases_per_sec: f64,
+    /// Masked cases.
+    pub masked: usize,
+    /// Detected cases.
+    pub detected: usize,
+    /// Silent-data-corruption cases (the zero-SDC bar).
+    pub sdc: usize,
+    /// True iff the batched sweep was case-for-case identical to the scalar
+    /// dual-engine sweep.
+    pub identical: bool,
+}
+
+/// Times the lane-packed exhaustive fault campaign at each width against
+/// the scalar dual-engine baseline, on both paper designs, checking every
+/// width's classifications case-for-case against the scalar sweep.
+///
+/// All campaigns of one design share one [`CompileCache`], so the schedule
+/// compiles once per design and the rows time fault replay, not
+/// compilation. Timing rows run sequentially so they don't contend, and
+/// each batched width is timed five times keeping the best run — a whole
+/// width-64 campaign takes well under a millisecond, where one scheduler
+/// hiccup would otherwise invert the monotone-throughput series CI gates.
+pub fn faultbatch_sweep(widths: &[usize], seed: u64) -> Vec<FaultBatchRow> {
+    let (u, p) = (2usize, 3usize);
+    const REPS: u32 = 5;
+    let mut rows = Vec::new();
+    for design in [PaperDesign::TimeOptimal, PaperDesign::NearestNeighbour] {
+        let cache = CompileCache::new();
+        let t0 = Instant::now();
+        let scalar = single_fault_campaign_with_cache(design, u, p, seed, &cache);
+        let scalar_wall_ns = t0.elapsed().as_nanos();
+        for &width in widths {
+            let width = width.clamp(1, MAX_LANES);
+            let mut batched = batched_single_fault_campaign(design, u, p, seed, width, &cache);
+            let mut wall_ns = u128::MAX;
+            for _ in 0..REPS {
+                let t0 = Instant::now();
+                batched = batched_single_fault_campaign(design, u, p, seed, width, &cache);
+                wall_ns = wall_ns.min(t0.elapsed().as_nanos());
+            }
+            rows.push(FaultBatchRow {
+                design: format!("{design:?}"),
+                u,
+                p,
+                seed,
+                width,
+                cases: batched.total,
+                walks: batched.walks,
+                wall_ns,
+                cases_per_sec: batched.total as f64 / (wall_ns.max(1) as f64 / 1e9),
+                scalar_wall_ns,
+                scalar_cases_per_sec: scalar.total as f64 / (scalar_wall_ns.max(1) as f64 / 1e9),
+                masked: batched.masked,
+                detected: batched.detected,
+                sdc: batched.sdc,
+                identical: batched.matches_scalar(&scalar),
+            });
+        }
+    }
+    rows
+}
+
+/// CSV rendering of the fault-batch sweep.
+pub fn faultbatch_csv(rows: &[FaultBatchRow]) -> String {
+    let mut out = String::from(
+        "design,u,p,seed,width,cases,walks,wall_ns,cases_per_sec,scalar_wall_ns,\
+         scalar_cases_per_sec,masked,detected,sdc,identical\n",
+    );
+    for r in rows {
+        out.push_str(&format!(
+            "\"{}\",{},{},{},{},{},{},{},{:.1},{},{:.1},{},{},{},{}\n",
+            r.design,
+            r.u,
+            r.p,
+            r.seed,
+            r.width,
+            r.cases,
+            r.walks,
+            r.wall_ns,
+            r.cases_per_sec,
+            r.scalar_wall_ns,
+            r.scalar_cases_per_sec,
+            r.masked,
+            r.detected,
+            r.sdc,
+            r.identical
+        ));
+    }
+    out
+}
+
+/// JSON rendering of the fault-batch sweep (the `--sweep faultbatch --json`
+/// export CI stores as `BENCH_faultbatch.json`).
+pub fn faultbatch_json(rows: &[FaultBatchRow]) -> String {
+    serde_json::to_string_pretty(rows).expect("fault-batch rows serialize")
+}
+
+/// Default widths for the fault-batch sweep: one case per walk (the old
+/// one-walk-per-case campaign cost) up to a full word of cases.
+pub fn default_faultbatch_widths() -> Vec<usize> {
+    vec![1, 8, 16, 32, 64]
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -1046,6 +1185,23 @@ mod tests {
         let csv = batch_csv(&rows);
         assert_eq!(csv.lines().count(), 7);
         assert!(csv.starts_with("design,u,p,width,"));
+    }
+
+    #[test]
+    fn faultbatch_rows_are_identical_to_scalar_at_every_width() {
+        let rows = faultbatch_sweep(&[1, 5, 64], 0x1CC7_1993);
+        assert_eq!(rows.len(), 6, "two designs x three widths");
+        for r in &rows {
+            assert!(r.identical, "{} at width {} diverged", r.design, r.width);
+            assert_eq!(r.cases, 2 * 2 * 2 * 3 * 3 * 5, "|J| x 5 signal bits");
+            assert_eq!(r.walks, r.cases.div_ceil(r.width));
+            assert_eq!(r.sdc, 0);
+            assert_eq!(r.masked + r.detected, r.cases);
+            assert!(r.cases_per_sec > 0.0 && r.scalar_cases_per_sec > 0.0);
+        }
+        let csv = faultbatch_csv(&rows);
+        assert_eq!(csv.lines().count(), 7);
+        assert!(csv.starts_with("design,u,p,seed,width,"));
     }
 
     #[test]

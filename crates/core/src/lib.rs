@@ -46,8 +46,10 @@ pub use bitlevel_arith::{AddShift, CarrySave, MultiplierAlgorithm, RippleAdder};
 pub use bitlevel_cache::{schedule_key, CacheKey, CacheOutcome, CacheStats, CompileCache};
 pub use bitlevel_depanal::{compare_analyses, compose, expand, Expansion};
 pub use bitlevel_fault::{
-    monte_carlo_campaign, single_fault_campaign, FaultCampaignReport, FaultKind, FaultOutcome,
-    FaultPlan, MonteCarloReport, RandomFault, TargetedFault,
+    batched_single_fault_campaign, monte_carlo_campaign, monte_carlo_campaign_with_cache,
+    single_fault_campaign, single_fault_campaign_with_cache, BatchedFaultCampaignReport,
+    BatchedFaultCase, FaultCampaignReport, FaultKind, FaultOutcome, FaultPlan, MonteCarloReport,
+    RandomFault, TargetedFault,
 };
 pub use bitlevel_ir::{AlgorithmTriplet, BoxSet, WordLevelAlgorithm};
 pub use bitlevel_mapping::{

@@ -922,6 +922,75 @@ impl DesignFlow {
         }
     }
 
+    /// The exhaustive dual-engine single-fault campaign (experiment E17) on
+    /// this flow's matmul, compiling through the flow's shared
+    /// [`CompileCache`]: a campaign after any compiled evaluation of the
+    /// same design is a cache hit, and repeated campaigns never recompile.
+    ///
+    /// # Panics
+    /// Panics unless the flow is an Expansion II matmul (the fault space and
+    /// ABFT checksums are matmul-specific).
+    pub fn single_fault_campaign(
+        &self,
+        design: PaperDesign,
+        seed: u64,
+    ) -> bitlevel_fault::FaultCampaignReport {
+        let (u, p) = self.campaign_shape();
+        bitlevel_fault::single_fault_campaign_with_cache(design, u, p, seed, &self.cache)
+    }
+
+    /// The lane-packed exhaustive single-fault campaign: up to
+    /// [`MAX_LANES`] distinct fault cases per word-wide compiled walk,
+    /// case-for-case identical to [`DesignFlow::single_fault_campaign`]
+    /// (`report.matches_scalar` checks it), sharing the flow's
+    /// [`CompileCache`].
+    ///
+    /// # Panics
+    /// Panics unless the flow is an Expansion II matmul.
+    pub fn batched_single_fault_campaign(
+        &self,
+        design: PaperDesign,
+        seed: u64,
+        width: usize,
+    ) -> bitlevel_fault::BatchedFaultCampaignReport {
+        let (u, p) = self.campaign_shape();
+        bitlevel_fault::batched_single_fault_campaign(design, u, p, seed, width, &self.cache)
+    }
+
+    /// Seeded Monte Carlo multi-fault campaign through the flow's shared
+    /// [`CompileCache`] (see [`DesignFlow::single_fault_campaign`]).
+    ///
+    /// # Panics
+    /// Panics unless the flow is an Expansion II matmul.
+    pub fn monte_carlo_campaign(
+        &self,
+        design: PaperDesign,
+        seed: u64,
+        trials: usize,
+        rate: f64,
+    ) -> bitlevel_fault::MonteCarloReport {
+        let (u, p) = self.campaign_shape();
+        bitlevel_fault::monte_carlo_campaign_with_cache(
+            design,
+            u,
+            p,
+            seed,
+            trials,
+            rate,
+            &self.cache,
+        )
+    }
+
+    fn campaign_shape(&self) -> (usize, usize) {
+        assert_eq!(self.word.dim(), 3, "fault campaigns target matmul flows");
+        assert_eq!(
+            self.expansion,
+            Expansion::II,
+            "fault campaigns run the Expansion II structure"
+        );
+        (self.word.bounds.upper()[0] as usize, self.p)
+    }
+
     /// The one cached-compile path every compiled-backend entry point shares:
     /// consults the flow's [`CompileCache`] by content key, emits a
     /// [`TraceEvent::CacheQuery`] for the lookup, and — when the structure
@@ -1582,6 +1651,29 @@ mod tests {
         assert_eq!(keys.len(), 2);
         assert_eq!(keys[0], keys[1]);
         assert_eq!(keys[0].len(), 32, "keys render as 32 hex digits");
+    }
+
+    #[test]
+    fn campaigns_ride_the_flow_cache_and_batched_matches_scalar() {
+        // The campaign compile-cache bypass regression: a scalar campaign,
+        // a batched campaign and a Monte Carlo campaign through one flow
+        // must share a single schedule compile, and the batched sweep must
+        // be case-for-case identical to the scalar one.
+        let flow = DesignFlow::matmul(2, 2);
+        let design = PaperDesign::TimeOptimal;
+        let scalar = flow.single_fault_campaign(design, 0xB17);
+        let batched = flow.batched_single_fault_campaign(design, 0xB17, 64);
+        let mc = flow.monte_carlo_campaign(design, 9, 3, 0.02);
+        assert_eq!(scalar.sdc, 0);
+        assert_eq!(scalar.engine_mismatches, 0);
+        assert!(batched.matches_scalar(&scalar));
+        assert_eq!(batched.walks, scalar.total.div_ceil(64));
+        assert_eq!(mc.trials, 3);
+        assert_eq!(
+            flow.cache().stats().compiles(),
+            1,
+            "all three campaigns share one compile"
+        );
     }
 
     #[test]

@@ -10,18 +10,36 @@
 //! plans at a per-point rate and reports the residual SDC probability that
 //! compensating faults can reach (see the cancellation example in
 //! [`crate::abft`]).
+//!
+//! Two execution strategies cover the exhaustive space:
+//!
+//! * [`single_fault_campaign`] — the dual-engine oracle: every case runs the
+//!   interpreted *and* the compiled engine, one full walk per case;
+//! * [`batched_single_fault_campaign`] — the lane-packed production path:
+//!   up to 64 distinct fault cases ride the bit-lanes of **one** word-wide
+//!   compiled walk (via
+//!   [`bitlevel_systolic::LaneFaultedCells`]), walks are distributed across
+//!   threads, and all lanes' syndromes classify in one pass — case-for-case
+//!   bit-identical to the scalar sweep (a report method checks exactly
+//!   that).
+//!
+//! Both compile through a shared [`CompileCache`], so repeated campaigns on
+//! one design pay for schedule compilation once.
 
 use std::collections::BTreeMap;
 use std::fmt::Write as _;
+use std::sync::Arc;
 
+use bitlevel_cache::CompileCache;
 use bitlevel_depanal::{compose, Expansion};
 use bitlevel_ir::{AlgorithmTriplet, WordLevelAlgorithm};
 use bitlevel_linalg::IVec;
 use bitlevel_mapping::PaperDesign;
 use bitlevel_systolic::{
-    run_clocked_faulted, BitMatmulArray, CompiledSchedule, FaultableBundle, MatmulExpansionIICells,
-    MatmulSignals, NullSink,
+    run_clocked_faulted, BitMatmulArray, CompiledSchedule, FaultableBundle, LaneFaultMasks,
+    LaneFaultedCells, MatmulExpansionIICells, MatmulLaneCells, MatmulSignals, NullSink, MAX_LANES,
 };
+use rayon::prelude::*;
 use serde::Serialize;
 
 use crate::abft::{FaultOutcome, MatmulChecksums};
@@ -153,14 +171,14 @@ struct CampaignRig {
     alg: AlgorithmTriplet,
     t: bitlevel_mapping::MappingMatrix,
     ic: bitlevel_mapping::Interconnect,
-    sched: CompiledSchedule,
+    sched: Arc<CompiledSchedule>,
     cells: MatmulExpansionIICells,
     checksums: MatmulChecksums,
     golden: Vec<Vec<u128>>,
 }
 
 impl CampaignRig {
-    fn new(design: PaperDesign, u: usize, p: usize, seed: u64) -> Self {
+    fn new(design: PaperDesign, u: usize, p: usize, seed: u64, cache: &CompileCache) -> Self {
         let alg = matmul_structure(u, p);
         let t = design.mapping(p as i64);
         let ic = design.interconnect(p as i64);
@@ -168,7 +186,8 @@ impl CampaignRig {
         let golden = BitMatmulArray::new(u, p).reference(&x, &y);
         let checksums = MatmulChecksums::derive(&x, &y, p);
         let cells = MatmulExpansionIICells::new(u, p, &x, &y);
-        let sched = CompiledSchedule::try_compile(&alg, &t, &ic)
+        let (sched, _) = cache
+            .get_or_compile(&alg, &t, &ic)
             .expect("paper-scale structures always fit the compiled representation");
         CampaignRig {
             alg,
@@ -208,13 +227,31 @@ impl CampaignRig {
 
 /// The exhaustive single-fault sweep of experiment E17: one transient flip
 /// per `(index point, signal bit)` pair, each case run on both engines.
+///
+/// Compiles through a throwaway [`CompileCache`]; use
+/// [`single_fault_campaign_with_cache`] to share compilation across
+/// campaigns (the `DesignFlow` pipeline does).
 pub fn single_fault_campaign(
     design: PaperDesign,
     u: usize,
     p: usize,
     seed: u64,
 ) -> FaultCampaignReport {
-    let mut rig = CampaignRig::new(design, u, p, seed);
+    single_fault_campaign_with_cache(design, u, p, seed, &CompileCache::new())
+}
+
+/// [`single_fault_campaign`] compiling through a caller-supplied
+/// [`CompileCache`]: repeated campaigns (or a scalar/batched pair) on one
+/// design hit the cache instead of recompiling, and the cache's
+/// [`bitlevel_cache::CacheStats`] counters account for the lookup.
+pub fn single_fault_campaign_with_cache(
+    design: PaperDesign,
+    u: usize,
+    p: usize,
+    seed: u64,
+    cache: &CompileCache,
+) -> FaultCampaignReport {
+    let mut rig = CampaignRig::new(design, u, p, seed, cache);
     let points: Vec<IVec> = rig.alg.index_set.iter_points().collect();
     let mut cases = Vec::with_capacity(points.len() * MatmulSignals::fault_bits());
     let mut vulnerability: BTreeMap<IVec, u64> = BTreeMap::new();
@@ -317,7 +354,21 @@ pub fn monte_carlo_campaign(
     trials: usize,
     rate: f64,
 ) -> MonteCarloReport {
-    let mut rig = CampaignRig::new(design, u, p, seed);
+    monte_carlo_campaign_with_cache(design, u, p, seed, trials, rate, &CompileCache::new())
+}
+
+/// [`monte_carlo_campaign`] compiling through a caller-supplied
+/// [`CompileCache`] (see [`single_fault_campaign_with_cache`]).
+pub fn monte_carlo_campaign_with_cache(
+    design: PaperDesign,
+    u: usize,
+    p: usize,
+    seed: u64,
+    trials: usize,
+    rate: f64,
+    cache: &CompileCache,
+) -> MonteCarloReport {
+    let mut rig = CampaignRig::new(design, u, p, seed, cache);
     let mut details = Vec::with_capacity(trials);
     for trial in 0..trials {
         let plan = FaultPlan {
@@ -362,6 +413,206 @@ pub fn monte_carlo_campaign(
     }
 }
 
+/// One case of a lane-packed exhaustive sweep: which walk and lane carried
+/// it, and how its syndrome classified.
+#[derive(Debug, Clone, Serialize)]
+pub struct BatchedFaultCase {
+    /// The injected fault.
+    pub kind: FaultKind,
+    /// The index point it hit.
+    pub point: IVec,
+    /// The processor executing that point.
+    pub pe: IVec,
+    /// The firing cycle.
+    pub cycle: i64,
+    /// Which word-wide walk carried this case.
+    pub walk: usize,
+    /// Which bit-lane of that walk.
+    pub lane: usize,
+    /// Classification of the lane's extracted product.
+    pub outcome: FaultOutcome,
+}
+
+/// Aggregate result of one lane-packed exhaustive single-fault sweep.
+#[derive(Debug, Clone, Serialize)]
+pub struct BatchedFaultCampaignReport {
+    /// Which paper design ran.
+    pub design: String,
+    /// Matrix dimension.
+    pub u: usize,
+    /// Word length.
+    pub p: usize,
+    /// Operand seed.
+    pub seed: u64,
+    /// Lane width each walk was packed to (`1..=MAX_LANES`).
+    pub width: usize,
+    /// Number of injected cases (`|J| ·` signal bits).
+    pub total: usize,
+    /// Number of word-wide walks executed (`⌈total / width⌉`).
+    pub walks: usize,
+    /// Cases whose output equalled the golden product.
+    pub masked: usize,
+    /// Cases caught by a nonzero syndrome.
+    pub detected: usize,
+    /// Silent-data-corruption cases (must be 0 for single transient flips).
+    pub sdc: usize,
+    /// Per-PE count of non-masked cases, sorted by processor coordinates.
+    pub vulnerability: Vec<(IVec, u64)>,
+    /// Every case, in the scalar sweep's order.
+    pub cases: Vec<BatchedFaultCase>,
+}
+
+impl BatchedFaultCampaignReport {
+    /// True iff `{masked, detected, sdc}` partitions the injected set.
+    pub fn classifications_partition(&self) -> bool {
+        self.masked + self.detected + self.sdc == self.total
+    }
+
+    /// The per-PE vulnerability as a map, ready for
+    /// [`bitlevel_systolic::render_fault_heatmap`].
+    pub fn vulnerability_map(&self) -> BTreeMap<IVec, u64> {
+        self.vulnerability.iter().cloned().collect()
+    }
+
+    /// True iff this batched sweep is case-for-case identical to a scalar
+    /// dual-engine sweep: same cases in the same order, and every lane's
+    /// classification equal to **both** engines' scalar classification.
+    pub fn matches_scalar(&self, scalar: &FaultCampaignReport) -> bool {
+        self.total == scalar.total
+            && self.cases.len() == scalar.cases.len()
+            && self.cases.iter().zip(&scalar.cases).all(|(b, s)| {
+                b.kind == s.kind
+                    && b.point == s.point
+                    && b.pe == s.pe
+                    && b.cycle == s.cycle
+                    && b.outcome == s.interpreted
+                    && b.outcome == s.compiled
+            })
+    }
+
+    /// JSON export of the whole report.
+    pub fn to_json(&self) -> String {
+        serde_json::to_string_pretty(self).unwrap_or_default()
+    }
+}
+
+/// The lane-packed exhaustive single-fault sweep: the same case list as
+/// [`single_fault_campaign`] (every `(index point, signal bit)` transient
+/// flip, in the same order), but packed `width` distinct cases per
+/// word-wide compiled walk instead of one case per walk.
+///
+/// Each chunk of `width` cases becomes one [`LaneFaultedCells`] walk: lane
+/// `l` carries chunk case `l`'s flip via a per-lane mask, every lane's
+/// product is extracted straight from the packed words, and all lanes
+/// classify against the shared golden product/checksums in one pass. Chunks
+/// are independent, so the walk list is distributed across threads. The
+/// schedule compiles once through `cache` — shared with any scalar campaign
+/// or pipeline using the same cache.
+///
+/// `width` is clamped to `1..=`[`MAX_LANES`]. At width 1 this degenerates
+/// to one case per walk (the scalar compiled engine's cost); at width 64 an
+/// exhaustive sweep runs ~`width`× fewer walks.
+pub fn batched_single_fault_campaign(
+    design: PaperDesign,
+    u: usize,
+    p: usize,
+    seed: u64,
+    width: usize,
+    cache: &CompileCache,
+) -> BatchedFaultCampaignReport {
+    let width = width.clamp(1, MAX_LANES);
+    let alg = matmul_structure(u, p);
+    let t = design.mapping(p as i64);
+    let ic = design.interconnect(p as i64);
+    let (x, y) = operand_matrices(u, p, seed);
+    let golden = BitMatmulArray::new(u, p).reference(&x, &y);
+    let checksums = MatmulChecksums::derive(&x, &y, p);
+    let (sched, _) = cache
+        .get_or_compile(&alg, &t, &ic)
+        .expect("paper-scale structures always fit the compiled representation");
+
+    // Case descriptors in the exact scalar sweep order: points × signal
+    // bits. Every case is a transient flip at one index point — precisely
+    // the fault space LaneFaultMasks covers.
+    struct CaseDesc {
+        kind: FaultKind,
+        point: IVec,
+        pe: IVec,
+        cycle: i64,
+        bit: usize,
+    }
+    let mut descs = Vec::new();
+    for point in alg.index_set.iter_points() {
+        let pe = t.place(&point);
+        let cycle = t.time(&point);
+        for bit in 0..MatmulSignals::fault_bits() {
+            descs.push(CaseDesc {
+                kind: FaultKind::TransientFlip { bit },
+                point: point.clone(),
+                pe: pe.clone(),
+                cycle,
+                bit,
+            });
+        }
+    }
+    let total = descs.len();
+    let chunks: Vec<(usize, &[CaseDesc])> = descs.chunks(width).enumerate().collect();
+    let walks = chunks.len();
+
+    // Every walk carries the same operands in every lane — only the fault
+    // masks differ — so the lane packing is done once and shared. A ragged
+    // final chunk leaves its high lanes clean; they are never read back.
+    let cells = MatmulLaneCells::new(u, p, &vec![x.clone(); width], &vec![y.clone(); width]);
+
+    let cases: Vec<BatchedFaultCase> = chunks
+        .par_iter()
+        .flat_map(|&(walk, chunk)| {
+            let mut masks = LaneFaultMasks::new();
+            for (lane, case) in chunk.iter().enumerate() {
+                masks.flip(case.point.clone(), case.bit, lane);
+            }
+            let faulted = LaneFaultedCells::new(&cells, &masks);
+            let run = sched.execute_batch(&faulted);
+            let products = cells.extract_products(&run);
+            chunk
+                .iter()
+                .enumerate()
+                .map(|(lane, case)| BatchedFaultCase {
+                    kind: case.kind,
+                    point: case.point.clone(),
+                    pe: case.pe.clone(),
+                    cycle: case.cycle,
+                    walk,
+                    lane,
+                    outcome: checksums.classify(&golden, &products[lane]),
+                })
+                .collect::<Vec<_>>()
+        })
+        .collect();
+
+    let mut vulnerability: BTreeMap<IVec, u64> = BTreeMap::new();
+    for case in &cases {
+        if case.outcome != FaultOutcome::Masked {
+            *vulnerability.entry(case.pe.clone()).or_insert(0) += 1;
+        }
+    }
+    let count = |o: FaultOutcome| cases.iter().filter(|c| c.outcome == o).count();
+    BatchedFaultCampaignReport {
+        design: format!("{design:?}"),
+        u,
+        p,
+        seed,
+        width,
+        total,
+        walks,
+        masked: count(FaultOutcome::Masked),
+        detected: count(FaultOutcome::Detected),
+        sdc: count(FaultOutcome::Sdc),
+        vulnerability: vulnerability.into_iter().collect(),
+        cases,
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -387,6 +638,65 @@ mod tests {
             assert_eq!(csv.lines().count(), r.total + 1, "{design:?}");
             assert!(csv.contains("TransientFlip"), "{design:?}");
         }
+    }
+
+    #[test]
+    fn batched_campaign_is_case_for_case_identical_to_scalar() {
+        // The tentpole acceptance bar: lane-packing distinct fault cases
+        // into word-wide walks must not change a single classification, at
+        // any width, on either design — including ragged tails (160 cases
+        // is not a multiple of 7, 23 or 64).
+        let cache = CompileCache::new();
+        for design in [PaperDesign::TimeOptimal, PaperDesign::NearestNeighbour] {
+            let scalar = single_fault_campaign_with_cache(design, 2, 2, 0xB17, &cache);
+            for width in [1usize, 7, 23, 64] {
+                let batched = batched_single_fault_campaign(design, 2, 2, 0xB17, width, &cache);
+                assert_eq!(batched.total, scalar.total, "{design:?} width {width}");
+                assert_eq!(
+                    batched.walks,
+                    scalar.total.div_ceil(width),
+                    "{design:?} width {width}"
+                );
+                assert!(batched.classifications_partition());
+                assert_eq!(batched.sdc, 0, "{design:?} width {width}");
+                assert!(
+                    batched.matches_scalar(&scalar),
+                    "{design:?} width {width}: batched sweep diverged from scalar"
+                );
+                assert_eq!(
+                    batched.vulnerability, scalar.vulnerability,
+                    "{design:?} width {width}"
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn campaigns_share_one_compile_through_the_cache() {
+        // The campaign.rs:171 bypass regression: a scalar campaign, a
+        // batched campaign and a Monte Carlo campaign on one design must
+        // compile the schedule exactly once when handed the same cache.
+        let cache = CompileCache::new();
+        let design = PaperDesign::TimeOptimal;
+        let scalar = single_fault_campaign_with_cache(design, 2, 2, 0xB17, &cache);
+        let batched = batched_single_fault_campaign(design, 2, 2, 0xB17, 64, &cache);
+        let mc = monte_carlo_campaign_with_cache(design, 2, 2, 9, 4, 0.02, &cache);
+        assert_eq!(scalar.total, batched.total);
+        assert_eq!(mc.trials, 4);
+        let stats = cache.stats();
+        assert_eq!(stats.compiles(), 1, "one design, one compile");
+        assert_eq!(stats.hits, 2, "batched + monte carlo both hit");
+    }
+
+    #[test]
+    fn batched_width_is_clamped() {
+        let cache = CompileCache::new();
+        let r = batched_single_fault_campaign(PaperDesign::TimeOptimal, 2, 2, 1, 0, &cache);
+        assert_eq!(r.width, 1);
+        assert_eq!(r.walks, r.total);
+        let r = batched_single_fault_campaign(PaperDesign::TimeOptimal, 2, 2, 1, 1000, &cache);
+        assert_eq!(r.width, MAX_LANES);
+        assert_eq!(r.walks, r.total.div_ceil(MAX_LANES));
     }
 
     #[test]

@@ -16,12 +16,15 @@
 //!   input-derived row/column checksums mod `2^{2p−1}`, syndrome decoding
 //!   after drain, and the masked / detected / silent-data-corruption
 //!   classification of [`FaultOutcome`];
-//! * [`campaign`] — the experiment E17 drivers: the exhaustive single-fault
-//!   sweep (every index point × every signal bit, run on both engines, with
-//!   the zero-SDC guarantee for single transient flips) and seeded Monte
-//!   Carlo multi-fault campaigns, exporting [`FaultCampaignReport`] as
-//!   CSV/JSON plus the per-PE vulnerability data behind the
-//!   Fig. 4 vs Fig. 5 critical-PE heat map.
+//! * [`campaign`] — the experiment E17/E20 drivers: the exhaustive
+//!   single-fault sweep (every index point × every signal bit, run on both
+//!   engines, with the zero-SDC guarantee for single transient flips), its
+//!   lane-packed form [`batched_single_fault_campaign`] (up to 64 distinct
+//!   fault cases per word-wide compiled walk, case-for-case identical to
+//!   the scalar sweep) and seeded Monte Carlo multi-fault campaigns, all
+//!   compiling through a shared `CompileCache`, exporting
+//!   [`FaultCampaignReport`] as CSV/JSON plus the per-PE vulnerability data
+//!   behind the Fig. 4 vs Fig. 5 critical-PE heat map.
 
 pub mod abft;
 pub mod campaign;
@@ -29,7 +32,9 @@ pub mod plan;
 
 pub use abft::{checksum_modulus, FaultOutcome, MatmulChecksums, SyndromeSet};
 pub use campaign::{
-    matmul_structure, monte_carlo_campaign, operand_matrices, single_fault_campaign,
+    batched_single_fault_campaign, matmul_structure, monte_carlo_campaign,
+    monte_carlo_campaign_with_cache, operand_matrices, single_fault_campaign,
+    single_fault_campaign_with_cache, BatchedFaultCampaignReport, BatchedFaultCase,
     FaultCampaignReport, FaultCase, MonteCarloReport, MonteCarloTrial,
 };
 pub use plan::{

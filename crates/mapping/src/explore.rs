@@ -297,8 +297,8 @@ pub fn explore(
                 // lower bound valid for every candidate schedule.
                 let mut min_hops = Vec::with_capacity(sd.cols());
                 let mut routable = true;
-                for c in 0..sd.cols() {
-                    match ic.route(&sd.col(c), max_budgets[c]) {
+                for (c, &budget) in max_budgets.iter().enumerate().take(sd.cols()) {
+                    match ic.route(&sd.col(c), budget) {
                         Some(rt) => min_hops.push(rt.hops),
                         None => {
                             routable = false;
@@ -377,7 +377,7 @@ pub fn explore(
 /// collapses exact objective ties onto their lexicographically smallest
 /// witness).
 fn pareto_frontier(mut points: Vec<FrontierPoint>) -> Vec<FrontierPoint> {
-    points.sort_by(|a, b| point_key(a).cmp(&point_key(b)));
+    points.sort_by_key(point_key);
     let mut out: Vec<FrontierPoint> = Vec::new();
     for p in points {
         let dominated = out.iter().any(|q| {

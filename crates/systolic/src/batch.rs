@@ -22,20 +22,30 @@
 //!   [`MatmulExpansionIICells`]: every control decision in `compute` depends
 //!   only on the index point and input presence (lane-uniform), so the
 //!   scalar body ports to [`LaneWord`] operations verbatim;
-//! * [`PerLaneCells`] — the generic fallback for any other
-//!   [`SyncCellSemantics`]: packed tokens are `Vec<Bundle>` and the cell is
-//!   evaluated per lane. No word-parallel arithmetic win, but the schedule
-//!   walk (the dominant cost for small cells) is still amortised over the
-//!   batch;
+//! * [`crate::model35::Model35LaneCells`] — the same bitwise port of the
+//!   generic model-(3.5) cells, covering convolution, matrix–vector and the
+//!   other Section 3.2 workloads word-wide;
+//! * [`PerLaneCells`] — the tested **last resort** for a
+//!   [`SyncCellSemantics`] with no bitwise word form: packed tokens are
+//!   `Vec<Bundle>` and the cell is evaluated per lane;
 //! * [`LaneView`] — adapts one lane of any [`LaneCellSemantics`] back into a
 //!   scalar [`SyncCellSemantics`], so the existing engines (including the
-//!   fault-injecting ones) can replay a single instance bit-exactly.
+//!   fault-injecting ones) can replay a single instance bit-exactly;
+//! * [`LaneFaultedCells`] — wraps any bitwise [`LaneCellSemantics`] with a
+//!   [`LaneFaultMasks`] schedule of **per-lane output faults** (transient
+//!   flips, stuck-at), so up to [`MAX_LANES`] *distinct fault cases* ride
+//!   one word-wide walk: faults perturb only token values after compute,
+//!   never the (lane-uniform) control flow, so the wordization argument is
+//!   untouched and each lane sees exactly the scalar faulted semantics.
 
 use crate::clocked::{
     CellSemantics, ClockedRun, ClockedViolation, MatmulExpansionIICells, MatmulSignals,
     SyncCellSemantics,
 };
-use bitlevel_arith::{full_add_lanes, lane_bit, to_bits, wide_add_lanes, Bit, LaneWord};
+use crate::fault::FaultableBundle;
+use bitlevel_arith::{
+    flip_lanes, full_add_lanes, lane_bit, set_lanes, to_bits, wide_add_lanes, Bit, LaneWord,
+};
 use bitlevel_linalg::IVec;
 use std::collections::HashMap;
 use std::fmt;
@@ -242,11 +252,17 @@ impl<L: LaneCellSemantics> CellSemantics for LaneView<'_, L> {
     }
 }
 
-/// Generic per-lane fallback: batches *any* pure [`SyncCellSemantics`] by
-/// evaluating one cell instance per lane. Packed tokens are `Vec<Bundle>`
-/// (index = lane), so there is no word-parallel arithmetic win — but the
-/// schedule walk, the dominant cost for small cells, still runs once for
-/// the whole batch.
+/// Generic per-lane **last resort**: batches a pure [`SyncCellSemantics`]
+/// that has no bitwise word form by evaluating one cell instance per lane.
+/// Packed tokens are `Vec<Bundle>` (index = lane): every slot of every
+/// cycle heap-allocates one `Vec` and clones each lane's input bundles —
+/// even at width 1, where a bitwise semantics carries a `Copy` word and
+/// allocates nothing. Prefer [`MatmulLaneCells`] for the matmul cells and
+/// [`crate::model35::Model35LaneCells`] for every other model-(3.5)
+/// workload; reach for this only when the semantics genuinely cannot be
+/// wordized (value-dependent control flow). The schedule walk is still
+/// amortised over the batch, so it remains faster than per-instance scalar
+/// walks — just without the word-parallel arithmetic win.
 pub struct PerLaneCells<S> {
     cells: Vec<S>,
 }
@@ -302,6 +318,166 @@ impl<S: SyncCellSemantics> LaneCellSemantics for PerLaneCells<S> {
 
     fn extract_lane(&self, packed: &Vec<S::Bundle>, lane: usize) -> S::Bundle {
         packed[lane].clone()
+    }
+}
+
+/// Word form of [`FaultableBundle`]: a lane-packed token whose per-lane
+/// signal bits a [`LaneFaultMasks`] schedule can address. Bit indices match
+/// the scalar bundle's [`FaultableBundle`] numbering, so a fault plan means
+/// the same wire on both forms.
+pub trait LanePackedBundle {
+    /// Inverts signal `bit` in every lane selected by `mask`.
+    fn flip_bit_lanes(&mut self, bit: usize, mask: LaneWord);
+
+    /// Forces signal `bit` to `value` in every lane selected by `mask`.
+    fn set_bit_lanes(&mut self, bit: usize, value: bool, mask: LaneWord);
+}
+
+/// A per-lane schedule of **output-side** faults for one lane-packed walk:
+/// at index point `q`, flip (or force) signal `bit` in exactly the lanes
+/// selected by a mask. This is the word form of the exhaustive-campaign
+/// fault space — transient flips and stuck-at faults on a computed bundle —
+/// and deliberately excludes transfer faults and dead PEs, whose effects
+/// are not per-lane value edits (those cases take the scalar
+/// [`LaneView`] replay path of
+/// [`crate::compiled::CompiledSchedule::execute_batch_faulted`]).
+///
+/// Soundness: the batch walk's control flow (gathers, firing order,
+/// bookkeeping) never reads token values, so editing lanes of a computed
+/// word cannot desynchronise the walk — each lane simply carries the value
+/// stream its scalar faulted run would have carried.
+#[derive(Debug, Clone, Default)]
+pub struct LaneFaultMasks {
+    /// `point -> [(bit, value, lane mask)]`, applied before flips (the
+    /// scalar injector's order: stuck-at, then transient flips).
+    stuck: HashMap<IVec, Vec<(usize, bool, LaneWord)>>,
+    /// `point -> [(bit, lane mask)]`.
+    flips: HashMap<IVec, Vec<(usize, LaneWord)>>,
+}
+
+impl LaneFaultMasks {
+    /// An empty schedule (applying it is a no-op).
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Adds a transient flip of signal `bit` at `point`, in lane `lane`.
+    /// Flipping the same `(point, bit, lane)` twice cancels, exactly like
+    /// two scalar flips on one wire.
+    ///
+    /// # Panics
+    /// Panics if `lane >= MAX_LANES`.
+    pub fn flip(&mut self, point: IVec, bit: usize, lane: usize) {
+        assert!(lane < MAX_LANES, "lane {lane} out of range");
+        let masks = self.flips.entry(point).or_default();
+        match masks.iter_mut().find(|(b, _)| *b == bit) {
+            Some(m) => m.1 ^= 1 << lane,
+            None => masks.push((bit, 1 << lane)),
+        }
+    }
+
+    /// Adds a stuck-at fault forcing signal `bit` to `value` at `point`, in
+    /// lane `lane`.
+    ///
+    /// # Panics
+    /// Panics if `lane >= MAX_LANES`.
+    pub fn stuck(&mut self, point: IVec, bit: usize, value: bool, lane: usize) {
+        assert!(lane < MAX_LANES, "lane {lane} out of range");
+        let masks = self.stuck.entry(point).or_default();
+        match masks.iter_mut().find(|(b, v, _)| *b == bit && *v == value) {
+            Some(m) => m.2 |= 1 << lane,
+            None => masks.push((bit, value, 1 << lane)),
+        }
+    }
+
+    /// True iff no fault is scheduled anywhere.
+    pub fn is_empty(&self) -> bool {
+        self.stuck.is_empty() && self.flips.is_empty()
+    }
+
+    /// Applies every fault scheduled at `q` to a packed token, all lanes at
+    /// once (stuck-at before flips, matching the scalar injector).
+    pub fn apply<P: LanePackedBundle>(&self, q: &IVec, packed: &mut P) {
+        if let Some(masks) = self.stuck.get(q) {
+            for &(bit, value, mask) in masks {
+                packed.set_bit_lanes(bit, value, mask);
+            }
+        }
+        if let Some(masks) = self.flips.get(q) {
+            for &(bit, mask) in masks {
+                packed.flip_bit_lanes(bit, mask);
+            }
+        }
+    }
+
+    /// Applies the faults scheduled at `q` **for one lane** to a scalar
+    /// bundle — the reference form [`LaneFaultedCells::compute_lane`] uses,
+    /// bit-identical to masking lane `lane` of [`LaneFaultMasks::apply`].
+    pub fn apply_lane<B: FaultableBundle>(&self, q: &IVec, lane: usize, bundle: &mut B) {
+        if let Some(masks) = self.stuck.get(q) {
+            for &(bit, value, mask) in masks {
+                if lane_bit(mask, lane) {
+                    bundle.set_bit(bit, value);
+                }
+            }
+        }
+        if let Some(masks) = self.flips.get(q) {
+            for &(bit, mask) in masks {
+                if lane_bit(mask, lane) {
+                    bundle.flip_bit(bit);
+                }
+            }
+        }
+    }
+}
+
+/// Wraps a bitwise [`LaneCellSemantics`] with a [`LaneFaultMasks`] schedule:
+/// every computed token gets its per-lane output faults applied *before*
+/// settling into the arena, so downstream consumers read the faulted values
+/// — exactly where the scalar engines' `FaultInjector::on_output` hook
+/// lands. One word-wide walk of the wrapped semantics therefore simulates
+/// up to [`MAX_LANES`] **distinct single-fault cases** (or clean lanes)
+/// simultaneously, which is what turns an exhaustive fault campaign from
+/// one-walk-per-case into one-walk-per-64-cases.
+pub struct LaneFaultedCells<'a, L: LaneCellSemantics> {
+    inner: &'a L,
+    masks: &'a LaneFaultMasks,
+}
+
+impl<'a, L: LaneCellSemantics> LaneFaultedCells<'a, L> {
+    /// Wraps `inner` under the fault schedule `masks`.
+    pub fn new(inner: &'a L, masks: &'a LaneFaultMasks) -> Self {
+        LaneFaultedCells { inner, masks }
+    }
+}
+
+impl<L> LaneCellSemantics for LaneFaultedCells<'_, L>
+where
+    L: LaneCellSemantics,
+    L::Packed: LanePackedBundle,
+    L::Bundle: FaultableBundle + Send + Sync + fmt::Debug,
+{
+    type Bundle = L::Bundle;
+    type Packed = L::Packed;
+
+    fn lanes(&self) -> usize {
+        self.inner.lanes()
+    }
+
+    fn compute_lanes(&self, q: &IVec, inputs: &[Option<L::Packed>]) -> L::Packed {
+        let mut packed = self.inner.compute_lanes(q, inputs);
+        self.masks.apply(q, &mut packed);
+        packed
+    }
+
+    fn compute_lane(&self, lane: usize, q: &IVec, inputs: &[Option<L::Bundle>]) -> L::Bundle {
+        let mut bundle = self.inner.compute_lane(lane, q, inputs);
+        self.masks.apply_lane(q, lane, &mut bundle);
+        bundle
+    }
+
+    fn extract_lane(&self, packed: &L::Packed, lane: usize) -> L::Bundle {
+        self.inner.extract_lane(packed, lane)
     }
 }
 
@@ -543,6 +719,30 @@ impl LaneCellSemantics for MatmulLaneCells {
     }
 }
 
+impl LanePackedBundle for MatmulLaneSignals {
+    // Bit numbering matches `FaultableBundle for MatmulSignals`:
+    // [x, y, s, c, cp].
+    fn flip_bit_lanes(&mut self, bit: usize, mask: LaneWord) {
+        match bit % 5 {
+            0 => self.x = flip_lanes(self.x, mask),
+            1 => self.y = flip_lanes(self.y, mask),
+            2 => self.s = flip_lanes(self.s, mask),
+            3 => self.c = flip_lanes(self.c, mask),
+            _ => self.cp = flip_lanes(self.cp, mask),
+        }
+    }
+
+    fn set_bit_lanes(&mut self, bit: usize, value: bool, mask: LaneWord) {
+        match bit % 5 {
+            0 => self.x = set_lanes(self.x, mask, value),
+            1 => self.y = set_lanes(self.y, mask, value),
+            2 => self.s = set_lanes(self.s, mask, value),
+            3 => self.c = set_lanes(self.c, mask, value),
+            _ => self.cp = set_lanes(self.cp, mask, value),
+        }
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -739,6 +939,131 @@ mod tests {
             lane_total += run.lanes;
         }
         assert_eq!(lane_total, n);
+    }
+
+    /// A scalar injector flipping/forcing one signal bit at one point — the
+    /// oracle the lane-masked word path must match lane for lane.
+    struct PointFault {
+        point: IVec,
+        bit: usize,
+        stuck: Option<bool>,
+    }
+
+    impl crate::fault::FaultInjector<MatmulSignals> for PointFault {
+        fn pe_dead(&self, _processor: &IVec) -> bool {
+            false
+        }
+
+        fn on_output(
+            &self,
+            _cycle: i64,
+            point: &IVec,
+            _processor: &IVec,
+            bundle: &mut MatmulSignals,
+        ) -> Vec<String> {
+            if *point == self.point {
+                match self.stuck {
+                    Some(v) => bundle.set_bit(self.bit, v),
+                    None => bundle.flip_bit(self.bit),
+                }
+                vec!["fault".into()]
+            } else {
+                Vec::new()
+            }
+        }
+
+        fn on_transfer(&self, _cycle: i64, _point: &IVec, _column: usize) -> crate::TransferFault {
+            crate::TransferFault::None
+        }
+    }
+
+    #[test]
+    fn lane_masked_faults_match_scalar_faulted_replays() {
+        // Pack one distinct fault case per lane (plus a clean lane) into a
+        // single word-wide walk; every lane must be bit-identical to the
+        // scalar faulted engine running that lane's case alone.
+        let (u, p) = (2usize, 2usize);
+        let n = 6usize; // 5 faulted lanes + 1 clean lane
+        let (xs, ys) = random_batch(u, p, n, 0xBA7C_0008);
+        for design in [PaperDesign::TimeOptimal, PaperDesign::NearestNeighbour] {
+            let sched = sched(u, p, design);
+            let cells = MatmulLaneCells::new(u, p, &xs, &ys);
+            // One case per lane: walk the index set for distinct points.
+            let points: Vec<IVec> = sched
+                .execute(cells.lane_cells(0))
+                .outputs
+                .keys()
+                .take(5)
+                .cloned()
+                .collect();
+            let mut masks = LaneFaultMasks::new();
+            for (lane, point) in points.iter().enumerate() {
+                masks.flip(point.clone(), lane % 5, lane);
+            }
+            let faulted = LaneFaultedCells::new(&cells, &masks);
+            let run = sched.execute_batch(&faulted);
+            assert!(run.is_legal());
+            for (lane, point) in points.iter().enumerate() {
+                let injector = PointFault {
+                    point: point.clone(),
+                    bit: lane % 5,
+                    stuck: None,
+                };
+                let scalar = sched.execute_faulted(
+                    &LaneView::new(&cells, lane),
+                    &mut crate::NullSink,
+                    &injector,
+                );
+                let extracted = run.extract_lane_run(&faulted, lane);
+                assert_eq!(extracted.outputs, scalar.outputs, "{design:?} lane {lane}");
+            }
+            // The clean lane matches the faultless scalar engine.
+            let clean = sched.execute(cells.lane_cells(5));
+            assert_eq!(run.extract_lane_run(&faulted, 5).outputs, clean.outputs);
+        }
+    }
+
+    #[test]
+    fn lane_masked_stuck_at_matches_scalar_and_double_flip_cancels() {
+        let (u, p) = (2usize, 2usize);
+        let (xs, ys) = random_batch(u, p, 2, 0xBA7C_0009);
+        let sched = sched(u, p, PaperDesign::TimeOptimal);
+        let cells = MatmulLaneCells::new(u, p, &xs, &ys);
+        let point = IVec::from([1, 1, 1, 1, 1]);
+
+        let mut masks = LaneFaultMasks::new();
+        masks.stuck(point.clone(), 2, true, 0);
+        // Lane 1: two flips of the same wire cancel — a clean lane.
+        masks.flip(point.clone(), 2, 1);
+        masks.flip(point.clone(), 2, 1);
+        assert!(!masks.is_empty());
+
+        let faulted = LaneFaultedCells::new(&cells, &masks);
+        let run = sched.execute_batch(&faulted);
+        let injector = PointFault {
+            point,
+            bit: 2,
+            stuck: Some(true),
+        };
+        let scalar =
+            sched.execute_faulted(&LaneView::new(&cells, 0), &mut crate::NullSink, &injector);
+        assert_eq!(run.extract_lane_run(&faulted, 0).outputs, scalar.outputs);
+        let clean = sched.execute(cells.lane_cells(1));
+        assert_eq!(run.extract_lane_run(&faulted, 1).outputs, clean.outputs);
+    }
+
+    #[test]
+    fn empty_lane_fault_masks_are_inert() {
+        let (u, p) = (2usize, 2usize);
+        let (xs, ys) = random_batch(u, p, 3, 0xBA7C_000A);
+        let sched = sched(u, p, PaperDesign::TimeOptimal);
+        let cells = MatmulLaneCells::new(u, p, &xs, &ys);
+        let masks = LaneFaultMasks::new();
+        assert!(masks.is_empty());
+        let faulted = LaneFaultedCells::new(&cells, &masks);
+        let clean = sched.execute_batch(&cells);
+        let wrapped = sched.execute_batch(&faulted);
+        assert_eq!(clean.outputs, wrapped.outputs);
     }
 
     #[test]

@@ -20,9 +20,11 @@
 //!   engines and selected through [`SimBackend`];
 //! * [`batch`] — the lane-packed batch layer over the compiled backend:
 //!   up to 64 independent problem instances in the bit-lanes of a `u64`,
-//!   one schedule walk per batch, with bitwise word forms of the Expansion
-//!   II cells, a generic per-lane fallback, and lane extraction back into
-//!   per-instance [`ClockedRun`]s;
+//!   one schedule walk per batch, with bitwise word forms of both the
+//!   matmul and the generic model-(3.5) cells, per-lane fault masks that
+//!   pack up to 64 distinct fault cases into one walk, a generic per-lane
+//!   last-resort, and lane extraction back into per-instance
+//!   [`ClockedRun`]s;
 //! * [`trace`] — structured per-cycle observability shared by all three
 //!   engines: a [`TraceSink`] trait with a statically zero-overhead
 //!   [`NullSink`], an in-memory [`RecordingSink`] with rollup counters
@@ -49,8 +51,8 @@ pub mod viz;
 pub mod word_array;
 
 pub use batch::{
-    BatchRun, FaultedBatchRun, LaneArena, LaneCellSemantics, LaneView, MatmulLaneCells,
-    MatmulLaneSignals, PerLaneCells, MAX_LANES,
+    BatchRun, FaultedBatchRun, LaneArena, LaneCellSemantics, LaneFaultMasks, LaneFaultedCells,
+    LanePackedBundle, LaneView, MatmulLaneCells, MatmulLaneSignals, PerLaneCells, MAX_LANES,
 };
 pub use bit_array::{BitMatmulArray, BitMatmulRun};
 pub use clocked::{
@@ -68,7 +70,7 @@ pub use mapped::{
     asap_depths, critical_path, fanin_histogram, mean_producer_depth, simulate_mapped,
     simulate_mapped_faulted, simulate_mapped_parallel, simulate_mapped_traced, MappedRunReport,
 };
-pub use model35::{ColumnMap, Model35Cells};
+pub use model35::{ColumnMap, Model35Cells, Model35LaneCells};
 pub use persist::{PersistError, SCHEDULE_FORMAT_VERSION, SCHEDULE_MAGIC};
 pub use trace::{NullSink, RecordingSink, TraceConfig, TraceEvent, TraceRollup, TraceSink};
 pub use viz::{

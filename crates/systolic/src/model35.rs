@@ -11,8 +11,12 @@
 //! [`crate::clocked::MatmulExpansionIICells`] is the hand-specialised
 //! equivalent — a test checks they agree bit for bit.
 
+use crate::batch::{BatchRun, LaneCellSemantics, MatmulLaneSignals, MAX_LANES};
 use crate::clocked::{CellSemantics, ClockedRun, MatmulSignals, SyncCellSemantics};
-use bitlevel_arith::{from_bits, full_add, to_bits, wide_add, Bit};
+use bitlevel_arith::{
+    from_bits, full_add, full_add_lanes, lane_bit, pack_bit_planes, to_bits, wide_add,
+    wide_add_lanes, Bit, LaneWord,
+};
 use bitlevel_ir::{AlgorithmTriplet, WordLevelAlgorithm};
 use bitlevel_linalg::IVec;
 use std::collections::HashMap;
@@ -294,6 +298,223 @@ impl SyncCellSemantics for Model35Cells {
     }
 }
 
+/// Bitwise word form of [`Model35Cells`]: one batch of up to [`MAX_LANES`]
+/// independent instances of the *same* model-(3.5) structure (same
+/// word-level algorithm, `p` and column map), differing only in operand
+/// values.
+///
+/// Every control decision in the scalar compute body — which dependence
+/// column feeds a signal, which adder form fires, whether the injection
+/// token is present — is a function of the index point and input *presence*,
+/// both lane-uniform, so the body ports to [`LaneWord`] operations verbatim:
+/// convolution and matrix–vector batches ride the same word-wide compiled
+/// walk as the matmul specialisation
+/// ([`crate::batch::MatmulLaneCells`]) instead of degrading to the per-lane
+/// [`crate::batch::PerLaneCells`] fallback. The packed token is
+/// [`MatmulLaneSignals`] (the Expansion II wire set is shared by all
+/// model-(3.5) workloads), so the lane-fault machinery
+/// ([`crate::batch::LaneFaultedCells`]) applies unchanged.
+pub struct Model35LaneCells {
+    p: usize,
+    /// Word-level dimension `n` (the first `n` coordinates of an index point
+    /// name the word-level point `j̄`).
+    n: usize,
+    cols: ColumnMap,
+    lanes: usize,
+    /// Lane-packed operand bit planes: `x_words[j̄][k]` holds bit `k` of
+    /// `x(j̄)` for every lane.
+    x_words: HashMap<IVec, Vec<LaneWord>>,
+    y_words: HashMap<IVec, Vec<LaneWord>>,
+    /// Scalar per-lane semantics, for [`crate::batch::LaneView`] replays and
+    /// extraction.
+    scalar: Vec<Model35Cells>,
+}
+
+impl Model35LaneCells {
+    /// Packs a batch of scalar semantics, one instance per lane. All
+    /// instances must share the structural shape — word-level index set,
+    /// bit width `p` and column map — and may differ only in operand values.
+    ///
+    /// # Panics
+    /// Panics on an empty batch, more than [`MAX_LANES`] instances, or
+    /// instances with mismatched structure.
+    pub fn new(cells: Vec<Model35Cells>) -> Self {
+        assert!(
+            (1..=MAX_LANES).contains(&cells.len()),
+            "batch must hold 1..={MAX_LANES} instances, got {}",
+            cells.len()
+        );
+        let template = &cells[0];
+        let (p, cols, n) = (template.p, template.cols, template.word.dim());
+        assert!(
+            cells.iter().all(|c| c.p == p && c.cols == cols),
+            "all lanes must share p and the column map"
+        );
+        let mut x_words = HashMap::new();
+        let mut y_words = HashMap::new();
+        let plane = |j: &IVec, bits: fn(&Model35Cells) -> &HashMap<IVec, Vec<Bit>>| {
+            let rows: Vec<Vec<Bit>> = cells
+                .iter()
+                .map(|c| {
+                    bits(c)
+                        .get(j)
+                        .expect("lanes must share the word-level index set")
+                        .clone()
+                })
+                .collect();
+            pack_bit_planes(&rows)
+        };
+        for j in template.x_bits.keys() {
+            x_words.insert(j.clone(), plane(j, |c| &c.x_bits));
+            y_words.insert(j.clone(), plane(j, |c| &c.y_bits));
+        }
+        let lanes = cells.len();
+        Model35LaneCells {
+            p,
+            n,
+            cols,
+            lanes,
+            x_words,
+            y_words,
+            scalar: cells,
+        }
+    }
+
+    /// The scalar semantics of one lane (for replays and verification).
+    pub fn lane_cells(&self, lane: usize) -> &Model35Cells {
+        &self.scalar[lane]
+    }
+
+    /// Extracts every lane's accumulated result (mod `2^{2p−1}`) at each
+    /// chain tail straight from the packed run: only the `2p−1` boundary
+    /// accumulator words per tail are read, then split per lane — no
+    /// per-lane run materialisation.
+    ///
+    /// # Panics
+    /// Panics if `run` came from a different structure (missing points).
+    pub fn extract_results_batch(
+        &self,
+        run: &BatchRun<MatmulLaneSignals>,
+    ) -> Vec<HashMap<IVec, u128>> {
+        let p = self.p;
+        let mut out = vec![HashMap::new(); self.lanes];
+        let mut words: Vec<LaneWord> = Vec::with_capacity(2 * p - 1);
+        let mut bits: Vec<Bit> = Vec::with_capacity(2 * p - 1);
+        for tail in self.scalar[0].chain_tails() {
+            words.clear();
+            for i in 1..=p {
+                let q = tail.concat(&IVec::from([i as i64, 1]));
+                words.push(run.outputs[&q].s);
+            }
+            for i in p + 1..=2 * p - 1 {
+                let q = tail.concat(&IVec::from([p as i64, (i - p + 1) as i64]));
+                words.push(run.outputs[&q].s);
+            }
+            for (lane, results) in out.iter_mut().enumerate() {
+                bits.clear();
+                bits.extend(words.iter().map(|&w| lane_bit(w, lane)));
+                results.insert(tail.clone(), from_bits(&bits));
+            }
+        }
+        out
+    }
+}
+
+impl LaneCellSemantics for Model35LaneCells {
+    type Bundle = MatmulSignals;
+    type Packed = MatmulLaneSignals;
+
+    fn lanes(&self) -> usize {
+        self.lanes
+    }
+
+    // The word-for-word port of the scalar `SyncCellSemantics::compute`
+    // above: scalar Bit ops become LaneWord ops, `false` becomes the
+    // all-zero word. Presence tests (`is_some`) are untouched — they are
+    // schedule properties, identical in every lane.
+    fn compute_lanes(&self, q: &IVec, inputs: &[Option<MatmulLaneSignals>]) -> MatmulLaneSignals {
+        let (j, i) = q.split_at(self.n);
+        let (i1, i2) = (i[0] as usize, i[1] as usize);
+        let p = self.p;
+        let cols = self.cols;
+
+        let x = if i1 == 1 {
+            match cols.d1.and_then(|c| inputs[c].as_ref()) {
+                Some(b) => b.x,
+                None => self.x_words[&j][i2 - 1],
+            }
+        } else {
+            inputs[cols.d4].as_ref().expect("d4 token for i1 > 1").x
+        };
+        let y = if i2 == 1 {
+            match cols.d2.and_then(|c| inputs[c].as_ref()) {
+                Some(b) => b.y,
+                None => self.y_words[&j][i1 - 1],
+            }
+        } else {
+            inputs[cols.d5].as_ref().expect("d5 token for i2 > 1").y
+        };
+
+        let pp = x & y;
+        let c_in = if i2 > 1 {
+            inputs[cols.d5].as_ref().map_or(0, |b| b.c)
+        } else {
+            0
+        };
+        let s_in = if i1 == 1 {
+            0
+        } else if i2 == p {
+            inputs[cols.d4].as_ref().map_or(0, |b| b.c) // carry re-entry
+        } else {
+            inputs[cols.d6].as_ref().map_or(0, |b| b.s)
+        };
+        let on_boundary = i1 == p || i2 == 1;
+        let inject = if on_boundary {
+            inputs[cols.d3].as_ref().map_or(0, |b| b.s)
+        } else {
+            0
+        };
+        let cp_in = if i1 == p && i2 > 2 {
+            inputs[cols.d7].as_ref().map_or(0, |b| b.cp)
+        } else {
+            0
+        };
+
+        let has_injection = on_boundary && inputs[cols.d3].is_some();
+        let (s, c, cp) = if has_injection {
+            if i1 == p {
+                wide_add_lanes(&[pp, c_in, s_in, inject, cp_in])
+            } else {
+                wide_add_lanes(&[pp, s_in, inject])
+            }
+        } else {
+            let (s, c) = full_add_lanes(pp, c_in, s_in);
+            (s, c, 0)
+        };
+
+        MatmulLaneSignals { x, y, s, c, cp }
+    }
+
+    fn compute_lane(
+        &self,
+        lane: usize,
+        q: &IVec,
+        inputs: &[Option<MatmulSignals>],
+    ) -> MatmulSignals {
+        SyncCellSemantics::compute(&self.scalar[lane], q, inputs)
+    }
+
+    fn extract_lane(&self, packed: &MatmulLaneSignals, lane: usize) -> MatmulSignals {
+        MatmulSignals {
+            x: lane_bit(packed.x, lane),
+            y: lane_bit(packed.y, lane),
+            s: lane_bit(packed.s, lane),
+            c: lane_bit(packed.c, lane),
+            cp: lane_bit(packed.cp, lane),
+        }
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -524,6 +745,172 @@ mod tests {
         assert_eq!(cols.d1, Some(0));
         assert_eq!(cols.d2, None);
         assert_eq!(cols.d3, 1);
+    }
+
+    /// Convolution fixture shared by the batched tests: structure, schedule
+    /// and a compiled engine.
+    fn convolution_fixture(
+        outputs: i64,
+        taps: i64,
+        p: usize,
+    ) -> (
+        WordLevelAlgorithm,
+        AlgorithmTriplet,
+        crate::compiled::CompiledSchedule,
+    ) {
+        let word = WordLevelAlgorithm::convolution(outputs, taps);
+        let alg = compose_ii(&word, p);
+        let s = IMat::from_rows(&[&[p as i64, 0, 1, 0], &[0, 0, 0, 1]]);
+        let ic = Interconnect::new(IMat::from_rows(&[
+            &[p as i64, 0, 1, 0, 1],
+            &[0, 0, 0, 1, -1],
+        ]));
+        let found = find_optimal_schedule(&s, &alg, &ic, 3).expect("feasible schedule");
+        let t = MappingMatrix::new(s, found.pi);
+        let sched = crate::compiled::CompiledSchedule::compile(&alg, &t, &ic);
+        (word, alg, sched)
+    }
+
+    fn convolution_lane(
+        word: &WordLevelAlgorithm,
+        alg: &AlgorithmTriplet,
+        p: usize,
+        taps: i64,
+        seed: u64,
+        safe: u128,
+    ) -> (Model35Cells, Vec<u128>, Vec<u128>) {
+        let len = (word.bounds.upper()[0] + taps - 1) as usize;
+        let xs: Vec<u128> = (0..len)
+            .map(|k| (seed.wrapping_mul(k as u64 + 3) >> 5) as u128 % (safe + 1))
+            .collect();
+        let ws: Vec<u128> = (0..taps as usize)
+            .map(|k| (seed.wrapping_mul(k as u64 + 11) >> 7) as u128 % (safe + 1))
+            .collect();
+        let (xs2, ws2) = (xs.clone(), ws.clone());
+        let cells = Model35Cells::new(
+            word,
+            p,
+            alg,
+            move |j| xs2[(j[0] + j[1] - 2) as usize],
+            move |j| ws2[(j[1] - 1) as usize],
+        );
+        (cells, xs, ws)
+    }
+
+    #[test]
+    fn batched_convolution_matches_scalar_per_lane() {
+        // The tentpole claim: a convolution batch rides one word-wide
+        // compiled walk, each lane bit-identical to its scalar run, with
+        // results extracted straight from the packed words.
+        let (outputs, taps, p) = (3i64, 2i64, 2usize);
+        let (word, alg, sched) = convolution_fixture(outputs, taps, p);
+        let n_lanes = 7usize; // ragged (not a power of two)
+        let mut lanes = Vec::new();
+        let mut operands = Vec::new();
+        for l in 0..n_lanes {
+            let (cells, xs, ws) = convolution_lane(&word, &alg, p, taps, 0x5EED + l as u64, 1);
+            // safe=1 keeps every operand within max_safe_entry for any shape.
+            assert!(xs
+                .iter()
+                .chain(ws.iter())
+                .all(|&v| v <= cells.max_safe_entry()));
+            lanes.push(cells);
+            operands.push((xs, ws));
+        }
+        let batch_cells = Model35LaneCells::new(lanes);
+        let run = sched.execute_batch(&batch_cells);
+        assert!(run.is_legal(), "{:?}", run.violations);
+        assert_eq!(run.lanes, n_lanes);
+
+        let results = batch_cells.extract_results_batch(&run);
+        for lane in 0..n_lanes {
+            // Lane-for-lane against the scalar compiled engine...
+            let scalar = sched.execute(batch_cells.lane_cells(lane));
+            let extracted = run.extract_lane_run(&batch_cells, lane);
+            assert_eq!(extracted.outputs, scalar.outputs, "lane {lane}");
+            // ...and the packed extraction against the direct convolution.
+            let (xs, ws) = &operands[lane];
+            for (tail, &value) in &results[lane] {
+                let j1 = tail[0];
+                let want: u128 = (1..=taps)
+                    .map(|j2| xs[(j1 + j2 - 2) as usize] * ws[(j2 - 1) as usize])
+                    .sum();
+                assert_eq!(value, want, "lane {lane} output sample {j1}");
+            }
+        }
+    }
+
+    #[test]
+    fn width_one_model35_batch_is_bit_identical_to_execute() {
+        let (outputs, taps, p) = (3i64, 2i64, 2usize);
+        let (word, alg, sched) = convolution_fixture(outputs, taps, p);
+        let (cells, _, _) = convolution_lane(&word, &alg, p, taps, 0xFACE, 1);
+        let batch_cells = Model35LaneCells::new(vec![cells]);
+        let run = sched.execute_batch(&batch_cells);
+        let scalar = sched.execute(batch_cells.lane_cells(0));
+        let lane0 = run.extract_lane_run(&batch_cells, 0);
+        assert_eq!(lane0.cycles, scalar.cycles);
+        assert_eq!(lane0.outputs, scalar.outputs);
+    }
+
+    #[test]
+    fn batched_matvec_matches_references() {
+        // d̄₂ absent (no word-level y reuse): the column-map-driven port must
+        // read the y operand plane on every tile edge, per lane.
+        let (mrows, kcols, p) = (3i64, 3i64, 3usize);
+        let word = WordLevelAlgorithm::matvec(mrows, kcols);
+        let alg = compose_ii(&word, p);
+        let s = IMat::from_rows(&[&[p as i64, 0, 1, 0], &[0, 0, 0, 1]]);
+        let ic = Interconnect::new(IMat::from_rows(&[
+            &[p as i64, 0, 1, 0, 1],
+            &[0, 0, 0, 1, -1],
+        ]));
+        let found = find_optimal_schedule(&s, &alg, &ic, 3).expect("feasible");
+        let t = MappingMatrix::new(s, found.pi);
+        let sched = crate::compiled::CompiledSchedule::compile(&alg, &t, &ic);
+
+        let n_lanes = 5usize;
+        let mut lanes = Vec::new();
+        let mut operands = Vec::new();
+        for l in 0..n_lanes {
+            let a: Vec<Vec<u128>> = (0..mrows)
+                .map(|i| {
+                    (0..kcols)
+                        .map(|j| ((i + 2 * j + l as i64) % 4) as u128)
+                        .collect()
+                })
+                .collect();
+            let v: Vec<u128> = (0..kcols)
+                .map(|k| (((k + l as i64) % 3) + 1) as u128)
+                .collect();
+            let (a2, v2) = (a.clone(), v.clone());
+            lanes.push(Model35Cells::new(
+                &word,
+                p,
+                &alg,
+                move |j| v2[(j[1] - 1) as usize],
+                move |j| a2[(j[0] - 1) as usize][(j[1] - 1) as usize],
+            ));
+            operands.push((a, v));
+        }
+        let batch_cells = Model35LaneCells::new(lanes);
+        let run = sched.execute_batch(&batch_cells);
+        assert!(run.is_legal(), "{:?}", run.violations);
+        let results = batch_cells.extract_results_batch(&run);
+        for lane in 0..n_lanes {
+            let (a, v) = &operands[lane];
+            for (tail, &value) in &results[lane] {
+                let i = (tail[0] - 1) as usize;
+                let want: u128 = (0..kcols as usize).map(|k| a[i][k] * v[k]).sum();
+                assert_eq!(value, want, "lane {lane} row {i}");
+            }
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "batch must hold")]
+    fn empty_model35_batches_are_rejected() {
+        let _ = Model35LaneCells::new(Vec::new());
     }
 
     #[test]

@@ -4,19 +4,26 @@
 //! signal bit, as a transient flip) on the Fig. 4 time-optimal and Fig. 5
 //! nearest-neighbour designs, classifies every case through the ABFT
 //! checksum planes (masked / detected / SDC), and renders the per-PE
-//! vulnerability heat map comparing the two designs.
+//! vulnerability heat map comparing the two designs. Then reruns the same
+//! sweep lane-packed — up to 64 fault cases per word-wide walk (E20) —
+//! through the same compile cache, and checks it reaches the identical
+//! verdicts with a fraction of the walks and zero extra compiles.
 //!
 //! Run with: `cargo run --example fault_campaign`
 
 use bitlevel::systolic::render_fault_heatmap;
-use bitlevel::{monte_carlo_campaign, single_fault_campaign, PaperDesign};
+use bitlevel::{
+    batched_single_fault_campaign, monte_carlo_campaign_with_cache, single_fault_campaign,
+    single_fault_campaign_with_cache, CompileCache, PaperDesign,
+};
 
 fn main() {
     let (u, p, seed) = (2, 2, 0xE17);
+    let cache = CompileCache::new();
 
     // Exhaustive sweep on both designs: every fault lands in exactly one
     // class, and on a single fault the checksum planes never miss (zero SDC).
-    let fig4 = single_fault_campaign(PaperDesign::TimeOptimal, u, p, seed);
+    let fig4 = single_fault_campaign_with_cache(PaperDesign::TimeOptimal, u, p, seed, &cache);
     let fig5 = single_fault_campaign(PaperDesign::NearestNeighbour, u, p, seed);
     for r in [&fig4, &fig5] {
         println!(
@@ -42,9 +49,38 @@ fn main() {
         )
     );
 
+    // The same exhaustive sweep, lane-packed: 64 distinct fault cases ride
+    // the bit-lanes of ONE schedule walk, so the whole campaign shrinks from
+    // `total` walks to `ceil(total / 64)` — and because it shares the
+    // compile cache with the scalar campaign above, the schedule is not
+    // recompiled.
+    println!();
+    let batched = batched_single_fault_campaign(PaperDesign::TimeOptimal, u, p, seed, 64, &cache);
+    println!(
+        "lane-packed rerun: {} cases in {} walks of width {} -> {} masked, {} detected, {} SDC",
+        batched.total, batched.walks, batched.width, batched.masked, batched.detected, batched.sdc
+    );
+    assert!(
+        batched.matches_scalar(&fig4),
+        "lane-packed campaign diverged from the scalar sweep"
+    );
+    assert_eq!(batched.vulnerability_map(), fig4.vulnerability_map());
+    let stats = cache.stats();
+    assert_eq!(
+        stats.compiles(),
+        1,
+        "scalar + batched campaigns should share one compile"
+    );
+    println!(
+        "compile cache: {} compile(s), {} hit(s) across both campaigns",
+        stats.compiles(),
+        stats.hits
+    );
+
     // Seeded Monte Carlo with multiple simultaneous faults: cancellation mod
     // the checksum modulus is now possible, so SDCs are measured, not zero.
-    let mc = monte_carlo_campaign(PaperDesign::TimeOptimal, u, p, seed, 60, 0.02);
+    let mc =
+        monte_carlo_campaign_with_cache(PaperDesign::TimeOptimal, u, p, seed, 60, 0.02, &cache);
     println!(
         "Monte Carlo ({} trials, rate {}): {} masked, {} detected, {} SDC, {:.2} faults/trial",
         mc.trials, mc.rate, mc.masked, mc.detected, mc.sdc, mc.mean_injected
