@@ -1,5 +1,5 @@
 //! The experiment suite: every figure/equation-level result of the paper,
-//! regenerated and compared against the paper's claim (index E1–E20 in
+//! regenerated and compared against the paper's claim (index E1–E21 in
 //! DESIGN.md).
 //!
 //! The traceable experiments (E6, E7, E14, E15) also come in `_impl` forms
@@ -22,8 +22,9 @@ use bitlevel_ir::{BoxSet, WordLevelAlgorithm};
 use bitlevel_linalg::{IMat, IVec};
 use bitlevel_mapping::{find_optimal_schedule, word_level_total_time, Interconnect, PaperDesign};
 use bitlevel_systolic::{
-    critical_path, fanin_histogram, mean_producer_depth, simulate_mapped, simulate_mapped_compiled,
-    CompiledSchedule, NullSink, TraceSink, WordLevelArray,
+    critical_path, fanin_histogram, mean_producer_depth, run_clocked, simulate_mapped,
+    simulate_mapped_compiled, CompiledSchedule, MatmulExpansionIICells, NullSink,
+    PartitionedSchedule, SimBackend, TraceSink, WordLevelArray,
 };
 
 /// Result of one experiment: the record table plus pass/fail.
@@ -1265,11 +1266,11 @@ pub fn e16() -> ExperimentOutcome {
             }),
     ));
 
-    let reduction = if ex.stats.full_checks > 0 {
-        ex.stats.exhaustive / ex.stats.full_checks
-    } else {
-        ex.stats.exhaustive
-    };
+    let reduction = ex
+        .stats
+        .exhaustive
+        .checked_div(ex.stats.full_checks)
+        .unwrap_or(ex.stats.exhaustive);
     t.push(Record::info(
         "branch-and-bound pruning",
         ">=10x fewer full Def. 4.1 checks than exhaustive",
@@ -1543,9 +1544,119 @@ pub fn e20() -> ExperimentOutcome {
     e20_seeded(DEFAULT_SEED)
 }
 
-const ALL_IDS: [&str; 20] = [
+/// E21 (extension): LSGP partitioned execution — the unbounded virtual PE
+/// array folded onto a fixed pool of physical workers (the
+/// `BENCH_partition.json` series). The hard bars are correctness and the
+/// cost model: at every pool size the partitioned engine is bit-identical
+/// to the compiled engine, the balanced makespan `Σ_c ⌈f_c/k⌉` is
+/// non-increasing in workers, a (u, p) = (8, 4) design — 1024 virtual PEs —
+/// executes bit-identically to the interpreted oracle on a pool of 8, and
+/// the budgeted explorer emits a frontier respecting the physical budget.
+pub fn e21_seeded(seed: u64) -> ExperimentOutcome {
+    let mut t = RecordTable::new(
+        "E21 (extension): LSGP partitioned execution — instances/sec vs physical workers",
+    );
+    let rows = crate::sweeps::partition_sweep(
+        &crate::sweeps::default_partition_workers(),
+        crate::sweeps::default_partition_instances(),
+        seed,
+    );
+    for design in [PaperDesign::TimeOptimal, PaperDesign::NearestNeighbour] {
+        let d: Vec<_> = rows
+            .iter()
+            .filter(|r| r.design == format!("{design:?}"))
+            .collect();
+        t.push(Record::check(
+            &format!("{design:?}: partitioned == compiled at every pool size"),
+            "legal runs, identical outputs/violations/cycles, products native-exact",
+            !d.is_empty() && d.iter().all(|r| r.identical),
+        ));
+        t.push(Record::check(
+            &format!("{design:?}: balanced makespan non-increasing in workers"),
+            "sum_c ceil(f_c/k) weakly improves as the pool grows",
+            d.windows(2)
+                .all(|w| w[1].balanced_makespan <= w[0].balanced_makespan),
+        ));
+        let base = d
+            .iter()
+            .find(|r| r.workers == 1)
+            .expect("workers-1 baseline row");
+        let top = d.iter().max_by_key(|r| r.workers).expect("widest pool row");
+        let gain = top.instances_per_sec / base.instances_per_sec.max(f64::MIN_POSITIVE);
+        t.push(Record::info(
+            &format!("{design:?}: throughput at {} workers vs 1", top.workers),
+            "positive throughput at every pool size",
+            format!(
+                "{gain:.2}x ({:.0} -> {:.0} instances/sec)",
+                base.instances_per_sec, top.instances_per_sec
+            ),
+            base.instances_per_sec > 0.0 && top.instances_per_sec > 0.0,
+        ));
+    }
+
+    // The acceptance bar: a (u, p) = (8, 4) Fig. 4 design — 1024 virtual
+    // PEs — executes bit-identically to the interpreted oracle on a pool of
+    // 8 physical workers, strictly smaller than the virtual array.
+    let (u, p) = (8usize, 4usize);
+    let word = WordLevelAlgorithm::matmul(u as i64);
+    let alg = compose(&word, p, Expansion::II);
+    let design = PaperDesign::TimeOptimal;
+    let tm = design.mapping(p as i64);
+    let ic = design.interconnect(p as i64);
+    let (x, y) = bitlevel_fault::operand_matrices(u, p, seed);
+    let mut cells = MatmulExpansionIICells::new(u, p, &x, &y);
+    let oracle = run_clocked(&alg, &tm, &ic, &mut cells);
+    let sched = CompiledSchedule::try_compile(&alg, &tm, &ic)
+        .expect("the 7-column matmul structure compiles");
+    let part = PartitionedSchedule::try_new(std::sync::Arc::new(sched), 8)
+        .expect("paper schedules are causal");
+    let prun = part.execute(&cells);
+    let stats = part.stats();
+    t.push(Record::eq(
+        "virtual PEs of the (8, 4) Fig. 4 array",
+        1024,
+        stats.virtual_pes as i64,
+    ));
+    t.push(Record::check(
+        "physical pool strictly smaller than the virtual array",
+        "8 workers < 1024 virtual PEs, every PE owned by exactly one shard",
+        stats.workers == 8 && stats.workers < stats.virtual_pes,
+    ));
+    t.push(Record::check(
+        "(8, 4) partitioned run bit-identical to the interpreted oracle",
+        "outputs, violations, cycles and in-flight peak all equal",
+        prun.outputs == oracle.outputs
+            && prun.violations == oracle.violations
+            && prun.cycles == oracle.cycles
+            && prun.peak_in_flight == oracle.peak_in_flight,
+    ));
+
+    // The budgeted explorer: under the partitioned backend the worker count
+    // bounds the physical axis, and every frontier point must respect it.
+    let flow = DesignFlow::matmul(2, 2).with_backend(SimBackend::Partitioned { workers: 8 });
+    let (family, config) = flow.default_exploration();
+    let ex = flow.explore(&family, &config).expect("well-formed inputs");
+    t.push(Record::check(
+        "budgeted explorer frontier respects max_physical_pes",
+        "at least one verified point, every point's physical_pes <= 8",
+        !ex.designs.is_empty()
+            && ex.all_verified()
+            && ex.designs.iter().all(|d| d.point.physical_pes <= 8),
+    ));
+    ExperimentOutcome {
+        id: "e21".into(),
+        table: t,
+    }
+}
+
+/// [`e21_seeded`] at [`DEFAULT_SEED`].
+pub fn e21() -> ExperimentOutcome {
+    e21_seeded(DEFAULT_SEED)
+}
+
+const ALL_IDS: [&str; 21] = [
     "e1", "e2", "e3", "e4", "e5", "e6", "e7", "e8", "e9", "e10", "e11", "e12", "e13", "e14", "e15",
-    "e16", "e17", "e18", "e19", "e20",
+    "e16", "e17", "e18", "e19", "e20", "e21",
 ];
 
 /// The experiments that accept a trace sink (see [`run_experiment_traced`]).
@@ -1555,7 +1666,7 @@ pub const TRACEABLE_IDS: [&str; 4] = ["e6", "e7", "e14", "e15"];
 /// stay reproducible.
 pub const DEFAULT_SEED: u64 = 0x1CC7_1993;
 
-/// Runs one experiment by id ("e1" … "e20") at [`DEFAULT_SEED`].
+/// Runs one experiment by id ("e1" … "e21") at [`DEFAULT_SEED`].
 pub fn run_experiment(id: &str) -> Option<ExperimentOutcome> {
     run_experiment_seeded(id, DEFAULT_SEED)
 }
@@ -1585,6 +1696,7 @@ pub fn run_experiment_seeded(id: &str, seed: u64) -> Option<ExperimentOutcome> {
         "e18" => Some(e18_seeded(seed)),
         "e19" => Some(e19()),
         "e20" => Some(e20_seeded(seed)),
+        "e21" => Some(e21_seeded(seed)),
         _ => None,
     }
 }

@@ -4,7 +4,7 @@
 //!
 //! Experiment harness and benchmark support for the reproduction. The
 //! `experiments` binary regenerates every figure/equation-level result of the
-//! paper (see DESIGN.md's experiment index E1–E18); criterion benches live in
+//! paper (see DESIGN.md's experiment index E1–E21); criterion benches live in
 //! `benches/`. The traceable experiments (E6, E7, E14, E15) can capture
 //! their simulated runs through [`run_experiment_traced`] and the binary's
 //! `--trace <path>` flag; the randomized experiments (E17's fault campaigns)
@@ -21,6 +21,6 @@ pub use experiments::{
 };
 pub use record::{Record, RecordTable};
 pub use sweeps::{
-    analysis_time_sweep, batch_sweep, engine_sweep, faults_sweep, frontier_sweep, speedup_sweep,
-    utilization_sweep, wavefront_sweep,
+    analysis_time_sweep, batch_sweep, engine_sweep, faults_sweep, frontier_sweep, partition_sweep,
+    speedup_sweep, utilization_sweep, wavefront_sweep,
 };

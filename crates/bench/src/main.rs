@@ -4,7 +4,7 @@
 //! cargo run -p bitlevel-bench --bin experiments [--release] [-- OPTIONS]
 //!
 //! OPTIONS:
-//!   --exp <id>       run one experiment (e1 … e20); default: all
+//!   --exp <id>       run one experiment (e1 … e21); default: all
 //!   --seed <u64>     seed for every randomized path (E17/E20's fault
 //!                    campaigns and the faults/faultbatch sweeps); default:
 //!                    the fixed reproducibility seed baked into the crate
@@ -15,12 +15,15 @@
 //!   --json           emit the record tables as JSON
 //!   --sweep <name>   emit a CSV data series instead:
 //!                    speedup | analysis | utilization | engine | wavefront |
-//!                    frontier | faults | batch | cache | faultbatch
-//!                    (frontier, faults, batch, cache and faultbatch also
-//!                    honour --json for a JSON export; CI stores
-//!                    `--sweep batch --json` as BENCH_batch.json,
-//!                    `--sweep cache --json` as BENCH_cache.json and
-//!                    `--sweep faultbatch --json` as BENCH_faultbatch.json)
+//!                    frontier | faults | batch | cache | faultbatch |
+//!                    partition
+//!                    (frontier, faults, batch, cache, faultbatch and
+//!                    partition also honour --json for a JSON export; CI
+//!                    stores `--sweep batch --json` as BENCH_batch.json,
+//!                    `--sweep cache --json` as BENCH_cache.json,
+//!                    `--sweep faultbatch --json` as BENCH_faultbatch.json
+//!                    and `--sweep partition --json` as
+//!                    BENCH_partition.json)
 //! ```
 
 use bitlevel_bench::{
@@ -43,7 +46,7 @@ fn main() {
             "--exp" => {
                 i += 1;
                 which = Some(args.get(i).cloned().unwrap_or_else(|| {
-                    eprintln!("--exp requires an id (e1..e20)");
+                    eprintln!("--exp requires an id (e1..e21)");
                     std::process::exit(2);
                 }));
             }
@@ -63,7 +66,7 @@ fn main() {
                 i += 1;
                 sweep = Some(args.get(i).cloned().unwrap_or_else(|| {
                     eprintln!(
-                        "--sweep requires a name (speedup|analysis|utilization|engine|wavefront|frontier|faults|batch|cache|faultbatch)"
+                        "--sweep requires a name (speedup|analysis|utilization|engine|wavefront|frontier|faults|batch|cache|faultbatch|partition)"
                     );
                     std::process::exit(2);
                 }));
@@ -140,9 +143,21 @@ fn main() {
                     sweeps::faultbatch_csv(&rows)
                 }
             }
+            "partition" => {
+                let rows = sweeps::partition_sweep(
+                    &sweeps::default_partition_workers(),
+                    sweeps::default_partition_instances(),
+                    seed,
+                );
+                if json {
+                    sweeps::partition_json(&rows)
+                } else {
+                    sweeps::partition_csv(&rows)
+                }
+            }
             other => {
                 eprintln!(
-                    "unknown sweep {other} (speedup|analysis|utilization|engine|wavefront|frontier|faults|batch|cache|faultbatch)"
+                    "unknown sweep {other} (speedup|analysis|utilization|engine|wavefront|frontier|faults|batch|cache|faultbatch|partition)"
                 );
                 std::process::exit(2);
             }
@@ -177,7 +192,7 @@ fn main() {
                     vec![o]
                 }
                 None => {
-                    eprintln!("unknown experiment id {id} (use e1..e20)");
+                    eprintln!("unknown experiment id {id} (use e1..e21)");
                     std::process::exit(2);
                 }
             }
@@ -192,7 +207,7 @@ fn main() {
         (Some(id), None) => match run_experiment_seeded(&id, seed) {
             Some(o) => vec![o],
             None => {
-                eprintln!("unknown experiment id {id} (use e1..e20)");
+                eprintln!("unknown experiment id {id} (use e1..e21)");
                 std::process::exit(2);
             }
         },

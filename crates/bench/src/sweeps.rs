@@ -29,7 +29,12 @@
 //!   exhaustive campaign vs lane width and vs the scalar dual-engine
 //!   baseline, every width checked case-for-case identical to the scalar
 //!   sweep (the E20 export; CI stores it as `BENCH_faultbatch.json` and
-//!   gates the width-64/width-1 gain).
+//!   gates the width-64/width-1 gain);
+//! * [`partition_sweep`] — instances-per-second of the LSGP-partitioned
+//!   engine vs physical worker-pool size on both paper designs, every pool
+//!   size verified bit-identical to the compiled engine and the balanced
+//!   makespan checked non-increasing in workers (the E21 export; CI stores
+//!   it as `BENCH_partition.json`).
 //!
 //! Sweep rows are computed in parallel with rayon (except the timing sweeps,
 //! which run sequentially so rows don't contend).
@@ -44,7 +49,7 @@ use bitlevel_ir::WordLevelAlgorithm;
 use bitlevel_mapping::{word_level_total_time, PaperDesign};
 use bitlevel_systolic::{
     run_clocked, simulate_mapped_compiled, BitMatmulArray, CompiledSchedule,
-    MatmulExpansionIICells, MatmulLaneCells, RecordingSink, MAX_LANES,
+    MatmulExpansionIICells, MatmulLaneCells, PartitionedSchedule, RecordingSink, MAX_LANES,
 };
 use rayon::prelude::*;
 use serde::Serialize;
@@ -1047,6 +1052,184 @@ pub fn default_faultbatch_widths() -> Vec<usize> {
     vec![1, 8, 16, 32, 64]
 }
 
+/// One row of the partition sweep: one paper design executed on the
+/// LSGP-partitioned engine at one physical worker-pool size (the E21 series
+/// behind `--sweep partition`; CI checks every row stays bit-identical to
+/// the compiled engine, gates the balanced makespan non-increasing in
+/// workers, and stores the JSON as `BENCH_partition.json`).
+#[derive(Debug, Clone, Serialize)]
+pub struct PartitionRow {
+    /// Design label.
+    pub design: String,
+    /// Matrix dimension.
+    pub u: usize,
+    /// Word length.
+    pub p: usize,
+    /// Operand seed.
+    pub seed: u64,
+    /// Physical workers requested for the pool.
+    pub workers: usize,
+    /// Virtual PEs of the unbounded array the pool folds.
+    pub virtual_pes: usize,
+    /// Largest shard (virtual PEs owned by one worker).
+    pub max_shard_pes: usize,
+    /// Tokens crossing shard boundaries during one walk.
+    pub cross_shard_tokens: u64,
+    /// Σ_c max_w fires(c, w): cycle-sliced makespan of the partition.
+    pub makespan: u64,
+    /// Σ_c ⌈fires(c)/workers⌉: the load-balance bound (non-increasing in
+    /// workers — the deterministic scaling series CI gates).
+    pub balanced_makespan: u64,
+    /// Instances executed per timed batch.
+    pub instances: usize,
+    /// Cycle count of one walk.
+    pub cycles: i64,
+    /// Wall time for the whole batch on the partitioned engine (ns,
+    /// best-of-5).
+    pub wall_ns: u128,
+    /// Partitioned throughput: `instances / wall seconds`.
+    pub instances_per_sec: f64,
+    /// Whether every run was legal and bit-identical to the compiled
+    /// engine's walk over the same lanes, and every product matched native
+    /// arithmetic.
+    pub identical: bool,
+}
+
+/// Times the LSGP-partitioned engine at each worker-pool size over the same
+/// lane-packed batch of seeded random matmul instances per paper design,
+/// verifying every pool size bit-identical against the compiled engine and
+/// every product against native arithmetic.
+///
+/// All pool sizes of one design share one [`CompileCache`] schedule, so the
+/// rows time partitioned execution, not compilation. Timing rows run
+/// sequentially so they don't contend, and each pool size is timed five
+/// times keeping the best run.
+pub fn partition_sweep(workers_list: &[usize], instances: usize, seed: u64) -> Vec<PartitionRow> {
+    let (u, p) = (4usize, 3usize);
+    const REPS: u32 = 5;
+    let cap = BitMatmulArray::new(u, p).max_safe_entry();
+    let mut state = seed;
+    let mut next = move || {
+        state = state
+            .wrapping_mul(6364136223846793005)
+            .wrapping_add(1442695040888963407);
+        ((state >> 33) as u128) % (cap + 1)
+    };
+    let mut mat =
+        move || -> Vec<Vec<u128>> { (0..u).map(|_| (0..u).map(|_| next()).collect()).collect() };
+    let instances = instances.clamp(1, MAX_LANES);
+    let xs: Vec<Vec<Vec<u128>>> = (0..instances).map(|_| mat()).collect();
+    let ys: Vec<Vec<Vec<u128>>> = (0..instances).map(|_| mat()).collect();
+    let want: Vec<Vec<Vec<u128>>> = xs
+        .iter()
+        .zip(&ys)
+        .map(|(x, y)| {
+            (0..u)
+                .map(|i| {
+                    (0..u)
+                        .map(|j| (0..u).map(|k| x[i][k] * y[k][j]).sum())
+                        .collect()
+                })
+                .collect()
+        })
+        .collect();
+
+    let alg = compose(&WordLevelAlgorithm::matmul(u as i64), p, Expansion::II);
+    let cache = CompileCache::new();
+    let mut rows = Vec::new();
+    for design in [PaperDesign::TimeOptimal, PaperDesign::NearestNeighbour] {
+        let tm = design.mapping(p as i64);
+        let ic = design.interconnect(p as i64);
+        let (sched, _) = cache
+            .get_or_compile(&alg, &tm, &ic)
+            .expect("the 7-column matmul structure compiles");
+        let cells = MatmulLaneCells::new(u, p, &xs, &ys);
+        let reference = sched.execute_batch(&cells);
+        for &workers in workers_list {
+            let workers = workers.max(1);
+            let part = PartitionedSchedule::try_new(std::sync::Arc::clone(&sched), workers)
+                .expect("paper schedules are causal");
+            let mut run = part.execute_batch(&cells);
+            let mut wall_ns = u128::MAX;
+            for _ in 0..REPS {
+                let t0 = Instant::now();
+                run = part.execute_batch(&cells);
+                wall_ns = wall_ns.min(t0.elapsed().as_nanos());
+            }
+            let products = cells.extract_products(&run);
+            let stats = part.stats();
+            rows.push(PartitionRow {
+                design: format!("{design:?}"),
+                u,
+                p,
+                seed,
+                workers,
+                virtual_pes: stats.virtual_pes,
+                max_shard_pes: stats.max_shard_pes,
+                cross_shard_tokens: stats.cross_shard_tokens,
+                makespan: stats.makespan,
+                balanced_makespan: stats.balanced_makespan,
+                instances,
+                cycles: run.cycles,
+                wall_ns,
+                instances_per_sec: instances as f64 / (wall_ns.max(1) as f64 / 1e9),
+                identical: run.is_legal()
+                    && run.outputs == reference.outputs
+                    && run.violations == reference.violations
+                    && run.cycles == reference.cycles
+                    && products == want,
+            });
+        }
+    }
+    rows
+}
+
+/// CSV rendering of the partition sweep.
+pub fn partition_csv(rows: &[PartitionRow]) -> String {
+    let mut out = String::from(
+        "design,u,p,seed,workers,virtual_pes,max_shard_pes,cross_shard_tokens,makespan,\
+         balanced_makespan,instances,cycles,wall_ns,instances_per_sec,identical\n",
+    );
+    for r in rows {
+        out.push_str(&format!(
+            "\"{}\",{},{},{},{},{},{},{},{},{},{},{},{},{:.1},{}\n",
+            r.design,
+            r.u,
+            r.p,
+            r.seed,
+            r.workers,
+            r.virtual_pes,
+            r.max_shard_pes,
+            r.cross_shard_tokens,
+            r.makespan,
+            r.balanced_makespan,
+            r.instances,
+            r.cycles,
+            r.wall_ns,
+            r.instances_per_sec,
+            r.identical
+        ));
+    }
+    out
+}
+
+/// JSON rendering of the partition sweep (the `--sweep partition --json`
+/// export CI stores as `BENCH_partition.json`).
+pub fn partition_json(rows: &[PartitionRow]) -> String {
+    serde_json::to_string_pretty(rows).expect("partition rows serialize")
+}
+
+/// Default worker-pool sizes for the partition sweep: one worker (the
+/// sequential baseline) up to a typical host core count.
+pub fn default_partition_workers() -> Vec<usize> {
+    vec![1, 2, 4, 8]
+}
+
+/// Default batch size for the partition sweep: one full word of instances.
+pub fn default_partition_instances() -> usize {
+    64
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -1202,6 +1385,42 @@ mod tests {
         let csv = faultbatch_csv(&rows);
         assert_eq!(csv.lines().count(), 7);
         assert!(csv.starts_with("design,u,p,seed,width,"));
+    }
+
+    #[test]
+    fn partition_rows_are_bit_identical_with_non_increasing_balanced_makespan() {
+        let rows = partition_sweep(&[1, 2, 8], 5, 0x1CC7_1993);
+        assert_eq!(rows.len(), 6, "two designs x three pool sizes");
+        for r in &rows {
+            assert!(
+                r.identical,
+                "{} at {} workers diverged",
+                r.design, r.workers
+            );
+            assert_eq!(r.instances, 5);
+            assert_eq!(r.virtual_pes, 4 * 4 * 3 * 3, "u^2 p^2 processors");
+            assert!(r.max_shard_pes >= r.virtual_pes.div_ceil(r.workers));
+            assert!(r.instances_per_sec > 0.0);
+            assert!(r.balanced_makespan <= r.makespan.max(r.balanced_makespan));
+        }
+        for d in rows.chunks(3) {
+            assert!(
+                d.windows(2)
+                    .all(|w| w[1].balanced_makespan <= w[0].balanced_makespan),
+                "balanced makespan must not grow with the pool"
+            );
+            assert_eq!(
+                d.iter()
+                    .find(|r| r.workers == 1)
+                    .unwrap()
+                    .cross_shard_tokens,
+                0,
+                "one shard has no cross-shard traffic"
+            );
+        }
+        let csv = partition_csv(&rows);
+        assert_eq!(csv.lines().count(), 7);
+        assert!(csv.starts_with("design,u,p,seed,workers,"));
     }
 
     #[test]

@@ -22,8 +22,8 @@ use bitlevel_mapping::{
 use bitlevel_systolic::{
     run_clocked, simulate_mapped_faulted, simulate_mapped_traced, BitMatmulArray, CompileError,
     CompiledSchedule, FaultInjector, MappedRunReport, MatmulExpansionICells,
-    MatmulExpansionIICells, MatmulLaneCells, NullSink, SimBackend, TraceEvent, TraceSink,
-    MAX_LANES,
+    MatmulExpansionIICells, MatmulLaneCells, NullSink, PartitionStats, PartitionedSchedule,
+    SimBackend, TraceEvent, TraceSink, MAX_LANES,
 };
 use serde::Serialize;
 use std::fmt;
@@ -49,11 +49,26 @@ pub enum BackendUsed {
         /// Lanes per machine word actually used.
         width: usize,
     },
+    /// The LSGP-partitioned engine over a fixed physical worker pool.
+    Partitioned {
+        /// Physical workers actually used (after clamping to the virtual PE
+        /// count).
+        workers: usize,
+    },
     /// The interpreted engine, reached by graceful degradation after the
     /// compiled backend declined the structure or semantics.
     InterpretedFallback {
         /// Why the compiled backend declined (a `CompileError` rendering or
         /// a semantic reason such as stateful Expansion I cells).
+        reason: String,
+    },
+    /// The compiled engine, reached by graceful degradation after the
+    /// partitioned backend declined the schedule (e.g. a non-causal
+    /// schedule, whose interpreted-order bookkeeping the shard barriers
+    /// cannot reproduce).
+    CompiledFallback {
+        /// Why the partitioned backend declined (a `PartitionError`
+        /// rendering).
         reason: String,
     },
 }
@@ -66,16 +81,30 @@ impl BackendUsed {
         }
     }
 
-    /// True iff the engine was reached by fallback rather than selection.
-    pub fn is_fallback(&self) -> bool {
-        matches!(self, BackendUsed::InterpretedFallback { .. })
+    /// A [`BackendUsed::CompiledFallback`] from any rendered reason.
+    pub fn compiled_fallback(reason: impl Into<String>) -> Self {
+        BackendUsed::CompiledFallback {
+            reason: reason.into(),
+        }
     }
 
-    /// True for both compiled flavours (scalar and batch).
+    /// True iff the engine was reached by fallback rather than selection.
+    pub fn is_fallback(&self) -> bool {
+        matches!(
+            self,
+            BackendUsed::InterpretedFallback { .. } | BackendUsed::CompiledFallback { .. }
+        )
+    }
+
+    /// True for every compiled flavour (scalar, batch, partitioned, and the
+    /// partitioned-to-compiled degradation — all run the compiled schedule).
     pub fn is_compiled(&self) -> bool {
         matches!(
             self,
-            BackendUsed::Compiled | BackendUsed::CompiledBatch { .. }
+            BackendUsed::Compiled
+                | BackendUsed::CompiledBatch { .. }
+                | BackendUsed::Partitioned { .. }
+                | BackendUsed::CompiledFallback { .. }
         )
     }
 }
@@ -88,8 +117,14 @@ impl fmt::Display for BackendUsed {
             BackendUsed::CompiledBatch { width } => {
                 write!(f, "compiled-batch (bitwise, width {width})")
             }
+            BackendUsed::Partitioned { workers } => {
+                write!(f, "partitioned (workers {workers})")
+            }
             BackendUsed::InterpretedFallback { reason } => {
                 write!(f, "interpreted (fallback: {reason})")
+            }
+            BackendUsed::CompiledFallback { reason } => {
+                write!(f, "compiled (fallback: {reason})")
             }
         }
     }
@@ -116,6 +151,19 @@ impl std::str::FromStr for BackendUsed {
             .and_then(|r| r.strip_suffix(')'))
         {
             return Ok(BackendUsed::fallback(rest));
+        }
+        if let Some(rest) = s
+            .strip_prefix("compiled (fallback: ")
+            .and_then(|r| r.strip_suffix(')'))
+        {
+            return Ok(BackendUsed::compiled_fallback(rest));
+        }
+        if let Some(k) = s
+            .strip_prefix("partitioned (workers ")
+            .and_then(|r| r.strip_suffix(')'))
+            .and_then(|k| k.parse::<usize>().ok())
+        {
+            return Ok(BackendUsed::Partitioned { workers: k });
         }
         if let Some(w) = s
             .strip_prefix("compiled-batch (bitwise, width ")
@@ -209,6 +257,10 @@ pub struct ArchitectureReport {
     /// lookup outcome, and the cumulative counters. `None` when no compiled
     /// schedule was consulted (interpreted backend, or compile fallback).
     pub cache: Option<CacheActivity>,
+    /// Shard statistics of the LSGP partition when the evaluation ran (or
+    /// attempted) the [`SimBackend::Partitioned`] engine; `None` on every
+    /// other backend.
+    pub partition: Option<PartitionStats>,
 }
 
 /// One frontier design with its verification evidence: the architecture
@@ -403,6 +455,7 @@ impl DesignFlow {
         sink: &mut K,
     ) -> ArchitectureReport {
         let rep = check_feasibility(t, alg, ic);
+        let mut partition = None;
         let (run, backend_used, cache) = match self.backend {
             SimBackend::Interpreted => (
                 simulate_mapped_traced(alg, t, ic, sink),
@@ -426,6 +479,36 @@ impl DesignFlow {
                     ),
                 }
             }
+            SimBackend::Partitioned { workers } => {
+                match self.schedule_cached(alg, t, ic, "partitioned", sink) {
+                    Ok((sched, activity)) => {
+                        match PartitionedSchedule::try_new(Arc::clone(&sched), workers) {
+                            Ok(part) => {
+                                partition = Some(part.stats().clone());
+                                let used = part.workers();
+                                (
+                                    part.mapped_report_traced(sink),
+                                    BackendUsed::Partitioned { workers: used },
+                                    Some(activity),
+                                )
+                            }
+                            Err(e) => {
+                                self.record_partition_fallback(sink, &e.to_string());
+                                (
+                                    sched.mapped_report_traced(sink),
+                                    BackendUsed::compiled_fallback(e.to_string()),
+                                    Some(activity),
+                                )
+                            }
+                        }
+                    }
+                    Err(e) => (
+                        simulate_mapped_traced(alg, t, ic, sink),
+                        BackendUsed::fallback(e.to_string()),
+                        None,
+                    ),
+                }
+            }
         };
         ArchitectureReport {
             name: name.to_string(),
@@ -436,6 +519,7 @@ impl DesignFlow {
             max_wire_length: ic.max_wire_length(),
             backend_used,
             cache,
+            partition,
         }
     }
 
@@ -456,6 +540,7 @@ impl DesignFlow {
     ) -> ArchitectureReport {
         let alg = self.bit_level_structure();
         let rep = check_feasibility(t, &alg, ic);
+        let mut partition = None;
         let (run, backend_used, cache) = match self.backend {
             SimBackend::Interpreted => (
                 simulate_mapped_faulted(&alg, t, ic, sink, faults),
@@ -476,6 +561,36 @@ impl DesignFlow {
                     ),
                 }
             }
+            SimBackend::Partitioned { workers } => {
+                match self.schedule_cached(&alg, t, ic, "partitioned", sink) {
+                    Ok((sched, activity)) => {
+                        match PartitionedSchedule::try_new(Arc::clone(&sched), workers) {
+                            Ok(part) => {
+                                partition = Some(part.stats().clone());
+                                let used = part.workers();
+                                (
+                                    part.mapped_report_faulted(sink, faults),
+                                    BackendUsed::Partitioned { workers: used },
+                                    Some(activity),
+                                )
+                            }
+                            Err(e) => {
+                                self.record_partition_fallback(sink, &e.to_string());
+                                (
+                                    sched.mapped_report_faulted(sink, faults),
+                                    BackendUsed::compiled_fallback(e.to_string()),
+                                    Some(activity),
+                                )
+                            }
+                        }
+                    }
+                    Err(e) => (
+                        simulate_mapped_faulted(&alg, t, ic, sink, faults),
+                        BackendUsed::fallback(e.to_string()),
+                        None,
+                    ),
+                }
+            }
         };
         ArchitectureReport {
             name: name.to_string(),
@@ -486,6 +601,7 @@ impl DesignFlow {
             max_wire_length: ic.max_wire_length(),
             backend_used,
             cache,
+            partition,
         }
     }
 
@@ -531,6 +647,10 @@ impl DesignFlow {
     /// up to the word length, which includes the paper's `S` of (4.2)) and
     /// the machine menu of Section 4 — the long-wire machine `P` and the
     /// nearest-neighbour machine `P'`.
+    ///
+    /// Under [`SimBackend::Partitioned`] the worker count doubles as the
+    /// explorer's physical-PE budget, so the frontier is costed on the
+    /// LSGP-folded axes `(physical_time, physical_pes, wire)` out of the box.
     pub fn default_exploration(&self) -> (Vec<IMat>, ExploreConfig) {
         let p = self.p as i64;
         let n = self.bit_level_structure().dim();
@@ -541,6 +661,10 @@ impl DesignFlow {
                 MachineOption::new("P (long wires)", Interconnect::paper_p(p)),
                 MachineOption::new("P' (nearest neighbour)", Interconnect::paper_p_prime()),
             ],
+            max_physical_pes: match self.backend {
+                SimBackend::Partitioned { workers } => Some(workers),
+                _ => None,
+            },
         };
         (family, config)
     }
@@ -669,6 +793,17 @@ impl DesignFlow {
                     Err(_) => run_clocked(&alg, &t, &ic, &mut cells),
                 }
             }
+            SimBackend::Partitioned { workers } => {
+                match self.schedule_cached(&alg, &t, &ic, "partitioned", &mut NullSink) {
+                    Ok((sched, _)) => {
+                        match PartitionedSchedule::try_new(Arc::clone(&sched), workers) {
+                            Ok(part) => part.execute(&cells),
+                            Err(_) => sched.execute(&cells),
+                        }
+                    }
+                    Err(_) => run_clocked(&alg, &t, &ic, &mut cells),
+                }
+            }
         };
         assert!(run.is_legal(), "clocked violations: {:?}", run.violations);
         for (tail, value) in cells.extract_results(&run) {
@@ -721,7 +856,9 @@ impl DesignFlow {
         }
         if matches!(
             self.backend,
-            SimBackend::Compiled | SimBackend::CompiledBatch { .. }
+            SimBackend::Compiled
+                | SimBackend::CompiledBatch { .. }
+                | SimBackend::Partitioned { .. }
         ) && self.expansion == Expansion::II
         {
             let alg = self.bit_level_structure();
@@ -732,7 +869,15 @@ impl DesignFlow {
             let (sched, _) = self
                 .schedule_cached(&alg, &t, &ic, "compiled", &mut NullSink)
                 .expect("the Fig. 4 matmul design always compiles");
-            let run = sched.execute(&cells);
+            let run = match self.backend {
+                SimBackend::Partitioned { workers } => {
+                    match PartitionedSchedule::try_new(Arc::clone(&sched), workers) {
+                        Ok(part) => part.execute(&cells),
+                        Err(_) => sched.execute(&cells),
+                    }
+                }
+                _ => sched.execute(&cells),
+            };
             assert!(
                 run.is_legal(),
                 "compiled clocked violations: {:?}",
@@ -919,7 +1064,86 @@ impl DesignFlow {
                     Err(e) => interpret_all(BackendUsed::fallback(e.to_string())),
                 }
             }
+            SimBackend::Partitioned { workers } => {
+                if self.expansion != Expansion::II {
+                    self.record_batch_fallback(sink, "Expansion I cells are sequential");
+                    return interpret_all(BackendUsed::fallback(
+                        "Expansion I cells are sequential",
+                    ));
+                }
+                match self.schedule_cached(&alg, &t, &ic, "partitioned", sink) {
+                    Ok((sched, _)) => {
+                        // Lane-pack at full word width: the partition shards
+                        // PEs, the lanes shard instances — the two compose.
+                        let chunks: Vec<MatmulLaneCells> = xs
+                            .chunks(MAX_LANES)
+                            .zip(ys.chunks(MAX_LANES))
+                            .map(|(xc, yc)| MatmulLaneCells::new(u, p, xc, yc))
+                            .collect();
+                        let w = n.min(MAX_LANES);
+                        let (runs, backend_used) =
+                            match PartitionedSchedule::try_new(Arc::clone(&sched), workers) {
+                                Ok(part) => {
+                                    let runs: Vec<_> = if K::ENABLED {
+                                        chunks
+                                            .iter()
+                                            .map(|cells| part.execute_batch_traced(cells, sink))
+                                            .collect()
+                                    } else {
+                                        chunks.iter().map(|c| part.execute_batch(c)).collect()
+                                    };
+                                    let used = part.workers();
+                                    (runs, BackendUsed::Partitioned { workers: used })
+                                }
+                                Err(e) => {
+                                    self.record_partition_fallback(sink, &e.to_string());
+                                    (
+                                        sched.execute_batch_chunks(&chunks),
+                                        BackendUsed::compiled_fallback(e.to_string()),
+                                    )
+                                }
+                            };
+                        let mut products = Vec::with_capacity(n);
+                        let mut cycles = 0;
+                        let mut legal = true;
+                        for (cells, run) in chunks.iter().zip(&runs) {
+                            cycles = run.cycles;
+                            legal &= run.is_legal();
+                            products.extend(cells.extract_products(run));
+                        }
+                        BatchRunReport {
+                            design: design.name().to_string(),
+                            instances: n,
+                            width: w,
+                            walks: chunks.len(),
+                            cycles,
+                            legal,
+                            backend_used,
+                            products,
+                        }
+                    }
+                    Err(e) => interpret_all(BackendUsed::fallback(e.to_string())),
+                }
+            }
         }
+    }
+
+    /// The LSGP-partitioned exhaustive single-fault campaign: the same fault
+    /// space as [`DesignFlow::single_fault_campaign`], every case executed on
+    /// a fixed pool of `workers` physical workers and cross-checked
+    /// case-for-case against the compiled engine, sharing the flow's
+    /// [`CompileCache`].
+    ///
+    /// # Panics
+    /// Panics unless the flow is an Expansion II matmul.
+    pub fn partitioned_fault_campaign(
+        &self,
+        design: PaperDesign,
+        seed: u64,
+        workers: usize,
+    ) -> bitlevel_fault::PartitionedCampaignReport {
+        let (u, p) = self.campaign_shape();
+        bitlevel_fault::partitioned_single_fault_campaign(design, u, p, seed, workers, &self.cache)
     }
 
     /// The exhaustive dual-engine single-fault campaign (experiment E17) on
@@ -1039,11 +1263,25 @@ impl DesignFlow {
         if K::ENABLED {
             let from = match self.backend {
                 SimBackend::CompiledBatch { .. } => "compiled-batch",
+                SimBackend::Partitioned { .. } => "partitioned",
                 _ => "compiled",
             };
             sink.record(TraceEvent::BackendFallback {
                 from: from.to_string(),
                 to: "interpreted".to_string(),
+                reason: reason.to_string(),
+            });
+        }
+    }
+
+    /// Emits the [`TraceEvent::BackendFallback`] recorded when the LSGP
+    /// partitioner declines a compiled schedule and the evaluation degrades
+    /// to the plain compiled engine.
+    fn record_partition_fallback<K: TraceSink>(&self, sink: &mut K, reason: &str) {
+        if K::ENABLED {
+            sink.record(TraceEvent::BackendFallback {
+                from: "partitioned".to_string(),
+                to: "compiled".to_string(),
                 reason: reason.to_string(),
             });
         }
@@ -1452,6 +1690,14 @@ mod tests {
                 BackendUsed::fallback("too many columns: 65"),
                 "interpreted (fallback: too many columns: 65)",
             ),
+            (
+                BackendUsed::Partitioned { workers: 8 },
+                "partitioned (workers 8)",
+            ),
+            (
+                BackendUsed::compiled_fallback("schedule is not causal"),
+                "compiled (fallback: schedule is not causal)",
+            ),
         ];
         for (value, legacy) in cases {
             assert_eq!(value, legacy, "Display must preserve the legacy string");
@@ -1481,11 +1727,19 @@ mod tests {
                 max: MAX_LANES
             }
         );
+        assert_eq!(
+            flow.clone()
+                .with_validated_backend(SimBackend::Partitioned { workers: 0 })
+                .unwrap_err(),
+            BackendConfigError::ZeroWorkers
+        );
         for ok in [
             SimBackend::Interpreted,
             SimBackend::Compiled,
             SimBackend::CompiledBatch { width: 1 },
             SimBackend::CompiledBatch { width: MAX_LANES },
+            SimBackend::Partitioned { workers: 1 },
+            SimBackend::Partitioned { workers: 128 },
         ] {
             assert!(flow.clone().with_validated_backend(ok).is_ok(), "{ok:?}");
         }
@@ -1517,6 +1771,68 @@ mod tests {
             .events()
             .iter()
             .any(|e| matches!(e, TraceEvent::BatchWidthClamped { .. })));
+    }
+
+    #[test]
+    fn partitioned_backend_matches_compiled_and_records_stats() {
+        let compiled = DesignFlow::matmul(3, 3);
+        let partitioned =
+            DesignFlow::matmul(3, 3).with_backend(SimBackend::Partitioned { workers: 4 });
+        for design in [PaperDesign::TimeOptimal, PaperDesign::NearestNeighbour] {
+            let c = compiled.evaluate_paper_design(design);
+            let q = partitioned.evaluate_paper_design(design);
+            assert_eq!(q.backend_used, BackendUsed::Partitioned { workers: 4 });
+            assert_eq!(q.run.divergences_from(&c.run), Vec::<&str>::new());
+            let stats = q.partition.as_ref().expect("partitioned runs carry stats");
+            assert_eq!(stats.workers, 4);
+            assert_eq!(stats.virtual_pes, q.run.processors);
+            assert!(
+                stats.max_shard_pes < stats.virtual_pes,
+                "4 workers over {} virtual PEs must shard",
+                stats.virtual_pes
+            );
+            assert!(c.partition.is_none(), "compiled runs carry no partition");
+            // The clocked value-carrying path agrees cycle-for-cycle too.
+            assert_eq!(
+                partitioned.run_clocked_matmul(design),
+                compiled.run_clocked_matmul(design)
+            );
+        }
+        partitioned.verify_matmul_functionally();
+    }
+
+    #[test]
+    fn partitioned_batch_extracts_every_product_bit_exactly() {
+        let (xs, ys) = random_batch(3, 2, 7, 0xE21);
+        let flow = DesignFlow::matmul(3, 2).with_backend(SimBackend::Partitioned { workers: 3 });
+        let rep = flow.evaluate_batch(PaperDesign::TimeOptimal, &xs, &ys);
+        assert!(rep.legal);
+        assert_eq!(rep.backend_used, "partitioned (workers 3)");
+        assert_eq!(rep.instances, 7);
+        assert_eq!(rep.walks, 1, "7 instances lane-pack into one walk");
+        let reference = DesignFlow::matmul(3, 2)
+            .with_backend(SimBackend::Interpreted)
+            .evaluate_batch(PaperDesign::TimeOptimal, &xs, &ys);
+        assert_eq!(rep.products, reference.products);
+        assert_eq!(rep.cycles, reference.cycles);
+    }
+
+    #[test]
+    fn partitioned_default_exploration_budgets_the_frontier() {
+        let flow = DesignFlow::matmul(2, 2).with_backend(SimBackend::Partitioned { workers: 4 });
+        let (spaces, config) = flow.default_exploration();
+        assert_eq!(config.max_physical_pes, Some(4));
+        let report = flow.explore(&spaces, &config).unwrap();
+        assert!(report.all_verified());
+        assert!(!report.designs.is_empty());
+        for d in &report.designs {
+            assert!(
+                d.point.physical_pes <= 4,
+                "frontier point exceeds the physical budget: {:?}",
+                d.point
+            );
+            assert!(d.point.physical_time >= d.point.time);
+        }
     }
 
     #[test]

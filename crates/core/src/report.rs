@@ -127,8 +127,8 @@ pub fn render_frontier(ex: &ExplorationReport) -> String {
     );
     let _ = writeln!(
         out,
-        "  {:>6} {:>6} {:>5}  {:<24} {:<10} {}",
-        "time", "PEs", "wire", "machine", "verified", "T = [S; Pi]"
+        "  {:>6} {:>6} {:>5}  {:<24} {:<10} T = [S; Pi]",
+        "time", "PEs", "wire", "machine", "verified"
     );
     for d in &ex.designs {
         let t = &d.point.mapping;
@@ -165,7 +165,9 @@ pub fn render_frontier(ex: &ExplorationReport) -> String {
         "  condition-1 screen kept {} schedule(s); {} full Def. 4.1 checks ({}x fewer than exhaustive)",
         s.screened,
         s.full_checks,
-        if s.full_checks > 0 { s.exhaustive / s.full_checks } else { s.exhaustive }
+        s.exhaustive
+            .checked_div(s.full_checks)
+            .unwrap_or(s.exhaustive)
     );
     let _ = writeln!(
         out,

@@ -21,7 +21,10 @@
 //!   engines, with the zero-SDC guarantee for single transient flips), its
 //!   lane-packed form [`batched_single_fault_campaign`] (up to 64 distinct
 //!   fault cases per word-wide compiled walk, case-for-case identical to
-//!   the scalar sweep) and seeded Monte Carlo multi-fault campaigns, all
+//!   the scalar sweep), its worker-pool form
+//!   [`partitioned_single_fault_campaign`] (every case executed on an
+//!   LSGP-partitioned fixed physical pool and cross-checked against the
+//!   compiled engine) and seeded Monte Carlo multi-fault campaigns, all
 //!   compiling through a shared `CompileCache`, exporting
 //!   [`FaultCampaignReport`] as CSV/JSON plus the per-PE vulnerability data
 //!   behind the Fig. 4 vs Fig. 5 critical-PE heat map.
@@ -33,9 +36,10 @@ pub mod plan;
 pub use abft::{checksum_modulus, FaultOutcome, MatmulChecksums, SyndromeSet};
 pub use campaign::{
     batched_single_fault_campaign, matmul_structure, monte_carlo_campaign,
-    monte_carlo_campaign_with_cache, operand_matrices, single_fault_campaign,
-    single_fault_campaign_with_cache, BatchedFaultCampaignReport, BatchedFaultCase,
-    FaultCampaignReport, FaultCase, MonteCarloReport, MonteCarloTrial,
+    monte_carlo_campaign_with_cache, operand_matrices, partitioned_single_fault_campaign,
+    single_fault_campaign, single_fault_campaign_with_cache, BatchedFaultCampaignReport,
+    BatchedFaultCase, FaultCampaignReport, FaultCase, MonteCarloReport, MonteCarloTrial,
+    PartitionedCampaignReport, PartitionedFaultCase,
 };
 pub use plan::{
     FaultKind, FaultPlan, RandomFault, ResolvedFault, ResolvedFaultPlan, TargetedFault,

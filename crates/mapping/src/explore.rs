@@ -60,16 +60,26 @@ impl MachineOption {
     }
 }
 
-/// Explorer configuration: the schedule bound and the machine menu.
+/// Explorer configuration: the schedule bound, the machine menu and an
+/// optional physical-PE budget.
 #[derive(Debug, Clone)]
 pub struct ExploreConfig {
     /// Schedule entries range over `[−pi_bound, pi_bound]`.
     pub pi_bound: i64,
     /// Interconnect options; every `(S, machine)` pair is explored.
     pub machines: Vec<MachineOption>,
+    /// Physical worker budget: when `Some(k)` with `k` below a design's
+    /// virtual PE count, the design is costed as LSGP-folded onto `k`
+    /// workers — each firing cycle expands to `⌈fires/k⌉` slices — and the
+    /// Pareto axes become *physical* time and *physical* PEs. `None` keeps
+    /// the paper's unbounded virtual array (physical ≡ virtual).
+    pub max_physical_pes: Option<usize>,
 }
 
-/// One non-dominated design on the `(time, processors, wire)` frontier.
+/// One non-dominated design on the `(physical time, physical PEs, wire)`
+/// frontier. Without a [`ExploreConfig::max_physical_pes`] budget the
+/// physical axes coincide with the virtual ones, so the frontier is the
+/// paper's `(time, processors, wire)` frontier unchanged.
 #[derive(Debug, Clone, PartialEq, Eq, Serialize)]
 pub struct FrontierPoint {
     /// The full mapping `T = [S; Π]`.
@@ -78,12 +88,19 @@ pub struct FrontierPoint {
     pub machine: String,
     /// Its interconnection primitives.
     pub interconnect: Interconnect,
-    /// Total execution time (4.5).
+    /// Total execution time (4.5) on the unbounded virtual array.
     pub time: i64,
-    /// Exact processor count `|S·J|`.
+    /// Exact processor count `|S·J|` of the virtual array.
     pub processors: usize,
     /// Longest wire of the machine (L∞).
     pub max_wire_length: i64,
+    /// PEs of the physical pool realising the design: the budget when one
+    /// binds, the virtual count otherwise.
+    pub physical_pes: usize,
+    /// Execution time on the physical pool: `time` plus the extra cycle
+    /// slices LSGP folding introduces (equal to `time` when the budget
+    /// covers the peak wavefront).
+    pub physical_time: i64,
 }
 
 /// Where the search effort went — the evidence that pruning worked.
@@ -323,6 +340,12 @@ pub fn explore(
                     let t = MappingMatrix::new(space.clone(), pi.clone());
                     full_checks += 1;
                     if check_feasibility(&t, alg, ic).is_feasible() {
+                        let (physical_pes, physical_time) = match config.max_physical_pes {
+                            Some(k) if k > 0 && k < procs => {
+                                (k, lsgp_time(&alg.index_set, pi, *time, k))
+                            }
+                            _ => (procs, *time),
+                        };
                         winner = Some(FrontierPoint {
                             mapping: t,
                             machine: machine.label.clone(),
@@ -330,6 +353,8 @@ pub fn explore(
                             time: *time,
                             processors: procs,
                             max_wire_length: ic.max_wire_length(),
+                            physical_pes,
+                            physical_time,
                         });
                         break;
                     }
@@ -370,19 +395,37 @@ pub fn explore(
     })
 }
 
-/// Deterministic non-dominated filter over `(time, processors, wire)`.
+/// LSGP execution time of schedule `pi` on a `k`-worker physical pool: every
+/// firing cycle expands to `⌈fires/k⌉` barrier slices, idle cycles elapse
+/// unchanged — so this is `time` plus the extra slices, and collapses to
+/// `time` exactly when `k` covers the peak wavefront.
+fn lsgp_time(set: &bitlevel_ir::BoxSet, pi: &IVec, time: i64, k: usize) -> i64 {
+    let mut fires: std::collections::HashMap<i64, u64> = std::collections::HashMap::new();
+    for q in set.iter_points() {
+        *fires.entry(q.dot(pi)).or_insert(0) += 1;
+    }
+    let extra: i64 = fires
+        .values()
+        .map(|&f| f.div_ceil(k as u64) as i64 - 1)
+        .sum();
+    time + extra
+}
+
+/// Deterministic non-dominated filter over
+/// `(physical time, physical PEs, wire)`.
 ///
 /// Points are sorted by objectives then witness `(S, Π, machine)`; a point is
 /// kept iff no already-kept point is ≤ on all three objectives (which also
 /// collapses exact objective ties onto their lexicographically smallest
-/// witness).
+/// witness). Without a physical budget the axes equal the virtual
+/// `(time, processors, wire)`, the paper's frontier.
 fn pareto_frontier(mut points: Vec<FrontierPoint>) -> Vec<FrontierPoint> {
     points.sort_by_key(point_key);
     let mut out: Vec<FrontierPoint> = Vec::new();
     for p in points {
         let dominated = out.iter().any(|q| {
-            q.time <= p.time
-                && q.processors <= p.processors
+            q.physical_time <= p.physical_time
+                && q.physical_pes <= p.physical_pes
                 && q.max_wire_length <= p.max_wire_length
         });
         if !dominated {
@@ -395,8 +438,8 @@ fn pareto_frontier(mut points: Vec<FrontierPoint>) -> Vec<FrontierPoint> {
 #[allow(clippy::type_complexity)] // a sort key, used once just above
 fn point_key(p: &FrontierPoint) -> (i64, usize, i64, Vec<i64>, Vec<i64>, String) {
     (
-        p.time,
-        p.processors,
+        p.physical_time,
+        p.physical_pes,
         p.max_wire_length,
         p.mapping.space.entries().copied().collect(),
         p.mapping.schedule.as_slice().to_vec(),
@@ -473,6 +516,7 @@ mod tests {
                 &ExploreConfig {
                     pi_bound: 2,
                     machines: vec![machine.clone()],
+                    max_physical_pes: None,
                 },
             )
             .expect("well-formed");
@@ -498,6 +542,7 @@ mod tests {
             &ExploreConfig {
                 pi_bound: p,
                 machines: paper_machines(p),
+                max_physical_pes: None,
             },
         )
         .expect("well-formed");
@@ -551,6 +596,7 @@ mod tests {
             &ExploreConfig {
                 pi_bound: p,
                 machines: paper_machines(p),
+                max_physical_pes: None,
             },
         )
         .unwrap();
@@ -578,6 +624,7 @@ mod tests {
             &ExploreConfig {
                 pi_bound: 2,
                 machines: paper_machines(p),
+                max_physical_pes: None,
             },
         )
         .unwrap();
@@ -608,6 +655,7 @@ mod tests {
         let cfg = ExploreConfig {
             pi_bound: 0,
             machines: paper_machines(2),
+            max_physical_pes: None,
         };
         assert_eq!(
             explore(&alg, &[s.clone()], &cfg),
@@ -617,6 +665,7 @@ mod tests {
         let cfg = ExploreConfig {
             pi_bound: 2,
             machines: paper_machines(2),
+            max_physical_pes: None,
         };
         assert_eq!(
             explore(&alg, &[narrow], &cfg),
@@ -634,6 +683,7 @@ mod tests {
         let cfg = ExploreConfig {
             pi_bound: 2,
             machines: paper_machines(2),
+            max_physical_pes: None,
         };
         let ex = explore(&alg, &[], &cfg).unwrap();
         assert!(ex.frontier.is_empty());

@@ -58,6 +58,15 @@ pub enum SimBackend {
         /// Lanes packed per machine word (clamped to `1..=64`).
         width: usize,
     },
+    /// The LSGP-partitioned engine of [`crate::partition`]: the virtual PE
+    /// array is clustered into at most `workers` shards, each owned by one
+    /// physical worker, with a barrier per cycle-slice. Bit-identical to
+    /// [`SimBackend::Compiled`]; designs whose schedules are not causal
+    /// fall back to the compiled engine with a recorded reason.
+    Partitioned {
+        /// Physical worker (shard) budget; must be at least 1.
+        workers: usize,
+    },
 }
 
 /// Why an algorithm cannot be compiled into the dense-slot representation.
@@ -113,6 +122,8 @@ pub enum BackendConfigError {
         /// The hard lane capacity of one machine word.
         max: usize,
     },
+    /// `Partitioned { workers: 0 }` — an empty worker pool executes nothing.
+    ZeroWorkers,
 }
 
 impl fmt::Display for BackendConfigError {
@@ -128,6 +139,12 @@ impl fmt::Display for BackendConfigError {
                 write!(
                     f,
                     "batch width {width} exceeds the {max}-lane capacity of one machine word"
+                )
+            }
+            BackendConfigError::ZeroWorkers => {
+                write!(
+                    f,
+                    "worker count 0 is invalid: the physical pool must hold at least one worker"
                 )
             }
         }
@@ -157,6 +174,13 @@ impl SimBackend {
                     Ok(())
                 }
             }
+            SimBackend::Partitioned { workers } => {
+                if workers == 0 {
+                    Err(BackendConfigError::ZeroWorkers)
+                } else {
+                    Ok(())
+                }
+            }
         }
     }
 }
@@ -166,12 +190,12 @@ pub(crate) const NO_SLOT: u32 = u32::MAX;
 
 /// Below this many points per cycle the parallel executor stays sequential —
 /// fork/join overhead would dominate the per-point work.
-const PAR_THRESHOLD: usize = 64;
+pub(crate) const PAR_THRESHOLD: usize = 64;
 
 /// Reusable gather scratch (one per worker): the consumer's reconstructed
 /// index point and its per-column input row. Hoisting these out of the
 /// per-slot hot loop removes two heap allocations per fired point.
-struct SlotScratch<B> {
+pub(crate) struct SlotScratch<B> {
     point: IVec,
     inputs: Vec<Option<B>>,
 }
@@ -420,7 +444,7 @@ impl CompiledSchedule {
     }
 
     /// Reconstructs the index point of slot `s`.
-    fn point(&self, s: usize) -> IVec {
+    pub(crate) fn point(&self, s: usize) -> IVec {
         debug_assert!(s < self.n_points, "slot {s} out of bounds");
         IVec(self.points[s * self.n..(s + 1) * self.n].to_vec())
     }
@@ -457,7 +481,7 @@ impl CompiledSchedule {
 
     /// Gathers inputs and computes one slot against the current arena.
     #[inline]
-    fn compute_slot<S: SyncCellSemantics>(
+    pub(crate) fn compute_slot<S: SyncCellSemantics>(
         &self,
         semantics: &S,
         s: usize,
@@ -470,7 +494,7 @@ impl CompiledSchedule {
 
     /// Gathers inputs and computes one slot word-wide, all lanes at once.
     #[inline]
-    fn compute_slot_lanes<L: LaneCellSemantics>(
+    pub(crate) fn compute_slot_lanes<L: LaneCellSemantics>(
         &self,
         lanes: &L,
         s: usize,
@@ -566,23 +590,7 @@ impl CompiledSchedule {
         K: TraceSink,
         F: FaultInjector<S::Bundle>,
     {
-        if K::ENABLED {
-            for (i, (hops, usage)) in self
-                .clocked_hops
-                .iter()
-                .zip(&self.clocked_usage)
-                .enumerate()
-            {
-                match (hops, usage) {
-                    (Some(h), Some(u)) => sink.record(TraceEvent::ColumnRoute {
-                        column: i,
-                        hops: *h,
-                        usage: u.clone(),
-                    }),
-                    _ => sink.record(TraceEvent::ColumnUnroutable { column: i }),
-                }
-            }
-        }
+        self.emit_clocked_route_events(sink);
         let mut arena: Vec<Option<S::Bundle>> = vec![None; self.n_points];
         let mut violations = Vec::new();
         let mut in_flight = vec![0u64; self.m];
@@ -664,6 +672,30 @@ impl CompiledSchedule {
         }
     }
 
+    /// Emits the per-column route / unroutable prologue events shared by
+    /// every traced walk (scalar, batch, partitioned). A no-op with
+    /// [`NullSink`].
+    pub(crate) fn emit_clocked_route_events<K: TraceSink>(&self, sink: &mut K) {
+        if !K::ENABLED {
+            return;
+        }
+        for (i, (hops, usage)) in self
+            .clocked_hops
+            .iter()
+            .zip(&self.clocked_usage)
+            .enumerate()
+        {
+            match (hops, usage) {
+                (Some(h), Some(u)) => sink.record(TraceEvent::ColumnRoute {
+                    column: i,
+                    hops: *h,
+                    usage: u.clone(),
+                }),
+                _ => sink.record(TraceEvent::ColumnUnroutable { column: i }),
+            }
+        }
+    }
+
     /// The sequential per-cycle bookkeeping shared by every value-carrying
     /// walk — scalar ([`CompiledSchedule::execute_faulted`]) and batch
     /// ([`CompiledSchedule::execute_batch`]). The mutation sequence on
@@ -671,7 +703,7 @@ impl CompiledSchedule {
     /// it reads arena *presence*, never token values, so it is agnostic to
     /// whether tokens are scalar bundles or lane-packed words.
     #[allow(clippy::too_many_arguments)]
-    fn cycle_bookkeeping<B, K, F>(
+    pub(crate) fn cycle_bookkeeping<B, K, F>(
         &self,
         c: i64,
         slice: &[u32],
@@ -888,23 +920,7 @@ impl CompiledSchedule {
         L: LaneCellSemantics,
         K: TraceSink,
     {
-        if K::ENABLED {
-            for (i, (hops, usage)) in self
-                .clocked_hops
-                .iter()
-                .zip(&self.clocked_usage)
-                .enumerate()
-            {
-                match (hops, usage) {
-                    (Some(h), Some(u)) => sink.record(TraceEvent::ColumnRoute {
-                        column: i,
-                        hops: *h,
-                        usage: u.clone(),
-                    }),
-                    _ => sink.record(TraceEvent::ColumnUnroutable { column: i }),
-                }
-            }
-        }
+        self.emit_clocked_route_events(sink);
         let mut arena: LaneArena<L::Packed> = LaneArena::new(self.n_points);
         let mut violations = Vec::new();
         let mut in_flight = vec![0u64; self.m];

@@ -45,6 +45,7 @@ pub mod expansion_i_clocked;
 pub mod fault;
 pub mod mapped;
 pub mod model35;
+pub mod partition;
 pub mod persist;
 pub mod trace;
 pub mod viz;
@@ -70,7 +71,8 @@ pub use mapped::{
     asap_depths, critical_path, fanin_histogram, mean_producer_depth, simulate_mapped,
     simulate_mapped_faulted, simulate_mapped_parallel, simulate_mapped_traced, MappedRunReport,
 };
-pub use model35::{ColumnMap, Model35Cells, Model35LaneCells};
+pub use model35::{ColumnMap, ColumnMapError, Model35Cells, Model35LaneCells};
+pub use partition::{PartitionError, PartitionStats, PartitionedSchedule};
 pub use persist::{PersistError, SCHEDULE_FORMAT_VERSION, SCHEDULE_MAGIC};
 pub use trace::{NullSink, RecordingSink, TraceConfig, TraceEvent, TraceRollup, TraceSink};
 pub use viz::{

@@ -221,13 +221,8 @@ pub fn simulate_mapped_faulted<K: TraceSink, F: FaultInjector<()>>(
                 });
             }
         }
-        let place_for_events = if F::ENABLED {
-            Some(place.clone())
-        } else {
-            None
-        };
-        processors.insert(place);
         if dead {
+            processors.insert(place);
             continue;
         }
 
@@ -245,7 +240,7 @@ pub fn simulate_mapped_faulted<K: TraceSink, F: FaultInjector<()>>(
                     sink.record(TraceEvent::FaultInjected {
                         cycle: time,
                         point: q.clone(),
-                        processor: place_for_events.as_ref().expect("faulted path").clone(),
+                        processor: place.clone(),
                         column: Some(di),
                         kind: "dropped_transfer".into(),
                     });
@@ -263,7 +258,7 @@ pub fn simulate_mapped_faulted<K: TraceSink, F: FaultInjector<()>>(
                         sink.record(TraceEvent::FaultInjected {
                             cycle: time,
                             point: q.clone(),
-                            processor: place_for_events.as_ref().expect("faulted path").clone(),
+                            processor: place.clone(),
                             column: Some(di),
                             kind: "duplicated_transfer".into(),
                         });
@@ -286,6 +281,7 @@ pub fn simulate_mapped_faulted<K: TraceSink, F: FaultInjector<()>>(
                 }
             }
         }
+        processors.insert(place);
     }
 
     let cycles = if computations == 0 {

@@ -45,12 +45,71 @@ pub struct ColumnMap {
     pub d7: usize,
 }
 
+/// Why a dependence structure cannot be resolved into a [`ColumnMap`] —
+/// the typed form of what used to be `resolve`'s panic paths, so callers
+/// handed an arbitrary structure can degrade instead of aborting.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum ColumnMapError {
+    /// A word-level column (zero arithmetic part) whose cause is not one of
+    /// `x`/`y`/`z`.
+    UnexpectedWordColumn {
+        /// The offending cause string.
+        cause: String,
+    },
+    /// An arithmetic column outside the Theorem 3.1 set
+    /// `{[1,0], [0,1], [1,−1], [0,2]}`.
+    UnexpectedArithmeticColumn {
+        /// The offending arithmetic part.
+        column: Vec<i64>,
+    },
+    /// A column mixing word-level and arithmetic coordinates.
+    MixedColumn {
+        /// Dependence index of the offending column.
+        index: usize,
+    },
+    /// A mandatory arithmetic-tile column is absent.
+    MissingColumn {
+        /// Which column (`d3`…`d7`) is missing.
+        name: &'static str,
+    },
+}
+
+impl std::fmt::Display for ColumnMapError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            ColumnMapError::UnexpectedWordColumn { cause } => {
+                write!(f, "unexpected word-level column cause {cause}")
+            }
+            ColumnMapError::UnexpectedArithmeticColumn { column } => {
+                write!(f, "unexpected arithmetic column {column:?}")
+            }
+            ColumnMapError::MixedColumn { index } => {
+                write!(f, "mixed word/arith column at dependence {index}")
+            }
+            ColumnMapError::MissingColumn { name } => write!(f, "missing {name} column"),
+        }
+    }
+}
+
+impl std::error::Error for ColumnMapError {}
+
 impl ColumnMap {
     /// Resolves the column map of a composed Expansion II structure.
     ///
     /// # Panics
-    /// Panics if the structure does not have the Theorem 3.1 shape.
+    /// Panics if the structure does not have the Theorem 3.1 shape — use
+    /// [`ColumnMap::try_resolve`] where the structure is not trusted.
     pub fn resolve(alg: &AlgorithmTriplet) -> ColumnMap {
+        match Self::try_resolve(alg) {
+            Ok(cols) => cols,
+            Err(e) => panic!("{e}"),
+        }
+    }
+
+    /// Checked variant of [`ColumnMap::resolve`]: structures outside the
+    /// Theorem 3.1 shape come back as a typed [`ColumnMapError`] instead of
+    /// a panic.
+    pub fn try_resolve(alg: &AlgorithmTriplet) -> Result<ColumnMap, ColumnMapError> {
         let n = alg.dim() - 2;
         let mut d1 = None;
         let mut d2 = None;
@@ -67,28 +126,41 @@ impl ColumnMap {
                     "x" => d1 = Some(i),
                     "y" => d2 = Some(i),
                     "z" => d3 = Some(i),
-                    other => panic!("unexpected word-level column cause {other}"),
+                    other => {
+                        return Err(ColumnMapError::UnexpectedWordColumn {
+                            cause: other.to_string(),
+                        })
+                    }
                 }
             } else {
-                assert!(word.is_zero(), "mixed word/arith column");
+                if !word.is_zero() {
+                    return Err(ColumnMapError::MixedColumn { index: i });
+                }
                 match arith.as_slice() {
                     [1, 0] => d4 = Some(i),
                     [0, 1] => d5 = Some(i),
                     [1, -1] => d6 = Some(i),
                     [0, 2] => d7 = Some(i),
-                    other => panic!("unexpected arithmetic column {other:?}"),
+                    other => {
+                        return Err(ColumnMapError::UnexpectedArithmeticColumn {
+                            column: other.to_vec(),
+                        })
+                    }
                 }
             }
         }
-        ColumnMap {
+        let need = |col: Option<usize>, name: &'static str| {
+            col.ok_or(ColumnMapError::MissingColumn { name })
+        };
+        Ok(ColumnMap {
             d1,
             d2,
-            d3: d3.expect("d3 column"),
-            d4: d4.expect("d4 column"),
-            d5: d5.expect("d5 column"),
-            d6: d6.expect("d6 column"),
-            d7: d7.expect("d7 column"),
-        }
+            d3: need(d3, "d3")?,
+            d4: need(d4, "d4")?,
+            d5: need(d5, "d5")?,
+            d6: need(d6, "d6")?,
+            d7: need(d7, "d7")?,
+        })
     }
 }
 
@@ -245,7 +317,9 @@ impl SyncCellSemantics for Model35Cells {
                 .map(|b| b.x)
                 .unwrap_or_else(|| self.x_bits[&j][i2 - 1])
         } else {
-            inputs[cols.d4].as_ref().expect("d4 token for i1 > 1").x
+            // Missing d4 token (malformed schedule): degrade to a silent
+            // zero wire — the engine records the violation separately.
+            inputs[cols.d4].as_ref().is_some_and(|b| b.x)
         };
         let y = if i2 == 1 {
             cols.d2
@@ -253,7 +327,7 @@ impl SyncCellSemantics for Model35Cells {
                 .map(|b| b.y)
                 .unwrap_or_else(|| self.y_bits[&j][i1 - 1])
         } else {
-            inputs[cols.d5].as_ref().expect("d5 token for i2 > 1").y
+            inputs[cols.d5].as_ref().is_some_and(|b| b.y)
         };
 
         let pp = x & y;
@@ -444,7 +518,9 @@ impl LaneCellSemantics for Model35LaneCells {
                 None => self.x_words[&j][i2 - 1],
             }
         } else {
-            inputs[cols.d4].as_ref().expect("d4 token for i1 > 1").x
+            // Missing d4 token (malformed schedule): degrade to a silent
+            // zero word — the engine records the violation separately.
+            inputs[cols.d4].as_ref().map_or(0, |b| b.x)
         };
         let y = if i2 == 1 {
             match cols.d2.and_then(|c| inputs[c].as_ref()) {
@@ -452,7 +528,7 @@ impl LaneCellSemantics for Model35LaneCells {
                 None => self.y_words[&j][i1 - 1],
             }
         } else {
-            inputs[cols.d5].as_ref().expect("d5 token for i2 > 1").y
+            inputs[cols.d5].as_ref().map_or(0, |b| b.y)
         };
 
         let pp = x & y;
@@ -911,6 +987,111 @@ mod tests {
     #[should_panic(expected = "batch must hold")]
     fn empty_model35_batches_are_rejected() {
         let _ = Model35LaneCells::new(Vec::new());
+    }
+
+    #[test]
+    fn malformed_schedule_degrades_missing_tokens_instead_of_panicking() {
+        use crate::clocked::ClockedViolation;
+        let (u, p) = (2usize, 2usize);
+        let word = WordLevelAlgorithm::matmul(u as i64);
+        let alg = compose_ii(&word, p);
+        // Π·d̄₄ = −1: every intra-tile x token arrives *after* its consumer —
+        // the schedule is illegal and the d4 gather at i1 > 1 sees no token.
+        // This used to hit `expect("d4 token for i1 > 1")` and abort; now the
+        // cell degrades to a zero wire and the engine records the violation.
+        let t = MappingMatrix::new(
+            PaperDesign::TimeOptimal.mapping(p as i64).space.clone(),
+            IVec::from([1, 1, 1, -1, 1]),
+        );
+        let ic = PaperDesign::TimeOptimal.interconnect(p as i64);
+        let mk_cells = || {
+            Model35Cells::new(
+                &word,
+                p,
+                &alg,
+                |j| ((j[0] + j[2]) % 2) as u128,
+                |j| ((j[1] * j[2]) % 2) as u128,
+            )
+        };
+        let mut interp_cells = mk_cells();
+        let run = run_clocked(&alg, &t, &ic, &mut interp_cells);
+        assert!(!run.is_legal());
+        assert!(run
+            .violations
+            .iter()
+            .any(|v| matches!(v, ClockedViolation::MissingToken { .. })));
+
+        // The compiled engine (sequential fallback: the schedule is not
+        // causal) degrades identically, bit for bit.
+        let sched = crate::compiled::CompiledSchedule::compile(&alg, &t, &ic);
+        let compiled = sched.execute(&mk_cells());
+        assert_eq!(compiled.outputs, run.outputs);
+        assert_eq!(compiled.violations, run.violations);
+
+        // And the lane-packed cells survive the same malformed schedule.
+        let batch = Model35LaneCells::new(vec![mk_cells(), mk_cells()]);
+        let brun = sched.execute_batch(&batch);
+        assert_eq!(brun.extract_lane_run(&batch, 0).outputs, run.outputs);
+        assert_eq!(brun.violations, run.violations);
+    }
+
+    #[test]
+    fn try_resolve_reports_typed_errors() {
+        use bitlevel_ir::{Dependence, DependenceSet};
+        let word = WordLevelAlgorithm::matmul(2);
+        let alg = compose_ii(&word, 2);
+        let base: Vec<Dependence> = alg.deps.iter().cloned().collect();
+        let rebuild = |deps: Vec<Dependence>| {
+            AlgorithmTriplet::new(alg.index_set.clone(), DependenceSet::new(deps), "mutated")
+        };
+
+        // Mandatory arithmetic column absent.
+        let mut deps = base.clone();
+        deps.remove(5);
+        assert_eq!(
+            ColumnMap::try_resolve(&rebuild(deps)).unwrap_err(),
+            ColumnMapError::MissingColumn { name: "d6" }
+        );
+
+        // Arithmetic column outside the Theorem 3.1 set.
+        let mut deps = base.clone();
+        deps[5] = Dependence::uniform([0, 0, 0, 1, 1], "z");
+        assert_eq!(
+            ColumnMap::try_resolve(&rebuild(deps)).unwrap_err(),
+            ColumnMapError::UnexpectedArithmeticColumn { column: vec![1, 1] }
+        );
+
+        // Word-level column with an unknown cause.
+        let mut deps = base.clone();
+        deps[0] = Dependence::uniform([0, 1, 0, 0, 0], "w");
+        assert_eq!(
+            ColumnMap::try_resolve(&rebuild(deps)).unwrap_err(),
+            ColumnMapError::UnexpectedWordColumn { cause: "w".into() }
+        );
+
+        // A column mixing word and arithmetic coordinates.
+        let mut deps = base;
+        deps[0] = Dependence::uniform([0, 1, 0, 1, 0], "x");
+        assert_eq!(
+            ColumnMap::try_resolve(&rebuild(deps)).unwrap_err(),
+            ColumnMapError::MixedColumn { index: 0 }
+        );
+
+        // The well-formed structure still resolves.
+        assert!(ColumnMap::try_resolve(&alg).is_ok());
+    }
+
+    #[test]
+    #[should_panic(expected = "missing d6 column")]
+    fn resolve_still_panics_on_malformed_structures() {
+        use bitlevel_ir::{Dependence, DependenceSet};
+        let word = WordLevelAlgorithm::matmul(2);
+        let alg = compose_ii(&word, 2);
+        let mut deps: Vec<Dependence> = alg.deps.iter().cloned().collect();
+        deps.remove(5);
+        let broken =
+            AlgorithmTriplet::new(alg.index_set.clone(), DependenceSet::new(deps), "mutated");
+        let _ = ColumnMap::resolve(&broken);
     }
 
     #[test]

@@ -73,6 +73,7 @@ fn assert_searches_agree(alg: &AlgorithmTriplet, p: i64, bound: i64) {
         &ExploreConfig {
             pi_bound: bound,
             machines: vec![MachineOption::new("P", ic)],
+            max_physical_pes: None,
         },
     )
     .expect("well-formed exploration");
