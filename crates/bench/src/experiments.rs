@@ -1,5 +1,5 @@
 //! The experiment suite: every figure/equation-level result of the paper,
-//! regenerated and compared against the paper's claim (index E1–E21 in
+//! regenerated and compared against the paper's claim (index E1–E22 in
 //! DESIGN.md).
 //!
 //! The traceable experiments (E6, E7, E14, E15) also come in `_impl` forms
@@ -1654,9 +1654,148 @@ pub fn e21() -> ExperimentOutcome {
     e21_seeded(DEFAULT_SEED)
 }
 
-const ALL_IDS: [&str; 21] = [
+/// E22 (extension): the long-running NDJSON evaluation service
+/// (`bitlevel-serve`) sharing one compile cache across concurrent requests
+/// (the `BENCH_serve.json` series). The hard bars: eight concurrent
+/// identical `Evaluate` requests cost exactly one compile (counter-asserted
+/// through the cache-stats snapshot) and return byte-identical terminal
+/// frames; a zero deadline comes back as a typed `timeout` error frame on a
+/// still-usable connection; and on every sweep row the warm (cache-shared)
+/// path sustains positive throughput with one compile per server session.
+pub fn e22_seeded(_seed: u64) -> ExperimentOutcome {
+    use bitlevel_serve::{
+        serve, DesignSpec, ErrorKind, Frame, Request, RequestEnvelope, ServeClient, ServeConfig,
+    };
+
+    let mut t = RecordTable::new(
+        "E22 (extension): NDJSON evaluation service — concurrent requests over one compile cache",
+    );
+
+    // Direct scenario: one server, eight concurrent identical Evaluate
+    // requests racing the cold cache. Single-flight compilation must
+    // collapse them to one compile, and every terminal frame must be
+    // byte-identical.
+    let handle = serve(ServeConfig {
+        workers: 8,
+        poll_interval_ms: 10,
+        ..ServeConfig::default()
+    })
+    .expect("ephemeral-port server starts");
+    let addr = handle.local_addr();
+    let envelope = RequestEnvelope {
+        id: 22,
+        deadline_ms: None,
+        request: Request::Evaluate {
+            u: 3,
+            p: 3,
+            design: DesignSpec::TimeOptimal,
+            backend: SimBackend::Compiled,
+        },
+    };
+    const CLIENTS: usize = 8;
+    let lines: Vec<String> = std::thread::scope(|scope| {
+        let handles: Vec<_> = (0..CLIENTS)
+            .map(|_| {
+                let env = envelope.clone();
+                scope.spawn(move || {
+                    let mut client = ServeClient::connect(addr).expect("connect");
+                    let tx = client.request_collect(&env).expect("transaction completes");
+                    tx.terminal_line().expect("terminal frame").to_string()
+                })
+            })
+            .collect();
+        handles
+            .into_iter()
+            .map(|h| h.join().expect("client thread"))
+            .collect()
+    });
+    let stats = handle.cache().snapshot();
+    t.push(Record::eq(
+        "compiles for 8 concurrent identical Evaluate requests",
+        1,
+        stats.misses as i64,
+    ));
+    t.push(Record::check(
+        "all 8 terminal result frames byte-identical",
+        "same request -> same bytes, regardless of which worker/cache path served it",
+        lines.len() == CLIENTS && lines.iter().all(|l| *l == lines[0]),
+    ));
+    t.push(Record::check(
+        "the raced result is a Result frame echoing the request id",
+        "frame parses, id == 22, payload present",
+        matches!(Frame::parse(&lines[0]), Ok(Frame::Result { id: 22, .. })),
+    ));
+
+    // A zero deadline expires before any work starts: the server must answer
+    // with a typed timeout error frame and keep the connection usable.
+    let mut client = ServeClient::connect(addr).expect("connect");
+    let timed_out = client
+        .request_collect(&RequestEnvelope {
+            id: 23,
+            deadline_ms: Some(0),
+            request: envelope.request.clone(),
+        })
+        .expect("transaction completes");
+    t.push(Record::check(
+        "deadline_ms = 0 yields a typed timeout frame",
+        "Error frame, kind == timeout, id echoed",
+        timed_out.error().map(|e| e.kind) == Some(ErrorKind::Timeout)
+            && matches!(
+                Frame::parse(timed_out.terminal_line().unwrap_or("")),
+                Ok(Frame::Error { id: Some(23), .. })
+            ),
+    ));
+    let after_timeout = client
+        .request_collect(&envelope)
+        .expect("connection survives the timeout");
+    t.push(Record::check(
+        "connection survives the timeout and serves the next request",
+        "the follow-up Evaluate returns the same bytes as the raced requests",
+        after_timeout.terminal_line() == Some(lines[0].as_str()),
+    ));
+    drop(client);
+    handle.shutdown();
+    handle.join();
+
+    // The sweep series: per (design, u, p), one compile per server session
+    // and byte-identical warm responses, with the warm multi-client path
+    // out-throughputting the cold first request.
+    let rows = crate::sweeps::serve_sweep(&crate::sweeps::default_serve_sizes());
+    t.push(Record::check(
+        "sweep: one compile per server session on every row",
+        "cache misses == 1 for each (design, u, p) server",
+        !rows.is_empty() && rows.iter().all(|r| r.compiles == 1),
+    ));
+    t.push(Record::check(
+        "sweep: warm responses byte-identical to the cold response",
+        "every warm terminal line equals the cold line, on every row",
+        rows.iter().all(|r| r.identical),
+    ));
+    let worst = rows
+        .iter()
+        .map(|r| r.throughput_gain)
+        .fold(f64::INFINITY, f64::min);
+    let best = rows.iter().map(|r| r.throughput_gain).fold(0.0, f64::max);
+    t.push(Record::info(
+        "sweep: warm requests/sec vs the cold first request",
+        "> 1x on every row (the compile is paid once, then amortised)",
+        format!("gain {worst:.1}x .. {best:.1}x across {} rows", rows.len()),
+        worst > 1.0,
+    ));
+    ExperimentOutcome {
+        id: "e22".into(),
+        table: t,
+    }
+}
+
+/// [`e22_seeded`] at [`DEFAULT_SEED`].
+pub fn e22() -> ExperimentOutcome {
+    e22_seeded(DEFAULT_SEED)
+}
+
+const ALL_IDS: [&str; 22] = [
     "e1", "e2", "e3", "e4", "e5", "e6", "e7", "e8", "e9", "e10", "e11", "e12", "e13", "e14", "e15",
-    "e16", "e17", "e18", "e19", "e20", "e21",
+    "e16", "e17", "e18", "e19", "e20", "e21", "e22",
 ];
 
 /// The experiments that accept a trace sink (see [`run_experiment_traced`]).
@@ -1666,7 +1805,7 @@ pub const TRACEABLE_IDS: [&str; 4] = ["e6", "e7", "e14", "e15"];
 /// stay reproducible.
 pub const DEFAULT_SEED: u64 = 0x1CC7_1993;
 
-/// Runs one experiment by id ("e1" … "e21") at [`DEFAULT_SEED`].
+/// Runs one experiment by id ("e1" … "e22") at [`DEFAULT_SEED`].
 pub fn run_experiment(id: &str) -> Option<ExperimentOutcome> {
     run_experiment_seeded(id, DEFAULT_SEED)
 }
@@ -1697,6 +1836,7 @@ pub fn run_experiment_seeded(id: &str, seed: u64) -> Option<ExperimentOutcome> {
         "e19" => Some(e19()),
         "e20" => Some(e20_seeded(seed)),
         "e21" => Some(e21_seeded(seed)),
+        "e22" => Some(e22_seeded(seed)),
         _ => None,
     }
 }

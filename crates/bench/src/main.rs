@@ -4,7 +4,7 @@
 //! cargo run -p bitlevel-bench --bin experiments [--release] [-- OPTIONS]
 //!
 //! OPTIONS:
-//!   --exp <id>       run one experiment (e1 … e21); default: all
+//!   --exp <id>       run one experiment (e1 … e22); default: all
 //!   --seed <u64>     seed for every randomized path (E17/E20's fault
 //!                    campaigns and the faults/faultbatch sweeps); default:
 //!                    the fixed reproducibility seed baked into the crate
@@ -16,14 +16,15 @@
 //!   --sweep <name>   emit a CSV data series instead:
 //!                    speedup | analysis | utilization | engine | wavefront |
 //!                    frontier | faults | batch | cache | faultbatch |
-//!                    partition
-//!                    (frontier, faults, batch, cache, faultbatch and
-//!                    partition also honour --json for a JSON export; CI
-//!                    stores `--sweep batch --json` as BENCH_batch.json,
-//!                    `--sweep cache --json` as BENCH_cache.json,
-//!                    `--sweep faultbatch --json` as BENCH_faultbatch.json
-//!                    and `--sweep partition --json` as
-//!                    BENCH_partition.json)
+//!                    partition | serve
+//!                    (frontier, faults, batch, cache, faultbatch,
+//!                    partition and serve also honour --json for a JSON
+//!                    export; CI stores `--sweep batch --json` as
+//!                    BENCH_batch.json, `--sweep cache --json` as
+//!                    BENCH_cache.json, `--sweep faultbatch --json` as
+//!                    BENCH_faultbatch.json, `--sweep partition --json` as
+//!                    BENCH_partition.json and `--sweep serve --json` as
+//!                    BENCH_serve.json)
 //! ```
 
 use bitlevel_bench::{
@@ -46,7 +47,7 @@ fn main() {
             "--exp" => {
                 i += 1;
                 which = Some(args.get(i).cloned().unwrap_or_else(|| {
-                    eprintln!("--exp requires an id (e1..e21)");
+                    eprintln!("--exp requires an id (e1..e22)");
                     std::process::exit(2);
                 }));
             }
@@ -66,7 +67,7 @@ fn main() {
                 i += 1;
                 sweep = Some(args.get(i).cloned().unwrap_or_else(|| {
                     eprintln!(
-                        "--sweep requires a name (speedup|analysis|utilization|engine|wavefront|frontier|faults|batch|cache|faultbatch|partition)"
+                        "--sweep requires a name (speedup|analysis|utilization|engine|wavefront|frontier|faults|batch|cache|faultbatch|partition|serve)"
                     );
                     std::process::exit(2);
                 }));
@@ -155,9 +156,17 @@ fn main() {
                     sweeps::partition_csv(&rows)
                 }
             }
+            "serve" => {
+                let rows = sweeps::serve_sweep(&sweeps::default_serve_sizes());
+                if json {
+                    sweeps::serve_json(&rows)
+                } else {
+                    sweeps::serve_csv(&rows)
+                }
+            }
             other => {
                 eprintln!(
-                    "unknown sweep {other} (speedup|analysis|utilization|engine|wavefront|frontier|faults|batch|cache|faultbatch|partition)"
+                    "unknown sweep {other} (speedup|analysis|utilization|engine|wavefront|frontier|faults|batch|cache|faultbatch|partition|serve)"
                 );
                 std::process::exit(2);
             }
@@ -192,7 +201,7 @@ fn main() {
                     vec![o]
                 }
                 None => {
-                    eprintln!("unknown experiment id {id} (use e1..e21)");
+                    eprintln!("unknown experiment id {id} (use e1..e22)");
                     std::process::exit(2);
                 }
             }
@@ -207,7 +216,7 @@ fn main() {
         (Some(id), None) => match run_experiment_seeded(&id, seed) {
             Some(o) => vec![o],
             None => {
-                eprintln!("unknown experiment id {id} (use e1..e21)");
+                eprintln!("unknown experiment id {id} (use e1..e22)");
                 std::process::exit(2);
             }
         },

@@ -34,7 +34,13 @@
 //!   engine vs physical worker-pool size on both paper designs, every pool
 //!   size verified bit-identical to the compiled engine and the balanced
 //!   makespan checked non-increasing in workers (the E21 export; CI stores
-//!   it as `BENCH_partition.json`).
+//!   it as `BENCH_partition.json`);
+//! * [`serve_sweep`] — warm-vs-cold request throughput of the NDJSON
+//!   evaluation service: one cold `Evaluate` on a fresh server (pays the
+//!   compile) against a concurrent batch of identical requests answered
+//!   from the shared cache, every terminal line byte-identical and the
+//!   compile counter held at one (the E22 export; CI stores it as
+//!   `BENCH_serve.json` and gates `warm_rps > cold_rps` per row).
 //!
 //! Sweep rows are computed in parallel with rayon (except the timing sweeps,
 //! which run sequentially so rows don't contend).
@@ -1230,6 +1236,175 @@ pub fn default_partition_instances() -> usize {
     64
 }
 
+/// One row of the serve sweep: warm-vs-cold request throughput of the
+/// NDJSON evaluation service on one `(design, u, p)` (the E22 series behind
+/// `--sweep serve`; CI stores the JSON as `BENCH_serve.json` and gates
+/// `warm_rps > cold_rps` per row).
+#[derive(Debug, Clone, Serialize)]
+pub struct ServeSweepRow {
+    /// Design label.
+    pub design: String,
+    /// Matrix dimension.
+    pub u: i64,
+    /// Word length.
+    pub p: i64,
+    /// Concurrent client connections in the warm phase.
+    pub clients: usize,
+    /// Warm requests timed (across all clients).
+    pub requests: usize,
+    /// Wall time of the first request on a cold server (pays the compile).
+    pub cold_ns: u128,
+    /// Wall time of the whole warm batch.
+    pub warm_ns: u128,
+    /// Cold request throughput, requests/second (`1e9 / cold_ns`).
+    pub cold_rps: f64,
+    /// Warm request throughput, requests/second.
+    pub warm_rps: f64,
+    /// `warm_rps / cold_rps` — the value a persistent warm-cache process
+    /// buys over per-request cold starts.
+    pub throughput_gain: f64,
+    /// Compiles observed by the server's cache across the whole session
+    /// (must be 1: the cold request compiles, every warm request hits).
+    pub compiles: u64,
+    /// True iff every terminal result line — cold and warm, across all
+    /// clients — was byte-identical.
+    pub identical: bool,
+}
+
+/// Measures warm-vs-cold request throughput through a real server on a
+/// loopback ephemeral port: one cold `Evaluate` (the compile), then a batch
+/// of identical requests from concurrent client connections, all answered
+/// from the shared cache. Every terminal line is checked byte-identical and
+/// the server's compile counter is checked to stay at one.
+pub fn serve_sweep(sizes: &[(i64, i64)]) -> Vec<ServeSweepRow> {
+    use bitlevel_serve::{serve, DesignSpec, Request, RequestEnvelope, ServeClient, ServeConfig};
+    use bitlevel_systolic::SimBackend;
+    const CLIENTS: usize = 4;
+    const PER_CLIENT: usize = 8;
+    let mut rows = Vec::new();
+    for &(u, p) in sizes {
+        for design in [DesignSpec::TimeOptimal, DesignSpec::NearestNeighbour] {
+            let server = serve(ServeConfig {
+                workers: CLIENTS,
+                poll_interval_ms: 10,
+                ..ServeConfig::default()
+            })
+            .expect("bind a loopback ephemeral port");
+            let addr = server.local_addr();
+            // Every request is identical (same id included) so terminal
+            // lines must be byte-identical regardless of cache temperature.
+            let req = RequestEnvelope {
+                id: 1,
+                deadline_ms: None,
+                request: Request::Evaluate {
+                    u,
+                    p: p as usize,
+                    design,
+                    backend: SimBackend::Compiled,
+                },
+            };
+
+            let mut cold_client = ServeClient::connect(addr).expect("connect cold client");
+            let t0 = Instant::now();
+            let cold = cold_client.request_collect(&req).expect("cold evaluate");
+            let cold_ns = t0.elapsed().as_nanos();
+            let cold_line = cold
+                .terminal_line()
+                .expect("cold terminal frame")
+                .to_string();
+
+            let t0 = Instant::now();
+            let warm_lines: Vec<String> = std::thread::scope(|s| {
+                let handles: Vec<_> = (0..CLIENTS)
+                    .map(|_| {
+                        let req = &req;
+                        s.spawn(move || {
+                            let mut client =
+                                ServeClient::connect(addr).expect("connect warm client");
+                            (0..PER_CLIENT)
+                                .map(|_| {
+                                    client
+                                        .request_collect(req)
+                                        .expect("warm evaluate")
+                                        .terminal_line()
+                                        .expect("warm terminal frame")
+                                        .to_string()
+                                })
+                                .collect::<Vec<_>>()
+                        })
+                    })
+                    .collect();
+                handles
+                    .into_iter()
+                    .flat_map(|h| h.join().expect("warm client thread"))
+                    .collect()
+            });
+            let warm_ns = t0.elapsed().as_nanos();
+
+            let requests = CLIENTS * PER_CLIENT;
+            let stats = server.cache().snapshot();
+            let identical = warm_lines.iter().all(|l| *l == cold_line);
+            server.shutdown();
+            server.join();
+
+            let cold_rps = 1e9 / cold_ns.max(1) as f64;
+            let warm_rps = requests as f64 * 1e9 / warm_ns.max(1) as f64;
+            rows.push(ServeSweepRow {
+                design: design.wire_name().to_string(),
+                u,
+                p,
+                clients: CLIENTS,
+                requests,
+                cold_ns,
+                warm_ns,
+                cold_rps,
+                warm_rps,
+                throughput_gain: warm_rps / cold_rps.max(f64::MIN_POSITIVE),
+                compiles: stats.misses,
+                identical,
+            });
+        }
+    }
+    rows
+}
+
+/// CSV rendering of the serve sweep.
+pub fn serve_csv(rows: &[ServeSweepRow]) -> String {
+    let mut out = String::from(
+        "design,u,p,clients,requests,cold_ns,warm_ns,cold_rps,warm_rps,throughput_gain,compiles,identical\n",
+    );
+    for r in rows {
+        out.push_str(&format!(
+            "\"{}\",{},{},{},{},{},{},{:.3},{:.3},{:.3},{},{}\n",
+            r.design,
+            r.u,
+            r.p,
+            r.clients,
+            r.requests,
+            r.cold_ns,
+            r.warm_ns,
+            r.cold_rps,
+            r.warm_rps,
+            r.throughput_gain,
+            r.compiles,
+            r.identical
+        ));
+    }
+    out
+}
+
+/// JSON rendering of the serve sweep (the `--sweep serve --json` export CI
+/// stores as `BENCH_serve.json`).
+pub fn serve_json(rows: &[ServeSweepRow]) -> String {
+    serde_json::to_string_pretty(rows).expect("serve rows serialize")
+}
+
+/// Default sizes for the serve sweep: the paper's running example plus a
+/// larger grid where the compile cost is unambiguous.
+pub fn default_serve_sizes() -> Vec<(i64, i64)> {
+    vec![(2, 2), (3, 3), (3, 4)]
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -1421,6 +1596,25 @@ mod tests {
         let csv = partition_csv(&rows);
         assert_eq!(csv.lines().count(), 7);
         assert!(csv.starts_with("design,u,p,seed,workers,"));
+    }
+
+    #[test]
+    fn serve_rows_show_one_compile_and_identical_lines() {
+        let rows = serve_sweep(&[(2, 2)]);
+        assert_eq!(rows.len(), 2, "two designs x one size");
+        for r in &rows {
+            assert_eq!(
+                r.compiles, 1,
+                "{}: exactly one compile per session",
+                r.design
+            );
+            assert!(r.identical, "{}: warm lines diverged from cold", r.design);
+            assert_eq!(r.requests, r.clients * 8);
+            assert!(r.warm_rps > 0.0 && r.cold_rps > 0.0);
+        }
+        let csv = serve_csv(&rows);
+        assert_eq!(csv.lines().count(), 3);
+        assert!(csv.starts_with("design,u,p,clients,requests,cold_ns,"));
     }
 
     #[test]

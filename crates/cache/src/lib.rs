@@ -32,11 +32,11 @@
 use bitlevel_ir::AlgorithmTriplet;
 use bitlevel_mapping::{Interconnect, MappingMatrix};
 use bitlevel_systolic::{CompileError, CompiledSchedule, SCHEDULE_FORMAT_VERSION};
-use std::collections::HashMap;
+use std::collections::{HashMap, HashSet};
 use std::fmt;
 use std::path::{Path, PathBuf};
 use std::sync::atomic::{AtomicU64, Ordering};
-use std::sync::{Arc, Mutex};
+use std::sync::{Arc, Condvar, Mutex};
 
 pub mod digest;
 
@@ -118,6 +118,31 @@ impl CacheStats {
         self.hits + self.disk_hits + self.misses
     }
 
+    /// The counter movement since an `earlier` snapshot of the same cache:
+    /// every monotone counter is `self - earlier` (saturating, so snapshots
+    /// taken out of order degrade to zeros instead of wrapping), while
+    /// `resident` — a gauge, not a counter — carries the later value.
+    ///
+    /// This is the per-request attribution primitive of the evaluation
+    /// service: a handler snapshots the shared cache before and after its
+    /// work ([`CompileCache::snapshot`]) and the delta says what *this*
+    /// request cost, immune to interleaved lookups racing the subtraction
+    /// (concurrent handlers can inflate each other's deltas, but the sum of
+    /// all deltas never under-counts a compile).
+    pub fn delta(&self, earlier: &CacheStats) -> CacheStats {
+        CacheStats {
+            hits: self.hits.saturating_sub(earlier.hits),
+            disk_hits: self.disk_hits.saturating_sub(earlier.disk_hits),
+            misses: self.misses.saturating_sub(earlier.misses),
+            evictions: self.evictions.saturating_sub(earlier.evictions),
+            corrupt_entries: self.corrupt_entries.saturating_sub(earlier.corrupt_entries),
+            disk_write_errors: self
+                .disk_write_errors
+                .saturating_sub(earlier.disk_write_errors),
+            resident: self.resident,
+        }
+    }
+
     /// Warm fraction: hits (either layer) over lookups, 0.0 when idle.
     pub fn hit_rate(&self) -> f64 {
         let total = self.lookups();
@@ -149,6 +174,30 @@ struct CacheInner {
     evictions: AtomicU64,
     corrupt_entries: AtomicU64,
     disk_write_errors: AtomicU64,
+    /// Keys whose compile is in flight right now (single-flight dedup):
+    /// concurrent misses on the same key elect one compiling leader, the
+    /// rest block on `pending_cv` and re-read the published entry.
+    pending: Mutex<HashSet<CacheKey>>,
+    pending_cv: Condvar,
+}
+
+/// Clears a key's in-flight claim and wakes the waiters — on success, on a
+/// compile error, and on unwind alike (RAII, so a panicking compile never
+/// strands its followers).
+struct PendingGuard<'a> {
+    inner: &'a CacheInner,
+    key: CacheKey,
+}
+
+impl Drop for PendingGuard<'_> {
+    fn drop(&mut self) {
+        self.inner
+            .pending
+            .lock()
+            .expect("pending set poisoned")
+            .remove(&self.key);
+        self.inner.pending_cv.notify_all();
+    }
 }
 
 /// The shared compile cache. Cloning is cheap (`Arc`) and every clone sees
@@ -200,6 +249,8 @@ impl CompileCache {
                 evictions: AtomicU64::new(0),
                 corrupt_entries: AtomicU64::new(0),
                 disk_write_errors: AtomicU64::new(0),
+                pending: Mutex::new(HashSet::new()),
+                pending_cv: Condvar::new(),
             }),
         }
     }
@@ -254,6 +305,14 @@ impl CompileCache {
     /// (and not cached — `try_compile` rejects oversized inputs in O(1), so
     /// negative caching would buy nothing); compiled schedules are inserted
     /// into memory and written through to disk when configured.
+    ///
+    /// Lookups are **single-flight**: when several threads miss on the same
+    /// key at once, exactly one of them compiles (or reads disk) while the
+    /// others block until the entry is published and then take a memory hit
+    /// — N concurrent identical requests cost one compile, which the
+    /// evaluation service's concurrency tests counter-assert. Distinct keys
+    /// never wait on each other, and a leader that errors (or panics)
+    /// releases its followers to retry.
     pub fn get_or_compile(
         &self,
         alg: &AlgorithmTriplet,
@@ -261,26 +320,58 @@ impl CompileCache {
         ic: &Interconnect,
     ) -> Result<(Arc<CompiledSchedule>, CacheOutcome), CompileError> {
         let key = self.key_for(alg, t, ic);
-        if let Some(sched) = self.lookup_memory(&key) {
-            self.inner.hits.fetch_add(1, Ordering::Relaxed);
-            return Ok((sched, CacheOutcome::MemoryHit));
-        }
-        if let Some(sched) = self.lookup_disk(&key) {
-            let sched = Arc::new(sched);
+        loop {
+            if let Some(sched) = self.lookup_memory(&key) {
+                self.inner.hits.fetch_add(1, Ordering::Relaxed);
+                return Ok((sched, CacheOutcome::MemoryHit));
+            }
+            // Claim the key, or wait for the thread that already has.
+            {
+                let mut pending = self.inner.pending.lock().expect("pending set poisoned");
+                if pending.contains(&key) {
+                    while pending.contains(&key) {
+                        pending = self
+                            .inner
+                            .pending_cv
+                            .wait(pending)
+                            .expect("pending set poisoned");
+                    }
+                    // The leader published (or failed); re-read memory.
+                    continue;
+                }
+                pending.insert(key);
+            }
+            let _claim = PendingGuard {
+                inner: &self.inner,
+                key,
+            };
+            if let Some(sched) = self.lookup_disk(&key) {
+                let sched = Arc::new(sched);
+                self.insert_memory(key, Arc::clone(&sched));
+                self.inner.disk_hits.fetch_add(1, Ordering::Relaxed);
+                return Ok((sched, CacheOutcome::DiskHit));
+            }
+            let sched = Arc::new(CompiledSchedule::try_compile(alg, t, ic)?);
+            self.inner.misses.fetch_add(1, Ordering::Relaxed);
             self.insert_memory(key, Arc::clone(&sched));
-            self.inner.disk_hits.fetch_add(1, Ordering::Relaxed);
-            return Ok((sched, CacheOutcome::DiskHit));
+            self.write_disk(&key, &sched);
+            return Ok((sched, CacheOutcome::Miss));
         }
-        let sched = Arc::new(CompiledSchedule::try_compile(alg, t, ic)?);
-        self.inner.misses.fetch_add(1, Ordering::Relaxed);
-        self.insert_memory(key, Arc::clone(&sched));
-        self.write_disk(&key, &sched);
-        Ok((sched, CacheOutcome::Miss))
     }
 
-    /// A point-in-time snapshot of the counters.
+    /// A point-in-time snapshot of the counters (alias of
+    /// [`CompileCache::snapshot`], kept for the original call sites).
     pub fn stats(&self) -> CacheStats {
-        let resident = self.inner.mem.lock().expect("cache poisoned").map.len();
+        self.snapshot()
+    }
+
+    /// A coherent snapshot of the counters, taken under the store lock so
+    /// `resident` and the counters describe the same instant with respect
+    /// to insertions and evictions. Pair two snapshots with
+    /// [`CacheStats::delta`] to attribute hits/misses to one request even
+    /// while other threads keep the shared cache busy.
+    pub fn snapshot(&self) -> CacheStats {
+        let mem = self.inner.mem.lock().expect("cache poisoned");
         CacheStats {
             hits: self.inner.hits.load(Ordering::Relaxed),
             disk_hits: self.inner.disk_hits.load(Ordering::Relaxed),
@@ -288,7 +379,7 @@ impl CompileCache {
             evictions: self.inner.evictions.load(Ordering::Relaxed),
             corrupt_entries: self.inner.corrupt_entries.load(Ordering::Relaxed),
             disk_write_errors: self.inner.disk_write_errors.load(Ordering::Relaxed),
-            resident,
+            resident: mem.map.len(),
         }
     }
 
@@ -491,6 +582,50 @@ mod tests {
 
     fn bitlevel_linalg_imat(rows: &[&[i64]]) -> bitlevel_linalg::IMat {
         bitlevel_linalg::IMat::from_rows(rows)
+    }
+
+    #[test]
+    fn concurrent_identical_misses_compile_exactly_once() {
+        let cache = CompileCache::new();
+        let (alg, t, ic) = triple(3);
+        let mut handles = Vec::new();
+        for _ in 0..8 {
+            let cache = cache.clone();
+            let (alg, t, ic) = (alg.clone(), t.clone(), ic.clone());
+            handles.push(std::thread::spawn(move || {
+                cache.get_or_compile(&alg, &t, &ic).unwrap().0
+            }));
+        }
+        let scheds: Vec<_> = handles.into_iter().map(|h| h.join().unwrap()).collect();
+        let s = cache.snapshot();
+        assert_eq!(s.misses, 1, "single-flight: one compile for 8 racers");
+        assert_eq!(s.hits, 7, "followers take memory hits");
+        for pair in scheds.windows(2) {
+            assert!(
+                Arc::ptr_eq(&pair[0], &pair[1]),
+                "all racers share the one published artifact"
+            );
+        }
+    }
+
+    #[test]
+    fn snapshot_delta_attributes_one_request() {
+        let cache = CompileCache::new();
+        let (alg, t, ic) = triple(3);
+        let before = cache.snapshot();
+        cache.get_or_compile(&alg, &t, &ic).unwrap();
+        let mid = cache.snapshot();
+        cache.get_or_compile(&alg, &t, &ic).unwrap();
+        cache.get_or_compile(&alg, &t, &ic).unwrap();
+        let after = cache.snapshot();
+        let first = mid.delta(&before);
+        assert_eq!((first.misses, first.hits), (1, 0));
+        let warm = after.delta(&mid);
+        assert_eq!((warm.misses, warm.hits), (0, 2));
+        assert_eq!(warm.resident, 1, "delta carries the later gauge value");
+        // Out-of-order snapshots saturate to zero instead of wrapping.
+        let backwards = before.delta(&after);
+        assert_eq!((backwards.misses, backwards.hits), (0, 0));
     }
 
     #[test]

@@ -692,6 +692,23 @@ impl DesignFlow {
         config: &ExploreConfig,
         sink: &mut K,
     ) -> Result<ExplorationReport, MappingError> {
+        self.explore_streamed(spaces, config, sink, |_| {})
+    }
+
+    /// [`DesignFlow::explore_traced`] with **incremental delivery**: every
+    /// frontier design is handed to `on_point` the moment its verification
+    /// (backend evaluation + interpreted cross-check) completes, before the
+    /// next design is touched. This is how the evaluation service streams
+    /// frontier points to a client as NDJSON progress frames instead of
+    /// sitting silent until the whole frontier is verified; the full
+    /// [`ExplorationReport`] is still returned at the end.
+    pub fn explore_streamed<K: TraceSink, F: FnMut(&VerifiedFrontierPoint)>(
+        &self,
+        spaces: &[IMat],
+        config: &ExploreConfig,
+        sink: &mut K,
+        mut on_point: F,
+    ) -> Result<ExplorationReport, MappingError> {
         let alg = self.bit_level_structure();
         let ex = bitlevel_mapping::explore(&alg, spaces, config)?;
         let designs = ex
@@ -719,11 +736,13 @@ impl DesignFlow {
                     .into_iter()
                     .map(str::to_string)
                     .collect();
-                VerifiedFrontierPoint {
+                let verified = VerifiedFrontierPoint {
                     point: point.clone(),
                     report,
                     divergences,
-                }
+                };
+                on_point(&verified);
+                verified
             })
             .collect();
         Ok(ExplorationReport {
@@ -2010,5 +2029,27 @@ mod tests {
         assert_eq!(flow.cache().stats().compiles(), 0);
         assert_eq!(warm.run.divergences_from(&cold.run), Vec::<&str>::new());
         let _ = std::fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn streamed_exploration_delivers_every_design_incrementally() {
+        let flow = DesignFlow::matmul(2, 2);
+        let (family, config) = flow.default_exploration();
+        let mut streamed: Vec<(i64, String, bool)> = Vec::new();
+        let report = flow
+            .explore_streamed(&family, &config, &mut NullSink, |vp| {
+                streamed.push((vp.point.time, vp.point.machine.clone(), vp.verified()));
+            })
+            .expect("well-formed inputs");
+        assert!(!report.designs.is_empty());
+        assert_eq!(streamed.len(), report.designs.len());
+        for (got, want) in streamed.iter().zip(&report.designs) {
+            assert_eq!(got.0, want.point.time);
+            assert_eq!(got.1, want.point.machine);
+            assert_eq!(got.2, want.verified());
+        }
+        // And the plain entry point still returns the identical frontier.
+        let plain = flow.explore(&family, &config).expect("well-formed inputs");
+        assert_eq!(plain.designs.len(), report.designs.len());
     }
 }

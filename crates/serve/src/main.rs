@@ -1,0 +1,85 @@
+//! `bitlevel-serve` — the evaluation service binary.
+//!
+//! ```text
+//! bitlevel-serve [--addr HOST:PORT] [--cache-dir DIR] [--workers N]
+//!                [--queue-cap N] [--max-frame-bytes N] [--deadline-ms MS]
+//!                [--poll-interval-ms MS] [--addr-file PATH]
+//! ```
+//!
+//! Binds, prints `listening on <addr>` (and writes the resolved address to
+//! `--addr-file`, which is how scripts discover an ephemeral `:0` port),
+//! then serves until a `Shutdown` request arrives.
+
+use bitlevel_serve::{serve, ServeConfig};
+use std::io::Write;
+
+fn usage() -> ! {
+    eprintln!(
+        "usage: bitlevel-serve [--addr HOST:PORT] [--cache-dir DIR] [--workers N] \
+         [--queue-cap N] [--max-frame-bytes N] [--deadline-ms MS] \
+         [--poll-interval-ms MS] [--addr-file PATH]"
+    );
+    std::process::exit(2);
+}
+
+fn main() {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let mut config = ServeConfig::default();
+    let mut addr_file: Option<String> = None;
+    let mut i = 0;
+    while i < args.len() {
+        let flag = args[i].as_str();
+        match flag {
+            "--help" | "-h" => usage(),
+            "--addr" | "--cache-dir" | "--addr-file" | "--workers" | "--queue-cap"
+            | "--max-frame-bytes" | "--deadline-ms" | "--poll-interval-ms" => {
+                i += 1;
+                let value = args.get(i).cloned().unwrap_or_else(|| {
+                    eprintln!("{flag} requires a value");
+                    usage();
+                });
+                match flag {
+                    "--addr" => config.addr = value,
+                    "--cache-dir" => config.cache_dir = Some(value.into()),
+                    "--addr-file" => addr_file = Some(value),
+                    "--workers" => config.workers = parse_num(&value, flag),
+                    "--queue-cap" => config.queue_cap = parse_num(&value, flag),
+                    "--max-frame-bytes" => config.max_frame_bytes = parse_num(&value, flag),
+                    "--deadline-ms" => config.default_deadline_ms = parse_num(&value, flag),
+                    "--poll-interval-ms" => config.poll_interval_ms = parse_num(&value, flag),
+                    _ => unreachable!(),
+                }
+            }
+            other => {
+                eprintln!("unknown option {other}");
+                usage();
+            }
+        }
+        i += 1;
+    }
+
+    let handle = match serve(config) {
+        Ok(h) => h,
+        Err(e) => {
+            eprintln!("bind failed: {e}");
+            std::process::exit(1);
+        }
+    };
+    let addr = handle.local_addr();
+    println!("listening on {addr}");
+    let _ = std::io::stdout().flush();
+    if let Some(path) = addr_file {
+        if let Err(e) = std::fs::write(&path, format!("{addr}\n")) {
+            eprintln!("could not write {path}: {e}");
+        }
+    }
+    handle.join();
+    println!("shut down");
+}
+
+fn parse_num<T: std::str::FromStr>(s: &str, flag: &str) -> T {
+    s.parse().unwrap_or_else(|_| {
+        eprintln!("{flag}: invalid value {s:?}");
+        usage();
+    })
+}

@@ -1,0 +1,144 @@
+//! Blocking NDJSON client for the `bitlevel-serve` evaluation service.
+//!
+//! Connects to a running server, then walks the full request surface the
+//! way an external tool would: a cold `Evaluate` (watch the `cache` progress
+//! frame report the compile), the identical request again (now a hit — the
+//! terminal line must be byte-identical), a `Stats` snapshot, and, with
+//! `--shutdown`, a graceful server shutdown. Every frame is streamed to
+//! stdout exactly as it came off the wire, so the output doubles as a
+//! protocol transcript. CI runs this against a background server as the
+//! end-to-end smoke test.
+//!
+//! Run with:
+//!
+//! ```text
+//! cargo run --release --example serve_client -- 127.0.0.1:<port> [--shutdown] [--u N] [--p N]
+//! ```
+
+use bitlevel::serve::{DesignSpec, Frame, Request, RequestEnvelope, ServeClient};
+use bitlevel::SimBackend;
+
+fn usage() -> ! {
+    eprintln!("usage: serve_client <addr> [--shutdown] [--u N] [--p N]");
+    std::process::exit(2);
+}
+
+fn main() {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let mut addr: Option<String> = None;
+    let mut shutdown = false;
+    let mut u = 3i64;
+    let mut p = 3usize;
+    let mut i = 0;
+    while i < args.len() {
+        match args[i].as_str() {
+            "--shutdown" => shutdown = true,
+            "--u" => {
+                i += 1;
+                u = args
+                    .get(i)
+                    .and_then(|s| s.parse().ok())
+                    .unwrap_or_else(|| usage());
+            }
+            "--p" => {
+                i += 1;
+                p = args
+                    .get(i)
+                    .and_then(|s| s.parse().ok())
+                    .unwrap_or_else(|| usage());
+            }
+            other if addr.is_none() && !other.starts_with("--") => addr = Some(other.to_string()),
+            _ => usage(),
+        }
+        i += 1;
+    }
+    let addr = addr.unwrap_or_else(|| usage());
+
+    let mut client = ServeClient::connect(addr.as_str()).expect("connect to bitlevel-serve");
+    let evaluate = RequestEnvelope {
+        id: 1,
+        deadline_ms: None,
+        request: Request::Evaluate {
+            u,
+            p,
+            design: DesignSpec::TimeOptimal,
+            backend: SimBackend::Compiled,
+        },
+    };
+
+    fn run(
+        client: &mut ServeClient,
+        label: &str,
+        env: &RequestEnvelope,
+        failed: &mut bool,
+        terminal_lines: &mut Vec<String>,
+    ) {
+        println!("--- {label} ---");
+        let tx = client.request_collect(env).expect("transaction completes");
+        for (line, _) in &tx.frames {
+            println!("{line}");
+        }
+        if tx.error().is_some() {
+            *failed = true;
+        }
+        if let Some(line) = tx.terminal_line() {
+            terminal_lines.push(line.to_string());
+        }
+    }
+
+    let mut failed = false;
+    let mut terminal_lines = Vec::new();
+    run(
+        &mut client,
+        "evaluate (cold)",
+        &evaluate,
+        &mut failed,
+        &mut terminal_lines,
+    );
+    run(
+        &mut client,
+        "evaluate (warm, identical request)",
+        &evaluate,
+        &mut failed,
+        &mut terminal_lines,
+    );
+    run(
+        &mut client,
+        "stats",
+        &RequestEnvelope {
+            id: 2,
+            deadline_ms: None,
+            request: Request::Stats,
+        },
+        &mut failed,
+        &mut terminal_lines,
+    );
+    if shutdown {
+        run(
+            &mut client,
+            "shutdown",
+            &RequestEnvelope {
+                id: 3,
+                deadline_ms: None,
+                request: Request::Shutdown,
+            },
+            &mut failed,
+            &mut terminal_lines,
+        );
+    }
+
+    let cold = terminal_lines.first().expect("cold terminal frame");
+    let warm = terminal_lines.get(1).expect("warm terminal frame");
+    assert_eq!(
+        cold, warm,
+        "identical requests must produce byte-identical terminal frames"
+    );
+    assert!(
+        matches!(Frame::parse(cold), Ok(Frame::Result { id: 1, .. })),
+        "evaluate must terminate in a Result frame echoing id 1"
+    );
+    println!("--- ok: warm terminal frame byte-identical to cold ---");
+    if failed {
+        std::process::exit(1);
+    }
+}

@@ -18,6 +18,7 @@
 //! | [`systolic`] | cycle-accurate mapped-algorithm simulator, the bit-exact Expansion II matmul array, the word-level comparator |
 //! | [`fault`] | deterministic fault injection ([`FaultPlan`]), ABFT checksum protection, and the exhaustive/Monte-Carlo campaign drivers |
 //! | [`core`](mod@core_api) | the end-to-end [`DesignFlow`] pipeline and paper-style reports |
+//! | [`serve`] | the long-running NDJSON evaluation service (`bitlevel-serve` binary) sharing one [`CompileCache`] across concurrent requests |
 //!
 //! Quickstart:
 //!
@@ -37,6 +38,7 @@ pub use bitlevel_fault as fault;
 pub use bitlevel_ir as ir;
 pub use bitlevel_linalg as linalg;
 pub use bitlevel_mapping as mapping;
+pub use bitlevel_serve as serve;
 pub use bitlevel_systolic as systolic;
 
 pub use bitlevel_core::{
